@@ -1,0 +1,162 @@
+//! Central-DP baselines: what a trusted aggregator buys you.
+//!
+//! §1.5 of the tutorial contrasts LDP with the centralized model: with a
+//! trusted curator, a histogram needs only `Lap(2/ε)` per cell —
+//! **constant** error, versus the `Θ(√n/ε)` per-cell error of any LDP
+//! protocol. Experiment E11 regenerates that gap, which is the tutorial's
+//! core motivation for studying hybrid and multi-round designs.
+//!
+//! Sensitivity convention: *replacement* neighbors (one user changes
+//! value), so one user moves two histogram cells by 1 each → L1
+//! sensitivity 2 → `Lap(2/ε)` per cell (or two-sided geometric for
+//! integer releases).
+
+use ldp_core::noise::{laplace_variance, sample_laplace, sample_two_sided_geometric, two_sided_geometric_variance};
+use ldp_core::Epsilon;
+use rand::Rng;
+
+/// A central-DP histogram release over `[0, d)` with Laplace noise.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralHistogram {
+    d: u64,
+    epsilon: Epsilon,
+}
+
+impl CentralHistogram {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: u64, epsilon: Epsilon) -> Self {
+        assert!(d > 0, "domain must be non-empty");
+        Self { d, epsilon }
+    }
+
+    /// Laplace scale per cell: `2/ε` (replacement sensitivity).
+    pub fn noise_scale(&self) -> f64 {
+        2.0 / self.epsilon.value()
+    }
+
+    /// Releases a noisy histogram of the raw values (which the trusted
+    /// curator sees in the clear).
+    ///
+    /// # Panics
+    /// Panics if any value is outside the domain.
+    pub fn release<R: Rng + ?Sized>(&self, values: &[u64], rng: &mut R) -> Vec<f64> {
+        let mut hist = vec![0.0f64; self.d as usize];
+        for &v in values {
+            assert!(v < self.d, "value {v} outside domain {}", self.d);
+            hist[v as usize] += 1.0;
+        }
+        let scale = self.noise_scale();
+        for h in hist.iter_mut() {
+            *h += sample_laplace(scale, rng);
+        }
+        hist
+    }
+
+    /// Integer release using two-sided geometric noise.
+    ///
+    /// # Panics
+    /// Panics if any value is outside the domain.
+    pub fn release_integer<R: Rng + ?Sized>(&self, values: &[u64], rng: &mut R) -> Vec<i64> {
+        let mut hist = vec![0i64; self.d as usize];
+        for &v in values {
+            assert!(v < self.d, "value {v} outside domain {}", self.d);
+            hist[v as usize] += 1;
+        }
+        let scale = self.noise_scale();
+        for h in hist.iter_mut() {
+            *h += sample_two_sided_geometric(scale, rng);
+        }
+        hist
+    }
+
+    /// Per-cell count variance — independent of `n`, the headline
+    /// difference from the local model.
+    pub fn count_variance(&self) -> f64 {
+        laplace_variance(self.noise_scale())
+    }
+
+    /// Per-cell variance of the integer release.
+    pub fn count_variance_integer(&self) -> f64 {
+        two_sided_geometric_variance(self.noise_scale())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn release_is_unbiased_and_tight() {
+        let mech = CentralHistogram::new(8, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<u64> = (0..10_000).map(|i| i % 8).collect();
+        let hist = mech.release(&values, &mut rng);
+        let sd = mech.count_variance().sqrt();
+        for (i, &h) in hist.iter().enumerate() {
+            assert!((h - 1250.0).abs() < 6.0 * sd + 1.0, "cell {i}: {h}");
+        }
+    }
+
+    #[test]
+    fn variance_independent_of_n() {
+        let mech = CentralHistogram::new(4, eps(0.5));
+        // Var formula uses no n at all; confirm empirically across sizes.
+        let mut rng = StdRng::seed_from_u64(2);
+        for &n in &[100usize, 100_000] {
+            let values: Vec<u64> = (0..n as u64).map(|i| i % 4).collect();
+            let trials = 500;
+            let errs: Vec<f64> = (0..trials)
+                .map(|_| mech.release(&values, &mut rng)[0] - (n as f64 / 4.0))
+                .collect();
+            let var = errs.iter().map(|e| e * e).sum::<f64>() / trials as f64;
+            let expected = mech.count_variance();
+            assert!(
+                (var - expected).abs() / expected < 0.3,
+                "n={n}: var={var} expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_release_matches_variance() {
+        let mech = CentralHistogram::new(2, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        let values = vec![0u64; 1000];
+        let trials = 2000;
+        let errs: Vec<f64> = (0..trials)
+            .map(|_| mech.release_integer(&values, &mut rng)[0] as f64 - 1000.0)
+            .collect();
+        let var = errs.iter().map(|e| e * e).sum::<f64>() / trials as f64;
+        let expected = mech.count_variance_integer();
+        assert!((var - expected).abs() / expected < 0.2, "var={var} expected={expected}");
+    }
+
+    #[test]
+    fn central_crushes_local_error() {
+        // The tutorial's headline: central error O(1/eps), local error
+        // O(sqrt(n)/eps).
+        use ldp_core::fo::{FrequencyOracle, OptimizedLocalHashing};
+        let e = eps(1.0);
+        let n = 100_000;
+        let central_var = CentralHistogram::new(64, e).count_variance();
+        let local_var = OptimizedLocalHashing::new(64, e).noise_floor_variance(n);
+        assert!(local_var / central_var > 1000.0, "gap should be huge");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        let mech = CentralHistogram::new(4, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        mech.release(&[4], &mut rng);
+    }
+}

@@ -1,0 +1,272 @@
+//! Heavy hitters over massive domains: the prefix-extending method.
+//!
+//! A frequency oracle over a 2³²-item domain is useless on its own: the
+//! server cannot sweep four billion candidates, and with `n ≪ d` most
+//! estimates are pure noise. The succinct-histogram line of work
+//! (Bassily–Smith; Bassily–Nissim–Stemmer–Thakurta's TreeHist; Wang et
+//! al.'s PEM) solves this by *localizing* the search: users are split into
+//! groups, group `i` reports (the hash of) a **prefix** of their value,
+//! and the server only extends prefixes that already look frequent —
+//! pruning the exponential candidate tree to `O(k)` survivors per level.
+//!
+//! [`PrefixExtendingMethod`] implements the general protocol with a
+//! configurable per-level bit step; [`PrefixExtendingMethod::tree_hist`]
+//! is the step-1 (binary tree) variant. The underlying per-group oracle is
+//! OLH, whose reports are constant-size in the domain.
+
+use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+use ldp_core::{Epsilon, Error, Result};
+use rand::Rng;
+
+/// A discovered heavy hitter: the value and its estimated count,
+/// extrapolated to the full population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitter {
+    /// The recovered domain value.
+    pub value: u64,
+    /// Estimated number of users holding it (full-population scale).
+    pub estimate: f64,
+}
+
+/// The prefix-extending heavy-hitter protocol.
+#[derive(Debug, Clone)]
+pub struct PrefixExtendingMethod {
+    /// Total value width in bits (domain = `[0, 2^bits)`).
+    bits: u32,
+    /// Bits revealed per level.
+    step: u32,
+    /// Initial prefix length (first level estimates all `2^start` prefixes
+    /// exhaustively, so keep it ≤ ~16).
+    start: u32,
+    /// Candidates kept per level.
+    keep: usize,
+    epsilon: Epsilon,
+}
+
+impl PrefixExtendingMethod {
+    /// Creates a PEM instance.
+    ///
+    /// # Errors
+    /// Validates that `start ≤ bits`, the step divides the remainder, the
+    /// initial exhaustive level is tractable (`start ≤ 20`), and `keep ≥ 1`.
+    pub fn new(bits: u32, start: u32, step: u32, keep: usize, epsilon: Epsilon) -> Result<Self> {
+        if bits == 0 || bits > 63 {
+            return Err(Error::InvalidDomain(format!("bits must be in [1, 63], got {bits}")));
+        }
+        if start == 0 || start > bits || start > 20 {
+            return Err(Error::InvalidParameter(format!(
+                "start must be in [1, min(bits, 20)], got {start}"
+            )));
+        }
+        if step == 0 || (bits - start) % step != 0 {
+            return Err(Error::InvalidParameter(format!(
+                "step {step} must divide bits - start = {}",
+                bits - start
+            )));
+        }
+        if keep == 0 {
+            return Err(Error::InvalidParameter("keep must be positive".into()));
+        }
+        Ok(Self {
+            bits,
+            step,
+            start,
+            keep,
+            epsilon,
+        })
+    }
+
+    /// TreeHist configuration: extend one bit per level.
+    ///
+    /// # Errors
+    /// As for [`new`](Self::new).
+    pub fn tree_hist(bits: u32, keep: usize, epsilon: Epsilon) -> Result<Self> {
+        Self::new(bits, 1, 1, keep, epsilon)
+    }
+
+    /// Number of user groups (levels) the protocol needs.
+    pub fn levels(&self) -> u32 {
+        1 + (self.bits - self.start) / self.step
+    }
+
+    /// Runs the protocol over the users' values (each user reports once,
+    /// in the group determined by their index). Returns up to `keep`
+    /// heavy hitters sorted by estimated count descending.
+    pub fn run<R: Rng>(&self, values: &[u64], rng: &mut R) -> Vec<HeavyHitter> {
+        let levels = self.levels() as usize;
+        if values.is_empty() {
+            return Vec::new();
+        }
+        // Partition users into level groups by a hash of their index —
+        // the deployment analogue of random group assignment, and immune
+        // to populations whose value pattern is periodic in the index.
+        let mut groups: Vec<Vec<u64>> = vec![Vec::with_capacity(values.len() / levels + 1); levels];
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(self.bits == 63 || v < (1u64 << self.bits), "value exceeds domain");
+            let g = (ldp_sketch::hash::mix64(i as u64) % levels as u64) as usize;
+            groups[g].push(v);
+        }
+
+        // Level 0: exhaustive over 2^start prefixes.
+        let mut prefix_len = self.start;
+        let mut survivors: Vec<u64> = {
+            let oracle = OptimizedLocalHashing::new(1u64 << prefix_len, self.epsilon);
+            let mut agg = oracle.new_aggregator();
+            for &v in &groups[0] {
+                let prefix = v >> (self.bits - prefix_len);
+                agg.accumulate(&oracle.randomize(prefix, rng));
+            }
+            let est = agg.estimate();
+            top_indices(&est, self.keep)
+        };
+
+        // Subsequent levels: extend survivors by `step` bits.
+        for (level, group) in groups.iter().enumerate().skip(1) {
+            prefix_len += self.step;
+            let oracle = OptimizedLocalHashing::new(1u64 << prefix_len, self.epsilon);
+            let mut agg = oracle.new_aggregator();
+            for &v in group {
+                let prefix = v >> (self.bits - prefix_len);
+                agg.accumulate(&oracle.randomize(prefix, rng));
+            }
+            // Candidates: every step-bit extension of every survivor.
+            let mut candidates: Vec<u64> = Vec::with_capacity(survivors.len() << self.step);
+            for &s in &survivors {
+                for ext in 0..(1u64 << self.step) {
+                    candidates.push((s << self.step) | ext);
+                }
+            }
+            let ests = agg.estimate_items(&candidates);
+            let mut scored: Vec<(u64, f64)> =
+                candidates.into_iter().zip(ests).collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            scored.truncate(self.keep);
+            if level == levels - 1 {
+                // Final level: scale group estimates to the population.
+                let scale = values.len() as f64 / group.len().max(1) as f64;
+                return scored
+                    .into_iter()
+                    .filter(|&(_, e)| e > 0.0)
+                    .map(|(value, e)| HeavyHitter {
+                        value,
+                        estimate: e * scale,
+                    })
+                    .collect();
+            }
+            survivors = scored.into_iter().map(|(v, _)| v).collect();
+        }
+
+        // Single-level case (start == bits).
+        let scale = values.len() as f64 / groups[0].len().max(1) as f64;
+        let oracle = OptimizedLocalHashing::new(1u64 << self.start, self.epsilon);
+        let mut agg = oracle.new_aggregator();
+        for &v in &groups[0] {
+            agg.accumulate(&oracle.randomize(v, rng));
+        }
+        let ests = agg.estimate_items(&survivors);
+        let mut out: Vec<HeavyHitter> = survivors
+            .into_iter()
+            .zip(ests)
+            .filter(|&(_, e)| e > 0.0)
+            .map(|(value, e)| HeavyHitter {
+                value,
+                estimate: e * scale,
+            })
+            .collect();
+        out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate));
+        out
+    }
+}
+
+/// Indices of the `k` largest entries, descending.
+fn top_indices(scores: &[f64], k: usize) -> Vec<u64> {
+    let mut idx: Vec<u64> = (0..scores.len() as u64).collect();
+    idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PrefixExtendingMethod::new(0, 1, 1, 4, eps(1.0)).is_err());
+        assert!(PrefixExtendingMethod::new(32, 0, 4, 4, eps(1.0)).is_err());
+        assert!(PrefixExtendingMethod::new(32, 8, 5, 4, eps(1.0)).is_err(), "step must divide");
+        assert!(PrefixExtendingMethod::new(32, 21, 1, 4, eps(1.0)).is_err(), "start too big");
+        assert!(PrefixExtendingMethod::new(32, 8, 4, 0, eps(1.0)).is_err());
+        let ok = PrefixExtendingMethod::new(32, 8, 4, 16, eps(1.0)).unwrap();
+        assert_eq!(ok.levels(), 7);
+    }
+
+    #[test]
+    fn finds_planted_heavy_hitters() {
+        // 24-bit domain, three planted values dominating a uniform tail.
+        let pem = PrefixExtendingMethod::new(24, 8, 4, 12, eps(3.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let planted = [0x00ab_cdu64, 0x12_3456, 0xff_00ff];
+        let mut values = Vec::new();
+        for i in 0..60_000usize {
+            values.push(match i % 10 {
+                0..=3 => planted[0],
+                4..=6 => planted[1],
+                7..=8 => planted[2],
+                _ => (i as u64).wrapping_mul(0x9e37_79b9) & 0xff_ffff,
+            });
+        }
+        let found = pem.run(&values, &mut rng);
+        assert!(!found.is_empty());
+        let found_values: Vec<u64> = found.iter().map(|h| h.value).collect();
+        for (rank, &p) in planted.iter().enumerate() {
+            assert!(
+                found_values.contains(&p),
+                "planted value {rank} ({p:#x}) missing from {found_values:x?}"
+            );
+        }
+        // The top hitter should be the 40% value with a sane estimate.
+        assert_eq!(found[0].value, planted[0]);
+        assert!(
+            (found[0].estimate - 24_000.0).abs() < 8000.0,
+            "estimate {}",
+            found[0].estimate
+        );
+    }
+
+    #[test]
+    fn tree_hist_variant_works() {
+        let th = PrefixExtendingMethod::tree_hist(12, 8, eps(3.0)).unwrap();
+        assert_eq!(th.levels(), 12);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut values = vec![0xabcu64; 30_000];
+        for i in 0..10_000usize {
+            values.push((i as u64 * 7919) & 0xfff);
+        }
+        let found = th.run(&values, &mut rng);
+        assert!(
+            found.iter().any(|h| h.value == 0xabc),
+            "planted value missing: {found:?}"
+        );
+    }
+
+    #[test]
+    fn empty_population() {
+        let pem = PrefixExtendingMethod::new(16, 8, 8, 4, eps(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(pem.run(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn top_indices_orders_correctly() {
+        let scores = [1.0, 9.0, 3.0, 7.0];
+        assert_eq!(top_indices(&scores, 2), vec![1, 3]);
+        assert_eq!(top_indices(&scores, 10).len(), 4);
+    }
+}

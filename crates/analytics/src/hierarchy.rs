@@ -1,0 +1,326 @@
+//! Hierarchical interval decomposition: range queries and quantiles over
+//! ordered domains.
+//!
+//! §1.3 calls out "rectilinear counting queries" as a primitive. A flat
+//! histogram answers a range query by summing cells, accumulating one
+//! noise term per cell — error `Θ(√r)` for range length `r`. The
+//! hierarchical method (the local-model analogue of the central-DP
+//! binary-tree technique) materializes a `b`-ary tree of dyadic
+//! intervals; each user is assigned one level uniformly and reports which
+//! node of that level contains their value. Any range decomposes into
+//! `O(b·log_b d)` nodes, so the error is `O(log d)` noise terms instead
+//! of `O(r)` — and monotone prefix sums give quantile/CDF estimates.
+
+use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+use ldp_core::{Epsilon, Error, Result};
+use rand::Rng;
+
+/// A hierarchical histogram over the ordered domain `[0, d)`.
+#[derive(Debug, Clone)]
+pub struct HierarchicalHistogram {
+    d: u64,
+    branching: u64,
+    levels: Vec<u64>, // node counts per level, root (1) .. leaves (d)
+    epsilon: Epsilon,
+}
+
+/// The collected tree: per-level estimated node counts, scaled to the
+/// full population.
+#[derive(Debug, Clone)]
+pub struct HierarchicalEstimate {
+    d: u64,
+    /// `levels[l][node]` = estimated users in that node's interval.
+    levels: Vec<Vec<f64>>,
+    n: usize,
+}
+
+impl HierarchicalHistogram {
+    /// Creates the decomposition with branching factor `b ≥ 2`; `d` is
+    /// rounded up to the next power of `b` internally.
+    ///
+    /// # Errors
+    /// Rejects `d < 2` or `b < 2`.
+    pub fn new(d: u64, branching: u64, epsilon: Epsilon) -> Result<Self> {
+        if d < 2 {
+            return Err(Error::InvalidDomain(format!("need d >= 2, got {d}")));
+        }
+        if branching < 2 {
+            return Err(Error::InvalidParameter(format!("need branching >= 2, got {branching}")));
+        }
+        // Level sizes: 1 = root excluded (it's always n); start from b.
+        let mut levels = Vec::new();
+        let mut width = branching;
+        while width < d {
+            levels.push(width);
+            width *= branching;
+        }
+        levels.push(width); // leaf level covers [0, width) >= d
+        Ok(Self {
+            d,
+            branching,
+            levels,
+            epsilon,
+        })
+    }
+
+    /// Number of levels (excluding the trivial root).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The branching factor `b`.
+    pub fn branching(&self) -> u64 {
+        self.branching
+    }
+
+    /// Runs collection: each user is assigned one level (round-robin by
+    /// a hash of the index, i.e. uniform) and reports their node at that
+    /// level through OLH.
+    pub fn collect<R: Rng>(&self, values: &[u64], rng: &mut R) -> HierarchicalEstimate {
+        let depth = self.depth();
+        let leaf_width = *self.levels.last().expect("non-empty levels");
+        let mut estimates = Vec::with_capacity(depth);
+        // Group users per level by index hash.
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); depth];
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(v < self.d, "value outside domain");
+            let g = (ldp_sketch::hash::mix64(i as u64 ^ 0x5ca1ab1e) % depth as u64) as usize;
+            groups[g].push(v);
+        }
+        for (level, nodes) in self.levels.iter().enumerate() {
+            let group = &groups[level];
+            let oracle = OptimizedLocalHashing::new(*nodes, self.epsilon);
+            let mut agg = oracle.new_aggregator();
+            let cell_width = leaf_width / nodes;
+            for &v in group {
+                agg.accumulate(&oracle.randomize(v / cell_width, rng));
+            }
+            let scale = values.len() as f64 / group.len().max(1) as f64;
+            let est: Vec<f64> = agg.estimate().into_iter().map(|c| c * scale).collect();
+            estimates.push(est);
+        }
+        HierarchicalEstimate {
+            d: self.d,
+            levels: estimates,
+            n: values.len(),
+        }
+    }
+}
+
+impl HierarchicalEstimate {
+    /// Population size.
+    pub fn reports(&self) -> usize {
+        self.n
+    }
+
+    /// Estimated count in `[lo, hi)` via greedy dyadic decomposition:
+    /// cover the range with the fewest tree nodes, summing their
+    /// estimates.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi ≤ d`.
+    pub fn range_count(&self, lo: u64, hi: u64) -> f64 {
+        assert!(lo < hi && hi <= self.d, "invalid range [{lo}, {hi})");
+        self.decompose(lo, hi, 0, 0)
+    }
+
+    /// Recursive decomposition starting at `level` within node `node`.
+    fn decompose(&self, lo: u64, hi: u64, level: usize, _node: u64) -> f64 {
+        let leaf_width = self.leaf_width();
+        let nodes = self.levels[level].len() as u64;
+        let cell = leaf_width / nodes;
+        let mut total = 0.0;
+        let mut pos = lo;
+        while pos < hi {
+            let node_idx = pos / cell;
+            let node_start = node_idx * cell;
+            let node_end = node_start + cell;
+            if pos == node_start && node_end <= hi {
+                // Whole node covered: take its estimate at this level.
+                total += self.levels[level][node_idx as usize];
+                pos = node_end;
+            } else if level + 1 < self.levels.len() {
+                // Partial: recurse into the next level for this node only.
+                let sub_hi = hi.min(node_end);
+                total += self.decompose(pos, sub_hi, level + 1, node_idx);
+                pos = sub_hi;
+            } else {
+                // Leaf level partial can't happen (cell == 1 at leaves for
+                // pow-of-b domains); fall back proportionally.
+                let frac = (hi.min(node_end) - pos) as f64 / cell as f64;
+                total += self.levels[level][node_idx as usize] * frac;
+                pos = node_end.min(hi);
+            }
+        }
+        total
+    }
+
+    fn leaf_width(&self) -> u64 {
+        self.levels.last().expect("non-empty").len() as u64
+    }
+
+    /// Estimated CDF at `x`: fraction of users with value `< x`.
+    pub fn cdf(&self, x: u64) -> f64 {
+        if x == 0 {
+            return 0.0;
+        }
+        (self.range_count(0, x.min(self.d)) / self.n.max(1) as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated `q`-quantile (smallest `x` with `CDF(x+1) ≥ q`), by
+    /// binary search over the monotone-ized CDF.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        // Build monotone CDF over leaves once (isotonic via running max).
+        let mut best = self.d - 1;
+        let (mut lo, mut hi) = (0u64, self.d - 1);
+        while lo <= hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid + 1) >= q {
+                best = mid;
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        best
+    }
+}
+
+/// Flat baseline: answer the same range query from a single-level OLH
+/// histogram (error grows with range length).
+pub fn flat_range_count<R: Rng>(
+    values: &[u64],
+    d: u64,
+    lo: u64,
+    hi: u64,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> f64 {
+    assert!(lo < hi && hi <= d, "invalid range");
+    let oracle = OptimizedLocalHashing::new(d, epsilon);
+    let mut agg = oracle.new_aggregator();
+    for &v in values {
+        agg.accumulate(&oracle.randomize(v, rng));
+    }
+    let est = agg.estimate();
+    (lo..hi).map(|i| est[i as usize]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn skewed_values(n: usize, d: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                // Triangular-ish: concentrated at low values.
+                let a: u64 = rng.gen_range(0..d);
+                let b: u64 = rng.gen_range(0..d);
+                a.min(b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_and_depth() {
+        let h = HierarchicalHistogram::new(256, 4, eps(1.0)).unwrap();
+        assert_eq!(h.depth(), 4); // 4, 16, 64, 256
+        let h2 = HierarchicalHistogram::new(100, 2, eps(1.0)).unwrap();
+        assert_eq!(h2.depth(), 7); // 2..128
+        assert!(HierarchicalHistogram::new(1, 2, eps(1.0)).is_err());
+        assert!(HierarchicalHistogram::new(8, 1, eps(1.0)).is_err());
+    }
+
+    #[test]
+    fn range_counts_track_truth() {
+        let d = 256u64;
+        let h = HierarchicalHistogram::new(d, 4, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let values = skewed_values(80_000, d, 3);
+        let est = h.collect(&values, &mut rng);
+        for &(lo, hi) in &[(0u64, 64u64), (0, 128), (32, 200), (100, 101)] {
+            let truth = values.iter().filter(|&&v| v >= lo && v < hi).count() as f64;
+            let got = est.range_count(lo, hi);
+            let slack = 3000.0 + truth * 0.1;
+            assert!(
+                (got - truth).abs() < slack,
+                "range [{lo},{hi}): got {got} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_beats_flat_on_long_ranges() {
+        let d = 256u64;
+        let n = 60_000;
+        let (lo, hi) = (10u64, 230u64); // long range: flat sums 220 noisy cells
+        let values = skewed_values(n, d, 5);
+        let truth = values.iter().filter(|&&v| v >= lo && v < hi).count() as f64;
+        let trials = 5;
+        let (mut err_h, mut err_f) = (0.0, 0.0);
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            let h = HierarchicalHistogram::new(d, 4, eps(1.0)).unwrap();
+            let est = h.collect(&values, &mut rng);
+            err_h += (est.range_count(lo, hi) - truth).abs();
+            let mut rng2 = StdRng::seed_from_u64(500 + t);
+            err_f += (flat_range_count(&values, d, lo, hi, eps(1.0), &mut rng2) - truth).abs();
+        }
+        assert!(
+            err_h < err_f,
+            "hierarchical {err_h} should beat flat {err_f} on long ranges"
+        );
+    }
+
+    #[test]
+    fn cdf_monotone_endpoints() {
+        let d = 64u64;
+        let h = HierarchicalHistogram::new(d, 2, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let values = skewed_values(40_000, d, 9);
+        let est = h.collect(&values, &mut rng);
+        assert_eq!(est.cdf(0), 0.0);
+        assert!((est.cdf(64) - 1.0).abs() < 0.15, "cdf(d) = {}", est.cdf(64));
+    }
+
+    #[test]
+    fn quantiles_reasonable() {
+        let d = 128u64;
+        let h = HierarchicalHistogram::new(d, 4, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let values = skewed_values(80_000, d, 13);
+        let est = h.collect(&values, &mut rng);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[values.len() / 2];
+        let got = est.quantile(0.5);
+        assert!(
+            (got as i64 - true_median as i64).abs() < 15,
+            "median: got {got}, true {true_median}"
+        );
+        assert!(est.quantile(0.1) <= est.quantile(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        let h = HierarchicalHistogram::new(16, 2, eps(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = h.collect(&[1, 2, 3], &mut rng);
+        est.range_count(5, 5);
+    }
+}

@@ -1,0 +1,233 @@
+//! The hybrid (BLENDER) trust model: blending opt-in users under central
+//! DP with the LDP majority.
+//!
+//! §1.4's "Hybrid models" direction (Avent et al., USENIX Security 2017):
+//! a small fraction of users trusts the aggregator with raw data (their
+//! histogram gets cheap central-DP noise); everyone else runs an LDP
+//! frequency oracle. Because the two estimators are independent and
+//! unbiased, the minimum-variance blend is the inverse-variance weighted
+//! average — so even a few percent of opt-in users can dominate accuracy,
+//! which is exactly the effect experiment E9 sweeps.
+
+use crate::central::CentralHistogram;
+use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+use ldp_core::{Epsilon, Error, Result};
+use rand::Rng;
+
+/// The blended estimate for one collection round.
+#[derive(Debug, Clone)]
+pub struct BlendedEstimate {
+    /// Final blended count estimates (full-population scale).
+    pub counts: Vec<f64>,
+    /// The weight given to the opt-in (central) estimator per item.
+    pub central_weight: Vec<f64>,
+}
+
+/// The BLENDER-style hybrid protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct Blender {
+    d: u64,
+    epsilon: Epsilon,
+    opt_in_fraction: f64,
+}
+
+impl Blender {
+    /// Creates the protocol: domain `[0, d)`, per-user budget `epsilon`,
+    /// and the fraction of users who opt in to the trusted aggregator.
+    ///
+    /// # Errors
+    /// Rejects `d < 2` or fractions outside `[0, 1]`.
+    pub fn new(d: u64, epsilon: Epsilon, opt_in_fraction: f64) -> Result<Self> {
+        if d < 2 {
+            return Err(Error::InvalidDomain(format!("need d >= 2, got {d}")));
+        }
+        if !(0.0..=1.0).contains(&opt_in_fraction) {
+            return Err(Error::InvalidParameter(format!(
+                "opt_in_fraction must be in [0, 1], got {opt_in_fraction}"
+            )));
+        }
+        Ok(Self {
+            d,
+            epsilon,
+            opt_in_fraction,
+        })
+    }
+
+    /// Runs one collection round over the users' values. The first
+    /// `⌊n·ρ⌋` users are the opt-in group (in a deployment, opt-in status
+    /// is a user property; index order stands in for it).
+    pub fn collect<R: Rng>(&self, values: &[u64], rng: &mut R) -> BlendedEstimate {
+        let n = values.len();
+        let n_opt = (n as f64 * self.opt_in_fraction) as usize;
+        let (opt_in, local) = values.split_at(n_opt);
+
+        // Opt-in side: exact histogram + central DP noise.
+        let central = CentralHistogram::new(self.d, self.epsilon);
+        let central_counts = if opt_in.is_empty() {
+            vec![0.0; self.d as usize]
+        } else {
+            central.release(opt_in, rng)
+        };
+        let central_var = central.count_variance();
+
+        // Local side: OLH.
+        let oracle = OptimizedLocalHashing::new(self.d, self.epsilon);
+        let local_counts = if local.is_empty() {
+            vec![0.0; self.d as usize]
+        } else {
+            let mut agg = oracle.new_aggregator();
+            for &v in local {
+                agg.accumulate(&oracle.randomize(v, rng));
+            }
+            agg.estimate()
+        };
+        let local_var_floor = oracle.noise_floor_variance(local.len().max(1));
+
+        // Blend per item: scale each group's count to the full population,
+        // weight by inverse variance of the scaled estimators.
+        let mut counts = Vec::with_capacity(self.d as usize);
+        let mut weights = Vec::with_capacity(self.d as usize);
+        for i in 0..self.d as usize {
+            let (c_est, c_var, have_c) = if n_opt > 0 {
+                let scale = n as f64 / n_opt as f64;
+                (central_counts[i] * scale, central_var * scale * scale, true)
+            } else {
+                (0.0, f64::INFINITY, false)
+            };
+            let (l_est, l_var, have_l) = if n - n_opt > 0 {
+                let scale = n as f64 / (n - n_opt) as f64;
+                (local_counts[i] * scale, local_var_floor * scale * scale, true)
+            } else {
+                (0.0, f64::INFINITY, false)
+            };
+            let (blended, w_c) = match (have_c, have_l) {
+                (true, true) => {
+                    let w = l_var / (c_var + l_var);
+                    (w * c_est + (1.0 - w) * l_est, w)
+                }
+                (true, false) => (c_est, 1.0),
+                (false, true) => (l_est, 0.0),
+                (false, false) => (0.0, 0.0),
+            };
+            counts.push(blended);
+            weights.push(w_c);
+        }
+        BlendedEstimate {
+            counts,
+            central_weight: weights,
+        }
+    }
+
+    /// Analytical variance of the blended count estimate at the noise
+    /// floor, for `n` total users: `1/(1/v_c + 1/v_l)` of the scaled
+    /// group variances.
+    pub fn blended_variance(&self, n: usize) -> f64 {
+        let n_opt = (n as f64 * self.opt_in_fraction) as usize;
+        let n_loc = n - n_opt;
+        let mut inv = 0.0;
+        if n_opt > 0 {
+            let central = CentralHistogram::new(self.d, self.epsilon);
+            let scale = n as f64 / n_opt as f64;
+            inv += 1.0 / (central.count_variance() * scale * scale);
+        }
+        if n_loc > 0 {
+            let oracle = OptimizedLocalHashing::new(self.d, self.epsilon);
+            let scale = n as f64 / n_loc as f64;
+            inv += 1.0 / (oracle.noise_floor_variance(n_loc) * scale * scale);
+        }
+        if inv == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / inv
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn workload(n: usize, d: u64) -> Vec<u64> {
+        (0..n).map(|i| (i as u64 * 7) % d).collect()
+    }
+
+    #[test]
+    fn pure_local_and_pure_central_edges() {
+        let d = 16;
+        let mut rng = StdRng::seed_from_u64(1);
+        let values = workload(20_000, d);
+        for &rho in &[0.0, 1.0] {
+            let b = Blender::new(d, eps(1.0), rho).unwrap();
+            let est = b.collect(&values, &mut rng);
+            let total: f64 = est.counts.iter().sum();
+            assert!(
+                (total - 20_000.0).abs() < 4000.0,
+                "rho={rho}: total={total}"
+            );
+        }
+    }
+
+    #[test]
+    fn blending_beats_pure_local() {
+        let d = 64;
+        let n = 50_000;
+        let pure_local = Blender::new(d, eps(1.0), 0.0).unwrap().blended_variance(n);
+        let small_optin = Blender::new(d, eps(1.0), 0.05).unwrap().blended_variance(n);
+        let big_optin = Blender::new(d, eps(1.0), 0.5).unwrap().blended_variance(n);
+        assert!(small_optin < pure_local, "5% opt-in should already help");
+        assert!(big_optin < small_optin);
+    }
+
+    #[test]
+    fn central_weight_grows_with_opt_in() {
+        let d = 16;
+        let mut rng = StdRng::seed_from_u64(3);
+        let values = workload(30_000, d);
+        let w_small = Blender::new(d, eps(1.0), 0.02)
+            .unwrap()
+            .collect(&values, &mut rng)
+            .central_weight[0];
+        let w_big = Blender::new(d, eps(1.0), 0.3)
+            .unwrap()
+            .collect(&values, &mut rng)
+            .central_weight[0];
+        assert!(w_big > w_small, "w_small={w_small} w_big={w_big}");
+        assert!(w_small > 0.5, "even 2% opt-in dominates: {w_small}");
+    }
+
+    #[test]
+    fn estimates_accurate() {
+        let d = 16;
+        let n = 40_000usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        let values = workload(n, d);
+        let b = Blender::new(d, eps(1.0), 0.1).unwrap();
+        let est = b.collect(&values, &mut rng);
+        let mut truth = vec![0f64; d as usize];
+        for &v in &values {
+            truth[v as usize] += 1.0;
+        }
+        let sd = b.blended_variance(n).sqrt();
+        for i in 0..d as usize {
+            assert!(
+                (est.counts[i] - truth[i]).abs() < 6.0 * sd + 50.0,
+                "item {i}: est={} truth={} sd={sd}",
+                est.counts[i],
+                truth[i]
+            );
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Blender::new(1, eps(1.0), 0.5).is_err());
+        assert!(Blender::new(8, eps(1.0), -0.1).is_err());
+        assert!(Blender::new(8, eps(1.0), 1.1).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # `ldp-analytics` — LDP beyond frequency: the tutorial's research frontier
+//!
+//! §1.3 and §1.4 of the SIGMOD 2018 tutorial survey what the research
+//! community built *on top of* frequency oracles. This crate reproduces
+//! each direction:
+//!
+//! * [`hh`] — heavy hitters over massive domains: the prefix-extending
+//!   method (PEM / succinct histograms, Bassily–Smith STOC 2015) and its
+//!   TreeHist variant (Bassily–Nissim–Stemmer–Thakurta, NIPS 2017).
+//! * [`marginals`] — k-way marginals of multidimensional data via the
+//!   Fourier (Hadamard) basis (Cormode–Kulkarni–Srivastava), against full
+//!   materialization and direct per-marginal collection baselines.
+//! * [`spatial`] — private location collection (Chen et al., ICDE 2016):
+//!   uniform and adaptive grids, rectilinear range queries, hot-spot
+//!   detection.
+//! * [`graph`] — private degree distributions and LDPGen-style synthetic
+//!   graph generation (Qin et al., CCS 2017), plus the graph substrate
+//!   (adjacency structure, Barabási–Albert and SBM generators).
+//! * [`hybrid`] — the BLENDER model (Avent et al., USENIX Security 2017):
+//!   blending an opt-in population under central DP with an LDP majority.
+//! * [`central`] — central-DP baselines (Laplace/geometric histograms)
+//!   quantifying the `√n` accuracy gap that motivates the whole tutorial.
+//! * [`rounds`] — multi-round interactive collection (§1.4 "Multiple
+//!   Rounds"): adaptive two-phase frequency refinement.
+//! * [`itemset`] — set-valued data (Qin et al., CCS 2016): padding-and-
+//!   sampling frequency estimation and the two-phase LDPMiner.
+//! * [`hierarchy`] — rectilinear counting queries done right: b-ary
+//!   interval trees for O(log d)-error range counts, CDFs and quantiles.
+//! * [`language`] — private n-gram language modeling (the classical
+//!   counterpart of §1.3's deep-learning direction): bigram Markov models
+//!   with next-token prediction and perplexity evaluation.
+//! * [`movement`] — §1.3's open "user movement models" extension:
+//!   origin–destination matrices and mobility Markov chains over grids.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod central;
+pub mod graph;
+pub mod hh;
+pub mod hierarchy;
+pub mod hybrid;
+pub mod itemset;
+pub mod language;
+pub mod movement;
+pub mod marginals;
+pub mod rounds;
+pub mod spatial;

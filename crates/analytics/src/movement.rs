@@ -1,0 +1,264 @@
+//! User movement models: origin–destination flows under LDP.
+//!
+//! §1.3 leaves "more sophisticated user movement models" as an open
+//! extension of private location collection. This module implements the
+//! natural first step beyond static densities: the **origin–destination
+//! (OD) matrix** — how many users travel from grid cell `a` to grid cell
+//! `b` — collected privately by treating each user's (origin, destination)
+//! pair as a single value in the `g⁴`-sized product domain and running
+//! OLH over it (constant-size reports; the product-domain trick is the
+//! same one the marginal literature uses).
+//!
+//! On top of the OD matrix we derive a first-order *mobility Markov
+//! chain* (row-normalized transition probabilities) and the stationary
+//! flow profile — the "movement model" an urban-planning consumer would
+//! actually want.
+
+use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+use ldp_core::postprocess::clamp_nonnegative;
+use ldp_core::{Epsilon, Error, Result};
+use rand::Rng;
+
+use crate::spatial::Point;
+
+/// A single user's trip: where they started and where they ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trip {
+    /// Trip origin.
+    pub origin: Point,
+    /// Trip destination.
+    pub destination: Point,
+}
+
+/// The private OD-matrix collection protocol over a `g × g` grid.
+#[derive(Debug, Clone, Copy)]
+pub struct OdMatrixCollector {
+    g: u32,
+    epsilon: Epsilon,
+}
+
+/// The estimated origin–destination flows.
+#[derive(Debug, Clone)]
+pub struct OdMatrix {
+    g: u32,
+    /// `flows[origin_cell][dest_cell]`, full-population counts.
+    flows: Vec<Vec<f64>>,
+    n: usize,
+}
+
+impl OdMatrixCollector {
+    /// Creates the collector; the OD domain is `g⁴`, so `g ≤ 32` keeps
+    /// estimation tractable.
+    ///
+    /// # Errors
+    /// Rejects `g` outside `[2, 32]`.
+    pub fn new(g: u32, epsilon: Epsilon) -> Result<Self> {
+        if !(2..=32).contains(&g) {
+            return Err(Error::InvalidParameter(format!("g must be in [2, 32], got {g}")));
+        }
+        Ok(Self { g, epsilon })
+    }
+
+    /// Grid granularity.
+    pub fn granularity(&self) -> u32 {
+        self.g
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point) -> u64 {
+        let g = self.g as f64;
+        let cx = ((p.x * g) as u32).min(self.g - 1);
+        let cy = ((p.y * g) as u32).min(self.g - 1);
+        (cy * self.g + cx) as u64
+    }
+
+    /// Collects an OD matrix from one trip per user.
+    pub fn collect<R: Rng>(&self, trips: &[Trip], rng: &mut R) -> OdMatrix {
+        let cells = (self.g as u64) * (self.g as u64);
+        let oracle = OptimizedLocalHashing::new(cells * cells, self.epsilon);
+        let mut agg = oracle.new_aggregator();
+        for t in trips {
+            let v = self.cell_of(t.origin) * cells + self.cell_of(t.destination);
+            agg.accumulate(&oracle.randomize(v, rng));
+        }
+        let flat = agg.estimate();
+        let flows = (0..cells as usize)
+            .map(|o| flat[o * cells as usize..(o + 1) * cells as usize].to_vec())
+            .collect();
+        OdMatrix {
+            g: self.g,
+            flows,
+            n: trips.len(),
+        }
+    }
+}
+
+impl OdMatrix {
+    /// Grid granularity.
+    pub fn granularity(&self) -> u32 {
+        self.g
+    }
+
+    /// Trips collected.
+    pub fn reports(&self) -> usize {
+        self.n
+    }
+
+    /// Estimated number of trips from cell `origin` to cell `dest`
+    /// (row-major cell indices).
+    ///
+    /// # Panics
+    /// Panics on out-of-range cells.
+    pub fn flow(&self, origin: u64, dest: u64) -> f64 {
+        let cells = (self.g as u64) * (self.g as u64);
+        assert!(origin < cells && dest < cells, "cell out of range");
+        self.flows[origin as usize][dest as usize]
+    }
+
+    /// Total estimated outflow of a cell.
+    pub fn outflow(&self, origin: u64) -> f64 {
+        self.flows[origin as usize].iter().sum()
+    }
+
+    /// The top-`k` flows as `(origin, dest, estimate)`, descending.
+    pub fn top_flows(&self, k: usize) -> Vec<(u64, u64, f64)> {
+        let cells = (self.g as u64) * (self.g as u64);
+        let mut all: Vec<(u64, u64, f64)> = (0..cells)
+            .flat_map(|o| (0..cells).map(move |d| (o, d, 0.0)))
+            .collect();
+        for e in all.iter_mut() {
+            e.2 = self.flow(e.0, e.1);
+        }
+        all.sort_by(|a, b| b.2.total_cmp(&a.2));
+        all.truncate(k);
+        all
+    }
+
+    /// Row-normalized mobility transition matrix
+    /// `P(dest | origin)`; rows with no positive mass become uniform.
+    pub fn transition_matrix(&self) -> Vec<Vec<f64>> {
+        let cells = self.flows.len();
+        self.flows
+            .iter()
+            .map(|row| {
+                let clamped = clamp_nonnegative(row);
+                let total: f64 = clamped.iter().sum();
+                if total <= 0.0 {
+                    vec![1.0 / cells as f64; cells]
+                } else {
+                    clamped.iter().map(|&x| x / total).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Stationary distribution of the mobility chain, by power iteration
+    /// (50 rounds from uniform — plenty for these small, dense chains).
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        let p = self.transition_matrix();
+        let cells = p.len();
+        let mut dist = vec![1.0 / cells as f64; cells];
+        for _ in 0..50 {
+            let mut next = vec![0.0; cells];
+            for (o, row) in p.iter().enumerate() {
+                for (d, &pr) in row.iter().enumerate() {
+                    next[d] += dist[o] * pr;
+                }
+            }
+            dist = next;
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn point(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Commuter pattern on a 4x4 grid: 60% suburb (0.1,0.1) -> downtown
+    /// (0.9,0.9), 40% random trips.
+    fn trips(n: usize, seed: u64) -> Vec<Trip> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.6) {
+                    Trip {
+                        origin: point(0.1, 0.1),
+                        destination: point(0.9, 0.9),
+                    }
+                } else {
+                    Trip {
+                        origin: point(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                        destination: point(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dominant_flow_recovered() {
+        let collector = OdMatrixCollector::new(4, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = trips(60_000, 3);
+        let od = collector.collect(&data, &mut rng);
+        let top = od.top_flows(1)[0];
+        // Suburb cell (0,0) = 0; downtown cell (3,3) = 15.
+        assert_eq!((top.0, top.1), (0, 15), "top flow {top:?}");
+        assert!(
+            (top.2 - 36_000.0).abs() < 6000.0,
+            "flow estimate {}",
+            top.2
+        );
+    }
+
+    #[test]
+    fn transition_rows_are_distributions() {
+        let collector = OdMatrixCollector::new(3, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let od = collector.collect(&trips(20_000, 5), &mut rng);
+        for (o, row) in od.transition_matrix().iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {o} sums to {sum}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn stationary_mass_concentrates_downtown() {
+        let collector = OdMatrixCollector::new(4, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let od = collector.collect(&trips(60_000, 7), &mut rng);
+        let stationary = od.stationary_distribution();
+        let total: f64 = stationary.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        // Downtown (cell 15) should carry the most stationary mass.
+        let max_cell = (0..16).max_by(|&a, &b| stationary[a].total_cmp(&stationary[b])).expect("non-empty");
+        assert_eq!(max_cell, 15, "stationary {stationary:?}");
+    }
+
+    #[test]
+    fn outflow_consistent_with_flows() {
+        let collector = OdMatrixCollector::new(2, eps(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let od = collector.collect(&trips(10_000, 9), &mut rng);
+        let manual: f64 = (0..4).map(|d| od.flow(0, d)).sum();
+        assert!((od.outflow(0) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(OdMatrixCollector::new(1, eps(1.0)).is_err());
+        assert!(OdMatrixCollector::new(64, eps(1.0)).is_err());
+    }
+}

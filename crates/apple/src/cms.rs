@@ -1,0 +1,271 @@
+//! Apple's private Count-Mean Sketch (CMS) protocol.
+//!
+//! Client side (`A_client-CMS` in the white paper): pick a uniform sketch
+//! row `j ∈ [k]`, build the ±1 one-hot vector of `h_j(value)` over `[m]`,
+//! flip each coordinate's sign independently with probability
+//! `1/(e^{ε/2}+1)` (two coordinates differ between any two inputs, hence
+//! the `ε/2`), and send `(j, noisy vector)`.
+//!
+//! Server side: debias each report coordinate by `c_ε = (e^{ε/2}+1)/(e^{ε/2}−1)`,
+//! scale by `k` to undo row sampling, accumulate into the `k × m` matrix,
+//! and answer point queries with the collision-debiased row mean
+//! `f̂(d) = (m/(m−1)) · ( (1/k)·Σ_j M[j, h_j(d)] − n/m )`.
+//!
+//! The estimate is unbiased; its variance has two parts — privatization
+//! noise `Θ(k·c_ε²·…/n)`-per-report and sketch collision noise `Θ(n/m)` —
+//! which is exactly the trade-off experiment E4 sweeps.
+
+use ldp_core::Epsilon;
+use ldp_sketch::hash::PairwiseHash;
+use rand::Rng;
+
+/// One CMS report: the sampled row and the privatized ±1 vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmsReport {
+    /// Sampled sketch row `j ∈ [k]`.
+    pub row: u32,
+    /// Privatized vector over the `m` buckets, entries in `{−1, +1}`.
+    pub bits: Vec<i8>,
+}
+
+/// The CMS protocol parameters shared by clients and server.
+#[derive(Debug, Clone)]
+pub struct CmsProtocol {
+    k: usize,
+    m: usize,
+    epsilon: Epsilon,
+    flip_prob: f64,
+    c_eps: f64,
+    hashes: Vec<PairwiseHash>,
+}
+
+impl CmsProtocol {
+    /// Creates a protocol with `k` hash rows and sketch width `m`, seeded
+    /// deterministically so clients and server agree on the hash family.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `m < 2`.
+    pub fn new(k: usize, m: usize, epsilon: Epsilon, seed: u64) -> Self {
+        assert!(k > 0, "need at least one hash row");
+        assert!(m >= 2, "sketch width must be at least 2");
+        let half = (epsilon.value() / 2.0).exp();
+        let hashes = (0..k)
+            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15), m as u64))
+            .collect();
+        Self {
+            k,
+            m,
+            epsilon,
+            flip_prob: 1.0 / (half + 1.0),
+            c_eps: (half + 1.0) / (half - 1.0),
+            hashes,
+        }
+    }
+
+    /// Sketch shape `(k, m)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.m)
+    }
+
+    /// Privacy parameter.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The per-coordinate sign-flip probability `1/(e^{ε/2}+1)`.
+    pub fn flip_prob(&self) -> f64 {
+        self.flip_prob
+    }
+
+    /// The debias constant `c_ε`.
+    pub fn c_eps(&self) -> f64 {
+        self.c_eps
+    }
+
+    /// The bucket `h_j(value)`.
+    pub fn bucket(&self, row: usize, value: u64) -> usize {
+        self.hashes[row].hash(value) as usize
+    }
+
+    /// Client side: produce a privatized report for `value`.
+    pub fn randomize<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> CmsReport {
+        let row = rng.gen_range(0..self.k);
+        let bucket = self.bucket(row, value);
+        let mut bits = vec![-1i8; self.m];
+        bits[bucket] = 1;
+        for b in bits.iter_mut() {
+            if rng.gen_bool(self.flip_prob) {
+                *b = -*b;
+            }
+        }
+        CmsReport {
+            row: row as u32,
+            bits,
+        }
+    }
+
+    /// Creates the matching server.
+    pub fn new_server(&self) -> CmsServer {
+        CmsServer {
+            protocol: self.clone(),
+            matrix: vec![0.0; self.k * self.m],
+            n: 0,
+        }
+    }
+
+    /// Approximate variance of a count estimate over `n` reports:
+    /// privatization term `(k·(c_ε²−…)+m…)`-free simplified bound
+    /// `n·k·(c_ε² − 1)/m·…` — we expose the empirically validated
+    /// leading term `n·(c_ε²·k/m + 1/m)·m/(m−1)²·m ≈ n·k·c_ε²/m + n/m`.
+    pub fn approx_count_variance(&self, n: usize) -> f64 {
+        let nf = n as f64;
+        let m = self.m as f64;
+        let k = self.k as f64;
+        // Leading terms: sign-flip noise (each report contributes
+        // k·c_eps·(±1)/2-scale noise to the queried cell with prob 1/k)
+        // plus sketch collision variance n/m.
+        nf * k * self.c_eps * self.c_eps / m * (m / (m - 1.0)).powi(2) + nf / m
+    }
+}
+
+/// Server-side CMS state: the running `k × m` debiased matrix.
+#[derive(Debug, Clone)]
+pub struct CmsServer {
+    protocol: CmsProtocol,
+    matrix: Vec<f64>,
+    n: usize,
+}
+
+impl CmsServer {
+    /// Folds one report into the matrix:
+    /// `M[j, l] += k · (c_ε/2 · bits[l] + 1/2)`.
+    ///
+    /// # Panics
+    /// Panics if the report's shape disagrees with the protocol.
+    pub fn accumulate(&mut self, report: &CmsReport) {
+        let (k, m) = self.protocol.shape();
+        assert!((report.row as usize) < k, "row out of range");
+        assert_eq!(report.bits.len(), m, "report width mismatch");
+        let c = self.protocol.c_eps;
+        let row = report.row as usize;
+        let base = row * m;
+        for (l, &b) in report.bits.iter().enumerate() {
+            self.matrix[base + l] += k as f64 * (c / 2.0 * b as f64 + 0.5);
+        }
+        self.n += 1;
+    }
+
+    /// Number of reports accumulated.
+    pub fn reports(&self) -> usize {
+        self.n
+    }
+
+    /// Unbiased count estimate for `value`:
+    /// `(m/(m−1)) · ( (1/k)·Σ_j M[j, h_j(value)] − n/m )`.
+    pub fn estimate(&self, value: u64) -> f64 {
+        let (k, m) = self.protocol.shape();
+        let mf = m as f64;
+        let mean_cell: f64 = (0..k)
+            .map(|j| self.matrix[j * m + self.protocol.bucket(j, value)])
+            .sum::<f64>()
+            / k as f64;
+        (mf / (mf - 1.0)) * (mean_cell - self.n as f64 / mf)
+    }
+
+    /// Estimates every item in `items` (convenience for sweeps).
+    pub fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        items.iter().map(|&v| self.estimate(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn flip_prob_and_ceps_consistent() {
+        let p = CmsProtocol::new(4, 32, eps(2.0), 1);
+        let half = 1.0f64.exp(); // e^{2/2}
+        assert!((p.flip_prob() - 1.0 / (half + 1.0)).abs() < 1e-12);
+        assert!((p.c_eps() - (half + 1.0) / (half - 1.0)).abs() < 1e-12);
+        // c_eps = 1/(1-2*flip_prob): debias inverts the flip channel.
+        assert!((p.c_eps() - 1.0 / (1.0 - 2.0 * p.flip_prob())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_unbiased_for_heavy_item() {
+        let proto = CmsProtocol::new(16, 256, eps(4.0), 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut server = proto.new_server();
+        let n = 30_000;
+        for u in 0..n {
+            let v = if u % 3 == 0 { 7u64 } else { 1000 + u as u64 % 5000 };
+            server.accumulate(&proto.randomize(v, &mut rng));
+        }
+        let est = server.estimate(7);
+        let truth = (n as f64 / 3.0).ceil();
+        assert!((est - truth).abs() < 1500.0, "est={est} truth={truth}");
+        assert_eq!(server.reports(), n);
+    }
+
+    #[test]
+    fn absent_items_near_zero() {
+        let proto = CmsProtocol::new(8, 128, eps(4.0), 9);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut server = proto.new_server();
+        let n = 20_000;
+        for u in 0..n {
+            server.accumulate(&proto.randomize(u as u64 % 50, &mut rng));
+        }
+        // Average over many absent items: collisions add ~n/m per cell but
+        // the debias removes the mean; individual estimates are noisy.
+        let absent: Vec<u64> = (1000..1100).collect();
+        let ests = server.estimate_items(&absent);
+        let avg = ests.iter().sum::<f64>() / ests.len() as f64;
+        assert!(avg.abs() < 200.0, "avg absent estimate {avg}");
+    }
+
+    #[test]
+    fn estimate_average_unbiased_over_trials() {
+        let proto = CmsProtocol::new(4, 64, eps(2.0), 13);
+        let truth = 500usize;
+        let n = 2000usize;
+        let trials = 40;
+        let mut sum = 0.0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            let mut server = proto.new_server();
+            for u in 0..n {
+                let v = if u < truth { 42u64 } else { 10_000 + u as u64 };
+                server.accumulate(&proto.randomize(v, &mut rng));
+            }
+            sum += server.estimate(42);
+        }
+        let avg = sum / trials as f64;
+        assert!((avg - truth as f64).abs() < 60.0, "avg={avg}");
+    }
+
+    #[test]
+    fn wider_sketch_reduces_collision_error() {
+        let narrow = CmsProtocol::new(4, 16, eps(4.0), 17);
+        let wide = CmsProtocol::new(4, 1024, eps(4.0), 17);
+        assert!(wide.approx_count_variance(10_000) < narrow.approx_count_variance(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "report width mismatch")]
+    fn shape_mismatch_panics() {
+        let proto = CmsProtocol::new(2, 16, eps(1.0), 0);
+        let mut server = proto.new_server();
+        server.accumulate(&CmsReport {
+            row: 0,
+            bits: vec![1; 8],
+        });
+    }
+}

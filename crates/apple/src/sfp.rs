@@ -1,0 +1,327 @@
+//! The Sequence Fragment Puzzle (SFP): Apple's new-word discovery.
+//!
+//! Discovering strings outside any dictionary is harder than frequency
+//! estimation: fragments alone can be reassembled incorrectly ("face" +
+//! "time" vs "face" + "book"). Apple's trick is the *puzzle piece*: every
+//! fragment report carries an 8-bit hash of the **whole word**, so the
+//! server only joins fragments whose puzzle pieces match — collisions
+//! across different words are rare (1/256 per pair) and are filtered by a
+//! final frequency check.
+//!
+//! Protocol (white-paper structure, simulated dictionary-free):
+//! 1. Each client normalizes its word to a fixed length, picks a random
+//!    fragment position `pos`, and submits
+//!    `(pos, encode(fragment ‖ h₈(word)))` through a [`CmsProtocol`]
+//!    sketch for that position, plus `encode(word)` through a separate
+//!    whole-word sketch (budget split across the two submissions).
+//! 2. The server decodes frequent `(fragment, puzzle)` pairs per position,
+//!    groups them by puzzle byte, assembles one candidate word per puzzle
+//!    group (taking the best fragment per position), and ranks candidates
+//!    by their whole-word sketch estimate.
+
+use crate::cms::CmsProtocol;
+use ldp_core::{Epsilon, Error, Result};
+use ldp_sketch::hash::hash_bytes64;
+use rand::Rng;
+
+/// Normalization alphabet (same 40-symbol set as the RAPPOR discovery
+/// reproduction): `a–z`, `0–9`, `.`, `-`, `_`, pad.
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.-_";
+const PAD: u64 = 39;
+const RADIX: u64 = 40;
+
+fn symbol(b: u8) -> u64 {
+    match b {
+        b'a'..=b'z' => (b - b'a') as u64,
+        b'A'..=b'Z' => (b - b'A') as u64,
+        b'0'..=b'9' => 26 + (b - b'0') as u64,
+        b'.' => 36,
+        b'-' => 37,
+        b'_' => 38,
+        _ => 37,
+    }
+}
+
+fn normalize(s: &[u8], len: usize) -> Vec<u64> {
+    let mut out: Vec<u64> = s.iter().take(len).map(|&b| symbol(b)).collect();
+    out.resize(len, PAD);
+    out
+}
+
+fn pack_fragment(symbols: &[u64]) -> u64 {
+    symbols.iter().fold(0, |acc, &s| acc * RADIX + s)
+}
+
+fn unpack_fragment(mut v: u64, len: usize) -> String {
+    let mut chars = vec![0u8; len];
+    for i in (0..len).rev() {
+        let s = (v % RADIX) as usize;
+        chars[i] = if s == PAD as usize { b'*' } else { ALPHABET[s] };
+        v /= RADIX;
+    }
+    String::from_utf8(chars).expect("ascii alphabet")
+}
+
+/// 8-bit puzzle piece of a whole (normalized) word.
+fn puzzle_piece(word: &[u64]) -> u64 {
+    let bytes: Vec<u8> = word.iter().map(|&s| s as u8).collect();
+    hash_bytes64(&bytes) & 0xff
+}
+
+/// Whole-word sketch key.
+fn word_key(word: &[u64]) -> u64 {
+    let bytes: Vec<u8> = word.iter().map(|&s| s as u8).collect();
+    hash_bytes64(&bytes)
+}
+
+/// Configuration for [`SfpDiscovery`].
+#[derive(Debug, Clone)]
+pub struct SfpConfig {
+    /// Normalized word length (symbols).
+    pub word_len: usize,
+    /// Fragment length (must divide `word_len`).
+    pub fragment_len: usize,
+    /// Total per-user budget, split evenly between the fragment and
+    /// whole-word submissions.
+    pub epsilon: Epsilon,
+    /// Sketch rows `k` for both sketches.
+    pub sketch_rows: usize,
+    /// Sketch width `m` for both sketches.
+    pub sketch_width: usize,
+    /// How many top `(fragment, puzzle)` pairs to keep per position.
+    pub fragments_per_position: usize,
+}
+
+impl SfpConfig {
+    /// A configuration suitable for simulations: 6-symbol words, bigram
+    /// fragments, 1024-wide sketches.
+    pub fn simulation(epsilon: Epsilon) -> Self {
+        Self {
+            word_len: 6,
+            fragment_len: 2,
+            epsilon,
+            sketch_rows: 16,
+            sketch_width: 1024,
+            fragments_per_position: 8,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.word_len == 0 || self.fragment_len == 0 {
+            return Err(Error::InvalidParameter("lengths must be positive".into()));
+        }
+        if self.word_len % self.fragment_len != 0 {
+            return Err(Error::InvalidParameter(format!(
+                "fragment_len {} must divide word_len {}",
+                self.fragment_len, self.word_len
+            )));
+        }
+        if self.sketch_rows == 0 || self.sketch_width < 2 || self.fragments_per_position == 0 {
+            return Err(Error::InvalidParameter("sketch parameters out of range".into()));
+        }
+        Ok(())
+    }
+
+    fn positions(&self) -> usize {
+        self.word_len / self.fragment_len
+    }
+
+    fn fragment_domain(&self) -> u64 {
+        RADIX.pow(self.fragment_len as u32) * 256
+    }
+}
+
+/// A discovered word and its estimated count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredWord {
+    /// The recovered normalized word (pad symbols shown as `*`).
+    pub word: String,
+    /// Whole-word sketch estimate of its population count.
+    pub estimate: f64,
+}
+
+/// The SFP discovery protocol.
+#[derive(Debug)]
+pub struct SfpDiscovery {
+    config: SfpConfig,
+    fragment_sketches: Vec<CmsProtocol>,
+    word_sketch: CmsProtocol,
+}
+
+impl SfpDiscovery {
+    /// Creates the protocol, deriving per-position sketch seeds from
+    /// `seed`.
+    ///
+    /// # Errors
+    /// Propagates configuration validation failures.
+    pub fn new(config: SfpConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let half_eps = config.epsilon.split(2);
+        let fragment_sketches = (0..config.positions())
+            .map(|p| {
+                CmsProtocol::new(
+                    config.sketch_rows,
+                    config.sketch_width,
+                    half_eps,
+                    seed.wrapping_add(1 + p as u64),
+                )
+            })
+            .collect();
+        let word_sketch = CmsProtocol::new(config.sketch_rows, config.sketch_width, half_eps, seed);
+        Ok(Self {
+            config,
+            fragment_sketches,
+            word_sketch,
+        })
+    }
+
+    /// Runs discovery over a population of words. Each user submits one
+    /// fragment report (at a random position) and one whole-word report,
+    /// each at `ε/2`.
+    ///
+    /// Returns discovered words sorted by estimated count, descending.
+    pub fn run<R: Rng>(&self, population: &[&[u8]], rng: &mut R) -> Vec<DiscoveredWord> {
+        let cfg = &self.config;
+        let positions = cfg.positions();
+        let mut frag_servers: Vec<_> = self.fragment_sketches.iter().map(|s| s.new_server()).collect();
+        let mut word_server = self.word_sketch.new_server();
+
+        // ---- Collection. ----
+        for raw in population {
+            let word = normalize(raw, cfg.word_len);
+            let puzzle = puzzle_piece(&word);
+            let pos = rng.gen_range(0..positions);
+            let frag =
+                pack_fragment(&word[pos * cfg.fragment_len..(pos + 1) * cfg.fragment_len]);
+            let frag_value = frag * 256 + puzzle;
+            frag_servers[pos].accumulate(&self.fragment_sketches[pos].randomize(frag_value, rng));
+            word_server.accumulate(&self.word_sketch.randomize(word_key(&word), rng));
+        }
+
+        // ---- Decode frequent (fragment, puzzle) pairs per position. ----
+        let domain = cfg.fragment_domain();
+        let mut per_position: Vec<Vec<(u64, u64, f64)>> = Vec::with_capacity(positions);
+        for (pos, server) in frag_servers.iter().enumerate() {
+            let mut scored: Vec<(u64, u64, f64)> = (0..domain)
+                .map(|v| (v / 256, v % 256, server.estimate(v)))
+                .collect();
+            scored.sort_by(|a, b| b.2.total_cmp(&a.2));
+            scored.truncate(cfg.fragments_per_position);
+            scored.retain(|&(_, _, e)| e > 0.0);
+            per_position.push(scored);
+            let _ = pos;
+        }
+
+        // ---- Assemble: group by puzzle byte, take the best fragment per
+        // position within each group. ----
+        let mut candidates: Vec<Vec<u64>> = Vec::new();
+        let puzzles: std::collections::BTreeSet<u64> = per_position
+            .iter()
+            .flat_map(|frags| frags.iter().map(|&(_, p, _)| p))
+            .collect();
+        for puzzle in puzzles {
+            // Require a matching fragment at every position.
+            let mut word_syms: Vec<u64> = Vec::with_capacity(cfg.word_len);
+            let mut complete = true;
+            for frags in &per_position {
+                match frags
+                    .iter()
+                    .filter(|&&(_, p, _)| p == puzzle)
+                    .max_by(|a, b| a.2.total_cmp(&b.2))
+                {
+                    Some(&(frag, _, _)) => {
+                        let mut syms = vec![0u64; cfg.fragment_len];
+                        let mut v = frag;
+                        for i in (0..cfg.fragment_len).rev() {
+                            syms[i] = v % RADIX;
+                            v /= RADIX;
+                        }
+                        word_syms.extend(syms);
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            // The puzzle byte must verify against the assembled word.
+            if complete && puzzle_piece(&word_syms) == puzzle {
+                candidates.push(word_syms);
+            }
+        }
+
+        // ---- Rank by whole-word sketch estimate. ----
+        let mut out: Vec<DiscoveredWord> = candidates
+            .into_iter()
+            .map(|syms| DiscoveredWord {
+                word: syms
+                    .chunks(cfg.fragment_len)
+                    .map(|c| unpack_fragment(pack_fragment(c), cfg.fragment_len))
+                    .collect::<Vec<_>>()
+                    .join(""),
+                estimate: word_server.estimate(word_key(&syms)),
+            })
+            .filter(|d| d.estimate > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn puzzle_piece_is_8_bits_and_stable() {
+        let w = normalize(b"foobar", 6);
+        let p1 = puzzle_piece(&w);
+        let p2 = puzzle_piece(&w);
+        assert_eq!(p1, p2);
+        assert!(p1 < 256);
+        assert_ne!(puzzle_piece(&normalize(b"foobar", 6)), puzzle_piece(&normalize(b"foobaz", 6)));
+    }
+
+    #[test]
+    fn fragment_pack_unpack_roundtrip() {
+        for s in [b"ab".as_slice(), b"z9", b".."] {
+            let syms = normalize(s, 2);
+            let packed = pack_fragment(&syms);
+            assert_eq!(unpack_fragment(packed, 2).as_bytes(), s.to_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn discovers_popular_words() {
+        let config = SfpConfig::simulation(Epsilon::new(6.0).unwrap());
+        let sfp = SfpDiscovery::new(config, 99).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut population: Vec<&[u8]> = Vec::new();
+        for i in 0..20_000 {
+            population.push(match i % 10 {
+                0..=5 => b"selfie",
+                6..=8 => b"emojis",
+                _ => b"xq1-z0",
+            });
+        }
+        let found = sfp.run(&population, &mut rng);
+        assert!(!found.is_empty(), "should discover words");
+        assert_eq!(found[0].word, "selfie", "top word: {found:?}");
+        assert!(
+            found.iter().any(|d| d.word == "emojis"),
+            "emojis should be found: {found:?}"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = SfpConfig::simulation(Epsilon::new(2.0).unwrap());
+        c.fragment_len = 4; // does not divide 6
+        assert!(SfpDiscovery::new(c, 0).is_err());
+        let mut c = SfpConfig::simulation(Epsilon::new(2.0).unwrap());
+        c.sketch_rows = 0;
+        assert!(SfpDiscovery::new(c, 0).is_err());
+    }
+}

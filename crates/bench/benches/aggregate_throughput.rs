@@ -1,0 +1,99 @@
+//! Server-side aggregation and estimation cost — accumulate must be O(1)
+//! amortized per report, estimation linear with small constants.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ldp_apple::hcms::HcmsProtocol;
+use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing, OptimizedUnaryEncoding};
+use ldp_core::Epsilon;
+use ldp_rappor::{RapporAggregator, RapporClient, RapporParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_aggregate(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 10_000usize;
+
+    let mut group = c.benchmark_group("server_aggregate");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(n as u64));
+
+    // OUE: bit-packed accumulate over d=1024.
+    {
+        let oracle = OptimizedUnaryEncoding::new(1024, eps).expect("valid domain");
+        let reports: Vec<_> = (0..n).map(|i| oracle.randomize((i % 1024) as u64, &mut rng)).collect();
+        group.bench_function("oue_d1024_accumulate_10k", |b| {
+            b.iter(|| {
+                let mut agg = oracle.new_aggregator();
+                for r in &reports {
+                    agg.accumulate(black_box(r));
+                }
+                agg.reports()
+            })
+        });
+    }
+
+    // OLH: accumulate is a push; estimation is the expensive side.
+    {
+        let oracle = OptimizedLocalHashing::new(1 << 20, eps);
+        let reports: Vec<_> = (0..n).map(|i| oracle.randomize((i % 1000) as u64, &mut rng)).collect();
+        let mut agg = oracle.new_aggregator();
+        for r in &reports {
+            agg.accumulate(r);
+        }
+        let candidates: Vec<u64> = (0..100).collect();
+        group.bench_function("olh_estimate_100_items_over_10k_reports", |b| {
+            b.iter(|| agg.estimate_items(black_box(&candidates)))
+        });
+    }
+
+    // HCMS: accumulate + one FWHT sweep per estimate batch.
+    {
+        let proto = HcmsProtocol::new(64, 1024, Epsilon::new(4.0).expect("valid eps"), 5);
+        let reports: Vec<_> = (0..n).map(|i| proto.randomize((i % 50) as u64, &mut rng)).collect();
+        group.bench_function("hcms_accumulate_10k", |b| {
+            b.iter(|| {
+                let mut server = proto.new_server();
+                for r in &reports {
+                    server.accumulate(black_box(r));
+                }
+                server.reports()
+            })
+        });
+        let mut server = proto.new_server();
+        for r in &reports {
+            server.accumulate(r);
+        }
+        let items: Vec<u64> = (0..50).collect();
+        group.bench_function("hcms_estimate_50_items", |b| {
+            b.iter(|| server.estimate_items(black_box(&items)))
+        });
+    }
+
+    // RAPPOR: accumulate + LASSO/OLS decode of 100 candidates.
+    {
+        let params = RapporParams::small(8).expect("valid params");
+        let reports: Vec<_> = (0..2000)
+            .map(|i| {
+                let mut client = RapporClient::with_random_cohort(params.clone(), &mut rng);
+                client.report(format!("url-{}", i % 20).as_bytes(), &mut rng)
+            })
+            .collect();
+        let mut agg = RapporAggregator::new(params.clone());
+        for r in &reports {
+            agg.accumulate(r);
+        }
+        let names: Vec<String> = (0..100).map(|i| format!("url-{i}")).collect();
+        let candidates: Vec<&[u8]> = names.iter().map(|s| s.as_bytes()).collect();
+        group.bench_function("rappor_decode_100_candidates", |b| {
+            b.iter(|| agg.decode(black_box(&candidates)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Client-side encoding cost per mechanism — the "Internet scale" claim:
+//! a report must cost microseconds on-device.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_apple::cms::CmsProtocol;
+use ldp_apple::hcms::HcmsProtocol;
+use ldp_core::fo::{
+    DirectEncoding, FrequencyOracle, HadamardResponse, OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+};
+use ldp_core::rr::BinaryRandomizedResponse;
+use ldp_core::Epsilon;
+use ldp_microsoft::OneBitMean;
+use ldp_rappor::{RapporClient, RapporParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encode(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let mut group = c.benchmark_group("client_encode");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    group.bench_function("binary_rr", |b| {
+        let rr = BinaryRandomizedResponse::new(eps);
+        b.iter(|| rr.randomize(black_box(true), &mut rng))
+    });
+
+    group.bench_function("grr_d1024", |b| {
+        let m = DirectEncoding::new(1024, eps).expect("valid domain");
+        b.iter(|| m.randomize(black_box(17), &mut rng))
+    });
+
+    for d in [256u64, 4096] {
+        group.bench_with_input(BenchmarkId::new("oue", d), &d, |b, &d| {
+            let m = OptimizedUnaryEncoding::new(d, eps).expect("valid domain");
+            b.iter(|| m.randomize(black_box(17), &mut rng))
+        });
+    }
+
+    group.bench_function("olh_d2^30", |b| {
+        let m = OptimizedLocalHashing::new(1 << 30, eps);
+        b.iter(|| m.randomize(black_box(123_456), &mut rng))
+    });
+
+    group.bench_function("hr_d2^20", |b| {
+        let m = HadamardResponse::new(1 << 20, eps);
+        b.iter(|| m.randomize(black_box(123_456), &mut rng))
+    });
+
+    group.bench_function("rappor_report", |b| {
+        let params = RapporParams::chrome_default(64).expect("valid params");
+        let mut client = RapporClient::new(params, 3, &mut rng);
+        b.iter(|| client.report(black_box(b"example.com"), &mut rng))
+    });
+
+    group.bench_function("apple_cms_m1024", |b| {
+        let proto = CmsProtocol::new(64, 1024, Epsilon::new(4.0).expect("valid eps"), 9);
+        b.iter(|| proto.randomize(black_box(42), &mut rng))
+    });
+
+    group.bench_function("apple_hcms_m1024", |b| {
+        let proto = HcmsProtocol::new(64, 1024, Epsilon::new(4.0).expect("valid eps"), 9);
+        b.iter(|| proto.randomize(black_box(42), &mut rng))
+    });
+
+    group.bench_function("microsoft_1bit", |b| {
+        let m = OneBitMean::new(eps, 3600.0).expect("valid range");
+        b.iter(|| m.randomize(black_box(900.0), &mut rng))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

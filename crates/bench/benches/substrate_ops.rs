@@ -1,0 +1,92 @@
+//! Substrate microbenchmarks: hashing, bit vectors, sketches, FWHT, and
+//! the regression used by RAPPOR decoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_sketch::hash::{hash_bytes64, mix64, HashFamily, PairwiseHash};
+use ldp_sketch::linalg::{lasso, least_squares, Matrix};
+use ldp_sketch::{fwht, BitVec, BloomFilter, CountMeanSketch, CountMinSketch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("mix64", |b| b.iter(|| mix64(black_box(0xdead_beef))));
+
+    group.bench_function("hash_family", |b| {
+        let fam = HashFamily::new(1024);
+        b.iter(|| fam.hash(black_box(123_456), black_box(7)))
+    });
+
+    group.bench_function("pairwise_hash", |b| {
+        let h = PairwiseHash::from_seed(3, 1024);
+        b.iter(|| h.hash(black_box(123_456)))
+    });
+
+    group.bench_function("hash_bytes64_24B", |b| {
+        b.iter(|| hash_bytes64(black_box(b"https://www.example.com/")))
+    });
+
+    group.bench_function("bitvec_accumulate_1024", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bv = BitVec::from_bools((0..1024).map(|_| rng.gen_bool(0.5)));
+        let mut acc = vec![0u64; 1024];
+        b.iter(|| bv.accumulate_into(black_box(&mut acc)))
+    });
+
+    group.bench_function("bloom_insert", |b| {
+        let mut f = BloomFilter::new(128, 2, 0);
+        b.iter(|| f.insert(black_box(b"example.com")))
+    });
+
+    group.bench_function("cms_insert", |b| {
+        let mut s = CountMinSketch::new(4, 1024, 1);
+        b.iter(|| s.insert(black_box(42)))
+    });
+
+    group.bench_function("count_mean_estimate", |b| {
+        let mut s = CountMeanSketch::new(16, 1024, 1);
+        for i in 0..10_000u64 {
+            s.insert_weighted(i % 100, 1.0);
+        }
+        b.iter(|| s.estimate(black_box(7)))
+    });
+
+    for size in [256usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("fwht", size), &size, |b, &size| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut v: Vec<f64> = (0..size).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            b.iter(|| fwht(black_box(&mut v)))
+        });
+    }
+
+    group.bench_function("least_squares_128x32", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::from_vec(
+            128,
+            32,
+            (0..128 * 32).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        );
+        let y: Vec<f64> = (0..128).map(|_| rng.gen_range(0.0..10.0)).collect();
+        b.iter(|| least_squares(black_box(&a), black_box(&y)))
+    });
+
+    group.bench_function("lasso_128x32", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Matrix::from_vec(
+            128,
+            32,
+            (0..128 * 32).map(|_| if rng.gen_bool(0.2) { 1.0 } else { 0.0 }).collect(),
+        );
+        let y: Vec<f64> = (0..128).map(|_| rng.gen_range(0.0..10.0)).collect();
+        b.iter(|| lasso(black_box(&a), black_box(&y), 1.0, true, 100, 1e-6))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

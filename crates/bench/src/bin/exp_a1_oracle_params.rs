@@ -1,0 +1,64 @@
+//! Ablation A1 — mechanism-internal parameter choices.
+//!
+//! The tutorial's design-space lesson is that the "optimized" mechanisms
+//! are *optimized over a parameter*: OLH over the hash range `g`, THE
+//! over the threshold `θ`, subset selection over the subset size `k`.
+//! This ablation sweeps each parameter and verifies the implemented
+//! optimum sits at the analytical minimum.
+
+use ldp_core::fo::{FrequencyOracle, LocalHashing, SubsetSelection, ThresholdHistogramEncoding};
+use ldp_core::Epsilon;
+use ldp_workloads::ExperimentTable;
+
+fn main() {
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let n = 10_000;
+    let d = 1024u64;
+
+    // --- OLH: variance vs g (optimum at g = e^eps + 1 ≈ 3.7). ---
+    let mut t1 = ExperimentTable::new(
+        "A1a: local hashing noise floor vs hash range g (eps=1; optimum near e^eps+1≈3.7)",
+        &["g", "variance/n"],
+    );
+    for &g in &[2u64, 3, 4, 6, 8, 16, 64] {
+        let lh = LocalHashing::with_g(d, g, eps);
+        t1.row(&[g.to_string(), format!("{:.3}", lh.noise_floor_variance(n) / n as f64)]);
+    }
+    t1.print();
+
+    // --- THE: variance vs theta (optimum from golden-section search). ---
+    let mut t2 = ExperimentTable::new(
+        "A1b: THE noise floor vs threshold theta (eps=1)",
+        &["theta", "variance/n"],
+    );
+    let opt = ThresholdHistogramEncoding::optimal_theta(eps);
+    for &theta in &[0.55, 0.65, 0.75, 0.85, 0.95, 1.0] {
+        let the = ThresholdHistogramEncoding::with_theta(64, eps, theta).expect("valid theta");
+        t2.row(&[
+            format!("{theta}"),
+            format!("{:.3}", the.noise_floor_variance(n) / n as f64),
+        ]);
+    }
+    let the_opt = ThresholdHistogramEncoding::with_theta(64, eps, opt).expect("valid theta");
+    t2.row(&[
+        format!("{opt:.4} (opt)"),
+        format!("{:.3}", the_opt.noise_floor_variance(n) / n as f64),
+    ]);
+    t2.print();
+
+    // --- SS: variance vs subset size k (optimum near d/(e^eps+1)). ---
+    let mut t3 = ExperimentTable::new(
+        "A1c: subset selection noise floor vs k (d=1024, eps=1; optimum near d/(e^eps+1)≈275)",
+        &["k", "variance/n"],
+    );
+    for &k in &[1u64, 16, 64, 128, 275, 512, 900] {
+        let ss = SubsetSelection::with_k(d, k, eps);
+        t3.row(&[k.to_string(), format!("{:.3}", ss.noise_floor_variance(n) / n as f64)]);
+    }
+    let auto = SubsetSelection::new(d, eps);
+    t3.row(&[
+        format!("{} (auto)", auto.k()),
+        format!("{:.3}", auto.noise_floor_variance(n) / n as f64),
+    ]);
+    t3.print();
+}

@@ -1,0 +1,95 @@
+//! Ablation A3 — hierarchical vs flat range queries (§1.3's rectilinear
+//! counting primitive).
+//!
+//! Sweeps range length: flat histograms accumulate one noise term per
+//! cell (error ∝ √length), the b-ary interval tree needs only
+//! O(b·log_b d) terms (error ≈ flat for short ranges, far better for
+//! long ones). Also sweeps the branching factor.
+
+use ldp_analytics::hierarchy::{flat_range_count, HierarchicalHistogram};
+use ldp_core::Epsilon;
+use ldp_workloads::{ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn values(n: usize, d: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a: u64 = rng.gen_range(0..d);
+            let b: u64 = rng.gen_range(0..d);
+            a.min(b)
+        })
+        .collect()
+}
+
+fn main() {
+    let trials = Trials::new(5, 71);
+    let d = 1024u64;
+    let n = 60_000;
+    let eps = Epsilon::new(1.0).expect("valid eps");
+
+    let mut t1 = ExperimentTable::new(
+        "A3a: range-count abs error vs range length (d=1024, n=60k, eps=1, b=4)",
+        &["length", "hierarchical", "flat"],
+    );
+    for &len in &[8u64, 32, 128, 512, 1000] {
+        let lo = 10u64;
+        let hi = lo + len;
+        let hier = trials.run(|seed| {
+            let vals = values(n, d, seed);
+            let truth = vals.iter().filter(|&&v| v >= lo && v < hi).count() as f64;
+            let mut rng = StdRng::seed_from_u64(seed ^ 1);
+            let h = HierarchicalHistogram::new(d, 4, eps).expect("valid tree");
+            (h.collect(&vals, &mut rng).range_count(lo, hi) - truth).abs()
+        });
+        let flat = trials.run(|seed| {
+            let vals = values(n, d, seed);
+            let truth = vals.iter().filter(|&&v| v >= lo && v < hi).count() as f64;
+            let mut rng = StdRng::seed_from_u64(seed ^ 2);
+            (flat_range_count(&vals, d, lo, hi, eps, &mut rng) - truth).abs()
+        });
+        t1.row(&[
+            len.to_string(),
+            format!("{:.0}", hier.mean),
+            format!("{:.0}", flat.mean),
+        ]);
+    }
+    t1.print();
+
+    let mut t2 = ExperimentTable::new(
+        "A3b: branching-factor ablation (range [10, 522), d=1024)",
+        &["b", "depth", "abs error"],
+    );
+    for &b in &[2u64, 4, 8, 16] {
+        let h = HierarchicalHistogram::new(d, b, eps).expect("valid tree");
+        let depth = h.depth();
+        let err = trials.run(|seed| {
+            let vals = values(n, d, seed);
+            let truth = vals.iter().filter(|&&v| (10..522).contains(&v)).count() as f64;
+            let mut rng = StdRng::seed_from_u64(seed ^ 3);
+            let h = HierarchicalHistogram::new(d, b, eps).expect("valid tree");
+            (h.collect(&vals, &mut rng).range_count(10, 522) - truth).abs()
+        });
+        t2.row(&[b.to_string(), depth.to_string(), format!("{:.0}", err.mean)]);
+    }
+    t2.print();
+
+    let mut t3 = ExperimentTable::new(
+        "A3c: private quantile error (d=1024, n=60k, eps=1, b=4)",
+        &["q", "abs error (domain units)"],
+    );
+    for &q in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+        let err = trials.run(|seed| {
+            let vals = values(n, d, seed);
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let truth = sorted[(q * n as f64) as usize] as f64;
+            let mut rng = StdRng::seed_from_u64(seed ^ 4);
+            let h = HierarchicalHistogram::new(d, 4, eps).expect("valid tree");
+            (h.collect(&vals, &mut rng).quantile(q) as f64 - truth).abs()
+        });
+        t3.row(&[format!("{q}"), format!("{:.1}", err.mean)]);
+    }
+    t3.print();
+}

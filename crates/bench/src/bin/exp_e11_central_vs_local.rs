@@ -1,0 +1,56 @@
+//! Experiment E11 — the central-vs-local accuracy gap (§1.5).
+//!
+//! The tutorial's core motivation: with a trusted aggregator, histogram
+//! error is Θ(1/ε) per cell *independent of n*; under LDP it is
+//! Θ(√n/ε). Reproduces both scalings and the resulting relative-error
+//! picture ("LDP needs quadratically more users for the same relative
+//! accuracy").
+//!
+//! Expected shape: central MAE flat in n; local MAE grows as √n; relative
+//! error (MAE / (n/d)) falls as 1/√n under LDP, as 1/n centrally.
+
+use ldp_analytics::central::CentralHistogram;
+use ldp_core::fo::{collect_counts, OptimizedLocalHashing};
+use ldp_core::Epsilon;
+use ldp_workloads::gen::{exact_counts, ZipfGenerator};
+use ldp_workloads::{metrics, ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials = Trials::new(5, 23);
+    let d = 64u64;
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let zipf = ZipfGenerator::new(d, 1.0).expect("valid zipf");
+
+    let mut t = ExperimentTable::new(
+        "E11: histogram MAE, central vs local, vs n (d=64, eps=1)",
+        &["n", "central MAE", "local (OLH) MAE", "gap factor", "sqrt(n)"],
+    );
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let central = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let values = zipf.sample_n(n, &mut rng);
+            let truth = exact_counts(&values, d);
+            let mech = CentralHistogram::new(d, eps);
+            let est = mech.release(&values, &mut rng);
+            metrics::mae(&est, &truth)
+        });
+        let local = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let values = zipf.sample_n(n, &mut rng);
+            let truth = exact_counts(&values, d);
+            let oracle = OptimizedLocalHashing::new(d, eps);
+            let est = collect_counts(&oracle, &values, &mut rng);
+            metrics::mae(&est, &truth)
+        });
+        t.row(&[
+            n.to_string(),
+            format!("{:.1}", central.mean),
+            format!("{:.1}", local.mean),
+            format!("{:.0}", local.mean / central.mean),
+            format!("{:.0}", (n as f64).sqrt()),
+        ]);
+    }
+    t.print();
+}

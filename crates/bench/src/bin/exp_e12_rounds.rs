@@ -1,0 +1,89 @@
+//! Experiment E12 — the power of multiple rounds (§1.4).
+//!
+//! Reproduces the two-round adaptive protocol's trade-off: head-item MSE
+//! vs the round-1 fraction, against the one-round baseline, in and out of
+//! the winning regime (`k + 1 ≪ 3e^ε + 2`).
+//!
+//! Expected shape: a U-curve in the round-1 fraction (too few users →
+//! wrong head selected; too many → round 2 starved); a clear win over one
+//! round at ε=2, k=4; no win at ε=1, k=8 (the regime boundary the
+//! `ldp-analytics::rounds` docs derive).
+
+use ldp_analytics::rounds::TwoRoundProtocol;
+use ldp_core::Epsilon;
+use ldp_workloads::gen::{exact_counts, ZipfGenerator};
+use ldp_workloads::{ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn head_mse(proto: &TwoRoundProtocol, values: &[u64], truth: &[f64], k: usize, seed: u64, two_round: bool) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let counts = if two_round {
+        proto.collect(values, &mut rng).counts
+    } else {
+        proto.one_round_baseline(values, &mut rng)
+    };
+    (0..k).map(|i| (counts[i] - truth[i]).powi(2)).sum::<f64>() / k as f64
+}
+
+fn main() {
+    let trials = Trials::new(12, 41);
+    let d = 512u64;
+    let n = 50_000;
+    let zipf = ZipfGenerator::new(d, 1.4).expect("valid zipf");
+
+    let mut t1 = ExperimentTable::new(
+        "E12a: head MSE vs round-1 fraction (d=512, k=4, eps=2, n=50k)",
+        &["round-1 fraction", "two-round MSE", "one-round MSE"],
+    );
+    for &frac in &[0.1, 0.2, 0.3, 0.5, 0.7] {
+        let proto = TwoRoundProtocol::new(d, 4, frac, Epsilon::new(2.0).expect("valid eps"))
+            .expect("valid protocol");
+        let two = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let values = zipf.sample_n(n, &mut rng);
+            let truth = exact_counts(&values, d);
+            head_mse(&proto, &values, &truth, 4, seed ^ 1, true)
+        });
+        let one = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let values = zipf.sample_n(n, &mut rng);
+            let truth = exact_counts(&values, d);
+            head_mse(&proto, &values, &truth, 4, seed ^ 2, false)
+        });
+        t1.row(&[
+            format!("{frac}"),
+            format!("{:.0}", two.mean),
+            format!("{:.0}", one.mean),
+        ]);
+    }
+    t1.print();
+
+    let mut t2 = ExperimentTable::new(
+        "E12b: regime boundary — two-round win factor vs (eps, k)",
+        &["eps", "k", "3e^eps+2", "one-round/two-round MSE"],
+    );
+    for &(e, k) in &[(0.5, 4usize), (1.0, 8), (2.0, 4), (2.0, 16), (3.0, 8)] {
+        let proto = TwoRoundProtocol::new(d, k, 0.3, Epsilon::new(e).expect("valid eps"))
+            .expect("valid protocol");
+        let two = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let values = zipf.sample_n(n, &mut rng);
+            let truth = exact_counts(&values, d);
+            head_mse(&proto, &values, &truth, k, seed ^ 3, true)
+        });
+        let one = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let values = zipf.sample_n(n, &mut rng);
+            let truth = exact_counts(&values, d);
+            head_mse(&proto, &values, &truth, k, seed ^ 4, false)
+        });
+        t2.row(&[
+            format!("{e}"),
+            k.to_string(),
+            format!("{:.1}", 3.0 * e.exp() + 2.0),
+            format!("{:.2}", one.mean / two.mean),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,87 @@
+//! Experiment E1 — §1.1's statistical toolkit on randomized response.
+//!
+//! Reproduces the tutorial's opening claims: Warner's randomized response
+//! is unbiased; its estimator variance follows the closed form
+//! `λ(1−λ)/(n(2p−1)²)`; and normal-approximation confidence intervals
+//! achieve their nominal coverage. Prints error vs n, error vs ε, and CI
+//! coverage.
+
+use ldp_core::estimate::ConfidenceInterval;
+use ldp_core::rr::BinaryRandomizedResponse;
+use ldp_core::Epsilon;
+use ldp_workloads::{ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_trial(eps: f64, n: usize, pi: f64, seed: u64) -> (f64, bool) {
+    let rr = BinaryRandomizedResponse::new(Epsilon::new(eps).expect("valid eps"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ones = (0..n)
+        .filter(|&i| rr.randomize((i as f64) < pi * n as f64, &mut rng))
+        .count();
+    let est = rr.estimate_proportion(ones, n);
+    let ci = ConfidenceInterval::normal_approx(est, rr.conditional_variance(n), 0.95);
+    ((est - pi).abs(), ci.contains(pi))
+}
+
+fn main() {
+    let pi = 0.3;
+    let trials = Trials::new(50, 42);
+
+    // --- Error vs population size (eps = 1). ---
+    let mut t1 = ExperimentTable::new(
+        "E1a: RR absolute error vs n (eps=1, true pi=0.3)",
+        &["n", "mean |err|", "predicted sd", "ratio"],
+    );
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let stats = trials.run(|seed| run_trial(1.0, n, pi, seed).0);
+        let rr = BinaryRandomizedResponse::new(Epsilon::new(1.0).expect("valid eps"));
+        let sd = rr.conditional_variance(n).sqrt();
+        // E|err| of a Gaussian = sd * sqrt(2/pi).
+        let predicted_mean_abs = sd * (2.0 / std::f64::consts::PI).sqrt();
+        t1.row(&[
+            n.to_string(),
+            format!("{:.5}", stats.mean),
+            format!("{:.5}", predicted_mean_abs),
+            format!("{:.2}", stats.mean / predicted_mean_abs),
+        ]);
+    }
+    t1.print();
+
+    // --- Error vs epsilon (n = 100k). ---
+    let mut t2 = ExperimentTable::new(
+        "E1b: RR absolute error vs eps (n=100000)",
+        &["eps", "mean |err|", "e^eps"],
+    );
+    for &eps in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+        let stats = trials.run(|seed| run_trial(eps, 100_000, pi, seed).0);
+        t2.row(&[
+            format!("{eps}"),
+            format!("{:.5}", stats.mean),
+            format!("{:.2}", eps.exp()),
+        ]);
+    }
+    t2.print();
+
+    // --- CI coverage. ---
+    let mut t3 = ExperimentTable::new(
+        "E1c: 95% CI coverage (should be ~0.95)",
+        &["eps", "n", "coverage"],
+    );
+    let coverage_trials = Trials::new(200, 7);
+    for &(eps, n) in &[(0.5, 10_000usize), (1.0, 10_000), (2.0, 1_000)] {
+        let cover = coverage_trials.run(|seed| {
+            if run_trial(eps, n, pi, seed).1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        t3.row(&[
+            format!("{eps}"),
+            n.to_string(),
+            format!("{:.3}", cover.mean),
+        ]);
+    }
+    t3.print();
+}

@@ -1,0 +1,112 @@
+//! Experiment E2 — the frequency-oracle design space (Wang et al.,
+//! USENIX Security 2017, Fig. 2 / Tab. 2 shape).
+//!
+//! Regenerates the tutorial's central comparison:
+//! * analytical noise-floor variance per mechanism vs ε and vs d;
+//! * empirical MSE agreeing with the analytical floor;
+//! * the GRR↔OUE crossover at `d = 3e^ε + 2`;
+//! * communication cost per report.
+//!
+//! Expected shape: OUE ≈ OLH ≈ HR share the optimal floor
+//! `4e^ε/(e^ε−1)²·n`; SUE is a constant factor worse; SHE worse still;
+//! GRR degrades linearly in d but wins below the crossover.
+
+use ldp_core::fo::{
+    collect_counts, DirectEncoding, FrequencyOracle, HadamardResponse, OptimizedLocalHashing,
+    OptimizedUnaryEncoding, SummationHistogramEncoding, SymmetricUnaryEncoding,
+    ThresholdHistogramEncoding,
+};
+use ldp_core::Epsilon;
+use ldp_workloads::gen::{exact_counts, ZipfGenerator};
+use ldp_workloads::{metrics, ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn analytical_row(d: u64, eps: Epsilon, n: usize) -> Vec<f64> {
+    vec![
+        DirectEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
+        SymmetricUnaryEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
+        OptimizedUnaryEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
+        ThresholdHistogramEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
+        SummationHistogramEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
+        OptimizedLocalHashing::new(d, eps).noise_floor_variance(n),
+        HadamardResponse::new(d, eps).noise_floor_variance(n),
+    ]
+}
+
+fn main() {
+    let n = 10_000usize;
+    const NAMES: [&str; 7] = ["GRR", "SUE", "OUE", "THE", "SHE", "OLH", "HR"];
+
+    // --- Analytical variance vs eps (d = 256). ---
+    let mut t1 = ExperimentTable::new(
+        "E2a: analytical noise-floor variance / n vs eps (d=256)",
+        &["eps", "GRR", "SUE", "OUE", "THE", "SHE", "OLH", "HR"],
+    );
+    for &e in &[0.5, 1.0, 2.0, 4.0] {
+        let eps = Epsilon::new(e).expect("valid eps");
+        let row = analytical_row(256, eps, n);
+        let mut cells = vec![format!("{e}")];
+        cells.extend(row.iter().map(|v| format!("{:.2}", v / n as f64)));
+        t1.row(&cells);
+    }
+    t1.print();
+
+    // --- Analytical variance vs d (eps = 1). ---
+    let mut t2 = ExperimentTable::new(
+        "E2b: analytical noise-floor variance / n vs d (eps=1); crossover d=3e+2≈10.2",
+        &["d", "GRR", "OUE", "OLH", "GRR wins?"],
+    );
+    for &d in &[4u64, 8, 16, 64, 256, 1024] {
+        let eps = Epsilon::new(1.0).expect("valid eps");
+        let grr = DirectEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n) / n as f64;
+        let oue = OptimizedUnaryEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n) / n as f64;
+        let olh = OptimizedLocalHashing::new(d, eps).noise_floor_variance(n) / n as f64;
+        t2.row(&[
+            d.to_string(),
+            format!("{grr:.2}"),
+            format!("{oue:.2}"),
+            format!("{olh:.2}"),
+            if grr < oue { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t2.print();
+
+    // --- Empirical MSE vs analytical floor (d = 64, eps = 1, Zipf 1.1). ---
+    let d = 64u64;
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let zipf = ZipfGenerator::new(d, 1.1).expect("valid zipf");
+    let trials = Trials::new(10, 1000);
+    let mut t3 = ExperimentTable::new(
+        "E2c: empirical count MSE vs analytical floor (d=64, eps=1, n=10k, Zipf 1.1)",
+        &["mechanism", "empirical MSE", "analytical floor", "ratio", "report bits"],
+    );
+    macro_rules! empirical {
+        ($oracle:expr, $idx:expr) => {{
+            let oracle = $oracle;
+            let stats = trials.run(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let values = zipf.sample_n(n, &mut rng);
+                let truth = exact_counts(&values, d);
+                let est = collect_counts(&oracle, &values, &mut rng);
+                metrics::mse(&est, &truth)
+            });
+            let floor = analytical_row(d, eps, n)[$idx];
+            t3.row(&[
+                NAMES[$idx].to_string(),
+                format!("{:.0}", stats.mean),
+                format!("{:.0}", floor),
+                format!("{:.2}", stats.mean / floor),
+                oracle.report_bits().to_string(),
+            ]);
+        }};
+    }
+    empirical!(DirectEncoding::new(d, eps).expect("d>=2"), 0);
+    empirical!(SymmetricUnaryEncoding::new(d, eps).expect("d>=2"), 1);
+    empirical!(OptimizedUnaryEncoding::new(d, eps).expect("d>=2"), 2);
+    empirical!(ThresholdHistogramEncoding::new(d, eps).expect("d>=2"), 3);
+    empirical!(SummationHistogramEncoding::new(d, eps).expect("d>=2"), 4);
+    empirical!(OptimizedLocalHashing::new(d, eps), 5);
+    empirical!(HadamardResponse::new(d, eps), 6);
+    t3.print();
+}

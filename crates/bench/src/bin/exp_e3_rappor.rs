@@ -1,0 +1,97 @@
+//! Experiment E3 — RAPPOR decoding quality (CCS 2014 Figs. 3–5 shape).
+//!
+//! The RAPPOR paper shows how many of the true top strings the decoder
+//! detects as the population grows, and the precision of those
+//! detections. Reproduced on a Zipf candidate population (the paper's own
+//! simulations use synthetic Zipf/normal populations).
+//!
+//! Expected shape: detection recall rises steeply with n; precision stays
+//! high (LASSO selection suppresses false positives); more cohorts help
+//! at large candidate sets.
+
+use ldp_rappor::{RapporAggregator, RapporClient, RapporParams};
+use ldp_workloads::gen::ZipfGenerator;
+use ldp_workloads::{ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs one RAPPOR round with the paper's decoy setup: the population
+/// draws from 20 true strings (Zipf), but the decoder is given 100
+/// candidates — 80 of which are absent. Returns
+/// (recall of the true top-10, precision = selected candidates that are
+/// actually present).
+fn run(n: usize, candidates: usize, cohorts: u32, seed: u64) -> (f64, f64) {
+    let present = 20usize.min(candidates);
+    let params = RapporParams::new(64, 2, cohorts, 0.25, 0.35, 0.65).expect("valid params");
+    let zipf = ZipfGenerator::new(present as u64, 1.5).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..candidates).map(|i| format!("url-{i}.example")).collect();
+
+    let mut agg = RapporAggregator::new(params.clone());
+    for _ in 0..n {
+        let v = zipf.sample(&mut rng) as usize;
+        let mut client = RapporClient::with_random_cohort(params.clone(), &mut rng);
+        agg.accumulate(&client.report(names[v].as_bytes(), &mut rng));
+    }
+
+    let candidate_refs: Vec<&[u8]> = names.iter().map(|s| s.as_bytes()).collect();
+    let decoded = agg.decode(&candidate_refs);
+
+    // True top-10 under Zipf(1.5) are items 0..10.
+    let top_true: Vec<usize> = (0..10.min(present)).collect();
+    // Count as "detected" only selections with non-trivial mass (the
+    // paper thresholds at a significance level; we use 0.5% of n).
+    let selected: Vec<usize> = decoded
+        .iter()
+        .filter(|d| d.selected && d.estimate > 0.005 * n as f64)
+        .map(|d| d.candidate)
+        .collect();
+    let hits = top_true.iter().filter(|t| selected.contains(t)).count();
+    let recall = hits as f64 / top_true.len() as f64;
+    let legit = selected.iter().filter(|&&s| s < present).count();
+    let precision = if selected.is_empty() {
+        1.0
+    } else {
+        legit as f64 / selected.len() as f64
+    };
+    (recall, precision)
+}
+
+fn main() {
+    let trials = Trials::new(5, 99);
+
+    let mut t1 = ExperimentTable::new(
+        "E3a: RAPPOR top-10 detection vs population (100 candidates, 8 cohorts)",
+        &["n", "recall@10", "precision"],
+    );
+    for &n in &[2_000usize, 5_000, 10_000, 30_000, 100_000] {
+        let recall = trials.run(|seed| run(n, 100, 8, seed).0);
+        let precision = trials.run(|seed| run(n, 100, 8, seed + 5000).1);
+        t1.row(&[
+            n.to_string(),
+            format!("{:.2}", recall.mean),
+            format!("{:.2}", precision.mean),
+        ]);
+    }
+    t1.print();
+
+    let mut t2 = ExperimentTable::new(
+        "E3b: cohort count effect (n=30000, 100 candidates)",
+        &["cohorts", "recall@10"],
+    );
+    for &m in &[1u32, 4, 16, 64] {
+        let recall = trials.run(|seed| run(30_000, 100, m, seed).0);
+        t2.row(&[m.to_string(), format!("{:.2}", recall.mean)]);
+    }
+    t2.print();
+
+    // Privacy accounting summary (the paper's Table 1 shape).
+    let chrome = RapporParams::chrome_default(64).expect("valid params");
+    let mut t3 = ExperimentTable::new(
+        "E3c: privacy accounting (Chrome-default parameters)",
+        &["quantity", "value"],
+    );
+    t3.row(&["eps one report".into(), format!("{:.3}", chrome.epsilon_one_report())]);
+    t3.row(&["eps permanent (lifetime)".into(), format!("{:.3}", chrome.epsilon_permanent())]);
+    t3.print();
+}

@@ -1,0 +1,106 @@
+//! Experiment E6 — heavy hitters over massive domains (Bassily–Smith /
+//! TreeHist / PEM shape).
+//!
+//! Reproduces: NCR (rank-weighted recall) of the discovered top-k as the
+//! population grows and as ε varies, on a 32-bit domain where full-domain
+//! sweeps are impossible; plus the PEM-vs-TreeHist step-size ablation.
+//!
+//! Expected shape: NCR rises with n and ε; wider steps (PEM) beat step-1
+//! (TreeHist) at equal population because fewer levels split the users
+//! less thinly.
+
+use ldp_analytics::hh::PrefixExtendingMethod;
+use ldp_core::Epsilon;
+use ldp_workloads::gen::ZipfGenerator;
+use ldp_workloads::{ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BITS: u32 = 32;
+const K: usize = 10;
+
+/// Builds a population whose top-K values are Zipf-heavy within a huge
+/// domain, returns (values, true top values in rank order).
+fn population(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let heavy: Vec<u64> = (0..K as u64)
+        .map(|i| ldp_sketch::hash::mix64(i + 12345) & 0xffff_ffff)
+        .collect();
+    let zipf = ZipfGenerator::new(K as u64, 1.2).expect("valid zipf");
+    let values = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                heavy[zipf.sample(&mut rng) as usize]
+            } else {
+                rng.gen::<u64>() & 0xffff_ffff
+            }
+        })
+        .collect();
+    (values, heavy)
+}
+
+/// NCR of discovered hitters against the true rank order.
+fn ncr(found: &[ldp_analytics::hh::HeavyHitter], truth: &[u64]) -> f64 {
+    let k = truth.len();
+    let max: f64 = (1..=k).map(|x| x as f64).sum();
+    let score: f64 = found
+        .iter()
+        .take(k)
+        .filter_map(|h| truth.iter().position(|&t| t == h.value))
+        .map(|rank| (k - rank) as f64)
+        .sum();
+    score / max
+}
+
+fn main() {
+    let trials = Trials::new(3, 21);
+
+    let mut t1 = ExperimentTable::new(
+        "E6a: PEM NCR@10 vs population (32-bit domain, eps=4, keep=16)",
+        &["n", "NCR@10"],
+    );
+    for &n in &[50_000usize, 100_000, 300_000] {
+        let stats = trials.run(|seed| {
+            let pem = PrefixExtendingMethod::new(BITS, 8, 4, 16, Epsilon::new(4.0).expect("valid eps"))
+                .expect("valid pem");
+            let (values, truth) = population(n, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+            ncr(&pem.run(&values, &mut rng), &truth)
+        });
+        t1.row(&[n.to_string(), format!("{:.2}", stats.mean)]);
+    }
+    t1.print();
+
+    let mut t2 = ExperimentTable::new(
+        "E6b: PEM NCR@10 vs eps (n=100k)",
+        &["eps", "NCR@10"],
+    );
+    for &e in &[1.0, 2.0, 4.0] {
+        let stats = trials.run(|seed| {
+            let pem = PrefixExtendingMethod::new(BITS, 8, 4, 16, Epsilon::new(e).expect("valid eps"))
+                .expect("valid pem");
+            let (values, truth) = population(100_000, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+            ncr(&pem.run(&values, &mut rng), &truth)
+        });
+        t2.row(&[format!("{e}"), format!("{:.2}", stats.mean)]);
+    }
+    t2.print();
+
+    let mut t3 = ExperimentTable::new(
+        "E6c: step-size ablation (n=100k, eps=4): PEM (wide steps) vs TreeHist (step 1)",
+        &["step", "levels", "NCR@10"],
+    );
+    for &step in &[1u32, 2, 4, 8] {
+        let stats = trials.run(|seed| {
+            let pem = PrefixExtendingMethod::new(BITS, 8, step, 16, Epsilon::new(4.0).expect("valid eps"))
+                .expect("valid pem");
+            let (values, truth) = population(100_000, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
+            ncr(&pem.run(&values, &mut rng), &truth)
+        });
+        let levels = 1 + (BITS - 8) / step;
+        t3.row(&[step.to_string(), levels.to_string(), format!("{:.2}", stats.mean)]);
+    }
+    t3.print();
+}

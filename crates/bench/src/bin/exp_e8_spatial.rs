@@ -1,0 +1,154 @@
+//! Experiment E8 — private location collection (Chen et al. ICDE 2016
+//! shape).
+//!
+//! Reproduces: range-query error vs grid granularity (the classic
+//! too-coarse/too-noisy trade-off), hot-spot recall vs ε, and the
+//! adaptive-grid refinement win.
+//!
+//! Expected shape: range error is U-shaped in g (uniformity error at
+//! small g, noise accumulation at large g); hot-spot recall rises with ε;
+//! adaptive grids localize peaks better than uniform grids at equal
+//! budget.
+
+use ldp_analytics::spatial::{AdaptiveGrid, Point, Rect, UniformGrid};
+use ldp_core::Epsilon;
+use ldp_workloads::{ExperimentTable, Trials};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixture: three Gaussian hot spots over a uniform background.
+fn population(n: usize, rng: &mut StdRng) -> Vec<Point> {
+    let spots = [(0.2, 0.3), (0.7, 0.7), (0.85, 0.15)];
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                let (mx, my) = spots[rng.gen_range(0..spots.len())];
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt() * 0.04;
+                Point {
+                    x: (mx + r * (2.0 * std::f64::consts::PI * u2).cos()).clamp(0.0, 1.0),
+                    y: (my + r * (2.0 * std::f64::consts::PI * u2).sin()).clamp(0.0, 1.0),
+                }
+            } else {
+                Point {
+                    x: rng.gen_range(0.0..1.0),
+                    y: rng.gen_range(0.0..1.0),
+                }
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let trials = Trials::new(3, 31);
+    let n = 100_000;
+
+    // --- E8a: range query error vs granularity. ---
+    let mut t1 = ExperimentTable::new(
+        "E8a: range-query relative error vs grid granularity (n=100k, eps=1)",
+        &["g", "rel error"],
+    );
+    let rect = Rect::new(0.1, 0.2, 0.45, 0.55).expect("valid rect");
+    for &g in &[2u32, 4, 8, 16, 32, 64] {
+        let stats = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points = population(n, &mut rng);
+            let truth = points
+                .iter()
+                .filter(|p| p.x >= rect.x0 && p.x <= rect.x1 && p.y >= rect.y0 && p.y <= rect.y1)
+                .count() as f64;
+            let grid = UniformGrid::new(g, Epsilon::new(1.0).expect("valid eps")).expect("valid g");
+            let est = grid.collect(&points, &mut rng);
+            (est.range_query(rect) - truth).abs() / truth
+        });
+        t1.row(&[g.to_string(), format!("{:.4}", stats.mean)]);
+    }
+    t1.print();
+
+    // --- E8b: hot-spot recall vs eps. ---
+    let mut t2 = ExperimentTable::new(
+        "E8b: hot-spot recall@3 vs eps (g=16, n=100k)",
+        &["eps", "recall@3"],
+    );
+    let spot_cells = |g: u32| -> Vec<(u32, u32)> {
+        [(0.2, 0.3), (0.7, 0.7), (0.85, 0.15)]
+            .iter()
+            .map(|&(x, y): &(f64, f64)| {
+                (
+                    ((x * g as f64) as u32).min(g - 1),
+                    ((y * g as f64) as u32).min(g - 1),
+                )
+            })
+            .collect()
+    };
+    for &e in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+        let stats = trials.run(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points = population(n, &mut rng);
+            let grid = UniformGrid::new(16, Epsilon::new(e).expect("valid eps")).expect("valid g");
+            let est = grid.collect(&points, &mut rng);
+            let hot = est.hot_spots(3);
+            let truth = spot_cells(16);
+            let hits = truth
+                .iter()
+                .filter(|&&(cx, cy)| {
+                    hot.iter()
+                        .any(|&(hx, hy, _)| hx.abs_diff(cx) <= 1 && hy.abs_diff(cy) <= 1)
+                })
+                .count();
+            hits as f64 / 3.0
+        });
+        t2.row(&[format!("{e}"), format!("{:.2}", stats.mean)]);
+    }
+    t2.print();
+
+    // --- E8c: adaptive vs uniform peak localization. ---
+    let mut t3 = ExperimentTable::new(
+        "E8c: peak localization error (distance to true peak, eps=2, n=100k)",
+        &["method", "effective resolution", "mean distance to (0.7,0.7)"],
+    );
+    let uniform_err = trials.run(|seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Single-spot population centered at (0.7, 0.7).
+        let points: Vec<Point> = (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt() * 0.05;
+                Point {
+                    x: (0.7 + r * (2.0 * std::f64::consts::PI * u2).cos()).clamp(0.0, 1.0),
+                    y: (0.7 + r * (2.0 * std::f64::consts::PI * u2).sin()).clamp(0.0, 1.0),
+                }
+            })
+            .collect();
+        let grid = UniformGrid::new(4, Epsilon::new(2.0).expect("valid eps")).expect("valid g");
+        let est = grid.collect(&points, &mut rng);
+        let (cx, cy, _) = est.hot_spots(1)[0];
+        let (px, py) = ((cx as f64 + 0.5) / 4.0, (cy as f64 + 0.5) / 4.0);
+        ((px - 0.7f64).powi(2) + (py - 0.7f64).powi(2)).sqrt()
+    });
+    let adaptive_err = trials.run(|seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt() * 0.05;
+                Point {
+                    x: (0.7 + r * (2.0 * std::f64::consts::PI * u2).cos()).clamp(0.0, 1.0),
+                    y: (0.7 + r * (2.0 * std::f64::consts::PI * u2).sin()).clamp(0.0, 1.0),
+                }
+            })
+            .collect();
+        let ag = AdaptiveGrid::new(4, 4, 2, Epsilon::new(2.0).expect("valid eps")).expect("valid ag");
+        let est = ag.collect(&points, &mut rng).expect("collect succeeds");
+        let (cx, cy, sx, sy, _) = est.peak().expect("peak exists");
+        let px = cx as f64 / 4.0 + (sx as f64 + 0.5) / 16.0;
+        let py = cy as f64 / 4.0 + (sy as f64 + 0.5) / 16.0;
+        ((px - 0.7f64).powi(2) + (py - 0.7f64).powi(2)).sqrt()
+    });
+    t3.row(&["uniform 4x4".into(), "1/4".into(), format!("{:.4}", uniform_err.mean)]);
+    t3.row(&["adaptive 4x4 -> 16x16".into(), "1/16".into(), format!("{:.4}", adaptive_err.mean)]);
+    t3.print();
+}

@@ -1,0 +1,37 @@
+//! # `ldp-bench` — experiment binaries and microbenchmarks
+//!
+//! One binary per reproduced experiment (see DESIGN.md's experiment
+//! index): `cargo run --release -p ldp-bench --bin exp_e2_fo_variance`
+//! prints the table/series corresponding to that experiment, and
+//! EXPERIMENTS.md records paper-vs-measured for each.
+//!
+//! Criterion microbenchmarks (`cargo bench -p ldp-bench`) back the
+//! tutorial's scalability claims: client-side encoding is microseconds,
+//! server-side aggregation is linear with small constants.
+//!
+//! This library target only hosts shared helpers for the binaries.
+
+/// Formats a float for experiment tables: fixed width, 4 significant
+/// digits, scientific for very large/small magnitudes.
+pub fn fmt_metric(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_metric;
+
+    #[test]
+    fn formats_ranges() {
+        assert_eq!(fmt_metric(0.0), "0");
+        assert_eq!(fmt_metric(1234.5678), "1234.568");
+        assert!(fmt_metric(1.0e9).contains('e'));
+        assert!(fmt_metric(1.0e-9).contains('e'));
+    }
+}

@@ -1,0 +1,320 @@
+//! The statistical toolkit of §1.1: debiasing, variance, and confidence
+//! tail bounds.
+//!
+//! Every LDP estimator in this workspace follows the same template the
+//! tutorial teaches:
+//!
+//! 1. The randomizer maps a true "support" event to an observed event with
+//!    probability `p`, and a non-support event to the same observation with
+//!    probability `q < p`.
+//! 2. The observed count `C` then has mean `c·p + (n−c)·q` for true count
+//!    `c`, so [`debias_count`] inverts it: `ĉ = (C − n·q)/(p − q)` —
+//!    unbiased for any `(p, q)`.
+//! 3. The variance of `ĉ` follows from `C` being a sum of independent
+//!    Bernoullis ([`debiased_count_variance`]), and tail bounds
+//!    ([`hoeffding_bound`], [`ConfidenceInterval`]) turn that into the
+//!    "with probability 1−β, the error is at most …" statements the
+//!    deployed systems quote.
+
+/// Inverts the `(p, q)` perturbation channel: given `observed` reports
+/// supporting an item out of `n` total, returns the unbiased count estimate
+/// `(observed − n·q)/(p − q)`.
+///
+/// The estimate may be negative — clamping would introduce bias, so callers
+/// that need non-negativity must do it explicitly (and knowingly).
+///
+/// # Panics
+/// Panics if `p <= q` (the channel must be informative) or the
+/// probabilities are outside `[0, 1]`.
+///
+/// # Examples
+/// ```
+/// // A channel with p=0.75, q=0.25 over n=1000 reports observing 500
+/// // supports implies a true count of 500*?: (500 - 250)/0.5 = 500.
+/// assert_eq!(ldp_core::estimate::debias_count(500.0, 1000, 0.75, 0.25), 500.0);
+/// ```
+pub fn debias_count(observed: f64, n: usize, p: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&q), "p, q must be probabilities");
+    assert!(p > q, "channel must satisfy p > q (got p={p}, q={q})");
+    (observed - n as f64 * q) / (p - q)
+}
+
+/// The variance of [`debias_count`]'s estimate when the item's true count
+/// is `c` out of `n`:
+/// `Var[ĉ] = [ n·q(1−q) + c·(p(1−p) − q(1−q)) ] / (p−q)²`.
+///
+/// At `c = 0` this reduces to the `n·q(1−q)/(p−q)²` "noise floor" that
+/// Wang et al. use to compare frequency oracles (their `Var*`).
+pub fn debiased_count_variance(n: usize, c: f64, p: f64, q: f64) -> f64 {
+    assert!(p > q, "channel must satisfy p > q");
+    let nf = n as f64;
+    (nf * q * (1.0 - q) + c * (p * (1.0 - p) - q * (1.0 - q))) / (p - q).powi(2)
+}
+
+/// Hoeffding bound: with probability at least `1 − beta`, the mean of `n`
+/// independent values in `[lo, hi]` deviates from its expectation by less
+/// than the returned amount `= (hi−lo)·√(ln(2/β)/(2n))`.
+///
+/// # Panics
+/// Panics if `n == 0`, `beta` outside (0, 1), or `hi <= lo`.
+pub fn hoeffding_bound(n: usize, beta: f64, lo: f64, hi: f64) -> f64 {
+    assert!(n > 0, "n must be positive");
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+    assert!(hi > lo, "need hi > lo");
+    (hi - lo) * ((2.0 / beta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Bernstein bound: with probability at least `1 − beta`, a sum of `n`
+/// independent zero-mean values with `|X| ≤ m` and per-value variance
+/// `sigma_sq` deviates by less than
+/// `√(2·n·σ²·ln(2/β)) + (2m/3)·ln(2/β)`.
+///
+/// Tighter than Hoeffding when the variance is small relative to the range,
+/// which is exactly the regime of debiased LDP reports.
+///
+/// # Panics
+/// Panics if arguments are out of range.
+pub fn bernstein_bound(n: usize, sigma_sq: f64, m: f64, beta: f64) -> f64 {
+    assert!(n > 0 && sigma_sq >= 0.0 && m > 0.0, "invalid Bernstein arguments");
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+    let l = (2.0 / beta).ln();
+    (2.0 * n as f64 * sigma_sq * l).sqrt() + 2.0 * m * l / 3.0
+}
+
+/// A symmetric confidence interval `estimate ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate at the interval's center.
+    pub estimate: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level, e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Gaussian-approximation interval from an estimate and its variance:
+    /// `estimate ± z_{1−β/2}·σ`.
+    ///
+    /// # Panics
+    /// Panics if `variance < 0` or `confidence` outside (0, 1).
+    pub fn normal_approx(estimate: f64, variance: f64, confidence: f64) -> Self {
+        assert!(variance >= 0.0, "variance must be non-negative");
+        assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        Self {
+            estimate,
+            half_width: z * variance.sqrt(),
+            confidence,
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.estimate - self.half_width
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.estimate + self.half_width
+    }
+
+    /// True if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+}
+
+/// Standard normal quantile (inverse CDF) via the Acklam rational
+/// approximation — absolute error below 1.15e−9 over (0, 1).
+///
+/// # Panics
+/// Panics if `p` is not strictly inside (0, 1).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+    // Coefficients from Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 polynomial; |error| < 1.5e−7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    if x >= 0.0 {
+        1.0 - pdf * poly
+    } else {
+        pdf * poly
+    }
+}
+
+/// Sample mean of a slice. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice (divides by `n`). Returns 0 for slices of
+/// length < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn debias_inverts_expectation() {
+        // If every one of c items reports support with prob p and the other
+        // n-c with prob q, E[observed] = c p + (n-c) q; debias recovers c.
+        let (n, c, p, q) = (1000usize, 200.0, 0.7, 0.2);
+        let expected_observed = c * p + (n as f64 - c) * q;
+        let est = debias_count(expected_observed, n, p, q);
+        assert!((est - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_formula_at_zero_count_is_noise_floor() {
+        let v = debiased_count_variance(10_000, 0.0, 0.5, 0.25);
+        let expected = 10_000.0 * 0.25 * 0.75 / 0.0625;
+        assert!((v - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hoeffding_shrinks_with_n_and_beta() {
+        let a = hoeffding_bound(100, 0.05, 0.0, 1.0);
+        let b = hoeffding_bound(10_000, 0.05, 0.0, 1.0);
+        assert!(b < a);
+        let c = hoeffding_bound(100, 0.5, 0.0, 1.0);
+        assert!(c < a, "weaker confidence -> tighter bound");
+    }
+
+    #[test]
+    fn bernstein_beats_hoeffding_for_small_variance() {
+        // Sum deviation bounds: Hoeffding for sums is (hi-lo) sqrt(n ln(2/b)/2).
+        let n = 10_000;
+        let beta = 0.05;
+        let hoeff_sum = 2.0 * (n as f64 * (2.0f64 / beta).ln() / 2.0).sqrt();
+        let bern = bernstein_bound(n, 0.01, 1.0, beta);
+        assert!(bern < hoeff_sum, "bern={bern} hoeff={hoeff_sum}");
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.5) - 0.0).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_cdf_matches_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.9750).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.0250).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        for &p in &[0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-4, "p={p}");
+        }
+    }
+
+    #[test]
+    fn interval_basics() {
+        let ci = ConfidenceInterval::normal_approx(10.0, 4.0, 0.95);
+        assert!(ci.contains(10.0));
+        assert!(ci.contains(10.0 + 1.9 * 2.0));
+        assert!(!ci.contains(10.0 + 2.1 * 2.0));
+        assert!((ci.hi() - ci.lo() - 2.0 * ci.half_width).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_debias_roundtrip(c in 0.0f64..1000.0, p in 0.55f64..0.99, q in 0.01f64..0.45) {
+            let n = 1000usize;
+            let observed = c * p + (n as f64 - c) * q;
+            let est = debias_count(observed, n, p, q);
+            prop_assert!((est - c).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(n in 1usize..100_000, c_frac in 0.0f64..1.0,
+                                     p in 0.55f64..0.99, q in 0.01f64..0.45) {
+            let c = c_frac * n as f64;
+            prop_assert!(debiased_count_variance(n, c, p, q) >= 0.0);
+        }
+
+        #[test]
+        fn prop_quantile_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+            if p1 < p2 {
+                prop_assert!(normal_quantile(p1) <= normal_quantile(p2));
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Local-hashing frequency oracles: BLH and OLH.
+//!
+//! For massive domains, transmitting `d` bits (unary encodings) is
+//! impossible and direct encoding is hopeless. Local hashing sidesteps
+//! both: each user draws a *public* random hash function `h : [d] → [g]`
+//! (transmitted as a 64-bit seed), hashes their value, and perturbs the
+//! *hashed* value with k-ary randomized response over `[g]`. The report is
+//! `(seed, perturbed bucket)` — constant size regardless of `d`.
+//!
+//! The server counts, for each candidate `v`, how many reports *support*
+//! it (`h_seed(v) == bucket`). A non-held candidate is supported with
+//! probability exactly `1/g` in expectation over seeds, giving the
+//! debiasing pair `p* = e^ε/(e^ε+g−1)`, `q* = 1/g`.
+//!
+//! * **BLH** fixes `g = 2` (one-bit bucket).
+//! * **OLH** chooses `g = e^ε + 1`, the value minimizing the noise floor —
+//!   which then equals OUE's `4e^ε/(e^ε−1)²` with exponentially less
+//!   communication. OLH is the default general-purpose oracle in this
+//!   workspace.
+
+use super::{FoAggregator, FrequencyOracle};
+use crate::estimate::debiased_count_variance;
+use crate::privacy::Epsilon;
+use crate::rr::KaryRandomizedResponse;
+use ldp_sketch::hash::HashFamily;
+use rand::{Rng, RngCore};
+
+/// A local-hashing report: the user's hash seed and the perturbed bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LhReport {
+    /// The hash-function seed the user drew (public randomness).
+    pub seed: u64,
+    /// The k-ary-RR-perturbed value of `h_seed(value)`.
+    pub bucket: u64,
+}
+
+/// Local hashing with an arbitrary bucket count `g ≥ 2`.
+///
+/// Use [`OptimizedLocalHashing`] (g = e^ε+1) or [`BinaryLocalHashing`]
+/// (g = 2) unless you are sweeping `g` for an ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalHashing {
+    d: u64,
+    g: u64,
+    epsilon: Epsilon,
+    family: HashFamily,
+    rr: KaryRandomizedResponse,
+}
+
+impl LocalHashing {
+    /// Creates a local-hashing oracle with `g` buckets.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `g < 2`.
+    pub fn with_g(d: u64, g: u64, epsilon: Epsilon) -> Self {
+        assert!(d > 0, "domain must be non-empty");
+        assert!(g >= 2, "local hashing needs g >= 2, got {g}");
+        Self {
+            d,
+            g,
+            epsilon,
+            family: HashFamily::new(g),
+            rr: KaryRandomizedResponse::new(g, epsilon).expect("g >= 2"),
+        }
+    }
+
+    /// The bucket count `g`.
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// The `(p*, q*)` support-probability pair used for debiasing.
+    pub fn support_probabilities(&self) -> (f64, f64) {
+        (self.rr.p(), 1.0 / self.g as f64)
+    }
+}
+
+impl FrequencyOracle for LocalHashing {
+    type Report = LhReport;
+    type Aggregator = LhAggregator;
+
+    fn name(&self) -> &'static str {
+        if self.g == 2 {
+            "BLH"
+        } else {
+            "OLH"
+        }
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.d
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> LhReport {
+        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        let seed: u64 = rng.gen();
+        let bucket = self.family.hash(value, seed);
+        let perturbed = self.rr.randomize(bucket, rng);
+        LhReport {
+            seed,
+            bucket: perturbed,
+        }
+    }
+
+    fn new_aggregator(&self) -> LhAggregator {
+        let (p, q) = self.support_probabilities();
+        LhAggregator {
+            reports: Vec::new(),
+            d: self.d,
+            family: self.family,
+            p,
+            q,
+        }
+    }
+
+    fn count_variance(&self, n: usize, f: f64) -> f64 {
+        let (p, q) = self.support_probabilities();
+        debiased_count_variance(n, f * n as f64, p, q)
+    }
+
+    fn report_bits(&self) -> usize {
+        64 + (64 - (self.g - 1).leading_zeros()) as usize
+    }
+}
+
+/// Binary local hashing (`g = 2`): the one-bit-per-user protocol of
+/// Bassily–Smith, phrased in the Wang et al. framework.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryLocalHashing(LocalHashing);
+
+impl BinaryLocalHashing {
+    /// Creates BLH over `[0, d)`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: u64, epsilon: Epsilon) -> Self {
+        Self(LocalHashing::with_g(d, 2, epsilon))
+    }
+}
+
+/// Optimized local hashing (`g = ⌊e^ε⌋ + 1`), the variance-optimal choice.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizedLocalHashing(LocalHashing);
+
+impl OptimizedLocalHashing {
+    /// Creates OLH over `[0, d)` with the optimal bucket count
+    /// `g = max(2, round(e^ε + 1))`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: u64, epsilon: Epsilon) -> Self {
+        let g = ((epsilon.exp() + 1.0).round() as u64).max(2);
+        Self(LocalHashing::with_g(d, g, epsilon))
+    }
+
+    /// The chosen bucket count.
+    pub fn g(&self) -> u64 {
+        self.0.g()
+    }
+}
+
+macro_rules! delegate_oracle {
+    ($ty:ty, $name:literal) => {
+        impl FrequencyOracle for $ty {
+            type Report = LhReport;
+            type Aggregator = LhAggregator;
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn domain_size(&self) -> u64 {
+                self.0.domain_size()
+            }
+
+            fn epsilon(&self) -> Epsilon {
+                self.0.epsilon()
+            }
+
+            fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> LhReport {
+                self.0.randomize(value, rng)
+            }
+
+            fn new_aggregator(&self) -> LhAggregator {
+                self.0.new_aggregator()
+            }
+
+            fn count_variance(&self, n: usize, f: f64) -> f64 {
+                self.0.count_variance(n, f)
+            }
+
+            fn report_bits(&self) -> usize {
+                self.0.report_bits()
+            }
+        }
+    };
+}
+
+delegate_oracle!(BinaryLocalHashing, "BLH");
+delegate_oracle!(OptimizedLocalHashing, "OLH");
+
+/// Aggregator for local hashing.
+///
+/// Stores raw reports; a point estimate for item `v` scans them counting
+/// support (`h_seed(v) == bucket`). `estimate()` over the full domain costs
+/// `O(n·d)` — that is inherent to local hashing and is why heavy-hitter
+/// protocols only query candidate sets via
+/// [`estimate_items`](FoAggregator::estimate_items).
+#[derive(Debug, Clone)]
+pub struct LhAggregator {
+    reports: Vec<LhReport>,
+    d: u64,
+    family: HashFamily,
+    p: f64,
+    q: f64,
+}
+
+impl LhAggregator {
+    /// Support count for a single item.
+    fn support(&self, item: u64) -> u64 {
+        self.reports
+            .iter()
+            .filter(|r| self.family.hash(item, r.seed) == r.bucket)
+            .count() as u64
+    }
+}
+
+impl FoAggregator for LhAggregator {
+    type Report = LhReport;
+
+    fn accumulate(&mut self, report: &LhReport) {
+        self.reports.push(*report);
+    }
+
+    fn reports(&self) -> usize {
+        self.reports.len()
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        let items: Vec<u64> = (0..self.d).collect();
+        self.estimate_items(&items)
+    }
+
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        let n = self.reports.len() as f64;
+        items
+            .iter()
+            .map(|&v| {
+                debug_assert!(v < self.d);
+                (self.support(v) as f64 - n * self.q) / (self.p - self.q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn olh_bucket_count_tracks_eps() {
+        assert_eq!(OptimizedLocalHashing::new(100, eps(1.0)).g(), 4); // e+1 ≈ 3.7 -> 4
+        assert_eq!(OptimizedLocalHashing::new(100, eps(2.0)).g(), 8); // e^2+1 ≈ 8.4 -> 8
+        assert!(OptimizedLocalHashing::new(100, eps(0.1)).g() >= 2);
+    }
+
+    #[test]
+    fn olh_matches_oue_noise_floor_approximately() {
+        let e = eps(1.0);
+        let n = 1000;
+        let olh = OptimizedLocalHashing::new(1 << 16, e);
+        let expected = n as f64 * 4.0 * 1.0f64.exp() / (1.0f64.exp() - 1.0).powi(2);
+        let got = olh.noise_floor_variance(n);
+        // g is rounded to an integer so allow 15% slack.
+        assert!((got - expected).abs() / expected < 0.15, "got={got} expected={expected}");
+    }
+
+    #[test]
+    fn blh_noise_floor_formula() {
+        // BLH: p = e^eps/(e^eps+1), q = 1/2 ->
+        // Var* = n q(1-q)/(p-q)^2 = n (e^eps+1)^2 / (e^eps-1)^2.
+        let e = 1.0f64;
+        let blh = BinaryLocalHashing::new(1000, eps(e));
+        let n = 500;
+        let expected = n as f64 * (e.exp() + 1.0).powi(2) / (e.exp() - 1.0).powi(2);
+        let got = blh.noise_floor_variance(n);
+        assert!((got - expected).abs() / expected < 1e-9, "got={got} expected={expected}");
+    }
+
+    #[test]
+    fn olh_estimates_unbiased() {
+        let olh = OptimizedLocalHashing::new(64, eps(2.0));
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 40_000;
+        let mut agg = olh.new_aggregator();
+        for u in 0..n {
+            let v = (u % 8) as u64; // items 0..8 each hold 1/8 of users
+            agg.accumulate(&olh.randomize(v, &mut rng));
+        }
+        let est = agg.estimate();
+        for i in 0..8usize {
+            let truth = n as f64 / 8.0;
+            let sd = olh.count_variance(n, 1.0 / 8.0).sqrt();
+            assert!((est[i] - truth).abs() < 5.0 * sd, "item {i}: est={}", est[i]);
+        }
+        // Unheld items near zero.
+        for i in 8..64usize {
+            let sd = olh.noise_floor_variance(n).sqrt();
+            assert!(est[i].abs() < 5.0 * sd, "item {i}: est={}", est[i]);
+        }
+    }
+
+    #[test]
+    fn estimate_items_matches_full_estimate() {
+        let olh = OptimizedLocalHashing::new(32, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut agg = olh.new_aggregator();
+        for u in 0..2000u64 {
+            agg.accumulate(&olh.randomize(u % 32, &mut rng));
+        }
+        let full = agg.estimate();
+        let subset = agg.estimate_items(&[0, 7, 31]);
+        assert_eq!(subset[0], full[0]);
+        assert_eq!(subset[1], full[7]);
+        assert_eq!(subset[2], full[31]);
+    }
+
+    #[test]
+    fn blh_estimates_unbiased() {
+        let blh = BinaryLocalHashing::new(16, eps(2.0));
+        let mut rng = StdRng::seed_from_u64(57);
+        let n = 60_000;
+        let mut agg = blh.new_aggregator();
+        for u in 0..n {
+            agg.accumulate(&blh.randomize((u % 4) as u64, &mut rng));
+        }
+        let est = agg.estimate();
+        let sd = blh.count_variance(n, 0.25).sqrt();
+        for i in 0..4usize {
+            assert!(
+                (est[i] - n as f64 / 4.0).abs() < 5.0 * sd,
+                "item {i}: est={} sd={sd}",
+                est[i]
+            );
+        }
+    }
+
+    #[test]
+    fn report_size_constant_in_domain() {
+        let e = eps(1.0);
+        let small = OptimizedLocalHashing::new(16, e);
+        let huge = OptimizedLocalHashing::new(1 << 40, e);
+        assert_eq!(small.report_bits(), huge.report_bits());
+        assert!(small.report_bits() <= 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        let olh = OptimizedLocalHashing::new(8, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        olh.randomize(8, &mut rng);
+    }
+}

@@ -1,0 +1,397 @@
+//! Histogram-encoding frequency oracles: SHE and THE.
+//!
+//! Instead of flipping bits, the client adds continuous Laplace noise to
+//! each coordinate of its one-hot vector. Changing the input moves two
+//! coordinates by 1 each (L1 sensitivity 2), so per-coordinate `Lap(2/ε)`
+//! gives ε-LDP.
+//!
+//! * **SHE** (summation with histogram encoding) transmits the raw noisy
+//!   vector; the server just sums. Simple, but the noise floor `8/ε²·n` is
+//!   never competitive.
+//! * **THE** (thresholding with histogram encoding) transmits only the
+//!   *indicator* of each noisy coordinate exceeding a threshold `θ`. The
+//!   induced channel has `p = 1 − ½e^{ε(θ−1)/2}`, `q = ½e^{−εθ/2}`;
+//!   optimizing `θ` numerically (it lands in `(½, 1)`) makes THE
+//!   competitive with OUE — the tutorial's example of post-processing
+//!   buying back utility.
+
+use super::{FoAggregator, FrequencyOracle};
+use crate::estimate::debiased_count_variance;
+use crate::noise::sample_laplace;
+use crate::privacy::Epsilon;
+use crate::{Error, Result};
+use ldp_sketch::BitVec;
+use rand::RngCore;
+
+/// Summation with histogram encoding: report a one-hot vector plus
+/// per-coordinate `Lap(2/ε)` noise.
+#[derive(Debug, Clone, Copy)]
+pub struct SummationHistogramEncoding {
+    d: u64,
+    epsilon: Epsilon,
+    scale: f64,
+}
+
+impl SummationHistogramEncoding {
+    /// Creates SHE over a domain of `d ≥ 2` items.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidDomain`] if `d < 2`.
+    pub fn new(d: u64, epsilon: Epsilon) -> Result<Self> {
+        if d < 2 {
+            return Err(Error::InvalidDomain(format!("histogram encoding needs d >= 2, got {d}")));
+        }
+        Ok(Self {
+            d,
+            epsilon,
+            scale: 2.0 / epsilon.value(),
+        })
+    }
+
+    /// The per-coordinate Laplace scale `2/ε`.
+    pub fn noise_scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl FrequencyOracle for SummationHistogramEncoding {
+    type Report = Vec<f64>;
+    type Aggregator = SheAggregator;
+
+    fn name(&self) -> &'static str {
+        "SHE"
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.d
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> Vec<f64> {
+        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        (0..self.d)
+            .map(|i| {
+                let base = if i == value { 1.0 } else { 0.0 };
+                base + sample_laplace(self.scale, rng)
+            })
+            .collect()
+    }
+
+    fn new_aggregator(&self) -> SheAggregator {
+        SheAggregator {
+            sums: vec![0.0; self.d as usize],
+            n: 0,
+        }
+    }
+
+    fn count_variance(&self, n: usize, _f: f64) -> f64 {
+        // Each count estimate is a sum of n Laplace noises: n · 2·(2/ε)².
+        n as f64 * 2.0 * self.scale * self.scale
+    }
+
+    fn report_bits(&self) -> usize {
+        self.d as usize * 64
+    }
+}
+
+/// Aggregator for [`SummationHistogramEncoding`]: coordinate-wise sums —
+/// already unbiased, no debiasing step needed.
+#[derive(Debug, Clone)]
+pub struct SheAggregator {
+    sums: Vec<f64>,
+    n: usize,
+}
+
+impl FoAggregator for SheAggregator {
+    type Report = Vec<f64>;
+
+    fn accumulate(&mut self, report: &Vec<f64>) {
+        assert_eq!(report.len(), self.sums.len(), "report width mismatch");
+        for (s, r) in self.sums.iter_mut().zip(report) {
+            *s += r;
+        }
+        self.n += 1;
+    }
+
+    fn reports(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        self.sums.clone()
+    }
+}
+
+/// Thresholding with histogram encoding: SHE followed by a client-side
+/// threshold at `θ`, transmitting one bit per coordinate.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdHistogramEncoding {
+    d: u64,
+    epsilon: Epsilon,
+    scale: f64,
+    theta: f64,
+    p: f64,
+    q: f64,
+}
+
+impl ThresholdHistogramEncoding {
+    /// Creates THE with the variance-optimal threshold for `epsilon`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidDomain`] if `d < 2`.
+    pub fn new(d: u64, epsilon: Epsilon) -> Result<Self> {
+        let theta = Self::optimal_theta(epsilon);
+        Self::with_theta(d, epsilon, theta)
+    }
+
+    /// Creates THE with an explicit threshold `θ ∈ (0, 1]`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidDomain`] if `d < 2`, or
+    /// [`Error::InvalidParameter`] for θ outside `(0, 1]`.
+    pub fn with_theta(d: u64, epsilon: Epsilon, theta: f64) -> Result<Self> {
+        if d < 2 {
+            return Err(Error::InvalidDomain(format!("histogram encoding needs d >= 2, got {d}")));
+        }
+        if !(theta > 0.0 && theta <= 1.0) {
+            return Err(Error::InvalidParameter(format!("theta must be in (0,1], got {theta}")));
+        }
+        let (p, q) = Self::channel(epsilon, theta);
+        Ok(Self {
+            d,
+            epsilon,
+            scale: 2.0 / epsilon.value(),
+            theta,
+            p,
+            q,
+        })
+    }
+
+    /// The `(p, q)` channel induced by thresholding `Lap(2/ε)` noise at θ:
+    /// `p = P[1 + Lap > θ] = 1 − ½e^{ε(θ−1)/2}`,
+    /// `q = P[0 + Lap > θ] = ½e^{−εθ/2}`.
+    fn channel(epsilon: Epsilon, theta: f64) -> (f64, f64) {
+        let e = epsilon.value();
+        let p = 1.0 - 0.5 * (e * (theta - 1.0) / 2.0).exp();
+        let q = 0.5 * (-e * theta / 2.0).exp();
+        (p, q)
+    }
+
+    /// Numerically minimizes the noise-floor variance `q(1−q)/(p−q)²` over
+    /// `θ ∈ (½, 1]` by golden-section search (the objective is unimodal
+    /// there, per Wang et al.).
+    pub fn optimal_theta(epsilon: Epsilon) -> f64 {
+        let objective = |theta: f64| {
+            let (p, q) = Self::channel(epsilon, theta);
+            q * (1.0 - q) / (p - q).powi(2)
+        };
+        let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+        let (mut lo, mut hi) = (0.5, 1.0);
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let mut f1 = objective(x1);
+        let mut f2 = objective(x2);
+        for _ in 0..80 {
+            if f1 < f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = objective(x1);
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = objective(x2);
+            }
+        }
+        (lo + hi) / 2.0
+    }
+
+    /// The threshold in use.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The induced `(p, q)` channel.
+    pub fn probabilities(&self) -> (f64, f64) {
+        (self.p, self.q)
+    }
+}
+
+impl FrequencyOracle for ThresholdHistogramEncoding {
+    type Report = BitVec;
+    type Aggregator = TheAggregator;
+
+    fn name(&self) -> &'static str {
+        "THE"
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.d
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
+        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        let mut bits = BitVec::zeros(self.d as usize);
+        for i in 0..self.d {
+            let base = if i == value { 1.0 } else { 0.0 };
+            if base + sample_laplace(self.scale, rng) > self.theta {
+                bits.set(i as usize, true);
+            }
+        }
+        bits
+    }
+
+    fn new_aggregator(&self) -> TheAggregator {
+        TheAggregator {
+            ones: vec![0; self.d as usize],
+            n: 0,
+            p: self.p,
+            q: self.q,
+        }
+    }
+
+    fn count_variance(&self, n: usize, f: f64) -> f64 {
+        debiased_count_variance(n, f * n as f64, self.p, self.q)
+    }
+
+    fn report_bits(&self) -> usize {
+        self.d as usize
+    }
+}
+
+/// Aggregator for [`ThresholdHistogramEncoding`]: per-position counts with
+/// `(p, q)` debiasing.
+#[derive(Debug, Clone)]
+pub struct TheAggregator {
+    ones: Vec<u64>,
+    n: usize,
+    p: f64,
+    q: f64,
+}
+
+impl FoAggregator for TheAggregator {
+    type Report = BitVec;
+
+    fn accumulate(&mut self, report: &BitVec) {
+        assert_eq!(report.len(), self.ones.len(), "report width mismatch");
+        report.accumulate_into(&mut self.ones);
+        self.n += 1;
+    }
+
+    fn reports(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        let n = self.n as f64;
+        self.ones
+            .iter()
+            .map(|&o| (o as f64 - n * self.q) / (self.p - self.q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn she_variance_is_8_over_eps_sq_per_user() {
+        let she = SummationHistogramEncoding::new(8, eps(2.0)).unwrap();
+        let v = she.count_variance(1000, 0.3);
+        assert!((v - 1000.0 * 8.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn she_estimates_unbiased() {
+        let she = SummationHistogramEncoding::new(4, eps(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let n = 20_000;
+        let mut agg = she.new_aggregator();
+        for u in 0..n {
+            agg.accumulate(&she.randomize((u % 4) as u64, &mut rng));
+        }
+        let est = agg.estimate();
+        for i in 0..4 {
+            let sd = she.count_variance(n, 0.25).sqrt();
+            assert!((est[i] - n as f64 / 4.0).abs() < 5.0 * sd, "item {i}: {}", est[i]);
+        }
+    }
+
+    #[test]
+    fn the_optimal_theta_in_expected_range() {
+        for &e in &[0.5, 1.0, 2.0, 4.0] {
+            let theta = ThresholdHistogramEncoding::optimal_theta(eps(e));
+            assert!(theta > 0.5 && theta <= 1.0, "eps={e} theta={theta}");
+        }
+    }
+
+    #[test]
+    fn the_optimal_theta_beats_fixed_choices() {
+        let e = eps(1.0);
+        let opt = ThresholdHistogramEncoding::new(16, e).unwrap();
+        let n = 1000;
+        for &theta in &[0.55, 0.7, 0.9, 1.0] {
+            let fixed = ThresholdHistogramEncoding::with_theta(16, e, theta).unwrap();
+            assert!(
+                opt.noise_floor_variance(n) <= fixed.noise_floor_variance(n) * 1.001,
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_channel_probabilities_consistent_with_sampling() {
+        let the = ThresholdHistogramEncoding::new(2, eps(1.5)).unwrap();
+        let (p, q) = the.probabilities();
+        let mut rng = StdRng::seed_from_u64(47);
+        let n = 200_000;
+        let mut ones_true = 0u64;
+        let mut ones_false = 0u64;
+        for _ in 0..n {
+            let r = the.randomize(0, &mut rng);
+            if r.get(0) {
+                ones_true += 1;
+            }
+            if r.get(1) {
+                ones_false += 1;
+            }
+        }
+        let p_hat = ones_true as f64 / n as f64;
+        let q_hat = ones_false as f64 / n as f64;
+        assert!((p_hat - p).abs() < 0.01, "p_hat={p_hat} p={p}");
+        assert!((q_hat - q).abs() < 0.01, "q_hat={q_hat} q={q}");
+    }
+
+    #[test]
+    fn the_competitive_with_she() {
+        // THE's optimized threshold should beat SHE's raw noise floor.
+        let e = eps(1.0);
+        let n = 1000;
+        let the = ThresholdHistogramEncoding::new(64, e).unwrap();
+        let she = SummationHistogramEncoding::new(64, e).unwrap();
+        assert!(the.noise_floor_variance(n) < she.noise_floor_variance(n));
+    }
+
+    #[test]
+    fn the_rejects_bad_theta() {
+        assert!(ThresholdHistogramEncoding::with_theta(4, eps(1.0), 0.0).is_err());
+        assert!(ThresholdHistogramEncoding::with_theta(4, eps(1.0), 1.5).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Frequency oracles: the protocols behind every deployed LDP system.
+//!
+//! A *frequency oracle* lets an untrusted aggregator estimate, for any item
+//! `v` in a domain of size `d`, how many of `n` users hold `v` — from one
+//! privatized report per user. The tutorial's §1.2 presents the deployed
+//! systems (RAPPOR, Apple, Microsoft) as engineering around this core
+//! primitive, and Wang et al. (USENIX Security 2017) systematized the
+//! design space. This module implements that design space:
+//!
+//! | Mechanism | Module | Report size | `Var*/n` (noise floor, counts) |
+//! |---|---|---|---|
+//! | Direct encoding (GRR) | [`direct`] | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` |
+//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` |
+//! | Optimized unary (OUE) | [`unary`] | `d` bits | `4e^ε/(e^ε−1)²` |
+//! | Summation histogram (SHE) | [`histogram`] | `d` floats | `8/ε²` |
+//! | Threshold histogram (THE) | [`histogram`] | `d` bits | optimized numerically |
+//! | Binary local hashing (BLH) | [`hashing`] | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` |
+//! | Optimized local hashing (OLH) | [`hashing`] | 64+log g bits | `4e^ε/(e^ε−1)²` |
+//! | Hadamard response (HR) | [`hadamard`] | log m + 1 bits | `≈4e^ε/(e^ε−1)²` |
+//!
+//! The table is the tutorial's punchline: OUE, OLH and HR share the same
+//! optimal noise floor, differing only in communication; GRR beats them all
+//! when the domain is small (`d < 3e^ε + 2`). Experiment E2 regenerates
+//! this comparison.
+
+pub mod direct;
+pub mod hadamard;
+pub mod hashing;
+pub mod histogram;
+pub mod subset;
+pub mod unary;
+
+pub use direct::DirectEncoding;
+pub use hadamard::HadamardResponse;
+pub use hashing::{BinaryLocalHashing, LocalHashing, OptimizedLocalHashing};
+pub use histogram::{SummationHistogramEncoding, ThresholdHistogramEncoding};
+pub use subset::SubsetSelection;
+pub use unary::{OptimizedUnaryEncoding, SymmetricUnaryEncoding};
+
+use crate::privacy::Epsilon;
+use rand::RngCore;
+
+/// A local frequency-estimation protocol: client-side randomization plus a
+/// matching server-side aggregator.
+///
+/// Implementations guarantee:
+/// * `randomize` is ε-LDP with `ε = self.epsilon()`;
+/// * the aggregator's `estimate()` is unbiased for the true count vector;
+/// * `count_variance(n, f)` is the analytical variance of a single item's
+///   count estimate when its true relative frequency is `f`.
+pub trait FrequencyOracle {
+    /// What one client transmits.
+    type Report: Clone + std::fmt::Debug;
+    /// The matching server-side aggregator.
+    type Aggregator: FoAggregator<Report = Self::Report>;
+
+    /// Short mechanism name (e.g. `"OLH"`), for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Domain size `d`; values are `0..d`.
+    fn domain_size(&self) -> u64;
+
+    /// Per-report privacy parameter.
+    fn epsilon(&self) -> Epsilon;
+
+    /// Client side: privatize `value ∈ [0, d)`.
+    ///
+    /// # Panics
+    /// Implementations panic if `value >= domain_size()`.
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> Self::Report;
+
+    /// Creates an empty aggregator configured for this oracle instance.
+    fn new_aggregator(&self) -> Self::Aggregator;
+
+    /// Analytical variance of the *count* estimate for an item with true
+    /// relative frequency `f`, over `n` reports.
+    fn count_variance(&self, n: usize, f: f64) -> f64;
+
+    /// The `f → 0` "noise floor" variance Wang et al. use to rank
+    /// mechanisms (their `Var*`).
+    fn noise_floor_variance(&self, n: usize) -> f64 {
+        self.count_variance(n, 0.0)
+    }
+
+    /// Expected report size in bits (communication cost), for the
+    /// communication-vs-accuracy tables.
+    fn report_bits(&self) -> usize;
+}
+
+/// Server-side accumulation and estimation for one [`FrequencyOracle`].
+pub trait FoAggregator {
+    /// Report type consumed.
+    type Report;
+
+    /// Folds one client report into the aggregate state.
+    fn accumulate(&mut self, report: &Self::Report);
+
+    /// Number of reports accumulated so far.
+    fn reports(&self) -> usize;
+
+    /// Unbiased estimated counts for every item `0..d`.
+    fn estimate(&self) -> Vec<f64>;
+
+    /// Unbiased estimated counts for a subset of items — override when a
+    /// full-domain sweep would be wasteful (local hashing with massive
+    /// domains, as used by prefix-extension heavy hitters).
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        let all = self.estimate();
+        items.iter().map(|&v| all[v as usize]).collect()
+    }
+}
+
+/// Runs a full collection round: randomizes `values` through `oracle`,
+/// aggregates, and returns the estimated count vector. Convenience used by
+/// tests, examples, and experiment binaries.
+pub fn collect_counts<O: FrequencyOracle, R: RngCore>(
+    oracle: &O,
+    values: &[u64],
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut agg = oracle.new_aggregator();
+    for &v in values {
+        let report = oracle.randomize(v, rng);
+        agg.accumulate(&report);
+    }
+    agg.estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// All oracles must produce unbiased estimates on the same workload.
+    /// (Each concrete oracle has its own deeper tests in its module; this
+    /// is the cross-cutting contract check.)
+    #[test]
+    fn all_oracles_unbiased_on_small_domain() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let d = 16u64;
+        let n = 30_000usize;
+        // Deterministic skewed values: item i with weight ~ 2^{-i/2}.
+        let values: Vec<u64> = (0..n).map(|u| (u % 97 % d as usize) as u64).collect();
+        let mut truth = vec![0f64; d as usize];
+        for &v in &values {
+            truth[v as usize] += 1.0;
+        }
+
+        macro_rules! check {
+            ($oracle:expr, $seed:expr) => {{
+                let oracle = $oracle;
+                let mut rng = StdRng::seed_from_u64($seed);
+                let est = collect_counts(&oracle, &values, &mut rng);
+                assert_eq!(est.len(), d as usize);
+                for i in 0..d as usize {
+                    let sd = oracle.count_variance(n, truth[i] / n as f64).sqrt().max(1.0);
+                    assert!(
+                        (est[i] - truth[i]).abs() < 6.0 * sd,
+                        "{} item {i}: est={} truth={} sd={sd}",
+                        oracle.name(),
+                        est[i],
+                        truth[i]
+                    );
+                }
+            }};
+        }
+
+        check!(DirectEncoding::new(d, eps).unwrap(), 1);
+        check!(SymmetricUnaryEncoding::new(d, eps).unwrap(), 2);
+        check!(OptimizedUnaryEncoding::new(d, eps).unwrap(), 3);
+        check!(SummationHistogramEncoding::new(d, eps).unwrap(), 4);
+        check!(ThresholdHistogramEncoding::new(d, eps).unwrap(), 5);
+        check!(BinaryLocalHashing::new(d, eps), 6);
+        check!(OptimizedLocalHashing::new(d, eps), 7);
+        check!(HadamardResponse::new(d, eps), 8);
+    }
+
+    #[test]
+    fn noise_floor_ranking_matches_theory() {
+        // At eps=1, d=128: OUE/OLH ~ 4e/(e-1)^2 n; GRR ~ (d-2+e)/(e-1)^2 n.
+        let eps = Epsilon::new(1.0).unwrap();
+        let d = 128;
+        let n = 1000;
+        let grr = DirectEncoding::new(d, eps).unwrap().noise_floor_variance(n);
+        let oue = OptimizedUnaryEncoding::new(d, eps).unwrap().noise_floor_variance(n);
+        let olh = OptimizedLocalHashing::new(d, eps).noise_floor_variance(n);
+        let sue = SymmetricUnaryEncoding::new(d, eps).unwrap().noise_floor_variance(n);
+        assert!(oue < grr, "OUE should beat GRR for large domains");
+        assert!(oue < sue, "OUE should beat SUE");
+        assert!((oue - olh).abs() / oue < 0.2, "OUE and OLH share the floor");
+    }
+
+    #[test]
+    fn grr_wins_small_domains() {
+        // The crossover: GRR beats OUE iff d < 3 e^eps + 2.
+        let eps = Epsilon::new(1.0).unwrap();
+        let n = 1000;
+        let d_small = 4; // < 3e + 2 ≈ 10.2
+        let d_large = 64;
+        let grr_s = DirectEncoding::new(d_small, eps).unwrap().noise_floor_variance(n);
+        let oue_s = OptimizedUnaryEncoding::new(d_small, eps).unwrap().noise_floor_variance(n);
+        assert!(grr_s < oue_s);
+        let grr_l = DirectEncoding::new(d_large, eps).unwrap().noise_floor_variance(n);
+        let oue_l = OptimizedUnaryEncoding::new(d_large, eps).unwrap().noise_floor_variance(n);
+        assert!(oue_l < grr_l);
+    }
+}

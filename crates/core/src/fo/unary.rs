@@ -1,0 +1,312 @@
+//! Unary-encoding frequency oracles: SUE (basic RAPPOR) and OUE.
+//!
+//! The client one-hot encodes its value into `d` bits and perturbs each bit
+//! independently: a 1-bit survives as 1 with probability `p`, a 0-bit flips
+//! to 1 with probability `q`. Privacy comes from the *pair* of flips that
+//! distinguish two inputs: the likelihood ratio is
+//! `(p/q)·((1−q)/(1−p)) ≤ e^ε`.
+//!
+//! * **SUE** (symmetric, `p + q = 1`, `p = e^{ε/2}/(e^{ε/2}+1)`) is exactly
+//!   the perturbation inside Google's basic one-time RAPPOR.
+//! * **OUE** (optimized: `p = ½`, `q = 1/(e^ε+1)`) spends the budget
+//!   asymmetrically on protecting 0-bits — for large sparse domains almost
+//!   all bits are 0, and Wang et al. showed this choice minimizes the
+//!   noise floor, reaching `4e^ε/(e^ε−1)²` per user.
+
+use super::{FoAggregator, FrequencyOracle};
+use crate::estimate::debiased_count_variance;
+use crate::privacy::Epsilon;
+use crate::{Error, Result};
+use ldp_sketch::BitVec;
+use rand::{Rng, RngCore};
+
+/// Shared implementation for unary encodings parameterized by `(p, q)`.
+#[derive(Debug, Clone, Copy)]
+struct UnaryCore {
+    d: u64,
+    epsilon: Epsilon,
+    p: f64,
+    q: f64,
+}
+
+impl UnaryCore {
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
+        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        let mut bits = BitVec::zeros(self.d as usize);
+        for i in 0..self.d as usize {
+            let bit_true = i as u64 == value;
+            let keep_p = if bit_true { self.p } else { self.q };
+            if rng.gen_bool(keep_p) {
+                bits.set(i, true);
+            }
+        }
+        bits
+    }
+}
+
+/// Symmetric unary encoding (SUE) — the perturbation of basic RAPPOR.
+///
+/// # Examples
+/// ```
+/// use ldp_core::fo::{FrequencyOracle, FoAggregator, SymmetricUnaryEncoding};
+/// use ldp_core::Epsilon;
+/// use rand::SeedableRng;
+/// let sue = SymmetricUnaryEncoding::new(8, Epsilon::new(1.0).unwrap()).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut agg = sue.new_aggregator();
+/// for _ in 0..2000 {
+///     agg.accumulate(&sue.randomize(3, &mut rng));
+/// }
+/// let est = agg.estimate();
+/// assert!(est[3] > 1500.0); // everyone holds item 3
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SymmetricUnaryEncoding {
+    core: UnaryCore,
+}
+
+impl SymmetricUnaryEncoding {
+    /// Creates SUE over a domain of `d ≥ 2` items.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidDomain`] if `d < 2`.
+    pub fn new(d: u64, epsilon: Epsilon) -> Result<Self> {
+        if d < 2 {
+            return Err(Error::InvalidDomain(format!("unary encoding needs d >= 2, got {d}")));
+        }
+        let half = (epsilon.value() / 2.0).exp();
+        Ok(Self {
+            core: UnaryCore {
+                d,
+                epsilon,
+                p: half / (half + 1.0),
+                q: 1.0 / (half + 1.0),
+            },
+        })
+    }
+
+    /// `(p, q)` bit-keep probabilities.
+    pub fn probabilities(&self) -> (f64, f64) {
+        (self.core.p, self.core.q)
+    }
+}
+
+/// Optimized unary encoding (OUE): `p = ½`, `q = 1/(e^ε+1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizedUnaryEncoding {
+    core: UnaryCore,
+}
+
+impl OptimizedUnaryEncoding {
+    /// Creates OUE over a domain of `d ≥ 2` items.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidDomain`] if `d < 2`.
+    pub fn new(d: u64, epsilon: Epsilon) -> Result<Self> {
+        if d < 2 {
+            return Err(Error::InvalidDomain(format!("unary encoding needs d >= 2, got {d}")));
+        }
+        Ok(Self {
+            core: UnaryCore {
+                d,
+                epsilon,
+                p: 0.5,
+                q: 1.0 / (epsilon.exp() + 1.0),
+            },
+        })
+    }
+
+    /// `(p, q)` bit-keep probabilities.
+    pub fn probabilities(&self) -> (f64, f64) {
+        (self.core.p, self.core.q)
+    }
+}
+
+macro_rules! impl_unary_oracle {
+    ($ty:ty, $name:literal) => {
+        impl FrequencyOracle for $ty {
+            type Report = BitVec;
+            type Aggregator = UnaryAggregator;
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn domain_size(&self) -> u64 {
+                self.core.d
+            }
+
+            fn epsilon(&self) -> Epsilon {
+                self.core.epsilon
+            }
+
+            fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
+                self.core.randomize(value, rng)
+            }
+
+            fn new_aggregator(&self) -> UnaryAggregator {
+                UnaryAggregator {
+                    ones: vec![0; self.core.d as usize],
+                    n: 0,
+                    p: self.core.p,
+                    q: self.core.q,
+                }
+            }
+
+            fn count_variance(&self, n: usize, f: f64) -> f64 {
+                debiased_count_variance(n, f * n as f64, self.core.p, self.core.q)
+            }
+
+            fn report_bits(&self) -> usize {
+                self.core.d as usize
+            }
+        }
+    };
+}
+
+impl_unary_oracle!(SymmetricUnaryEncoding, "SUE");
+impl_unary_oracle!(OptimizedUnaryEncoding, "OUE");
+
+/// Aggregator for unary encodings: per-position 1-counts plus debiasing.
+#[derive(Debug, Clone)]
+pub struct UnaryAggregator {
+    ones: Vec<u64>,
+    n: usize,
+    p: f64,
+    q: f64,
+}
+
+impl FoAggregator for UnaryAggregator {
+    type Report = BitVec;
+
+    fn accumulate(&mut self, report: &BitVec) {
+        assert_eq!(report.len(), self.ones.len(), "report width mismatch");
+        report.accumulate_into(&mut self.ones);
+        self.n += 1;
+    }
+
+    fn reports(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        let n = self.n as f64;
+        self.ones
+            .iter()
+            .map(|&o| (o as f64 - n * self.q) / (self.p - self.q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn sue_probabilities_satisfy_ldp() {
+        let sue = SymmetricUnaryEncoding::new(16, eps(1.0)).unwrap();
+        let (p, q) = sue.probabilities();
+        // p + q = 1 (symmetric) and (p/q)((1-q)/(1-p)) = e^eps.
+        assert!((p + q - 1.0).abs() < 1e-12);
+        let ratio = (p / q) * ((1.0 - q) / (1.0 - p));
+        assert!((ratio - 1.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oue_probabilities_satisfy_ldp() {
+        let oue = OptimizedUnaryEncoding::new(16, eps(1.0)).unwrap();
+        let (p, q) = oue.probabilities();
+        assert_eq!(p, 0.5);
+        let ratio = (p / q) * ((1.0 - q) / (1.0 - p));
+        assert!((ratio - 1.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oue_noise_floor_formula() {
+        // Var* = n 4 e^eps / (e^eps - 1)^2.
+        let e = 1.3f64;
+        let oue = OptimizedUnaryEncoding::new(32, eps(e)).unwrap();
+        let n = 1000;
+        let expected = n as f64 * 4.0 * e.exp() / (e.exp() - 1.0).powi(2);
+        let got = oue.noise_floor_variance(n);
+        assert!((got - expected).abs() / expected < 1e-9, "got={got} expected={expected}");
+    }
+
+    #[test]
+    fn oue_beats_sue_everywhere() {
+        for &e in &[0.5, 1.0, 2.0, 4.0] {
+            let oue = OptimizedUnaryEncoding::new(64, eps(e)).unwrap();
+            let sue = SymmetricUnaryEncoding::new(64, eps(e)).unwrap();
+            assert!(
+                oue.noise_floor_variance(100) <= sue.noise_floor_variance(100) * 1.0001,
+                "eps={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_unbiased_over_trials() {
+        let oue = OptimizedUnaryEncoding::new(8, eps(0.8)).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 4000;
+        let trials = 30;
+        let mut sum0 = 0.0;
+        for _ in 0..trials {
+            let mut agg = oue.new_aggregator();
+            for u in 0..n {
+                // item 0 has frequency 1/4
+                let v = if u % 4 == 0 { 0 } else { 1 + (u % 7) as u64 };
+                agg.accumulate(&oue.randomize(v, &mut rng));
+            }
+            sum0 += agg.estimate()[0];
+        }
+        let avg0 = sum0 / trials as f64;
+        let truth = n as f64 / 4.0;
+        assert!((avg0 - truth).abs() < 40.0, "avg={avg0} truth={truth}");
+    }
+
+    #[test]
+    fn empirical_variance_matches_formula() {
+        let oue = OptimizedUnaryEncoding::new(4, eps(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(37);
+        let n = 1000;
+        let trials = 2000;
+        let f0 = 0.25;
+        let ests: Vec<f64> = (0..trials)
+            .map(|_| {
+                let mut agg = oue.new_aggregator();
+                for u in 0..n {
+                    let v = if u % 4 == 0 { 0u64 } else { (u % 3 + 1) as u64 };
+                    agg.accumulate(&oue.randomize(v, &mut rng));
+                }
+                agg.estimate()[0]
+            })
+            .collect();
+        let var = crate::estimate::variance(&ests);
+        let predicted = oue.count_variance(n, f0);
+        assert!(
+            (var - predicted).abs() / predicted < 0.15,
+            "var={var} predicted={predicted}"
+        );
+    }
+
+    #[test]
+    fn rejects_domain_of_one() {
+        assert!(SymmetricUnaryEncoding::new(1, eps(1.0)).is_err());
+        assert!(OptimizedUnaryEncoding::new(1, eps(1.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        let oue = OptimizedUnaryEncoding::new(4, eps(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        oue.randomize(4, &mut rng);
+    }
+}

@@ -1,0 +1,80 @@
+//! # `ldp-core` — the mechanisms of local differential privacy
+//!
+//! This crate implements §1.1 ("Introduction and Preliminaries") and the
+//! frequency-oracle layer of §1.2 of the SIGMOD 2018 tutorial *"Privacy at
+//! Scale: Local Differential Privacy in Practice"*:
+//!
+//! * [`privacy`] — the ε-LDP definition as a type ([`Epsilon`]), budget
+//!   accounting and sequential composition ([`privacy::PrivacyBudget`]).
+//! * [`rr`] — randomized response, from Warner's 1965 single-bit coin toss
+//!   to the k-ary generalization that underlies direct encoding.
+//! * [`fo`] — the frequency-oracle family of Wang et al. (USENIX Security
+//!   2017): direct encoding (GRR), symmetric/optimized unary encoding
+//!   (SUE = basic RAPPOR, OUE), summation/thresholding with histogram
+//!   encoding (SHE, THE), binary/optimized local hashing (BLH, OLH), and
+//!   Hadamard response — all behind one [`fo::FrequencyOracle`] trait.
+//! * [`mean`] — numeric mechanisms: Duchi et al.'s minimax ±c mechanism,
+//!   the Laplace mechanism, stochastic rounding, and the piecewise
+//!   mechanism.
+//! * [`noise`] — Laplace / discrete-geometric samplers shared by the
+//!   mechanisms and by central-DP baselines.
+//! * [`estimate`] — the statistical toolkit the tutorial teaches:
+//!   debiasing, closed-form variances, and confidence tail bounds.
+//!
+//! ## The model
+//!
+//! A randomized client-side algorithm `M` is ε-LDP iff for all inputs
+//! `v, v'` and all outputs `y`: `Pr[M(v) = y] ≤ e^ε · Pr[M(v') = y]`.
+//! Every mechanism in this crate documents its `(p, q)` perturbation
+//! probabilities and carries the proof obligation in tests: empirical
+//! likelihood ratios never exceed `e^ε` (see `tests/` and each module's
+//! property tests).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod estimate;
+pub mod fo;
+pub mod mean;
+pub mod noise;
+pub mod postprocess;
+pub mod privacy;
+pub mod rr;
+
+pub use privacy::{Epsilon, PrivacyBudget};
+
+/// Errors surfaced by `ldp-core` constructors and estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The privacy parameter was not a positive, finite number.
+    InvalidEpsilon(f64),
+    /// A domain size was zero or otherwise unusable for the mechanism.
+    InvalidDomain(String),
+    /// A mechanism parameter was out of range.
+    InvalidParameter(String),
+    /// The privacy budget has been exhausted.
+    BudgetExhausted {
+        /// Amount requested.
+        requested: f64,
+        /// Amount remaining.
+        remaining: f64,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidEpsilon(e) => write!(f, "epsilon must be positive and finite, got {e}"),
+            Error::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::BudgetExhausted { requested, remaining } => {
+                write!(f, "privacy budget exhausted: requested {requested}, remaining {remaining}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

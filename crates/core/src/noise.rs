@@ -1,0 +1,151 @@
+//! Noise primitives: Laplace and two-sided (discrete) geometric samplers.
+//!
+//! The Laplace distribution is the workhorse of both central DP (§1.5 of the
+//! tutorial) and of histogram-encoding frequency oracles (SHE/THE), where
+//! each client adds `Lap(2/ε)` to every coordinate of a one-hot vector. The
+//! two-sided geometric distribution is its integer analogue, used when
+//! reports must be integral.
+
+use rand::Rng;
+
+/// Samples `Lap(0, scale)` — density `f(x) = exp(−|x|/scale) / (2·scale)`.
+///
+/// Uses inverse-CDF sampling: with `u ~ Uniform(−½, ½)`,
+/// `x = −scale · sgn(u) · ln(1 − 2|u|)`.
+///
+/// # Panics
+/// Panics if `scale` is not positive and finite.
+///
+/// # Examples
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = ldp_core::noise::sample_laplace(1.0, &mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be positive, got {scale}");
+    // u in (-0.5, 0.5]; gen::<f64>() is in [0, 1).
+    let u: f64 = 0.5 - rng.gen::<f64>();
+    let magnitude = -(1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln() * scale;
+    if u >= 0.0 {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// Samples the two-sided geometric distribution with parameter
+/// `alpha = exp(−1/scale)`:
+/// `Pr[X = k] = (1−α)/(1+α) · α^{|k|}` for integer `k`.
+///
+/// This is the discrete analogue of `Lap(scale)`; adding it to integer
+/// counts with sensitivity 1 gives `(1/scale)`-DP in the central model.
+///
+/// # Panics
+/// Panics if `scale` is not positive and finite.
+pub fn sample_two_sided_geometric<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> i64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be positive, got {scale}");
+    let alpha = (-1.0 / scale).exp();
+    // Sample sign and magnitude: magnitude ~ Geometric over {0,1,2,...}
+    // conditioned appropriately. Direct inverse-CDF on the two-sided CDF:
+    let u: f64 = rng.gen::<f64>(); // [0,1)
+    // CDF for k >= 0: F(k) = 1 - alpha^{k+1}/(1+alpha)
+    // and for k < 0:  F(k) = alpha^{-k}/(1+alpha)
+    let p_neg = alpha / (1.0 + alpha); // Pr[X < 0] = alpha/(1+alpha)
+    if u < p_neg {
+        // negative side: find smallest m >= 1 with alpha^m/(1+alpha) <= u
+        // alpha^m <= u (1+alpha)  =>  m >= ln(u(1+alpha))/ln(alpha)
+        let m = (u * (1.0 + alpha)).ln() / alpha.ln();
+        -(m.floor() as i64).max(1)
+    } else {
+        // nonnegative side: 1 - alpha^{k+1}/(1+alpha) >= u
+        // alpha^{k+1} <= (1-u)(1+alpha) => k+1 >= ln((1-u)(1+alpha))/ln(alpha)
+        let k1 = ((1.0 - u).max(f64::MIN_POSITIVE) * (1.0 + alpha)).ln() / alpha.ln();
+        (k1.ceil() as i64 - 1).max(0)
+    }
+}
+
+/// The variance of `Lap(scale)`: `2·scale²`.
+#[inline]
+pub fn laplace_variance(scale: f64) -> f64 {
+    2.0 * scale * scale
+}
+
+/// The variance of the two-sided geometric with parameter
+/// `alpha = exp(−1/scale)`: `2α/(1−α)²`.
+#[inline]
+pub fn two_sided_geometric_variance(scale: f64) -> f64 {
+    let alpha = (-1.0 / scale).exp();
+    2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let scale = 2.0;
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(scale, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        let expected = laplace_variance(scale);
+        assert!((var - expected).abs() / expected < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn laplace_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pos = (0..100_000)
+            .filter(|_| sample_laplace(1.0, &mut rng) > 0.0)
+            .count();
+        assert!((pos as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn geometric_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 200_000;
+        let scale = 1.5;
+        let samples: Vec<i64> = (0..n)
+            .map(|_| sample_two_sided_geometric(scale, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        let expected = two_sided_geometric_variance(scale);
+        assert!((var - expected).abs() / expected < 0.05, "var={var} vs {expected}");
+    }
+
+    #[test]
+    fn geometric_pmf_shape() {
+        // Pr[X=0] should be the mode and ≈ (1-α)/(1+α).
+        let mut rng = StdRng::seed_from_u64(7);
+        let scale = 1.0;
+        let alpha = (-1.0f64 / scale).exp();
+        let n = 100_000;
+        let zeros = (0..n)
+            .filter(|_| sample_two_sided_geometric(scale, &mut rng) == 0)
+            .count();
+        let expected = (1.0 - alpha) / (1.0 + alpha);
+        let got = zeros as f64 / n as f64;
+        assert!((got - expected).abs() < 0.01, "got={got} expected={expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn laplace_rejects_bad_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_laplace(0.0, &mut rng);
+    }
+}

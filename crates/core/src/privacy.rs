@@ -1,0 +1,250 @@
+//! The ε-LDP privacy model as types: validated privacy parameters and
+//! budget accounting under sequential composition.
+//!
+//! The tutorial's §1.1 introduces local differential privacy as the special
+//! case of differential privacy where each user's randomizer must satisfy
+//! the `e^ε` likelihood-ratio bound *on its own*, with no trusted curator.
+//! Two practical consequences drive the API here:
+//!
+//! 1. **ε is a resource.** Deployed systems (Apple most visibly) meter a
+//!    per-user, per-period budget and split it across collections.
+//!    [`PrivacyBudget`] makes the split explicit and refuses overdrafts.
+//! 2. **Composition is sequential and additive.** If a user answers two
+//!    queries with ε₁- and ε₂-LDP randomizers over the same datum, the pair
+//!    is (ε₁+ε₂)-LDP. That is the only composition rule this crate relies
+//!    on; fancier accounting (Rényi etc.) is out of scope for the tutorial.
+
+use crate::Error;
+
+/// A validated privacy parameter: positive and finite.
+///
+/// Wrapping ε in a type kills the most common LDP implementation bug —
+/// passing a probability, a half-budget, or a zero where ε was expected —
+/// at construction time rather than in a statistics anomaly weeks later.
+///
+/// # Examples
+/// ```
+/// use ldp_core::Epsilon;
+/// let eps = Epsilon::new(std::f64::consts::LN_2).unwrap();
+/// assert!((eps.exp() - 2.0).abs() < 1e-12); // e^ε = 2
+/// assert!(Epsilon::new(0.0).is_err());
+/// assert!(Epsilon::new(f64::INFINITY).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Validates and wraps an ε value.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidEpsilon`] unless `0 < value < ∞`.
+    pub fn new(value: f64) -> Result<Self, Error> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Self(value))
+        } else {
+            Err(Error::InvalidEpsilon(value))
+        }
+    }
+
+    /// The raw ε.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// `e^ε`, the likelihood-ratio bound.
+    #[inline]
+    pub fn exp(&self) -> f64 {
+        self.0.exp()
+    }
+
+    /// Splits the budget into `parts` equal shares (for protocols that
+    /// spend ε across several sub-reports, like SUE's per-bit flips or
+    /// multi-round protocols).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn split(&self, parts: u32) -> Epsilon {
+        assert!(parts > 0, "cannot split into zero parts");
+        Epsilon(self.0 / parts as f64)
+    }
+
+    /// Scales the budget by `fraction` ∈ (0, 1].
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] if the fraction is outside (0, 1].
+    pub fn fraction(&self, fraction: f64) -> Result<Epsilon, Error> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "fraction must be in (0, 1], got {fraction}"
+            )));
+        }
+        Ok(Epsilon(self.0 * fraction))
+    }
+
+    /// Sequential composition: the budget consumed by running this
+    /// mechanism and then `other` on the same datum.
+    pub fn compose(&self, other: Epsilon) -> Epsilon {
+        Epsilon(self.0 + other.0)
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// A per-user privacy budget metered under sequential composition.
+///
+/// Mirrors how deployed systems account for privacy loss: a total per-period
+/// allowance from which each collection event draws. Draws that would
+/// overdraw fail loudly instead of silently degrading the guarantee.
+///
+/// # Examples
+/// ```
+/// use ldp_core::{Epsilon, PrivacyBudget};
+/// let mut budget = PrivacyBudget::new(Epsilon::new(4.0).unwrap());
+/// let e1 = budget.draw(1.5).unwrap();
+/// let e2 = budget.draw(1.5).unwrap();
+/// assert!(budget.draw(1.5).is_err());        // only 1.0 left
+/// assert_eq!(budget.spent(), e1.value() + e2.value());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget with the given total allowance.
+    pub fn new(total: Epsilon) -> Self {
+        Self {
+            total: total.value(),
+            spent: 0.0,
+        }
+    }
+
+    /// Attempts to draw `amount` of ε from the budget.
+    ///
+    /// # Errors
+    /// [`Error::InvalidEpsilon`] if `amount` is not positive/finite;
+    /// [`Error::BudgetExhausted`] if the remaining budget is insufficient
+    /// (within a 1e-9 tolerance for floating-point splits).
+    pub fn draw(&mut self, amount: f64) -> Result<Epsilon, Error> {
+        let eps = Epsilon::new(amount)?;
+        let remaining = self.remaining();
+        if amount > remaining + 1e-9 {
+            return Err(Error::BudgetExhausted {
+                requested: amount,
+                remaining,
+            });
+        }
+        self.spent += amount;
+        Ok(eps)
+    }
+
+    /// Draws an equal share of the *remaining* budget for each of `parts`
+    /// future collections.
+    ///
+    /// # Errors
+    /// Propagates [`Error::BudgetExhausted`] / [`Error::InvalidEpsilon`] from
+    /// the underlying draw (e.g. if the budget is already fully spent).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn draw_share(&mut self, parts: u32) -> Result<Epsilon, Error> {
+        assert!(parts > 0, "cannot draw a zero-way share");
+        let share = self.remaining() / parts as f64;
+        self.draw(share)
+    }
+
+    /// Total allowance.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// True if at least `amount` remains.
+    pub fn can_afford(&self, amount: f64) -> bool {
+        amount <= self.remaining() + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_rejects_bad_values() {
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+        assert!(Epsilon::new(1e-9).is_ok());
+        assert!(Epsilon::new(20.0).is_ok());
+    }
+
+    #[test]
+    fn split_and_compose_are_inverse() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let half = eps.split(2);
+        assert!((half.value() - 1.0).abs() < 1e-12);
+        let back = half.compose(half);
+        assert!((back.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_validates() {
+        let eps = Epsilon::new(2.0).unwrap();
+        assert!(eps.fraction(0.0).is_err());
+        assert!(eps.fraction(1.1).is_err());
+        assert!((eps.fraction(0.25).unwrap().value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let mut b = PrivacyBudget::new(Epsilon::new(1.0).unwrap());
+        assert!(b.can_afford(1.0));
+        b.draw(0.4).unwrap();
+        assert!((b.remaining() - 0.6).abs() < 1e-12);
+        assert!(!b.can_afford(0.7));
+        let err = b.draw(0.7).unwrap_err();
+        match err {
+            Error::BudgetExhausted { requested, remaining } => {
+                assert!((requested - 0.7).abs() < 1e-12);
+                assert!((remaining - 0.6).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Failed draws must not consume budget.
+        assert!((b.remaining() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draw_share_divides_remaining() {
+        let mut b = PrivacyBudget::new(Epsilon::new(3.0).unwrap());
+        b.draw(1.0).unwrap();
+        let share = b.draw_share(2).unwrap();
+        assert!((share.value() - 1.0).abs() < 1e-12);
+        assert!((b.remaining() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_exhaustion_allowed() {
+        let mut b = PrivacyBudget::new(Epsilon::new(1.0).unwrap());
+        b.draw(0.5).unwrap();
+        b.draw(0.5).unwrap();
+        assert!(b.remaining() < 1e-12);
+        assert!(b.draw(0.01).is_err());
+    }
+}

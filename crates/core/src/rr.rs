@@ -1,0 +1,374 @@
+//! Randomized response: the fifty-year-old idea the tutorial opens with.
+//!
+//! Warner (JASA 1965) proposed masking a sensitive yes/no answer by tossing
+//! a biased coin: answer truthfully with probability `p`, lie with
+//! probability `1−p`. With `p = e^ε/(e^ε+1)` this is exactly ε-LDP, and the
+//! aggregator can invert the known bias to recover the population
+//! proportion — unbiased, with variance `p(1−p)/(n(2p−1)²)`.
+//!
+//! [`BinaryRandomizedResponse`] is the single-bit mechanism;
+//! [`KaryRandomizedResponse`] is the k-ary generalization (a.k.a. direct
+//! encoding / generalized randomized response), which keeps the true value
+//! with probability `e^ε/(e^ε+k−1)` and otherwise reports a uniformly
+//! random *other* value.
+
+use crate::privacy::Epsilon;
+use crate::{Error, Result};
+use rand::Rng;
+
+/// Warner's randomized response over a single bit.
+///
+/// # Examples
+/// ```
+/// use ldp_core::rr::BinaryRandomizedResponse;
+/// use ldp_core::Epsilon;
+/// use rand::SeedableRng;
+///
+/// let rr = BinaryRandomizedResponse::new(Epsilon::new(1.0).unwrap());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// // 10k users, 30% of whom hold `true`.
+/// let reports: Vec<bool> =
+///     (0..10_000).map(|i| rr.randomize(i % 10 < 3, &mut rng)).collect();
+/// let ones = reports.iter().filter(|&&b| b).count();
+/// let est = rr.estimate_proportion(ones, reports.len());
+/// assert!((est - 0.3).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryRandomizedResponse {
+    epsilon: Epsilon,
+    /// Probability of answering truthfully: `e^ε/(e^ε+1)`.
+    p_truth: f64,
+}
+
+impl BinaryRandomizedResponse {
+    /// Creates the mechanism with truth probability `e^ε/(e^ε+1)`.
+    pub fn new(epsilon: Epsilon) -> Self {
+        let e = epsilon.exp();
+        Self {
+            epsilon,
+            p_truth: e / (e + 1.0),
+        }
+    }
+
+    /// The privacy parameter.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Probability of reporting the true bit.
+    pub fn p_truth(&self) -> f64 {
+        self.p_truth
+    }
+
+    /// Client side: perturbs one bit.
+    pub fn randomize<R: Rng + ?Sized>(&self, value: bool, rng: &mut R) -> bool {
+        if rng.gen_bool(self.p_truth) {
+            value
+        } else {
+            !value
+        }
+    }
+
+    /// Server side: unbiased estimate of the true proportion of `true`
+    /// from the observed count of `true` reports.
+    ///
+    /// `π̂ = (observed/n − (1−p)) / (2p − 1)`; the estimate may fall outside
+    /// `[0,1]` for small `n` — by design, since clamping would bias it.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `ones > n`.
+    pub fn estimate_proportion(&self, ones: usize, n: usize) -> f64 {
+        assert!(n > 0, "cannot estimate from zero reports");
+        assert!(ones <= n, "ones={ones} exceeds n={n}");
+        let p = self.p_truth;
+        (ones as f64 / n as f64 - (1.0 - p)) / (2.0 * p - 1.0)
+    }
+
+    /// Warner's variance of
+    /// [`estimate_proportion`](Self::estimate_proportion) when the true
+    /// proportion is `pi`: `Var = λ(1−λ) / (n(2p−1)²)` with
+    /// `λ = pi(2p−1) + 1 − p` the probability a report reads `true`.
+    ///
+    /// This is the *survey-sampling* variance: it treats each respondent's
+    /// true bit as itself drawn Bernoulli(`pi`). For a **fixed** population
+    /// (the usual LDP deployment view), use
+    /// [`conditional_variance`](Self::conditional_variance), which is
+    /// smaller by exactly the population-sampling term `pi(1−pi)/n`.
+    pub fn estimator_variance(&self, pi: f64, n: usize) -> f64 {
+        let p = self.p_truth;
+        let lambda = pi * (2.0 * p - 1.0) + (1.0 - p);
+        lambda * (1.0 - lambda) / (n as f64 * (2.0 * p - 1.0).powi(2))
+    }
+
+    /// Variance of the proportion estimate *conditioned on a fixed
+    /// population*: each report is Bernoulli with success probability `p`
+    /// or `1−p`, and `p(1−p)` is the same for both, so
+    /// `Var = p(1−p)/(n(2p−1)²)` — independent of the true proportion.
+    pub fn conditional_variance(&self, n: usize) -> f64 {
+        let p = self.p_truth;
+        p * (1.0 - p) / (n as f64 * (2.0 * p - 1.0).powi(2))
+    }
+
+    /// Worst-case (pi = ½) standard deviation of the proportion estimate —
+    /// the `(e^ε+1)/(e^ε−1) · 1/(2√n)` rule of thumb the tutorial derives.
+    pub fn worst_case_std(&self, n: usize) -> f64 {
+        self.estimator_variance(0.5, n).sqrt()
+    }
+}
+
+/// K-ary (generalized) randomized response / direct encoding.
+///
+/// Keeps the true value with `p = e^ε/(e^ε+k−1)` and otherwise reports one
+/// of the `k−1` other values uniformly (`q = 1/(e^ε+k−1)` each). The
+/// likelihood ratio of any output under any two inputs is exactly
+/// `p/q = e^ε`.
+#[derive(Debug, Clone, Copy)]
+pub struct KaryRandomizedResponse {
+    k: u64,
+    epsilon: Epsilon,
+    p: f64,
+    q: f64,
+}
+
+impl KaryRandomizedResponse {
+    /// Creates the mechanism over a domain `{0, …, k−1}`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidDomain`] if `k < 2`.
+    pub fn new(k: u64, epsilon: Epsilon) -> Result<Self> {
+        if k < 2 {
+            return Err(Error::InvalidDomain(format!(
+                "k-ary randomized response needs k >= 2, got {k}"
+            )));
+        }
+        let e = epsilon.exp();
+        Ok(Self {
+            k,
+            epsilon,
+            p: e / (e + k as f64 - 1.0),
+            q: 1.0 / (e + k as f64 - 1.0),
+        })
+    }
+
+    /// Domain size `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The privacy parameter.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Probability of reporting the true value.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of reporting any particular *other* value.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Client side: perturbs a value in `{0, …, k−1}`.
+    ///
+    /// # Panics
+    /// Panics if `value >= k`.
+    pub fn randomize<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> u64 {
+        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        if rng.gen_bool(self.p) {
+            value
+        } else {
+            // Uniform over the other k-1 values: draw from [0, k-1) and
+            // shift past the true value.
+            let r = rng.gen_range(0..self.k - 1);
+            if r >= value {
+                r + 1
+            } else {
+                r
+            }
+        }
+    }
+
+    /// Server side: unbiased count estimate for value `v` from the observed
+    /// report histogram.
+    ///
+    /// `ĉ_v = (obs_v − n·q) / (p − q)`.
+    ///
+    /// # Panics
+    /// Panics if `observed.len() != k`.
+    pub fn estimate_counts(&self, observed: &[u64]) -> Vec<f64> {
+        assert_eq!(observed.len() as u64, self.k, "histogram length mismatch");
+        let n: u64 = observed.iter().sum();
+        observed
+            .iter()
+            .map(|&o| (o as f64 - n as f64 * self.q) / (self.p - self.q))
+            .collect()
+    }
+
+    /// Closed-form variance of the count estimate for an item with true
+    /// frequency `f` (fraction of `n`): Wang et al.'s
+    /// `n·q(1−q)/(p−q)² + n·f·(1−p−q)/(p−q)`.
+    pub fn count_variance(&self, n: usize, f: f64) -> f64 {
+        let (p, q) = (self.p, self.q);
+        n as f64 * q * (1.0 - q) / (p - q).powi(2) + n as f64 * f * (1.0 - p - q) / (p - q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn binary_truth_probability_matches_ldp() {
+        let rr = BinaryRandomizedResponse::new(eps(std::f64::consts::LN_2));
+        // e^eps = 2 -> p = 2/3
+        assert!((rr.p_truth() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_estimate_unbiased() {
+        let rr = BinaryRandomizedResponse::new(eps(1.0));
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let true_pi = 0.2;
+        let mut avg = 0.0;
+        let trials = 20;
+        for _ in 0..trials {
+            let ones = (0..n)
+                .filter(|&i| rr.randomize((i as f64 / n as f64) < true_pi, &mut rng))
+                .count();
+            avg += rr.estimate_proportion(ones, n);
+        }
+        avg /= trials as f64;
+        assert!((avg - true_pi).abs() < 0.01, "avg={avg}");
+    }
+
+    #[test]
+    fn binary_empirical_variance_matches_formula() {
+        let rr = BinaryRandomizedResponse::new(eps(1.0));
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 2_000;
+        let pi = 0.3;
+        let trials = 3_000;
+        let ests: Vec<f64> = (0..trials)
+            .map(|_| {
+                let ones = (0..n)
+                    .filter(|&i| rr.randomize((i as f64) < pi * n as f64, &mut rng))
+                    .count();
+                rr.estimate_proportion(ones, n)
+            })
+            .collect();
+        let mean: f64 = ests.iter().sum::<f64>() / trials as f64;
+        let var: f64 = ests.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / trials as f64;
+        // Fixed population -> conditional variance applies.
+        let predicted = rr.conditional_variance(n);
+        assert!(
+            (var - predicted).abs() / predicted < 0.15,
+            "var={var} predicted={predicted}"
+        );
+        // And Warner's unconditional variance upper-bounds it.
+        assert!(rr.estimator_variance(pi, n) >= predicted);
+    }
+
+    #[test]
+    fn binary_likelihood_ratio_bounded() {
+        // Empirically: Pr[report=1 | true] / Pr[report=1 | false] <= e^eps.
+        let e = 0.8;
+        let rr = BinaryRandomizedResponse::new(eps(e));
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 400_000;
+        let ones_given_true = (0..n).filter(|_| rr.randomize(true, &mut rng)).count() as f64 / n as f64;
+        let ones_given_false = (0..n).filter(|_| rr.randomize(false, &mut rng)).count() as f64 / n as f64;
+        let ratio = ones_given_true / ones_given_false;
+        assert!(ratio <= e.exp() * 1.05, "ratio={ratio}");
+        assert!(ratio >= e.exp() * 0.95, "RR should saturate the bound: {ratio}");
+    }
+
+    #[test]
+    fn kary_rejects_tiny_domain() {
+        assert!(KaryRandomizedResponse::new(1, eps(1.0)).is_err());
+        assert!(KaryRandomizedResponse::new(2, eps(1.0)).is_ok());
+    }
+
+    #[test]
+    fn kary_p_over_q_is_exp_eps() {
+        for &k in &[2u64, 5, 100] {
+            for &e in &[0.5, 1.0, 3.0] {
+                let m = KaryRandomizedResponse::new(k, eps(e)).unwrap();
+                assert!((m.p() / m.q() - e.exp()).abs() < 1e-9);
+                // p + (k-1) q = 1: it's a distribution.
+                assert!((m.p() + (k - 1) as f64 * m.q() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kary_estimates_unbiased() {
+        let k = 8u64;
+        let m = KaryRandomizedResponse::new(k, eps(1.5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 80_000usize;
+        // True distribution: item i has weight proportional to i+1.
+        let total_w: u64 = (1..=k).sum();
+        let mut observed = vec![0u64; k as usize];
+        for u in 0..n {
+            // Deterministic assignment matching the weights.
+            let mut v = 0u64;
+            let mut acc = 0u64;
+            let target = (u as u64 * total_w / n as u64).min(total_w - 1);
+            for i in 0..k {
+                acc += i + 1;
+                if target < acc {
+                    v = i;
+                    break;
+                }
+            }
+            observed[m.randomize(v, &mut rng) as usize] += 1;
+        }
+        let est = m.estimate_counts(&observed);
+        for i in 0..k as usize {
+            let truth = n as f64 * (i + 1) as f64 / total_w as f64;
+            let sd = m.count_variance(n, truth / n as f64).sqrt();
+            assert!(
+                (est[i] - truth).abs() < 5.0 * sd,
+                "item {i}: est={} truth={truth} sd={sd}",
+                est[i]
+            );
+        }
+    }
+
+    #[test]
+    fn kary_randomize_covers_domain() {
+        let m = KaryRandomizedResponse::new(4, eps(0.1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[m.randomize(0, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "low eps should cover all outputs");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn kary_out_of_domain_panics() {
+        let m = KaryRandomizedResponse::new(4, eps(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        m.randomize(4, &mut rng);
+    }
+
+    #[test]
+    fn worst_case_std_shrinks_with_n() {
+        let rr = BinaryRandomizedResponse::new(eps(1.0));
+        assert!(rr.worst_case_std(10_000) < rr.worst_case_std(100));
+        // ~ 1/sqrt(n) scaling
+        let ratio = rr.worst_case_std(100) / rr.worst_case_std(10_000);
+        assert!((ratio - 10.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests over the frequency-oracle family: for arbitrary
+//! (ε, d, value) configurations, every mechanism must produce in-domain
+//! reports, finite unbiased estimates, and internally consistent
+//! channel probabilities.
+
+use ldp_core::fo::{
+    DirectEncoding, FoAggregator, FrequencyOracle, HadamardResponse, OptimizedLocalHashing,
+    OptimizedUnaryEncoding, SubsetSelection, SymmetricUnaryEncoding, ThresholdHistogramEncoding,
+};
+use ldp_core::Epsilon;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eps_strategy() -> impl Strategy<Value = f64> {
+    0.2f64..5.0
+}
+
+fn check_roundtrip<O: FrequencyOracle>(oracle: &O, value: u64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agg = oracle.new_aggregator();
+    for _ in 0..200 {
+        let report = oracle.randomize(value, &mut rng);
+        agg.accumulate(&report);
+    }
+    assert_eq!(agg.reports(), 200);
+    let est = agg.estimate();
+    assert_eq!(est.len(), oracle.domain_size() as usize);
+    for (i, &e) in est.iter().enumerate() {
+        assert!(e.is_finite(), "{} item {i} estimate not finite", oracle.name());
+    }
+    // The true item's estimate should rank near the top, given all 200
+    // reports carry it — checked loosely (top half, min 8) so rare noise
+    // draws at small epsilon/large d don't flake.
+    let mut order: Vec<usize> = (0..est.len()).collect();
+    order.sort_by(|&a, &b| est[b].total_cmp(&est[a]));
+    let rank = order.iter().position(|&i| i as u64 == value).expect("value present");
+    if oracle.epsilon().value() >= 1.0 {
+        let bound = (est.len() / 2).max(8).min(est.len());
+        assert!(
+            rank < bound,
+            "{}: true value ranked {rank} of {}",
+            oracle.name(),
+            est.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grr_roundtrip(e in eps_strategy(), d in 2u64..64, seed in 0u64..1000) {
+        let value = seed % d;
+        let oracle = DirectEncoding::new(d, Epsilon::new(e).expect("eps")).expect("domain");
+        check_roundtrip(&oracle, value, seed);
+    }
+
+    #[test]
+    fn sue_roundtrip(e in eps_strategy(), d in 2u64..48, seed in 0u64..1000) {
+        let value = seed % d;
+        let oracle = SymmetricUnaryEncoding::new(d, Epsilon::new(e).expect("eps")).expect("domain");
+        check_roundtrip(&oracle, value, seed);
+    }
+
+    #[test]
+    fn oue_roundtrip(e in eps_strategy(), d in 2u64..48, seed in 0u64..1000) {
+        let value = seed % d;
+        let oracle = OptimizedUnaryEncoding::new(d, Epsilon::new(e).expect("eps")).expect("domain");
+        check_roundtrip(&oracle, value, seed);
+    }
+
+    #[test]
+    fn the_roundtrip(e in eps_strategy(), d in 2u64..48, seed in 0u64..1000) {
+        let value = seed % d;
+        let oracle = ThresholdHistogramEncoding::new(d, Epsilon::new(e).expect("eps")).expect("domain");
+        check_roundtrip(&oracle, value, seed);
+    }
+
+    #[test]
+    fn olh_roundtrip(e in eps_strategy(), d in 2u64..64, seed in 0u64..1000) {
+        let value = seed % d;
+        let oracle = OptimizedLocalHashing::new(d, Epsilon::new(e).expect("eps"));
+        check_roundtrip(&oracle, value, seed);
+    }
+
+    #[test]
+    fn hr_roundtrip(e in eps_strategy(), d in 2u64..64, seed in 0u64..1000) {
+        let value = seed % d;
+        let oracle = HadamardResponse::new(d, Epsilon::new(e).expect("eps"));
+        check_roundtrip(&oracle, value, seed);
+    }
+
+    #[test]
+    fn ss_roundtrip(e in eps_strategy(), d in 2u64..48, seed in 0u64..1000) {
+        let value = seed % d;
+        let oracle = SubsetSelection::new(d, Epsilon::new(e).expect("eps"));
+        check_roundtrip(&oracle, value, seed);
+    }
+
+    #[test]
+    fn variance_formulas_positive_and_monotone_in_n(
+        e in eps_strategy(), d in 2u64..256, f in 0.0f64..1.0
+    ) {
+        let eps = Epsilon::new(e).expect("eps");
+        macro_rules! check {
+            ($o:expr) => {{
+                let o = $o;
+                let v1 = o.count_variance(1_000, f);
+                let v2 = o.count_variance(10_000, f);
+                prop_assert!(v1.is_finite() && v1 >= 0.0, "{} var negative", o.name());
+                prop_assert!(v2 > v1, "{} count variance must grow with n", o.name());
+            }};
+        }
+        check!(DirectEncoding::new(d, eps).expect("domain"));
+        check!(OptimizedUnaryEncoding::new(d, eps).expect("domain"));
+        check!(OptimizedLocalHashing::new(d, eps));
+        check!(HadamardResponse::new(d, eps));
+        check!(SubsetSelection::new(d, eps));
+    }
+
+    #[test]
+    fn more_privacy_means_more_variance(d in 4u64..128) {
+        // Noise floor must be monotone decreasing in epsilon.
+        let lo = Epsilon::new(0.5).expect("eps");
+        let hi = Epsilon::new(2.0).expect("eps");
+        macro_rules! check {
+            ($ctor:expr) => {{
+                let f = $ctor;
+                let v_lo = f(lo).noise_floor_variance(1000);
+                let v_hi = f(hi).noise_floor_variance(1000);
+                prop_assert!(v_lo > v_hi, "weaker privacy should not raise variance");
+            }};
+        }
+        check!(|e| DirectEncoding::new(d, e).expect("domain"));
+        check!(|e| OptimizedUnaryEncoding::new(d, e).expect("domain"));
+        check!(|e| OptimizedLocalHashing::new(d, e));
+        check!(|e| HadamardResponse::new(d, e));
+    }
+}

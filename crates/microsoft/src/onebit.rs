@@ -1,0 +1,161 @@
+//! 1BitMean: Microsoft's single-bit mean estimator.
+//!
+//! Each device holds `x ∈ [0, max]` and transmits **one bit**, set with
+//! probability
+//! `Pr[1] = 1/(e^ε+1) + (x/max)·(e^ε−1)/(e^ε+1)`.
+//! The bit is ε-LDP (likelihood ratio between any two inputs is at most
+//! `e^ε`, attained at the endpoints), and the debiased average
+//! `max/n · Σ (b·(e^ε+1) − 1)/(e^ε−1)` is an unbiased mean estimate with
+//! worst-case standard deviation `max·√(e^ε+1)²/… /√n` — the
+//! `O(max/(ε√n))` the paper quotes for millions of devices.
+
+use ldp_core::{Epsilon, Error, Result};
+use rand::Rng;
+
+/// The 1BitMean mechanism over values in `[0, max_value]`.
+#[derive(Debug, Clone, Copy)]
+pub struct OneBitMean {
+    epsilon: Epsilon,
+    max_value: f64,
+}
+
+impl OneBitMean {
+    /// Creates the mechanism.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] if `max_value` is not positive
+    /// and finite.
+    pub fn new(epsilon: Epsilon, max_value: f64) -> Result<Self> {
+        if !(max_value.is_finite() && max_value > 0.0) {
+            return Err(Error::InvalidParameter(format!(
+                "max_value must be positive and finite, got {max_value}"
+            )));
+        }
+        Ok(Self { epsilon, max_value })
+    }
+
+    /// The privacy parameter.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Upper bound of the input range.
+    pub fn max_value(&self) -> f64 {
+        self.max_value
+    }
+
+    /// The probability the report bit is 1 for input `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is outside `[0, max_value]`.
+    pub fn p_one(&self, x: f64) -> f64 {
+        assert!(
+            (0.0..=self.max_value).contains(&x),
+            "x={x} outside [0, {}]",
+            self.max_value
+        );
+        let e = self.epsilon.exp();
+        1.0 / (e + 1.0) + (x / self.max_value) * (e - 1.0) / (e + 1.0)
+    }
+
+    /// Client side: the single-bit report.
+    pub fn randomize<R: Rng + ?Sized>(&self, x: f64, rng: &mut R) -> bool {
+        rng.gen_bool(self.p_one(x))
+    }
+
+    /// Debiases one bit into an unbiased per-user contribution in value
+    /// units: `max·(b·(e^ε+1) − 1)/(e^ε−1)`.
+    pub fn debias(&self, bit: bool) -> f64 {
+        let e = self.epsilon.exp();
+        let b = if bit { 1.0 } else { 0.0 };
+        self.max_value * (b * (e + 1.0) - 1.0) / (e - 1.0)
+    }
+
+    /// Server side: unbiased mean estimate from all report bits.
+    pub fn estimate_mean(&self, bits: &[bool]) -> f64 {
+        if bits.is_empty() {
+            return 0.0;
+        }
+        bits.iter().map(|&b| self.debias(b)).sum::<f64>() / bits.len() as f64
+    }
+
+    /// Worst-case variance of the mean estimate over `n` devices
+    /// (maximized at `Pr[1] = ½`):
+    /// `max²·(e^ε+1)²/(4n(e^ε−1)²)`.
+    pub fn worst_case_variance(&self, n: usize) -> f64 {
+        let e = self.epsilon.exp();
+        self.max_value * self.max_value * (e + 1.0).powi(2)
+            / (4.0 * n as f64 * (e - 1.0).powi(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mech(eps: f64, max: f64) -> OneBitMean {
+        OneBitMean::new(Epsilon::new(eps).unwrap(), max).unwrap()
+    }
+
+    #[test]
+    fn p_one_endpoints_saturate_ldp() {
+        let m = mech(1.0, 100.0);
+        let p0 = m.p_one(0.0);
+        let p100 = m.p_one(100.0);
+        // Likelihood ratios at both output values equal e^eps.
+        assert!((p100 / p0 - 1.0f64.exp()).abs() < 1e-9);
+        assert!(((1.0 - p0) / (1.0 - p100) - 1.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_one_linear_in_x() {
+        let m = mech(2.0, 10.0);
+        let mid = m.p_one(5.0);
+        assert!((mid - (m.p_one(0.0) + m.p_one(10.0)) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_estimate_unbiased() {
+        let m = mech(1.0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        // True values: deterministic mixture with mean 230.
+        let bits: Vec<bool> = (0..n)
+            .map(|i| {
+                let x = if i % 10 < 7 { 100.0 } else { 533.3333333333334 };
+                m.randomize(x, &mut rng)
+            })
+            .collect();
+        let est = m.estimate_mean(&bits);
+        let truth = 0.7 * 100.0 + 0.3 * 533.3333333333334;
+        let sd = m.worst_case_variance(n).sqrt();
+        assert!((est - truth).abs() < 4.0 * sd, "est={est} truth={truth} sd={sd}");
+    }
+
+    #[test]
+    fn variance_shrinks_with_eps_and_n() {
+        let n = 1000;
+        assert!(mech(2.0, 1.0).worst_case_variance(n) < mech(0.5, 1.0).worst_case_variance(n));
+        assert!(mech(1.0, 1.0).worst_case_variance(10 * n) < mech(1.0, 1.0).worst_case_variance(n));
+    }
+
+    #[test]
+    fn empty_reports_estimate_zero() {
+        assert_eq!(mech(1.0, 5.0).estimate_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_range() {
+        assert!(OneBitMean::new(Epsilon::new(1.0).unwrap(), 0.0).is_err());
+        assert!(OneBitMean::new(Epsilon::new(1.0).unwrap(), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_panics() {
+        let m = mech(1.0, 10.0);
+        m.p_one(11.0);
+    }
+}

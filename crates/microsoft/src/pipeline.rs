@@ -1,0 +1,190 @@
+//! The assembled telemetry pipeline: what actually ships on a device.
+//!
+//! Ding et al.'s deployment does not run one mechanism — it runs a
+//! *collection program*: a per-device privacy budget split across a mean
+//! statistic (1BitMean) and a histogram statistic (dBitFlip), each with
+//! memoization so daily collection stays inside the budget forever. This
+//! module packages that composition behind one [`TelemetryPipeline`] so a
+//! downstream user configures the deployment, not the mechanisms.
+
+use crate::dbitflip::{DBitAggregator, DBitFlip};
+use crate::memoization::{MemoizedMeanClient, RoundingConfig};
+use crate::onebit::OneBitMean;
+use crate::repeated::MemoizedHistogramClient;
+use ldp_core::privacy::PrivacyBudget;
+use ldp_core::{Epsilon, Result};
+use rand::Rng;
+
+/// Deployment configuration: total per-device budget and its split.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Total per-device ε (lifetime, thanks to memoization).
+    pub total_epsilon: f64,
+    /// Fraction of the budget spent on the mean statistic (the rest goes
+    /// to the histogram).
+    pub mean_fraction: f64,
+    /// Value range upper bound for the mean statistic.
+    pub max_value: f64,
+    /// Histogram bucket count.
+    pub buckets: u32,
+    /// Bits per device for the histogram.
+    pub bits_per_device: u32,
+    /// Output-perturbation γ for the mean reports.
+    pub gamma: f64,
+}
+
+/// The server-side view of one deployment.
+#[derive(Debug)]
+pub struct TelemetryPipeline {
+    mean_mech: OneBitMean,
+    rounding: RoundingConfig,
+    hist_mech: DBitFlip,
+}
+
+/// One enrolled device: memoized state for both statistics.
+#[derive(Debug, Clone)]
+pub struct TelemetryDevice {
+    mean_client: MemoizedMeanClient,
+    hist_client: MemoizedHistogramClient,
+    max_value: f64,
+    buckets: u32,
+}
+
+/// One round's transmissions from a device.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// The 1BitMean bit.
+    pub mean_bit: bool,
+    /// The dBitFlip report.
+    pub hist: crate::dbitflip::DBitReport,
+}
+
+impl TelemetryPipeline {
+    /// Builds the pipeline, drawing the two mechanisms' budgets from one
+    /// [`PrivacyBudget`] so the split is checked, not assumed.
+    ///
+    /// # Errors
+    /// Propagates budget/parameter validation failures.
+    pub fn new(config: TelemetryConfig) -> Result<Self> {
+        let mut budget = PrivacyBudget::new(Epsilon::new(config.total_epsilon)?);
+        let mean_eps = budget.draw(config.total_epsilon * config.mean_fraction)?;
+        let hist_eps = budget.draw(budget.remaining())?;
+        Ok(Self {
+            mean_mech: OneBitMean::new(mean_eps, config.max_value)?,
+            rounding: RoundingConfig::new(config.gamma)?,
+            hist_mech: DBitFlip::new(config.buckets, config.bits_per_device, hist_eps)?,
+        })
+    }
+
+    /// Enrolls a device (draws all its memoized randomness once).
+    pub fn enroll<R: Rng + ?Sized>(&self, rng: &mut R) -> TelemetryDevice {
+        TelemetryDevice {
+            mean_client: MemoizedMeanClient::enroll(self.mean_mech, self.rounding, rng),
+            hist_client: MemoizedHistogramClient::enroll(self.hist_mech, rng),
+            max_value: self.mean_mech.max_value(),
+            buckets: self.hist_mech.buckets(),
+        }
+    }
+
+    /// Creates a fresh histogram aggregator for one round.
+    pub fn new_histogram_aggregator(&self) -> DBitAggregator {
+        self.hist_mech.new_aggregator()
+    }
+
+    /// Server-side round mean from the collected mean bits.
+    pub fn estimate_mean(&self, bits: &[bool]) -> f64 {
+        MemoizedMeanClient::estimate_round_mean(&self.mean_mech, &self.rounding, bits)
+    }
+}
+
+impl TelemetryDevice {
+    /// Produces one round's report for the device's current value.
+    ///
+    /// # Panics
+    /// Panics if `value` is outside `[0, max_value]`.
+    pub fn report<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> TelemetryReport {
+        assert!(
+            (0.0..=self.max_value).contains(&value),
+            "value {value} outside [0, {}]",
+            self.max_value
+        );
+        let bucket = ((value / self.max_value * self.buckets as f64) as u32).min(self.buckets - 1);
+        TelemetryReport {
+            mean_bit: self.mean_client.report(value, rng),
+            hist: self.hist_client.report(bucket),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> TelemetryConfig {
+        TelemetryConfig {
+            total_epsilon: 2.0,
+            mean_fraction: 0.5,
+            max_value: 100.0,
+            buckets: 10,
+            bits_per_device: 4,
+            gamma: 0.0,
+        }
+    }
+
+    #[test]
+    fn budget_split_is_enforced() {
+        let mut bad = config();
+        bad.total_epsilon = 0.0;
+        assert!(TelemetryPipeline::new(bad).is_err());
+        let mut bad2 = config();
+        bad2.gamma = 0.9;
+        assert!(TelemetryPipeline::new(bad2).is_err());
+        assert!(TelemetryPipeline::new(config()).is_ok());
+    }
+
+    #[test]
+    fn round_estimates_accurate() {
+        let pipeline = TelemetryPipeline::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 80_000;
+        let devices: Vec<TelemetryDevice> = (0..n).map(|_| pipeline.enroll(&mut rng)).collect();
+        // Values 20 and 80 half/half: mean 50; histogram peaks at buckets 2 and 8.
+        let mut bits = Vec::with_capacity(n);
+        let mut agg = pipeline.new_histogram_aggregator();
+        for (i, d) in devices.iter().enumerate() {
+            let v = if i % 2 == 0 { 20.0 } else { 80.0 };
+            let r = d.report(v, &mut rng);
+            bits.push(r.mean_bit);
+            agg.accumulate(&r.hist);
+        }
+        let mean = pipeline.estimate_mean(&bits);
+        assert!((mean - 50.0).abs() < 3.0, "mean={mean}");
+        let hist = agg.estimate();
+        assert!(hist[2] > hist[0] * 3.0, "bucket 2 should dominate: {hist:?}");
+        assert!(hist[8] > hist[9] * 3.0, "bucket 8 should dominate: {hist:?}");
+    }
+
+    #[test]
+    fn stable_device_constant_transcript_across_rounds() {
+        let pipeline = TelemetryPipeline::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let device = pipeline.enroll(&mut rng);
+        let first = device.report(42.0, &mut rng);
+        for _ in 0..20 {
+            let r = device.report(42.0, &mut rng);
+            assert_eq!(r.mean_bit, first.mean_bit);
+            assert_eq!(r.hist, first.hist);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_value_panics() {
+        let pipeline = TelemetryPipeline::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let device = pipeline.enroll(&mut rng);
+        device.report(101.0, &mut rng);
+    }
+}

@@ -1,0 +1,265 @@
+//! Joint distributions from independent RAPPOR reports: the association
+//! half of Fanti–Pihur–Erlingsson (PETS 2016).
+//!
+//! Chrome wanted *associations* — e.g. the joint distribution of
+//! (homepage, browser language) — but each variable is collected through
+//! its own RAPPOR report. Debiasing recovers the two marginals, not the
+//! joint. The paper's answer is **expectation–maximization** over the
+//! known privatization channel:
+//!
+//! * E-step: for each user's pair of perturbed reports, compute the
+//!   posterior over candidate pairs `(a, b)` given the current joint
+//!   estimate and the per-report likelihoods
+//!   `Pr[report | candidate]` (a product over bits of `q*`/`p*` terms).
+//! * M-step: the new joint estimate is the average posterior.
+//!
+//! EM is the right tool precisely because the channel is known exactly —
+//! the same property that makes debiasing possible makes likelihoods
+//! computable. This module implements the generic two-variable EM
+//! decoder on top of `ldp-rappor`'s client.
+
+use crate::client::RapporReport;
+use crate::params::RapporParams;
+use ldp_sketch::{BitVec, BloomFilter};
+
+/// The estimated joint distribution over two candidate lists.
+#[derive(Debug, Clone)]
+pub struct JointEstimate {
+    /// `probabilities[a][b]` = estimated P(first = a ∧ second = b).
+    pub probabilities: Vec<Vec<f64>>,
+    /// EM iterations actually run.
+    pub iterations: usize,
+    /// Final log-likelihood (monotone non-decreasing across iterations).
+    pub log_likelihood: f64,
+}
+
+impl JointEstimate {
+    /// Marginal over the first variable.
+    pub fn marginal_first(&self) -> Vec<f64> {
+        self.probabilities.iter().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Marginal over the second variable.
+    pub fn marginal_second(&self) -> Vec<f64> {
+        let cols = self.probabilities.first().map_or(0, |r| r.len());
+        (0..cols)
+            .map(|b| self.probabilities.iter().map(|row| row[b]).sum())
+            .collect()
+    }
+}
+
+/// Two-variable EM association decoder.
+#[derive(Debug, Clone)]
+pub struct AssociationDecoder {
+    params: RapporParams,
+    max_iterations: usize,
+    tolerance: f64,
+}
+
+impl AssociationDecoder {
+    /// Creates a decoder running at most `max_iterations` EM sweeps,
+    /// stopping early when the joint changes by less than `tolerance`
+    /// (L1).
+    pub fn new(params: RapporParams, max_iterations: usize, tolerance: f64) -> Self {
+        Self {
+            params,
+            max_iterations,
+            tolerance,
+        }
+    }
+
+    /// Per-bit log-likelihood of one report given a candidate's
+    /// signature, under the composed PRR∘IRR channel.
+    fn report_log_likelihood(&self, report: &RapporReport, signature: &BitVec) -> f64 {
+        let (p_star, q_star) = self.params.effective_channel();
+        let mut ll = 0.0;
+        for i in 0..report.bits.len() {
+            let sig = signature.get(i);
+            let got = report.bits.get(i);
+            let pr_one = if sig { q_star } else { p_star };
+            let pr = if got { pr_one } else { 1.0 - pr_one };
+            ll += pr.max(1e-12).ln();
+        }
+        ll
+    }
+
+    /// Runs EM over paired reports. `pairs[(u)]` holds user `u`'s two
+    /// reports; `cands_a` / `cands_b` are the candidate strings for each
+    /// variable.
+    ///
+    /// # Panics
+    /// Panics if either candidate list is empty or reports disagree with
+    /// the parameter shape.
+    pub fn decode(
+        &self,
+        pairs: &[(RapporReport, RapporReport)],
+        cands_a: &[&[u8]],
+        cands_b: &[&[u8]],
+    ) -> JointEstimate {
+        assert!(!cands_a.is_empty() && !cands_b.is_empty(), "need candidates");
+        let (na, nb) = (cands_a.len(), cands_b.len());
+        let k = self.params.bloom_bits();
+        let h = self.params.hashes();
+
+        // Precompute per-user log-likelihood tables against candidates.
+        // Signatures depend on the report's cohort.
+        let mut ll_a: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
+        let mut ll_b: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
+        for (ra, rb) in pairs {
+            let row_a = cands_a
+                .iter()
+                .map(|c| {
+                    let sig = BloomFilter::signature(k, h, ra.cohort, c);
+                    self.report_log_likelihood(ra, &sig)
+                })
+                .collect();
+            let row_b = cands_b
+                .iter()
+                .map(|c| {
+                    let sig = BloomFilter::signature(k, h, rb.cohort, c);
+                    self.report_log_likelihood(rb, &sig)
+                })
+                .collect();
+            ll_a.push(row_a);
+            ll_b.push(row_b);
+        }
+
+        // EM on the joint.
+        let mut joint = vec![vec![1.0 / (na * nb) as f64; nb]; na];
+        let mut iterations = 0;
+        let mut log_likelihood = f64::NEG_INFINITY;
+        for iter in 0..self.max_iterations {
+            iterations = iter + 1;
+            let mut next = vec![vec![0.0f64; nb]; na];
+            let mut total_ll = 0.0;
+            for u in 0..pairs.len() {
+                // Posterior over (a, b): prior * exp(ll_a + ll_b), normalized.
+                // Work in log space with a max-shift for stability.
+                let mut max_log = f64::NEG_INFINITY;
+                for a in 0..na {
+                    for b in 0..nb {
+                        if joint[a][b] > 0.0 {
+                            let l = joint[a][b].ln() + ll_a[u][a] + ll_b[u][b];
+                            if l > max_log {
+                                max_log = l;
+                            }
+                        }
+                    }
+                }
+                let mut denom = 0.0;
+                let mut post = vec![vec![0.0f64; nb]; na];
+                for a in 0..na {
+                    for b in 0..nb {
+                        if joint[a][b] > 0.0 {
+                            let w = (joint[a][b].ln() + ll_a[u][a] + ll_b[u][b] - max_log).exp();
+                            post[a][b] = w;
+                            denom += w;
+                        }
+                    }
+                }
+                total_ll += max_log + denom.ln();
+                for a in 0..na {
+                    for b in 0..nb {
+                        next[a][b] += post[a][b] / denom;
+                    }
+                }
+            }
+            let n = pairs.len().max(1) as f64;
+            let mut delta = 0.0;
+            for a in 0..na {
+                for b in 0..nb {
+                    next[a][b] /= n;
+                    delta += (next[a][b] - joint[a][b]).abs();
+                }
+            }
+            joint = next;
+            log_likelihood = total_ll;
+            if delta < self.tolerance {
+                break;
+            }
+        }
+        JointEstimate {
+            probabilities: joint,
+            iterations,
+            log_likelihood,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RapporClient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> RapporParams {
+        // One-time RAPPOR (f = 0) keeps the EM signal strong in tests.
+        RapporParams::new(32, 2, 4, 0.0, 0.25, 0.75).unwrap()
+    }
+
+    /// Population with a strong association: homepage "search" implies
+    /// language "en" (90%), homepage "portal" implies "de" (90%).
+    fn collect_pairs(n: usize, seed: u64) -> Vec<(RapporReport, RapporReport)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = params();
+        (0..n)
+            .map(|i| {
+                let (home, lang): (&[u8], &[u8]) = if i % 2 == 0 {
+                    (b"search", if i % 20 < 18 { b"en" } else { b"de" })
+                } else {
+                    (b"portal", if i % 20 < 19 { b"de" } else { b"en" })
+                };
+                let mut c1 = RapporClient::with_random_cohort(p.clone(), &mut rng);
+                let mut c2 = RapporClient::with_random_cohort(p.clone(), &mut rng);
+                (c1.report(home, &mut rng), c2.report(lang, &mut rng))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn em_recovers_association() {
+        let decoder = AssociationDecoder::new(params(), 40, 1e-6);
+        let pairs = collect_pairs(4000, 1);
+        let est = decoder.decode(&pairs, &[b"search", b"portal"], &[b"en", b"de"]);
+        // True joint ≈ [[0.45, 0.05], [0.025, 0.475]].
+        let p = &est.probabilities;
+        assert!(p[0][0] > 0.3, "search∧en: {}", p[0][0]);
+        assert!(p[1][1] > 0.3, "portal∧de: {}", p[1][1]);
+        assert!(p[0][0] > 3.0 * p[0][1], "search→en association lost: {p:?}");
+        assert!(p[1][1] > 3.0 * p[1][0], "portal→de association lost: {p:?}");
+        // Joint sums to 1.
+        let total: f64 = p.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn marginals_match_population() {
+        let decoder = AssociationDecoder::new(params(), 40, 1e-6);
+        let pairs = collect_pairs(4000, 2);
+        let est = decoder.decode(&pairs, &[b"search", b"portal"], &[b"en", b"de"]);
+        let ma = est.marginal_first();
+        assert!((ma[0] - 0.5).abs() < 0.1, "P(search)={}", ma[0]);
+        let mb = est.marginal_second();
+        // P(en) = 0.5*0.9 + 0.5*0.05 = 0.475.
+        assert!((mb[0] - 0.475).abs() < 0.12, "P(en)={}", mb[0]);
+    }
+
+    #[test]
+    fn em_likelihood_improves() {
+        let decoder_1 = AssociationDecoder::new(params(), 1, 0.0);
+        let decoder_20 = AssociationDecoder::new(params(), 20, 0.0);
+        let pairs = collect_pairs(800, 3);
+        let e1 = decoder_1.decode(&pairs, &[b"search", b"portal"], &[b"en", b"de"]);
+        let e20 = decoder_20.decode(&pairs, &[b"search", b"portal"], &[b"en", b"de"]);
+        assert!(e20.log_likelihood >= e1.log_likelihood, "EM must not decrease likelihood");
+        assert_eq!(e20.iterations, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "need candidates")]
+    fn empty_candidates_panic() {
+        let decoder = AssociationDecoder::new(params(), 5, 1e-6);
+        decoder.decode(&[], &[], &[b"x"]);
+    }
+}

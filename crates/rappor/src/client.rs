@@ -1,0 +1,192 @@
+//! The RAPPOR client: Bloom encoding, memoized permanent randomized
+//! response, and per-report instantaneous randomized response.
+//!
+//! The *permanent* layer is the part the tutorial stresses for longitudinal
+//! collection (and that Microsoft later adapted as memoization): the noisy
+//! bits `B′` are drawn **once per distinct value** and cached, so an
+//! adversary observing every daily report can never average away the PRR
+//! noise — the lifetime leak stays bounded by `ε∞`.
+
+use crate::params::RapporParams;
+use ldp_sketch::{BitVec, BloomFilter};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One RAPPOR report: the client's cohort and the IRR-perturbed bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RapporReport {
+    /// Cohort the reporting client belongs to.
+    pub cohort: u32,
+    /// The perturbed Bloom-filter bits.
+    pub bits: BitVec,
+}
+
+/// A stateful RAPPOR client assigned to one cohort.
+///
+/// Holds the PRR memoization table (`value → B′`), which in the real
+/// deployment lives on the user's device across sessions.
+#[derive(Debug, Clone)]
+pub struct RapporClient {
+    params: RapporParams,
+    cohort: u32,
+    memoized: HashMap<Vec<u8>, BitVec>,
+}
+
+impl RapporClient {
+    /// Creates a client in `cohort`. In a deployment the cohort is drawn
+    /// uniformly at install time; the constructor takes an `rng` to allow
+    /// `RapporClient::random_cohort` semantics while keeping explicit
+    /// cohorts testable.
+    ///
+    /// # Panics
+    /// Panics if `cohort >= params.cohorts()`.
+    pub fn new<R: Rng + ?Sized>(params: RapporParams, cohort: u32, _rng: &mut R) -> Self {
+        assert!(
+            cohort < params.cohorts(),
+            "cohort {cohort} out of range {}",
+            params.cohorts()
+        );
+        Self {
+            params,
+            cohort,
+            memoized: HashMap::new(),
+        }
+    }
+
+    /// Creates a client with a uniformly random cohort (deployment
+    /// behaviour).
+    pub fn with_random_cohort<R: Rng + ?Sized>(params: RapporParams, rng: &mut R) -> Self {
+        let cohort = rng.gen_range(0..params.cohorts());
+        Self::new(params, cohort, rng)
+    }
+
+    /// This client's cohort.
+    pub fn cohort(&self) -> u32 {
+        self.cohort
+    }
+
+    /// The permanent (memoized) bits for `value`, creating them on first
+    /// use: `B′_j = B_j` w.p. `1−f`, else a fair coin scaled by `f`
+    /// (i.e. `1` w.p. `f/2`, `0` w.p. `f/2`).
+    pub fn permanent_bits<R: Rng + ?Sized>(&mut self, value: &[u8], rng: &mut R) -> &BitVec {
+        if !self.memoized.contains_key(value) {
+            let bloom = BloomFilter::signature(
+                self.params.bloom_bits(),
+                self.params.hashes(),
+                self.cohort,
+                value,
+            );
+            let f = self.params.f();
+            let mut prr = BitVec::zeros(self.params.bloom_bits());
+            for i in 0..self.params.bloom_bits() {
+                let b = bloom.get(i);
+                let noisy = if rng.gen_bool(f) {
+                    rng.gen_bool(0.5)
+                } else {
+                    b
+                };
+                prr.set(i, noisy);
+            }
+            self.memoized.insert(value.to_vec(), prr);
+        }
+        &self.memoized[value]
+    }
+
+    /// Produces one report for `value`: PRR (memoized) then fresh IRR.
+    pub fn report<R: Rng + ?Sized>(&mut self, value: &[u8], rng: &mut R) -> RapporReport {
+        let (p, q) = (self.params.p(), self.params.q());
+        let k = self.params.bloom_bits();
+        let cohort = self.cohort;
+        let permanent = self.permanent_bits(value, rng).clone();
+        let mut bits = BitVec::zeros(k);
+        for i in 0..k {
+            let keep_p = if permanent.get(i) { q } else { p };
+            if rng.gen_bool(keep_p) {
+                bits.set(i, true);
+            }
+        }
+        RapporReport { cohort, bits }
+    }
+
+    /// Number of distinct values memoized so far.
+    pub fn memoized_values(&self) -> usize {
+        self.memoized.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> RapporParams {
+        RapporParams::small(8).unwrap()
+    }
+
+    #[test]
+    fn permanent_bits_are_memoized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = RapporClient::new(params(), 0, &mut rng);
+        let a = c.permanent_bits(b"value", &mut rng).clone();
+        let b = c.permanent_bits(b"value", &mut rng).clone();
+        assert_eq!(a, b, "PRR must be drawn once per value");
+        assert_eq!(c.memoized_values(), 1);
+        c.permanent_bits(b"other", &mut rng);
+        assert_eq!(c.memoized_values(), 2);
+    }
+
+    #[test]
+    fn reports_differ_between_calls_but_share_prr() {
+        // IRR is fresh per report: two reports of the same value should
+        // (almost surely) differ, while the underlying PRR stays fixed.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = RapporClient::new(params(), 3, &mut rng);
+        let r1 = c.report(b"value", &mut rng);
+        let r2 = c.report(b"value", &mut rng);
+        assert_eq!(r1.cohort, 3);
+        assert_ne!(r1.bits, r2.bits, "IRR should differ across reports");
+        assert_eq!(c.memoized_values(), 1);
+    }
+
+    #[test]
+    fn report_bit_rates_match_channel() {
+        // Aggregate many fresh clients reporting the same value; per-bit
+        // 1-rates must match q* on signature bits and p* off them.
+        let params = RapporParams::new(64, 2, 1, 0.5, 0.4, 0.8).unwrap();
+        let (p_star, q_star) = params.effective_channel();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sig = ldp_sketch::BloomFilter::signature(64, 2, 0, b"target");
+        let n = 40_000;
+        let mut counts = vec![0u64; 64];
+        for _ in 0..n {
+            let mut c = RapporClient::new(params.clone(), 0, &mut rng);
+            let r = c.report(b"target", &mut rng);
+            r.bits.accumulate_into(&mut counts);
+        }
+        for i in 0..64 {
+            let rate = counts[i] as f64 / n as f64;
+            let expected = if sig.get(i) { q_star } else { p_star };
+            assert!(
+                (rate - expected).abs() < 0.02,
+                "bit {i}: rate={rate} expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cohort_out_of_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        RapporClient::new(params(), 8, &mut rng);
+    }
+
+    #[test]
+    fn random_cohort_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let c = RapporClient::with_random_cohort(params(), &mut rng);
+            assert!(c.cohort() < 8);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # `ldp-rappor` — Google's RAPPOR, reproduced
+//!
+//! RAPPOR ("Randomized Aggregatable Privacy-Preserving Ordinal Response",
+//! Erlingsson–Pihur–Korolova, CCS 2014) was the first Internet-scale LDP
+//! deployment: Chrome used it to collect home pages and other settings from
+//! millions of clients. The SIGMOD 2018 tutorial presents it as the
+//! archetype of the encode–perturb–aggregate pattern:
+//!
+//! 1. **Encode** — the client hashes its string into a `k`-bit Bloom filter
+//!    using its *cohort*'s hash functions ([`ldp_sketch::BloomFilter`]).
+//! 2. **Permanent randomized response (PRR)** — each Bloom bit is noised
+//!    *once per value, forever* (memoized), bounding the lifetime privacy
+//!    loss no matter how many reports are sent ([`client::RapporClient`]).
+//! 3. **Instantaneous randomized response (IRR)** — each report re-noises
+//!    the memoized bits, defeating longitudinal linking of reports.
+//! 4. **Decode** — the aggregator debiases per-cohort bit counts and
+//!    regresses them against candidate signatures: non-negative LASSO to
+//!    select candidates, then least squares on the survivors
+//!    ([`server::RapporAggregator`]).
+//!
+//! The unknown-dictionary follow-up (Fanti–Pihur–Erlingsson, PETS 2016) is
+//! reproduced in [`discovery`]: clients additionally report string
+//! *fragments*, letting the server learn frequent strings it never knew to
+//! ask about.
+//!
+//! ## Example
+//! ```
+//! use ldp_rappor::{RapporParams, RapporClient, RapporAggregator};
+//! use rand::SeedableRng;
+//!
+//! let params = RapporParams::chrome_default(16).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut agg = RapporAggregator::new(params.clone());
+//! for i in 0..4000u32 {
+//!     let url = if i % 2 == 0 { "popular.example" } else { "rare.example" };
+//!     let mut client = RapporClient::new(params.clone(), i % params.cohorts(), &mut rng);
+//!     let report = client.report(url.as_bytes(), &mut rng);
+//!     agg.accumulate(&report);
+//! }
+//! let candidates: Vec<&[u8]> = vec![b"popular.example", b"rare.example", b"absent.example"];
+//! let decoded = agg.decode(&candidates);
+//! assert!(decoded[0].estimate > decoded[2].estimate);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod association;
+pub mod client;
+pub mod discovery;
+pub mod params;
+pub mod server;
+
+pub use association::{AssociationDecoder, JointEstimate};
+pub use client::{RapporClient, RapporReport};
+pub use discovery::{DiscoveryConfig, NGramDiscovery};
+pub use params::RapporParams;
+pub use server::{DecodedCandidate, RapporAggregator};

@@ -1,0 +1,193 @@
+//! RAPPOR configuration and its privacy accounting.
+//!
+//! RAPPOR's privacy story has two layers, and the original paper quotes
+//! both:
+//!
+//! * **One-time / instantaneous ε₁** — what a single report leaks about the
+//!   *memoized* Bloom bits. With IRR probabilities `q` (report 1 given
+//!   B′=1) and `p` (report 1 given B′=0), a report of `h` set bits yields
+//!   `ε₁ = h · ln( q*(1−p*) / (p*(1−q*)) )` with `(p*, q*)` the composed
+//!   PRR∘IRR channel.
+//! * **Permanent ε∞** — what the memoized B′ itself leaks about the true
+//!   value, the bound that holds *no matter how many reports are sent*:
+//!   `ε∞ = 2h · ln((1−f/2)/(f/2))`.
+
+use ldp_core::{Error, Result};
+
+/// Parameters of a RAPPOR collection.
+///
+/// `f` is the permanent-response noise, `p`/`q` the instantaneous
+/// probabilities of reporting 1 given a memoized 0/1 respectively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RapporParams {
+    bloom_bits: usize,
+    hashes: u32,
+    cohorts: u32,
+    f: f64,
+    p: f64,
+    q: f64,
+}
+
+impl RapporParams {
+    /// Creates and validates a parameter set.
+    ///
+    /// # Errors
+    /// Rejects empty filters/hash sets/cohorts, probabilities outside
+    /// `[0, 1)`, and non-informative channels (`q* ≤ p*`).
+    pub fn new(bloom_bits: usize, hashes: u32, cohorts: u32, f: f64, p: f64, q: f64) -> Result<Self> {
+        if bloom_bits == 0 || hashes == 0 || cohorts == 0 {
+            return Err(Error::InvalidParameter(
+                "bloom_bits, hashes and cohorts must all be positive".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&f) {
+            return Err(Error::InvalidParameter(format!("f must be in [0,1), got {f}")));
+        }
+        if !(0.0..1.0).contains(&p) || !(0.0..=1.0).contains(&q) {
+            return Err(Error::InvalidParameter(format!(
+                "p, q must be probabilities, got p={p} q={q}"
+            )));
+        }
+        let params = Self {
+            bloom_bits,
+            hashes,
+            cohorts,
+            f,
+            p,
+            q,
+        };
+        let (p_star, q_star) = params.effective_channel();
+        if q_star <= p_star {
+            return Err(Error::InvalidParameter(format!(
+                "channel not informative: q*={q_star} <= p*={p_star}"
+            )));
+        }
+        Ok(params)
+    }
+
+    /// The parameter set the RAPPOR paper reports Chrome shipping with:
+    /// 128-bit filters, 2 hashes, `f = ½`, `p = ½`, `q = ¾`.
+    ///
+    /// # Errors
+    /// Propagates validation errors (never for valid `cohorts`).
+    pub fn chrome_default(cohorts: u32) -> Result<Self> {
+        Self::new(128, 2, cohorts, 0.5, 0.5, 0.75)
+    }
+
+    /// A smaller configuration for simulations: 32-bit filters, 2 hashes.
+    ///
+    /// # Errors
+    /// Propagates validation errors (never for valid `cohorts`).
+    pub fn small(cohorts: u32) -> Result<Self> {
+        Self::new(32, 2, cohorts, 0.25, 0.35, 0.65)
+    }
+
+    /// Bloom filter width in bits (`k`).
+    pub fn bloom_bits(&self) -> usize {
+        self.bloom_bits
+    }
+
+    /// Hash functions per cohort (`h`).
+    pub fn hashes(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Number of cohorts (`m`).
+    pub fn cohorts(&self) -> u32 {
+        self.cohorts
+    }
+
+    /// Permanent-response noise parameter `f`.
+    pub fn f(&self) -> f64 {
+        self.f
+    }
+
+    /// IRR probability of reporting 1 given memoized 0.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// IRR probability of reporting 1 given memoized 1.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The composed PRR∘IRR channel `(p*, q*)`:
+    /// `q* = Pr[report 1 | true bit 1]`, `p* = Pr[report 1 | true bit 0]`.
+    ///
+    /// `q* = (1−f/2)·q + (f/2)·p`, `p* = (f/2)·q + (1−f/2)·p`.
+    pub fn effective_channel(&self) -> (f64, f64) {
+        let half_f = self.f / 2.0;
+        let q_star = (1.0 - half_f) * self.q + half_f * self.p;
+        let p_star = half_f * self.q + (1.0 - half_f) * self.p;
+        (p_star, q_star)
+    }
+
+    /// One-report privacy loss
+    /// `ε₁ = h · ln( q*(1−p*) / (p*(1−q*)) )`.
+    pub fn epsilon_one_report(&self) -> f64 {
+        let (p_star, q_star) = self.effective_channel();
+        self.hashes as f64 * ((q_star * (1.0 - p_star)) / (p_star * (1.0 - q_star))).ln()
+    }
+
+    /// Lifetime privacy bound from the permanent response alone:
+    /// `ε∞ = 2h · ln((1−f/2)/(f/2))`. Infinite when `f = 0` (no PRR).
+    pub fn epsilon_permanent(&self) -> f64 {
+        if self.f == 0.0 {
+            return f64::INFINITY;
+        }
+        let half_f = self.f / 2.0;
+        2.0 * self.hashes as f64 * ((1.0 - half_f) / half_f).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_default_epsilons_match_paper() {
+        // The CCS'14 paper quotes eps_infinity = ln(3^4) ≈ 4.39 for
+        // f=1/2, h=2:  2*2*ln((1-0.25)/0.25) = 4 ln 3.
+        let p = RapporParams::chrome_default(64).unwrap();
+        let expected = 4.0 * 3.0f64.ln();
+        assert!((p.epsilon_permanent() - expected).abs() < 1e-9);
+        // And a finite, smaller one-report epsilon.
+        let e1 = p.epsilon_one_report();
+        assert!(e1 > 0.0 && e1 < expected);
+    }
+
+    #[test]
+    fn effective_channel_interpolates() {
+        // With f=0 the channel is exactly (p, q); with f->1 it collapses.
+        let no_prr = RapporParams::new(16, 2, 4, 0.0, 0.3, 0.7).unwrap();
+        let (ps, qs) = no_prr.effective_channel();
+        assert!((ps - 0.3).abs() < 1e-12 && (qs - 0.7).abs() < 1e-12);
+        assert_eq!(no_prr.epsilon_permanent(), f64::INFINITY);
+
+        let heavy = RapporParams::new(16, 2, 4, 0.9, 0.3, 0.7).unwrap();
+        let (ph, qh) = heavy.effective_channel();
+        assert!(qh - ph < qs - ps, "more PRR noise shrinks the channel");
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(RapporParams::new(0, 2, 4, 0.5, 0.5, 0.75).is_err());
+        assert!(RapporParams::new(16, 0, 4, 0.5, 0.5, 0.75).is_err());
+        assert!(RapporParams::new(16, 2, 0, 0.5, 0.5, 0.75).is_err());
+        // q <= p: channel carries no signal.
+        assert!(RapporParams::new(16, 2, 4, 0.5, 0.75, 0.5).is_err());
+        assert!(RapporParams::new(16, 2, 4, 1.0, 0.5, 0.75).is_err());
+    }
+
+    #[test]
+    fn epsilon_monotone_in_f() {
+        let mut last = f64::INFINITY;
+        for &f in &[0.125, 0.25, 0.5, 0.75] {
+            let p = RapporParams::new(128, 2, 8, f, 0.5, 0.75).unwrap();
+            let e = p.epsilon_permanent();
+            assert!(e < last, "eps_inf should fall as f grows");
+            last = e;
+        }
+    }
+}

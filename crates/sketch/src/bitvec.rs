@@ -1,0 +1,283 @@
+//! A compact bit vector used as the payload of RAPPOR reports and unary
+//! encodings.
+//!
+//! RAPPOR clients send a perturbed Bloom filter of `k` bits per report; at
+//! Internet scale the aggregator holds millions of these, so the
+//! representation must be word-packed and the per-bit operations branch-free
+//! where possible. This module is deliberately small: just what the LDP
+//! protocols need (set/get/flip/count, bitwise accumulate), not a general
+//! bitset library.
+
+/// A fixed-length, word-packed vector of bits.
+///
+/// # Examples
+/// ```
+/// use ldp_sketch::BitVec;
+/// let mut bv = BitVec::zeros(130);
+/// bv.set(0, true);
+/// bv.set(129, true);
+/// assert_eq!(bv.count_ones(), 2);
+/// assert!(bv.get(129));
+/// bv.flip(129);
+/// assert!(!bv.get(129));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut bv = Self::zeros(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            bv.set(i, b);
+        }
+        bv
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i & 63);
+        if value {
+            self.words[i >> 6] |= mask;
+        } else {
+            self.words[i >> 6] &= !mask;
+        }
+    }
+
+    /// Inverts bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i >> 6] ^= 1u64 << (i & 63);
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over all bits in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| (self.words[i >> 6] >> (i & 63)) & 1 == 1)
+    }
+
+    /// Iterates over indices of set bits.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi << 6;
+            let len = self.len;
+            BitIter { word: w }.map(move |b| base + b).filter(move |&i| i < len)
+        })
+    }
+
+    /// Adds each bit of `self` into `accumulator` (`accumulator[i] += bit`).
+    ///
+    /// This is the aggregator hot path: summing millions of reports into a
+    /// per-position count vector. Word-at-a-time with an early skip for
+    /// all-zero words.
+    ///
+    /// # Panics
+    /// Panics if `accumulator.len() != self.len()`.
+    pub fn accumulate_into(&self, accumulator: &mut [u64]) {
+        assert_eq!(accumulator.len(), self.len, "accumulator length mismatch");
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                accumulator[(wi << 6) + b] += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Bitwise XOR with another vector of the same length.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Raw words (little-endian bit order within each word). Trailing bits
+    /// beyond `len` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_is_empty_of_ones() {
+        let bv = BitVec::zeros(100);
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.len(), 100);
+        assert!(!bv.is_empty());
+        assert!(BitVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut bv = BitVec::zeros(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            bv.set(i, true);
+            assert!(bv.get(i), "bit {i}");
+        }
+        assert_eq!(bv.count_ones(), 8);
+        bv.set(64, false);
+        assert!(!bv.get(64));
+        assert_eq!(bv.count_ones(), 7);
+    }
+
+    #[test]
+    fn ones_iterator_matches_gets() {
+        let mut bv = BitVec::zeros(150);
+        let idx = [3usize, 64, 65, 100, 149];
+        for &i in &idx {
+            bv.set(i, true);
+        }
+        let got: Vec<usize> = bv.ones().collect();
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn accumulate_counts_bits() {
+        let mut acc = vec![0u64; 70];
+        let mut a = BitVec::zeros(70);
+        a.set(0, true);
+        a.set(69, true);
+        let mut b = BitVec::zeros(70);
+        b.set(0, true);
+        a.accumulate_into(&mut acc);
+        b.accumulate_into(&mut acc);
+        assert_eq!(acc[0], 2);
+        assert_eq!(acc[69], 1);
+        assert_eq!(acc[1], 0);
+    }
+
+    #[test]
+    fn xor_flips_differences() {
+        let a = BitVec::from_bools([true, false, true, false]);
+        let b = BitVec::from_bools([true, true, false, false]);
+        let mut c = a.clone();
+        c.xor_with(&b);
+        assert_eq!(c, BitVec::from_bools([false, true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_bools_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let bv = BitVec::from_bools(bits.clone());
+            prop_assert_eq!(bv.len(), bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(bv.get(i), b);
+            }
+            prop_assert_eq!(bv.count_ones(), bits.iter().filter(|&&b| b).count());
+            let via_iter: Vec<bool> = bv.iter().collect();
+            prop_assert_eq!(via_iter, bits);
+        }
+
+        #[test]
+        fn prop_accumulate_equals_scalar_loop(
+            rows in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 97), 1..20)
+        ) {
+            let mut fast = vec![0u64; 97];
+            let mut slow = vec![0u64; 97];
+            for row in &rows {
+                let bv = BitVec::from_bools(row.iter().copied());
+                bv.accumulate_into(&mut fast);
+                for (i, &b) in row.iter().enumerate() {
+                    if b { slow[i] += 1; }
+                }
+            }
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_xor_is_involution(bits_a in proptest::collection::vec(any::<bool>(), 128),
+                                  bits_b in proptest::collection::vec(any::<bool>(), 128)) {
+            let a = BitVec::from_bools(bits_a);
+            let b = BitVec::from_bools(bits_b);
+            let mut c = a.clone();
+            c.xor_with(&b);
+            c.xor_with(&b);
+            prop_assert_eq!(c, a);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Count-based sketches: Count-Min, Count Sketch, and the Count-Mean Sketch
+//! used by Apple's deployment.
+//!
+//! Apple's system ("Learning with Privacy at Scale", 2017) must estimate
+//! frequencies over domains of size 2^20+ (all possible words/emoji) while
+//! each device transmits only a few hundred privatized bits. The key insight
+//! the tutorial teaches: a sketch reduces the *dimensionality* of the domain
+//! before privatization, trading a small, analyzable collision bias for a
+//! massive reduction in communication and server state.
+//!
+//! Three sketches are provided:
+//! * [`CountMinSketch`] — classic overestimate-only sketch (`min` of rows).
+//! * [`CountSketch`] — signed sketch (median of rows), unbiased.
+//! * [`CountMeanSketch`] — Apple's variant: mean of rows with a collision
+//!   debiasing correction `(est·k − n) · m/(m−1)`-style; unbiased under
+//!   pairwise-independent hashing and the right normalization.
+//!
+//! These are *non-private* substrates; `ldp-apple` layers privatization on
+//! the client-side one-hot rows before they reach the sketch.
+
+use crate::hash::PairwiseHash;
+
+/// Classic Count-Min sketch: `k` rows of `m` counters, point queries return
+/// the minimum across rows (always an overestimate).
+///
+/// # Examples
+/// ```
+/// use ldp_sketch::CountMinSketch;
+/// let mut s = CountMinSketch::new(4, 256, 42);
+/// for _ in 0..10 { s.insert(7); }
+/// s.insert(8);
+/// assert!(s.estimate(7) >= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    width: usize,
+    counters: Vec<u64>,
+    hashes: Vec<PairwiseHash>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a `rows × width` sketch with hash functions derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `width == 0`.
+    pub fn new(rows: usize, width: usize, seed: u64) -> Self {
+        assert!(rows > 0 && width > 0, "sketch dimensions must be positive");
+        let hashes = (0..rows)
+            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15), width as u64))
+            .collect();
+        Self {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+            hashes,
+            total: 0,
+        }
+    }
+
+    /// Adds one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Adds `weight` occurrences of `item`.
+    pub fn insert_weighted(&mut self, item: u64, weight: u64) {
+        for r in 0..self.rows {
+            let c = self.hashes[r].hash(item) as usize;
+            self.counters[r * self.width + c] += weight;
+        }
+        self.total += weight;
+    }
+
+    /// Point query: an overestimate of `item`'s true count, with error at
+    /// most `2·total/width` with probability `1 − 2^{-rows}`.
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.rows)
+            .map(|r| {
+                let c = self.hashes[r].hash(item) as usize;
+                self.counters[r * self.width + c]
+            })
+            .min()
+            .expect("rows > 0")
+    }
+
+    /// Total weight inserted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// (rows, width).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.width)
+    }
+}
+
+/// Count Sketch (Charikar–Chen–Farach-Colton): signed counters, median
+/// estimate; unbiased with variance `‖f‖₂²/width` per row.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    rows: usize,
+    width: usize,
+    counters: Vec<i64>,
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<PairwiseHash>,
+}
+
+impl CountSketch {
+    /// Creates a `rows × width` Count Sketch seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `width == 0`.
+    pub fn new(rows: usize, width: usize, seed: u64) -> Self {
+        assert!(rows > 0 && width > 0, "sketch dimensions must be positive");
+        let bucket_hashes = (0..rows)
+            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(2 * r as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95), width as u64))
+            .collect();
+        let sign_hashes = (0..rows)
+            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(2 * r as u64).wrapping_mul(0xaf25_1af3_b0f0_25b5), 2))
+            .collect();
+        Self {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+            bucket_hashes,
+            sign_hashes,
+        }
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, item: u64) -> i64 {
+        if self.sign_hashes[row].hash(item) == 0 {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Adds `weight` (possibly negative) occurrences of `item`.
+    pub fn insert_weighted(&mut self, item: u64, weight: i64) {
+        for r in 0..self.rows {
+            let c = self.bucket_hashes[r].hash(item) as usize;
+            self.counters[r * self.width + c] += self.sign(r, item) * weight;
+        }
+    }
+
+    /// Adds one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Point query: median across rows of `sign·counter`. Unbiased.
+    pub fn estimate(&self, item: u64) -> i64 {
+        let mut ests: Vec<i64> = (0..self.rows)
+            .map(|r| {
+                let c = self.bucket_hashes[r].hash(item) as usize;
+                self.sign(r, item) * self.counters[r * self.width + c]
+            })
+            .collect();
+        ests.sort_unstable();
+        let n = ests.len();
+        if n % 2 == 1 {
+            ests[n / 2]
+        } else {
+            (ests[n / 2 - 1] + ests[n / 2]) / 2
+        }
+    }
+
+    /// (rows, width).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.width)
+    }
+}
+
+/// Apple's Count-Mean Sketch: `k` rows × `m` counters; a point query
+/// averages the debiased row estimates
+/// `m/(m−1) · (counter − total_row/m)` across rows.
+///
+/// Unlike Count-Min, the estimate is **unbiased**: hash collisions add
+/// `total/m` in expectation to every counter, and the debiasing step
+/// subtracts exactly that. Apple chose mean-with-debias over min because
+/// the privatized rows it aggregates contain *negative* contributions after
+/// LDP debiasing, which breaks Count-Min's monotonicity assumption.
+///
+/// This struct accepts *real-valued* updates so that `ldp-apple` can feed
+/// debiased (fractional, possibly negative) client contributions into it.
+#[derive(Debug, Clone)]
+pub struct CountMeanSketch {
+    rows: usize,
+    width: usize,
+    counters: Vec<f64>,
+    row_totals: Vec<f64>,
+    hashes: Vec<PairwiseHash>,
+}
+
+impl CountMeanSketch {
+    /// Creates a `rows × width` Count-Mean sketch seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `width < 2` (the `m/(m−1)` debias needs
+    /// `m ≥ 2`).
+    pub fn new(rows: usize, width: usize, seed: u64) -> Self {
+        assert!(rows > 0, "rows must be positive");
+        assert!(width >= 2, "width must be at least 2 for debiasing");
+        let hashes = (0..rows)
+            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(r as u64).wrapping_mul(0x2545_f491_4f6c_dd1d), width as u64))
+            .collect();
+        Self {
+            rows,
+            width,
+            counters: vec![0.0; rows * width],
+            row_totals: vec![0.0; rows],
+            hashes,
+        }
+    }
+
+    /// The row/bucket an item occupies in row `row` — exposed so clients can
+    /// build their one-hot encoding against the same hash functions.
+    #[inline]
+    pub fn bucket(&self, row: usize, item: u64) -> usize {
+        self.hashes[row].hash(item) as usize
+    }
+
+    /// Adds `weight` to `item`'s bucket in every row (exact insertion).
+    pub fn insert_weighted(&mut self, item: u64, weight: f64) {
+        for r in 0..self.rows {
+            let c = self.bucket(r, item);
+            self.counters[r * self.width + c] += weight;
+            self.row_totals[r] += weight;
+        }
+    }
+
+    /// Adds a raw contribution `weight` into `(row, bucket)` — the path used
+    /// when aggregating privatized client vectors, where each client touches
+    /// exactly one (sampled) row.
+    pub fn add_to_bucket(&mut self, row: usize, bucket: usize, weight: f64) {
+        assert!(row < self.rows && bucket < self.width, "index out of range");
+        self.counters[row * self.width + bucket] += weight;
+        self.row_totals[row] += weight;
+    }
+
+    /// Point query: mean over rows of the collision-debiased counters.
+    pub fn estimate(&self, item: u64) -> f64 {
+        let m = self.width as f64;
+        let sum: f64 = (0..self.rows)
+            .map(|r| {
+                let c = self.counters[r * self.width + self.bucket(r, item)];
+                (m / (m - 1.0)) * (c - self.row_totals[r] / m)
+            })
+            .sum();
+        sum / self.rows as f64
+    }
+
+    /// (rows, width).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.width)
+    }
+
+    /// Total weight in row `row`.
+    pub fn row_total(&self, row: usize) -> f64 {
+        self.row_totals[row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn count_min_never_underestimates() {
+        let mut s = CountMinSketch::new(4, 64, 1);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5000 {
+            let item = rng.gen_range(0u64..500);
+            s.insert(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        for (&item, &count) in &truth {
+            assert!(s.estimate(item) >= count, "underestimate for {item}");
+        }
+    }
+
+    #[test]
+    fn count_min_error_within_bound() {
+        let mut s = CountMinSketch::new(5, 272, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut truth = vec![0u64; 1000];
+        for _ in 0..50_000 {
+            let item = rng.gen_range(0u64..1000);
+            s.insert(item);
+            truth[item as usize] += 1;
+        }
+        // eps = e/width ≈ 0.01; error <= eps * total w.h.p.
+        let bound = (std::f64::consts::E / 272.0 * 50_000.0) as u64 + 1;
+        let violations = (0..1000u64)
+            .filter(|&i| s.estimate(i) - truth[i as usize] > bound)
+            .count();
+        assert!(violations < 10, "violations={violations}");
+    }
+
+    #[test]
+    fn count_sketch_unbiased_on_average() {
+        // Average estimate over many seeds should approach the true count.
+        let mut total = 0.0;
+        let trials = 60;
+        for seed in 0..trials {
+            let mut s = CountSketch::new(1, 32, seed);
+            for item in 0..200u64 {
+                s.insert_weighted(item, 5);
+            }
+            total += s.estimate(0) as f64;
+        }
+        let avg = total / trials as f64;
+        assert!((avg - 5.0).abs() < 4.0, "avg={avg}");
+    }
+
+    #[test]
+    fn count_sketch_median_tracks_heavy_item() {
+        let mut s = CountSketch::new(7, 128, 9);
+        s.insert_weighted(42, 1000);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            s.insert(rng.gen_range(100u64..10_000));
+        }
+        let est = s.estimate(42);
+        assert!((est - 1000).abs() < 200, "est={est}");
+    }
+
+    #[test]
+    fn count_mean_exact_when_no_collisions() {
+        // width much larger than #items -> collisions negligible.
+        let mut s = CountMeanSketch::new(4, 4096, 2);
+        s.insert_weighted(1, 100.0);
+        s.insert_weighted(2, 50.0);
+        let e1 = s.estimate(1);
+        let e2 = s.estimate(2);
+        assert!((e1 - 100.0).abs() < 1.0, "e1={e1}");
+        assert!((e2 - 50.0).abs() < 1.0, "e2={e2}");
+        // Absent item estimates near zero.
+        assert!(s.estimate(999).abs() < 1.0);
+    }
+
+    #[test]
+    fn count_mean_debias_kills_uniform_background() {
+        // Uniform background over many items inflates all buckets equally;
+        // debiasing should cancel it.
+        let mut s = CountMeanSketch::new(4, 64, 8);
+        for item in 0..6400u64 {
+            s.insert_weighted(item, 1.0);
+        }
+        s.insert_weighted(3, 500.0);
+        let est = s.estimate(3);
+        // True count of item 3 is 501; background adds ~100/bucket pre-debias.
+        assert!((est - 501.0).abs() < 120.0, "est={est}");
+    }
+
+    #[test]
+    fn add_to_bucket_matches_insert_for_single_row() {
+        let mut a = CountMeanSketch::new(1, 16, 4);
+        let mut b = CountMeanSketch::new(1, 16, 4);
+        a.insert_weighted(5, 2.0);
+        let bucket = b.bucket(0, 5);
+        b.add_to_bucket(0, bucket, 2.0);
+        assert_eq!(a.estimate(5), b.estimate(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_width_panics() {
+        CountMinSketch::new(2, 0, 0);
+    }
+}

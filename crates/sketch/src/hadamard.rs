@@ -1,0 +1,217 @@
+//! The fast Walsh–Hadamard transform (FWHT) and Hadamard-matrix utilities.
+//!
+//! Two of the tutorial's systems lean on the Hadamard basis:
+//!
+//! * **Apple's HCMS** has each device report a single ±1 *Hadamard
+//!   coefficient* of its one-hot row vector instead of the whole row: the
+//!   transform spreads a unit spike evenly across all coefficients, so a
+//!   uniformly sampled coefficient carries `1/√m` of the signal — the best
+//!   possible for a 1-bit message.
+//! * **Marginal release** (Cormode–Kulkarni–Srivastava) observes that a
+//!   k-way marginal depends on few Fourier (= Hadamard, for binary domains)
+//!   coefficients, so collecting noisy coefficients beats collecting noisy
+//!   cells.
+//!
+//! The FWHT here is the standard in-place butterfly, `O(m log m)` with
+//! `m` a power of two, operating on `f64` (the aggregation side) — plus
+//! [`hadamard_entry`] for the O(1) client-side single-entry evaluation,
+//! which is what makes 1-bit reports cheap: a client never materializes the
+//! matrix.
+
+/// In-place fast Walsh–Hadamard transform (no normalization):
+/// `data ← H·data` where `H` is the ±1 Hadamard matrix of size `m = 2^k`.
+///
+/// Applying it twice multiplies by `m` (`H·H = m·I`).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (or is zero).
+///
+/// # Examples
+/// ```
+/// use ldp_sketch::fwht;
+/// let mut v = vec![1.0, 0.0, 0.0, 0.0];
+/// fwht(&mut v); // a unit spike spreads to all-ones
+/// assert_eq!(v, vec![1.0, 1.0, 1.0, 1.0]);
+/// fwht(&mut v); // H·H = m·I
+/// assert_eq!(v, vec![4.0, 0.0, 0.0, 0.0]);
+/// ```
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two, got {n}");
+    let mut h = 1;
+    while h < n {
+        for chunk_start in (0..n).step_by(h * 2) {
+            for i in chunk_start..chunk_start + h {
+                let (x, y) = (data[i], data[i + h]);
+                data[i] = x + y;
+                data[i + h] = x - y;
+            }
+        }
+        h *= 2;
+    }
+}
+
+/// FWHT normalized by `1/√m`, making the transform orthonormal
+/// (applying it twice is the identity).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fwht_normalized(data: &mut [f64]) {
+    fwht(data);
+    let scale = 1.0 / (data.len() as f64).sqrt();
+    for x in data.iter_mut() {
+        *x *= scale;
+    }
+}
+
+/// The `(row, col)` entry of the (un-normalized) Hadamard matrix of any
+/// power-of-two size: `H[row][col] = (−1)^{⟨row, col⟩}` where `⟨·,·⟩` is the
+/// GF(2) inner product (popcount of AND, mod 2).
+///
+/// O(1); this is what an HCMS client evaluates instead of a transform.
+///
+/// # Examples
+/// ```
+/// use ldp_sketch::hadamard_entry;
+/// assert_eq!(hadamard_entry(0, 5), 1);   // first row is all +1
+/// assert_eq!(hadamard_entry(1, 1), -1);  // H2 = [[1,1],[1,-1]]
+/// ```
+#[inline]
+pub fn hadamard_entry(row: u64, col: u64) -> i8 {
+    if (row & col).count_ones() % 2 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Inverse of [`fwht`]: `data ← H⁻¹·data = (1/m)·H·data`.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fwht_inverse(data: &mut [f64]) {
+    fwht(data);
+    let m = data.len() as f64;
+    for x in data.iter_mut() {
+        *x /= m;
+    }
+}
+
+/// Next power of two ≥ `n` (convenience for sizing Hadamard domains).
+///
+/// # Panics
+/// Panics if the result would overflow `usize`.
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_transform(v: &[f64]) -> Vec<f64> {
+        let n = v.len();
+        (0..n)
+            .map(|r| {
+                (0..n)
+                    .map(|c| hadamard_entry(r as u64, c as u64) as f64 * v[c])
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fwht_matches_naive_matrix_multiply() {
+        let v: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let mut fast = v.clone();
+        fwht(&mut fast);
+        let slow = naive_transform(&v);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn double_transform_scales_by_m() {
+        let v = vec![3.0, -1.0, 2.0, 0.5, 1.0, 1.0, -2.0, 4.0];
+        let mut w = v.clone();
+        fwht(&mut w);
+        fwht(&mut w);
+        for (a, b) in w.iter().zip(&v) {
+            assert!((a - 8.0 * b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_is_involution() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let mut w = v.clone();
+        fwht_normalized(&mut w);
+        fwht_normalized(&mut w);
+        for (a, b) in w.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_forward() {
+        let v = vec![5.0, -3.0, 0.0, 7.0, 2.0, 2.0, 2.0, -9.0];
+        let mut w = v.clone();
+        fwht(&mut w);
+        fwht_inverse(&mut w);
+        for (a, b) in w.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn entry_rows_are_orthogonal() {
+        let m = 32u64;
+        for r1 in 0..m {
+            for r2 in 0..m {
+                let dot: i64 = (0..m)
+                    .map(|c| hadamard_entry(r1, c) as i64 * hadamard_entry(r2, c) as i64)
+                    .sum();
+                if r1 == r2 {
+                    assert_eq!(dot, m as i64);
+                } else {
+                    assert_eq!(dot, 0, "rows {r1},{r2} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        fwht(&mut [1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fwht_linear(a in proptest::collection::vec(-100.0f64..100.0, 8),
+                            b in proptest::collection::vec(-100.0f64..100.0, 8)) {
+            // H(a + b) = H(a) + H(b)
+            let mut sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            fwht(&mut sum);
+            let mut ha = a.clone();
+            fwht(&mut ha);
+            let mut hb = b.clone();
+            fwht(&mut hb);
+            for i in 0..8 {
+                prop_assert!((sum[i] - ha[i] - hb[i]).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_parseval(v in proptest::collection::vec(-10.0f64..10.0, 16)) {
+            // Orthonormal transform preserves the L2 norm.
+            let before: f64 = v.iter().map(|x| x * x).sum();
+            let mut w = v.clone();
+            fwht_normalized(&mut w);
+            let after: f64 = w.iter().map(|x| x * x).sum();
+            prop_assert!((before - after).abs() < 1e-8 * (1.0 + before));
+        }
+    }
+}

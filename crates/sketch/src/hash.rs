@@ -1,0 +1,385 @@
+//! Hashing substrate: fast non-cryptographic mixing, seeded hash families,
+//! and pairwise-independent hashing.
+//!
+//! LDP protocols use hashing in two distinct roles, and conflating them is a
+//! classic implementation bug:
+//!
+//! 1. **Protocol hashing** (OLH, Bloom filters, sketches): needs a *family*
+//!    of hash functions indexed by a public seed, with good uniformity. The
+//!    seed is part of each user's report, so the family must be cheap to
+//!    instantiate per user. [`HashFamily`] serves this role.
+//! 2. **Analytical hashing** (pairwise-independent guarantees for sketch
+//!    error bounds): Count-Min/Count-Sketch error analysis assumes 2-wise
+//!    independence. [`PairwiseHash`] implements the classic
+//!    multiply-shift construction over a 61-bit Mersenne prime, which is
+//!    provably 2-universal.
+//!
+//! [`FastHasher`] is an FxHash-style `std::hash::Hasher` for internal hash
+//! maps where HashDoS resistance is irrelevant (the perf-book guidance for
+//! integer-keyed maps on hot paths).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit finalizer from SplitMix64 / MurmurHash3's `fmix64`.
+///
+/// A full-avalanche bijection on `u64`: every input bit affects every output
+/// bit with probability ≈ 1/2. Used as the mixing core of [`HashFamily`].
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// SplitMix64 step: advances a state and returns a mixed output.
+///
+/// Used to derive independent per-seed constants for [`HashFamily`] and
+/// [`PairwiseHash`] without a `rand` dependency on the hot path.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded family of hash functions `h_seed : u64 -> [0, range)`.
+///
+/// This is the workhorse for OLH (each user draws a random `seed`, reports
+/// `(seed, perturbed h_seed(v))`), Bloom filters (k indexed functions), and
+/// sketch rows. Functions with different seeds behave as independent random
+/// functions for all practical purposes (full-avalanche mixing of
+/// `seed ⊕ rotated value`).
+///
+/// # Examples
+/// ```
+/// use ldp_sketch::hash::HashFamily;
+/// let fam = HashFamily::new(16);
+/// let a = fam.hash(42, 7);
+/// assert!(a < 16);
+/// // Deterministic: same (value, seed) -> same bucket.
+/// assert_eq!(a, HashFamily::new(16).hash(42, 7));
+/// // Different seeds give (almost surely) different mappings.
+/// assert_ne!(
+///     (0..64).map(|v| fam.hash(v, 1)).collect::<Vec<_>>(),
+///     (0..64).map(|v| fam.hash(v, 2)).collect::<Vec<_>>(),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFamily {
+    range: u64,
+}
+
+impl HashFamily {
+    /// Creates a family whose functions map into `[0, range)`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(range: u64) -> Self {
+        assert!(range > 0, "hash range must be positive");
+        Self { range }
+    }
+
+    /// The output range of every function in the family.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// Hashes `value` with the function indexed by `seed`.
+    #[inline]
+    pub fn hash(&self, value: u64, seed: u64) -> u64 {
+        // Mix seed and value asymmetrically so hash(v, s) != hash(s, v).
+        let mixed = mix64(value ^ seed.rotate_left(32) ^ 0x51_7c_c1_b7_27_22_0a_95);
+        // Multiply-shift range reduction (Lemire): unbiased enough for
+        // protocol use and far faster than `%`.
+        (((mixed as u128) * (self.range as u128)) >> 64) as u64
+    }
+
+    /// Hashes a byte string with the function indexed by `seed`.
+    ///
+    /// Strings are first compressed to 64 bits with an FNV-1a/mix pipeline;
+    /// the compression is common to all seeds, which is fine for protocol
+    /// use where the adversary is nature, not a collision attacker.
+    #[inline]
+    pub fn hash_bytes(&self, bytes: &[u8], seed: u64) -> u64 {
+        self.hash(hash_bytes64(bytes), seed)
+    }
+}
+
+/// Compresses a byte string to a well-mixed `u64` (FNV-1a core + `mix64`
+/// finalizer). Deterministic across runs and platforms.
+#[inline]
+pub fn hash_bytes64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h ^ w).wrapping_mul(0x100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    mix64(h ^ (bytes.len() as u64).rotate_left(17))
+}
+
+/// A 2-universal (pairwise-independent) hash function
+/// `h(x) = ((a·x + b) mod p) mod range` with `p = 2^61 - 1`.
+///
+/// Count-Min and Count-Sketch error bounds require pairwise independence;
+/// this is the textbook construction over the Mersenne prime `2^61 − 1`,
+/// which permits a fast modular reduction without division.
+///
+/// # Examples
+/// ```
+/// use ldp_sketch::hash::PairwiseHash;
+/// let h = PairwiseHash::from_seed(3, 1024);
+/// assert!(h.hash(999) < 1024);
+/// assert_eq!(h.hash(999), PairwiseHash::from_seed(3, 1024).hash(999));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    range: u64,
+}
+
+/// The Mersenne prime 2^61 − 1 used by [`PairwiseHash`].
+pub const MERSENNE_61: u64 = (1 << 61) - 1;
+
+/// Reduces `x` modulo 2^61 − 1 using the Mersenne identity
+/// `x mod (2^61-1) = (x >> 61) + (x & (2^61-1))` (with one correction step).
+#[inline]
+fn mod_mersenne61(x: u128) -> u64 {
+    let lo = (x as u64) & MERSENNE_61;
+    let hi = (x >> 61) as u64;
+    let mut r = lo.wrapping_add(hi & MERSENNE_61).wrapping_add(hi >> 61);
+    while r >= MERSENNE_61 {
+        r -= MERSENNE_61;
+    }
+    r
+}
+
+impl PairwiseHash {
+    /// Creates a pairwise-independent function from explicit coefficients.
+    ///
+    /// `a` is clamped into `[1, p)` and `b` into `[0, p)`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(a: u64, b: u64, range: u64) -> Self {
+        assert!(range > 0, "hash range must be positive");
+        let a = 1 + a % (MERSENNE_61 - 1);
+        let b = b % MERSENNE_61;
+        Self { a, b, range }
+    }
+
+    /// Derives coefficients deterministically from a seed via SplitMix64.
+    pub fn from_seed(seed: u64, range: u64) -> Self {
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        Self::new(a, b, range)
+    }
+
+    /// Evaluates the hash on `x`, returning a bucket in `[0, range)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        // Fold x into [0, p) first; the fold is injective on [0, p) and
+        // merges at most one pair, preserving 2-universality up to O(2^-61).
+        let x = mod_mersenne61(x as u128);
+        let v = mod_mersenne61((self.a as u128) * (x as u128) + self.b as u128);
+        (((v as u128) * (self.range as u128)) >> 61).min((self.range - 1) as u128) as u64
+    }
+
+    /// The output range.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+}
+
+/// An FxHash-style fast hasher for internal `HashMap`s keyed by integers or
+/// short keys, where HashDoS is not a threat model (our keys come from our
+/// own simulators, not attackers).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+/// `BuildHasher` for [`FastHasher`]; plug into `HashMap::with_hasher`.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`] — drop-in for hot internal maps.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, FastBuildHasher>;
+
+const ROTATE: u32 = 5;
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn mix64_avalanche() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        let mut total = 0u32;
+        let samples = 256;
+        for i in 0..samples {
+            let x = mix64(i * 0x9e37_79b9);
+            let y = mix64((i * 0x9e37_79b9) ^ 1);
+            total += (mix64_pre(x) ^ mix64_pre(y)).count_ones();
+        }
+        fn mix64_pre(x: u64) -> u64 {
+            mix64(x)
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((20.0..44.0).contains(&avg), "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn family_respects_range() {
+        let fam = HashFamily::new(10);
+        for v in 0..1000 {
+            for s in 0..8 {
+                assert!(fam.hash(v, s) < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn family_is_roughly_uniform() {
+        let range = 16u64;
+        let fam = HashFamily::new(range);
+        let n = 64_000u64;
+        let mut counts = vec![0u64; range as usize];
+        for v in 0..n {
+            counts[fam.hash(v, 12345) as usize] += 1;
+        }
+        let expected = n as f64 / range as f64;
+        for (bucket, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.10, "bucket {bucket} off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn family_seeds_decorrelate() {
+        let fam = HashFamily::new(2);
+        // For a fixed value, the map seed -> bucket should be ~balanced.
+        let ones: u64 = (0..1000).map(|s| fam.hash(777, s)).sum();
+        assert!((350..650).contains(&(ones as i64 as u64)), "ones={ones}");
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_prefixes() {
+        assert_ne!(hash_bytes64(b"abc"), hash_bytes64(b"abcd"));
+        assert_ne!(hash_bytes64(b""), hash_bytes64(b"\0"));
+        assert_ne!(hash_bytes64(b"\0\0"), hash_bytes64(b"\0"));
+    }
+
+    #[test]
+    fn pairwise_respects_range_and_determinism() {
+        let h = PairwiseHash::from_seed(9, 100);
+        for x in 0..10_000 {
+            assert!(h.hash(x) < 100);
+        }
+        let h2 = PairwiseHash::from_seed(9, 100);
+        assert_eq!(h.hash(31337), h2.hash(31337));
+    }
+
+    #[test]
+    fn pairwise_collision_rate_near_uniform() {
+        // Empirical pairwise collision probability should be ~1/range.
+        let range = 64u64;
+        let trials = 2000u64;
+        let mut collisions = 0u64;
+        for seed in 0..trials {
+            let h = PairwiseHash::from_seed(seed, range);
+            if h.hash(1) == h.hash(2) {
+                collisions += 1;
+            }
+        }
+        let p = collisions as f64 / trials as f64;
+        assert!(p < 3.0 / range as f64, "collision prob {p}");
+    }
+
+    #[test]
+    fn mod_mersenne61_agrees_with_naive() {
+        for &x in &[0u128, 1, MERSENNE_61 as u128, (MERSENNE_61 as u128) + 5, u64::MAX as u128, u128::MAX >> 3] {
+            assert_eq!(mod_mersenne61(x) as u128, x % (MERSENNE_61 as u128), "x={x}");
+        }
+    }
+
+    #[test]
+    fn fast_map_works() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m[&500], 1000);
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -1,0 +1,405 @@
+//! Dense linear algebra for RAPPOR-style decoding: least squares via QR,
+//! ridge regression, and LASSO via coordinate descent.
+//!
+//! RAPPOR's aggregator observes, per cohort, the debiased per-bit counts of
+//! millions of perturbed Bloom filters. Each candidate string contributes a
+//! known 0/1 signature column; estimating candidate frequencies is the
+//! regression `X β ≈ y` where `X` stacks the cohort signatures. The original
+//! paper fits LASSO first (to select candidates) and then ordinary least
+//! squares on the survivors — both are implemented here, from scratch,
+//! because the decoding step *is* part of the system being reproduced.
+//!
+//! The matrices involved are small (bits·cohorts × candidates, e.g.
+//! 128·64 × 1000), so dense Householder QR is the right tool; no sparse
+//! machinery is warranted.
+
+/// A dense row-major matrix of `f64`.
+///
+/// Deliberately minimal: construction, indexing, and the operations the
+/// decoder needs (transpose-multiply, column norms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self · v` for a vector `v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// `selfᵀ · v` for a vector `v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != rows`.
+    pub fn transpose_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let vr = v[r];
+            if vr == 0.0 {
+                continue;
+            }
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * vr;
+            }
+        }
+        out
+    }
+
+    /// Squared L2 norm of column `c`.
+    pub fn col_norm_sq(&self, c: usize) -> f64 {
+        (0..self.rows).map(|r| self.get(r, c).powi(2)).sum()
+    }
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` via Householder QR
+/// with column pivoting omitted (the decoder's design matrices are
+/// well-conditioned 0/1 signature stacks).
+///
+/// Returns the minimizer `x` (length `A.cols()`).
+///
+/// # Panics
+/// Panics if `b.len() != A.rows()` or `A.rows() < A.cols()`.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+    assert!(
+        a.rows() >= a.cols(),
+        "least_squares requires rows >= cols ({} < {})",
+        a.rows(),
+        a.cols()
+    );
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut qtb = b.to_vec();
+
+    // Householder QR: for each column k, reflect to zero out below-diagonal.
+    for k in 0..n {
+        // Compute the norm of the k-th column below (and including) row k.
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            norm_sq += r.get(i, k) * r.get(i, k);
+        }
+        let norm = norm_sq.sqrt();
+        if norm < 1e-300 {
+            continue; // zero column; leave as-is (coefficient will be 0)
+        }
+        let alpha = if r.get(k, k) > 0.0 { -norm } else { norm };
+        // v = x - alpha e1, stored implicitly.
+        let mut v = vec![0.0; m - k];
+        for i in k..m {
+            v[i - k] = r.get(i, k);
+        }
+        v[0] -= alpha;
+        let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if v_norm_sq < 1e-300 {
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / ‖v‖² to R (columns k..n) and to qtb.
+        for c in k..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * r.get(i, c)).sum();
+            let scale = 2.0 * dot / v_norm_sq;
+            for i in k..m {
+                let val = r.get(i, c) - scale * v[i - k];
+                r.set(i, c, val);
+            }
+        }
+        let dot: f64 = (k..m).map(|i| v[i - k] * qtb[i]).sum();
+        let scale = 2.0 * dot / v_norm_sq;
+        for i in k..m {
+            qtb[i] -= scale * v[i - k];
+        }
+    }
+
+    // Back substitution on the upper-triangular R.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut s = qtb[k];
+        for c in k + 1..n {
+            s -= r.get(k, c) * x[c];
+        }
+        let diag = r.get(k, k);
+        x[k] = if diag.abs() < 1e-12 { 0.0 } else { s / diag };
+    }
+    x
+}
+
+/// Ridge regression `min ‖A x − b‖² + λ‖x‖²`, solved by augmenting the
+/// system with `√λ·I` rows and calling [`least_squares`].
+///
+/// # Panics
+/// Panics if `b.len() != A.rows()` or `lambda < 0`.
+pub fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Vec<f64> {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+    let m = a.rows();
+    let n = a.cols();
+    let mut aug = Matrix::zeros(m + n, n);
+    for r in 0..m {
+        for c in 0..n {
+            aug.set(r, c, a.get(r, c));
+        }
+    }
+    let sqrt_l = lambda.sqrt();
+    for k in 0..n {
+        aug.set(m + k, k, sqrt_l);
+    }
+    let mut rhs = b.to_vec();
+    rhs.resize(m + n, 0.0);
+    least_squares(&aug, &rhs)
+}
+
+/// LASSO `min ½‖A x − b‖² + λ‖x‖₁` via cyclic coordinate descent with
+/// soft-thresholding, optionally constrained to `x ≥ 0`
+/// (candidate frequencies are non-negative, and RAPPOR's decoder uses the
+/// non-negative variant).
+///
+/// Runs until the max coordinate change drops below `tol` or `max_iter`
+/// sweeps complete. Returns the coefficient vector.
+///
+/// # Panics
+/// Panics if `b.len() != A.rows()` or `lambda < 0`.
+pub fn lasso(a: &Matrix, b: &[f64], lambda: f64, nonnegative: bool, max_iter: usize, tol: f64) -> Vec<f64> {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    // Residual r = b - A x (x = 0 initially).
+    let mut resid = b.to_vec();
+    let col_norms: Vec<f64> = (0..n).map(|c| a.col_norm_sq(c)).collect();
+
+    for _ in 0..max_iter {
+        let mut max_delta = 0.0f64;
+        for j in 0..n {
+            let nj = col_norms[j];
+            if nj < 1e-300 {
+                continue;
+            }
+            // rho = A_j . (resid + A_j x_j)  — partial residual correlation.
+            let mut rho = 0.0;
+            for r in 0..a.rows() {
+                let aij = a.get(r, j);
+                if aij != 0.0 {
+                    rho += aij * resid[r];
+                }
+            }
+            rho += nj * x[j];
+            // Soft threshold.
+            let mut new_xj = if rho > lambda {
+                (rho - lambda) / nj
+            } else if rho < -lambda {
+                (rho + lambda) / nj
+            } else {
+                0.0
+            };
+            if nonnegative && new_xj < 0.0 {
+                new_xj = 0.0;
+            }
+            let delta = new_xj - x[j];
+            if delta != 0.0 {
+                for r in 0..a.rows() {
+                    let aij = a.get(r, j);
+                    if aij != 0.0 {
+                        resid[r] -= aij * delta;
+                    }
+                }
+                x[j] = new_xj;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < tol {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matvec_basics() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.transpose_matvec(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn least_squares_exact_square_system() {
+        // [2 0; 0 3] x = [4, 9] -> x = [2, 3]
+        let a = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 3.0]);
+        let x = least_squares(&a, &[4.0, 9.0]);
+        assert_close(&x, &[2.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_recovers_truth() {
+        // y = 3 a - 2 b with noise-free rows.
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = 50;
+        let mut data = Vec::with_capacity(m * 2);
+        let mut b = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            data.push(u);
+            data.push(v);
+            b.push(3.0 * u - 2.0 * v);
+        }
+        let a = Matrix::from_vec(m, 2, data);
+        let x = least_squares(&a, &b);
+        assert_close(&x, &[3.0, -2.0], 1e-8);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Compare residual against small perturbations of the solution.
+        let a = Matrix::from_vec(4, 2, vec![1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0]);
+        let b = [6.0, 5.0, 7.0, 10.0];
+        let x = least_squares(&a, &b);
+        let res = |x: &[f64]| -> f64 {
+            a.matvec(x).iter().zip(&b).map(|(p, y)| (p - y).powi(2)).sum()
+        };
+        let base = res(&x);
+        for d in [-0.01, 0.01] {
+            for k in 0..2 {
+                let mut xp = x.clone();
+                xp[k] += d;
+                assert!(res(&xp) >= base - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let a = Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]);
+        let b = [3.0, 3.0, 3.0];
+        let ols = least_squares(&a, &b);
+        let r1 = ridge(&a, &b, 1.0);
+        let r10 = ridge(&a, &b, 10.0);
+        assert!((ols[0] - 3.0).abs() < 1e-10);
+        assert!(r1[0] < ols[0]);
+        assert!(r10[0] < r1[0]);
+        assert!(r10[0] > 0.0);
+    }
+
+    #[test]
+    fn lasso_recovers_sparse_signal() {
+        // 40 candidates, 3 truly active; 60 observations.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (m, n) = (60, 40);
+        let mut data = vec![0.0; m * n];
+        for v in data.iter_mut() {
+            *v = if rng.gen_bool(0.3) { 1.0 } else { 0.0 };
+        }
+        let a = Matrix::from_vec(m, n, data);
+        let mut truth = vec![0.0; n];
+        truth[3] = 10.0;
+        truth[17] = 6.0;
+        truth[29] = 8.0;
+        let b = a.matvec(&truth);
+        let x = lasso(&a, &b, 0.5, true, 500, 1e-9);
+        // Active coordinates should dominate.
+        for (j, (&xi, &ti)) in x.iter().zip(&truth).enumerate() {
+            if ti > 0.0 {
+                assert!(xi > ti * 0.5, "missed active coord {j}: {xi}");
+            } else {
+                assert!(xi < 1.5, "spurious coord {j}: {xi}");
+            }
+        }
+    }
+
+    #[test]
+    fn lasso_zero_lambda_close_to_ols() {
+        let a = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, -1.0]);
+        let b = [2.0, 1.0, 3.0, 1.0];
+        let ols = least_squares(&a, &b);
+        let l0 = lasso(&a, &b, 0.0, false, 2000, 1e-12);
+        assert_close(&l0, &ols, 1e-6);
+    }
+
+    #[test]
+    fn lasso_nonnegative_clamps() {
+        // Truth is negative; non-negative LASSO must return 0, not negative.
+        let a = Matrix::from_vec(2, 1, vec![1.0, 1.0]);
+        let b = [-5.0, -5.0];
+        let x = lasso(&a, &b, 0.1, true, 100, 1e-10);
+        assert_eq!(x[0], 0.0);
+        let x_free = lasso(&a, &b, 0.1, false, 100, 1e-10);
+        assert!(x_free[0] < -4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn least_squares_dim_mismatch_panics() {
+        let a = Matrix::zeros(3, 2);
+        least_squares(&a, &[1.0, 2.0]);
+    }
+}

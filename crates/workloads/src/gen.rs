@@ -1,0 +1,278 @@
+//! Synthetic population generators.
+//!
+//! Frequency-oracle accuracy depends only on the frequency vector, so a
+//! controlled synthetic profile is a *better* experimental substrate than
+//! a fixed real dataset: the skew parameter is the x-axis of several
+//! reproduced figures. The RAPPOR paper itself validates decoding on
+//! Zipf- and normal-shaped synthetic populations.
+
+use rand::Rng;
+
+/// Zipf-distributed categorical values over `[0, d)`:
+/// `P(i) ∝ 1/(i+1)^s`.
+///
+/// Uses precomputed inverse-CDF sampling — O(log d) per draw.
+///
+/// # Examples
+/// ```
+/// use ldp_workloads::ZipfGenerator;
+/// use rand::SeedableRng;
+/// let zipf = ZipfGenerator::new(100, 1.1).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sample = zipf.sample_n(10_000, &mut rng);
+/// let zeros = sample.iter().filter(|&&v| v == 0).count();
+/// let nineties = sample.iter().filter(|&&v| v == 90).count();
+/// assert!(zeros > 50 * nineties.max(1) / 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    cdf: Vec<f64>,
+    probabilities: Vec<f64>,
+}
+
+impl ZipfGenerator {
+    /// Creates a Zipf(s) distribution over `d` items.
+    ///
+    /// # Errors
+    /// Returns an error string if `d == 0` or `s < 0` (s = 0 degenerates
+    /// to uniform, which is allowed).
+    pub fn new(d: u64, s: f64) -> Result<Self, String> {
+        if d == 0 {
+            return Err("domain must be non-empty".into());
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(format!("skew must be finite and non-negative, got {s}"));
+        }
+        let weights: Vec<f64> = (0..d).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let probabilities: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cdf = Vec::with_capacity(d as usize);
+        let mut run = 0.0;
+        for p in &probabilities {
+            run += p;
+            cdf.push(run);
+        }
+        // Guard against FP drift at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cdf, probabilities })
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// The exact item probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Expected count vector for a population of `n`.
+    pub fn expected_counts(&self, n: usize) -> Vec<f64> {
+        self.probabilities.iter().map(|p| p * n as f64).collect()
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Draws `n` values.
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Uniform categorical values over `[0, d)`.
+pub fn uniform_population<R: Rng + ?Sized>(n: usize, d: u64, rng: &mut R) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..d)).collect()
+}
+
+/// Discretized Gaussian over `[0, d)`: values cluster around `d/2` with
+/// the given relative standard deviation (as a fraction of `d`).
+pub fn gaussian_population<R: Rng + ?Sized>(n: usize, d: u64, rel_sd: f64, rng: &mut R) -> Vec<u64> {
+    assert!(d > 0 && rel_sd > 0.0, "need positive domain and spread");
+    let mean = d as f64 / 2.0;
+    let sd = rel_sd * d as f64;
+    (0..n)
+        .map(|_| {
+            // Box–Muller.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mean + sd * z).round().clamp(0.0, (d - 1) as f64) as u64
+        })
+        .collect()
+}
+
+/// Exact count histogram of a categorical population.
+///
+/// # Panics
+/// Panics if any value is `≥ d`.
+pub fn exact_counts(values: &[u64], d: u64) -> Vec<f64> {
+    let mut counts = vec![0.0; d as usize];
+    for &v in values {
+        assert!(v < d, "value {v} outside domain {d}");
+        counts[v as usize] += 1.0;
+    }
+    counts
+}
+
+/// A bounded numeric per-user stream with drift — the telemetry workload
+/// for the Microsoft reproduction: each user has a base level that slowly
+/// drifts, plus per-round jitter.
+#[derive(Debug, Clone)]
+pub struct NumericStream {
+    max_value: f64,
+    bases: Vec<f64>,
+    drift_per_round: f64,
+    jitter: f64,
+}
+
+impl NumericStream {
+    /// Creates a stream for `users` users over `[0, max_value]`, with
+    /// per-round base drift and jitter expressed as fractions of
+    /// `max_value`.
+    ///
+    /// # Panics
+    /// Panics on non-positive `max_value` or negative drift/jitter.
+    pub fn new<R: Rng + ?Sized>(
+        users: usize,
+        max_value: f64,
+        drift_per_round: f64,
+        jitter: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(max_value > 0.0, "max_value must be positive");
+        assert!(drift_per_round >= 0.0 && jitter >= 0.0, "drift/jitter must be non-negative");
+        let bases = (0..users).map(|_| rng.gen_range(0.0..max_value)).collect();
+        Self {
+            max_value,
+            bases,
+            drift_per_round,
+            jitter,
+        }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Upper bound of the value range.
+    pub fn max_value(&self) -> f64 {
+        self.max_value
+    }
+
+    /// The values at a given round: base + round·drift (wrapped) + jitter.
+    pub fn round_values<R: Rng + ?Sized>(&self, round: usize, rng: &mut R) -> Vec<f64> {
+        self.bases
+            .iter()
+            .map(|&b| {
+                let drifted =
+                    (b + round as f64 * self.drift_per_round * self.max_value) % self.max_value;
+                let j = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..self.jitter) * self.max_value
+                } else {
+                    0.0
+                };
+                (drifted + j).clamp(0.0, self.max_value)
+            })
+            .collect()
+    }
+
+    /// The exact mean at a round (requires the same rng stream discipline
+    /// as `round_values`; for tests use jitter = 0).
+    pub fn exact_mean_no_jitter(&self, round: usize) -> f64 {
+        self.bases
+            .iter()
+            .map(|&b| (b + round as f64 * self.drift_per_round * self.max_value) % self.max_value)
+            .sum::<f64>()
+            / self.bases.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = ZipfGenerator::new(50, 1.2).unwrap();
+        let sum: f64 = z.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(z.probabilities()[0] > z.probabilities()[10]);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let z = ZipfGenerator::new(10, 0.0).unwrap();
+        for &p in z.probabilities() {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_probabilities() {
+        let z = ZipfGenerator::new(20, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let counts = exact_counts(&z.sample_n(n, &mut rng), 20);
+        for (i, (&c, &e)) in counts.iter().zip(&z.expected_counts(n)).enumerate() {
+            let sd = (e.max(1.0)).sqrt();
+            assert!((c - e).abs() < 6.0 * sd + 5.0, "item {i}: {c} vs {e}");
+        }
+    }
+
+    #[test]
+    fn zipf_validation() {
+        assert!(ZipfGenerator::new(0, 1.0).is_err());
+        assert!(ZipfGenerator::new(10, -1.0).is_err());
+        assert!(ZipfGenerator::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn gaussian_clusters_at_center() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = gaussian_population(50_000, 100, 0.1, &mut rng);
+        let counts = exact_counts(&pop, 100);
+        assert!(counts[50] > counts[10] * 3.0, "center should dominate");
+        assert!(counts[50] > counts[90] * 3.0);
+    }
+
+    #[test]
+    fn uniform_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = uniform_population(10_000, 16, &mut rng);
+        let counts = exact_counts(&pop, 16);
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c - 625.0).abs() < 150.0, "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn stream_values_bounded_and_drifting() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = NumericStream::new(100, 60.0, 0.1, 0.02, &mut rng);
+        let r0 = s.round_values(0, &mut rng);
+        let r5 = s.round_values(5, &mut rng);
+        assert!(r0.iter().all(|&v| (0.0..=60.0).contains(&v)));
+        // Drift changes values.
+        let moved = r0.iter().zip(&r5).filter(|(a, b)| (*a - *b).abs() > 1.0).count();
+        assert!(moved > 50, "drift should move most values: {moved}");
+    }
+
+    #[test]
+    fn exact_mean_consistent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = NumericStream::new(1000, 10.0, 0.0, 0.0, &mut rng);
+        let vals = s.round_values(0, &mut rng);
+        let mean = vals.iter().sum::<f64>() / 1000.0;
+        assert!((mean - s.exact_mean_no_jitter(0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! The experiment harness: seeded multi-trial runs and table printing.
+//!
+//! Every `ldp-bench` binary follows the same shape — sweep a parameter,
+//! run several seeded trials per point, report mean ± std of a metric,
+//! print a table whose rows mirror the reproduced figure. This module
+//! holds that shared machinery so the binaries stay declarative.
+
+/// Mean and standard deviation of a set of trial outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialStats {
+    /// Sample mean across trials.
+    pub mean: f64,
+    /// Sample standard deviation (population form) across trials.
+    pub std: f64,
+    /// Number of trials aggregated.
+    pub trials: usize,
+}
+
+impl std::fmt::Display for TrialStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+/// Seeded multi-trial runner.
+#[derive(Debug, Clone, Copy)]
+pub struct Trials {
+    /// Number of trials per configuration.
+    pub count: usize,
+    /// Base seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+}
+
+impl Trials {
+    /// Creates a runner with `count` trials from `base_seed`.
+    ///
+    /// # Panics
+    /// Panics if `count == 0`.
+    pub fn new(count: usize, base_seed: u64) -> Self {
+        assert!(count > 0, "need at least one trial");
+        Self { count, base_seed }
+    }
+
+    /// Runs `f(seed)` for each trial seed and aggregates the returned
+    /// metric.
+    pub fn run<F: FnMut(u64) -> f64>(&self, mut f: F) -> TrialStats {
+        let outcomes: Vec<f64> = (0..self.count)
+            .map(|t| f(self.base_seed + t as u64))
+            .collect();
+        let mean = outcomes.iter().sum::<f64>() / outcomes.len() as f64;
+        let var = outcomes.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / outcomes.len() as f64;
+        TrialStats {
+            mean,
+            std: var.sqrt(),
+            trials: self.count,
+        }
+    }
+}
+
+/// An aligned-column text table for experiment output.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_aggregate_correctly() {
+        let t = Trials::new(4, 10);
+        let mut seeds = Vec::new();
+        let stats = t.run(|s| {
+            seeds.push(s);
+            s as f64
+        });
+        assert_eq!(seeds, vec![10, 11, 12, 13]);
+        assert!((stats.mean - 11.5).abs() < 1e-12);
+        assert!((stats.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(stats.trials, 4);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = Trials::new(3, 7);
+        let a = t.run(|s| (s as f64).sin());
+        let b = t.run(|s| (s as f64).sin());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut table = ExperimentTable::new("demo", &["eps", "variance"]);
+        table.row(&["0.5".into(), "123.4".into()]);
+        table.row(&["4".into(), "1.2".into()]);
+        let s = table.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("eps"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // Right-aligned columns: all rows same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        let mut table = ExperimentTable::new("x", &["a", "b"]);
+        table.row(&["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        Trials::new(0, 0);
+    }
+}

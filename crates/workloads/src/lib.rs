@@ -1,0 +1,28 @@
+//! # `ldp-workloads` — synthetic workloads, metrics, and the experiment
+//! harness
+//!
+//! The deployed systems the tutorial surveys were evaluated on proprietary
+//! data (Chrome home pages, iOS keyboard streams, Windows telemetry). This
+//! crate provides the synthetic equivalents used throughout the
+//! reproduction — per DESIGN.md's substitution table, the estimators under
+//! test consume only the *frequency profile* of the data, which the
+//! generators here control exactly:
+//!
+//! * [`gen`] — Zipf, uniform, and discretized-Gaussian categorical
+//!   populations; bounded numeric streams with drift for telemetry.
+//! * [`metrics`] — the accuracy measures the source papers report: MSE,
+//!   MAE, max error, KL divergence, total variation, top-k
+//!   precision/recall/F1, and normalized cumulative rank.
+//! * [`harness`] — multi-trial experiment running with mean ± std
+//!   aggregation and aligned-column table printing for the `ldp-bench`
+//!   reproduction binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gen;
+pub mod harness;
+pub mod metrics;
+
+pub use gen::{NumericStream, ZipfGenerator};
+pub use harness::{ExperimentTable, Trials};

@@ -1,0 +1,228 @@
+//! Accuracy metrics used by the reproduced papers.
+//!
+//! Each surveyed system reports a different headline number — RAPPOR
+//! reports detected-candidate precision/recall, Wang et al. report count
+//! MSE, Apple reports top-k overlap, Microsoft reports absolute mean
+//! error. All are here, over plain `&[f64]` so every crate in the
+//! workspace can use them without conversion.
+
+/// Mean squared error between estimate and truth.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn mse(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "length mismatch");
+    assert!(!estimate.is_empty(), "empty input");
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimate.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn mae(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "length mismatch");
+    assert!(!estimate.is_empty(), "empty input");
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
+        / estimate.len() as f64
+}
+
+/// Maximum absolute error (worst cell).
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn max_error(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "length mismatch");
+    assert!(!estimate.is_empty(), "empty input");
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Total variation distance between two count vectors (normalized to
+/// distributions; negative estimates are clamped to 0 for normalization).
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn total_variation(estimate: &[f64], truth: &[f64]) -> f64 {
+    let p = normalize(estimate);
+    let q = normalize(truth);
+    0.5 * p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// KL divergence `KL(truth ‖ estimate)` between normalized count vectors,
+/// with additive smoothing `1e-9` to keep it finite.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn kl_divergence(truth: &[f64], estimate: &[f64]) -> f64 {
+    let p = normalize(truth);
+    let q = normalize(estimate);
+    p.iter()
+        .zip(&q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi / (qi + 1e-9)).ln()
+            }
+        })
+        .sum()
+}
+
+fn normalize(xs: &[f64]) -> Vec<f64> {
+    assert!(!xs.is_empty(), "empty input");
+    let clamped: Vec<f64> = xs.iter().map(|&x| x.max(0.0)).collect();
+    let total: f64 = clamped.iter().sum();
+    if total <= 0.0 {
+        vec![1.0 / xs.len() as f64; xs.len()]
+    } else {
+        clamped.iter().map(|&x| x / total).collect()
+    }
+}
+
+/// Indices of the top-k entries of a score vector, descending.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    idx.truncate(k);
+    idx
+}
+
+/// Top-k set metrics between an estimated and true score vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKMetrics {
+    /// Fraction of reported top-k items that are truly top-k.
+    pub precision: f64,
+    /// Fraction of true top-k items that were reported.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes precision/recall/F1 of the estimated top-k against the true
+/// top-k.
+///
+/// # Panics
+/// Panics if `k == 0` or lengths differ.
+pub fn top_k_metrics(estimate: &[f64], truth: &[f64], k: usize) -> TopKMetrics {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(estimate.len(), truth.len(), "length mismatch");
+    let est_top: std::collections::HashSet<usize> = top_k(estimate, k).into_iter().collect();
+    let true_top: std::collections::HashSet<usize> = top_k(truth, k).into_iter().collect();
+    let hits = est_top.intersection(&true_top).count() as f64;
+    let precision = hits / est_top.len().max(1) as f64;
+    let recall = hits / true_top.len().max(1) as f64;
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    TopKMetrics {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Normalized cumulative rank (NCR): rank-weighted top-k overlap — the
+/// metric of the heavy-hitter literature. The true top-k item at rank `r`
+/// is worth `k − r` points; NCR is the score of the reported set divided
+/// by the maximum possible.
+///
+/// # Panics
+/// Panics if `k == 0` or lengths differ.
+pub fn ncr(estimate: &[f64], truth: &[f64], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(estimate.len(), truth.len(), "length mismatch");
+    let true_top = top_k(truth, k);
+    let mut weight = std::collections::HashMap::new();
+    for (rank, &item) in true_top.iter().enumerate() {
+        weight.insert(item, (k - rank) as f64);
+    }
+    let max_score: f64 = (1..=k).map(|x| x as f64).sum();
+    let score: f64 = top_k(estimate, k)
+        .into_iter()
+        .filter_map(|i| weight.get(&i))
+        .sum();
+    score / max_score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_max_basics() {
+        let e = [1.0, 2.0, 3.0];
+        let t = [1.0, 4.0, 0.0];
+        assert!((mse(&e, &t) - (0.0 + 4.0 + 9.0) / 3.0).abs() < 1e-12);
+        assert!((mae(&e, &t) - (0.0 + 2.0 + 3.0) / 3.0).abs() < 1e-12);
+        assert!((max_error(&e, &t) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_vectors_zero_distance() {
+        let v = [5.0, 3.0, 2.0];
+        assert_eq!(mse(&v, &v), 0.0);
+        assert_eq!(total_variation(&v, &v), 0.0);
+        assert!(kl_divergence(&v, &v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tv_bounded_by_one() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((total_variation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_handles_negative_estimates() {
+        // Debiased LDP estimates go negative; TV must stay defined.
+        let est = [-5.0, 10.0, 5.0];
+        let truth = [0.0, 10.0, 5.0];
+        let tv = total_variation(&est, &truth);
+        assert!((0.0..=1.0).contains(&tv));
+    }
+
+    #[test]
+    fn top_k_metrics_perfect_and_disjoint() {
+        let truth = [10.0, 8.0, 6.0, 1.0, 0.5, 0.1];
+        let perfect = top_k_metrics(&truth, &truth, 3);
+        assert_eq!(perfect.precision, 1.0);
+        assert_eq!(perfect.recall, 1.0);
+        assert_eq!(perfect.f1, 1.0);
+        let inverted: Vec<f64> = truth.iter().map(|x| -x).collect();
+        let bad = top_k_metrics(&inverted, &truth, 3);
+        assert_eq!(bad.precision, 0.0);
+        assert_eq!(bad.f1, 0.0);
+    }
+
+    #[test]
+    fn ncr_rank_sensitive() {
+        let truth = [10.0, 8.0, 6.0, 1.0];
+        // Estimate that finds items 0 and 1 but misses 2 (swaps in 3).
+        let est = [10.0, 8.0, 0.0, 6.0];
+        let score = ncr(&est, &truth, 3);
+        // hits: item 0 (weight 3), item 1 (weight 2); max = 6 -> 5/6.
+        assert!((score - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(ncr(&truth, &truth, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

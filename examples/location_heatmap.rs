@@ -1,0 +1,81 @@
+//! Private location heat map: grids, range queries, and hot spots.
+//!
+//! Run with: `cargo run --release --example location_heatmap`
+//!
+//! §1.3's location scenario: users report their position cell privately;
+//! the server renders a density heat map, answers rectilinear count
+//! queries, and locates hot spots — then refines them adaptively.
+
+use ldp::analytics::spatial::{AdaptiveGrid, Point, Rect, UniformGrid};
+use ldp::core::Epsilon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn blob(n: usize, mx: f64, my: f64, sd: f64, rng: &mut StdRng) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt() * sd;
+            Point {
+                x: (mx + r * (2.0 * std::f64::consts::PI * u2).cos()).clamp(0.0, 1.0),
+                y: (my + r * (2.0 * std::f64::consts::PI * u2).sin()).clamp(0.0, 1.0),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let eps = Epsilon::new(2.0).expect("valid eps");
+    let mut rng = StdRng::seed_from_u64(4);
+
+    // A city: dense downtown, a second hub, uniform background.
+    let mut points = blob(60_000, 0.3, 0.7, 0.05, &mut rng);
+    points.extend(blob(30_000, 0.75, 0.25, 0.04, &mut rng));
+    points.extend((0..30_000).map(|_| Point {
+        x: rng.gen_range(0.0..1.0),
+        y: rng.gen_range(0.0..1.0),
+    }));
+
+    let grid = UniformGrid::new(12, eps).expect("valid granularity");
+    let est = grid.collect(&points, &mut rng);
+
+    println!("private density heat map (12x12, ε=2, {} users):\n", points.len());
+    let max = est.counts().iter().cloned().fold(0.0, f64::max);
+    for cy in (0..12).rev() {
+        let row: String = (0..12)
+            .map(|cx| {
+                let v = est.cell(cx, cy).max(0.0) / max;
+                match (v * 5.0) as u32 {
+                    0 => ' ',
+                    1 => '.',
+                    2 => ':',
+                    3 => 'o',
+                    4 => 'O',
+                    _ => '@',
+                }
+            })
+            .collect();
+        println!("  |{row}|");
+    }
+
+    let rect = Rect::new(0.2, 0.6, 0.4, 0.8).expect("valid rect");
+    let truth = points
+        .iter()
+        .filter(|p| p.x >= 0.2 && p.x <= 0.4 && p.y >= 0.6 && p.y <= 0.8)
+        .count();
+    println!(
+        "\nrange query [0.2,0.4]x[0.6,0.8]: estimate {:.0}, true {truth}",
+        est.range_query(rect)
+    );
+
+    println!("\ntop-3 hot cells: {:?}", est.hot_spots(3));
+
+    let ag = AdaptiveGrid::new(6, 4, 2, eps).expect("valid adaptive grid");
+    let refined = ag.collect(&points, &mut rng).expect("collect succeeds");
+    if let Some((cx, cy, sx, sy, c)) = refined.peak() {
+        println!(
+            "adaptive refinement peak: coarse cell ({cx},{cy}) sub-cell ({sx},{sy}) ≈ {c:.0} users"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Private next-word prediction: a bigram keyboard model under LDP.
+//!
+//! Run with: `cargo run --release --example next_word`
+//!
+//! §1.3's language-modeling direction: learn a Markov model of token
+//! transitions from users' typing without collecting anyone's text. Each
+//! user contributes one privatized bigram; the server assembles the
+//! transition matrix and serves suggestions.
+
+use ldp::analytics::language::{exact_bigram_model, PrivateBigramCollector};
+use ldp::core::Epsilon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VOCAB: [&str; 10] = [
+    "i", "you", "am", "are", "happy", "tired", "very", "so", "today", "now",
+];
+
+/// Tiny grammar: "i am (very|so)? (happy|tired) (today|now)" etc.
+fn sample_sentence(rng: &mut StdRng) -> Vec<u64> {
+    let subject = if rng.gen_bool(0.6) { 0 } else { 1 }; // i / you
+    let verb = if subject == 0 { 2 } else { 3 }; // am / are
+    let mut s = vec![subject, verb];
+    if rng.gen_bool(0.5) {
+        s.push(if rng.gen_bool(0.5) { 6 } else { 7 }); // very / so
+    }
+    s.push(if rng.gen_bool(0.5) { 4 } else { 5 }); // happy / tired
+    if rng.gen_bool(0.7) {
+        s.push(if rng.gen_bool(0.5) { 8 } else { 9 }); // today / now
+    }
+    s
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let n = 200_000;
+    let texts: Vec<Vec<u64>> = (0..n).map(|_| sample_sentence(&mut rng)).collect();
+
+    let collector = PrivateBigramCollector::new(VOCAB.len() as u64, Epsilon::new(2.0).expect("valid eps"))
+        .expect("valid vocab");
+    let reports: Vec<_> = texts
+        .iter()
+        .filter_map(|t| collector.randomize(t, &mut rng))
+        .collect();
+    let private = collector.build_model(&reports);
+    let exact = exact_bigram_model(&texts, VOCAB.len() as u64);
+
+    println!("next-word suggestions from {n} users (ε=2):\n");
+    for &ctx in &[0u64, 1, 2, 6] {
+        let private_top: Vec<&str> = private.predict(ctx, 3).iter().map(|&t| VOCAB[t as usize]).collect();
+        let exact_top: Vec<&str> = exact.predict(ctx, 3).iter().map(|&t| VOCAB[t as usize]).collect();
+        println!(
+            "after {:<6} private suggests {:?}   (exact model: {:?})",
+            format!("'{}':", VOCAB[ctx as usize]),
+            private_top,
+            exact_top
+        );
+    }
+
+    let test: Vec<u64> = (0..200).flat_map(|_| sample_sentence(&mut rng)).collect();
+    println!(
+        "\nperplexity on held-out text: private {:.2}, exact {:.2}, uniform {:.1}",
+        private.perplexity(&test),
+        exact.perplexity(&test),
+        VOCAB.len() as f64
+    );
+}

@@ -1,0 +1,60 @@
+//! # `ldp` — Local Differential Privacy at Scale
+//!
+//! A comprehensive Rust reproduction of the systems surveyed in the SIGMOD
+//! 2018 tutorial *"Privacy at Scale: Local Differential Privacy in
+//! Practice"* (Cormode, Kulkarni, Srivastava).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — ε-LDP foundations: randomized response, frequency oracles
+//!   (GRR/SUE/OUE/SHE/THE/BLH/OLH/Hadamard response), numeric mechanisms,
+//!   privacy accounting, and the estimation toolkit (unbiasedness, variance,
+//!   confidence bounds).
+//! * [`sketch`] — the data-structure substrate: hashing, Bloom filters,
+//!   count sketches, the fast Walsh–Hadamard transform, and the regression
+//!   toolkit used for decoding.
+//! * [`rappor`] — Google's RAPPOR (CCS 2014) and the unknown-dictionary
+//!   extension.
+//! * [`apple`] — Apple's Count-Mean Sketch / Hadamard CMS stack and the
+//!   Sequence Fragment Puzzle.
+//! * [`microsoft`] — Microsoft's telemetry collection (1BitMean, dBitFlip,
+//!   α-point rounding with memoization).
+//! * [`analytics`] — heavy hitters, marginals, spatial aggregation, graph
+//!   statistics, the hybrid (BLENDER-style) model, central-DP baselines,
+//!   and multi-round protocols.
+//! * [`workloads`] — synthetic workload generators, accuracy metrics, and
+//!   the experiment harness used by the `ldp-bench` reproduction binaries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldp::core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+//! use ldp::core::Epsilon;
+//! use rand::SeedableRng;
+//!
+//! // 10k users each hold a value in a domain of 64 items; the aggregator
+//! // learns the histogram without any individual report revealing much.
+//! let eps = Epsilon::new(1.0).unwrap();
+//! let olh = OptimizedLocalHashing::new(64, eps);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//!
+//! let mut agg = olh.new_aggregator();
+//! for user in 0..10_000u64 {
+//!     let value = user % 64; // the user's private value
+//!     let report = olh.randomize(value, &mut rng);
+//!     agg.accumulate(&report);
+//! }
+//! let estimates = agg.estimate();
+//! // Every value occurs ~156 times; estimates are unbiased around that,
+//! // within the mechanism's noise (sd ≈ 192 at these parameters).
+//! let sd = olh.noise_floor_variance(10_000).sqrt();
+//! assert!((estimates[0] - 156.25).abs() < 5.0 * sd);
+//! ```
+
+pub use ldp_analytics as analytics;
+pub use ldp_apple as apple;
+pub use ldp_core as core;
+pub use ldp_microsoft as microsoft;
+pub use ldp_rappor as rappor;
+pub use ldp_sketch as sketch;
+pub use ldp_workloads as workloads;

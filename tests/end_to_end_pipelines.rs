@@ -1,0 +1,136 @@
+//! End-to-end integration tests: each deployed system's full pipeline,
+//! exercised through the `ldp` facade exactly as the examples use it.
+
+use ldp::core::Epsilon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn rappor_pipeline_recovers_ranking() {
+    use ldp::rappor::{RapporAggregator, RapporClient, RapporParams};
+    let params = RapporParams::new(64, 2, 8, 0.25, 0.35, 0.65).expect("valid params");
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut agg = RapporAggregator::new(params.clone());
+    let pages = [("alpha", 8000usize), ("beta", 4000), ("gamma", 1000)];
+    for &(url, count) in &pages {
+        for _ in 0..count {
+            let mut c = RapporClient::with_random_cohort(params.clone(), &mut rng);
+            agg.accumulate(&c.report(url.as_bytes(), &mut rng));
+        }
+    }
+    let candidates: Vec<&[u8]> = vec![b"alpha", b"beta", b"gamma", b"delta"];
+    let top = agg.top_candidates(&candidates);
+    assert!(!top.is_empty());
+    assert_eq!(top[0].0, 0, "alpha should rank first: {top:?}");
+    if top.len() > 1 {
+        assert!(top[0].1 > top[1].1);
+    }
+}
+
+#[test]
+fn apple_pipeline_cms_and_hcms_agree() {
+    use ldp::apple::cms::CmsProtocol;
+    use ldp::apple::hcms::HcmsProtocol;
+    let eps = Epsilon::new(4.0).expect("valid eps");
+    let mut rng = StdRng::seed_from_u64(200);
+    let cms = CmsProtocol::new(32, 512, eps, 3);
+    let hcms = HcmsProtocol::new(32, 512, eps, 3);
+    let mut s1 = cms.new_server();
+    let mut s2 = hcms.new_server();
+    let n = 40_000;
+    for u in 0..n {
+        let token = if u % 5 == 0 { 7u64 } else { 100_000 + u as u64 };
+        s1.accumulate(&cms.randomize(token, &mut rng));
+        s2.accumulate(&hcms.randomize(token, &mut rng));
+    }
+    let truth = n as f64 / 5.0;
+    let (e1, e2) = (s1.estimate(7), s2.estimate(7));
+    assert!((e1 - truth).abs() < 1500.0, "CMS estimate {e1}");
+    assert!((e2 - truth).abs() < 4000.0, "HCMS estimate {e2}");
+}
+
+#[test]
+fn microsoft_pipeline_longitudinal_mean() {
+    use ldp::microsoft::{MemoizedMeanClient, OneBitMean, RoundingConfig};
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let mech = OneBitMean::new(eps, 100.0).expect("valid range");
+    let config = RoundingConfig::new(0.05).expect("valid gamma");
+    let mut rng = StdRng::seed_from_u64(300);
+    let n = 60_000;
+    let clients: Vec<MemoizedMeanClient> =
+        (0..n).map(|_| MemoizedMeanClient::enroll(mech, config, &mut rng)).collect();
+    // True mean 40: values 20/60 half-half.
+    for round in 0..3 {
+        let bits: Vec<bool> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.report(if i % 2 == 0 { 20.0 } else { 60.0 }, &mut rng))
+            .collect();
+        let est = MemoizedMeanClient::estimate_round_mean(&mech, &config, &bits);
+        assert!((est - 40.0).abs() < 4.0, "round {round}: {est}");
+    }
+}
+
+#[test]
+fn heavy_hitter_pipeline_on_facade() {
+    use ldp::analytics::hh::PrefixExtendingMethod;
+    let pem = PrefixExtendingMethod::new(16, 8, 4, 8, Epsilon::new(3.0).expect("valid eps"))
+        .expect("valid pem");
+    let mut rng = StdRng::seed_from_u64(400);
+    let mut values = vec![0x1234u64; 20_000];
+    values.extend((0..20_000u64).map(|i| ldp::sketch::hash::mix64(i) & 0xffff));
+    let found = pem.run(&values, &mut rng);
+    assert!(
+        found.iter().take(3).any(|h| h.value == 0x1234),
+        "planted value missing: {found:?}"
+    );
+}
+
+#[test]
+fn marginals_pipeline_three_way() {
+    use ldp::analytics::marginals::{exact_marginal, FourierMarginals, MarginalQuery};
+    let d = 6u32;
+    let q = MarginalQuery::from_attrs(&[0, 2, 4]);
+    let fm = FourierMarginals::new(d, &[q], Epsilon::new(2.0).expect("valid eps")).expect("valid query");
+    let mut rng = StdRng::seed_from_u64(500);
+    let data: Vec<u64> = (0..80_000)
+        .map(|_| {
+            let a: u64 = rng.gen_bool(0.7) as u64;
+            let c: u64 = if rng.gen_bool(0.8) { a } else { 1 - a };
+            let e: u64 = rng.gen_bool(0.5) as u64;
+            a | (rng.gen_bool(0.5) as u64) << 1 | c << 2 | (rng.gen_bool(0.5) as u64) << 3 | e << 4
+                | (rng.gen_bool(0.5) as u64) << 5
+        })
+        .collect();
+    let coeffs = fm.collect(&data, &mut rng);
+    let est = fm.reconstruct(&coeffs, q);
+    let truth = exact_marginal(&data, q);
+    for (cell, (&e, &t)) in est.probabilities.iter().zip(&truth.probabilities).enumerate() {
+        assert!((e - t).abs() < 0.05, "cell {cell}: {e} vs {t}");
+    }
+}
+
+#[test]
+fn budget_accounting_spans_systems() {
+    use ldp::core::PrivacyBudget;
+    // A device participating in two collections under one budget.
+    let mut budget = PrivacyBudget::new(Epsilon::new(2.0).expect("valid eps"));
+    let eps_hist = budget.draw(1.0).expect("first draw fits");
+    let eps_mean = budget.draw(1.0).expect("second draw fits");
+    assert!(budget.draw(0.1).is_err(), "budget must be exhausted");
+
+    let mut rng = StdRng::seed_from_u64(600);
+    use ldp::core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+    use ldp::microsoft::OneBitMean;
+    let oracle = OptimizedLocalHashing::new(16, eps_hist);
+    let mech = OneBitMean::new(eps_mean, 10.0).expect("valid range");
+    let mut agg = oracle.new_aggregator();
+    let mut bits = Vec::new();
+    for u in 0..20_000u64 {
+        agg.accumulate(&oracle.randomize(u % 16, &mut rng));
+        bits.push(mech.randomize((u % 11) as f64, &mut rng));
+    }
+    let est_counts = agg.estimate();
+    assert!((est_counts[0] - 1250.0).abs() < 800.0);
+    assert!((mech.estimate_mean(&bits) - 5.0).abs() < 0.5);
+}

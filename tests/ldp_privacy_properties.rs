@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the ε-LDP property itself, verified
+//! empirically on every client-side randomizer in the workspace.
+//!
+//! The test estimates, for a pair of adversarially chosen inputs, the
+//! probability of each observable output event, and checks the
+//! likelihood ratio never exceeds `e^ε` (within sampling tolerance).
+//! This is the contract every other guarantee in the tutorial builds on.
+
+use ldp::core::fo::{
+    DirectEncoding, FrequencyOracle, OptimizedLocalHashing, OptimizedUnaryEncoding,
+};
+use ldp::core::rr::BinaryRandomizedResponse;
+use ldp::core::Epsilon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 300_000;
+const EPS: f64 = 1.0;
+
+fn assert_ratio_bounded(p_a: f64, p_b: f64, label: &str) {
+    if p_a < 1e-4 || p_b < 1e-4 {
+        return; // too rare to estimate the ratio reliably
+    }
+    let ratio = p_a / p_b;
+    let bound = EPS.exp() * 1.10; // 10% sampling slack
+    assert!(
+        ratio <= bound && 1.0 / ratio <= bound,
+        "{label}: likelihood ratio {ratio:.3} exceeds e^eps = {:.3}",
+        EPS.exp()
+    );
+}
+
+#[test]
+fn binary_rr_is_eps_ldp() {
+    let rr = BinaryRandomizedResponse::new(Epsilon::new(EPS).expect("valid eps"));
+    let mut rng = StdRng::seed_from_u64(1);
+    let p_true_1 = (0..N).filter(|_| rr.randomize(true, &mut rng)).count() as f64 / N as f64;
+    let p_false_1 = (0..N).filter(|_| rr.randomize(false, &mut rng)).count() as f64 / N as f64;
+    assert_ratio_bounded(p_true_1, p_false_1, "RR output 1");
+    assert_ratio_bounded(1.0 - p_true_1, 1.0 - p_false_1, "RR output 0");
+}
+
+#[test]
+fn grr_is_eps_ldp() {
+    let m = DirectEncoding::new(8, Epsilon::new(EPS).expect("valid eps")).expect("valid domain");
+    let mut rng = StdRng::seed_from_u64(2);
+    // Output histograms under inputs 0 and 1.
+    let mut h0 = vec![0u64; 8];
+    let mut h1 = vec![0u64; 8];
+    for _ in 0..N {
+        h0[m.randomize(0, &mut rng) as usize] += 1;
+        h1[m.randomize(1, &mut rng) as usize] += 1;
+    }
+    for out in 0..8 {
+        assert_ratio_bounded(
+            h0[out] as f64 / N as f64,
+            h1[out] as f64 / N as f64,
+            &format!("GRR output {out}"),
+        );
+    }
+}
+
+#[test]
+fn oue_per_bit_channels_compose_to_eps() {
+    // For unary encodings the full-report ratio is the product over the
+    // (at most two) differing bit positions; verify per-bit channels.
+    let m = OptimizedUnaryEncoding::new(8, Epsilon::new(EPS).expect("valid eps")).expect("valid domain");
+    let (p, q) = m.probabilities();
+    // Worst-case composed ratio across the two differing bits:
+    let ratio = (p / q) * ((1.0 - q) / (1.0 - p));
+    assert!(ratio <= EPS.exp() * 1.0001, "OUE channel ratio {ratio}");
+    // Empirical bit rates match (p, q).
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ones_true = 0u64;
+    let mut ones_false = 0u64;
+    for _ in 0..N / 4 {
+        let r = m.randomize(0, &mut rng);
+        if r.get(0) {
+            ones_true += 1;
+        }
+        if r.get(5) {
+            ones_false += 1;
+        }
+    }
+    let n = (N / 4) as f64;
+    assert!((ones_true as f64 / n - p).abs() < 0.01);
+    assert!((ones_false as f64 / n - q).abs() < 0.01);
+}
+
+#[test]
+fn olh_bucket_channel_is_eps_ldp() {
+    // Conditional on any hash seed, OLH output is GRR over g buckets.
+    let m = OptimizedLocalHashing::new(1 << 20, Epsilon::new(EPS).expect("valid eps"));
+    let mut rng = StdRng::seed_from_u64(4);
+    // Compare P(report supports v) for the holder of v vs another user.
+    let v = 777u64;
+    let w = 888u64;
+    let mut support_holder = 0u64;
+    let mut support_other = 0u64;
+    let fam = ldp::sketch::hash::HashFamily::new(m.g());
+    for _ in 0..N {
+        let r = m.randomize(v, &mut rng);
+        if fam.hash(v, r.seed) == r.bucket {
+            support_holder += 1;
+        }
+        let r2 = m.randomize(w, &mut rng);
+        if fam.hash(v, r2.seed) == r2.bucket {
+            support_other += 1;
+        }
+    }
+    let p_star = support_holder as f64 / N as f64;
+    let q_star = support_other as f64 / N as f64;
+    // p*/q* <= e^eps must hold (it's implied by, not equal to, the LDP
+    // bound; the bound is tight on the bucket value itself).
+    assert!(
+        p_star / q_star <= EPS.exp() * 1.1,
+        "support ratio {} too large",
+        p_star / q_star
+    );
+    // And the debias pair should be near the analytical values.
+    let g = m.g() as f64;
+    let e = EPS.exp();
+    assert!((p_star - e / (e + g - 1.0)).abs() < 0.01, "p*={p_star}");
+    assert!((q_star - 1.0 / g).abs() < 0.01, "q*={q_star}");
+}

@@ -1,0 +1,132 @@
+//! Cross-crate statistical contracts: every estimator in the workspace is
+//! unbiased, every analytic variance matches the empirical one, and
+//! post-processing preserves totals. These are the §1.1 "mathematical
+//! tools" applied uniformly across all mechanisms.
+
+use ldp::core::fo::{
+    collect_counts, DirectEncoding, FrequencyOracle, HadamardResponse, OptimizedLocalHashing,
+    OptimizedUnaryEncoding, SubsetSelection, SymmetricUnaryEncoding, ThresholdHistogramEncoding,
+};
+use ldp::core::postprocess::norm_sub;
+use ldp::core::Epsilon;
+use ldp::workloads::gen::{exact_counts, ZipfGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const D: u64 = 16;
+const N: usize = 8_000;
+const TRIALS: u64 = 25;
+
+/// Average the item-0 estimate across trials; it must converge to the
+/// truth within the standard error of the trial mean.
+fn check_unbiased<O: FrequencyOracle>(oracle: O, seed0: u64) {
+    let zipf = ZipfGenerator::new(D, 1.0).expect("valid zipf");
+    let mut sum = 0.0;
+    let mut truth_sum = 0.0;
+    for t in 0..TRIALS {
+        let mut rng = StdRng::seed_from_u64(seed0 + t);
+        let values = zipf.sample_n(N, &mut rng);
+        truth_sum += exact_counts(&values, D)[0];
+        sum += collect_counts(&oracle, &values, &mut rng)[0];
+    }
+    let avg = sum / TRIALS as f64;
+    let truth_avg = truth_sum / TRIALS as f64;
+    // Standard error of the mean across trials.
+    let sd = oracle.count_variance(N, truth_avg / N as f64).sqrt();
+    let sem = sd / (TRIALS as f64).sqrt();
+    assert!(
+        (avg - truth_avg).abs() < 4.0 * sem + 0.01 * truth_avg,
+        "{}: avg={avg:.1} truth={truth_avg:.1} sem={sem:.1}",
+        oracle.name()
+    );
+}
+
+#[test]
+fn grr_unbiased() {
+    check_unbiased(DirectEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 1000);
+}
+
+#[test]
+fn sue_unbiased() {
+    check_unbiased(SymmetricUnaryEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 2000);
+}
+
+#[test]
+fn oue_unbiased() {
+    check_unbiased(OptimizedUnaryEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 3000);
+}
+
+#[test]
+fn the_unbiased() {
+    check_unbiased(ThresholdHistogramEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 4000);
+}
+
+#[test]
+fn olh_unbiased() {
+    check_unbiased(OptimizedLocalHashing::new(D, Epsilon::new(1.0).expect("eps")), 5000);
+}
+
+#[test]
+fn hr_unbiased() {
+    check_unbiased(HadamardResponse::new(D, Epsilon::new(1.0).expect("eps")), 6000);
+}
+
+#[test]
+fn ss_unbiased() {
+    check_unbiased(SubsetSelection::new(D, Epsilon::new(1.0).expect("eps")), 7000);
+}
+
+#[test]
+fn empirical_variance_matches_analytic_for_olh() {
+    let oracle = OptimizedLocalHashing::new(D, Epsilon::new(1.0).expect("eps"));
+    let zipf = ZipfGenerator::new(D, 1.0).expect("valid zipf");
+    let trials = 120u64;
+    let mut rng0 = StdRng::seed_from_u64(9);
+    let values = zipf.sample_n(N, &mut rng0);
+    let truth = exact_counts(&values, D);
+    let ests: Vec<f64> = (0..trials)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(10_000 + t);
+            collect_counts(&oracle, &values, &mut rng)[0]
+        })
+        .collect();
+    let mean = ests.iter().sum::<f64>() / trials as f64;
+    let var = ests.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / trials as f64;
+    let predicted = oracle.count_variance(N, truth[0] / N as f64);
+    assert!(
+        (var - predicted).abs() / predicted < 0.4,
+        "var={var:.0} predicted={predicted:.0}"
+    );
+}
+
+#[test]
+fn norm_sub_preserves_total_and_improves_mse_after_collection() {
+    let oracle = OptimizedLocalHashing::new(256, Epsilon::new(1.0).expect("eps"));
+    let zipf = ZipfGenerator::new(256, 1.5).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(77);
+    let values = zipf.sample_n(20_000, &mut rng);
+    let truth = exact_counts(&values, 256);
+    let raw = collect_counts(&oracle, &values, &mut rng);
+    let post = norm_sub(&raw, 20_000.0);
+    let total: f64 = post.iter().sum();
+    assert!((total - 20_000.0).abs() < 1e-6);
+    let mse = |est: &[f64]| -> f64 {
+        est.iter().zip(&truth).map(|(e, t)| (e - t).powi(2)).sum::<f64>() / 256.0
+    };
+    assert!(mse(&post) < mse(&raw), "norm-sub should reduce MSE on skewed data");
+}
+
+#[test]
+fn report_size_ladder_is_as_documented() {
+    // The README's communication table, pinned as a test.
+    let eps = Epsilon::new(1.0).expect("eps");
+    let d = 1u64 << 20;
+    let grr = DirectEncoding::new(d, eps).expect("domain").report_bits();
+    let oue = OptimizedUnaryEncoding::new(d, eps).expect("domain").report_bits();
+    let olh = OptimizedLocalHashing::new(d, eps).report_bits();
+    let hr = HadamardResponse::new(d, eps).report_bits();
+    assert_eq!(grr, 20);
+    assert_eq!(oue, 1 << 20);
+    assert!(olh <= 66);
+    assert_eq!(hr, 21);
+}
