@@ -11,7 +11,9 @@
 //! sensitivity 2 → `Lap(2/ε)` per cell (or two-sided geometric for
 //! integer releases).
 
-use ldp_core::noise::{laplace_variance, sample_laplace, sample_two_sided_geometric, two_sided_geometric_variance};
+use ldp_core::noise::{
+    laplace_variance, sample_laplace, sample_two_sided_geometric, two_sided_geometric_variance,
+};
 use ldp_core::Epsilon;
 use rand::Rng;
 
@@ -137,7 +139,10 @@ mod tests {
             .collect();
         let var = errs.iter().map(|e| e * e).sum::<f64>() / trials as f64;
         let expected = mech.count_variance_integer();
-        assert!((var - expected).abs() / expected < 0.2, "var={var} expected={expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.2,
+            "var={var} expected={expected}"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl Graph {
             return;
         }
         let (u, v) = (u as usize, v as usize);
-        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of range"
+        );
         if !self.adj[u].contains(&(v as u32)) {
             self.adj[u].push(v as u32);
             self.adj[v].push(u as u32);
@@ -207,7 +210,9 @@ impl LdpGen {
     /// Returns [`Error::InvalidDomain`] for an empty input graph.
     pub fn synthesize<R: Rng>(&self, graph: &Graph, rng: &mut R) -> Result<Graph> {
         if graph.vertices() == 0 {
-            return Err(Error::InvalidDomain("cannot synthesize from empty graph".into()));
+            return Err(Error::InvalidDomain(
+                "cannot synthesize from empty graph".into(),
+            ));
         }
         let weights = self.noisy_degrees(graph, rng);
         Ok(Graph::chung_lu(&weights, rng))
@@ -217,7 +222,10 @@ impl LdpGen {
 /// L1 distance between two degree histograms normalized to distributions —
 /// the fidelity metric for synthetic graphs.
 pub fn degree_distribution_distance(a: &Graph, b: &Graph, max_degree: usize) -> f64 {
-    let (ha, hb) = (a.degree_histogram(max_degree), b.degree_histogram(max_degree));
+    let (ha, hb) = (
+        a.degree_histogram(max_degree),
+        b.degree_histogram(max_degree),
+    );
     let (na, nb) = (a.vertices().max(1) as f64, b.vertices().max(1) as f64);
     ha.iter()
         .zip(&hb)
@@ -259,7 +267,12 @@ mod tests {
         // Power law: max degree much larger than median.
         let mut degs = g.degrees();
         degs.sort_unstable();
-        assert!(degs[499] > 3 * degs[250], "max={} median={}", degs[499], degs[250]);
+        assert!(
+            degs[499] > 3 * degs[250],
+            "max={} median={}",
+            degs[499],
+            degs[250]
+        );
     }
 
     #[test]
@@ -319,7 +332,10 @@ mod tests {
         let true_avg: f64 = g.degrees().iter().sum::<usize>() as f64 / 5000.0;
         let noisy_avg: f64 = noisy.iter().sum::<f64>() / 5000.0;
         // max(0, ·) clipping adds a small positive bias; allow it.
-        assert!((noisy_avg - true_avg).abs() < 0.5, "noisy={noisy_avg} true={true_avg}");
+        assert!(
+            (noisy_avg - true_avg).abs() < 0.5,
+            "noisy={noisy_avg} true={true_avg}"
+        );
     }
 
     #[test]
@@ -340,6 +356,8 @@ mod tests {
     #[test]
     fn empty_graph_rejected() {
         let mut rng = StdRng::seed_from_u64(7);
-        assert!(LdpGen::new(eps(1.0)).synthesize(&Graph::new(0), &mut rng).is_err());
+        assert!(LdpGen::new(eps(1.0))
+            .synthesize(&Graph::new(0), &mut rng)
+            .is_err());
     }
 }

@@ -51,14 +51,16 @@ impl PrefixExtendingMethod {
     /// initial exhaustive level is tractable (`start ≤ 20`), and `keep ≥ 1`.
     pub fn new(bits: u32, start: u32, step: u32, keep: usize, epsilon: Epsilon) -> Result<Self> {
         if bits == 0 || bits > 63 {
-            return Err(Error::InvalidDomain(format!("bits must be in [1, 63], got {bits}")));
+            return Err(Error::InvalidDomain(format!(
+                "bits must be in [1, 63], got {bits}"
+            )));
         }
         if start == 0 || start > bits || start > 20 {
             return Err(Error::InvalidParameter(format!(
                 "start must be in [1, min(bits, 20)], got {start}"
             )));
         }
-        if step == 0 || (bits - start) % step != 0 {
+        if step == 0 || !(bits - start).is_multiple_of(step) {
             return Err(Error::InvalidParameter(format!(
                 "step {step} must divide bits - start = {}",
                 bits - start
@@ -102,7 +104,10 @@ impl PrefixExtendingMethod {
         // to populations whose value pattern is periodic in the index.
         let mut groups: Vec<Vec<u64>> = vec![Vec::with_capacity(values.len() / levels + 1); levels];
         for (i, &v) in values.iter().enumerate() {
-            debug_assert!(self.bits == 63 || v < (1u64 << self.bits), "value exceeds domain");
+            debug_assert!(
+                self.bits == 63 || v < (1u64 << self.bits),
+                "value exceeds domain"
+            );
             let g = (ldp_sketch::hash::mix64(i as u64) % levels as u64) as usize;
             groups[g].push(v);
         }
@@ -137,8 +142,7 @@ impl PrefixExtendingMethod {
                 }
             }
             let ests = agg.estimate_items(&candidates);
-            let mut scored: Vec<(u64, f64)> =
-                candidates.into_iter().zip(ests).collect();
+            let mut scored: Vec<(u64, f64)> = candidates.into_iter().zip(ests).collect();
             scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             scored.truncate(self.keep);
             if level == levels - 1 {
@@ -200,8 +204,14 @@ mod tests {
     fn validation() {
         assert!(PrefixExtendingMethod::new(0, 1, 1, 4, eps(1.0)).is_err());
         assert!(PrefixExtendingMethod::new(32, 0, 4, 4, eps(1.0)).is_err());
-        assert!(PrefixExtendingMethod::new(32, 8, 5, 4, eps(1.0)).is_err(), "step must divide");
-        assert!(PrefixExtendingMethod::new(32, 21, 1, 4, eps(1.0)).is_err(), "start too big");
+        assert!(
+            PrefixExtendingMethod::new(32, 8, 5, 4, eps(1.0)).is_err(),
+            "step must divide"
+        );
+        assert!(
+            PrefixExtendingMethod::new(32, 21, 1, 4, eps(1.0)).is_err(),
+            "start too big"
+        );
         assert!(PrefixExtendingMethod::new(32, 8, 4, 0, eps(1.0)).is_err());
         let ok = PrefixExtendingMethod::new(32, 8, 4, 16, eps(1.0)).unwrap();
         assert_eq!(ok.levels(), 7);
@@ -212,7 +222,7 @@ mod tests {
         // 24-bit domain, three planted values dominating a uniform tail.
         let pem = PrefixExtendingMethod::new(24, 8, 4, 12, eps(3.0)).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let planted = [0x00ab_cdu64, 0x12_3456, 0xff_00ff];
+        let planted = [0x00_abcd_u64, 0x12_3456, 0xff_00ff];
         let mut values = Vec::new();
         for i in 0..60_000usize {
             values.push(match i % 10 {

@@ -45,7 +45,9 @@ impl HierarchicalHistogram {
             return Err(Error::InvalidDomain(format!("need d >= 2, got {d}")));
         }
         if branching < 2 {
-            return Err(Error::InvalidParameter(format!("need branching >= 2, got {branching}")));
+            return Err(Error::InvalidParameter(format!(
+                "need branching >= 2, got {branching}"
+            )));
         }
         // Level sizes: 1 = root excluded (it's always n); start from b.
         let mut levels = Vec::new();

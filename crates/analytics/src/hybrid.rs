@@ -96,7 +96,11 @@ impl Blender {
             };
             let (l_est, l_var, have_l) = if n - n_opt > 0 {
                 let scale = n as f64 / (n - n_opt) as f64;
-                (local_counts[i] * scale, local_var_floor * scale * scale, true)
+                (
+                    local_counts[i] * scale,
+                    local_var_floor * scale * scale,
+                    true,
+                )
             } else {
                 (0.0, f64::INFINITY, false)
             };
@@ -214,12 +218,10 @@ mod tests {
             truth[v as usize] += 1.0;
         }
         let sd = b.blended_variance(n).sqrt();
-        for i in 0..d as usize {
+        for (i, (&e, &t)) in est.counts.iter().zip(truth.iter()).enumerate() {
             assert!(
-                (est.counts[i] - truth[i]).abs() < 6.0 * sd + 50.0,
-                "item {i}: est={} truth={} sd={sd}",
-                est.counts[i],
-                truth[i]
+                (e - t).abs() < 6.0 * sd + 50.0,
+                "item {i}: est={e} truth={t} sd={sd}"
             );
         }
     }

@@ -174,7 +174,8 @@ impl LdpMiner {
             sets.iter().enumerate().partition(|(i, _)| i % 2 == 0);
 
         // ---- Phase 1: candidate discovery over the full domain. ----
-        let oracle1 = PaddingSampleOracle::new(self.d, self.pad_to, self.epsilon).expect("validated");
+        let oracle1 =
+            PaddingSampleOracle::new(self.d, self.pad_to, self.epsilon).expect("validated");
         let mut agg1 = oracle1.new_aggregator();
         for (_, set) in &phase1 {
             agg1.accumulate(&oracle1.randomize(set, rng));
@@ -190,7 +191,8 @@ impl LdpMiner {
         // Users project their set onto the candidates (mapping to local
         // indices) and pad-and-sample over the small domain.
         let cd = candidates.len() as u64;
-        let oracle2 = PaddingSampleOracle::new(cd.max(2), self.pad_to, self.epsilon).expect("validated");
+        let oracle2 =
+            PaddingSampleOracle::new(cd.max(2), self.pad_to, self.epsilon).expect("validated");
         let mut agg2 = oracle2.new_aggregator();
         for (_, set) in &phase2 {
             let projected: Vec<u64> = set
@@ -276,7 +278,8 @@ mod tests {
             agg.accumulate(&oracle.randomize(&[], &mut rng));
         }
         let est = agg.estimate_items(&(0..16).collect::<Vec<_>>());
-        let sd = (2.0 * OptimizedLocalHashing::new(17, eps(2.0)).noise_floor_variance(20_000)).sqrt();
+        let sd =
+            (2.0 * OptimizedLocalHashing::new(17, eps(2.0)).noise_floor_variance(20_000)).sqrt();
         for (i, &e) in est.iter().enumerate() {
             assert!(e.abs() < 5.0 * sd, "item {i}: {e}");
         }

@@ -83,7 +83,9 @@ impl PrivateBigramCollector {
     /// Rejects `v < 2` or vocabularies whose bigram space exceeds 2^32.
     pub fn new(vocab: u64, epsilon: Epsilon) -> Result<Self> {
         if vocab < 2 {
-            return Err(Error::InvalidDomain(format!("need vocab >= 2, got {vocab}")));
+            return Err(Error::InvalidDomain(format!(
+                "need vocab >= 2, got {vocab}"
+            )));
         }
         if vocab.checked_mul(vocab).is_none() || vocab * vocab > (1 << 32) {
             return Err(Error::InvalidDomain(format!(
@@ -185,10 +187,7 @@ pub fn exact_bigram_model(texts: &[Vec<u64>], vocab: u64) -> BigramModel {
             }
         })
         .collect();
-    BigramModel {
-        vocab,
-        transitions,
-    }
+    BigramModel { vocab, transitions }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod hierarchy;
 pub mod hybrid;
 pub mod itemset;
 pub mod language;
-pub mod movement;
 pub mod marginals;
+pub mod movement;
 pub mod rounds;
 pub mod spatial;

@@ -29,7 +29,7 @@ use rand::Rng;
 /// The parity character `χ_T(x) = (−1)^{popcount(x & T)}` as ±1.
 #[inline]
 fn chi(t: u64, x: u64) -> f64 {
-    if (t & x).count_ones() % 2 == 0 {
+    if (t & x).count_ones().is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -117,7 +117,10 @@ pub fn exact_marginal(data: &[u64], query: MarginalQuery) -> MarginalTable {
     }
     for &x in data {
         let projected = x & query.0;
-        let idx = cells.iter().position(|&c| c == projected).expect("cell exists");
+        let idx = cells
+            .iter()
+            .position(|&c| c == projected)
+            .expect("cell exists");
         probs[idx] += 1.0;
     }
     for p in probs.iter_mut() {
@@ -147,7 +150,9 @@ impl FourierMarginals {
     /// beyond `d`.
     pub fn new(d: u32, queries: &[MarginalQuery], epsilon: Epsilon) -> Result<Self> {
         if d == 0 || d > 62 {
-            return Err(Error::InvalidDomain(format!("d must be in [1, 62], got {d}")));
+            return Err(Error::InvalidDomain(format!(
+                "d must be in [1, 62], got {d}"
+            )));
         }
         let full_mask = (1u64 << d) - 1;
         let mut pool: Vec<u64> = Vec::new();
@@ -220,7 +225,11 @@ impl FourierMarginals {
     ///
     /// # Panics
     /// Panics if the query was not covered by the constructor's pool.
-    pub fn reconstruct(&self, coefficients: &FastMap<u64, f64>, query: MarginalQuery) -> MarginalTable {
+    pub fn reconstruct(
+        &self,
+        coefficients: &FastMap<u64, f64>,
+        query: MarginalQuery,
+    ) -> MarginalTable {
         let subsets = query.subsets();
         let cells = query.cells();
         let k = query.arity();
@@ -230,9 +239,9 @@ impl FourierMarginals {
                 let sum: f64 = subsets
                     .iter()
                     .map(|&t| {
-                        let phi = coefficients
-                            .get(&t)
-                            .unwrap_or_else(|| panic!("coefficient {t:#x} missing; was the query registered?"));
+                        let phi = coefficients.get(&t).unwrap_or_else(|| {
+                            panic!("coefficient {t:#x} missing; was the query registered?")
+                        });
                         chi(t, y) * phi
                     })
                     .sum();
@@ -255,7 +264,10 @@ pub fn full_materialization_marginal<R: Rng>(
     rng: &mut R,
 ) -> MarginalTable {
     use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
-    assert!(d <= 20, "full materialization is only tractable for small d");
+    assert!(
+        d <= 20,
+        "full materialization is only tractable for small d"
+    );
     let oracle = OptimizedLocalHashing::new(1u64 << d, epsilon);
     let mut agg = oracle.new_aggregator();
     for &x in data {
@@ -377,7 +389,12 @@ mod tests {
         let q = MarginalQuery::from_attrs(&[0, 1]);
         let est = full_materialization_marginal(&data, 3, q, eps(2.0), &mut rng);
         let truth = exact_marginal(&data, q);
-        for (cell, (&e, &t)) in est.probabilities.iter().zip(&truth.probabilities).enumerate() {
+        for (cell, (&e, &t)) in est
+            .probabilities
+            .iter()
+            .zip(&truth.probabilities)
+            .enumerate()
+        {
             assert!((e - t).abs() < 0.08, "cell {cell}: est={e} truth={t}");
         }
     }

@@ -54,7 +54,9 @@ impl OdMatrixCollector {
     /// Rejects `g` outside `[2, 32]`.
     pub fn new(g: u32, epsilon: Epsilon) -> Result<Self> {
         if !(2..=32).contains(&g) {
-            return Err(Error::InvalidParameter(format!("g must be in [2, 32], got {g}")));
+            return Err(Error::InvalidParameter(format!(
+                "g must be in [2, 32], got {g}"
+            )));
         }
         Ok(Self { g, epsilon })
     }
@@ -215,11 +217,7 @@ mod tests {
         let top = od.top_flows(1)[0];
         // Suburb cell (0,0) = 0; downtown cell (3,3) = 15.
         assert_eq!((top.0, top.1), (0, 15), "top flow {top:?}");
-        assert!(
-            (top.2 - 36_000.0).abs() < 6000.0,
-            "flow estimate {}",
-            top.2
-        );
+        assert!((top.2 - 36_000.0).abs() < 6000.0, "flow estimate {}", top.2);
     }
 
     #[test]
@@ -243,7 +241,9 @@ mod tests {
         let total: f64 = stationary.iter().sum();
         assert!((total - 1.0).abs() < 1e-6);
         // Downtown (cell 15) should carry the most stationary mass.
-        let max_cell = (0..16).max_by(|&a, &b| stationary[a].total_cmp(&stationary[b])).expect("non-empty");
+        let max_cell = (0..16)
+            .max_by(|&a, &b| stationary[a].total_cmp(&stationary[b]))
+            .expect("non-empty");
         assert_eq!(max_cell, 15, "stationary {stationary:?}");
     }
 

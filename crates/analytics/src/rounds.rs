@@ -57,7 +57,9 @@ impl TwoRoundProtocol {
             return Err(Error::InvalidDomain(format!("need d >= 2, got {d}")));
         }
         if k == 0 || k as u64 >= d {
-            return Err(Error::InvalidParameter(format!("need 1 <= k < d, got k={k}")));
+            return Err(Error::InvalidParameter(format!(
+                "need 1 <= k < d, got k={k}"
+            )));
         }
         if !(round1_fraction > 0.0 && round1_fraction < 1.0) {
             return Err(Error::InvalidParameter(format!(
@@ -174,7 +176,11 @@ mod tests {
         let est = proto.collect(&values, &mut rng);
         // True top-3 are items 0, 1, 2.
         for i in 0..3u64 {
-            assert!(est.head.contains(&i), "item {i} missing from head {:?}", est.head);
+            assert!(
+                est.head.contains(&i),
+                "item {i} missing from head {:?}",
+                est.head
+            );
         }
     }
 

@@ -35,7 +35,9 @@ impl Point {
     /// Returns [`Error::InvalidParameter`] if a coordinate leaves `[0,1]`.
     pub fn new(x: f64, y: f64) -> Result<Self> {
         if !((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y)) {
-            return Err(Error::InvalidParameter(format!("point ({x}, {y}) outside unit square")));
+            return Err(Error::InvalidParameter(format!(
+                "point ({x}, {y}) outside unit square"
+            )));
         }
         Ok(Self { x, y })
     }
@@ -95,7 +97,9 @@ impl UniformGrid {
     /// Returns [`Error::InvalidParameter`] unless `1 ≤ g ≤ 256`.
     pub fn new(g: u32, epsilon: Epsilon) -> Result<Self> {
         if g == 0 || g > 256 {
-            return Err(Error::InvalidParameter(format!("g must be in [1, 256], got {g}")));
+            return Err(Error::InvalidParameter(format!(
+                "g must be in [1, 256], got {g}"
+            )));
         }
         Ok(Self {
             g,
@@ -235,14 +239,21 @@ impl AdaptiveGrid {
     ///
     /// # Errors
     /// Validates each granularity like [`UniformGrid::new`].
-    pub fn new(coarse_g: u32, refine_factor: u32, dense_cells: usize, epsilon: Epsilon) -> Result<Self> {
-        if coarse_g == 0 || coarse_g > 64 || refine_factor < 2 || refine_factor > 16 {
+    pub fn new(
+        coarse_g: u32,
+        refine_factor: u32,
+        dense_cells: usize,
+        epsilon: Epsilon,
+    ) -> Result<Self> {
+        if coarse_g == 0 || coarse_g > 64 || !(2..=16).contains(&refine_factor) {
             return Err(Error::InvalidParameter(
                 "need 1 <= coarse_g <= 64 and 2 <= refine_factor <= 16".into(),
             ));
         }
         if dense_cells == 0 {
-            return Err(Error::InvalidParameter("dense_cells must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "dense_cells must be positive".into(),
+            ));
         }
         Ok(Self {
             coarse_g,
@@ -327,9 +338,10 @@ impl AdaptiveEstimate {
         self.refined
             .iter()
             .flat_map(|(cx, cy, cells)| {
-                cells.iter().enumerate().map(move |(i, &c)| {
-                    (*cx, *cy, i as u32 % rf, i as u32 / rf, c)
-                })
+                cells
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &c)| (*cx, *cy, i as u32 % rf, i as u32 / rf, c))
             })
             .max_by(|a, b| a.4.total_cmp(&b.4))
     }
@@ -408,7 +420,8 @@ mod tests {
         let hot = est.hot_spots(3);
         // The blob sits in cell (~6, ~1).
         assert!(
-            hot.iter().any(|&(cx, cy, _)| (5..=7).contains(&cx) && cy <= 2),
+            hot.iter()
+                .any(|&(cx, cy, _)| (5..=7).contains(&cx) && cy <= 2),
             "hot spots {hot:?}"
         );
     }
@@ -427,7 +440,10 @@ mod tests {
         // Blob at (0.62, 0.62): coarse cell (2, 2); sub-cell around
         // ((0.62-0.5)/0.25*4)=1.92 -> 1 or 2.
         assert_eq!((peak.0, peak.1), (2, 2), "peak={peak:?}");
-        assert!((1..=2).contains(&peak.2) && (1..=2).contains(&peak.3), "peak={peak:?}");
+        assert!(
+            (1..=2).contains(&peak.2) && (1..=2).contains(&peak.3),
+            "peak={peak:?}"
+        );
     }
 
     #[test]

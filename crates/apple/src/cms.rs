@@ -50,7 +50,13 @@ impl CmsProtocol {
         assert!(m >= 2, "sketch width must be at least 2");
         let half = (epsilon.value() / 2.0).exp();
         let hashes = (0..k)
-            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15), m as u64))
+            .map(|r| {
+                PairwiseHash::from_seed(
+                    seed.wrapping_add(r as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    m as u64,
+                )
+            })
             .collect();
         Self {
             k,
@@ -205,7 +211,11 @@ mod tests {
         let mut server = proto.new_server();
         let n = 30_000;
         for u in 0..n {
-            let v = if u % 3 == 0 { 7u64 } else { 1000 + u as u64 % 5000 };
+            let v = if u % 3 == 0 {
+                7u64
+            } else {
+                1000 + u as u64 % 5000
+            };
             server.accumulate(&proto.randomize(v, &mut rng));
         }
         let est = server.estimate(7);

@@ -53,10 +53,19 @@ impl HcmsProtocol {
     /// Panics if `k == 0`, `m < 2`, or `m` is not a power of two.
     pub fn new(k: usize, m: usize, epsilon: Epsilon, seed: u64) -> Self {
         assert!(k > 0, "need at least one hash row");
-        assert!(m >= 2 && m.is_power_of_two(), "m must be a power of two >= 2, got {m}");
+        assert!(
+            m >= 2 && m.is_power_of_two(),
+            "m must be a power of two >= 2, got {m}"
+        );
         let e = epsilon.exp();
         let hashes = (0..k)
-            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15), m as u64))
+            .map(|r| {
+                PairwiseHash::from_seed(
+                    seed.wrapping_add(r as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    m as u64,
+                )
+            })
             .collect();
         Self {
             k,
@@ -233,7 +242,11 @@ mod tests {
         let mut server = proto.new_server();
         let n = 60_000;
         for u in 0..n {
-            let v = if u % 4 == 0 { 3u64 } else { 500 + (u as u64 % 3000) };
+            let v = if u % 4 == 0 {
+                3u64
+            } else {
+                500 + (u as u64 % 3000)
+            };
             server.accumulate(&proto.randomize(v, &mut rng));
         }
         let est = server.estimate(3);

@@ -110,14 +110,16 @@ impl SfpConfig {
         if self.word_len == 0 || self.fragment_len == 0 {
             return Err(Error::InvalidParameter("lengths must be positive".into()));
         }
-        if self.word_len % self.fragment_len != 0 {
+        if !self.word_len.is_multiple_of(self.fragment_len) {
             return Err(Error::InvalidParameter(format!(
                 "fragment_len {} must divide word_len {}",
                 self.fragment_len, self.word_len
             )));
         }
         if self.sketch_rows == 0 || self.sketch_width < 2 || self.fragments_per_position == 0 {
-            return Err(Error::InvalidParameter("sketch parameters out of range".into()));
+            return Err(Error::InvalidParameter(
+                "sketch parameters out of range".into(),
+            ));
         }
         Ok(())
     }
@@ -183,7 +185,11 @@ impl SfpDiscovery {
     pub fn run<R: Rng>(&self, population: &[&[u8]], rng: &mut R) -> Vec<DiscoveredWord> {
         let cfg = &self.config;
         let positions = cfg.positions();
-        let mut frag_servers: Vec<_> = self.fragment_sketches.iter().map(|s| s.new_server()).collect();
+        let mut frag_servers: Vec<_> = self
+            .fragment_sketches
+            .iter()
+            .map(|s| s.new_server())
+            .collect();
         let mut word_server = self.word_sketch.new_server();
 
         // ---- Collection. ----
@@ -191,8 +197,7 @@ impl SfpDiscovery {
             let word = normalize(raw, cfg.word_len);
             let puzzle = puzzle_piece(&word);
             let pos = rng.gen_range(0..positions);
-            let frag =
-                pack_fragment(&word[pos * cfg.fragment_len..(pos + 1) * cfg.fragment_len]);
+            let frag = pack_fragment(&word[pos * cfg.fragment_len..(pos + 1) * cfg.fragment_len]);
             let frag_value = frag * 256 + puzzle;
             frag_servers[pos].accumulate(&self.fragment_sketches[pos].randomize(frag_value, rng));
             word_server.accumulate(&self.word_sketch.randomize(word_key(&word), rng));
@@ -281,7 +286,10 @@ mod tests {
         let p2 = puzzle_piece(&w);
         assert_eq!(p1, p2);
         assert!(p1 < 256);
-        assert_ne!(puzzle_piece(&normalize(b"foobar", 6)), puzzle_piece(&normalize(b"foobaz", 6)));
+        assert_ne!(
+            puzzle_piece(&normalize(b"foobar", 6)),
+            puzzle_piece(&normalize(b"foobaz", 6))
+        );
     }
 
     #[test]
@@ -289,7 +297,10 @@ mod tests {
         for s in [b"ab".as_slice(), b"z9", b".."] {
             let syms = normalize(s, 2);
             let packed = pack_fragment(&syms);
-            assert_eq!(unpack_fragment(packed, 2).as_bytes(), s.to_ascii_lowercase());
+            assert_eq!(
+                unpack_fragment(packed, 2).as_bytes(),
+                s.to_ascii_lowercase()
+            );
         }
     }
 

@@ -23,7 +23,9 @@ fn bench_aggregate(c: &mut Criterion) {
     // OUE: bit-packed accumulate over d=1024.
     {
         let oracle = OptimizedUnaryEncoding::new(1024, eps).expect("valid domain");
-        let reports: Vec<_> = (0..n).map(|i| oracle.randomize((i % 1024) as u64, &mut rng)).collect();
+        let reports: Vec<_> = (0..n)
+            .map(|i| oracle.randomize((i % 1024) as u64, &mut rng))
+            .collect();
         group.bench_function("oue_d1024_accumulate_10k", |b| {
             b.iter(|| {
                 let mut agg = oracle.new_aggregator();
@@ -38,7 +40,9 @@ fn bench_aggregate(c: &mut Criterion) {
     // OLH: accumulate is a push; estimation is the expensive side.
     {
         let oracle = OptimizedLocalHashing::new(1 << 20, eps);
-        let reports: Vec<_> = (0..n).map(|i| oracle.randomize((i % 1000) as u64, &mut rng)).collect();
+        let reports: Vec<_> = (0..n)
+            .map(|i| oracle.randomize((i % 1000) as u64, &mut rng))
+            .collect();
         let mut agg = oracle.new_aggregator();
         for r in &reports {
             agg.accumulate(r);
@@ -52,7 +56,9 @@ fn bench_aggregate(c: &mut Criterion) {
     // HCMS: accumulate + one FWHT sweep per estimate batch.
     {
         let proto = HcmsProtocol::new(64, 1024, Epsilon::new(4.0).expect("valid eps"), 5);
-        let reports: Vec<_> = (0..n).map(|i| proto.randomize((i % 50) as u64, &mut rng)).collect();
+        let reports: Vec<_> = (0..n)
+            .map(|i| proto.randomize((i % 50) as u64, &mut rng))
+            .collect();
         group.bench_function("hcms_accumulate_10k", |b| {
             b.iter(|| {
                 let mut server = proto.new_server();

@@ -79,7 +79,9 @@ fn bench_substrate(c: &mut Criterion) {
         let a = Matrix::from_vec(
             128,
             32,
-            (0..128 * 32).map(|_| if rng.gen_bool(0.2) { 1.0 } else { 0.0 }).collect(),
+            (0..128 * 32)
+                .map(|_| if rng.gen_bool(0.2) { 1.0 } else { 0.0 })
+                .collect(),
         );
         let y: Vec<f64> = (0..128).map(|_| rng.gen_range(0.0..10.0)).collect();
         b.iter(|| lasso(black_box(&a), black_box(&y), 1.0, true, 100, 1e-6))

@@ -22,7 +22,10 @@ fn main() {
     );
     for &g in &[2u64, 3, 4, 6, 8, 16, 64] {
         let lh = LocalHashing::with_g(d, g, eps);
-        t1.row(&[g.to_string(), format!("{:.3}", lh.noise_floor_variance(n) / n as f64)]);
+        t1.row(&[
+            g.to_string(),
+            format!("{:.3}", lh.noise_floor_variance(n) / n as f64),
+        ]);
     }
     t1.print();
 
@@ -53,7 +56,10 @@ fn main() {
     );
     for &k in &[1u64, 16, 64, 128, 275, 512, 900] {
         let ss = SubsetSelection::with_k(d, k, eps);
-        t3.row(&[k.to_string(), format!("{:.3}", ss.noise_floor_variance(n) / n as f64)]);
+        t3.row(&[
+            k.to_string(),
+            format!("{:.3}", ss.noise_floor_variance(n) / n as f64),
+        ]);
     }
     let auto = SubsetSelection::new(d, eps);
     t3.row(&[

@@ -8,9 +8,7 @@
 //! Expected shape: errors shrink with ε; the synthetic graph's distance
 //! approaches the non-private resampling floor for ε ≳ 2.
 
-use ldp_analytics::graph::{
-    degree_distribution_distance, private_degree_histogram, Graph, LdpGen,
-};
+use ldp_analytics::graph::{degree_distribution_distance, private_degree_histogram, Graph, LdpGen};
 use ldp_core::Epsilon;
 use ldp_workloads::{metrics, ExperimentTable, Trials};
 use rand::rngs::StdRng;
@@ -34,7 +32,12 @@ fn main() {
                 .iter()
                 .map(|&c| c as f64)
                 .collect();
-            let est = private_degree_histogram(&g, max_degree, Epsilon::new(e).expect("valid eps"), &mut rng);
+            let est = private_degree_histogram(
+                &g,
+                max_degree,
+                Epsilon::new(e).expect("valid eps"),
+                &mut rng,
+            );
             metrics::mae(&est, &truth)
         });
         t1.row(&[format!("{e}"), format!("{:.1}", stats.mean)]);
@@ -53,7 +56,10 @@ fn main() {
         let resampled = Graph::chung_lu(&weights, &mut rng);
         degree_distribution_distance(&g, &resampled, max_degree)
     });
-    t2.row(&["non-private Chung-Lu".into(), format!("{:.3}", ceiling.mean)]);
+    t2.row(&[
+        "non-private Chung-Lu".into(),
+        format!("{:.3}", ceiling.mean),
+    ]);
     for &e in &[0.5, 1.0, 2.0, 4.0] {
         let stats = trials.run(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);

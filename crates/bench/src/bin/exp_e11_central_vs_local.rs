@@ -25,7 +25,13 @@ fn main() {
 
     let mut t = ExperimentTable::new(
         "E11: histogram MAE, central vs local, vs n (d=64, eps=1)",
-        &["n", "central MAE", "local (OLH) MAE", "gap factor", "sqrt(n)"],
+        &[
+            "n",
+            "central MAE",
+            "local (OLH) MAE",
+            "gap factor",
+            "sqrt(n)",
+        ],
     );
     for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
         let central = trials.run(|seed| {

@@ -16,7 +16,14 @@ use ldp_workloads::{ExperimentTable, Trials};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn head_mse(proto: &TwoRoundProtocol, values: &[u64], truth: &[f64], k: usize, seed: u64, two_round: bool) -> f64 {
+fn head_mse(
+    proto: &TwoRoundProtocol,
+    values: &[u64],
+    truth: &[f64],
+    k: usize,
+    seed: u64,
+    two_round: bool,
+) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let counts = if two_round {
         proto.collect(values, &mut rng).counts

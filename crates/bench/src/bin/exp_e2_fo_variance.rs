@@ -24,11 +24,21 @@ use rand::SeedableRng;
 
 fn analytical_row(d: u64, eps: Epsilon, n: usize) -> Vec<f64> {
     vec![
-        DirectEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
-        SymmetricUnaryEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
-        OptimizedUnaryEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
-        ThresholdHistogramEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
-        SummationHistogramEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n),
+        DirectEncoding::new(d, eps)
+            .expect("d>=2")
+            .noise_floor_variance(n),
+        SymmetricUnaryEncoding::new(d, eps)
+            .expect("d>=2")
+            .noise_floor_variance(n),
+        OptimizedUnaryEncoding::new(d, eps)
+            .expect("d>=2")
+            .noise_floor_variance(n),
+        ThresholdHistogramEncoding::new(d, eps)
+            .expect("d>=2")
+            .noise_floor_variance(n),
+        SummationHistogramEncoding::new(d, eps)
+            .expect("d>=2")
+            .noise_floor_variance(n),
         OptimizedLocalHashing::new(d, eps).noise_floor_variance(n),
         HadamardResponse::new(d, eps).noise_floor_variance(n),
     ]
@@ -59,8 +69,14 @@ fn main() {
     );
     for &d in &[4u64, 8, 16, 64, 256, 1024] {
         let eps = Epsilon::new(1.0).expect("valid eps");
-        let grr = DirectEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n) / n as f64;
-        let oue = OptimizedUnaryEncoding::new(d, eps).expect("d>=2").noise_floor_variance(n) / n as f64;
+        let grr = DirectEncoding::new(d, eps)
+            .expect("d>=2")
+            .noise_floor_variance(n)
+            / n as f64;
+        let oue = OptimizedUnaryEncoding::new(d, eps)
+            .expect("d>=2")
+            .noise_floor_variance(n)
+            / n as f64;
         let olh = OptimizedLocalHashing::new(d, eps).noise_floor_variance(n) / n as f64;
         t2.row(&[
             d.to_string(),
@@ -79,7 +95,13 @@ fn main() {
     let trials = Trials::new(10, 1000);
     let mut t3 = ExperimentTable::new(
         "E2c: empirical count MSE vs analytical floor (d=64, eps=1, n=10k, Zipf 1.1)",
-        &["mechanism", "empirical MSE", "analytical floor", "ratio", "report bits"],
+        &[
+            "mechanism",
+            "empirical MSE",
+            "analytical floor",
+            "ratio",
+            "report bits",
+        ],
     );
     macro_rules! empirical {
         ($oracle:expr, $idx:expr) => {{

@@ -25,7 +25,9 @@ fn run(n: usize, candidates: usize, cohorts: u32, seed: u64) -> (f64, f64) {
     let params = RapporParams::new(64, 2, cohorts, 0.25, 0.35, 0.65).expect("valid params");
     let zipf = ZipfGenerator::new(present as u64, 1.5).expect("valid zipf");
     let mut rng = StdRng::seed_from_u64(seed);
-    let names: Vec<String> = (0..candidates).map(|i| format!("url-{i}.example")).collect();
+    let names: Vec<String> = (0..candidates)
+        .map(|i| format!("url-{i}.example"))
+        .collect();
 
     let mut agg = RapporAggregator::new(params.clone());
     for _ in 0..n {
@@ -91,7 +93,13 @@ fn main() {
         "E3c: privacy accounting (Chrome-default parameters)",
         &["quantity", "value"],
     );
-    t3.row(&["eps one report".into(), format!("{:.3}", chrome.epsilon_one_report())]);
-    t3.row(&["eps permanent (lifetime)".into(), format!("{:.3}", chrome.epsilon_permanent())]);
+    t3.row(&[
+        "eps one report".into(),
+        format!("{:.3}", chrome.epsilon_one_report()),
+    ]);
+    t3.row(&[
+        "eps permanent (lifetime)".into(),
+        format!("{:.3}", chrome.epsilon_permanent()),
+    ]);
     t3.print();
 }

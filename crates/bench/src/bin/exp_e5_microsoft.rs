@@ -29,7 +29,10 @@ fn main() {
             let stream = NumericStream::new(n, max_value, 0.0, 0.0, &mut rng);
             let values = stream.round_values(0, &mut rng);
             let truth = values.iter().sum::<f64>() / n as f64;
-            let bits: Vec<bool> = values.iter().map(|&x| mech.randomize(x, &mut rng)).collect();
+            let bits: Vec<bool> = values
+                .iter()
+                .map(|&x| mech.randomize(x, &mut rng))
+                .collect();
             (mech.estimate_mean(&bits) - truth).abs()
         });
         t1.row(&[
@@ -71,7 +74,11 @@ fn main() {
     // --- E5c: memoization over rounds. ---
     let mut t3 = ExperimentTable::new(
         "E5c: memoized repeated collection (n=50k, 10 rounds, gamma=0.1)",
-        &["round", "mean abs err (s)", "distinct msgs/device (stable value)"],
+        &[
+            "round",
+            "mean abs err (s)",
+            "distinct msgs/device (stable value)",
+        ],
     );
     let mech = OneBitMean::new(eps, max_value).expect("valid range");
     let config = RoundingConfig::new(0.1).expect("valid gamma");

@@ -61,8 +61,9 @@ fn main() {
     );
     for &n in &[50_000usize, 100_000, 300_000] {
         let stats = trials.run(|seed| {
-            let pem = PrefixExtendingMethod::new(BITS, 8, 4, 16, Epsilon::new(4.0).expect("valid eps"))
-                .expect("valid pem");
+            let pem =
+                PrefixExtendingMethod::new(BITS, 8, 4, 16, Epsilon::new(4.0).expect("valid eps"))
+                    .expect("valid pem");
             let (values, truth) = population(n, seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
             ncr(&pem.run(&values, &mut rng), &truth)
@@ -71,14 +72,12 @@ fn main() {
     }
     t1.print();
 
-    let mut t2 = ExperimentTable::new(
-        "E6b: PEM NCR@10 vs eps (n=100k)",
-        &["eps", "NCR@10"],
-    );
+    let mut t2 = ExperimentTable::new("E6b: PEM NCR@10 vs eps (n=100k)", &["eps", "NCR@10"]);
     for &e in &[1.0, 2.0, 4.0] {
         let stats = trials.run(|seed| {
-            let pem = PrefixExtendingMethod::new(BITS, 8, 4, 16, Epsilon::new(e).expect("valid eps"))
-                .expect("valid pem");
+            let pem =
+                PrefixExtendingMethod::new(BITS, 8, 4, 16, Epsilon::new(e).expect("valid eps"))
+                    .expect("valid pem");
             let (values, truth) = population(100_000, seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
             ncr(&pem.run(&values, &mut rng), &truth)
@@ -93,14 +92,24 @@ fn main() {
     );
     for &step in &[1u32, 2, 4, 8] {
         let stats = trials.run(|seed| {
-            let pem = PrefixExtendingMethod::new(BITS, 8, step, 16, Epsilon::new(4.0).expect("valid eps"))
-                .expect("valid pem");
+            let pem = PrefixExtendingMethod::new(
+                BITS,
+                8,
+                step,
+                16,
+                Epsilon::new(4.0).expect("valid eps"),
+            )
+            .expect("valid pem");
             let (values, truth) = population(100_000, seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
             ncr(&pem.run(&values, &mut rng), &truth)
         });
         let levels = 1 + (BITS - 8) / step;
-        t3.row(&[step.to_string(), levels.to_string(), format!("{:.2}", stats.mean)]);
+        t3.row(&[
+            step.to_string(),
+            levels.to_string(),
+            format!("{:.2}", stats.mean),
+        ]);
     }
     t3.print();
 }

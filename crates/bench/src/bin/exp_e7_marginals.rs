@@ -109,7 +109,13 @@ fn main() {
 
     let mut t1 = ExperimentTable::new(
         "E7a: avg L1 error of all 2-way marginals vs d (n=50k, eps=1)",
-        &["d", "#marginals", "Fourier", "Full materialization", "Direct (split users)"],
+        &[
+            "d",
+            "#marginals",
+            "Fourier",
+            "Full materialization",
+            "Direct (split users)",
+        ],
     );
     for &d in &[4u32, 6, 8, 10, 12] {
         let queries = all_pairs(d);

@@ -106,7 +106,11 @@ fn main() {
     // --- E8c: adaptive vs uniform peak localization. ---
     let mut t3 = ExperimentTable::new(
         "E8c: peak localization error (distance to true peak, eps=2, n=100k)",
-        &["method", "effective resolution", "mean distance to (0.7,0.7)"],
+        &[
+            "method",
+            "effective resolution",
+            "mean distance to (0.7,0.7)",
+        ],
     );
     let uniform_err = trials.run(|seed| {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -141,14 +145,23 @@ fn main() {
                 }
             })
             .collect();
-        let ag = AdaptiveGrid::new(4, 4, 2, Epsilon::new(2.0).expect("valid eps")).expect("valid ag");
+        let ag =
+            AdaptiveGrid::new(4, 4, 2, Epsilon::new(2.0).expect("valid eps")).expect("valid ag");
         let est = ag.collect(&points, &mut rng).expect("collect succeeds");
         let (cx, cy, sx, sy, _) = est.peak().expect("peak exists");
         let px = cx as f64 / 4.0 + (sx as f64 + 0.5) / 16.0;
         let py = cy as f64 / 4.0 + (sy as f64 + 0.5) / 16.0;
         ((px - 0.7f64).powi(2) + (py - 0.7f64).powi(2)).sqrt()
     });
-    t3.row(&["uniform 4x4".into(), "1/4".into(), format!("{:.4}", uniform_err.mean)]);
-    t3.row(&["adaptive 4x4 -> 16x16".into(), "1/16".into(), format!("{:.4}", adaptive_err.mean)]);
+    t3.row(&[
+        "uniform 4x4".into(),
+        "1/4".into(),
+        format!("{:.4}", uniform_err.mean),
+    ]);
+    t3.row(&[
+        "adaptive 4x4 -> 16x16".into(),
+        "1/16".into(),
+        format!("{:.4}", adaptive_err.mean),
+    ]);
     t3.print();
 }

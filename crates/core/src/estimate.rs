@@ -34,7 +34,10 @@
 /// assert_eq!(ldp_core::estimate::debias_count(500.0, 1000, 0.75, 0.25), 500.0);
 /// ```
 pub fn debias_count(observed: f64, n: usize, p: f64, q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&q), "p, q must be probabilities");
+    assert!(
+        (0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&q),
+        "p, q must be probabilities"
+    );
     assert!(p > q, "channel must satisfy p > q (got p={p}, q={q})");
     (observed - n as f64 * q) / (p - q)
 }
@@ -75,7 +78,10 @@ pub fn hoeffding_bound(n: usize, beta: f64, lo: f64, hi: f64) -> f64 {
 /// # Panics
 /// Panics if arguments are out of range.
 pub fn bernstein_bound(n: usize, sigma_sq: f64, m: f64, beta: f64) -> f64 {
-    assert!(n > 0 && sigma_sq >= 0.0 && m > 0.0, "invalid Bernstein arguments");
+    assert!(
+        n > 0 && sigma_sq >= 0.0 && m > 0.0,
+        "invalid Bernstein arguments"
+    );
     assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
     let l = (2.0 / beta).ln();
     (2.0 * n as f64 * sigma_sq * l).sqrt() + 2.0 * m * l / 3.0
@@ -100,7 +106,10 @@ impl ConfidenceInterval {
     /// Panics if `variance < 0` or `confidence` outside (0, 1).
     pub fn normal_approx(estimate: f64, variance: f64, confidence: f64) -> Self {
         assert!(variance >= 0.0, "variance must be non-negative");
-        assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1)"
+        );
         let z = normal_quantile(0.5 + confidence / 2.0);
         Self {
             estimate,
@@ -131,13 +140,16 @@ impl ConfidenceInterval {
 /// # Panics
 /// Panics if `p` is not strictly inside (0, 1).
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile argument must be in (0,1), got {p}"
+    );
     // Coefficients from Acklam's approximation.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

@@ -142,8 +142,12 @@ mod tests {
     #[test]
     fn variance_grows_linearly_with_domain() {
         let eps = Epsilon::new(1.0).unwrap();
-        let v_small = DirectEncoding::new(10, eps).unwrap().noise_floor_variance(1000);
-        let v_big = DirectEncoding::new(1000, eps).unwrap().noise_floor_variance(1000);
+        let v_small = DirectEncoding::new(10, eps)
+            .unwrap()
+            .noise_floor_variance(1000);
+        let v_big = DirectEncoding::new(1000, eps)
+            .unwrap()
+            .noise_floor_variance(1000);
         // (d-2+e^eps) scaling: ratio ≈ 998+e / 8+e ≈ 93
         let ratio = v_big / v_small;
         assert!(ratio > 50.0 && ratio < 150.0, "ratio={ratio}");

@@ -79,7 +79,11 @@ impl FrequencyOracle for HadamardResponse {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> HrReport {
-        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
         let index = rng.gen_range(0..self.m);
         let true_sign = hadamard_entry(index, value);
         let sign = if rng.gen_bool(self.p_truth) {
@@ -142,11 +146,12 @@ impl FoAggregator for HrAggregator {
         // Unbiased spectrum estimate: theta_j = E[H[j,v]] over the
         // population; each report contributes sign/(2p-1), scaled by m/n to
         // undo the uniform row sampling.
-        let mut spectrum = vec![0.0f64; m];
         let n = self.n as f64;
-        for j in 0..m {
-            spectrum[j] = (m as f64 / n) * self.sign_sums[j] as f64 / two_p_minus_1;
-        }
+        let mut spectrum: Vec<f64> = self
+            .sign_sums
+            .iter()
+            .map(|&s| (m as f64 / n) * s as f64 / two_p_minus_1)
+            .collect();
         // counts = n * (1/m) * H * spectrum  (inverse transform).
         fwht(&mut spectrum);
         spectrum
@@ -187,15 +192,14 @@ mod tests {
         let est = agg.estimate();
         assert_eq!(est.len(), 16);
         let sd = hr.count_variance(n, 0.25).sqrt();
-        for i in 0..4usize {
+        for (i, &e) in est.iter().enumerate().take(4) {
             assert!(
-                (est[i] - n as f64 / 4.0).abs() < 5.0 * sd,
-                "item {i}: est={} sd={sd}",
-                est[i]
+                (e - n as f64 / 4.0).abs() < 5.0 * sd,
+                "item {i}: est={e} sd={sd}"
             );
         }
-        for i in 4..16usize {
-            assert!(est[i].abs() < 5.0 * sd, "item {i}: est={}", est[i]);
+        for (i, &e) in est.iter().enumerate().skip(4) {
+            assert!(e.abs() < 5.0 * sd, "item {i}: est={e}");
         }
     }
 

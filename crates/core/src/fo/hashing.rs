@@ -96,7 +96,11 @@ impl FrequencyOracle for LocalHashing {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> LhReport {
-        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
         let seed: u64 = rng.gen();
         let bucket = self.family.hash(value, seed);
         let perturbed = self.rr.randomize(bucket, rng);
@@ -282,7 +286,10 @@ mod tests {
         let expected = n as f64 * 4.0 * 1.0f64.exp() / (1.0f64.exp() - 1.0).powi(2);
         let got = olh.noise_floor_variance(n);
         // g is rounded to an integer so allow 15% slack.
-        assert!((got - expected).abs() / expected < 0.15, "got={got} expected={expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.15,
+            "got={got} expected={expected}"
+        );
     }
 
     #[test]
@@ -294,7 +301,10 @@ mod tests {
         let n = 500;
         let expected = n as f64 * (e.exp() + 1.0).powi(2) / (e.exp() - 1.0).powi(2);
         let got = blh.noise_floor_variance(n);
-        assert!((got - expected).abs() / expected < 1e-9, "got={got} expected={expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-9,
+            "got={got} expected={expected}"
+        );
     }
 
     #[test]
@@ -308,15 +318,15 @@ mod tests {
             agg.accumulate(&olh.randomize(v, &mut rng));
         }
         let est = agg.estimate();
-        for i in 0..8usize {
+        for (i, &e) in est.iter().enumerate().take(8) {
             let truth = n as f64 / 8.0;
             let sd = olh.count_variance(n, 1.0 / 8.0).sqrt();
-            assert!((est[i] - truth).abs() < 5.0 * sd, "item {i}: est={}", est[i]);
+            assert!((e - truth).abs() < 5.0 * sd, "item {i}: est={e}");
         }
         // Unheld items near zero.
-        for i in 8..64usize {
+        for (i, &e) in est.iter().enumerate().skip(8) {
             let sd = olh.noise_floor_variance(n).sqrt();
-            assert!(est[i].abs() < 5.0 * sd, "item {i}: est={}", est[i]);
+            assert!(e.abs() < 5.0 * sd, "item {i}: est={e}");
         }
     }
 
@@ -346,11 +356,10 @@ mod tests {
         }
         let est = agg.estimate();
         let sd = blh.count_variance(n, 0.25).sqrt();
-        for i in 0..4usize {
+        for (i, &e) in est.iter().enumerate().take(4) {
             assert!(
-                (est[i] - n as f64 / 4.0).abs() < 5.0 * sd,
-                "item {i}: est={} sd={sd}",
-                est[i]
+                (e - n as f64 / 4.0).abs() < 5.0 * sd,
+                "item {i}: est={e} sd={sd}"
             );
         }
     }

@@ -39,7 +39,9 @@ impl SummationHistogramEncoding {
     /// Returns [`Error::InvalidDomain`] if `d < 2`.
     pub fn new(d: u64, epsilon: Epsilon) -> Result<Self> {
         if d < 2 {
-            return Err(Error::InvalidDomain(format!("histogram encoding needs d >= 2, got {d}")));
+            return Err(Error::InvalidDomain(format!(
+                "histogram encoding needs d >= 2, got {d}"
+            )));
         }
         Ok(Self {
             d,
@@ -71,7 +73,11 @@ impl FrequencyOracle for SummationHistogramEncoding {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> Vec<f64> {
-        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
         (0..self.d)
             .map(|i| {
                 let base = if i == value { 1.0 } else { 0.0 };
@@ -154,10 +160,14 @@ impl ThresholdHistogramEncoding {
     /// [`Error::InvalidParameter`] for θ outside `(0, 1]`.
     pub fn with_theta(d: u64, epsilon: Epsilon, theta: f64) -> Result<Self> {
         if d < 2 {
-            return Err(Error::InvalidDomain(format!("histogram encoding needs d >= 2, got {d}")));
+            return Err(Error::InvalidDomain(format!(
+                "histogram encoding needs d >= 2, got {d}"
+            )));
         }
         if !(theta > 0.0 && theta <= 1.0) {
-            return Err(Error::InvalidParameter(format!("theta must be in (0,1], got {theta}")));
+            return Err(Error::InvalidParameter(format!(
+                "theta must be in (0,1], got {theta}"
+            )));
         }
         let (p, q) = Self::channel(epsilon, theta);
         Ok(Self {
@@ -240,7 +250,11 @@ impl FrequencyOracle for ThresholdHistogramEncoding {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
-        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
         let mut bits = BitVec::zeros(self.d as usize);
         for i in 0..self.d {
             let base = if i == value { 1.0 } else { 0.0 };
@@ -328,9 +342,9 @@ mod tests {
             agg.accumulate(&she.randomize((u % 4) as u64, &mut rng));
         }
         let est = agg.estimate();
-        for i in 0..4 {
+        for (i, &e) in est.iter().enumerate().take(4) {
             let sd = she.count_variance(n, 0.25).sqrt();
-            assert!((est[i] - n as f64 / 4.0).abs() < 5.0 * sd, "item {i}: {}", est[i]);
+            assert!((e - n as f64 / 4.0).abs() < 5.0 * sd, "item {i}: {e}");
         }
     }
 

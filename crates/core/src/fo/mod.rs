@@ -154,7 +154,10 @@ mod tests {
                 let est = collect_counts(&oracle, &values, &mut rng);
                 assert_eq!(est.len(), d as usize);
                 for i in 0..d as usize {
-                    let sd = oracle.count_variance(n, truth[i] / n as f64).sqrt().max(1.0);
+                    let sd = oracle
+                        .count_variance(n, truth[i] / n as f64)
+                        .sqrt()
+                        .max(1.0);
                     assert!(
                         (est[i] - truth[i]).abs() < 6.0 * sd,
                         "{} item {i}: est={} truth={} sd={sd}",
@@ -183,9 +186,13 @@ mod tests {
         let d = 128;
         let n = 1000;
         let grr = DirectEncoding::new(d, eps).unwrap().noise_floor_variance(n);
-        let oue = OptimizedUnaryEncoding::new(d, eps).unwrap().noise_floor_variance(n);
+        let oue = OptimizedUnaryEncoding::new(d, eps)
+            .unwrap()
+            .noise_floor_variance(n);
         let olh = OptimizedLocalHashing::new(d, eps).noise_floor_variance(n);
-        let sue = SymmetricUnaryEncoding::new(d, eps).unwrap().noise_floor_variance(n);
+        let sue = SymmetricUnaryEncoding::new(d, eps)
+            .unwrap()
+            .noise_floor_variance(n);
         assert!(oue < grr, "OUE should beat GRR for large domains");
         assert!(oue < sue, "OUE should beat SUE");
         assert!((oue - olh).abs() / oue < 0.2, "OUE and OLH share the floor");
@@ -198,11 +205,19 @@ mod tests {
         let n = 1000;
         let d_small = 4; // < 3e + 2 ≈ 10.2
         let d_large = 64;
-        let grr_s = DirectEncoding::new(d_small, eps).unwrap().noise_floor_variance(n);
-        let oue_s = OptimizedUnaryEncoding::new(d_small, eps).unwrap().noise_floor_variance(n);
+        let grr_s = DirectEncoding::new(d_small, eps)
+            .unwrap()
+            .noise_floor_variance(n);
+        let oue_s = OptimizedUnaryEncoding::new(d_small, eps)
+            .unwrap()
+            .noise_floor_variance(n);
         assert!(grr_s < oue_s);
-        let grr_l = DirectEncoding::new(d_large, eps).unwrap().noise_floor_variance(n);
-        let oue_l = OptimizedUnaryEncoding::new(d_large, eps).unwrap().noise_floor_variance(n);
+        let grr_l = DirectEncoding::new(d_large, eps)
+            .unwrap()
+            .noise_floor_variance(n);
+        let oue_l = OptimizedUnaryEncoding::new(d_large, eps)
+            .unwrap()
+            .noise_floor_variance(n);
         assert!(oue_l < grr_l);
     }
 }

@@ -92,7 +92,11 @@ impl FrequencyOracle for SubsetSelection {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> Vec<u64> {
-        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
         let include = rng.gen_bool(self.p_include);
         let k = self.k as usize;
         let mut subset: Vec<u64>;
@@ -241,8 +245,14 @@ mod tests {
                 incl_other += 1;
             }
         }
-        assert!((incl_true as f64 / n as f64 - p).abs() < 0.01, "p empirical");
-        assert!((incl_other as f64 / n as f64 - q).abs() < 0.01, "q empirical");
+        assert!(
+            (incl_true as f64 / n as f64 - p).abs() < 0.01,
+            "p empirical"
+        );
+        assert!(
+            (incl_other as f64 / n as f64 - q).abs() < 0.01,
+            "q empirical"
+        );
     }
 
     #[test]
@@ -256,11 +266,10 @@ mod tests {
         }
         let est = agg.estimate();
         let sd = ss.count_variance(n, 0.25).sqrt();
-        for i in 0..4usize {
+        for (i, &e) in est.iter().enumerate().take(4) {
             assert!(
-                (est[i] - n as f64 / 4.0).abs() < 5.0 * sd,
-                "item {i}: est={} sd={sd}",
-                est[i]
+                (e - n as f64 / 4.0).abs() < 5.0 * sd,
+                "item {i}: est={e} sd={sd}"
             );
         }
     }

@@ -31,7 +31,11 @@ struct UnaryCore {
 
 impl UnaryCore {
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
-        assert!(value < self.d, "value {value} outside domain of size {}", self.d);
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
         let mut bits = BitVec::zeros(self.d as usize);
         for i in 0..self.d as usize {
             let bit_true = i as u64 == value;
@@ -72,7 +76,9 @@ impl SymmetricUnaryEncoding {
     /// Returns [`Error::InvalidDomain`] if `d < 2`.
     pub fn new(d: u64, epsilon: Epsilon) -> Result<Self> {
         if d < 2 {
-            return Err(Error::InvalidDomain(format!("unary encoding needs d >= 2, got {d}")));
+            return Err(Error::InvalidDomain(format!(
+                "unary encoding needs d >= 2, got {d}"
+            )));
         }
         let half = (epsilon.value() / 2.0).exp();
         Ok(Self {
@@ -104,7 +110,9 @@ impl OptimizedUnaryEncoding {
     /// Returns [`Error::InvalidDomain`] if `d < 2`.
     pub fn new(d: u64, epsilon: Epsilon) -> Result<Self> {
         if d < 2 {
-            return Err(Error::InvalidDomain(format!("unary encoding needs d >= 2, got {d}")));
+            return Err(Error::InvalidDomain(format!(
+                "unary encoding needs d >= 2, got {d}"
+            )));
         }
         Ok(Self {
             core: UnaryCore {
@@ -235,7 +243,10 @@ mod tests {
         let n = 1000;
         let expected = n as f64 * 4.0 * e.exp() / (e.exp() - 1.0).powi(2);
         let got = oue.noise_floor_variance(n);
-        assert!((got - expected).abs() / expected < 1e-9, "got={got} expected={expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-9,
+            "got={got} expected={expected}"
+        );
     }
 
     #[test]
@@ -268,7 +279,16 @@ mod tests {
         }
         let avg0 = sum0 / trials as f64;
         let truth = n as f64 / 4.0;
-        assert!((avg0 - truth).abs() < 40.0, "avg={avg0} truth={truth}");
+        // Tolerance rationale: each trial's estimate has sd at least
+        // sqrt(noise_floor_variance(n)) ≈ 154 here, so the mean of 30
+        // i.i.d. trials has sd ≈ 28. A 5-sigma band keeps the false-alarm
+        // rate around 1e-6 while still catching any real debiasing error
+        // (which would shift the mean by O(truth), not O(sd)).
+        let sd_of_mean = (oue.noise_floor_variance(n) / trials as f64).sqrt();
+        assert!(
+            (avg0 - truth).abs() < 5.0 * sd_of_mean,
+            "avg={avg0} truth={truth} sd_of_mean={sd_of_mean}"
+        );
     }
 
     #[test]

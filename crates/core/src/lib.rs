@@ -67,8 +67,14 @@ impl std::fmt::Display for Error {
             Error::InvalidEpsilon(e) => write!(f, "epsilon must be positive and finite, got {e}"),
             Error::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            Error::BudgetExhausted { requested, remaining } => {
-                write!(f, "privacy budget exhausted: requested {requested}, remaining {remaining}")
+            Error::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "privacy budget exhausted: requested {requested}, remaining {remaining}"
+                )
             }
         }
     }

@@ -245,11 +245,7 @@ impl PiecewiseMean {
         let width_high = c - 1.0;
         let total = 2.0 * c + width_high * (e - 1.0);
         let p_high = width_high * e / total;
-        Ok(Self {
-            epsilon,
-            c,
-            p_high,
-        })
+        Ok(Self { epsilon, c, p_high })
     }
 
     /// Output magnitude bound `C`.
@@ -296,8 +292,7 @@ impl MeanMechanism for PiecewiseMean {
         // Var(x) = x/(e^{ε/2}-1) + (e^{ε/2}+3)/(3(e^{ε/2}-1)^2) ... we
         // report the x=1 value computed numerically from moments.
         let half = (self.epsilon.value() / 2.0).exp();
-        1.0 / (half - 1.0) + (half + 3.0) / (3.0 * (half - 1.0).powi(2)) + 4.0 * half.powf(0.0)
-            * 0.0
+        1.0 / (half - 1.0) + (half + 3.0) / (3.0 * (half - 1.0).powi(2))
     }
 }
 
@@ -347,13 +342,18 @@ mod tests {
     #[test]
     fn duchi_beats_laplace_at_small_eps() {
         let e = eps(0.5);
-        assert!(DuchiMean::new(e).worst_case_variance() < LaplaceMean::new(e).worst_case_variance());
+        assert!(
+            DuchiMean::new(e).worst_case_variance() < LaplaceMean::new(e).worst_case_variance()
+        );
     }
 
     #[test]
     fn laplace_competitive_at_large_eps() {
         let e = eps(8.0);
-        assert!(LaplaceMean::new(e).worst_case_variance() < DuchiMean::new(e).worst_case_variance() * 10.0);
+        assert!(
+            LaplaceMean::new(e).worst_case_variance()
+                < DuchiMean::new(e).worst_case_variance() * 10.0
+        );
     }
 
     #[test]

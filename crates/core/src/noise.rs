@@ -24,7 +24,10 @@ use rand::Rng;
 /// assert!(x.is_finite());
 /// ```
 pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
-    assert!(scale.is_finite() && scale > 0.0, "scale must be positive, got {scale}");
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "scale must be positive, got {scale}"
+    );
     // u in (-0.5, 0.5]; gen::<f64>() is in [0, 1).
     let u: f64 = 0.5 - rng.gen::<f64>();
     let magnitude = -(1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln() * scale;
@@ -45,13 +48,16 @@ pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
 /// # Panics
 /// Panics if `scale` is not positive and finite.
 pub fn sample_two_sided_geometric<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> i64 {
-    assert!(scale.is_finite() && scale > 0.0, "scale must be positive, got {scale}");
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "scale must be positive, got {scale}"
+    );
     let alpha = (-1.0 / scale).exp();
     // Sample sign and magnitude: magnitude ~ Geometric over {0,1,2,...}
     // conditioned appropriately. Direct inverse-CDF on the two-sided CDF:
     let u: f64 = rng.gen::<f64>(); // [0,1)
-    // CDF for k >= 0: F(k) = 1 - alpha^{k+1}/(1+alpha)
-    // and for k < 0:  F(k) = alpha^{-k}/(1+alpha)
+                                   // CDF for k >= 0: F(k) = 1 - alpha^{k+1}/(1+alpha)
+                                   // and for k < 0:  F(k) = alpha^{-k}/(1+alpha)
     let p_neg = alpha / (1.0 + alpha); // Pr[X < 0] = alpha/(1+alpha)
     if u < p_neg {
         // negative side: find smallest m >= 1 with alpha^m/(1+alpha) <= u
@@ -124,7 +130,10 @@ mod tests {
             / n as f64;
         assert!(mean.abs() < 0.05, "mean={mean}");
         let expected = two_sided_geometric_variance(scale);
-        assert!((var - expected).abs() / expected < 0.05, "var={var} vs {expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "var={var} vs {expected}"
+        );
     }
 
     #[test]
@@ -139,7 +148,10 @@ mod tests {
             .count();
         let expected = (1.0 - alpha) / (1.0 + alpha);
         let got = zeros as f64 / n as f64;
-        assert!((got - expected).abs() < 0.01, "got={got} expected={expected}");
+        assert!(
+            (got - expected).abs() < 0.01,
+            "got={got} expected={expected}"
+        );
     }
 
     #[test]

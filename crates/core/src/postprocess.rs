@@ -140,10 +140,21 @@ mod tests {
         let mut raw_se = 0.0;
         let mut post_se = 0.0;
         for _ in 0..50 {
-            let est: Vec<f64> = truth.iter().map(|&t| t + rng.gen_range(-50.0..50.0)).collect();
+            let est: Vec<f64> = truth
+                .iter()
+                .map(|&t| t + rng.gen_range(-50.0..50.0))
+                .collect();
             let post = norm_sub(&est, n);
-            raw_se += est.iter().zip(&truth).map(|(e, t)| (e - t).powi(2)).sum::<f64>();
-            post_se += post.iter().zip(&truth).map(|(e, t)| (e - t).powi(2)).sum::<f64>();
+            raw_se += est
+                .iter()
+                .zip(&truth)
+                .map(|(e, t)| (e - t).powi(2))
+                .sum::<f64>();
+            post_se += post
+                .iter()
+                .zip(&truth)
+                .map(|(e, t)| (e - t).powi(2))
+                .sum::<f64>();
         }
         assert!(post_se < raw_se, "post {post_se} vs raw {raw_se}");
     }

@@ -220,7 +220,10 @@ mod tests {
         assert!(!b.can_afford(0.7));
         let err = b.draw(0.7).unwrap_err();
         match err {
-            Error::BudgetExhausted { requested, remaining } => {
+            Error::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
                 assert!((requested - 0.7).abs() < 1e-12);
                 assert!((remaining - 0.6).abs() < 1e-12);
             }

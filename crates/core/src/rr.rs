@@ -175,7 +175,11 @@ impl KaryRandomizedResponse {
     /// # Panics
     /// Panics if `value >= k`.
     pub fn randomize<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> u64 {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         if rng.gen_bool(self.p) {
             value
         } else {
@@ -284,11 +288,16 @@ mod tests {
         let rr = BinaryRandomizedResponse::new(eps(e));
         let mut rng = StdRng::seed_from_u64(17);
         let n = 400_000;
-        let ones_given_true = (0..n).filter(|_| rr.randomize(true, &mut rng)).count() as f64 / n as f64;
-        let ones_given_false = (0..n).filter(|_| rr.randomize(false, &mut rng)).count() as f64 / n as f64;
+        let ones_given_true =
+            (0..n).filter(|_| rr.randomize(true, &mut rng)).count() as f64 / n as f64;
+        let ones_given_false =
+            (0..n).filter(|_| rr.randomize(false, &mut rng)).count() as f64 / n as f64;
         let ratio = ones_given_true / ones_given_false;
         assert!(ratio <= e.exp() * 1.05, "ratio={ratio}");
-        assert!(ratio >= e.exp() * 0.95, "RR should saturate the bound: {ratio}");
+        assert!(
+            ratio >= e.exp() * 0.95,
+            "RR should saturate the bound: {ratio}"
+        );
     }
 
     #[test]
@@ -333,13 +342,12 @@ mod tests {
             observed[m.randomize(v, &mut rng) as usize] += 1;
         }
         let est = m.estimate_counts(&observed);
-        for i in 0..k as usize {
+        for (i, &e) in est.iter().enumerate().take(k as usize) {
             let truth = n as f64 * (i + 1) as f64 / total_w as f64;
             let sd = m.count_variance(n, truth / n as f64).sqrt();
             assert!(
-                (est[i] - truth).abs() < 5.0 * sd,
-                "item {i}: est={} truth={truth} sd={sd}",
-                est[i]
+                (e - truth).abs() < 5.0 * sd,
+                "item {i}: est={e} truth={truth} sd={sd}"
             );
         }
     }

@@ -27,14 +27,21 @@ fn check_roundtrip<O: FrequencyOracle>(oracle: &O, value: u64, seed: u64) {
     let est = agg.estimate();
     assert_eq!(est.len(), oracle.domain_size() as usize);
     for (i, &e) in est.iter().enumerate() {
-        assert!(e.is_finite(), "{} item {i} estimate not finite", oracle.name());
+        assert!(
+            e.is_finite(),
+            "{} item {i} estimate not finite",
+            oracle.name()
+        );
     }
     // The true item's estimate should rank near the top, given all 200
     // reports carry it — checked loosely (top half, min 8) so rare noise
     // draws at small epsilon/large d don't flake.
     let mut order: Vec<usize> = (0..est.len()).collect();
     order.sort_by(|&a, &b| est[b].total_cmp(&est[a]));
-    let rank = order.iter().position(|&i| i as u64 == value).expect("value present");
+    let rank = order
+        .iter()
+        .position(|&i| i as u64 == value)
+        .expect("value present");
     if oracle.epsilon().value() >= 1.0 {
         let bound = (est.len() / 2).max(8).min(est.len());
         assert!(

@@ -46,10 +46,14 @@ impl DBitFlip {
     /// Returns [`Error::InvalidParameter`] unless `1 ≤ d ≤ k` and `k ≥ 2`.
     pub fn new(k: u32, d: u32, epsilon: Epsilon) -> Result<Self> {
         if k < 2 {
-            return Err(Error::InvalidParameter(format!("need k >= 2 buckets, got {k}")));
+            return Err(Error::InvalidParameter(format!(
+                "need k >= 2 buckets, got {k}"
+            )));
         }
         if d == 0 || d > k {
-            return Err(Error::InvalidParameter(format!("need 1 <= d <= k, got d={d} k={k}")));
+            return Err(Error::InvalidParameter(format!(
+                "need 1 <= d <= k, got d={d} k={k}"
+            )));
         }
         let half = (epsilon.value() / 2.0).exp();
         Ok(Self {
@@ -81,7 +85,11 @@ impl DBitFlip {
     /// # Panics
     /// Panics if `value_bucket >= k`.
     pub fn randomize<R: Rng + ?Sized>(&self, value_bucket: u32, rng: &mut R) -> DBitReport {
-        assert!(value_bucket < self.k, "bucket {value_bucket} out of range {}", self.k);
+        assert!(
+            value_bucket < self.k,
+            "bucket {value_bucket} out of range {}",
+            self.k
+        );
         let mut buckets: Vec<u32> = sample(rng, self.k as usize, self.d as usize)
             .into_iter()
             .map(|i| i as u32)
@@ -211,7 +219,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 60_000;
         let mut agg = m.new_aggregator();
-        let mut truth = vec![0f64; 16];
+        let mut truth = [0f64; 16];
         for u in 0..n {
             // Skewed: bucket u%4 for most, bucket 8 for some.
             let b = if u % 10 == 0 { 8 } else { (u % 4) as u32 };

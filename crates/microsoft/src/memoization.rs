@@ -164,7 +164,8 @@ mod tests {
         let n = 100_000;
         let avg: f64 = (0..n)
             .map(|_| {
-                let c = MemoizedMeanClient::enroll(mech(), RoundingConfig::new(0.0).unwrap(), &mut rng);
+                let c =
+                    MemoizedMeanClient::enroll(mech(), RoundingConfig::new(0.0).unwrap(), &mut rng);
                 c.round(x)
             })
             .sum::<f64>()

@@ -84,8 +84,7 @@ impl OneBitMean {
     /// `max²·(e^ε+1)²/(4n(e^ε−1)²)`.
     pub fn worst_case_variance(&self, n: usize) -> f64 {
         let e = self.epsilon.exp();
-        self.max_value * self.max_value * (e + 1.0).powi(2)
-            / (4.0 * n as f64 * (e - 1.0).powi(2))
+        self.max_value * self.max_value * (e + 1.0).powi(2) / (4.0 * n as f64 * (e - 1.0).powi(2))
     }
 }
 
@@ -131,7 +130,10 @@ mod tests {
         let est = m.estimate_mean(&bits);
         let truth = 0.7 * 100.0 + 0.3 * 533.3333333333334;
         let sd = m.worst_case_variance(n).sqrt();
-        assert!((est - truth).abs() < 4.0 * sd, "est={est} truth={truth} sd={sd}");
+        assert!(
+            (est - truth).abs() < 4.0 * sd,
+            "est={est} truth={truth} sd={sd}"
+        );
     }
 
     #[test]

@@ -162,8 +162,14 @@ mod tests {
         let mean = pipeline.estimate_mean(&bits);
         assert!((mean - 50.0).abs() < 3.0, "mean={mean}");
         let hist = agg.estimate();
-        assert!(hist[2] > hist[0] * 3.0, "bucket 2 should dominate: {hist:?}");
-        assert!(hist[8] > hist[9] * 3.0, "bucket 8 should dominate: {hist:?}");
+        assert!(
+            hist[2] > hist[0] * 3.0,
+            "bucket 2 should dominate: {hist:?}"
+        );
+        assert!(
+            hist[8] > hist[9] * 3.0,
+            "bucket 8 should dominate: {hist:?}"
+        );
     }
 
     #[test]

@@ -120,7 +120,7 @@ mod tests {
         let clients: Vec<MemoizedHistogramClient> = (0..n)
             .map(|_| MemoizedHistogramClient::enroll(mechanism, &mut rng))
             .collect();
-        let mut truth = vec![0f64; 16];
+        let mut truth = [0f64; 16];
         let mut agg = mechanism.new_aggregator();
         for (i, c) in clients.iter().enumerate() {
             let b = (i % 4) as u32;

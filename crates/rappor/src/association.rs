@@ -36,7 +36,10 @@ pub struct JointEstimate {
 impl JointEstimate {
     /// Marginal over the first variable.
     pub fn marginal_first(&self) -> Vec<f64> {
-        self.probabilities.iter().map(|row| row.iter().sum()).collect()
+        self.probabilities
+            .iter()
+            .map(|row| row.iter().sum())
+            .collect()
     }
 
     /// Marginal over the second variable.
@@ -96,7 +99,10 @@ impl AssociationDecoder {
         cands_a: &[&[u8]],
         cands_b: &[&[u8]],
     ) -> JointEstimate {
-        assert!(!cands_a.is_empty() && !cands_b.is_empty(), "need candidates");
+        assert!(
+            !cands_a.is_empty() && !cands_b.is_empty(),
+            "need candidates"
+        );
         let (na, nb) = (cands_a.len(), cands_b.len());
         let k = self.params.bloom_bits();
         let h = self.params.hashes();
@@ -252,7 +258,10 @@ mod tests {
         let pairs = collect_pairs(800, 3);
         let e1 = decoder_1.decode(&pairs, &[b"search", b"portal"], &[b"en", b"de"]);
         let e20 = decoder_20.decode(&pairs, &[b"search", b"portal"], &[b"en", b"de"]);
-        assert!(e20.log_likelihood >= e1.log_likelihood, "EM must not decrease likelihood");
+        assert!(
+            e20.log_likelihood >= e1.log_likelihood,
+            "EM must not decrease likelihood"
+        );
         assert_eq!(e20.iterations, 20);
     }
 

@@ -164,8 +164,8 @@ mod tests {
             let r = c.report(b"target", &mut rng);
             r.bits.accumulate_into(&mut counts);
         }
-        for i in 0..64 {
-            let rate = counts[i] as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / n as f64;
             let expected = if sig.get(i) { q_star } else { p_star };
             assert!(
                 (rate - expected).abs() < 0.02,

@@ -60,7 +60,7 @@ impl DiscoveryConfig {
         if self.string_len == 0 || self.fragment_len == 0 {
             return Err(Error::InvalidParameter("lengths must be positive".into()));
         }
-        if self.string_len % self.fragment_len != 0 {
+        if !self.string_len.is_multiple_of(self.fragment_len) {
             return Err(Error::InvalidParameter(format!(
                 "fragment_len {} must divide string_len {}",
                 self.fragment_len, self.string_len
@@ -73,7 +73,9 @@ impl DiscoveryConfig {
             )));
         }
         if self.fragments_per_position == 0 || self.max_candidates == 0 {
-            return Err(Error::InvalidParameter("candidate caps must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "candidate caps must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -166,7 +168,9 @@ impl NGramDiscovery {
 
         // ---- Phase 1: per-position fragment frequency, via HR. ----
         let fragment_oracle = HadamardResponse::new(cfg.fragment_domain(), cfg.epsilon);
-        let mut aggs: Vec<_> = (0..positions).map(|_| fragment_oracle.new_aggregator()).collect();
+        let mut aggs: Vec<_> = (0..positions)
+            .map(|_| fragment_oracle.new_aggregator())
+            .collect();
         for (i, symbols) in &phase1 {
             // Each user is assigned one position (deterministic round-robin
             // stands in for uniform sampling; both give n/positions users
@@ -179,8 +183,11 @@ impl NGramDiscovery {
         let mut frequent: Vec<Vec<u64>> = Vec::with_capacity(positions);
         for agg in &aggs {
             let est = agg.estimate();
-            let mut indexed: Vec<(u64, f64)> =
-                est.iter().enumerate().map(|(v, &e)| (v as u64, e)).collect();
+            let mut indexed: Vec<(u64, f64)> = est
+                .iter()
+                .enumerate()
+                .map(|(v, &e)| (v as u64, e))
+                .collect();
             indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
             frequent.push(
                 indexed
@@ -306,7 +313,10 @@ mod tests {
         }
         let found = discovery.run(&population, &mut rng);
         assert!(!found.is_empty(), "should discover something");
-        assert_eq!(found[0].value, "google", "top string should be google: {found:?}");
+        assert_eq!(
+            found[0].value, "google",
+            "top string should be google: {found:?}"
+        );
         let reddit = found.iter().find(|d| d.value == "reddit");
         assert!(reddit.is_some(), "reddit should be discovered: {found:?}");
         // Estimates roughly proportional to the population.

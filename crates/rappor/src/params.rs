@@ -34,14 +34,23 @@ impl RapporParams {
     /// # Errors
     /// Rejects empty filters/hash sets/cohorts, probabilities outside
     /// `[0, 1)`, and non-informative channels (`q* ≤ p*`).
-    pub fn new(bloom_bits: usize, hashes: u32, cohorts: u32, f: f64, p: f64, q: f64) -> Result<Self> {
+    pub fn new(
+        bloom_bits: usize,
+        hashes: u32,
+        cohorts: u32,
+        f: f64,
+        p: f64,
+        q: f64,
+    ) -> Result<Self> {
         if bloom_bits == 0 || hashes == 0 || cohorts == 0 {
             return Err(Error::InvalidParameter(
                 "bloom_bits, hashes and cohorts must all be positive".into(),
             ));
         }
         if !(0.0..1.0).contains(&f) {
-            return Err(Error::InvalidParameter(format!("f must be in [0,1), got {f}")));
+            return Err(Error::InvalidParameter(format!(
+                "f must be in [0,1), got {f}"
+            )));
         }
         if !(0.0..1.0).contains(&p) || !(0.0..=1.0).contains(&q) {
             return Err(Error::InvalidParameter(format!(

@@ -64,7 +64,11 @@ impl RapporAggregator {
     pub fn accumulate(&mut self, report: &RapporReport) {
         let cohort = report.cohort as usize;
         assert!(cohort < self.counts.len(), "cohort {cohort} out of range");
-        assert_eq!(report.bits.len(), self.params.bloom_bits(), "report width mismatch");
+        assert_eq!(
+            report.bits.len(),
+            self.params.bloom_bits(),
+            "report width mismatch"
+        );
         report.bits.accumulate_into(&mut self.counts[cohort]);
         self.cohort_sizes[cohort] += 1;
     }
@@ -126,8 +130,7 @@ impl RapporAggregator {
         // with the noise level: sd of t_ij is ~ sqrt(n_i q*(1-q*))/(q*-p*).
         let (p_star, q_star) = self.params.effective_channel();
         let avg_cohort = self.reports() as f64 / m as f64;
-        let noise_sd =
-            (avg_cohort * q_star * (1.0 - q_star)).sqrt() / (q_star - p_star);
+        let noise_sd = (avg_cohort * q_star * (1.0 - q_star)).sqrt() / (q_star - p_star);
         let lambda = noise_sd * (2.0 * (n_cand.max(2) as f64).ln()).sqrt();
         let selected_coefs = lasso(&x, &y, lambda, true, 200, 1e-6);
         let support: Vec<usize> = (0..n_cand).filter(|&s| selected_coefs[s] > 1e-9).collect();
@@ -209,12 +212,11 @@ mod tests {
         for cohort in 0..2u32 {
             let sig = BloomFilter::signature(32, 2, cohort, b"only-value");
             let n_i = agg.cohort_sizes[cohort as usize] as f64;
-            for j in 0..32 {
+            for (j, &tj) in t[cohort as usize].iter().enumerate() {
                 let expected = if sig.get(j) { n_i } else { 0.0 };
                 assert!(
-                    (t[cohort as usize][j] - expected).abs() < n_i * 0.15 + 60.0,
-                    "cohort {cohort} bit {j}: {} vs {expected}",
-                    t[cohort as usize][j]
+                    (tj - expected).abs() < n_i * 0.15 + 60.0,
+                    "cohort {cohort} bit {j}: {tj} vs {expected}"
                 );
             }
         }
@@ -233,8 +235,16 @@ mod tests {
         let decoded = agg.decode(&candidates);
         assert!(decoded[0].selected, "alpha must be selected");
         assert!(decoded[1].selected, "beta must be selected");
-        assert!((decoded[0].estimate - 6000.0).abs() < 1200.0, "alpha={}", decoded[0].estimate);
-        assert!((decoded[1].estimate - 3000.0).abs() < 1000.0, "beta={}", decoded[1].estimate);
+        assert!(
+            (decoded[0].estimate - 6000.0).abs() < 1200.0,
+            "alpha={}",
+            decoded[0].estimate
+        );
+        assert!(
+            (decoded[1].estimate - 3000.0).abs() < 1000.0,
+            "beta={}",
+            decoded[1].estimate
+        );
         // Absent candidates should not beat real ones.
         assert!(decoded[3].estimate < decoded[1].estimate);
         assert!(decoded[4].estimate < decoded[1].estimate);

@@ -109,7 +109,9 @@ impl BitVec {
         self.words.iter().enumerate().flat_map(move |(wi, &w)| {
             let base = wi << 6;
             let len = self.len;
-            BitIter { word: w }.map(move |b| base + b).filter(move |&i| i < len)
+            BitIter { word: w }
+                .map(move |b| base + b)
+                .filter(move |&i| i < len)
         })
     }
 

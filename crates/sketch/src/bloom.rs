@@ -191,7 +191,7 @@ mod tests {
         for cohort in 0..8 {
             let sig = BloomFilter::signature(64, 3, cohort, b"xyz");
             let ones = sig.count_ones();
-            assert!(ones >= 1 && ones <= 3, "ones={ones}");
+            assert!((1..=3).contains(&ones), "ones={ones}");
         }
     }
 

@@ -49,7 +49,13 @@ impl CountMinSketch {
     pub fn new(rows: usize, width: usize, seed: u64) -> Self {
         assert!(rows > 0 && width > 0, "sketch dimensions must be positive");
         let hashes = (0..rows)
-            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15), width as u64))
+            .map(|r| {
+                PairwiseHash::from_seed(
+                    seed.wrapping_add(r as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    width as u64,
+                )
+            })
             .collect();
         Self {
             rows,
@@ -116,10 +122,22 @@ impl CountSketch {
     pub fn new(rows: usize, width: usize, seed: u64) -> Self {
         assert!(rows > 0 && width > 0, "sketch dimensions must be positive");
         let bucket_hashes = (0..rows)
-            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(2 * r as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95), width as u64))
+            .map(|r| {
+                PairwiseHash::from_seed(
+                    seed.wrapping_add(2 * r as u64 + 1)
+                        .wrapping_mul(0xd134_2543_de82_ef95),
+                    width as u64,
+                )
+            })
             .collect();
         let sign_hashes = (0..rows)
-            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(2 * r as u64).wrapping_mul(0xaf25_1af3_b0f0_25b5), 2))
+            .map(|r| {
+                PairwiseHash::from_seed(
+                    seed.wrapping_add(2 * r as u64)
+                        .wrapping_mul(0xaf25_1af3_b0f0_25b5),
+                    2,
+                )
+            })
             .collect();
         Self {
             rows,
@@ -206,7 +224,13 @@ impl CountMeanSketch {
         assert!(rows > 0, "rows must be positive");
         assert!(width >= 2, "width must be at least 2 for debiasing");
         let hashes = (0..rows)
-            .map(|r| PairwiseHash::from_seed(seed.wrapping_add(r as u64).wrapping_mul(0x2545_f491_4f6c_dd1d), width as u64))
+            .map(|r| {
+                PairwiseHash::from_seed(
+                    seed.wrapping_add(r as u64)
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d),
+                    width as u64,
+                )
+            })
             .collect();
         Self {
             rows,

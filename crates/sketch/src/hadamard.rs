@@ -37,7 +37,10 @@
 /// ```
 pub fn fwht(data: &mut [f64]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FWHT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FWHT length must be a power of two, got {n}"
+    );
     let mut h = 1;
     while h < n {
         for chunk_start in (0..n).step_by(h * 2) {
@@ -78,7 +81,7 @@ pub fn fwht_normalized(data: &mut [f64]) {
 /// ```
 #[inline]
 pub fn hadamard_entry(row: u64, col: u64) -> i8 {
-    if (row & col).count_ones() % 2 == 0 {
+    if (row & col).count_ones().is_multiple_of(2) {
         1
     } else {
         -1

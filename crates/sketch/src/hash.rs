@@ -368,8 +368,19 @@ mod tests {
 
     #[test]
     fn mod_mersenne61_agrees_with_naive() {
-        for &x in &[0u128, 1, MERSENNE_61 as u128, (MERSENNE_61 as u128) + 5, u64::MAX as u128, u128::MAX >> 3] {
-            assert_eq!(mod_mersenne61(x) as u128, x % (MERSENNE_61 as u128), "x={x}");
+        for &x in &[
+            0u128,
+            1,
+            MERSENNE_61 as u128,
+            (MERSENNE_61 as u128) + 5,
+            u64::MAX as u128,
+            u128::MAX >> 3,
+        ] {
+            assert_eq!(
+                mod_mersenne61(x) as u128,
+                x % (MERSENNE_61 as u128),
+                "x={x}"
+            );
         }
     }
 

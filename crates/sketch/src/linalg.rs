@@ -75,12 +75,10 @@ impl Matrix {
     /// Panics if `v.len() != cols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
-        let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
-        }
-        out
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// `selfᵀ · v` for a vector `v`.
@@ -90,9 +88,7 @@ impl Matrix {
     pub fn transpose_matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let vr = v[r];
+        for (row, &vr) in self.data.chunks_exact(self.cols).zip(v) {
             if vr == 0.0 {
                 continue;
             }
@@ -172,8 +168,8 @@ pub fn least_squares(a: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for k in (0..n).rev() {
         let mut s = qtb[k];
-        for c in k + 1..n {
-            s -= r.get(k, c) * x[c];
+        for (c, &xc) in x.iter().enumerate().skip(k + 1) {
+            s -= r.get(k, c) * xc;
         }
         let diag = r.get(k, k);
         x[k] = if diag.abs() < 1e-12 { 0.0 } else { s / diag };
@@ -216,7 +212,14 @@ pub fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics if `b.len() != A.rows()` or `lambda < 0`.
-pub fn lasso(a: &Matrix, b: &[f64], lambda: f64, nonnegative: bool, max_iter: usize, tol: f64) -> Vec<f64> {
+pub fn lasso(
+    a: &Matrix,
+    b: &[f64],
+    lambda: f64,
+    nonnegative: bool,
+    max_iter: usize,
+    tol: f64,
+) -> Vec<f64> {
     assert!(lambda >= 0.0, "lambda must be non-negative");
     assert_eq!(b.len(), a.rows(), "rhs length mismatch");
     let n = a.cols();
@@ -234,10 +237,10 @@ pub fn lasso(a: &Matrix, b: &[f64], lambda: f64, nonnegative: bool, max_iter: us
             }
             // rho = A_j . (resid + A_j x_j)  — partial residual correlation.
             let mut rho = 0.0;
-            for r in 0..a.rows() {
+            for (r, &res) in resid.iter().enumerate() {
                 let aij = a.get(r, j);
                 if aij != 0.0 {
-                    rho += aij * resid[r];
+                    rho += aij * res;
                 }
             }
             rho += nj * x[j];
@@ -254,10 +257,10 @@ pub fn lasso(a: &Matrix, b: &[f64], lambda: f64, nonnegative: bool, max_iter: us
             }
             let delta = new_xj - x[j];
             if delta != 0.0 {
-                for r in 0..a.rows() {
+                for (r, res) in resid.iter_mut().enumerate() {
                     let aij = a.get(r, j);
                     if aij != 0.0 {
-                        resid[r] -= aij * delta;
+                        *res -= aij * delta;
                     }
                 }
                 x[j] = new_xj;
@@ -325,7 +328,11 @@ mod tests {
         let b = [6.0, 5.0, 7.0, 10.0];
         let x = least_squares(&a, &b);
         let res = |x: &[f64]| -> f64 {
-            a.matvec(x).iter().zip(&b).map(|(p, y)| (p - y).powi(2)).sum()
+            a.matvec(x)
+                .iter()
+                .zip(&b)
+                .map(|(p, y)| (p - y).powi(2))
+                .sum()
         };
         let base = res(&x);
         for d in [-0.01, 0.01] {

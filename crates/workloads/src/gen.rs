@@ -93,7 +93,12 @@ pub fn uniform_population<R: Rng + ?Sized>(n: usize, d: u64, rng: &mut R) -> Vec
 
 /// Discretized Gaussian over `[0, d)`: values cluster around `d/2` with
 /// the given relative standard deviation (as a fraction of `d`).
-pub fn gaussian_population<R: Rng + ?Sized>(n: usize, d: u64, rel_sd: f64, rng: &mut R) -> Vec<u64> {
+pub fn gaussian_population<R: Rng + ?Sized>(
+    n: usize,
+    d: u64,
+    rel_sd: f64,
+    rng: &mut R,
+) -> Vec<u64> {
     assert!(d > 0 && rel_sd > 0.0, "need positive domain and spread");
     let mean = d as f64 / 2.0;
     let sd = rel_sd * d as f64;
@@ -147,7 +152,10 @@ impl NumericStream {
         rng: &mut R,
     ) -> Self {
         assert!(max_value > 0.0, "max_value must be positive");
-        assert!(drift_per_round >= 0.0 && jitter >= 0.0, "drift/jitter must be non-negative");
+        assert!(
+            drift_per_round >= 0.0 && jitter >= 0.0,
+            "drift/jitter must be non-negative"
+        );
         let bases = (0..users).map(|_| rng.gen_range(0.0..max_value)).collect();
         Self {
             max_value,
@@ -263,7 +271,11 @@ mod tests {
         let r5 = s.round_values(5, &mut rng);
         assert!(r0.iter().all(|&v| (0.0..=60.0).contains(&v)));
         // Drift changes values.
-        let moved = r0.iter().zip(&r5).filter(|(a, b)| (*a - *b).abs() > 1.0).count();
+        let moved = r0
+            .iter()
+            .zip(&r5)
+            .filter(|(a, b)| (*a - *b).abs() > 1.0)
+            .count();
         assert!(moved > 50, "drift should move most values: {moved}");
     }
 

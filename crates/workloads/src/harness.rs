@@ -48,7 +48,10 @@ impl Trials {
             .map(|t| f(self.base_seed + t as u64))
             .collect();
         let mean = outcomes.iter().sum::<f64>() / outcomes.len() as f64;
-        let var = outcomes.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        let var = outcomes
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
             / outcomes.len() as f64;
         TrialStats {
             mean,

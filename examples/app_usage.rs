@@ -24,7 +24,10 @@ fn main() {
     let stream = NumericStream::new(n, max_seconds, 0.02, 0.01, &mut rng);
     let values = stream.round_values(0, &mut rng);
     let truth = values.iter().sum::<f64>() / n as f64;
-    let bits: Vec<bool> = values.iter().map(|&x| mech.randomize(x, &mut rng)).collect();
+    let bits: Vec<bool> = values
+        .iter()
+        .map(|&x| mech.randomize(x, &mut rng))
+        .collect();
     println!(
         "1BitMean over {n} devices: estimate {:.1}s vs true {:.1}s (predicted sd {:.1}s)",
         mech.estimate_mean(&bits),
@@ -44,10 +47,12 @@ fn main() {
     let est = agg.estimate();
     for (i, &c) in est.iter().enumerate() {
         let bar = "#".repeat((c / n as f64 * 200.0).max(0.0) as usize);
-        println!("  [{:>4.0}-{:>4.0}s] {:>8.0} {bar}",
+        println!(
+            "  [{:>4.0}-{:>4.0}s] {:>8.0} {bar}",
             i as f64 * max_seconds / buckets as f64,
             (i + 1) as f64 * max_seconds / buckets as f64,
-            c);
+            c
+        );
     }
 
     // --- Memoized repeated collection. ---

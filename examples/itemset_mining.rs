@@ -38,8 +38,8 @@ fn main() {
         })
         .collect();
 
-    let miner = LdpMiner::new(domain, 6, 6, Epsilon::new(3.0).expect("valid eps"))
-        .expect("valid miner");
+    let miner =
+        LdpMiner::new(domain, 6, 6, Epsilon::new(3.0).expect("valid eps")).expect("valid miner");
     let found = miner.run(&sets, &mut rng);
 
     println!("top installed apps from {n} users (ε=3, pad-and-sample l=6):\n");

@@ -40,7 +40,10 @@ fn main() {
     let grid = UniformGrid::new(12, eps).expect("valid granularity");
     let est = grid.collect(&points, &mut rng);
 
-    println!("private density heat map (12x12, ε=2, {} users):\n", points.len());
+    println!(
+        "private density heat map (12x12, ε=2, {} users):\n",
+        points.len()
+    );
     let max = est.counts().iter().cloned().fold(0.0, f64::max);
     for cy in (0..12).rev() {
         let row: String = (0..12)

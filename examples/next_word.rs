@@ -36,8 +36,9 @@ fn main() {
     let n = 200_000;
     let texts: Vec<Vec<u64>> = (0..n).map(|_| sample_sentence(&mut rng)).collect();
 
-    let collector = PrivateBigramCollector::new(VOCAB.len() as u64, Epsilon::new(2.0).expect("valid eps"))
-        .expect("valid vocab");
+    let collector =
+        PrivateBigramCollector::new(VOCAB.len() as u64, Epsilon::new(2.0).expect("valid eps"))
+            .expect("valid vocab");
     let reports: Vec<_> = texts
         .iter()
         .filter_map(|t| collector.randomize(t, &mut rng))
@@ -47,8 +48,16 @@ fn main() {
 
     println!("next-word suggestions from {n} users (ε=2):\n");
     for &ctx in &[0u64, 1, 2, 6] {
-        let private_top: Vec<&str> = private.predict(ctx, 3).iter().map(|&t| VOCAB[t as usize]).collect();
-        let exact_top: Vec<&str> = exact.predict(ctx, 3).iter().map(|&t| VOCAB[t as usize]).collect();
+        let private_top: Vec<&str> = private
+            .predict(ctx, 3)
+            .iter()
+            .map(|&t| VOCAB[t as usize])
+            .collect();
+        let exact_top: Vec<&str> = exact
+            .predict(ctx, 3)
+            .iter()
+            .map(|&t| VOCAB[t as usize])
+            .collect();
         println!(
             "after {:<6} private suggests {:?}   (exact model: {:?})",
             format!("'{}':", VOCAB[ctx as usize]),

@@ -37,8 +37,14 @@ fn main() {
     let est = agg.estimate();
     let sd = oracle.noise_floor_variance(n).sqrt();
 
-    println!("ε = {} | n = {n} | per-item noise sd ≈ {sd:.0}\n", eps.value());
-    println!("{:>6} {:>10} {:>10} {:>8}", "item", "true", "estimate", "err/sd");
+    println!(
+        "ε = {} | n = {n} | per-item noise sd ≈ {sd:.0}\n",
+        eps.value()
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "item", "true", "estimate", "err/sd"
+    );
     for i in 0..d as usize {
         println!(
             "{:>6} {:>10.0} {:>10.0} {:>8.2}",

@@ -9,8 +9,8 @@
 //! dictionary* extension: discovering frequent URLs the server never
 //! listed as candidates.
 
-use ldp::rappor::{DiscoveryConfig, NGramDiscovery, RapporAggregator, RapporClient, RapporParams};
 use ldp::core::Epsilon;
+use ldp::rappor::{DiscoveryConfig, NGramDiscovery, RapporAggregator, RapporClient, RapporParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

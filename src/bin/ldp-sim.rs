@@ -90,7 +90,10 @@ fn run<O: FrequencyOracle>(oracle: O, args: &Args) {
     );
     let sd = oracle.noise_floor_variance(args.users).sqrt();
     println!("analytic noise sd ≈ {sd:.1} counts\n");
-    println!("{:>6} {:>12} {:>12} {:>8}", "item", "true", "estimate", "err/sd");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "item", "true", "estimate", "err/sd"
+    );
     for i in 0..args.top.min(args.domain as usize) {
         println!(
             "{:>6} {:>12.0} {:>12.0} {:>8.2}",
@@ -132,11 +135,26 @@ fn main() {
         }
     };
     match args.mechanism.as_str() {
-        "grr" => run(DirectEncoding::new(args.domain, eps).expect("domain >= 2"), &args),
-        "sue" => run(SymmetricUnaryEncoding::new(args.domain, eps).expect("domain >= 2"), &args),
-        "oue" => run(OptimizedUnaryEncoding::new(args.domain, eps).expect("domain >= 2"), &args),
-        "she" => run(SummationHistogramEncoding::new(args.domain, eps).expect("domain >= 2"), &args),
-        "the" => run(ThresholdHistogramEncoding::new(args.domain, eps).expect("domain >= 2"), &args),
+        "grr" => run(
+            DirectEncoding::new(args.domain, eps).expect("domain >= 2"),
+            &args,
+        ),
+        "sue" => run(
+            SymmetricUnaryEncoding::new(args.domain, eps).expect("domain >= 2"),
+            &args,
+        ),
+        "oue" => run(
+            OptimizedUnaryEncoding::new(args.domain, eps).expect("domain >= 2"),
+            &args,
+        ),
+        "she" => run(
+            SummationHistogramEncoding::new(args.domain, eps).expect("domain >= 2"),
+            &args,
+        ),
+        "the" => run(
+            ThresholdHistogramEncoding::new(args.domain, eps).expect("domain >= 2"),
+            &args,
+        ),
         "blh" => run(BinaryLocalHashing::new(args.domain, eps), &args),
         "olh" => run(OptimizedLocalHashing::new(args.domain, eps), &args),
         "hr" => run(HadamardResponse::new(args.domain, eps), &args),

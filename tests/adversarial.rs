@@ -19,7 +19,10 @@ fn malformed_unary_report_panics() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         agg.accumulate(&bad);
     }));
-    assert!(result.is_err(), "width mismatch must panic, not corrupt state");
+    assert!(
+        result.is_err(),
+        "width mismatch must panic, not corrupt state"
+    );
 }
 
 #[test]

@@ -57,8 +57,9 @@ fn microsoft_pipeline_longitudinal_mean() {
     let config = RoundingConfig::new(0.05).expect("valid gamma");
     let mut rng = StdRng::seed_from_u64(300);
     let n = 60_000;
-    let clients: Vec<MemoizedMeanClient> =
-        (0..n).map(|_| MemoizedMeanClient::enroll(mech, config, &mut rng)).collect();
+    let clients: Vec<MemoizedMeanClient> = (0..n)
+        .map(|_| MemoizedMeanClient::enroll(mech, config, &mut rng))
+        .collect();
     // True mean 40: values 20/60 half-half.
     for round in 0..3 {
         let bits: Vec<bool> = clients
@@ -91,21 +92,30 @@ fn marginals_pipeline_three_way() {
     use ldp::analytics::marginals::{exact_marginal, FourierMarginals, MarginalQuery};
     let d = 6u32;
     let q = MarginalQuery::from_attrs(&[0, 2, 4]);
-    let fm = FourierMarginals::new(d, &[q], Epsilon::new(2.0).expect("valid eps")).expect("valid query");
+    let fm =
+        FourierMarginals::new(d, &[q], Epsilon::new(2.0).expect("valid eps")).expect("valid query");
     let mut rng = StdRng::seed_from_u64(500);
     let data: Vec<u64> = (0..80_000)
         .map(|_| {
             let a: u64 = rng.gen_bool(0.7) as u64;
             let c: u64 = if rng.gen_bool(0.8) { a } else { 1 - a };
             let e: u64 = rng.gen_bool(0.5) as u64;
-            a | (rng.gen_bool(0.5) as u64) << 1 | c << 2 | (rng.gen_bool(0.5) as u64) << 3 | e << 4
+            a | (rng.gen_bool(0.5) as u64) << 1
+                | c << 2
+                | (rng.gen_bool(0.5) as u64) << 3
+                | e << 4
                 | (rng.gen_bool(0.5) as u64) << 5
         })
         .collect();
     let coeffs = fm.collect(&data, &mut rng);
     let est = fm.reconstruct(&coeffs, q);
     let truth = exact_marginal(&data, q);
-    for (cell, (&e, &t)) in est.probabilities.iter().zip(&truth.probabilities).enumerate() {
+    for (cell, (&e, &t)) in est
+        .probabilities
+        .iter()
+        .zip(&truth.probabilities)
+        .enumerate()
+    {
         assert!((e - t).abs() < 0.05, "cell {cell}: {e} vs {t}");
     }
 }

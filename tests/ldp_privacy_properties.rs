@@ -45,8 +45,8 @@ fn grr_is_eps_ldp() {
     let m = DirectEncoding::new(8, Epsilon::new(EPS).expect("valid eps")).expect("valid domain");
     let mut rng = StdRng::seed_from_u64(2);
     // Output histograms under inputs 0 and 1.
-    let mut h0 = vec![0u64; 8];
-    let mut h1 = vec![0u64; 8];
+    let mut h0 = [0u64; 8];
+    let mut h1 = [0u64; 8];
     for _ in 0..N {
         h0[m.randomize(0, &mut rng) as usize] += 1;
         h1[m.randomize(1, &mut rng) as usize] += 1;
@@ -64,7 +64,8 @@ fn grr_is_eps_ldp() {
 fn oue_per_bit_channels_compose_to_eps() {
     // For unary encodings the full-report ratio is the product over the
     // (at most two) differing bit positions; verify per-bit channels.
-    let m = OptimizedUnaryEncoding::new(8, Epsilon::new(EPS).expect("valid eps")).expect("valid domain");
+    let m = OptimizedUnaryEncoding::new(8, Epsilon::new(EPS).expect("valid eps"))
+        .expect("valid domain");
     let (p, q) = m.probabilities();
     // Worst-case composed ratio across the two differing bits:
     let ratio = (p / q) * ((1.0 - q) / (1.0 - p));

@@ -43,37 +43,58 @@ fn check_unbiased<O: FrequencyOracle>(oracle: O, seed0: u64) {
 
 #[test]
 fn grr_unbiased() {
-    check_unbiased(DirectEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 1000);
+    check_unbiased(
+        DirectEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"),
+        1000,
+    );
 }
 
 #[test]
 fn sue_unbiased() {
-    check_unbiased(SymmetricUnaryEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 2000);
+    check_unbiased(
+        SymmetricUnaryEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"),
+        2000,
+    );
 }
 
 #[test]
 fn oue_unbiased() {
-    check_unbiased(OptimizedUnaryEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 3000);
+    check_unbiased(
+        OptimizedUnaryEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"),
+        3000,
+    );
 }
 
 #[test]
 fn the_unbiased() {
-    check_unbiased(ThresholdHistogramEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"), 4000);
+    check_unbiased(
+        ThresholdHistogramEncoding::new(D, Epsilon::new(1.0).expect("eps")).expect("domain"),
+        4000,
+    );
 }
 
 #[test]
 fn olh_unbiased() {
-    check_unbiased(OptimizedLocalHashing::new(D, Epsilon::new(1.0).expect("eps")), 5000);
+    check_unbiased(
+        OptimizedLocalHashing::new(D, Epsilon::new(1.0).expect("eps")),
+        5000,
+    );
 }
 
 #[test]
 fn hr_unbiased() {
-    check_unbiased(HadamardResponse::new(D, Epsilon::new(1.0).expect("eps")), 6000);
+    check_unbiased(
+        HadamardResponse::new(D, Epsilon::new(1.0).expect("eps")),
+        6000,
+    );
 }
 
 #[test]
 fn ss_unbiased() {
-    check_unbiased(SubsetSelection::new(D, Epsilon::new(1.0).expect("eps")), 7000);
+    check_unbiased(
+        SubsetSelection::new(D, Epsilon::new(1.0).expect("eps")),
+        7000,
+    );
 }
 
 #[test]
@@ -111,9 +132,16 @@ fn norm_sub_preserves_total_and_improves_mse_after_collection() {
     let total: f64 = post.iter().sum();
     assert!((total - 20_000.0).abs() < 1e-6);
     let mse = |est: &[f64]| -> f64 {
-        est.iter().zip(&truth).map(|(e, t)| (e - t).powi(2)).sum::<f64>() / 256.0
+        est.iter()
+            .zip(&truth)
+            .map(|(e, t)| (e - t).powi(2))
+            .sum::<f64>()
+            / 256.0
     };
-    assert!(mse(&post) < mse(&raw), "norm-sub should reduce MSE on skewed data");
+    assert!(
+        mse(&post) < mse(&raw),
+        "norm-sub should reduce MSE on skewed data"
+    );
 }
 
 #[test]
@@ -122,7 +150,9 @@ fn report_size_ladder_is_as_documented() {
     let eps = Epsilon::new(1.0).expect("eps");
     let d = 1u64 << 20;
     let grr = DirectEncoding::new(d, eps).expect("domain").report_bits();
-    let oue = OptimizedUnaryEncoding::new(d, eps).expect("domain").report_bits();
+    let oue = OptimizedUnaryEncoding::new(d, eps)
+        .expect("domain")
+        .report_bits();
     let olh = OptimizedLocalHashing::new(d, eps).report_bits();
     let hr = HadamardResponse::new(d, eps).report_bits();
     assert_eq!(grr, 20);

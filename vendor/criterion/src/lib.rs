@@ -1,0 +1,320 @@
+//! Vendored stand-in for the subset of the [`criterion`] 0.5 API that the
+//! `ldp` workspace's benches use.
+//!
+//! The build environment has no access to a crates registry, so this
+//! crate implements a small but *working* wall-clock benchmark harness:
+//! [`Bencher::iter`] warms up, picks an iteration count targeting the
+//! group's measurement time, takes `sample_size` samples, and prints the
+//! median / min / max time per iteration (plus throughput when
+//! configured). There are no plots, no statistics beyond the quantiles,
+//! and no saved baselines — enough to compare hot paths run-to-run.
+//!
+//! [`criterion`]: https://docs.rs/criterion/0.5
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group; reported as
+/// elements/sec or bytes/sec next to the timing line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering,
+/// mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"oue/256"` from a name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter rendering.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median / min / max nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via a sink so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, counting how
+        // many iterations fit so we can size the measured batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim each sample at measurement_time / sample_size seconds.
+        let sample_budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter) as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let median = samples_ns[samples_ns.len() / 2];
+        self.result = Some((median, samples_ns[0], samples_ns[samples_ns.len() - 1]));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing sample/timing settings,
+/// mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput, so results are
+    /// also reported as elements- or bytes-per-second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        let Some((median, lo, hi)) = b.result else {
+            println!(
+                "{}/{id}: no measurement (closure never called iter)",
+                self.name
+            );
+            return;
+        };
+        let mut line = format!(
+            "{}/{id}: median {} [min {}, max {}]",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!("  ({:.3e} elem/s)", n as f64 / (median * 1e-9)));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!("  ({:.3e} B/s)", n as f64 / (median * 1e-9)));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark; the closure receives the input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (upstream consumes `self`; here it only marks
+    /// the group's end in the output).
+    pub fn finish(self) {
+        println!("— group {} done —", self.name);
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    benchmarks_run: usize,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            benchmarks_run: 0,
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up, self.measurement);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            warm_up,
+            measurement,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+
+    /// Number of benchmarks completed so far (used by `criterion_main!`).
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..128u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("oue", 256).to_string(), "oue/256");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn ns_formatting_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

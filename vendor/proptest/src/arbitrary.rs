@@ -1,0 +1,34 @@
+//! `any::<T>()` — the "arbitrary value of T" strategy.
+
+use crate::strategy::Strategy;
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use std::marker::PhantomData;
+
+/// Strategy returned by [`any`]: samples `T` from the natural
+/// full-range distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// An arbitrary value of `T`: full-range uniform for integers, `[0, 1)`
+/// for floats, fair coin for `bool` — mirroring `proptest::prelude::any`
+/// for the primitive types this workspace tests with.
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+    T: std::fmt::Debug,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+    T: std::fmt::Debug,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        Standard.sample(rng)
+    }
+}

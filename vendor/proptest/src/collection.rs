@@ -1,0 +1,94 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies: a fixed size or a
+/// range of sizes, mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {}..{}", r.start, r.end);
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy returned by [`vec`]: independent element draws with a
+/// length drawn from the size range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements are
+/// drawn independently from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = rng_for_test("collection");
+        for _ in 0..50 {
+            assert_eq!(vec(any::<bool>(), 97).sample(&mut rng).len(), 97);
+            let l = vec(0u64..5, 1..40).sample(&mut rng).len();
+            assert!((1..40).contains(&l));
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategies_compose() {
+        let mut rng = rng_for_test("nested");
+        let rows = vec(vec(any::<bool>(), 7), 1..4).sample(&mut rng);
+        assert!((1..4).contains(&rows.len()));
+        assert!(rows.iter().all(|r| r.len() == 7));
+    }
+}

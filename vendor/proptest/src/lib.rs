@@ -1,0 +1,154 @@
+//! Vendored stand-in for the subset of the [`proptest`] 1.x API that the
+//! `ldp` workspace uses: the [`proptest!`] macro over range strategies,
+//! [`test_runner::Config`] (a.k.a. `ProptestConfig`), and the
+//! `prop_assert*` macros.
+//!
+//! The build environment has no access to a crates registry, so this
+//! crate implements random-input property testing directly: each
+//! generated `#[test]` draws `cases` independent samples from its
+//! strategies using a deterministic per-test seed and runs the body on
+//! each. There is no shrinking — on failure the panic message reports
+//! the case number and drawn inputs so the case can be replayed by
+//! seed.
+//!
+//! [`proptest`]: https://docs.rs/proptest/1
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a `#[test]` that draws `Config::cases` samples from the
+/// strategies and runs the body on each.
+///
+/// Supports the optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+
+    (
+        $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $(#[test] fn $name($($arg in $strat),+) $body)*);
+    };
+
+    (@impl ($cfg:expr);
+        $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::Config = $cfg;
+                // Derive a deterministic per-test seed from the test name
+                // so sibling tests see independent streams.
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = ($strat).sample(&mut rng);)+
+                    // Render inputs before the body runs: the body may
+                    // move them (upstream proptest clones for the same
+                    // reason).
+                    let described_inputs =
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(cause) = result {
+                        panic!(
+                            "property {} failed at case {case}/{} with inputs: {described_inputs}\ncause: {}",
+                            stringify!($name),
+                            config.cases,
+                            $crate::test_runner::panic_message(&*cause),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body (panics on failure, like
+/// `assert!` — this stand-in has no failure-persistence channel).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when an assumption does not hold. Without a
+/// rejection-accounting runner this simply returns from the case body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u64> {
+        1u64..10
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in small(), y in 0.5f64..2.0, z in -3i64..=3) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+            prop_assert!((-3..=3).contains(&z));
+        }
+
+        #[test]
+        fn bodies_see_fresh_draws(a in 0u64..1000, b in 0u64..1000) {
+            // Not a tautology: a and b come from one stream but separate
+            // draws, so equality should be rare; just exercise both.
+            prop_assert_eq!(a, a);
+            prop_assert_ne!((a, 0u64), (b, 1u64));
+        }
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        let caught = std::panic::catch_unwind(|| panic!("plain message")).unwrap_err();
+        assert_eq!(crate::test_runner::panic_message(&*caught), "plain message");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(crate::test_runner::panic_message(&*caught), "formatted 42");
+    }
+}

@@ -1,0 +1,99 @@
+//! Input strategies: how a property test draws each argument.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of one type, mirroring the sampling half of
+/// `proptest::strategy::Strategy` (no shrinking in this stand-in).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields the same value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String strategies from pattern literals, supporting the `.{m,n}`
+/// shape upstream proptest accepts as a regex (`"value in \".{1,20}\""`):
+/// a string of `m..=n` printable-ASCII characters. Any other pattern is
+/// treated as a literal and returned verbatim.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| char::from(rng.gen_range(0x20u8..0x7f)))
+                .collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+/// Parses `".{m,n}"` into `(m, n)`; returns `None` for anything else.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn dot_repeat_patterns_generate_in_length_band() {
+        let mut rng = rng_for_test("strings");
+        for _ in 0..200 {
+            let s = ".{1,20}".sample(&mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "len {}", s.len());
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let empty_ok = ".{0,32}".sample(&mut rng);
+            assert!(empty_ok.chars().count() <= 32);
+        }
+    }
+
+    #[test]
+    fn non_regex_patterns_are_literal() {
+        let mut rng = rng_for_test("literal");
+        assert_eq!("hello".sample(&mut rng), "hello");
+    }
+}

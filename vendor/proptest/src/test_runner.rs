@@ -1,0 +1,64 @@
+//! The runner configuration and the helpers the [`proptest!`](crate::proptest)
+//! macro expands to.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration; the only knob this stand-in honors is `cases`.
+/// Exported as `ProptestConfig` from the prelude, like upstream.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    /// 256 cases, matching upstream proptest's default.
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic per-test generator: hashes the test name (FNV-1a) into a
+/// seed so each property sees an independent but reproducible stream.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Extracts a readable message from a `catch_unwind` payload.
+pub fn panic_message(cause: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = cause.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = cause.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn per_test_streams_differ_and_reproduce() {
+        let a1 = rng_for_test("alpha").next_u64();
+        let a2 = rng_for_test("alpha").next_u64();
+        let b = rng_for_test("beta").next_u64();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+}

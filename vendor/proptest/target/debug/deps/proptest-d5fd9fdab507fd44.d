@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-d5fd9fdab507fd44.d: src/lib.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-d5fd9fdab507fd44: src/lib.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/strategy.rs:
+src/test_runner.rs:

@@ -1,0 +1,228 @@
+//! Distributions: the [`Standard`] distribution behind `Rng::gen`, and
+//! the uniform-range machinery behind `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`, sampleable with any generator.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: full-range uniform for integers,
+/// `[0, 1)` uniform for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        crate::unit_f32(rng.next_u32())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample a `T` from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform value from the range. Panics if empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Multiplies a uniform 64-bit draw into `[0, span)` (Lemire's
+    /// multiply-shift; bias is at most 2⁻⁶⁴·span, far below anything the
+    /// workspace's statistical tolerances can see).
+    #[inline]
+    fn mul_shift(word: u64, span: u64) -> u64 {
+        ((word as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty => $u:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "gen_range: empty range {}..{}", self.start, self.end
+                    );
+                    // The wrapping difference must be reinterpreted as the
+                    // *same-width* unsigned type before widening: going
+                    // straight to u64 would sign-extend a narrow signed
+                    // span (e.g. -100i8..100 has span 200 = -56i8).
+                    let span = self.end.wrapping_sub(self.start) as $u as u64;
+                    self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $u as $t)
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                    let span = (hi.wrapping_sub(lo) as $u as u64).wrapping_add(1);
+                    if span == 0 || span > <$u>::MAX as u64 {
+                        // Full-width inclusive range: every word is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(mul_shift(rng.next_u64(), span) as $u as $t)
+                }
+            }
+        )*};
+    }
+    int_range!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    );
+
+    macro_rules! float_range {
+        ($($t:ty => $unit:path),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "gen_range: empty range {}..{}", self.start, self.end
+                    );
+                    let u = $unit(rng.next_u64() as _) as $t;
+                    // lo + u·(hi − lo) for u in [0, 1); rounding can land
+                    // exactly on `end`, so clamp to the largest value
+                    // below it (next_down is correct at any magnitude,
+                    // where an epsilon-scaled nudge can round back up).
+                    let x = self.start + u * (self.end - self.start);
+                    if x >= self.end { self.end.next_down().max(self.start) } else { x }
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                    let u = $unit(rng.next_u64() as _) as $t;
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_range!(f64 => crate::unit_f64, f32 => crate::distributions::unit_f32_from_u64);
+}
+
+/// `f32` unit sampler fed from a full 64-bit word (keeps the two float
+/// paths symmetric in the macro above).
+#[inline]
+pub(crate) fn unit_f32_from_u64(x: u64) -> f32 {
+    crate::unit_f32((x >> 32) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_never_reaches_end() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let x = (0.0f64..1e-9).sample_single(&mut rng);
+            assert!((0.0..1e-9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn narrow_signed_ranges_stay_in_bounds() {
+        // Regression: spans exceeding the signed type's positive half
+        // (-100i8..100 has span 200) must not sign-extend when widened.
+        let mut rng = StdRng::seed_from_u64(17);
+        let (mut lo_half, mut hi_half) = (0, 0);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&x), "i8 out of range: {x}");
+            if x < 0 {
+                lo_half += 1;
+            } else {
+                hi_half += 1;
+            }
+            let y = rng.gen_range(-30_000i16..=30_000);
+            assert!((-30_000..=30_000).contains(&y), "i16 out of range: {y}");
+            let z = rng.gen_range(i32::MIN..=i32::MAX);
+            let _ = z; // full-width inclusive must not panic
+        }
+        // Both halves of the asymmetric-looking span must be hit.
+        assert!(
+            lo_half > 3000 && hi_half > 3000,
+            "lo={lo_half} hi={hi_half}"
+        );
+    }
+
+    #[test]
+    fn float_range_half_open_at_large_magnitude() {
+        // Regression: at 1e16 the old epsilon-scaled clamp rounded back
+        // up to `end`; next_down must keep the range half-open.
+        let mut rng = StdRng::seed_from_u64(18);
+        let (lo, hi) = (1e16f64, 1e16f64 + 2.0);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(lo..hi);
+            assert!(x >= lo && x < hi, "x = {x} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn signed_range_spans_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut neg, mut pos) = (0, 0);
+        for _ in 0..1000 {
+            match rng.gen_range(-5i64..5) {
+                x if x < 0 => neg += 1,
+                _ => pos += 1,
+            }
+        }
+        assert!(neg > 300 && pos > 300, "neg={neg} pos={pos}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Vendored stand-in for the subset of the [`rand`] 0.8 API that the `ldp`
+//! workspace uses.
+//!
+//! The build environment has no access to a crates registry, so this crate
+//! provides a *functional* (not mocked) implementation of exactly the
+//! surface the workspace consumes:
+//!
+//! * [`RngCore`] / [`Rng`] (with the blanket `impl Rng for R: RngCore`)
+//! * [`SeedableRng`] with [`SeedableRng::seed_from_u64`]
+//! * [`rngs::StdRng`] — here backed by xoshiro256++ (public domain
+//!   construction by Blackman & Vigna) seeded through SplitMix64
+//! * `gen_range` over integer and float `Range` / `RangeInclusive`
+//! * `gen_bool`, `gen::<T>()` via [`distributions::Standard`]
+//! * [`seq::index::sample`] (partial Fisher–Yates)
+//!
+//! The streams produced do **not** match upstream `rand`'s `StdRng`
+//! (ChaCha12); every statistical tolerance in the workspace is calibrated
+//! against this implementation's output under fixed seeds.
+//!
+//! [`rand`]: https://docs.rs/rand/0.8
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of uniform `u32`/`u64`
+/// words and raw bytes. Object-safe, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next uniformly distributed `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (including `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution: integers are
+    /// uniform over their full range, `f64`/`f32` are uniform in `[0, 1)`.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        // A uniform draw in [0, 1) is < p with probability exactly p for
+        // p = 1.0 (always true) and p = 0.0 (always false) as well.
+        crate::unit_f64(self.next_u64()) < p
+    }
+
+    /// Fills `dest` with random bytes (alias for [`RngCore::fill_bytes`]).
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed, for
+/// reproducible streams.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it into a full seed
+    /// with SplitMix64 (the standard seeding recipe for xoshiro).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm);
+            for (b, src) in chunk.iter_mut().zip(word.to_le_bytes()) {
+                *b = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence; used for seed expansion.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a uniform `u64` to a uniform `f64` in `[0, 1)` using the top 53
+/// bits (the standard `rand` recipe).
+#[inline]
+pub(crate) fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps a uniform `u32` to a uniform `f32` in `[0, 1)` using 24 bits.
+#[inline]
+pub(crate) fn unit_f32(x: u32) -> f32 {
+    (x >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// The traits and types most code wants in scope, mirroring
+/// `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0u64..7);
+            assert!(x < 7);
+            let y = rng.gen_range(3..=9u64);
+            assert!((3..=9).contains(&y));
+            let z = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&z));
+            let w = rng.gen_range(-10i64..-2);
+            assert!((-10..-2).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u64; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        // Each bucket expects n/8 = 10_000 with sd ≈ 94; 5 sd ≈ 470.
+        for &c in &counts {
+            assert!(
+                (c as i64 - 10_000).unsigned_abs() < 500,
+                "counts: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0u64;
+        let n = 100_000;
+        for _ in 0..n {
+            if rng.gen_bool(0.3) {
+                hits += 1;
+            }
+        }
+        // Expect 30_000, sd ≈ 145; 5 sd ≈ 725.
+        assert!((hits as i64 - 30_000).unsigned_abs() < 750, "hits = {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen_range(0u64..10);
+        assert!(x < 10);
+        let _: f64 = dyn_rng.gen();
+        let _ = dyn_rng.gen_bool(0.5);
+    }
+
+    #[test]
+    fn unit_f64_covers_unit_interval() {
+        assert_eq!(unit_f64(0), 0.0);
+        assert!(unit_f64(u64::MAX) < 1.0);
+        assert!(unit_f64(u64::MAX) > 0.9999);
+    }
+}

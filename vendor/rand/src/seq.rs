@@ -1,0 +1,107 @@
+//! Sequence-related sampling, mirroring `rand::seq`.
+
+/// Index sampling without replacement, mirroring `rand::seq::index`.
+pub mod index {
+    use crate::Rng;
+
+    /// A set of distinct indices in `[0, length)`, as returned by
+    /// [`sample`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+
+        /// Consumes the sample into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`, via a
+    /// partial Fisher–Yates shuffle (O(`length`) memory, exact
+    /// uniformity over subsets).
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "sample: amount {amount} exceeds length {length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn indices_are_distinct_and_in_range() {
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..100 {
+                let v = sample(&mut rng, 20, 7).into_vec();
+                assert_eq!(v.len(), 7);
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 7, "duplicates in {v:?}");
+                assert!(v.iter().all(|&i| i < 20));
+            }
+        }
+
+        #[test]
+        fn full_sample_is_a_permutation() {
+            let mut rng = StdRng::seed_from_u64(12);
+            let mut v = sample(&mut rng, 10, 10).into_vec();
+            v.sort_unstable();
+            assert_eq!(v, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn each_index_equally_likely() {
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut counts = [0u32; 10];
+            let n = 20_000;
+            for _ in 0..n {
+                for i in sample(&mut rng, 10, 3) {
+                    counts[i] += 1;
+                }
+            }
+            // Each index appears with probability 3/10: expect 6000,
+            // sd ≈ 65; allow 6 sd.
+            for &c in &counts {
+                assert!((c as i64 - 6000).unsigned_abs() < 400, "counts: {counts:?}");
+            }
+        }
+    }
+}
