@@ -11,11 +11,17 @@
 //!
 //! [`PrefixExtendingMethod`] implements the general protocol with a
 //! configurable per-level bit step; [`PrefixExtendingMethod::tree_hist`]
-//! is the step-1 (binary tree) variant. The underlying per-group oracle is
-//! OLH, whose reports are constant-size in the domain.
+//! is the step-1 (binary tree) variant. The underlying per-group oracle
+//! is **cohort-mode** OLH (`CohortLocalHashing`), whose reports are
+//! constant-size in the domain and whose aggregate is a `C×g` count
+//! matrix — so each level costs `O(C·|candidates|)` hash evaluations to
+//! estimate instead of rescanning the group's raw reports, and each
+//! group's accumulation runs through the sharded parallel engine in
+//! `ldp_workloads::parallel`.
 
-use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+use ldp_core::fo::{CohortLocalHashing, FoAggregator};
 use ldp_core::{Epsilon, Error, Result};
+use ldp_workloads::parallel::accumulate_sharded;
 use rand::Rng;
 
 /// A discovered heavy hitter: the value and its estimated count,
@@ -27,6 +33,16 @@ pub struct HeavyHitter {
     /// Estimated number of users holding it (full-population scale).
     pub estimate: f64,
 }
+
+/// Default cohort count per level: small enough that a level's `C×g`
+/// matrix stays cache-resident, large enough that the shared-collision
+/// variance stays well under the per-group noise floor for the group
+/// sizes heavy-hitter runs see.
+const DEFAULT_LEVEL_COHORTS: u32 = 256;
+
+/// Default logical shard count for per-level parallel accumulation (the
+/// worker count adapts to the machine; the shard plan fixes the result).
+const DEFAULT_LEVEL_SHARDS: usize = 16;
 
 /// The prefix-extending heavy-hitter protocol.
 #[derive(Debug, Clone)]
@@ -41,6 +57,10 @@ pub struct PrefixExtendingMethod {
     /// Candidates kept per level.
     keep: usize,
     epsilon: Epsilon,
+    /// Cohort count for each level's OLH-C oracle.
+    cohorts: u32,
+    /// Logical shard count for each level's parallel accumulation.
+    shards: usize,
 }
 
 impl PrefixExtendingMethod {
@@ -75,6 +95,8 @@ impl PrefixExtendingMethod {
             start,
             keep,
             epsilon,
+            cohorts: DEFAULT_LEVEL_COHORTS,
+            shards: DEFAULT_LEVEL_SHARDS,
         })
     }
 
@@ -86,9 +108,67 @@ impl PrefixExtendingMethod {
         Self::new(bits, 1, 1, keep, epsilon)
     }
 
+    /// Overrides the per-level cohort count (default 256). More cohorts
+    /// shrink the shared-collision variance (`∝ 1/C`) at the price of a
+    /// larger `C×g` count matrix and slower candidate estimation
+    /// (`O(C·|candidates|)`).
+    ///
+    /// # Panics
+    /// Panics if `cohorts == 0`.
+    #[must_use]
+    pub fn with_cohorts(mut self, cohorts: u32) -> Self {
+        assert!(cohorts >= 1, "need at least one cohort");
+        self.cohorts = cohorts;
+        self
+    }
+
+    /// Overrides the logical shard count used for each level's parallel
+    /// accumulation (default 16). The shard plan — not the machine's core
+    /// count — determines the result, so estimates are reproducible.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
     /// Number of user groups (levels) the protocol needs.
     pub fn levels(&self) -> u32 {
         1 + (self.bits - self.start) / self.step
+    }
+
+    /// One level's randomize→accumulate→estimate pass, shared by level 0
+    /// and every extension level: maps each group value to its
+    /// `prefix_len`-bit prefix, collects through cohort-mode OLH on the
+    /// sharded parallel engine, and returns estimates for `candidates`.
+    ///
+    /// `seed_base` rotates the level's public cohort seed set (so hash
+    /// collisions between candidates differ per level and per run rather
+    /// than biasing the same pairs every time); `shard_seed` drives the
+    /// per-shard randomization streams.
+    fn level_estimates(
+        &self,
+        group: &[u64],
+        prefix_len: u32,
+        candidates: &[u64],
+        seed_base: u64,
+        shard_seed: u64,
+    ) -> Vec<f64> {
+        let oracle = CohortLocalHashing::optimized_with_seed(
+            1u64 << prefix_len,
+            self.cohorts,
+            seed_base,
+            self.epsilon,
+        );
+        let prefixes: Vec<u64> = group
+            .iter()
+            .map(|&v| v >> (self.bits - prefix_len))
+            .collect();
+        let agg = accumulate_sharded(&oracle, &prefixes, shard_seed, self.shards);
+        agg.estimate_items(candidates)
     }
 
     /// Runs the protocol over the users' values (each user reports once,
@@ -112,37 +192,24 @@ impl PrefixExtendingMethod {
             groups[g].push(v);
         }
 
-        // Level 0: exhaustive over 2^start prefixes.
+        // Level 0 estimates all 2^start prefixes exhaustively; every later
+        // level estimates the step-bit extensions of the survivors. All
+        // levels share one `level_estimates` pass.
         let mut prefix_len = self.start;
-        let mut survivors: Vec<u64> = {
-            let oracle = OptimizedLocalHashing::new(1u64 << prefix_len, self.epsilon);
-            let mut agg = oracle.new_aggregator();
-            for &v in &groups[0] {
-                let prefix = v >> (self.bits - prefix_len);
-                agg.accumulate(&oracle.randomize(prefix, rng));
-            }
-            let est = agg.estimate();
-            top_indices(&est, self.keep)
-        };
-
-        // Subsequent levels: extend survivors by `step` bits.
-        for (level, group) in groups.iter().enumerate().skip(1) {
-            prefix_len += self.step;
-            let oracle = OptimizedLocalHashing::new(1u64 << prefix_len, self.epsilon);
-            let mut agg = oracle.new_aggregator();
-            for &v in group {
-                let prefix = v >> (self.bits - prefix_len);
-                agg.accumulate(&oracle.randomize(prefix, rng));
-            }
-            // Candidates: every step-bit extension of every survivor.
-            let mut candidates: Vec<u64> = Vec::with_capacity(survivors.len() << self.step);
-            for &s in &survivors {
-                for ext in 0..(1u64 << self.step) {
-                    candidates.push((s << self.step) | ext);
+        let mut candidates: Vec<u64> = (0..(1u64 << self.start)).collect();
+        let mut survivors: Vec<u64> = Vec::new();
+        for (level, group) in groups.iter().enumerate() {
+            if level > 0 {
+                prefix_len += self.step;
+                candidates = Vec::with_capacity(survivors.len() << self.step);
+                for &s in &survivors {
+                    for ext in 0..(1u64 << self.step) {
+                        candidates.push((s << self.step) | ext);
+                    }
                 }
             }
-            let ests = agg.estimate_items(&candidates);
-            let mut scored: Vec<(u64, f64)> = candidates.into_iter().zip(ests).collect();
+            let ests = self.level_estimates(group, prefix_len, &candidates, rng.gen(), rng.gen());
+            let mut scored: Vec<(u64, f64)> = candidates.iter().copied().zip(ests).collect();
             scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             scored.truncate(self.keep);
             if level == levels - 1 {
@@ -159,35 +226,8 @@ impl PrefixExtendingMethod {
             }
             survivors = scored.into_iter().map(|(v, _)| v).collect();
         }
-
-        // Single-level case (start == bits).
-        let scale = values.len() as f64 / groups[0].len().max(1) as f64;
-        let oracle = OptimizedLocalHashing::new(1u64 << self.start, self.epsilon);
-        let mut agg = oracle.new_aggregator();
-        for &v in &groups[0] {
-            agg.accumulate(&oracle.randomize(v, rng));
-        }
-        let ests = agg.estimate_items(&survivors);
-        let mut out: Vec<HeavyHitter> = survivors
-            .into_iter()
-            .zip(ests)
-            .filter(|&(_, e)| e > 0.0)
-            .map(|(value, e)| HeavyHitter {
-                value,
-                estimate: e * scale,
-            })
-            .collect();
-        out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate));
-        out
+        unreachable!("levels >= 1, so the final level always returns");
     }
-}
-
-/// Indices of the `k` largest entries, descending.
-fn top_indices(scores: &[f64], k: usize) -> Vec<u64> {
-    let mut idx: Vec<u64> = (0..scores.len() as u64).collect();
-    idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
-    idx.truncate(k);
-    idx
 }
 
 #[cfg(test)]
@@ -274,9 +314,29 @@ mod tests {
     }
 
     #[test]
-    fn top_indices_orders_correctly() {
-        let scores = [1.0, 9.0, 3.0, 7.0];
-        assert_eq!(top_indices(&scores, 2), vec![1, 3]);
-        assert_eq!(top_indices(&scores, 10).len(), 4);
+    fn runs_are_reproducible_for_fixed_seed() {
+        let pem = PrefixExtendingMethod::new(16, 8, 8, 6, eps(2.0)).unwrap();
+        let mut values = vec![0x1234u64; 8_000];
+        for i in 0..4_000usize {
+            values.push((i as u64 * 2654435761) & 0xffff);
+        }
+        let a = pem.run(&values, &mut StdRng::seed_from_u64(11));
+        let b = pem.run(&values, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b, "same seed must reproduce identical hitters");
+    }
+
+    #[test]
+    fn cohort_and_shard_knobs_apply() {
+        let pem = PrefixExtendingMethod::new(16, 8, 8, 6, eps(3.0))
+            .unwrap()
+            .with_cohorts(512)
+            .with_shards(4);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut values = vec![0xbeefu64; 20_000];
+        for i in 0..5_000usize {
+            values.push((i as u64 * 7919) & 0xffff);
+        }
+        let found = pem.run(&values, &mut rng);
+        assert!(found.iter().any(|h| h.value == 0xbeef), "{found:?}");
     }
 }

@@ -1,13 +1,26 @@
 //! Server-side aggregation and estimation cost — accumulate must be O(1)
 //! amortized per report, estimation linear with small constants.
+//!
+//! Besides the criterion groups, this bench runs the **old-vs-new
+//! full-domain OLH comparison** (raw-report rescan vs cohort count
+//! matrix, plus sequential vs sharded-parallel collection) and emits the
+//! measurements to `BENCH_aggregate.json` at the workspace root, so the
+//! perf trajectory is recorded run over run. Set `LDP_BENCH_SMOKE=1` for
+//! a seconds-scale CI smoke configuration, and `LDP_BENCH_OUT=<path>` to
+//! redirect the JSON.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ldp_apple::hcms::HcmsProtocol;
-use ldp_core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing, OptimizedUnaryEncoding};
+use ldp_core::fo::{
+    CohortLocalHashing, FoAggregator, FrequencyOracle, LocalHashing, OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+};
 use ldp_core::Epsilon;
 use ldp_rappor::{RapporAggregator, RapporClient, RapporParams};
+use ldp_workloads::parallel::{accumulate_sharded, accumulate_sharded_sequential};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 fn bench_aggregate(c: &mut Criterion) {
     let eps = Epsilon::new(1.0).expect("valid eps");
@@ -101,5 +114,96 @@ fn bench_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_aggregate);
+/// Times `f` with `reps` measured repetitions and returns the median
+/// nanoseconds per run. The criterion `Bencher` keeps its samples
+/// private, and the raw-scan side of the comparison takes ~1 s per run at
+/// full size, so this manual loop is both necessary and adequate.
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Old-vs-new full-domain OLH aggregation at deployment-ish scale:
+/// raw-report rescan (`O(n·d)`) against the cohort count matrix
+/// (`O(C·d)`), plus sequential vs sharded-parallel collection. Prints the
+/// comparison and records it in `BENCH_aggregate.json`.
+fn bench_olh_old_vs_new(_c: &mut Criterion) {
+    let smoke = std::env::var("LDP_BENCH_SMOKE").is_ok();
+    // Full size matches the acceptance target (n=100k, d=4096); smoke
+    // keeps CI in the seconds range while exercising the same code paths.
+    let (n, d, estimate_reps) = if smoke {
+        (10_000usize, 512u64, 3usize)
+    } else {
+        (100_000usize, 4096u64, 3usize)
+    };
+    let cohorts = 1024u32;
+    let shards = 16usize;
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let cohort_oracle = CohortLocalHashing::optimized(d, cohorts, eps);
+    let raw_oracle = LocalHashing::with_g(d, cohort_oracle.g(), eps);
+    let mut rng = StdRng::seed_from_u64(11);
+    let values: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(31) % d).collect();
+
+    // Accumulate both aggregators once; the comparison is estimation cost.
+    let mut raw_agg = raw_oracle.new_aggregator();
+    let mut cohort_agg = cohort_oracle.new_aggregator();
+    for &v in &values {
+        raw_agg.accumulate(&raw_oracle.randomize(v, &mut rng));
+        cohort_agg.accumulate(&cohort_oracle.randomize(v, &mut rng));
+    }
+
+    let raw_estimate_ns = median_ns(estimate_reps, || {
+        black_box(raw_agg.estimate());
+    });
+    let cohort_estimate_ns = median_ns(estimate_reps.max(10), || {
+        black_box(cohort_agg.estimate());
+    });
+    let estimate_speedup = raw_estimate_ns / cohort_estimate_ns;
+
+    // Collection: sequential reference vs the sharded-parallel engine
+    // (same shard plan, so identical output; the delta is thread fan-out).
+    let collect_reps = if smoke { 2 } else { 3 };
+    let seq_collect_ns = median_ns(collect_reps, || {
+        black_box(accumulate_sharded_sequential(&cohort_oracle, &values, 5, shards).reports());
+    });
+    let par_collect_ns = median_ns(collect_reps, || {
+        black_box(accumulate_sharded(&cohort_oracle, &values, 5, shards).reports());
+    });
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    println!(
+        "olh_full_domain_estimate/raw_n{n}_d{d}: {:.2} ms",
+        raw_estimate_ns / 1e6
+    );
+    println!(
+        "olh_full_domain_estimate/cohort_C{cohorts}_d{d}: {:.3} ms  ({estimate_speedup:.1}x speedup)",
+        cohort_estimate_ns / 1e6
+    );
+    println!(
+        "olh_collect/sequential_n{n}: {:.2} ms, sharded_parallel({threads} threads): {:.2} ms",
+        seq_collect_ns / 1e6,
+        par_collect_ns / 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {:.2}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        cohort_oracle.g(),
+        seq_collect_ns / par_collect_ns,
+    );
+    let out = std::env::var("LDP_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_aggregate.json").to_string()
+    });
+    std::fs::write(&out, json).expect("write BENCH_aggregate.json");
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_aggregate, bench_olh_old_vs_new);
 criterion_main!(benches);

@@ -8,6 +8,11 @@
 //! Expected shape: NCR rises with n and ε; wider steps (PEM) beat step-1
 //! (TreeHist) at equal population because fewer levels split the users
 //! less thinly.
+//!
+//! Since the cohort-sharded aggregation engine landed, every level runs
+//! on cohort-mode OLH (a `C×g` count matrix instead of raw reports) and
+//! the sharded parallel collection harness, so E6a also records wall
+//! time per trial — the deployment-scale story next to the accuracy one.
 
 use ldp_analytics::hh::PrefixExtendingMethod;
 use ldp_core::Epsilon;
@@ -57,9 +62,10 @@ fn main() {
 
     let mut t1 = ExperimentTable::new(
         "E6a: PEM NCR@10 vs population (32-bit domain, eps=4, keep=16)",
-        &["n", "NCR@10"],
+        &["n", "NCR@10", "s/trial"],
     );
     for &n in &[50_000usize, 100_000, 300_000] {
+        let started = std::time::Instant::now();
         let stats = trials.run(|seed| {
             let pem =
                 PrefixExtendingMethod::new(BITS, 8, 4, 16, Epsilon::new(4.0).expect("valid eps"))
@@ -68,7 +74,12 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
             ncr(&pem.run(&values, &mut rng), &truth)
         });
-        t1.row(&[n.to_string(), format!("{:.2}", stats.mean)]);
+        let per_trial = started.elapsed().as_secs_f64() / stats.trials as f64;
+        t1.row(&[
+            n.to_string(),
+            format!("{:.2}", stats.mean),
+            format!("{per_trial:.2}"),
+        ]);
     }
     t1.print();
 

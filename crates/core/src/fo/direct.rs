@@ -107,6 +107,22 @@ impl FoAggregator for DirectAggregator {
             .map(|&o| (o as f64 - n * self.q) / (self.p - self.q))
             .collect()
     }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.histogram.len(),
+            other.histogram.len(),
+            "merge: domain mismatch"
+        );
+        assert!(
+            self.p == other.p && self.q == other.q,
+            "merge: channel probability mismatch"
+        );
+        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
+            *a += b;
+        }
+        self.n += other.n;
+    }
 }
 
 #[cfg(test)]

@@ -118,6 +118,16 @@ impl FrequencyOracle for HadamardResponse {
 
 /// Aggregator for [`HadamardResponse`]: per-row sign sums, inverted with a
 /// single FWHT at estimation time.
+///
+/// # Estimation cost
+///
+/// Every `estimate()`/`estimate_items()` call pays one full fast
+/// Walsh–Hadamard transform — `O(m log m)` regardless of how many items
+/// are queried, because the transform inverts the whole spectrum at once.
+/// There is no per-item shortcut (a single count is a dense functional of
+/// all `m` spectrum rows), so callers should batch: query all candidate
+/// items in **one** `estimate_items` call rather than looping, and reuse
+/// the returned vector rather than re-estimating per lookup.
 #[derive(Debug, Clone)]
 pub struct HrAggregator {
     sign_sums: Vec<i64>,
@@ -125,6 +135,31 @@ pub struct HrAggregator {
     n: usize,
     d: u64,
     p_truth: f64,
+}
+
+impl HrAggregator {
+    /// Debiased, inverse-transformed counts over the full spectrum
+    /// (length `m`); the shared `O(m log m)` work behind both `estimate`
+    /// and `estimate_items`.
+    fn transformed_counts(&self) -> Vec<f64> {
+        let m = self.sign_sums.len();
+        let two_p_minus_1 = 2.0 * self.p_truth - 1.0;
+        // Unbiased spectrum estimate: theta_j = E[H[j,v]] over the
+        // population; each report contributes sign/(2p-1), scaled by m/n to
+        // undo the uniform row sampling.
+        let n = self.n as f64;
+        let mut spectrum: Vec<f64> = self
+            .sign_sums
+            .iter()
+            .map(|&s| (m as f64 / n) * s as f64 / two_p_minus_1)
+            .collect();
+        // counts = n * (1/m) * H * spectrum  (inverse transform).
+        fwht(&mut spectrum);
+        for x in &mut spectrum {
+            *x *= n / m as f64;
+        }
+        spectrum
+    }
 }
 
 impl FoAggregator for HrAggregator {
@@ -141,24 +176,43 @@ impl FoAggregator for HrAggregator {
     }
 
     fn estimate(&self) -> Vec<f64> {
-        let m = self.sign_sums.len();
-        let two_p_minus_1 = 2.0 * self.p_truth - 1.0;
-        // Unbiased spectrum estimate: theta_j = E[H[j,v]] over the
-        // population; each report contributes sign/(2p-1), scaled by m/n to
-        // undo the uniform row sampling.
-        let n = self.n as f64;
-        let mut spectrum: Vec<f64> = self
-            .sign_sums
+        let mut counts = self.transformed_counts();
+        counts.truncate(self.d as usize);
+        counts
+    }
+
+    /// Explicit override of the trait default: runs the FWHT **once** for
+    /// the whole item batch and indexes the transformed spectrum, instead
+    /// of materializing a second full-domain vector per call. The cost is
+    /// still one `O(m log m)` transform per call — batch your items.
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        let counts = self.transformed_counts();
+        items
             .iter()
-            .map(|&s| (m as f64 / n) * s as f64 / two_p_minus_1)
-            .collect();
-        // counts = n * (1/m) * H * spectrum  (inverse transform).
-        fwht(&mut spectrum);
-        spectrum
-            .iter()
-            .take(self.d as usize)
-            .map(|&x| n * x / m as f64)
+            .map(|&v| {
+                assert!(v < self.d, "item {v} outside domain of size {}", self.d);
+                counts[v as usize]
+            })
             .collect()
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.sign_sums.len(),
+            other.sign_sums.len(),
+            "merge: spectrum size mismatch"
+        );
+        assert!(
+            self.d == other.d && self.p_truth == other.p_truth,
+            "merge: oracle configuration mismatch"
+        );
+        for (a, b) in self.sign_sums.iter_mut().zip(&other.sign_sums) {
+            *a += b;
+        }
+        for (a, b) in self.row_counts.iter_mut().zip(&other.row_counts) {
+            *a += b;
+        }
+        self.n += other.n;
     }
 }
 
@@ -216,6 +270,33 @@ mod tests {
         }
         let total: f64 = agg.estimate().iter().sum();
         assert!((total - n as f64).abs() < n as f64 * 0.05, "total={total}");
+    }
+
+    #[test]
+    fn estimate_items_matches_full_estimate_with_one_transform() {
+        let hr = HadamardResponse::new(12, eps(1.0)); // m = 16 > d = 12
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut agg = hr.new_aggregator();
+        for u in 0..5000 {
+            agg.accumulate(&hr.randomize((u % 12) as u64, &mut rng));
+        }
+        let full = agg.estimate();
+        assert_eq!(full.len(), 12);
+        let items = [0u64, 3, 11];
+        let batch = agg.estimate_items(&items);
+        for (k, &v) in items.iter().enumerate() {
+            assert_eq!(batch[k], full[v as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn estimate_items_rejects_out_of_domain() {
+        let hr = HadamardResponse::new(12, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(74);
+        let mut agg = hr.new_aggregator();
+        agg.accumulate(&hr.randomize(0, &mut rng));
+        agg.estimate_items(&[12]); // m = 16, but the domain ends at 12
     }
 
     #[test]

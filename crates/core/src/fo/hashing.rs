@@ -17,12 +17,26 @@
 //!   which then equals OUE's `4e^ε/(e^ε−1)²` with exponentially less
 //!   communication. OLH is the default general-purpose oracle in this
 //!   workspace.
+//!
+//! ## Fully random seeds vs cohorts
+//!
+//! With a fresh random seed per user ([`LocalHashing`]), the aggregator
+//! has no sufficient statistic: it must keep all `n` raw reports and scan
+//! them per candidate — `O(n)` memory and `O(n·d)` for a full-domain
+//! estimate, which is hopeless at deployment scale.
+//! [`CohortLocalHashing`] restricts the public randomness RAPPOR-style:
+//! users draw one of `C` fixed public seeds (their *cohort*), so the
+//! aggregator only needs the `C×g` matrix of bucket counts — `O(C·g)`
+//! memory, `O(C·d)` estimation, and O(1) mergeable across shards. Privacy
+//! is identical (the seed was public either way); the cost is a small
+//! extra variance term from hash collisions shared within a cohort, which
+//! shrinks as `1/C` (see [`CohortLocalHashing::count_variance`]).
 
 use super::{FoAggregator, FrequencyOracle};
 use crate::estimate::debiased_count_variance;
 use crate::privacy::Epsilon;
 use crate::rr::KaryRandomizedResponse;
-use ldp_sketch::hash::HashFamily;
+use ldp_sketch::hash::{mix64, HashFamily};
 use rand::{Rng, RngCore};
 
 /// A local-hashing report: the user's hash seed and the perturbed bucket.
@@ -259,6 +273,315 @@ impl FoAggregator for LhAggregator {
             })
             .collect()
     }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.d, other.d, "merge: domain mismatch");
+        assert_eq!(self.family, other.family, "merge: hash family mismatch");
+        assert!(
+            self.p == other.p && self.q == other.q,
+            "merge: channel probability mismatch"
+        );
+        self.reports.extend(other.reports);
+    }
+}
+
+/// Default cohort count for [`CohortLocalHashing::optimized`]: large
+/// enough that the shared-collision variance term is negligible next to
+/// the randomized-response noise floor for populations up to millions of
+/// users, small enough that the `C×g` matrix stays in cache.
+pub const DEFAULT_COHORTS: u32 = 1024;
+
+/// Seed base that [`CohortLocalHashing::optimized`] derives its public
+/// cohort seeds from. Any value works; deployments that re-run collection
+/// rounds should rotate it so collision patterns don't persist.
+pub const DEFAULT_COHORT_SEED_BASE: u64 = 0x1db3_c5a7_92e4_6f01;
+
+/// Derives the public hash seed of one cohort. The multiplier walk is
+/// injective over `u32` cohort indices and `mix64` is a bijection, so all
+/// `C` seeds are distinct.
+#[inline]
+fn cohort_seed(seed_base: u64, cohort: u32) -> u64 {
+    mix64(seed_base ^ (cohort as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A cohort-mode local-hashing report: the user's public cohort index and
+/// the perturbed bucket. Constant size — `log C + log g` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohortLhReport {
+    /// Cohort index in `[0, C)`; selects one of the `C` public hash seeds.
+    pub cohort: u32,
+    /// The k-ary-RR-perturbed value of `h_cohort(value)`.
+    pub bucket: u32,
+}
+
+/// Local hashing with the seed drawn from a fixed public set of `C`
+/// cohorts (RAPPOR-style), making the aggregate a `C×g` count matrix.
+///
+/// Compared to [`LocalHashing`] this changes nothing about privacy — the
+/// seed is public randomness in both designs — but collapses the
+/// aggregator from `O(n)` raw reports to an `O(C·g)` sufficient
+/// statistic, and full-domain estimation from `O(n·d)` to `O(C·d)`. Use
+/// the fully-random-seed [`LocalHashing`] only for ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct CohortLocalHashing {
+    d: u64,
+    g: u64,
+    cohorts: u32,
+    seed_base: u64,
+    epsilon: Epsilon,
+    family: HashFamily,
+    rr: KaryRandomizedResponse,
+}
+
+impl CohortLocalHashing {
+    /// Creates cohort-mode OLH with the variance-optimal bucket count
+    /// `g = max(2, round(e^ε + 1))` and the default seed base.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `cohorts == 0`.
+    pub fn optimized(d: u64, cohorts: u32, epsilon: Epsilon) -> Self {
+        Self::optimized_with_seed(d, cohorts, DEFAULT_COHORT_SEED_BASE, epsilon)
+    }
+
+    /// Creates variance-optimal cohort-mode OLH with an explicit seed
+    /// base. Protocols that run repeated collection rounds should draw a
+    /// fresh seed base per round so the cohort seed set — and with it any
+    /// shared-collision pattern — rotates instead of biasing the same
+    /// item pairs every time.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `cohorts == 0`.
+    pub fn optimized_with_seed(d: u64, cohorts: u32, seed_base: u64, epsilon: Epsilon) -> Self {
+        let g = ((epsilon.exp() + 1.0).round() as u64).max(2);
+        Self::with_params(d, g, cohorts, seed_base, epsilon)
+    }
+
+    /// Creates cohort-mode local hashing with explicit bucket count,
+    /// cohort count, and seed base (the public randomness the `C` cohort
+    /// seeds are derived from).
+    ///
+    /// # Panics
+    /// Panics if `d == 0`, `g < 2`, `g > u32::MAX` (reports store the
+    /// bucket as `u32`), or `cohorts == 0`.
+    pub fn with_params(d: u64, g: u64, cohorts: u32, seed_base: u64, epsilon: Epsilon) -> Self {
+        assert!(d > 0, "domain must be non-empty");
+        assert!(g >= 2, "local hashing needs g >= 2, got {g}");
+        assert!(
+            g <= u32::MAX as u64,
+            "bucket count {g} exceeds the u32 report encoding"
+        );
+        assert!(cohorts >= 1, "need at least one cohort");
+        Self {
+            d,
+            g,
+            cohorts,
+            seed_base,
+            epsilon,
+            family: HashFamily::new(g),
+            rr: KaryRandomizedResponse::new(g, epsilon).expect("g >= 2"),
+        }
+    }
+
+    /// The bucket count `g`.
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// The cohort count `C`.
+    pub fn cohorts(&self) -> u32 {
+        self.cohorts
+    }
+
+    /// The seed base the public cohort seeds derive from.
+    pub fn seed_base(&self) -> u64 {
+        self.seed_base
+    }
+
+    /// The public hash seed of cohort `c`.
+    ///
+    /// # Panics
+    /// Panics if `c >= cohorts()`.
+    pub fn cohort_seed(&self, c: u32) -> u64 {
+        assert!(c < self.cohorts, "cohort {c} out of range");
+        cohort_seed(self.seed_base, c)
+    }
+
+    /// The `(p*, q*)` support-probability pair used for debiasing. `q*`
+    /// is exactly `1/g` in expectation over the seed-base choice; for a
+    /// fixed public seed set it deviates by `O(1/√(C·g))`.
+    pub fn support_probabilities(&self) -> (f64, f64) {
+        (self.rr.p(), 1.0 / self.g as f64)
+    }
+}
+
+impl FrequencyOracle for CohortLocalHashing {
+    type Report = CohortLhReport;
+    type Aggregator = CohortLhAggregator;
+
+    fn name(&self) -> &'static str {
+        "OLH-C"
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.d
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> CohortLhReport {
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
+        let cohort = rng.gen_range(0..self.cohorts);
+        let bucket = self.family.hash(value, cohort_seed(self.seed_base, cohort));
+        let perturbed = self.rr.randomize(bucket, rng);
+        CohortLhReport {
+            cohort,
+            bucket: perturbed as u32,
+        }
+    }
+
+    fn new_aggregator(&self) -> CohortLhAggregator {
+        let (p, q) = self.support_probabilities();
+        CohortLhAggregator {
+            counts: vec![0; self.cohorts as usize * self.g as usize],
+            n: 0,
+            d: self.d,
+            g: self.g,
+            cohorts: self.cohorts,
+            seed_base: self.seed_base,
+            family: self.family,
+            p,
+            q,
+        }
+    }
+
+    /// Analytical variance: the OLH noise floor **plus** an upper bound on
+    /// the cohort-collision term.
+    ///
+    /// With fully random per-user seeds, hash collisions between the
+    /// queried item and each other user's item are independent events and
+    /// their randomness is already inside the `q(1−q)` binomial term. With
+    /// `C` shared seeds, all users of a cohort collide (or not) together:
+    /// a collision shifts a user's support probability from
+    /// `q̃ = (1−p)/(g−1)` to `p`, so conditioned on the public seed set
+    /// the estimate carries a mean-zero bias whose variance over the
+    /// seed-base draw is
+    /// `Σ_{u≠v} n_u² · q(1−q) · (p−q̃)² / (C·(p−q)²)`.
+    /// `Σ n_u²` is bounded by `((1−f)·n)²` (all remaining mass on one
+    /// item), which is what this method charges — the true term is smaller
+    /// for spread-out populations, and shrinks as `1/C`.
+    fn count_variance(&self, n: usize, f: f64) -> f64 {
+        let (p, q) = self.support_probabilities();
+        let base = debiased_count_variance(n, f * n as f64, p, q);
+        let q_tilde = (1.0 - p) / (self.g as f64 - 1.0);
+        let other_mass = (1.0 - f) * n as f64;
+        let collision = other_mass * other_mass * q * (1.0 - q) * (p - q_tilde) * (p - q_tilde)
+            / (self.cohorts as f64 * (p - q) * (p - q));
+        base + collision
+    }
+
+    fn report_bits(&self) -> usize {
+        (64 - (self.cohorts as u64 - 1).leading_zeros()) as usize
+            + (64 - (self.g - 1).leading_zeros()) as usize
+    }
+}
+
+/// Aggregator for [`CohortLocalHashing`]: the `C×g` matrix of perturbed
+/// bucket counts — a constant-size sufficient statistic.
+///
+/// A full-domain `estimate()` walks the matrix once per cohort,
+/// `O(C·d)` hash evaluations total, independent of the report count; the
+/// cohort loop is outermost so each `g`-wide row stays in cache.
+#[derive(Debug, Clone)]
+pub struct CohortLhAggregator {
+    /// Row-major `C×g` bucket counts: `counts[c*g + b]`.
+    counts: Vec<u64>,
+    n: usize,
+    d: u64,
+    g: u64,
+    cohorts: u32,
+    seed_base: u64,
+    family: HashFamily,
+    p: f64,
+    q: f64,
+}
+
+impl CohortLhAggregator {
+    /// The raw row-major `C×g` count matrix (for tests and persistence).
+    pub fn count_matrix(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Raw support counts (reports whose cohort hashes the item onto the
+    /// reported bucket) for each queried item.
+    fn support_counts(&self, items: &[u64]) -> Vec<u64> {
+        let g = self.g as usize;
+        let mut support = vec![0u64; items.len()];
+        for c in 0..self.cohorts {
+            let seed = cohort_seed(self.seed_base, c);
+            let row = &self.counts[c as usize * g..(c as usize + 1) * g];
+            for (s, &v) in support.iter_mut().zip(items) {
+                debug_assert!(v < self.d, "item {v} outside domain {}", self.d);
+                *s += row[self.family.hash(v, seed) as usize];
+            }
+        }
+        support
+    }
+}
+
+impl FoAggregator for CohortLhAggregator {
+    type Report = CohortLhReport;
+
+    fn accumulate(&mut self, report: &CohortLhReport) {
+        assert!(
+            report.cohort < self.cohorts && (report.bucket as u64) < self.g,
+            "report ({}, {}) outside the {}x{} cohort matrix",
+            report.cohort,
+            report.bucket,
+            self.cohorts,
+            self.g
+        );
+        self.counts[report.cohort as usize * self.g as usize + report.bucket as usize] += 1;
+        self.n += 1;
+    }
+
+    fn reports(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        let items: Vec<u64> = (0..self.d).collect();
+        self.estimate_items(&items)
+    }
+
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        let n = self.n as f64;
+        self.support_counts(items)
+            .into_iter()
+            .map(|s| (s as f64 - n * self.q) / (self.p - self.q))
+            .collect()
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert!(
+            self.d == other.d
+                && self.g == other.g
+                && self.cohorts == other.cohorts
+                && self.seed_base == other.seed_base
+                && self.p == other.p
+                && self.q == other.q,
+            "merge: cohort aggregator configuration mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n += other.n;
+    }
 }
 
 #[cfg(test)]
@@ -379,5 +702,181 @@ mod tests {
         let olh = OptimizedLocalHashing::new(8, eps(1.0));
         let mut rng = StdRng::seed_from_u64(0);
         olh.randomize(8, &mut rng);
+    }
+
+    #[test]
+    fn cohort_seeds_distinct_and_deterministic() {
+        let c = CohortLocalHashing::optimized(100, 256, eps(1.0));
+        let seeds: std::collections::HashSet<u64> = (0..256).map(|i| c.cohort_seed(i)).collect();
+        assert_eq!(seeds.len(), 256, "cohort seeds must be distinct");
+        let c2 = CohortLocalHashing::optimized(100, 256, eps(1.0));
+        assert_eq!(c.cohort_seed(17), c2.cohort_seed(17));
+    }
+
+    /// Mirror of `olh_estimates_unbiased` for cohort mode: held items
+    /// recover their counts, unheld items sit near zero, within the
+    /// tolerance predicted by the cohort-aware `count_variance` (which
+    /// charges the shared-collision term on top of the OLH noise floor).
+    #[test]
+    fn cohort_olh_estimates_unbiased() {
+        let olh = CohortLocalHashing::optimized(64, 1024, eps(2.0));
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 40_000;
+        let mut agg = olh.new_aggregator();
+        for u in 0..n {
+            let v = (u % 8) as u64; // items 0..8 each hold 1/8 of users
+            agg.accumulate(&olh.randomize(v, &mut rng));
+        }
+        assert_eq!(agg.reports(), n);
+        let est = agg.estimate();
+        for (i, &e) in est.iter().enumerate().take(8) {
+            let truth = n as f64 / 8.0;
+            let sd = olh.count_variance(n, 1.0 / 8.0).sqrt();
+            assert!((e - truth).abs() < 5.0 * sd, "item {i}: est={e} sd={sd}");
+        }
+        for (i, &e) in est.iter().enumerate().skip(8) {
+            let sd = olh.noise_floor_variance(n).sqrt();
+            assert!(e.abs() < 5.0 * sd, "item {i}: est={e}");
+        }
+    }
+
+    /// The analytical variance story: across trials with rotated seed
+    /// bases, the empirical variance of an unheld item's estimate must
+    /// (a) exceed the plain OLH noise floor — the collision term is real —
+    /// (b) track the exact collision formula `Σ n_u²·q(1−q)/(C(p−q)²)`
+    /// computable here from the known population, and (c) stay below the
+    /// worst-case bound `count_variance` charges.
+    #[test]
+    fn cohort_olh_variance_matches_analysis() {
+        let (d, n, cohorts) = (32u64, 8_000usize, 64u32);
+        let e = eps(2.0);
+        let trials = 80;
+        let probe = 20u64; // unheld item
+        let ests: Vec<f64> = (0..trials)
+            .map(|t| {
+                let olh = CohortLocalHashing::with_params(d, 8, cohorts, 0xc0ff_ee00 + t as u64, e);
+                let mut rng = StdRng::seed_from_u64(9000 + t as u64);
+                let mut agg = olh.new_aggregator();
+                for u in 0..n {
+                    agg.accumulate(&olh.randomize((u % 4) as u64, &mut rng));
+                }
+                agg.estimate_items(&[probe])[0]
+            })
+            .collect();
+        let mean = ests.iter().sum::<f64>() / trials as f64;
+        let var = ests.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+
+        let olh = CohortLocalHashing::with_params(d, 8, cohorts, 0, e);
+        let (p, q) = olh.support_probabilities();
+        let floor = debiased_count_variance(n, 0.0, p, q);
+        // Exact collision term for this population: 4 items × (n/4)² each,
+        // each collision moving a user's support probability q̃ → p.
+        let q_tilde = (1.0 - p) / 7.0;
+        let per_item = (n / 4) as f64;
+        let collision_exact =
+            4.0 * per_item * per_item * q * (1.0 - q) * (p - q_tilde) * (p - q_tilde)
+                / (cohorts as f64 * (p - q) * (p - q));
+        let predicted = floor + collision_exact;
+        let bound = olh.count_variance(n, 0.0);
+
+        // Unbiased over the seed-base draw: 5σ of the trial mean.
+        let sd_of_mean = (predicted / trials as f64).sqrt();
+        assert!(mean.abs() < 5.0 * sd_of_mean, "mean={mean} sd={sd_of_mean}");
+        assert!(
+            var > floor,
+            "collision term missing: var={var} floor={floor}"
+        );
+        assert!(
+            (var - predicted).abs() / predicted < 0.45,
+            "var={var} predicted={predicted}"
+        );
+        assert!(predicted <= bound, "bound must dominate the exact term");
+    }
+
+    #[test]
+    fn cohort_estimate_items_matches_full_estimate() {
+        let olh = CohortLocalHashing::optimized(32, 128, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut agg = olh.new_aggregator();
+        for u in 0..2000u64 {
+            agg.accumulate(&olh.randomize(u % 32, &mut rng));
+        }
+        let full = agg.estimate();
+        let subset = agg.estimate_items(&[0, 7, 31]);
+        assert_eq!(subset[0], full[0]);
+        assert_eq!(subset[1], full[7]);
+        assert_eq!(subset[2], full[31]);
+    }
+
+    #[test]
+    fn cohort_matrix_is_sufficient_statistic() {
+        let olh = CohortLocalHashing::optimized(16, 32, eps(1.0));
+        let mut rng = StdRng::seed_from_u64(59);
+        let mut agg = olh.new_aggregator();
+        for u in 0..500u64 {
+            agg.accumulate(&olh.randomize(u % 16, &mut rng));
+        }
+        let matrix = agg.count_matrix();
+        assert_eq!(matrix.len(), 32 * olh.g() as usize);
+        assert_eq!(matrix.iter().sum::<u64>(), 500, "every report lands once");
+    }
+
+    #[test]
+    fn cohort_report_bits_constant_in_domain() {
+        let e = eps(1.0);
+        let small = CohortLocalHashing::optimized(16, 1024, e);
+        let huge = CohortLocalHashing::optimized(1 << 40, 1024, e);
+        assert_eq!(small.report_bits(), huge.report_bits());
+        assert_eq!(small.report_bits(), 10 + 2); // 1024 cohorts, g=4
+    }
+
+    #[test]
+    fn merge_matches_sequential_for_both_lh_modes() {
+        let e = eps(1.0);
+        let mut rng = StdRng::seed_from_u64(61);
+
+        let cohort = CohortLocalHashing::optimized(32, 64, e);
+        let reports: Vec<_> = (0..300)
+            .map(|u| cohort.randomize(u % 32, &mut rng))
+            .collect();
+        let mut seq = cohort.new_aggregator();
+        let (mut a, mut b) = (cohort.new_aggregator(), cohort.new_aggregator());
+        for (i, r) in reports.iter().enumerate() {
+            seq.accumulate(r);
+            if i < 100 {
+                a.accumulate(r);
+            } else {
+                b.accumulate(r);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.reports(), seq.reports());
+        assert_eq!(a.count_matrix(), seq.count_matrix());
+        assert_eq!(a.estimate(), seq.estimate());
+
+        let raw = OptimizedLocalHashing::new(32, e);
+        let reports: Vec<_> = (0..300).map(|u| raw.randomize(u % 32, &mut rng)).collect();
+        let mut seq = raw.new_aggregator();
+        let (mut a, mut b) = (raw.new_aggregator(), raw.new_aggregator());
+        for (i, r) in reports.iter().enumerate() {
+            seq.accumulate(r);
+            if i < 137 {
+                a.accumulate(r);
+            } else {
+                b.accumulate(r);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.reports(), seq.reports());
+        assert_eq!(a.estimate(), seq.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration mismatch")]
+    fn cohort_merge_rejects_mismatched_seed_base() {
+        let e = eps(1.0);
+        let a = CohortLocalHashing::with_params(16, 4, 8, 1, e);
+        let b = CohortLocalHashing::with_params(16, 4, 8, 2, e);
+        a.new_aggregator().merge(b.new_aggregator());
     }
 }

@@ -129,6 +129,18 @@ impl FoAggregator for SheAggregator {
     fn estimate(&self) -> Vec<f64> {
         self.sums.clone()
     }
+
+    /// Coordinate-wise sum of the two states. The only floating-point
+    /// merge in the family: equal to sequential accumulation up to
+    /// addition reassociation (the counts are exact for every integer
+    /// aggregator).
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.sums.len(), other.sums.len(), "merge: domain mismatch");
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        self.n += other.n;
+    }
 }
 
 /// Thresholding with histogram encoding: SHE followed by a client-side
@@ -312,6 +324,18 @@ impl FoAggregator for TheAggregator {
             .iter()
             .map(|&o| (o as f64 - n * self.q) / (self.p - self.q))
             .collect()
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.ones.len(), other.ones.len(), "merge: domain mismatch");
+        assert!(
+            self.p == other.p && self.q == other.q,
+            "merge: channel probability mismatch"
+        );
+        for (a, b) in self.ones.iter_mut().zip(&other.ones) {
+            *a += b;
+        }
+        self.n += other.n;
     }
 }
 

@@ -7,21 +7,42 @@
 //! primitive, and Wang et al. (USENIX Security 2017) systematized the
 //! design space. This module implements that design space:
 //!
-//! | Mechanism | Module | Report size | `Var*/n` (noise floor, counts) |
-//! |---|---|---|---|
-//! | Direct encoding (GRR) | [`direct`] | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` |
-//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` |
-//! | Optimized unary (OUE) | [`unary`] | `d` bits | `4e^ε/(e^ε−1)²` |
-//! | Summation histogram (SHE) | [`histogram`] | `d` floats | `8/ε²` |
-//! | Threshold histogram (THE) | [`histogram`] | `d` bits | optimized numerically |
-//! | Binary local hashing (BLH) | [`hashing`] | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` |
-//! | Optimized local hashing (OLH) | [`hashing`] | 64+log g bits | `4e^ε/(e^ε−1)²` |
-//! | Hadamard response (HR) | [`hadamard`] | log m + 1 bits | `≈4e^ε/(e^ε−1)²` |
+//! | Mechanism | Module | Report size | `Var*/n` (noise floor, counts) | Aggregation: memory, full `estimate()` |
+//! |---|---|---|---|---|
+//! | Direct encoding (GRR) | [`direct`] | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `O(d)`, `O(d)` |
+//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `O(d)`, `O(d)` |
+//! | Optimized unary (OUE) | [`unary`] | `d` bits | `4e^ε/(e^ε−1)²` | `O(d)`, `O(d)` |
+//! | Summation histogram (SHE) | [`histogram`] | `d` floats | `8/ε²` | `O(d)`, `O(d)` |
+//! | Threshold histogram (THE) | [`histogram`] | `d` bits | optimized numerically | `O(d)`, `O(d)` |
+//! | Binary local hashing (BLH) | [`hashing`] | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `O(n)`, `O(n·d)` |
+//! | Optimized local hashing (OLH) | [`hashing`] | 64+log g bits | `4e^ε/(e^ε−1)²` | `O(n)`, `O(n·d)` |
+//! | Cohort local hashing (OLH-C) | [`hashing`] | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `O(C·g)`, `O(C·d)` |
+//! | Hadamard response (HR) | [`hadamard`] | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `O(m)`, `O(m log m)` |
+//! | Subset selection (SS) | [`subset`] | `k·log d` bits | minimax-optimal | `O(d)`, `O(d)` |
 //!
 //! The table is the tutorial's punchline: OUE, OLH and HR share the same
 //! optimal noise floor, differing only in communication; GRR beats them all
 //! when the domain is small (`d < 3e^ε + 2`). Experiment E2 regenerates
 //! this comparison.
+//!
+//! ## Aggregation at deployment scale
+//!
+//! The last column is the server-side story. Every aggregator except raw
+//! local hashing keeps a *sufficient statistic* whose size is independent
+//! of the report count `n` — which is what makes million-user populations
+//! feasible. Raw OLH/BLH is the outlier: it must keep all `n` reports and
+//! rescan them per candidate. [`hashing::CohortLocalHashing`] (OLH-C)
+//! fixes this RAPPOR-style by drawing each user's hash seed from a public
+//! set of `C` cohorts, so the aggregator reduces to a `C×g` count matrix:
+//! memory `O(C·g)` instead of `O(n)`, full-domain estimation `O(C·d)`
+//! instead of `O(n·d)`. Privacy is unchanged (the seed is public
+//! randomness either way); the price is a small extra variance term from
+//! shared hash collisions, documented on
+//! [`hashing::CohortLocalHashing::count_variance`].
+//!
+//! All aggregators additionally support [`FoAggregator::merge`], so
+//! collection can be sharded across threads or machines and combined —
+//! see `ldp_workloads::parallel` for the `std::thread::scope` harness.
 
 pub mod direct;
 pub mod hadamard;
@@ -32,7 +53,7 @@ pub mod unary;
 
 pub use direct::DirectEncoding;
 pub use hadamard::HadamardResponse;
-pub use hashing::{BinaryLocalHashing, LocalHashing, OptimizedLocalHashing};
+pub use hashing::{BinaryLocalHashing, CohortLocalHashing, LocalHashing, OptimizedLocalHashing};
 pub use histogram::{SummationHistogramEncoding, ThresholdHistogramEncoding};
 pub use subset::SubsetSelection;
 pub use unary::{OptimizedUnaryEncoding, SymmetricUnaryEncoding};
@@ -108,6 +129,27 @@ pub trait FoAggregator {
         let all = self.estimate();
         items.iter().map(|&v| all[v as usize]).collect()
     }
+
+    /// Merges another aggregator's state into this one, as if every report
+    /// accumulated into `other` had been accumulated here instead.
+    ///
+    /// Merging is associative, and for the count-based aggregators (every
+    /// oracle except SHE, whose state is floating-point sums subject to
+    /// addition reassociation) it reproduces sequential accumulation bit
+    /// for bit. That contract is what makes sharded collection safe:
+    /// shard-local aggregators built on worker threads (or separate
+    /// machines) and merged in shard order yield exactly the estimate a
+    /// single sequential pass would have produced. The
+    /// `ldp_workloads::parallel` module provides the `std::thread::scope`
+    /// harness built on this operation.
+    ///
+    /// # Panics
+    /// Implementations panic if `other` was configured incompatibly
+    /// (different domain size, bucket count, cohort set, or channel
+    /// probabilities).
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
 }
 
 /// Runs a full collection round: randomizes `values` through `oracle`,
@@ -177,6 +219,7 @@ mod tests {
         check!(BinaryLocalHashing::new(d, eps), 6);
         check!(OptimizedLocalHashing::new(d, eps), 7);
         check!(HadamardResponse::new(d, eps), 8);
+        check!(CohortLocalHashing::optimized(d, 512, eps), 9);
     }
 
     #[test]

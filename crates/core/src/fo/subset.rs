@@ -182,6 +182,22 @@ impl FoAggregator for SsAggregator {
             .map(|&c| (c as f64 - n * self.q) / (self.p - self.q))
             .collect()
     }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.inclusions.len(),
+            other.inclusions.len(),
+            "merge: domain mismatch"
+        );
+        assert!(
+            self.p == other.p && self.q == other.q,
+            "merge: channel probability mismatch"
+        );
+        for (a, b) in self.inclusions.iter_mut().zip(&other.inclusions) {
+            *a += b;
+        }
+        self.n += other.n;
+    }
 }
 
 #[cfg(test)]

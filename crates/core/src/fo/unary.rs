@@ -204,6 +204,18 @@ impl FoAggregator for UnaryAggregator {
             .map(|&o| (o as f64 - n * self.q) / (self.p - self.q))
             .collect()
     }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.ones.len(), other.ones.len(), "merge: domain mismatch");
+        assert!(
+            self.p == other.p && self.q == other.q,
+            "merge: channel probability mismatch"
+        );
+        for (a, b) in self.ones.iter_mut().zip(&other.ones) {
+            *a += b;
+        }
+        self.n += other.n;
+    }
 }
 
 #[cfg(test)]

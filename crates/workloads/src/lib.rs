@@ -16,6 +16,12 @@
 //! * [`harness`] — multi-trial experiment running with mean ± std
 //!   aggregation and aligned-column table printing for the `ldp-bench`
 //!   reproduction binaries.
+//! * [`parallel`] — the sharded parallel collection engine: splits users
+//!   across `std::thread::scope` workers, accumulates shard-local
+//!   aggregators, and combines them with `FoAggregator::merge` —
+//!   deterministically (fixed logical shards, seed-derived RNG streams,
+//!   shard-order merging), so results are bit-identical across core
+//!   counts.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,6 +29,8 @@
 pub mod gen;
 pub mod harness;
 pub mod metrics;
+pub mod parallel;
 
 pub use gen::{NumericStream, ZipfGenerator};
 pub use harness::{ExperimentTable, Trials};
+pub use parallel::{accumulate_sharded, accumulate_sharded_sequential, collect_counts_parallel};

@@ -1,0 +1,282 @@
+//! Sharded parallel collection: randomize-and-accumulate across
+//! `std::thread::scope` workers, combined with [`FoAggregator::merge`].
+//!
+//! The deployment picture the tutorial paints — millions of clients
+//! reporting to a fleet of collectors — reduces server-side to one
+//! algebraic requirement: the aggregate state must be *mergeable*. Every
+//! aggregator in `ldp-core` satisfies it, so collection can be split into
+//! shards, accumulated independently (here: on worker threads; in a real
+//! deployment: on separate collector machines), and merged.
+//!
+//! Determinism is a first-class property of this harness. Work is divided
+//! into a fixed number of **logical shards**, each with its own
+//! seed-derived RNG stream, and shard aggregators are merged in shard
+//! order. The worker count only decides which thread runs which shard, so
+//! the result is bit-identical across machines, core counts, and
+//! schedules — and bit-identical to [`accumulate_sharded_sequential`],
+//! the single-threaded reference that tests compare against.
+
+use ldp_core::fo::{FoAggregator, FrequencyOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::thread;
+
+/// Derives the deterministic RNG seed for one logical shard (a SplitMix64
+/// finalizer over the base seed and shard index, so shard streams are
+/// decorrelated even for adjacent base seeds).
+#[inline]
+pub fn shard_seed(base_seed: u64, shard: usize) -> u64 {
+    let mut z = base_seed ^ (shard as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Contiguous `[lo, hi)` bounds of each logical shard.
+fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    let chunk = len.div_ceil(shards);
+    (0..shards)
+        .map(|i| ((i * chunk).min(len), ((i + 1) * chunk).min(len)))
+        .collect()
+}
+
+/// Randomizes and accumulates one shard's users with its own RNG stream.
+fn accumulate_shard<O: FrequencyOracle>(oracle: &O, values: &[u64], seed: u64) -> O::Aggregator {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agg = oracle.new_aggregator();
+    for &v in values {
+        let report = oracle.randomize(v, &mut rng);
+        agg.accumulate(&report);
+    }
+    agg
+}
+
+/// Merges per-shard aggregators in shard order; order is part of the
+/// determinism contract (floating-point states reassociate otherwise).
+fn merge_in_order<A: FoAggregator>(mut parts: Vec<Option<A>>) -> A {
+    let mut acc = parts[0].take().expect("shard 0 aggregator present");
+    for p in parts.iter_mut().skip(1) {
+        acc.merge(p.take().expect("shard aggregator present"));
+    }
+    acc
+}
+
+/// Splits `values` into `shards` logical shards and runs the full
+/// randomize→accumulate→merge round across `std::thread::scope` workers
+/// (one per available core, capped at the shard count).
+///
+/// Returns the merged aggregator, bit-identical to
+/// [`accumulate_sharded_sequential`] with the same arguments regardless
+/// of core count or scheduling.
+///
+/// # Panics
+/// Panics if `shards == 0` or a worker thread panics.
+pub fn accumulate_sharded<O>(
+    oracle: &O,
+    values: &[u64],
+    base_seed: u64,
+    shards: usize,
+) -> O::Aggregator
+where
+    O: FrequencyOracle + Sync,
+    O::Aggregator: Send,
+{
+    assert!(shards > 0, "need at least one shard");
+    let shards = shards.min(values.len().max(1));
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(shards);
+    let bounds = shard_bounds(values.len(), shards);
+    if workers == 1 {
+        return accumulate_sharded_sequential(oracle, values, base_seed, shards);
+    }
+
+    let parts = thread::scope(|s| {
+        let bounds = &bounds;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    // Strided shard assignment: worker w takes shards
+                    // w, w+workers, … — balanced even when per-shard cost
+                    // varies with position in the input.
+                    (w..bounds.len())
+                        .step_by(workers)
+                        .map(|i| {
+                            let (lo, hi) = bounds[i];
+                            (
+                                i,
+                                accumulate_shard(oracle, &values[lo..hi], shard_seed(base_seed, i)),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut parts: Vec<Option<O::Aggregator>> = (0..bounds.len()).map(|_| None).collect();
+        for h in handles {
+            for (i, agg) in h.join().expect("shard worker panicked") {
+                parts[i] = Some(agg);
+            }
+        }
+        parts
+    });
+    merge_in_order(parts)
+}
+
+/// Single-threaded reference for [`accumulate_sharded`]: identical shard
+/// plan, identical per-shard RNG streams, identical merge order — just no
+/// threads. Exists so tests can assert the parallel path is bit-identical,
+/// and as the fallback on single-core hosts.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn accumulate_sharded_sequential<O: FrequencyOracle>(
+    oracle: &O,
+    values: &[u64],
+    base_seed: u64,
+    shards: usize,
+) -> O::Aggregator {
+    assert!(shards > 0, "need at least one shard");
+    let shards = shards.min(values.len().max(1));
+    let parts = shard_bounds(values.len(), shards)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (lo, hi))| {
+            Some(accumulate_shard(
+                oracle,
+                &values[lo..hi],
+                shard_seed(base_seed, i),
+            ))
+        })
+        .collect();
+    merge_in_order(parts)
+}
+
+/// Parallel counterpart of `ldp_core::fo::collect_counts`: runs a full
+/// sharded collection round and returns the estimated count vector.
+pub fn collect_counts_parallel<O>(
+    oracle: &O,
+    values: &[u64],
+    base_seed: u64,
+    shards: usize,
+) -> Vec<f64>
+where
+    O: FrequencyOracle + Sync,
+    O::Aggregator: Send,
+{
+    accumulate_sharded(oracle, values, base_seed, shards).estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::fo::{
+        CohortLocalHashing, DirectEncoding, HadamardResponse, OptimizedLocalHashing,
+        OptimizedUnaryEncoding, SubsetSelection, SummationHistogramEncoding,
+        ThresholdHistogramEncoding,
+    };
+    use ldp_core::Epsilon;
+
+    fn eps(e: f64) -> Epsilon {
+        Epsilon::new(e).expect("valid eps")
+    }
+
+    fn values(n: usize, d: u64) -> Vec<u64> {
+        (0..n).map(|i| (i as u64).wrapping_mul(31) % d).collect()
+    }
+
+    /// The acceptance contract: parallel collection is bit-identical to
+    /// the sequential reference, for every oracle family member
+    /// (including the floating-point SHE state, since both sides use the
+    /// same shard plan and merge order).
+    #[test]
+    fn parallel_bit_identical_to_sequential_for_all_oracles() {
+        let d = 32u64;
+        let vals = values(4_000, d);
+        macro_rules! check {
+            ($oracle:expr) => {{
+                let oracle = $oracle;
+                for &shards in &[1usize, 3, 8, 64] {
+                    let par = accumulate_sharded(&oracle, &vals, 42, shards).estimate();
+                    let seq = accumulate_sharded_sequential(&oracle, &vals, 42, shards).estimate();
+                    assert_eq!(par.len(), seq.len());
+                    for (i, (a, b)) in par.iter().zip(&seq).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "shards={shards} item {i}: {a} != {b}"
+                        );
+                    }
+                }
+            }};
+        }
+        check!(DirectEncoding::new(d, eps(1.0)).expect("domain"));
+        check!(OptimizedUnaryEncoding::new(d, eps(1.0)).expect("domain"));
+        check!(ThresholdHistogramEncoding::new(d, eps(1.0)).expect("domain"));
+        check!(SummationHistogramEncoding::new(d, eps(1.0)).expect("domain"));
+        check!(SubsetSelection::new(d, eps(1.0)));
+        check!(HadamardResponse::new(d, eps(1.0)));
+        check!(OptimizedLocalHashing::new(d, eps(1.0)));
+        check!(CohortLocalHashing::optimized(d, 128, eps(1.0)));
+    }
+
+    /// The shard plan (not the worker count) defines the result, so the
+    /// same seed and shard count always reproduce the same estimate.
+    #[test]
+    fn deterministic_across_runs() {
+        let oracle = CohortLocalHashing::optimized(64, 256, eps(2.0));
+        let vals = values(10_000, 64);
+        let a = collect_counts_parallel(&oracle, &vals, 7, 16);
+        let b = collect_counts_parallel(&oracle, &vals, 7, 16);
+        assert_eq!(a, b);
+        let c = collect_counts_parallel(&oracle, &vals, 8, 16);
+        assert_ne!(a, c, "different base seed must change the noise draw");
+    }
+
+    #[test]
+    fn parallel_collection_is_unbiased() {
+        let d = 16u64;
+        let n = 30_000usize;
+        let oracle = CohortLocalHashing::optimized(d, 512, eps(2.0));
+        let vals: Vec<u64> = (0..n).map(|u| (u % 4) as u64).collect();
+        let est = collect_counts_parallel(&oracle, &vals, 99, 32);
+        let sd = oracle.count_variance(n, 0.25).sqrt();
+        for (i, &e) in est.iter().enumerate().take(4) {
+            assert!(
+                (e - n as f64 / 4.0).abs() < 5.0 * sd,
+                "item {i}: est={e} sd={sd}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_populations() {
+        let oracle = DirectEncoding::new(8, eps(1.0)).expect("domain");
+        let agg = accumulate_sharded(&oracle, &[], 1, 16);
+        assert_eq!(agg.reports(), 0);
+        let agg = accumulate_sharded(&oracle, &[3], 1, 16);
+        assert_eq!(agg.reports(), 1);
+    }
+
+    #[test]
+    fn shard_bounds_cover_input_exactly() {
+        for len in [0usize, 1, 7, 64, 65, 1000] {
+            for shards in [1usize, 2, 7, 64] {
+                let bounds = shard_bounds(len, shards.min(len.max(1)));
+                assert_eq!(bounds.first().map(|b| b.0), Some(0));
+                assert_eq!(bounds.last().map(|b| b.1), Some(len));
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "shards must tile contiguously");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let oracle = DirectEncoding::new(8, eps(1.0)).expect("domain");
+        accumulate_sharded_sequential(&oracle, &[1], 0, 0);
+    }
+}
