@@ -2,22 +2,38 @@
 //! amortized per report, estimation linear with small constants.
 //!
 //! Besides the criterion groups, this bench runs the **old-vs-new
-//! full-domain OLH comparison** (raw-report rescan vs cohort count
-//! matrix, plus sequential vs sharded-parallel collection) and emits the
-//! measurements to `BENCH_aggregate.json` at the workspace root, so the
-//! perf trajectory is recorded run over run. Set `LDP_BENCH_SMOKE=1` for
-//! a seconds-scale CI smoke configuration, and `LDP_BENCH_OUT=<path>` to
-//! redirect the JSON.
+//! comparisons** and emits the measurements to `BENCH_aggregate.json` at
+//! the workspace root, so the perf trajectory is recorded run over run:
+//!
+//! * full-domain OLH estimation: raw-report rescan vs cohort count
+//!   matrix (`estimate_speedup`);
+//! * client-side randomize→accumulate: the frozen pre-batch-engine
+//!   scalar path (one Bernoulli draw per bit through `dyn RngCore`, one
+//!   `BitVec` per report) vs the fused geometric-skip batch path
+//!   (`batch_speedup`, sequential on both sides);
+//! * the whole collect loop: legacy scalar collection vs the fused batch
+//!   path fanned out across the parallel engine's actual worker count
+//!   (`collect_speedup`), with the pure thread contribution isolated as
+//!   `thread_scaling` (fused 1 worker vs fused N workers) and the real
+//!   worker count recorded as `threads` — on a single-core host
+//!   `thread_scaling` sits at ~1 and `collect_speedup` is the batch
+//!   engine alone; on a multi-core host the two multiply.
+//!
+//! Set `LDP_BENCH_SMOKE=1` for a seconds-scale CI smoke configuration,
+//! and `LDP_BENCH_OUT=<path>` to redirect the JSON.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ldp_apple::hcms::HcmsProtocol;
+use ldp_bench::legacy::{legacy_the_randomize, legacy_unary_randomize};
 use ldp_core::fo::{
     CohortLocalHashing, FoAggregator, FrequencyOracle, LocalHashing, OptimizedLocalHashing,
-    OptimizedUnaryEncoding,
+    OptimizedUnaryEncoding, ThresholdHistogramEncoding,
 };
 use ldp_core::Epsilon;
 use ldp_rappor::{RapporAggregator, RapporClient, RapporParams};
-use ldp_workloads::parallel::{accumulate_sharded, accumulate_sharded_sequential};
+use ldp_workloads::parallel::{
+    accumulate_sharded_sequential, accumulate_sharded_with_workers, planned_workers, shard_seed,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -130,11 +146,38 @@ fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Old-vs-new full-domain OLH aggregation at deployment-ish scale:
-/// raw-report rescan (`O(n·d)`) against the cohort count matrix
-/// (`O(C·d)`), plus sequential vs sharded-parallel collection. Prints the
-/// comparison and records it in `BENCH_aggregate.json`.
-fn bench_olh_old_vs_new(_c: &mut Criterion) {
+/// Legacy scalar collection over the engine's shard plan (same shard
+/// seeds and merge order as `accumulate_sharded`, scalar per-report path
+/// inside) — the old collect loop, kept for the old-vs-new comparison.
+fn legacy_collect_oue(
+    oracle: &OptimizedUnaryEncoding,
+    values: &[u64],
+    base_seed: u64,
+    shards: usize,
+) -> usize {
+    let (p, q) = oracle.probabilities();
+    let d = oracle.domain_size();
+    let chunk = values.len().div_ceil(shards);
+    let mut agg = oracle.new_aggregator();
+    for s in 0..shards {
+        let (lo, hi) = (
+            (s * chunk).min(values.len()),
+            ((s + 1) * chunk).min(values.len()),
+        );
+        let mut rng = StdRng::seed_from_u64(shard_seed(base_seed, s));
+        for &v in &values[lo..hi] {
+            agg.accumulate(&legacy_unary_randomize(d, p, q, v, &mut rng));
+        }
+    }
+    agg.reports()
+}
+
+/// Old-vs-new at deployment-ish scale: full-domain OLH estimation
+/// (raw-report rescan vs cohort count matrix), OUE randomize→accumulate
+/// (legacy per-bit scalar vs fused geometric-skip batch), and the whole
+/// collect loop (legacy scalar vs batch across the parallel engine).
+/// Prints the comparison and records it in `BENCH_aggregate.json`.
+fn bench_old_vs_new(_c: &mut Criterion) {
     let smoke = std::env::var("LDP_BENCH_SMOKE").is_ok();
     // Full size matches the acceptance target (n=100k, d=4096); smoke
     // keeps CI in the seconds range while exercising the same code paths.
@@ -151,32 +194,83 @@ fn bench_olh_old_vs_new(_c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let values: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(31) % d).collect();
 
-    // Accumulate both aggregators once; the comparison is estimation cost.
+    // --- Estimation: raw rescan vs cohort matrix (unchanged since PR 2).
     let mut raw_agg = raw_oracle.new_aggregator();
     let mut cohort_agg = cohort_oracle.new_aggregator();
     for &v in &values {
         raw_agg.accumulate(&raw_oracle.randomize(v, &mut rng));
         cohort_agg.accumulate(&cohort_oracle.randomize(v, &mut rng));
     }
-
     let raw_estimate_ns = median_ns(estimate_reps, || {
         black_box(raw_agg.estimate());
     });
-    let cohort_estimate_ns = median_ns(estimate_reps.max(10), || {
+    let cohort_estimate_ns = median_ns(estimate_reps.max(11), || {
         black_box(cohort_agg.estimate());
     });
     let estimate_speedup = raw_estimate_ns / cohort_estimate_ns;
 
-    // Collection: sequential reference vs the sharded-parallel engine
-    // (same shard plan, so identical output; the delta is thread fan-out).
-    let collect_reps = if smoke { 2 } else { 3 };
+    // --- Randomization: legacy per-bit scalar vs fused batch, both
+    // sequential, on OUE (the unary family is where the issue's per-user
+    // O(d) draw cost lived).
+    let oue = OptimizedUnaryEncoding::new(d, eps).expect("valid domain");
+    let (p, q) = oue.probabilities();
+    // Identical, odd rep count on both sides of every comparison:
+    // median_ns over an even count returns the slower sample, and
+    // asymmetric counts would bias the recorded speedups.
+    let rand_reps = 3;
+    let oue_scalar_randomize_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = oue.new_aggregator();
+        for &v in &values {
+            agg.accumulate(&legacy_unary_randomize(d, p, q, v, &mut rng));
+        }
+        black_box(agg.reports());
+    });
+    let oue_batch_randomize_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = oue.new_aggregator();
+        oue.randomize_accumulate_batch(&values, &mut rng, &mut agg);
+        black_box(agg.reports());
+    });
+    let batch_speedup = oue_scalar_randomize_ns / oue_batch_randomize_ns;
+
+    // THE: the old scalar path materialized d Laplace draws per report
+    // and thresholded them; the batch path samples the induced Bernoulli
+    // channel with geometric skips — the starkest unary-family win.
+    let the = ThresholdHistogramEncoding::new(d, eps).expect("valid domain");
+    let theta = the.theta();
+    let scale = 2.0 / eps.value();
+    let the_scalar_randomize_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = the.new_aggregator();
+        for &v in &values {
+            agg.accumulate(&legacy_the_randomize(d, scale, theta, v, &mut rng));
+        }
+        black_box(agg.reports());
+    });
+    let the_batch_randomize_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = the.new_aggregator();
+        the.randomize_accumulate_batch(&values, &mut rng, &mut agg);
+        black_box(agg.reports());
+    });
+    let the_batch_speedup = the_scalar_randomize_ns / the_batch_randomize_ns;
+
+    // --- Collection: the legacy scalar loop vs the batch path on the
+    // parallel engine, with the pure thread contribution isolated.
+    let collect_reps = 3;
+    let threads = planned_workers(shards);
     let seq_collect_ns = median_ns(collect_reps, || {
-        black_box(accumulate_sharded_sequential(&cohort_oracle, &values, 5, shards).reports());
+        black_box(legacy_collect_oue(&oue, &values, 5, shards));
+    });
+    let batch_collect_1w_ns = median_ns(collect_reps, || {
+        black_box(accumulate_sharded_sequential(&oue, &values, 5, shards).reports());
     });
     let par_collect_ns = median_ns(collect_reps, || {
-        black_box(accumulate_sharded(&cohort_oracle, &values, 5, shards).reports());
+        black_box(accumulate_sharded_with_workers(&oue, &values, 5, shards, threads).reports());
     });
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let collect_speedup = seq_collect_ns / par_collect_ns;
+    let thread_scaling = batch_collect_1w_ns / par_collect_ns;
 
     println!(
         "olh_full_domain_estimate/raw_n{n}_d{d}: {:.2} ms",
@@ -187,16 +281,26 @@ fn bench_olh_old_vs_new(_c: &mut Criterion) {
         cohort_estimate_ns / 1e6
     );
     println!(
-        "olh_collect/sequential_n{n}: {:.2} ms, sharded_parallel({threads} threads): {:.2} ms",
+        "oue_randomize_accumulate/scalar_n{n}_d{d}: {:.2} ms, fused_batch: {:.2} ms  ({batch_speedup:.1}x speedup)",
+        oue_scalar_randomize_ns / 1e6,
+        oue_batch_randomize_ns / 1e6
+    );
+    println!(
+        "the_randomize_accumulate/scalar_n{n}_d{d}: {:.2} ms, fused_batch: {:.2} ms  ({the_batch_speedup:.1}x speedup)",
+        the_scalar_randomize_ns / 1e6,
+        the_batch_randomize_ns / 1e6
+    );
+    println!(
+        "oue_collect/legacy_scalar_n{n}: {:.2} ms, batch_1w: {:.2} ms, batch_parallel({threads} workers): {:.2} ms  ({collect_speedup:.1}x total, {thread_scaling:.2}x from threads)",
         seq_collect_ns / 1e6,
+        batch_collect_1w_ns / 1e6,
         par_collect_ns / 1e6
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2}\n}}\n",
         if smoke { "smoke" } else { "full" },
         cohort_oracle.g(),
-        seq_collect_ns / par_collect_ns,
     );
     let out = std::env::var("LDP_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_aggregate.json").to_string()
@@ -205,5 +309,5 @@ fn bench_olh_old_vs_new(_c: &mut Criterion) {
     println!("wrote {out}");
 }
 
-criterion_group!(benches, bench_aggregate, bench_olh_old_vs_new);
+criterion_group!(benches, bench_aggregate, bench_old_vs_new);
 criterion_main!(benches);

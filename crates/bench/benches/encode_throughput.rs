@@ -1,17 +1,26 @@
 //! Client-side encoding cost per mechanism — the "Internet scale" claim:
 //! a report must cost microseconds on-device.
+//!
+//! The `client_encode_batch` group is the scalar-vs-batch comparison:
+//! for the unary family it pits the frozen pre-batch-engine per-bit
+//! randomizer (`legacy`) against today's scalar path (geometric-skip
+//! sampling through `dyn RngCore`) and the fused batch path
+//! (monomorphized draws, reports folded straight into the aggregator,
+//! zero per-report allocation).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ldp_apple::cms::CmsProtocol;
 use ldp_apple::hcms::HcmsProtocol;
+use ldp_bench::legacy::legacy_unary_randomize;
 use ldp_core::fo::{
-    DirectEncoding, FrequencyOracle, HadamardResponse, OptimizedLocalHashing,
-    OptimizedUnaryEncoding,
+    DirectEncoding, FoAggregator, FrequencyOracle, HadamardResponse, OptimizedLocalHashing,
+    OptimizedUnaryEncoding, ThresholdHistogramEncoding,
 };
 use ldp_core::rr::BinaryRandomizedResponse;
 use ldp_core::Epsilon;
 use ldp_microsoft::OneBitMean;
 use ldp_rappor::{RapporClient, RapporParams};
+use ldp_sketch::BitVec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -74,5 +83,85 @@ fn bench_encode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode);
+/// Scalar-vs-batch randomization for the unary family, over a 1k-report
+/// batch so criterion's per-element throughput is comparable across the
+/// three paths.
+fn bench_encode_batch(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid eps");
+    let batch: Vec<u64> = (0..1000u64).collect();
+    let mut group = c.benchmark_group("client_encode_batch");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(batch.len() as u64));
+
+    for d in [1024u64, 4096] {
+        let oue = OptimizedUnaryEncoding::new(d, eps).expect("valid domain");
+        let (p, q) = oue.probabilities();
+        group.bench_with_input(BenchmarkId::new("oue_legacy_per_bit", d), &d, |b, &d| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut agg = oue.new_aggregator();
+                for &v in &batch {
+                    agg.accumulate(&legacy_unary_randomize(d, p, q, black_box(v), &mut rng));
+                }
+                agg.reports()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oue_scalar_geometric", d), &d, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut agg = oue.new_aggregator();
+                for &v in &batch {
+                    agg.accumulate(&oue.randomize(black_box(v), &mut rng));
+                }
+                agg.reports()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oue_fused_batch", d), &d, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut agg = oue.new_aggregator();
+                oue.randomize_accumulate_batch(black_box(&batch), &mut rng, &mut agg);
+                agg.reports()
+            })
+        });
+    }
+
+    // THE: the batch path replaces d Laplace draws with 2 + d·q uniforms.
+    {
+        let the = ThresholdHistogramEncoding::new(4096, eps).expect("valid domain");
+        group.bench_function("the_fused_batch/4096", |b| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let mut agg = the.new_aggregator();
+                the.randomize_accumulate_batch(black_box(&batch), &mut rng, &mut agg);
+                agg.reports()
+            })
+        });
+    }
+
+    // RAPPOR: allocation-free reporting through the reusable buffer.
+    {
+        let params = RapporParams::chrome_default(64).expect("valid params");
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut client = RapporClient::new(params.clone(), 3, &mut rng);
+        let mut buf = BitVec::zeros(params.bloom_bits());
+        group.bench_function("rappor_report_into_reused_buf", |b| {
+            let mut rng = StdRng::seed_from_u64(10);
+            b.iter(|| {
+                let mut total = 0usize;
+                for _ in 0..batch.len() {
+                    client.report_into(black_box(b"example.com"), &mut rng, &mut buf);
+                    total += buf.count_ones();
+                }
+                total
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_encode_batch);
 criterion_main!(benches);

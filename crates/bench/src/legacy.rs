@@ -1,0 +1,71 @@
+//! Frozen pre-batch-engine randomizers — the "old code" baselines the
+//! batch-engine speedups in `BENCH_aggregate.json` are measured against.
+//!
+//! These are deliberately **not** re-exported from `ldp-core`: they are
+//! byte-for-byte what the library's scalar paths did before geometric-skip
+//! sampling landed, kept in one place so every bench compares against the
+//! same old code. Do not "improve" them — any change here silently
+//! re-bases the recorded speedup trajectory.
+
+use ldp_core::noise::sample_laplace;
+use ldp_sketch::BitVec;
+use rand::{Rng, RngCore};
+
+/// The pre-batch-engine unary (SUE/OUE) randomizer: one Bernoulli draw
+/// per bit through a `dyn RngCore` vtable, materializing a fresh
+/// `BitVec` per report.
+pub fn legacy_unary_randomize(d: u64, p: f64, q: f64, value: u64, rng: &mut dyn RngCore) -> BitVec {
+    let mut bits = BitVec::zeros(d as usize);
+    for i in 0..d as usize {
+        let keep = if i as u64 == value { p } else { q };
+        if rng.gen_bool(keep) {
+            bits.set(i, true);
+        }
+    }
+    bits
+}
+
+/// The pre-batch-engine THE randomizer: `d` Laplace draws per report,
+/// thresholded at θ, through `dyn RngCore`.
+pub fn legacy_the_randomize(
+    d: u64,
+    scale: f64,
+    theta: f64,
+    value: u64,
+    rng: &mut dyn RngCore,
+) -> BitVec {
+    let mut bits = BitVec::zeros(d as usize);
+    for i in 0..d {
+        let base = if i == value { 1.0 } else { 0.0 };
+        if base + sample_laplace(scale, rng) > theta {
+            bits.set(i as usize, true);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The frozen baselines must stay distribution-correct (they are the
+    /// denominator of every recorded speedup): per-bit 1-rates match the
+    /// (p, q) channel.
+    #[test]
+    fn legacy_paths_match_channel_rates() {
+        let (d, p, q) = (16u64, 0.7, 0.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40_000;
+        let mut counts = vec![0u64; d as usize];
+        for _ in 0..n {
+            legacy_unary_randomize(d, p, q, 5, &mut rng).accumulate_into(&mut counts);
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / n as f64;
+            let expected = if i == 5 { p } else { q };
+            assert!((rate - expected).abs() < 0.02, "bit {i}: {rate}");
+        }
+    }
+}

@@ -9,7 +9,10 @@
 //! tutorial's scalability claims: client-side encoding is microseconds,
 //! server-side aggregation is linear with small constants.
 //!
-//! This library target only hosts shared helpers for the binaries.
+//! This library target only hosts shared helpers for the binaries and
+//! benches.
+
+pub mod legacy;
 
 /// Formats a float for experiment tables: fixed width, 4 significant
 /// digits, scientific for very large/small magnitudes.

@@ -61,6 +61,36 @@ impl FrequencyOracle for DirectEncoding {
         self.inner.randomize(value, rng)
     }
 
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(u64),
+    {
+        // Monomorphized k-ary RR: the two uniform draws per report inline
+        // instead of going through the `dyn RngCore` vtable.
+        for &v in values {
+            sink(self.inner.randomize(v, rng));
+        }
+    }
+
+    /// Fused batch path: perturbed values land straight in the histogram.
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut DirectAggregator,
+    ) {
+        assert_eq!(
+            agg.histogram.len(),
+            self.inner.k() as usize,
+            "aggregator width mismatch"
+        );
+        for &v in values {
+            agg.histogram[self.inner.randomize(v, rng) as usize] += 1;
+            agg.n += 1;
+        }
+    }
+
     fn new_aggregator(&self) -> DirectAggregator {
         DirectAggregator {
             histogram: vec![0; self.inner.k() as usize],

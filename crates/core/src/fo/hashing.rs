@@ -87,6 +87,24 @@ impl LocalHashing {
     pub fn support_probabilities(&self) -> (f64, f64) {
         (self.rr.p(), 1.0 / self.g as f64)
     }
+
+    /// Shared sampling core for the scalar and batch paths: seed draw,
+    /// hash, k-ary RR — at most three uniform draws per report.
+    #[inline]
+    fn randomize_impl<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> LhReport {
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
+        let seed: u64 = rng.gen();
+        let bucket = self.family.hash(value, seed);
+        let perturbed = self.rr.randomize(bucket, rng);
+        LhReport {
+            seed,
+            bucket: perturbed,
+        }
+    }
 }
 
 impl FrequencyOracle for LocalHashing {
@@ -110,17 +128,33 @@ impl FrequencyOracle for LocalHashing {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> LhReport {
-        assert!(
-            value < self.d,
-            "value {value} outside domain of size {}",
-            self.d
-        );
-        let seed: u64 = rng.gen();
-        let bucket = self.family.hash(value, seed);
-        let perturbed = self.rr.randomize(bucket, rng);
-        LhReport {
-            seed,
-            bucket: perturbed,
+        self.randomize_impl(value, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(LhReport),
+    {
+        for &v in values {
+            sink(self.randomize_impl(v, rng));
+        }
+    }
+
+    /// Fused batch path: reports are pushed straight into the raw-report
+    /// store with monomorphized draws (there is no smaller sufficient
+    /// statistic for random-seed local hashing — use
+    /// [`CohortLocalHashing`] for one).
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut LhAggregator,
+    ) {
+        assert_eq!(agg.d, self.d, "aggregator domain mismatch");
+        agg.reports.reserve(values.len());
+        for &v in values {
+            agg.reports.push(self.randomize_impl(v, rng));
         }
     }
 
@@ -203,6 +237,23 @@ macro_rules! delegate_oracle {
                 self.0.randomize(value, rng)
             }
 
+            fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, sink: F)
+            where
+                R: RngCore,
+                F: FnMut(LhReport),
+            {
+                self.0.randomize_batch(values, rng, sink)
+            }
+
+            fn randomize_accumulate_batch<R: RngCore>(
+                &self,
+                values: &[u64],
+                rng: &mut R,
+                agg: &mut LhAggregator,
+            ) {
+                self.0.randomize_accumulate_batch(values, rng, agg)
+            }
+
             fn new_aggregator(&self) -> LhAggregator {
                 self.0.new_aggregator()
             }
@@ -245,6 +296,13 @@ impl LhAggregator {
             .filter(|r| self.family.hash(item, r.seed) == r.bucket)
             .count() as u64
     }
+
+    /// Debiased count estimate for one item.
+    #[inline]
+    fn estimate_one(&self, item: u64, n: f64) -> f64 {
+        debug_assert!(item < self.d);
+        (self.support(item) as f64 - n * self.q) / (self.p - self.q)
+    }
 }
 
 impl FoAggregator for LhAggregator {
@@ -259,19 +317,15 @@ impl FoAggregator for LhAggregator {
     }
 
     fn estimate(&self) -> Vec<f64> {
-        let items: Vec<u64> = (0..self.d).collect();
-        self.estimate_items(&items)
+        // Iterate the domain range directly — no scratch `Vec<u64>` of all
+        // item ids just to look each one up again.
+        let n = self.reports.len() as f64;
+        (0..self.d).map(|v| self.estimate_one(v, n)).collect()
     }
 
     fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
         let n = self.reports.len() as f64;
-        items
-            .iter()
-            .map(|&v| {
-                debug_assert!(v < self.d);
-                (self.support(v) as f64 - n * self.q) / (self.p - self.q)
-            })
-            .collect()
+        items.iter().map(|&v| self.estimate_one(v, n)).collect()
     }
 
     fn merge(&mut self, other: Self) {
@@ -412,6 +466,24 @@ impl CohortLocalHashing {
     pub fn support_probabilities(&self) -> (f64, f64) {
         (self.rr.p(), 1.0 / self.g as f64)
     }
+
+    /// Shared sampling core for the scalar and batch paths: cohort draw,
+    /// hash against the cohort's public seed, k-ary RR.
+    #[inline]
+    fn randomize_impl<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> CohortLhReport {
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
+        let cohort = rng.gen_range(0..self.cohorts);
+        let bucket = self.family.hash(value, cohort_seed(self.seed_base, cohort));
+        let perturbed = self.rr.randomize(bucket, rng);
+        CohortLhReport {
+            cohort,
+            bucket: perturbed as u32,
+        }
+    }
 }
 
 impl FrequencyOracle for CohortLocalHashing {
@@ -431,17 +503,40 @@ impl FrequencyOracle for CohortLocalHashing {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> CohortLhReport {
+        self.randomize_impl(value, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(CohortLhReport),
+    {
+        for &v in values {
+            sink(self.randomize_impl(v, rng));
+        }
+    }
+
+    /// Fused batch path: each report increments its `C×g` matrix cell
+    /// directly — no report struct crosses an API boundary, and every
+    /// uniform draw is monomorphized.
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut CohortLhAggregator,
+    ) {
         assert!(
-            value < self.d,
-            "value {value} outside domain of size {}",
-            self.d
+            agg.d == self.d
+                && agg.g == self.g
+                && agg.cohorts == self.cohorts
+                && agg.seed_base == self.seed_base,
+            "aggregator configuration mismatch"
         );
-        let cohort = rng.gen_range(0..self.cohorts);
-        let bucket = self.family.hash(value, cohort_seed(self.seed_base, cohort));
-        let perturbed = self.rr.randomize(bucket, rng);
-        CohortLhReport {
-            cohort,
-            bucket: perturbed as u32,
+        let g = self.g as usize;
+        for &v in values {
+            let r = self.randomize_impl(v, rng);
+            agg.counts[r.cohort as usize * g + r.bucket as usize] += 1;
+            agg.n += 1;
         }
     }
 
@@ -518,19 +613,34 @@ impl CohortLhAggregator {
     }
 
     /// Raw support counts (reports whose cohort hashes the item onto the
-    /// reported bucket) for each queried item.
-    fn support_counts(&self, items: &[u64]) -> Vec<u64> {
+    /// reported bucket) for each queried item. Takes a re-iterable item
+    /// sequence so the full-domain sweep can pass `0..d` without
+    /// materializing an all-items scratch `Vec`; the cohort loop stays
+    /// outermost so each `g`-wide row stays in cache.
+    fn support_counts<I>(&self, items: I, len: usize) -> Vec<u64>
+    where
+        I: Iterator<Item = u64> + Clone,
+    {
         let g = self.g as usize;
-        let mut support = vec![0u64; items.len()];
+        let mut support = vec![0u64; len];
         for c in 0..self.cohorts {
             let seed = cohort_seed(self.seed_base, c);
             let row = &self.counts[c as usize * g..(c as usize + 1) * g];
-            for (s, &v) in support.iter_mut().zip(items) {
+            for (s, v) in support.iter_mut().zip(items.clone()) {
                 debug_assert!(v < self.d, "item {v} outside domain {}", self.d);
                 *s += row[self.family.hash(v, seed) as usize];
             }
         }
         support
+    }
+
+    /// Debiases raw support counts into unbiased count estimates.
+    fn debias(&self, support: Vec<u64>) -> Vec<f64> {
+        let n = self.n as f64;
+        support
+            .into_iter()
+            .map(|s| (s as f64 - n * self.q) / (self.p - self.q))
+            .collect()
     }
 }
 
@@ -555,16 +665,12 @@ impl FoAggregator for CohortLhAggregator {
     }
 
     fn estimate(&self) -> Vec<f64> {
-        let items: Vec<u64> = (0..self.d).collect();
-        self.estimate_items(&items)
+        // Sweep the domain range directly — no all-items scratch Vec.
+        self.debias(self.support_counts(0..self.d, self.d as usize))
     }
 
     fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
-        let n = self.n as f64;
-        self.support_counts(items)
-            .into_iter()
-            .map(|s| (s as f64 - n * self.q) / (self.p - self.q))
-            .collect()
+        self.debias(self.support_counts(items.iter().copied(), items.len()))
     }
 
     fn merge(&mut self, other: Self) {

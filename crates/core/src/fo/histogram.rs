@@ -14,14 +14,22 @@
 //!   optimizing `θ` numerically (it lands in `(½, 1)`) makes THE
 //!   competitive with OUE — the tutorial's example of post-processing
 //!   buying back utility.
+//!
+//! Because the noisy coordinates are independent and the report only
+//! carries the threshold indicators, THE's output distribution is exactly
+//! "bit `i` set with probability `p` (one-hot position) or `q` (others)".
+//! The implementation therefore samples the induced Bernoulli channel
+//! directly with geometric skipping ([`crate::fo::batch`]) — `2 + (d−1)·q`
+//! expected uniform draws per report instead of `d` Laplace draws — and
+//! never materializes the continuous noise it marginalizes out.
 
-use super::{FoAggregator, FrequencyOracle};
+use super::{batch, FoAggregator, FrequencyOracle};
 use crate::estimate::debiased_count_variance;
 use crate::noise::sample_laplace;
 use crate::privacy::Epsilon;
 use crate::{Error, Result};
 use ldp_sketch::BitVec;
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 /// Summation with histogram encoding: report a one-hot vector plus
 /// per-coordinate `Lap(2/ε)` noise.
@@ -54,6 +62,22 @@ impl SummationHistogramEncoding {
     pub fn noise_scale(&self) -> f64 {
         self.scale
     }
+
+    /// Shared sampling core for the scalar and batch paths (generic RNG,
+    /// so batch callers monomorphize every Laplace draw).
+    fn randomize_impl<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> Vec<f64> {
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
+        (0..self.d)
+            .map(|i| {
+                let base = if i == value { 1.0 } else { 0.0 };
+                base + sample_laplace(self.scale, rng)
+            })
+            .collect()
+    }
 }
 
 impl FrequencyOracle for SummationHistogramEncoding {
@@ -73,17 +97,39 @@ impl FrequencyOracle for SummationHistogramEncoding {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> Vec<f64> {
-        assert!(
-            value < self.d,
-            "value {value} outside domain of size {}",
-            self.d
-        );
-        (0..self.d)
-            .map(|i| {
-                let base = if i == value { 1.0 } else { 0.0 };
-                base + sample_laplace(self.scale, rng)
-            })
-            .collect()
+        self.randomize_impl(value, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(Vec<f64>),
+    {
+        for &v in values {
+            sink(self.randomize_impl(v, rng));
+        }
+    }
+
+    /// Fused batch path: adds each coordinate's one-hot base plus fresh
+    /// Laplace noise straight into the aggregator's sums — no per-report
+    /// `Vec<f64>`. Performs the same `base + noise` additions in the same
+    /// order as the scalar randomize→accumulate loop, so the
+    /// floating-point state is bit-identical for a given seed.
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut SheAggregator,
+    ) {
+        assert_eq!(agg.sums.len(), self.d as usize, "aggregator width mismatch");
+        for &v in values {
+            assert!(v < self.d, "value {v} outside domain of size {}", self.d);
+            for (i, s) in agg.sums.iter_mut().enumerate() {
+                let base = if i as u64 == v { 1.0 } else { 0.0 };
+                *s += base + sample_laplace(self.scale, rng);
+            }
+            agg.n += 1;
+        }
     }
 
     fn new_aggregator(&self) -> SheAggregator {
@@ -145,14 +191,20 @@ impl FoAggregator for SheAggregator {
 
 /// Thresholding with histogram encoding: SHE followed by a client-side
 /// threshold at `θ`, transmitting one bit per coordinate.
+///
+/// Implemented by sampling the induced `(p, q)` Bernoulli channel
+/// directly (the thresholded-Laplace construction marginalizes to exactly
+/// that), with geometric-skip sampling of the set bits.
 #[derive(Debug, Clone, Copy)]
 pub struct ThresholdHistogramEncoding {
     d: u64,
     epsilon: Epsilon,
-    scale: f64,
     theta: f64,
     p: f64,
     q: f64,
+    /// Geometric-skip sampler for the zero-position rate `q`,
+    /// precomputed once per oracle (CDF boundary table).
+    skip: batch::GeometricSkip,
 }
 
 impl ThresholdHistogramEncoding {
@@ -185,10 +237,10 @@ impl ThresholdHistogramEncoding {
         Ok(Self {
             d,
             epsilon,
-            scale: 2.0 / epsilon.value(),
             theta,
             p,
             q,
+            skip: batch::GeometricSkip::new(q),
         })
     }
 
@@ -243,6 +295,37 @@ impl ThresholdHistogramEncoding {
     pub fn probabilities(&self) -> (f64, f64) {
         (self.p, self.q)
     }
+
+    /// Samples the set-bit positions of one report — one Bernoulli(`p`)
+    /// draw for the one-hot position, geometric-skip sampling at rate `q`
+    /// for the rest. Shared by the scalar and fused batch paths, so both
+    /// consume identical RNG streams.
+    #[inline]
+    fn sample_ones<R: RngCore + ?Sized>(
+        &self,
+        value: u64,
+        rng: &mut R,
+        mut on_one: impl FnMut(usize),
+    ) {
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
+        if rng.gen_bool(self.p) {
+            on_one(value as usize);
+        }
+        self.skip.sample_into(self.d - 1, rng, |k| {
+            let pos = k + u64::from(k >= value);
+            on_one(pos as usize);
+        });
+    }
+
+    fn randomize_impl<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> BitVec {
+        let mut bits = BitVec::zeros(self.d as usize);
+        self.sample_ones(value, rng, |i| bits.set(i, true));
+        bits
+    }
 }
 
 impl FrequencyOracle for ThresholdHistogramEncoding {
@@ -262,19 +345,37 @@ impl FrequencyOracle for ThresholdHistogramEncoding {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
-        assert!(
-            value < self.d,
-            "value {value} outside domain of size {}",
-            self.d
-        );
-        let mut bits = BitVec::zeros(self.d as usize);
-        for i in 0..self.d {
-            let base = if i == value { 1.0 } else { 0.0 };
-            if base + sample_laplace(self.scale, rng) > self.theta {
-                bits.set(i as usize, true);
-            }
+        self.randomize_impl(value, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(BitVec),
+    {
+        for &v in values {
+            sink(self.randomize_impl(v, rng));
         }
-        bits
+    }
+
+    /// Fused batch path: geometric-skip-sampled set bits go straight into
+    /// the aggregator's per-position counters, no `BitVec` materialized.
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut TheAggregator,
+    ) {
+        assert_eq!(agg.ones.len(), self.d as usize, "aggregator width mismatch");
+        assert!(
+            agg.p == self.p && agg.q == self.q,
+            "aggregator channel mismatch"
+        );
+        for &v in values {
+            let ones = &mut agg.ones;
+            self.sample_ones(v, rng, |i| ones[i] += 1);
+            agg.n += 1;
+        }
     }
 
     fn new_aggregator(&self) -> TheAggregator {

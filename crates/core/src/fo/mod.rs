@@ -7,18 +7,24 @@
 //! primitive, and Wang et al. (USENIX Security 2017) systematized the
 //! design space. This module implements that design space:
 //!
-//! | Mechanism | Module | Report size | `Var*/n` (noise floor, counts) | Aggregation: memory, full `estimate()` |
-//! |---|---|---|---|---|
-//! | Direct encoding (GRR) | [`direct`] | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `O(d)`, `O(d)` |
-//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `O(d)`, `O(d)` |
-//! | Optimized unary (OUE) | [`unary`] | `d` bits | `4e^ε/(e^ε−1)²` | `O(d)`, `O(d)` |
-//! | Summation histogram (SHE) | [`histogram`] | `d` floats | `8/ε²` | `O(d)`, `O(d)` |
-//! | Threshold histogram (THE) | [`histogram`] | `d` bits | optimized numerically | `O(d)`, `O(d)` |
-//! | Binary local hashing (BLH) | [`hashing`] | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `O(n)`, `O(n·d)` |
-//! | Optimized local hashing (OLH) | [`hashing`] | 64+log g bits | `4e^ε/(e^ε−1)²` | `O(n)`, `O(n·d)` |
-//! | Cohort local hashing (OLH-C) | [`hashing`] | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `O(C·g)`, `O(C·d)` |
-//! | Hadamard response (HR) | [`hadamard`] | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `O(m)`, `O(m log m)` |
-//! | Subset selection (SS) | [`subset`] | `k·log d` bits | minimax-optimal | `O(d)`, `O(d)` |
+//! | Mechanism | Module | Report size | `Var*/n` (noise floor, counts) | Randomize cost (uniform draws / user) | Aggregation: memory, full `estimate()` |
+//! |---|---|---|---|---|---|
+//! | Direct encoding (GRR) | [`direct`] | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `≤ 2` | `O(d)`, `O(d)` |
+//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
+//! | Optimized unary (OUE) | [`unary`] | `d` bits | `4e^ε/(e^ε−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
+//! | Summation histogram (SHE) | [`histogram`] | `d` floats | `8/ε²` | `d` (continuous noise per coord) | `O(d)`, `O(d)` |
+//! | Threshold histogram (THE) | [`histogram`] | `d` bits | optimized numerically | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
+//! | Binary local hashing (BLH) | [`hashing`] | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
+//! | Optimized local hashing (OLH) | [`hashing`] | 64+log g bits | `4e^ε/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
+//! | Cohort local hashing (OLH-C) | [`hashing`] | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `≤ 3` | `O(C·g)`, `O(C·d)` |
+//! | Hadamard response (HR) | [`hadamard`] | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` |
+//! | Subset selection (SS) | [`subset`] | `k·log d` bits | minimax-optimal | `1 + k` | `O(d)`, `O(d)` |
+//!
+//! The randomization-cost column counts uniform RNG draws per report on
+//! the batch path. The unary family (`d` bits, one independent Bernoulli
+//! per position) pays `2 + d·q` expected draws instead of `d` thanks to
+//! geometric-skip sampling of the set bits ([`batch`]); SHE is the one
+//! mechanism that inherently needs a continuous noise draw per coordinate.
 //!
 //! The table is the tutorial's punchline: OUE, OLH and HR share the same
 //! optimal noise floor, differing only in communication; GRR beats them all
@@ -44,6 +50,7 @@
 //! collection can be sharded across threads or machines and combined —
 //! see `ldp_workloads::parallel` for the `std::thread::scope` harness.
 
+pub mod batch;
 pub mod direct;
 pub mod hadamard;
 pub mod hashing;
@@ -89,6 +96,54 @@ pub trait FrequencyOracle {
     /// # Panics
     /// Implementations panic if `value >= domain_size()`.
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> Self::Report;
+
+    /// Batch client side: privatizes every value in `values`, handing each
+    /// report to `sink` in input order.
+    ///
+    /// Unlike [`randomize`](Self::randomize), the RNG is a generic
+    /// `R: RngCore` — per-draw calls monomorphize instead of going through
+    /// a `dyn RngCore` vtable, which matters when a report costs thousands
+    /// of draws. The default implementation is the scalar loop; oracle
+    /// overrides share their sampling core with `randomize` so that, for a
+    /// given seed, the batch path consumes **exactly** the same RNG stream
+    /// as the scalar loop (the bit-identity contract the proptests in
+    /// `crates/core/tests/batch_oracles.rs` enforce).
+    ///
+    /// # Panics
+    /// Panics if any value is `>= domain_size()`.
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        Self: Sized,
+        R: RngCore,
+        F: FnMut(Self::Report),
+    {
+        for &v in values {
+            sink(self.randomize(v, rng));
+        }
+    }
+
+    /// Fused batch client+server step: privatizes every value in `values`
+    /// and folds the reports straight into `agg`, without materializing
+    /// per-report allocations where the oracle can avoid them.
+    ///
+    /// This is the hot path of sharded collection
+    /// (`ldp_workloads::parallel`): unary-family overrides skip the
+    /// per-report `BitVec` entirely and add geometric-skip-sampled set
+    /// bits directly into the aggregator's `u64` column counters. The
+    /// resulting aggregator state is bit-identical to running the scalar
+    /// `randomize` + [`FoAggregator::accumulate`] loop with the same RNG
+    /// seed — same draws, same integer counters.
+    ///
+    /// # Panics
+    /// Panics if any value is `>= domain_size()` or `agg` was configured
+    /// for a different oracle instance.
+    fn randomize_accumulate_batch<R>(&self, values: &[u64], rng: &mut R, agg: &mut Self::Aggregator)
+    where
+        Self: Sized,
+        R: RngCore,
+    {
+        self.randomize_batch(values, rng, |r| agg.accumulate(&r));
+    }
 
     /// Creates an empty aggregator configured for this oracle instance.
     fn new_aggregator(&self) -> Self::Aggregator;
@@ -155,16 +210,16 @@ pub trait FoAggregator {
 /// Runs a full collection round: randomizes `values` through `oracle`,
 /// aggregates, and returns the estimated count vector. Convenience used by
 /// tests, examples, and experiment binaries.
+///
+/// Rides the fused batch path; since that path consumes the same RNG
+/// stream as the scalar loop, results for a fixed seed are unchanged.
 pub fn collect_counts<O: FrequencyOracle, R: RngCore>(
     oracle: &O,
     values: &[u64],
     rng: &mut R,
 ) -> Vec<f64> {
     let mut agg = oracle.new_aggregator();
-    for &v in values {
-        let report = oracle.randomize(v, rng);
-        agg.accumulate(&report);
-    }
+    oracle.randomize_accumulate_batch(values, rng, &mut agg);
     agg.estimate()
 }
 

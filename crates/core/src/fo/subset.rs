@@ -73,6 +73,35 @@ impl SubsetSelection {
         let q = p * (k - 1.0) / (d - 1.0) + (1.0 - p) * k / (d - 1.0);
         (p, q)
     }
+
+    /// Shared sampling core for the scalar and batch paths.
+    fn randomize_impl<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> Vec<u64> {
+        assert!(
+            value < self.d,
+            "value {value} outside domain of size {}",
+            self.d
+        );
+        let include = rng.gen_bool(self.p_include);
+        let k = self.k as usize;
+        // Uniform distinct items avoiding the true value, shifted past it.
+        let others = if include { k - 1 } else { k };
+        let mut subset: Vec<u64> = sample(rng, self.d as usize - 1, others)
+            .into_iter()
+            .map(|i| {
+                let i = i as u64;
+                if i >= value {
+                    i + 1
+                } else {
+                    i
+                }
+            })
+            .collect();
+        if include {
+            subset.push(value);
+        }
+        subset.sort_unstable();
+        subset
+    }
 }
 
 impl FrequencyOracle for SubsetSelection {
@@ -92,44 +121,50 @@ impl FrequencyOracle for SubsetSelection {
     }
 
     fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> Vec<u64> {
-        assert!(
-            value < self.d,
-            "value {value} outside domain of size {}",
-            self.d
-        );
-        let include = rng.gen_bool(self.p_include);
-        let k = self.k as usize;
-        let mut subset: Vec<u64>;
-        if include {
-            // value + (k-1) uniform others.
-            subset = sample(rng, self.d as usize - 1, k - 1)
-                .into_iter()
-                .map(|i| {
-                    let i = i as u64;
-                    if i >= value {
-                        i + 1
-                    } else {
-                        i
-                    }
-                })
-                .collect();
-            subset.push(value);
-        } else {
-            // k uniform items avoiding the true value.
-            subset = sample(rng, self.d as usize - 1, k)
-                .into_iter()
-                .map(|i| {
-                    let i = i as u64;
-                    if i >= value {
-                        i + 1
-                    } else {
-                        i
-                    }
-                })
-                .collect();
+        self.randomize_impl(value, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(Vec<u64>),
+    {
+        for &v in values {
+            sink(self.randomize_impl(v, rng));
         }
-        subset.sort_unstable();
-        subset
+    }
+
+    /// Fused batch path: the sampled items increment the inclusion
+    /// counters directly — no subset `Vec` is built and the scalar path's
+    /// cosmetic sort is skipped (inclusion counts are order-free). The
+    /// RNG draws are identical to the scalar path, so aggregator state is
+    /// bit-identical for a given seed.
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut SsAggregator,
+    ) {
+        assert_eq!(
+            agg.inclusions.len(),
+            self.d as usize,
+            "aggregator width mismatch"
+        );
+        let k = self.k as usize;
+        for &v in values {
+            assert!(v < self.d, "value {v} outside domain of size {}", self.d);
+            let include = rng.gen_bool(self.p_include);
+            let others = if include { k - 1 } else { k };
+            for i in sample(rng, self.d as usize - 1, others) {
+                let i = i as u64;
+                let item = if i >= v { i + 1 } else { i };
+                agg.inclusions[item as usize] += 1;
+            }
+            if include {
+                agg.inclusions[v as usize] += 1;
+            }
+            agg.n += 1;
+        }
     }
 
     fn new_aggregator(&self) -> SsAggregator {

@@ -12,8 +12,16 @@
 //!   asymmetrically on protecting 0-bits — for large sparse domains almost
 //!   all bits are 0, and Wang et al. showed this choice minimizes the
 //!   noise floor, reaching `4e^ε/(e^ε−1)²` per user.
+//!
+//! Both encodings sample their set bits with geometric skipping
+//! ([`crate::fo::batch`]): the one-hot position costs one Bernoulli(`p`)
+//! draw, and the `d−1` zero positions cost one draw per *flipped* bit
+//! instead of one per bit — `2 + (d−1)·q` expected draws per report. The
+//! scalar [`FrequencyOracle::randomize`] and the fused
+//! [`FrequencyOracle::randomize_accumulate_batch`] share this sampler, so
+//! both paths consume identical RNG streams for a given seed.
 
-use super::{FoAggregator, FrequencyOracle};
+use super::{batch, FoAggregator, FrequencyOracle};
 use crate::estimate::debiased_count_variance;
 use crate::privacy::Epsilon;
 use crate::{Error, Result};
@@ -27,23 +35,55 @@ struct UnaryCore {
     epsilon: Epsilon,
     p: f64,
     q: f64,
+    /// Geometric-skip sampler for the zero-position flip rate `q`,
+    /// precomputed once per oracle (CDF boundary table).
+    skip: batch::GeometricSkip,
 }
 
 impl UnaryCore {
-    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
+    fn new(d: u64, epsilon: Epsilon, p: f64, q: f64) -> Self {
+        Self {
+            d,
+            epsilon,
+            p,
+            q,
+            skip: batch::GeometricSkip::new(q),
+        }
+    }
+
+    /// Samples the set-bit positions of one perturbed report, invoking
+    /// `on_one` for each: one Bernoulli(`p`) draw for the one-hot
+    /// position, then geometric-skip sampling at rate `q` over the `d−1`
+    /// remaining positions. The single sampling core behind both the
+    /// scalar and the fused batch paths — which is what makes them
+    /// RNG-stream-identical.
+    #[inline]
+    fn sample_ones<R: RngCore + ?Sized>(
+        &self,
+        value: u64,
+        rng: &mut R,
+        mut on_one: impl FnMut(usize),
+    ) {
         assert!(
             value < self.d,
             "value {value} outside domain of size {}",
             self.d
         );
-        let mut bits = BitVec::zeros(self.d as usize);
-        for i in 0..self.d as usize {
-            let bit_true = i as u64 == value;
-            let keep_p = if bit_true { self.p } else { self.q };
-            if rng.gen_bool(keep_p) {
-                bits.set(i, true);
-            }
+        if rng.gen_bool(self.p) {
+            on_one(value as usize);
         }
+        self.skip.sample_into(self.d - 1, rng, |k| {
+            // Map the k-th zero-position slot past the one-hot position
+            // (branchless: k is geometrically random, so a compare-jump
+            // here would mispredict constantly).
+            let pos = k + u64::from(k >= value);
+            on_one(pos as usize);
+        });
+    }
+
+    fn randomize<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> BitVec {
+        let mut bits = BitVec::zeros(self.d as usize);
+        self.sample_ones(value, rng, |i| bits.set(i, true));
         bits
     }
 }
@@ -82,12 +122,7 @@ impl SymmetricUnaryEncoding {
         }
         let half = (epsilon.value() / 2.0).exp();
         Ok(Self {
-            core: UnaryCore {
-                d,
-                epsilon,
-                p: half / (half + 1.0),
-                q: 1.0 / (half + 1.0),
-            },
+            core: UnaryCore::new(d, epsilon, half / (half + 1.0), 1.0 / (half + 1.0)),
         })
     }
 
@@ -115,12 +150,7 @@ impl OptimizedUnaryEncoding {
             )));
         }
         Ok(Self {
-            core: UnaryCore {
-                d,
-                epsilon,
-                p: 0.5,
-                q: 1.0 / (epsilon.exp() + 1.0),
-            },
+            core: UnaryCore::new(d, epsilon, 0.5, 1.0 / (epsilon.exp() + 1.0)),
         })
     }
 
@@ -150,6 +180,41 @@ macro_rules! impl_unary_oracle {
 
             fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> BitVec {
                 self.core.randomize(value, rng)
+            }
+
+            fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+            where
+                R: RngCore,
+                F: FnMut(BitVec),
+            {
+                for &v in values {
+                    sink(self.core.randomize(v, rng));
+                }
+            }
+
+            /// Fused batch path: adds each geometric-skip-sampled set bit
+            /// directly into the aggregator's per-position counters — no
+            /// `BitVec` is materialized, no per-report allocation happens.
+            fn randomize_accumulate_batch<R: RngCore>(
+                &self,
+                values: &[u64],
+                rng: &mut R,
+                agg: &mut UnaryAggregator,
+            ) {
+                assert_eq!(
+                    agg.ones.len(),
+                    self.core.d as usize,
+                    "aggregator width mismatch"
+                );
+                assert!(
+                    agg.p == self.core.p && agg.q == self.core.q,
+                    "aggregator channel mismatch"
+                );
+                for &v in values {
+                    let ones = &mut agg.ones;
+                    self.core.sample_ones(v, rng, |i| ones[i] += 1);
+                    agg.n += 1;
+                }
             }
 
             fn new_aggregator(&self) -> UnaryAggregator {
@@ -326,6 +391,65 @@ mod tests {
             (var - predicted).abs() / predicted < 0.15,
             "var={var} predicted={predicted}"
         );
+    }
+
+    /// The per-bit marginals of the geometric-skip sampler: the one-hot
+    /// bit survives at rate `p`, every other bit flips on at rate `q`.
+    #[test]
+    fn geometric_skip_flips_match_bernoulli_marginals() {
+        let oue = OptimizedUnaryEncoding::new(48, eps(1.0)).unwrap();
+        let (p, q) = oue.probabilities();
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 60_000u64;
+        let value = 17u64;
+        let mut counts = vec![0u64; 48];
+        for _ in 0..n {
+            oue.core.sample_ones(value, &mut rng, |i| counts[i] += 1);
+        }
+        let sd_q = (q * (1.0 - q) / n as f64).sqrt();
+        let sd_p = (p * (1.0 - p) / n as f64).sqrt();
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / n as f64;
+            let (expected, sd) = if i as u64 == value {
+                (p, sd_p)
+            } else {
+                (q, sd_q)
+            };
+            assert!(
+                (rate - expected).abs() < 5.0 * sd,
+                "bit {i}: rate={rate} expected={expected}"
+            );
+        }
+    }
+
+    /// Batch and fused paths replay the scalar RNG stream exactly: same
+    /// seed ⇒ identical reports and bit-identical aggregator estimates.
+    #[test]
+    fn batch_paths_bit_identical_to_scalar() {
+        let sue = SymmetricUnaryEncoding::new(37, eps(0.7)).unwrap();
+        let values: Vec<u64> = (0..500).map(|i| i % 37).collect();
+
+        let mut scalar_rng = StdRng::seed_from_u64(77);
+        let mut scalar_agg = sue.new_aggregator();
+        let scalar_reports: Vec<BitVec> = values
+            .iter()
+            .map(|&v| sue.randomize(v, &mut scalar_rng))
+            .collect();
+        for r in &scalar_reports {
+            scalar_agg.accumulate(r);
+        }
+
+        let mut batch_rng = StdRng::seed_from_u64(77);
+        let mut batch_reports = Vec::new();
+        sue.randomize_batch(&values, &mut batch_rng, |r| batch_reports.push(r));
+        assert_eq!(batch_reports, scalar_reports);
+
+        let mut fused_rng = StdRng::seed_from_u64(77);
+        let mut fused_agg = sue.new_aggregator();
+        sue.randomize_accumulate_batch(&values, &mut fused_rng, &mut fused_agg);
+        assert_eq!(fused_agg.reports(), scalar_agg.reports());
+        assert_eq!(fused_agg.ones, scalar_agg.ones);
+        assert_eq!(fused_agg.estimate(), scalar_agg.estimate());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! noise — the lifetime leak stays bounded by `ε∞`.
 
 use crate::params::RapporParams;
+use ldp_core::fo::batch::GeometricSkip;
 use ldp_sketch::{BitVec, BloomFilter};
 use rand::Rng;
 use std::collections::HashMap;
@@ -30,6 +31,13 @@ pub struct RapporClient {
     params: RapporParams,
     cohort: u32,
     memoized: HashMap<Vec<u8>, BitVec>,
+    /// Geometric-skip sampler for IRR over the PRR's 1-positions (rate
+    /// `q`), precomputed once — the CDF boundary table is not rebuilt
+    /// per report.
+    irr_ones: GeometricSkip,
+    /// Geometric-skip sampler for IRR over the PRR's 0-positions (rate
+    /// `p`).
+    irr_zeros: GeometricSkip,
 }
 
 impl RapporClient {
@@ -47,6 +55,8 @@ impl RapporClient {
             params.cohorts()
         );
         Self {
+            irr_ones: GeometricSkip::new(params.q()),
+            irr_zeros: GeometricSkip::new(params.p()),
             params,
             cohort,
             memoized: HashMap::new(),
@@ -94,18 +104,48 @@ impl RapporClient {
 
     /// Produces one report for `value`: PRR (memoized) then fresh IRR.
     pub fn report<R: Rng + ?Sized>(&mut self, value: &[u8], rng: &mut R) -> RapporReport {
-        let (p, q) = (self.params.p(), self.params.q());
-        let k = self.params.bloom_bits();
-        let cohort = self.cohort;
-        let permanent = self.permanent_bits(value, rng).clone();
-        let mut bits = BitVec::zeros(k);
-        for i in 0..k {
-            let keep_p = if permanent.get(i) { q } else { p };
-            if rng.gen_bool(keep_p) {
-                bits.set(i, true);
-            }
-        }
+        let mut bits = BitVec::zeros(self.params.bloom_bits());
+        let cohort = self.report_into(value, rng, &mut bits);
         RapporReport { cohort, bits }
+    }
+
+    /// Allocation-free reporting: writes the IRR bits for `value` into a
+    /// caller-owned buffer (cleared first) and returns the cohort. Hot
+    /// loops — simulated populations, the encode bench — reuse one buffer
+    /// across reports instead of allocating a `BitVec` each time; pair
+    /// with [`crate::RapporAggregator::accumulate_bits`] to keep the whole
+    /// randomize→accumulate round allocation-free.
+    ///
+    /// The IRR layer samples with geometric skipping
+    /// (`ldp_core::fo::batch`) per channel class: the set bits among the
+    /// PRR's 1-positions (rate `q`) and 0-positions (rate `p`) each cost
+    /// one uniform draw per flipped bit instead of one per position.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != params.bloom_bits()`.
+    pub fn report_into<R: Rng + ?Sized>(
+        &mut self,
+        value: &[u8],
+        rng: &mut R,
+        bits: &mut BitVec,
+    ) -> u32 {
+        let k = self.params.bloom_bits();
+        assert_eq!(bits.len(), k, "report buffer width mismatch");
+        // First use of a value draws (and memoizes) its PRR bits; the
+        // mutable borrow ends before the read-only IRR pass below.
+        if !self.memoized.contains_key(value) {
+            let _ = self.permanent_bits(value, rng);
+        }
+        let permanent = &self.memoized[value];
+        bits.clear();
+        let ones = permanent.count_ones();
+        self.irr_ones.sample_into(ones as u64, rng, |j| {
+            bits.set(permanent.nth_one(j as usize), true);
+        });
+        self.irr_zeros.sample_into((k - ones) as u64, rng, |j| {
+            bits.set(permanent.nth_zero(j as usize), true);
+        });
+        self.cohort
     }
 
     /// Number of distinct values memoized so far.
@@ -172,6 +212,32 @@ mod tests {
                 "bit {i}: rate={rate} expected={expected}"
             );
         }
+    }
+
+    #[test]
+    fn report_into_reuses_buffer_and_matches_report() {
+        // Same seed: `report` is `report_into` plus an allocation, so the
+        // two must produce identical bits and consume identical RNG.
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut ca = RapporClient::new(params(), 2, &mut rng_a);
+        let mut cb = RapporClient::new(params(), 2, &mut rng_b);
+        let mut buf = BitVec::zeros(ca.params.bloom_bits());
+        for _ in 0..20 {
+            let r = ca.report(b"value", &mut rng_a);
+            let cohort = cb.report_into(b"value", &mut rng_b, &mut buf);
+            assert_eq!(cohort, r.cohort);
+            assert_eq!(buf, r.bits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer width mismatch")]
+    fn report_into_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut c = RapporClient::new(params(), 0, &mut rng);
+        let mut buf = BitVec::zeros(13);
+        c.report_into(b"v", &mut rng, &mut buf);
     }
 
     #[test]

@@ -73,6 +73,25 @@ impl RapporAggregator {
         self.cohort_sizes[cohort] += 1;
     }
 
+    /// Folds one report given as a raw `(cohort, bits)` pair — the
+    /// allocation-free counterpart of [`accumulate`](Self::accumulate),
+    /// for loops that reuse one bit buffer via
+    /// [`crate::RapporClient::report_into`].
+    ///
+    /// # Panics
+    /// Panics if the cohort or width does not match the parameters.
+    pub fn accumulate_bits(&mut self, cohort: u32, bits: &ldp_sketch::BitVec) {
+        let cohort = cohort as usize;
+        assert!(cohort < self.counts.len(), "cohort {cohort} out of range");
+        assert_eq!(
+            bits.len(),
+            self.params.bloom_bits(),
+            "report width mismatch"
+        );
+        bits.accumulate_into(&mut self.counts[cohort]);
+        self.cohort_sizes[cohort] += 1;
+    }
+
     /// Total reports accumulated.
     pub fn reports(&self) -> u64 {
         self.cohort_sizes.iter().sum()

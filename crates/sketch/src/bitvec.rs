@@ -138,6 +138,58 @@ impl BitVec {
         }
     }
 
+    /// Resets every bit to 0, keeping the length (and allocation).
+    /// Lets hot loops reuse one report buffer instead of allocating per
+    /// report.
+    #[inline]
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Index of the `n`-th (0-based, in increasing index order) **set**
+    /// bit. The select operation behind class-mapped geometric-skip
+    /// sampling: "flip the n-th currently-set position".
+    ///
+    /// # Panics
+    /// Panics if `n >= count_ones()`.
+    pub fn nth_one(&self, mut n: usize) -> usize {
+        for (wi, &w) in self.words.iter().enumerate() {
+            let c = w.count_ones() as usize;
+            if n < c {
+                return (wi << 6) + select_in_word(w, n);
+            }
+            n -= c;
+        }
+        panic!("set-bit rank out of range");
+    }
+
+    /// Index of the `n`-th (0-based, in increasing index order) **unset**
+    /// bit among the vector's `len()` bits.
+    ///
+    /// # Panics
+    /// Panics if `n >= len() - count_ones()`.
+    pub fn nth_zero(&self, mut n: usize) -> usize {
+        for (wi, &w) in self.words.iter().enumerate() {
+            let bits_here = 64.min(self.len - (wi << 6));
+            // Trailing bits beyond len are 0 in the word but not part of
+            // the vector; mask them out of the zero count.
+            let mask = if bits_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_here) - 1
+            };
+            let zeros = !w & mask;
+            let c = zeros.count_ones() as usize;
+            if n < c {
+                return (wi << 6) + select_in_word(zeros, n);
+            }
+            n -= c;
+        }
+        panic!("zero-bit rank out of range");
+    }
+
     /// Bitwise XOR with another vector of the same length.
     ///
     /// # Panics
@@ -153,6 +205,19 @@ impl BitVec {
     /// beyond `len` are always zero.
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+}
+
+/// Position of the `n`-th set bit inside one word (`n < popcount(w)`).
+#[inline]
+fn select_in_word(mut w: u64, mut n: usize) -> usize {
+    loop {
+        let b = w.trailing_zeros() as usize;
+        if n == 0 {
+            return b;
+        }
+        w &= w - 1;
+        n -= 1;
     }
 }
 
@@ -225,6 +290,45 @@ mod tests {
         assert_eq!(acc[0], 2);
         assert_eq!(acc[69], 1);
         assert_eq!(acc[1], 0);
+    }
+
+    #[test]
+    fn clear_zeroes_everything_and_keeps_len() {
+        let mut bv = BitVec::from_bools((0..130).map(|i| i % 3 == 0));
+        assert!(bv.count_ones() > 0);
+        bv.clear();
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.len(), 130);
+    }
+
+    #[test]
+    fn select_ones_and_zeros_across_word_boundaries() {
+        let mut bv = BitVec::zeros(150);
+        let ones = [3usize, 63, 64, 100, 149];
+        for &i in &ones {
+            bv.set(i, true);
+        }
+        for (rank, &expect) in ones.iter().enumerate() {
+            assert_eq!(bv.nth_one(rank), expect, "rank {rank}");
+        }
+        // Zeros: ranks walk every unset index in order.
+        let zero_indices: Vec<usize> = (0..150).filter(|i| !ones.contains(i)).collect();
+        for (rank, &expect) in zero_indices.iter().enumerate().step_by(13) {
+            assert_eq!(bv.nth_zero(rank), expect, "zero rank {rank}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn nth_one_out_of_range_panics() {
+        BitVec::zeros(10).nth_one(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn nth_zero_out_of_range_panics() {
+        let bv = BitVec::zeros(10);
+        bv.nth_zero(10);
     }
 
     #[test]

@@ -15,6 +15,20 @@
 //! the result is bit-identical across machines, core counts, and
 //! schedules — and bit-identical to [`accumulate_sharded_sequential`],
 //! the single-threaded reference that tests compare against.
+//!
+//! Each shard runs the oracle's **fused batch path**
+//! (`FrequencyOracle::randomize_accumulate_batch`): reports fold straight
+//! into the shard aggregator with monomorphized RNG draws and, for the
+//! unary family, geometric-skip bit sampling — no per-report allocation.
+//! Because the fused path replays the scalar RNG stream exactly, the
+//! determinism contract is unchanged. Workers are spawned once per
+//! collection round and live for all of their shards (strided
+//! assignment), so thread-spawn cost is paid `workers` times per round,
+//! not `shards` times; [`recommended_shards`] sizes shards so that spawn
+//! cost stays amortized. [`accumulate_sharded_with_workers`] pins the
+//! worker count explicitly — benches use it for honest 1-vs-N scaling
+//! comparisons, and [`planned_workers`] reports the count the automatic
+//! path would use (what the bench JSON records as `threads`).
 
 use ldp_core::fo::{FoAggregator, FrequencyOracle};
 use rand::rngs::StdRng;
@@ -40,15 +54,40 @@ fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Randomizes and accumulates one shard's users with its own RNG stream.
+/// Randomizes and accumulates one shard's users with its own RNG stream,
+/// through the oracle's fused batch path (allocation-free for the unary
+/// family, monomorphized draws for everyone).
 fn accumulate_shard<O: FrequencyOracle>(oracle: &O, values: &[u64], seed: u64) -> O::Aggregator {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut agg = oracle.new_aggregator();
-    for &v in values {
-        let report = oracle.randomize(v, &mut rng);
-        agg.accumulate(&report);
-    }
+    oracle.randomize_accumulate_batch(values, &mut rng, &mut agg);
     agg
+}
+
+/// The worker count [`accumulate_sharded`] uses for a given shard count:
+/// one per available core, capped at the shard count. Benches record this
+/// as the `threads` field so the JSON reflects the parallelism actually
+/// exercised, not a constant.
+pub fn planned_workers(shards: usize) -> usize {
+    thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(shards.max(1))
+}
+
+/// A shard count that keeps every worker busy while amortizing the
+/// per-worker spawn cost: a few shards per worker for load balance, but
+/// never so many that shards shrink below ~4k users (at which point spawn
+/// and merge overhead is no longer noise).
+///
+/// **Reproducibility note:** the shard count is part of the determinism
+/// contract — two machines with different core counts get different plans
+/// from this helper. Pipelines that must reproduce results bit-for-bit
+/// across machines should pass a fixed shard count instead.
+pub fn recommended_shards(len: usize, workers: usize) -> usize {
+    const MIN_PER_SHARD: usize = 4096;
+    let cap = workers.max(1) * 4;
+    (len / MIN_PER_SHARD).clamp(1, cap.max(1))
 }
 
 /// Merges per-shard aggregators in shard order; order is part of the
@@ -81,12 +120,31 @@ where
     O: FrequencyOracle + Sync,
     O::Aggregator: Send,
 {
+    accumulate_sharded_with_workers(oracle, values, base_seed, shards, planned_workers(shards))
+}
+
+/// [`accumulate_sharded`] with an explicit worker count. The shard plan —
+/// and therefore the result — is identical for every `workers` value;
+/// only the wall-clock changes. Benches use `workers = 1` vs
+/// `workers = planned_workers(shards)` for honest scaling comparisons.
+///
+/// # Panics
+/// Panics if `shards == 0`, `workers == 0`, or a worker thread panics.
+pub fn accumulate_sharded_with_workers<O>(
+    oracle: &O,
+    values: &[u64],
+    base_seed: u64,
+    shards: usize,
+    workers: usize,
+) -> O::Aggregator
+where
+    O: FrequencyOracle + Sync,
+    O::Aggregator: Send,
+{
     assert!(shards > 0, "need at least one shard");
+    assert!(workers > 0, "need at least one worker");
     let shards = shards.min(values.len().max(1));
-    let workers = thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(shards);
+    let workers = workers.min(shards);
     let bounds = shard_bounds(values.len(), shards);
     if workers == 1 {
         return accumulate_sharded_sequential(oracle, values, base_seed, shards);
@@ -248,6 +306,44 @@ mod tests {
                 "item {i}: est={e} sd={sd}"
             );
         }
+    }
+
+    /// The worker count is pure scheduling: every explicit worker count
+    /// reproduces the same bit-identical aggregate.
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let oracle = OptimizedUnaryEncoding::new(64, eps(1.0)).expect("domain");
+        let vals = values(6_000, 64);
+        let reference = accumulate_sharded_sequential(&oracle, &vals, 13, 12).estimate();
+        for &workers in &[1usize, 2, 3, 8, 32] {
+            let got = accumulate_sharded_with_workers(&oracle, &vals, 13, 12, workers).estimate();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn planned_workers_bounded_by_shards() {
+        assert_eq!(planned_workers(1), 1);
+        assert!(planned_workers(64) >= 1);
+        assert!(planned_workers(4) <= 4);
+    }
+
+    #[test]
+    fn recommended_shards_sane() {
+        assert_eq!(recommended_shards(0, 8), 1);
+        assert_eq!(recommended_shards(100, 8), 1);
+        // Large inputs: a few shards per worker, capped.
+        let s = recommended_shards(1_000_000, 8);
+        assert!((8..=32).contains(&s), "s={s}");
+        // Small inputs never produce undersized shards.
+        assert_eq!(recommended_shards(8192, 64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let oracle = DirectEncoding::new(8, eps(1.0)).expect("domain");
+        accumulate_sharded_with_workers(&oracle, &[1], 0, 4, 0);
     }
 
     #[test]
