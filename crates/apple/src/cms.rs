@@ -6,18 +6,36 @@
 //! `1/(e^{ε/2}+1)` (two coordinates differ between any two inputs, hence
 //! the `ε/2`), and send `(j, noisy vector)`.
 //!
-//! Server side: debias each report coordinate by `c_ε = (e^{ε/2}+1)/(e^{ε/2}−1)`,
-//! scale by `k` to undo row sampling, accumulate into the `k × m` matrix,
-//! and answer point queries with the collision-debiased row mean
-//! `f̂(d) = (m/(m−1)) · ( (1/k)·Σ_j M[j, h_j(d)] − n/m )`.
+//! Server side: accumulate the `k × m` sketch and answer point queries
+//! with the debiased, collision-corrected row mean
+//! `f̂(d) = (m/(m−1)) · ( (1/k)·Σ_j M[j, h_j(d)] − n/m )` where
+//! `M[j, l] = k · Σ (c_ε/2 · bits[l] + 1/2)` over the reports that sampled
+//! row `j`, with `c_ε = (e^{ε/2}+1)/(e^{ε/2}−1)`.
 //!
 //! The estimate is unbiased; its variance has two parts — privatization
 //! noise `Θ(k·c_ε²·…/n)`-per-report and sketch collision noise `Θ(n/m)` —
 //! which is exactly the trade-off experiment E4 sweeps.
+//!
+//! ## Batch engine
+//!
+//! Sign flips are i.i.d. Bernoulli(`q`) over the `m` coordinates, so the
+//! client samples the *flipped positions* with the shared geometric-skip
+//! sampler ([`ldp_core::fo::batch::GeometricSkip`]): `2 + m·q` uniform
+//! draws per report instead of `m`. The server keeps **integer** state —
+//! per-cell `+1` counts plus per-row report counts — so the debiased
+//! matrix is a pure function of exact counters: scalar accumulation,
+//! fused accumulation ([`CmsServer::accumulate_fused`], `O(1 + m·q)`
+//! counter increments per report, no `O(m)` scan, no allocation), and
+//! sharded merges ([`CmsServer::merge`]) are all bit-identical by
+//! construction. [`CmsOracle`] binds the sketch to an enumerable domain
+//! and plugs it into `ldp_core::fo::FrequencyOracle`, which is what lets
+//! `ldp_workloads::parallel` drive CMS collection across shards.
 
+use ldp_core::fo::batch::GeometricSkip;
+use ldp_core::fo::{FoAggregator, FrequencyOracle};
 use ldp_core::Epsilon;
 use ldp_sketch::hash::PairwiseHash;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// One CMS report: the sampled row and the privatized ±1 vector.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,14 +46,28 @@ pub struct CmsReport {
     pub bits: Vec<i8>,
 }
 
+impl CmsReport {
+    /// An empty report buffer, for reuse with [`CmsProtocol::report_into`].
+    pub fn empty() -> Self {
+        Self {
+            row: 0,
+            bits: Vec::new(),
+        }
+    }
+}
+
 /// The CMS protocol parameters shared by clients and server.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CmsProtocol {
     k: usize,
     m: usize,
     epsilon: Epsilon,
     flip_prob: f64,
     c_eps: f64,
+    /// Geometric-skip sampler for the per-coordinate sign-flip rate,
+    /// precomputed once (CDF boundary table); shared by the scalar and
+    /// fused paths so both consume identical RNG streams.
+    flip_skip: GeometricSkip,
     hashes: Vec<PairwiseHash>,
 }
 
@@ -58,12 +90,14 @@ impl CmsProtocol {
                 )
             })
             .collect();
+        let flip_prob = 1.0 / (half + 1.0);
         Self {
             k,
             m,
             epsilon,
-            flip_prob: 1.0 / (half + 1.0),
+            flip_prob,
             c_eps: (half + 1.0) / (half - 1.0),
+            flip_skip: GeometricSkip::new(flip_prob),
             hashes,
         }
     }
@@ -93,58 +127,96 @@ impl CmsProtocol {
         self.hashes[row].hash(value) as usize
     }
 
+    /// Samples the report's row and resolves the value's bucket in it —
+    /// the first stage of the shared sampling core (one `gen_range`
+    /// draw). The second stage is `flip_skip.sample_into` over the `m`
+    /// coordinates; every client path (scalar, `report_into`, fused)
+    /// performs exactly these two stages in order, which is what makes
+    /// their RNG streams identical.
+    #[inline]
+    fn sample_cell<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> (usize, usize) {
+        let row = rng.gen_range(0..self.k);
+        (row, self.bucket(row, value))
+    }
+
     /// Client side: produce a privatized report for `value`.
     pub fn randomize<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> CmsReport {
-        let row = rng.gen_range(0..self.k);
-        let bucket = self.bucket(row, value);
-        let mut bits = vec![-1i8; self.m];
-        bits[bucket] = 1;
-        for b in bits.iter_mut() {
-            if rng.gen_bool(self.flip_prob) {
-                *b = -*b;
-            }
-        }
-        CmsReport {
-            row: row as u32,
-            bits,
-        }
+        let mut report = CmsReport::empty();
+        self.report_into(value, rng, &mut report);
+        report
+    }
+
+    /// Allocation-free client side: writes the privatized report for
+    /// `value` into `report`, reusing its buffer (mirrors
+    /// `ldp_rappor::RapporClient::report_into`). Same RNG stream as
+    /// [`randomize`](Self::randomize) — which is implemented on top of it.
+    pub fn report_into<R: Rng + ?Sized>(&self, value: u64, rng: &mut R, report: &mut CmsReport) {
+        let (row, bucket) = self.sample_cell(value, rng);
+        let bits = &mut report.bits;
+        bits.clear();
+        bits.resize(self.m, -1i8);
+        self.flip_skip.sample_into(self.m as u64, rng, |l| {
+            let b = &mut bits[l as usize];
+            *b = -*b;
+        });
+        // Sign flips commute with the one-hot sign, so the bucket's +1 is
+        // applied after the flip pass (toggling it once more).
+        bits[bucket] = -bits[bucket];
+        report.row = row as u32;
     }
 
     /// Creates the matching server.
     pub fn new_server(&self) -> CmsServer {
         CmsServer {
             protocol: self.clone(),
-            matrix: vec![0.0; self.k * self.m],
+            ones: vec![0; self.k * self.m],
+            row_n: vec![0; self.k],
             n: 0,
         }
     }
 
-    /// Approximate variance of a count estimate over `n` reports:
-    /// privatization term `(k·(c_ε²−…)+m…)`-free simplified bound
-    /// `n·k·(c_ε² − 1)/m·…` — we expose the empirically validated
-    /// leading term `n·(c_ε²·k/m + 1/m)·m/(m−1)²·m ≈ n·k·c_ε²/m + n/m`.
+    /// Approximate variance of a count estimate over `n` reports.
+    ///
+    /// Each report contributes `c_ε/2·b + ½` to the queried row-mean
+    /// (its sampled row enters the `k`-row average with weight `1/k`
+    /// against the accumulation scale `k`, so the row count cancels),
+    /// where `b` is the privatized ±1 sign of the queried cell:
+    /// `Var(b) = 1 − E[b]²/c_ε²` with `E[b] ≈ −(1 − 2/m)` for an absent
+    /// item. Hence
+    /// `Var ≈ (m/(m−1))² · n/4 · (c_ε² − (1 − 2/m)²)` — flip noise plus
+    /// the sketch-collision spread, independent of `k`. Verified
+    /// empirically in `crates/apple/tests/batch_identity.rs`.
     pub fn approx_count_variance(&self, n: usize) -> f64 {
         let nf = n as f64;
         let m = self.m as f64;
-        let k = self.k as f64;
-        // Leading terms: sign-flip noise (each report contributes
-        // k·c_eps·(±1)/2-scale noise to the queried cell with prob 1/k)
-        // plus sketch collision variance n/m.
-        nf * k * self.c_eps * self.c_eps / m * (m / (m - 1.0)).powi(2) + nf / m
+        let c = self.c_eps;
+        (m / (m - 1.0)).powi(2) * nf / 4.0 * (c * c - (1.0 - 2.0 / m).powi(2))
     }
 }
 
-/// Server-side CMS state: the running `k × m` debiased matrix.
+/// Server-side CMS state: exact integer counters from which the debiased
+/// `k × m` matrix is derived on demand.
+///
+/// Keeping counters instead of a running `f64` matrix makes every
+/// accumulation path exact: the scalar [`accumulate`](Self::accumulate),
+/// the fused [`accumulate_fused`](Self::accumulate_fused) and
+/// [`merge`](Self::merge) all land on identical state for identical
+/// reports, with no floating-point reassociation anywhere.
 #[derive(Debug, Clone)]
 pub struct CmsServer {
     protocol: CmsProtocol,
-    matrix: Vec<f64>,
+    /// Per-cell count of `+1` entries among the reports that sampled the
+    /// cell's row (`k × m`, row-major).
+    ones: Vec<u64>,
+    /// Number of reports that sampled each row.
+    row_n: Vec<u64>,
     n: usize,
 }
 
 impl CmsServer {
-    /// Folds one report into the matrix:
-    /// `M[j, l] += k · (c_ε/2 · bits[l] + 1/2)`.
+    /// Folds one report into the counters. The derived matrix cell is
+    /// `M[j, l] = k · (c_ε/2 · Σ bits[l] + n_j/2)` — identical to
+    /// accumulating `k·(c_ε/2·bits[l] + ½)` per report.
     ///
     /// # Panics
     /// Panics if the report's shape disagrees with the protocol.
@@ -152,18 +224,83 @@ impl CmsServer {
         let (k, m) = self.protocol.shape();
         assert!((report.row as usize) < k, "row out of range");
         assert_eq!(report.bits.len(), m, "report width mismatch");
-        let c = self.protocol.c_eps;
         let row = report.row as usize;
         let base = row * m;
         for (l, &b) in report.bits.iter().enumerate() {
-            self.matrix[base + l] += k as f64 * (c / 2.0 * b as f64 + 0.5);
+            self.ones[base + l] += u64::from(b > 0);
         }
+        self.row_n[row] += 1;
         self.n += 1;
+    }
+
+    /// Fused client+server step: randomizes `value` and folds the report
+    /// directly into the counters — `O(1 + m·q)` increments (one per
+    /// flipped coordinate) instead of an `O(m)` scan, and no report is
+    /// materialized. Consumes exactly the RNG stream of
+    /// [`CmsProtocol::randomize`], so the resulting state is bit-identical
+    /// to `accumulate(&randomize(value, rng))`.
+    ///
+    /// # Panics
+    /// Panics if the RNG stream is exhausted (it never is for `RngCore`).
+    pub fn accumulate_fused<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) {
+        let (row, bucket) = self.protocol.sample_cell(value, rng);
+        let m = self.protocol.m;
+        let base = row * m;
+        let skip = self.protocol.flip_skip;
+        let ones = &mut self.ones;
+        // A flipped non-bucket coordinate lands at +1; a flipped bucket
+        // coordinate lands at −1. Everything else keeps its base sign
+        // (−1 off-bucket, +1 at the bucket).
+        let mut bucket_flipped = false;
+        skip.sample_into(m as u64, rng, |l| {
+            let l = l as usize;
+            if l == bucket {
+                bucket_flipped = true;
+            } else {
+                ones[base + l] += 1;
+            }
+        });
+        if !bucket_flipped {
+            ones[base + bucket] += 1;
+        }
+        self.row_n[row] += 1;
+        self.n += 1;
+    }
+
+    /// Merges another server's counters into this one, as if its reports
+    /// had been accumulated here. Exact (integer addition), so sharded
+    /// collection is bit-identical to sequential.
+    ///
+    /// # Panics
+    /// Panics if the two servers were built from different protocols.
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.protocol == other.protocol,
+            "merge: protocol mismatch (shape, budget or hash family)"
+        );
+        for (a, b) in self.ones.iter_mut().zip(&other.ones) {
+            *a += b;
+        }
+        for (a, b) in self.row_n.iter_mut().zip(&other.row_n) {
+            *a += b;
+        }
+        self.n += other.n;
     }
 
     /// Number of reports accumulated.
     pub fn reports(&self) -> usize {
         self.n
+    }
+
+    /// The debiased matrix cell `M[j, l]`, derived from the counters:
+    /// `Σ bits[l] = 2·ones − n_j` over the `n_j` reports of row `j`.
+    #[inline]
+    fn cell(&self, j: usize, l: usize) -> f64 {
+        let k = self.protocol.k as f64;
+        let c = self.protocol.c_eps;
+        let ones = self.ones[j * self.protocol.m + l] as f64;
+        let nj = self.row_n[j] as f64;
+        k * (c / 2.0 * (2.0 * ones - nj) + 0.5 * nj)
     }
 
     /// Unbiased count estimate for `value`:
@@ -172,7 +309,7 @@ impl CmsServer {
         let (k, m) = self.protocol.shape();
         let mf = m as f64;
         let mean_cell: f64 = (0..k)
-            .map(|j| self.matrix[j * m + self.protocol.bucket(j, value)])
+            .map(|j| self.cell(j, self.protocol.bucket(j, value)))
             .sum::<f64>()
             / k as f64;
         (mf / (mf - 1.0)) * (mean_cell - self.n as f64 / mf)
@@ -181,6 +318,165 @@ impl CmsServer {
     /// Estimates every item in `items` (convenience for sweeps).
     pub fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
         items.iter().map(|&v| self.estimate(v)).collect()
+    }
+}
+
+/// [`CmsProtocol`] bound to an enumerable item domain `0..d`, exposing the
+/// sketch as a [`FrequencyOracle`] so the sharded parallel engine
+/// (`ldp_workloads::parallel`) and the cross-mechanism experiment tables
+/// can drive it like any other oracle.
+///
+/// # Examples
+/// ```
+/// use ldp_apple::cms::CmsOracle;
+/// use ldp_core::fo::{FoAggregator, FrequencyOracle};
+/// use ldp_core::Epsilon;
+/// use rand::SeedableRng;
+/// let oracle = CmsOracle::new(16, 256, Epsilon::new(4.0).unwrap(), 7, 64);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let values = vec![3u64; 4000];
+/// let mut agg = oracle.new_aggregator();
+/// oracle.randomize_accumulate_batch(&values, &mut rng, &mut agg);
+/// assert!(agg.estimate()[3] > 3000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmsOracle {
+    protocol: CmsProtocol,
+    domain: u64,
+}
+
+impl CmsOracle {
+    /// Creates a CMS oracle: `k` rows, width `m`, deterministic hash seed,
+    /// over items `0..domain`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m < 2` or `domain == 0`.
+    pub fn new(k: usize, m: usize, epsilon: Epsilon, seed: u64, domain: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        Self {
+            protocol: CmsProtocol::new(k, m, epsilon, seed),
+            domain,
+        }
+    }
+
+    /// The underlying sketch protocol.
+    pub fn protocol(&self) -> &CmsProtocol {
+        &self.protocol
+    }
+}
+
+/// Aggregator for [`CmsOracle`]: a [`CmsServer`] plus the bound domain.
+#[derive(Debug, Clone)]
+pub struct CmsAggregator {
+    server: CmsServer,
+    domain: u64,
+}
+
+impl CmsAggregator {
+    /// The underlying sketch server (for point queries beyond `0..d`).
+    pub fn server(&self) -> &CmsServer {
+        &self.server
+    }
+}
+
+impl FoAggregator for CmsAggregator {
+    type Report = CmsReport;
+
+    fn accumulate(&mut self, report: &CmsReport) {
+        self.server.accumulate(report);
+    }
+
+    fn reports(&self) -> usize {
+        self.server.reports()
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        (0..self.domain).map(|v| self.server.estimate(v)).collect()
+    }
+
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        self.server.estimate_items(items)
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.domain, other.domain, "merge: domain mismatch");
+        self.server.merge(other.server);
+    }
+}
+
+impl FrequencyOracle for CmsOracle {
+    type Report = CmsReport;
+    type Aggregator = CmsAggregator;
+
+    fn name(&self) -> &'static str {
+        "CMS"
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.domain
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.protocol.epsilon
+    }
+
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> CmsReport {
+        assert!(value < self.domain, "value {value} outside domain");
+        self.protocol.randomize(value, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(CmsReport),
+    {
+        for &v in values {
+            assert!(v < self.domain, "value {v} outside domain");
+            sink(self.protocol.randomize(v, rng));
+        }
+    }
+
+    /// Fused batch path: each report lands as `O(1 + m·q)` counter
+    /// increments via [`CmsServer::accumulate_fused`] — no report vector,
+    /// no `O(m)` scan, monomorphized RNG draws.
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut CmsAggregator,
+    ) {
+        assert!(
+            agg.server.protocol == self.protocol && agg.domain == self.domain,
+            "aggregator configured for a different CMS oracle"
+        );
+        for &v in values {
+            assert!(v < self.domain, "value {v} outside domain");
+            agg.server.accumulate_fused(v, rng);
+        }
+    }
+
+    fn new_aggregator(&self) -> CmsAggregator {
+        CmsAggregator {
+            server: self.protocol.new_server(),
+            domain: self.domain,
+        }
+    }
+
+    /// Sketch-noise approximation (collision + privatization leading
+    /// terms); CMS has no exact closed form per true frequency `f`, so
+    /// this is `f`-independent — adequate for the 5σ test tolerances and
+    /// the experiment tables, and empirically validated in
+    /// `crates/apple/tests/batch_identity.rs`.
+    fn count_variance(&self, n: usize, _f: f64) -> f64 {
+        self.protocol.approx_count_variance(n)
+    }
+
+    fn report_bits(&self) -> usize {
+        // The ±1 vector is one bit per bucket, plus the row index.
+        self.protocol.m
+            + (self.protocol.k.max(2) as u64)
+                .next_power_of_two()
+                .trailing_zeros() as usize
     }
 }
 
@@ -269,6 +565,68 @@ mod tests {
     }
 
     #[test]
+    fn report_into_reuses_buffer_and_matches_randomize() {
+        let proto = CmsProtocol::new(4, 64, eps(2.0), 23);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut report = CmsReport::empty();
+        for v in 0..200u64 {
+            proto.report_into(v % 7, &mut rng_a, &mut report);
+            let fresh = proto.randomize(v % 7, &mut rng_b);
+            assert_eq!(report, fresh);
+            assert!(report.bits.iter().all(|&b| b == 1 || b == -1));
+        }
+    }
+
+    #[test]
+    fn fused_accumulate_bit_identical_to_scalar() {
+        let proto = CmsProtocol::new(8, 128, eps(2.0), 29);
+        let values: Vec<u64> = (0..3000).map(|i| i % 40).collect();
+
+        let mut scalar_rng = StdRng::seed_from_u64(31);
+        let mut scalar = proto.new_server();
+        for &v in &values {
+            scalar.accumulate(&proto.randomize(v, &mut scalar_rng));
+        }
+
+        let mut fused_rng = StdRng::seed_from_u64(31);
+        let mut fused = proto.new_server();
+        for &v in &values {
+            fused.accumulate_fused(v, &mut fused_rng);
+        }
+
+        assert_eq!(scalar.ones, fused.ones);
+        assert_eq!(scalar.row_n, fused.row_n);
+        assert_eq!(scalar.reports(), fused.reports());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let proto = CmsProtocol::new(4, 32, eps(2.0), 37);
+        let values: Vec<u64> = (0..1000).map(|i| i % 11).collect();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut a = proto.new_server();
+        for &v in &values[..400] {
+            a.accumulate_fused(v, &mut rng);
+        }
+        let mut b = proto.new_server();
+        for &v in &values[400..] {
+            b.accumulate_fused(v, &mut rng);
+        }
+
+        let mut rng2 = StdRng::seed_from_u64(41);
+        let mut seq = proto.new_server();
+        for &v in &values {
+            seq.accumulate_fused(v, &mut rng2);
+        }
+
+        a.merge(b);
+        assert_eq!(a.ones, seq.ones);
+        assert_eq!(a.row_n, seq.row_n);
+        assert_eq!(a.reports(), seq.reports());
+    }
+
+    #[test]
     #[should_panic(expected = "report width mismatch")]
     fn shape_mismatch_panics() {
         let proto = CmsProtocol::new(2, 16, eps(1.0), 0);
@@ -277,5 +635,37 @@ mod tests {
             row: 0,
             bits: vec![1; 8],
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol mismatch")]
+    fn merge_protocol_mismatch_panics() {
+        let a = CmsProtocol::new(2, 16, eps(1.0), 0).new_server();
+        let b = CmsProtocol::new(2, 16, eps(1.0), 1).new_server();
+        let mut a = a;
+        a.merge(b);
+    }
+
+    #[test]
+    fn oracle_estimates_match_server() {
+        let oracle = CmsOracle::new(8, 128, eps(4.0), 3, 16);
+        let mut rng = StdRng::seed_from_u64(17);
+        let values: Vec<u64> = (0..8000).map(|i| i % 4).collect();
+        let mut agg = oracle.new_aggregator();
+        oracle.randomize_accumulate_batch(&values, &mut rng, &mut agg);
+        let est = agg.estimate();
+        assert_eq!(est.len(), 16);
+        for (v, &e) in est.iter().enumerate().take(4) {
+            assert!((e - 2000.0).abs() < 800.0, "item {v}: {e}");
+        }
+        assert_eq!(agg.estimate_items(&[0, 1])[0], est[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn oracle_rejects_out_of_domain() {
+        let oracle = CmsOracle::new(2, 16, eps(1.0), 3, 8);
+        let mut rng = StdRng::seed_from_u64(0);
+        FrequencyOracle::randomize(&oracle, 8, &mut rng);
     }
 }

@@ -16,10 +16,11 @@
 //!   and at query time invert each row with one FWHT, then apply the same
 //!   collision debiasing as CMS.
 
+use ldp_core::fo::{FoAggregator, FrequencyOracle};
 use ldp_core::Epsilon;
 use ldp_sketch::hadamard::{fwht, hadamard_entry};
 use ldp_sketch::hash::PairwiseHash;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// One HCMS report: sampled row, sampled Hadamard coefficient index, and
 /// the privatized ±1 coefficient value. Three numbers; the payload bit is
@@ -35,7 +36,7 @@ pub struct HcmsReport {
 }
 
 /// The HCMS protocol parameters shared by clients and server.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HcmsProtocol {
     k: usize,
     m: usize,
@@ -112,20 +113,35 @@ impl HcmsProtocol {
     pub fn new_server(&self) -> HcmsServer {
         HcmsServer {
             protocol: self.clone(),
-            spectrum: vec![0.0; self.k * self.m],
+            spectrum: vec![0; self.k * self.m],
             n: 0,
         }
     }
+
+    /// Approximate variance of a count estimate over `n` reports: each
+    /// report contributes `±c'_ε` to the queried (debiased, transformed)
+    /// mean cell, plus the same `n/m` sketch-collision term as CMS.
+    /// Empirically validated in `crates/apple/tests/batch_identity.rs`.
+    pub fn approx_count_variance(&self, n: usize) -> f64 {
+        let nf = n as f64;
+        let m = self.m as f64;
+        nf * self.c_eps * self.c_eps * (m / (m - 1.0)).powi(2) + nf / m
+    }
 }
 
-/// Server-side HCMS state: the running spectrum matrix, inverted lazily at
-/// query time.
+/// Server-side HCMS state: the running spectrum as exact integer sign
+/// sums, inverted lazily at query time.
+///
+/// Integer counters make every accumulation path exact: scalar
+/// accumulation, the monomorphized batch path and sharded
+/// [`merge`](Self::merge) land on identical state for identical reports —
+/// the debias constant `c'_ε` is applied once, at query time.
 #[derive(Debug, Clone)]
 pub struct HcmsServer {
     protocol: HcmsProtocol,
-    /// Accumulated debiased spectrum: `S[j, l] = Σ c'_ε·w̃` over reports
-    /// that sampled `(j, l)`.
-    spectrum: Vec<f64>,
+    /// Accumulated sign sums: `S[j, l] = Σ w̃` over reports that sampled
+    /// `(j, l)`; the debiased spectrum is `c'_ε · S`.
+    spectrum: Vec<i64>,
     n: usize,
 }
 
@@ -138,8 +154,24 @@ impl HcmsServer {
         let (k, m) = self.protocol.shape();
         let (row, coeff) = (report.row as usize, report.coeff as usize);
         assert!(row < k && coeff < m, "report indices out of range");
-        self.spectrum[row * m + coeff] += self.protocol.c_eps * report.sign as f64;
+        self.spectrum[row * m + coeff] += report.sign as i64;
         self.n += 1;
+    }
+
+    /// Merges another server's sign sums into this one. Exact (integer
+    /// addition), so sharded collection is bit-identical to sequential.
+    ///
+    /// # Panics
+    /// Panics if the two servers were built from different protocols.
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.protocol == other.protocol,
+            "merge: protocol mismatch (shape, budget or hash family)"
+        );
+        for (a, b) in self.spectrum.iter_mut().zip(&other.spectrum) {
+            *a += b;
+        }
+        self.n += other.n;
     }
 
     /// Number of reports accumulated.
@@ -157,7 +189,9 @@ impl HcmsServer {
         let mut out = vec![0.0; k * m];
         let mut row_buf = vec![0.0; m];
         for j in 0..k {
-            row_buf.copy_from_slice(&self.spectrum[j * m..(j + 1) * m]);
+            for (dst, &s) in row_buf.iter_mut().zip(&self.spectrum[j * m..(j + 1) * m]) {
+                *dst = self.protocol.c_eps * s as f64;
+            }
             fwht(&mut row_buf);
             for l in 0..m {
                 // k (row sampling) * m (coeff sampling) / m (inverse FWHT).
@@ -182,12 +216,19 @@ impl HcmsServer {
 
     /// Estimates many items, amortizing the per-row transforms.
     pub fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        self.estimate_iter(items.iter().copied())
+    }
+
+    /// [`estimate_items`](Self::estimate_items) over any item iterator —
+    /// full-domain sweeps pass `0..d` directly, with no scratch vector
+    /// of item ids (one FWHT sweep either way).
+    pub fn estimate_iter(&self, items: impl IntoIterator<Item = u64>) -> Vec<f64> {
         let (k, m) = self.protocol.shape();
         let matrix = self.bucket_matrix();
         let mf = m as f64;
         items
-            .iter()
-            .map(|&v| {
+            .into_iter()
+            .map(|v| {
                 let mean_cell: f64 = (0..k)
                     .map(|j| matrix[j * m + self.protocol.bucket(j, v)])
                     .sum::<f64>()
@@ -195,6 +236,151 @@ impl HcmsServer {
                 (mf / (mf - 1.0)) * (mean_cell - self.n as f64 / mf)
             })
             .collect()
+    }
+}
+
+/// [`HcmsProtocol`] bound to an enumerable item domain `0..d`, exposing
+/// the one-bit sketch as a [`FrequencyOracle`] so the sharded parallel
+/// engine (`ldp_workloads::parallel`) can drive it like any other oracle.
+///
+/// The batch path has nothing to fuse away allocation-wise — an
+/// [`HcmsReport`] is three machine words — so its win is purely the
+/// monomorphized RNG draws (`R: RngCore` instead of `dyn RngCore` per
+/// draw), shared sampling core with the scalar path by construction.
+#[derive(Debug, Clone)]
+pub struct HcmsOracle {
+    protocol: HcmsProtocol,
+    domain: u64,
+}
+
+impl HcmsOracle {
+    /// Creates an HCMS oracle: `k` rows, power-of-two width `m`,
+    /// deterministic hash seed, over items `0..domain`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m` is not a power of two ≥ 2, or
+    /// `domain == 0`.
+    pub fn new(k: usize, m: usize, epsilon: Epsilon, seed: u64, domain: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        Self {
+            protocol: HcmsProtocol::new(k, m, epsilon, seed),
+            domain,
+        }
+    }
+
+    /// The underlying sketch protocol.
+    pub fn protocol(&self) -> &HcmsProtocol {
+        &self.protocol
+    }
+}
+
+/// Aggregator for [`HcmsOracle`]: an [`HcmsServer`] plus the bound domain.
+#[derive(Debug, Clone)]
+pub struct HcmsAggregator {
+    server: HcmsServer,
+    domain: u64,
+}
+
+impl HcmsAggregator {
+    /// The underlying sketch server (for point queries beyond `0..d`).
+    pub fn server(&self) -> &HcmsServer {
+        &self.server
+    }
+}
+
+impl FoAggregator for HcmsAggregator {
+    type Report = HcmsReport;
+
+    fn accumulate(&mut self, report: &HcmsReport) {
+        self.server.accumulate(report);
+    }
+
+    fn reports(&self) -> usize {
+        self.server.reports()
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        // One FWHT sweep amortized over the whole domain.
+        self.server.estimate_iter(0..self.domain)
+    }
+
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        self.server.estimate_items(items)
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.domain, other.domain, "merge: domain mismatch");
+        self.server.merge(other.server);
+    }
+}
+
+impl FrequencyOracle for HcmsOracle {
+    type Report = HcmsReport;
+    type Aggregator = HcmsAggregator;
+
+    fn name(&self) -> &'static str {
+        "HCMS"
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.domain
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.protocol.epsilon
+    }
+
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> HcmsReport {
+        assert!(value < self.domain, "value {value} outside domain");
+        self.protocol.randomize(value, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(HcmsReport),
+    {
+        for &v in values {
+            assert!(v < self.domain, "value {v} outside domain");
+            sink(self.protocol.randomize(v, rng));
+        }
+    }
+
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut HcmsAggregator,
+    ) {
+        assert!(
+            agg.server.protocol == self.protocol && agg.domain == self.domain,
+            "aggregator configured for a different HCMS oracle"
+        );
+        for &v in values {
+            assert!(v < self.domain, "value {v} outside domain");
+            agg.server.accumulate(&self.protocol.randomize(v, rng));
+        }
+    }
+
+    fn new_aggregator(&self) -> HcmsAggregator {
+        HcmsAggregator {
+            server: self.protocol.new_server(),
+            domain: self.domain,
+        }
+    }
+
+    /// Sketch-noise approximation (`f`-independent), empirically
+    /// validated in `crates/apple/tests/batch_identity.rs`.
+    fn count_variance(&self, n: usize, _f: f64) -> f64 {
+        self.protocol.approx_count_variance(n)
+    }
+
+    fn report_bits(&self) -> usize {
+        // One payload bit plus the sampled (row, coefficient) indices.
+        1 + ((self.protocol.k.max(2) as u64)
+            .next_power_of_two()
+            .trailing_zeros()
+            + (self.protocol.m as u64).trailing_zeros()) as usize
     }
 }
 
@@ -286,6 +472,49 @@ mod tests {
         let batch = server.estimate_items(&items);
         for (i, &v) in items.iter().enumerate() {
             assert!((batch[i] - server.estimate(v)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let proto = HcmsProtocol::new(4, 64, eps(2.0), 61);
+        let mut rng = StdRng::seed_from_u64(67);
+        let mut a = proto.new_server();
+        for u in 0..500u64 {
+            a.accumulate(&proto.randomize(u % 9, &mut rng));
+        }
+        let mut b = proto.new_server();
+        for u in 0..700u64 {
+            b.accumulate(&proto.randomize(u % 9, &mut rng));
+        }
+
+        // Same draws, same values, one server: replay both halves.
+        let mut rng2 = StdRng::seed_from_u64(67);
+        let mut seq = proto.new_server();
+        for u in 0..500u64 {
+            seq.accumulate(&proto.randomize(u % 9, &mut rng2));
+        }
+        for u in 0..700u64 {
+            seq.accumulate(&proto.randomize(u % 9, &mut rng2));
+        }
+
+        a.merge(b);
+        assert_eq!(a.spectrum, seq.spectrum);
+        assert_eq!(a.reports(), seq.reports());
+    }
+
+    #[test]
+    fn oracle_estimates_unbiased() {
+        let oracle = HcmsOracle::new(8, 256, eps(4.0), 5, 16);
+        let mut rng = StdRng::seed_from_u64(71);
+        let values: Vec<u64> = (0..20_000).map(|i| i % 4).collect();
+        let mut agg = oracle.new_aggregator();
+        oracle.randomize_accumulate_batch(&values, &mut rng, &mut agg);
+        let est = agg.estimate();
+        assert_eq!(est.len(), 16);
+        let sd = oracle.count_variance(values.len(), 0.25).sqrt();
+        for (v, &e) in est.iter().enumerate().take(4) {
+            assert!((e - 5000.0).abs() < 5.0 * sd, "item {v}: {e} (sd={sd})");
         }
     }
 

@@ -45,6 +45,6 @@ pub mod cms;
 pub mod hcms;
 pub mod sfp;
 
-pub use cms::{CmsProtocol, CmsReport, CmsServer};
-pub use hcms::{HcmsProtocol, HcmsReport, HcmsServer};
-pub use sfp::{SfpConfig, SfpDiscovery};
+pub use cms::{CmsAggregator, CmsOracle, CmsProtocol, CmsReport, CmsServer};
+pub use hcms::{HcmsAggregator, HcmsOracle, HcmsProtocol, HcmsReport, HcmsServer};
+pub use sfp::{SfpCollectors, SfpConfig, SfpDiscovery};

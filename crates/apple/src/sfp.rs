@@ -19,7 +19,7 @@
 //!    group (taking the best fragment per position), and ranks candidates
 //!    by their whole-word sketch estimate.
 
-use crate::cms::CmsProtocol;
+use crate::cms::{CmsProtocol, CmsServer};
 use ldp_core::{Epsilon, Error, Result};
 use ldp_sketch::hash::hash_bytes64;
 use rand::Rng;
@@ -42,10 +42,19 @@ fn symbol(b: u8) -> u64 {
     }
 }
 
+#[cfg(test)]
 fn normalize(s: &[u8], len: usize) -> Vec<u64> {
-    let mut out: Vec<u64> = s.iter().take(len).map(|&b| symbol(b)).collect();
-    out.resize(len, PAD);
+    let mut out = Vec::new();
+    normalize_into(s, len, &mut out);
     out
+}
+
+/// Allocation-free [`normalize`] into a reusable buffer (the fused
+/// collection loop normalizes one word per user).
+fn normalize_into(s: &[u8], len: usize, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(s.iter().take(len).map(|&b| symbol(b)));
+    out.resize(len, PAD);
 }
 
 fn pack_fragment(symbols: &[u64]) -> u64 {
@@ -62,16 +71,22 @@ fn unpack_fragment(mut v: u64, len: usize) -> String {
     String::from_utf8(chars).expect("ascii alphabet")
 }
 
+/// 64-bit hash of a whole (normalized) word — the whole-word sketch key;
+/// its low byte is the puzzle piece. `buf` is a reusable byte scratch.
+fn word_hash_with(word: &[u64], buf: &mut Vec<u8>) -> u64 {
+    buf.clear();
+    buf.extend(word.iter().map(|&s| s as u8));
+    hash_bytes64(buf)
+}
+
 /// 8-bit puzzle piece of a whole (normalized) word.
 fn puzzle_piece(word: &[u64]) -> u64 {
-    let bytes: Vec<u8> = word.iter().map(|&s| s as u8).collect();
-    hash_bytes64(&bytes) & 0xff
+    word_hash_with(word, &mut Vec::new()) & 0xff
 }
 
 /// Whole-word sketch key.
 fn word_key(word: &[u64]) -> u64 {
-    let bytes: Vec<u8> = word.iter().map(|&s| s as u8).collect();
-    hash_bytes64(&bytes)
+    word_hash_with(word, &mut Vec::new())
 }
 
 /// Configuration for [`SfpDiscovery`].
@@ -142,6 +157,52 @@ pub struct DiscoveredWord {
     pub estimate: f64,
 }
 
+/// Server-side collection state for one SFP round: one CMS server per
+/// fragment position plus the whole-word server. Mergeable, so the
+/// client stage can be sharded (threads or collector machines) and
+/// combined — the same contract as every `ldp-core` aggregator.
+#[derive(Debug, Clone)]
+pub struct SfpCollectors {
+    fragments: Vec<CmsServer>,
+    word: CmsServer,
+}
+
+impl SfpCollectors {
+    /// Reports collected (each user contributes one fragment report and
+    /// one whole-word report).
+    pub fn reports(&self) -> usize {
+        self.word.reports()
+    }
+
+    /// The per-position fragment sketches.
+    pub fn fragment_servers(&self) -> &[CmsServer] {
+        &self.fragments
+    }
+
+    /// The whole-word sketch.
+    pub fn word_server(&self) -> &CmsServer {
+        &self.word
+    }
+
+    /// Merges another shard's collectors into this one (exact integer
+    /// counter addition — bit-identical to sequential collection).
+    ///
+    /// # Panics
+    /// Panics if the two collector sets came from different
+    /// [`SfpDiscovery`] instances.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.fragments.len(),
+            other.fragments.len(),
+            "merge: position count mismatch"
+        );
+        for (a, b) in self.fragments.iter_mut().zip(other.fragments) {
+            a.merge(b);
+        }
+        self.word.merge(other.word);
+    }
+}
+
 /// The SFP discovery protocol.
 #[derive(Debug)]
 pub struct SfpDiscovery {
@@ -177,36 +238,71 @@ impl SfpDiscovery {
         })
     }
 
-    /// Runs discovery over a population of words. Each user submits one
-    /// fragment report (at a random position) and one whole-word report,
-    /// each at `ε/2`.
+    /// Creates the empty per-position fragment sketches and the whole-word
+    /// sketch for one collection round.
+    pub fn new_collectors(&self) -> SfpCollectors {
+        SfpCollectors {
+            fragments: self
+                .fragment_sketches
+                .iter()
+                .map(|s| s.new_server())
+                .collect(),
+            word: self.word_sketch.new_server(),
+        }
+    }
+
+    /// The fused client stage: privatizes every user's fragment and
+    /// whole-word submissions (each at `ε/2`) straight into `collectors`
+    /// through [`CmsServer::accumulate_fused`] — no report vectors, no
+    /// per-user sketch rows, one reusable normalization buffer.
     ///
-    /// Returns discovered words sorted by estimated count, descending.
-    pub fn run<R: Rng>(&self, population: &[&[u8]], rng: &mut R) -> Vec<DiscoveredWord> {
+    /// Bit-identical to the scalar reference (per-user
+    /// `randomize` + `accumulate` with the same RNG), and mergeable: the
+    /// population can be sharded across calls on separate collectors and
+    /// combined with [`SfpCollectors::merge`].
+    pub fn collect<R: Rng + ?Sized>(
+        &self,
+        population: &[&[u8]],
+        rng: &mut R,
+        collectors: &mut SfpCollectors,
+    ) {
         let cfg = &self.config;
         let positions = cfg.positions();
-        let mut frag_servers: Vec<_> = self
-            .fragment_sketches
-            .iter()
-            .map(|s| s.new_server())
-            .collect();
-        let mut word_server = self.word_sketch.new_server();
-
-        // ---- Collection. ----
+        let mut word = Vec::with_capacity(cfg.word_len);
+        let mut bytes = Vec::with_capacity(cfg.word_len);
         for raw in population {
-            let word = normalize(raw, cfg.word_len);
-            let puzzle = puzzle_piece(&word);
+            normalize_into(raw, cfg.word_len, &mut word);
+            let hash = word_hash_with(&word, &mut bytes);
+            let puzzle = hash & 0xff;
             let pos = rng.gen_range(0..positions);
             let frag = pack_fragment(&word[pos * cfg.fragment_len..(pos + 1) * cfg.fragment_len]);
             let frag_value = frag * 256 + puzzle;
-            frag_servers[pos].accumulate(&self.fragment_sketches[pos].randomize(frag_value, rng));
-            word_server.accumulate(&self.word_sketch.randomize(word_key(&word), rng));
+            collectors.fragments[pos].accumulate_fused(frag_value, rng);
+            collectors.word.accumulate_fused(hash, rng);
         }
+    }
+
+    /// Runs discovery over a population of words: one fused collection
+    /// round ([`collect`](Self::collect)) followed by
+    /// [`decode`](Self::decode).
+    ///
+    /// Returns discovered words sorted by estimated count, descending.
+    pub fn run<R: Rng>(&self, population: &[&[u8]], rng: &mut R) -> Vec<DiscoveredWord> {
+        let mut collectors = self.new_collectors();
+        self.collect(population, rng, &mut collectors);
+        self.decode(&collectors)
+    }
+
+    /// Server side: decodes frequent fragments per position, reassembles
+    /// candidates by puzzle piece, and ranks them by whole-word estimate.
+    pub fn decode(&self, collectors: &SfpCollectors) -> Vec<DiscoveredWord> {
+        let cfg = &self.config;
+        let positions = cfg.positions();
 
         // ---- Decode frequent (fragment, puzzle) pairs per position. ----
         let domain = cfg.fragment_domain();
         let mut per_position: Vec<Vec<(u64, u64, f64)>> = Vec::with_capacity(positions);
-        for (pos, server) in frag_servers.iter().enumerate() {
+        for (pos, server) in collectors.fragments.iter().enumerate() {
             let mut scored: Vec<(u64, u64, f64)> = (0..domain)
                 .map(|v| (v / 256, v % 256, server.estimate(v)))
                 .collect();
@@ -264,7 +360,7 @@ impl SfpDiscovery {
                     .map(|c| unpack_fragment(pack_fragment(c), cfg.fragment_len))
                     .collect::<Vec<_>>()
                     .join(""),
-                estimate: word_server.estimate(word_key(&syms)),
+                estimate: collectors.word.estimate(word_key(&syms)),
             })
             .filter(|d| d.estimate > 0.0)
             .collect();

@@ -17,19 +17,28 @@
 //!   `thread_scaling` (fused 1 worker vs fused N workers) and the real
 //!   worker count recorded as `threads` — on a single-core host
 //!   `thread_scaling` sits at ~1 and `collect_speedup` is the batch
-//!   engine alone; on a multi-core host the two multiply.
+//!   engine alone; on a multi-core host the two multiply;
+//! * the industrial mechanisms: Apple CMS legacy scalar (fresh ±1 row +
+//!   per-coordinate `dyn` draws) vs the fused geometric-skip counter path
+//!   (`apple_batch_speedup`), and Microsoft dBitFlip legacy scalar
+//!   (per-report `O(k)` Fisher–Yates pool + per-bucket `dyn` draws) vs
+//!   the fused rejection+skip path (`microsoft_batch_speedup`).
 //!
 //! Set `LDP_BENCH_SMOKE=1` for a seconds-scale CI smoke configuration,
 //! and `LDP_BENCH_OUT=<path>` to redirect the JSON.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ldp_apple::cms::CmsOracle;
 use ldp_apple::hcms::HcmsProtocol;
-use ldp_bench::legacy::{legacy_the_randomize, legacy_unary_randomize};
+use ldp_bench::legacy::{
+    legacy_cms_randomize, legacy_dbitflip_randomize, legacy_the_randomize, legacy_unary_randomize,
+};
 use ldp_core::fo::{
     CohortLocalHashing, FoAggregator, FrequencyOracle, LocalHashing, OptimizedLocalHashing,
     OptimizedUnaryEncoding, ThresholdHistogramEncoding,
 };
 use ldp_core::Epsilon;
+use ldp_microsoft::DBitFlip;
 use ldp_rappor::{RapporAggregator, RapporClient, RapporParams};
 use ldp_workloads::parallel::{
     accumulate_sharded_sequential, accumulate_sharded_with_workers, planned_workers, shard_seed,
@@ -256,6 +265,56 @@ fn bench_old_vs_new(_c: &mut Criterion) {
     });
     let the_batch_speedup = the_scalar_randomize_ns / the_batch_randomize_ns;
 
+    // --- Industrial mechanisms: the frozen pre-batch-engine scalar
+    // paths vs today's fused batch paths, sequential on both sides
+    // (algorithmic gains only — thread gains are measured separately).
+    //
+    // Apple CMS (k=16 rows, m=1024 buckets, ε=2): the legacy path
+    // allocates a fresh ±1 row and draws one Bernoulli per coordinate
+    // through `dyn RngCore`; the fused path geometric-skips the
+    // sign flips (2 + m·q draws) and lands O(1 + m·q) integer counter
+    // increments per report.
+    let cms = CmsOracle::new(16, 1024, Epsilon::new(2.0).expect("valid eps"), 31, d);
+    let cms_values: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(17) % d).collect();
+    let apple_cms_scalar_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut server = cms.protocol().new_server();
+        for &v in &cms_values {
+            server.accumulate(&legacy_cms_randomize(cms.protocol(), v, &mut rng));
+        }
+        black_box(server.reports());
+    });
+    let apple_cms_batch_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = cms.new_aggregator();
+        cms.randomize_accumulate_batch(&cms_values, &mut rng, &mut agg);
+        black_box(agg.reports());
+    });
+    let apple_batch_speedup = apple_cms_scalar_ns / apple_cms_batch_ns;
+
+    // Microsoft dBitFlip (k=1024 buckets, d=16 bits/device, ε=1): the
+    // legacy path runs a partial Fisher–Yates over a freshly allocated
+    // O(k) pool per report plus one Bernoulli per assigned bucket; the
+    // fused path rejection-samples the d buckets (expected O(d) draws,
+    // no pool) and geometric-skips the flips.
+    let dbf = DBitFlip::new(1024, 16, eps).expect("valid params");
+    let dbf_values: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(13) % 1024).collect();
+    let ms_dbitflip_scalar_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = DBitFlip::new_aggregator(&dbf);
+        for &v in &dbf_values {
+            agg.accumulate(&legacy_dbitflip_randomize(&dbf, v as u32, &mut rng));
+        }
+        black_box(agg.reports());
+    });
+    let ms_dbitflip_batch_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = DBitFlip::new_aggregator(&dbf);
+        dbf.randomize_accumulate_batch(&dbf_values, &mut rng, &mut agg);
+        black_box(agg.reports());
+    });
+    let microsoft_batch_speedup = ms_dbitflip_scalar_ns / ms_dbitflip_batch_ns;
+
     // --- Collection: the legacy scalar loop vs the batch path on the
     // parallel engine, with the pure thread contribution isolated.
     let collect_reps = 3;
@@ -291,6 +350,16 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         the_batch_randomize_ns / 1e6
     );
     println!(
+        "apple_cms_randomize_accumulate/legacy_n{n}_m1024: {:.2} ms, fused_batch: {:.2} ms  ({apple_batch_speedup:.1}x speedup)",
+        apple_cms_scalar_ns / 1e6,
+        apple_cms_batch_ns / 1e6
+    );
+    println!(
+        "microsoft_dbitflip_randomize_accumulate/legacy_n{n}_k1024_d16: {:.2} ms, fused_batch: {:.2} ms  ({microsoft_batch_speedup:.1}x speedup)",
+        ms_dbitflip_scalar_ns / 1e6,
+        ms_dbitflip_batch_ns / 1e6
+    );
+    println!(
         "oue_collect/legacy_scalar_n{n}: {:.2} ms, batch_1w: {:.2} ms, batch_parallel({threads} workers): {:.2} ms  ({collect_speedup:.1}x total, {thread_scaling:.2}x from threads)",
         seq_collect_ns / 1e6,
         batch_collect_1w_ns / 1e6,
@@ -298,7 +367,7 @@ fn bench_old_vs_new(_c: &mut Criterion) {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2}\n}}\n",
+        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2}\n}}\n",
         if smoke { "smoke" } else { "full" },
         cohort_oracle.g(),
     );

@@ -6,18 +6,22 @@
 //! randomizer (`legacy`) against today's scalar path (geometric-skip
 //! sampling through `dyn RngCore`) and the fused batch path
 //! (monomorphized draws, reports folded straight into the aggregator,
-//! zero per-report allocation).
+//! zero per-report allocation). The industrial mechanisms get the same
+//! treatment: Apple CMS (legacy per-coordinate scalar vs reusable
+//! `report_into` buffer vs fused counter path) and Microsoft dBitFlip
+//! (legacy `O(k)`-pool scalar vs fused rejection+skip batch).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ldp_apple::cms::CmsProtocol;
+use ldp_apple::cms::{CmsOracle, CmsProtocol, CmsReport};
 use ldp_apple::hcms::HcmsProtocol;
-use ldp_bench::legacy::legacy_unary_randomize;
+use ldp_bench::legacy::{legacy_cms_randomize, legacy_dbitflip_randomize, legacy_unary_randomize};
 use ldp_core::fo::{
     DirectEncoding, FoAggregator, FrequencyOracle, HadamardResponse, OptimizedLocalHashing,
     OptimizedUnaryEncoding, ThresholdHistogramEncoding,
 };
 use ldp_core::rr::BinaryRandomizedResponse;
 use ldp_core::Epsilon;
+use ldp_microsoft::DBitFlip;
 use ldp_microsoft::OneBitMean;
 use ldp_rappor::{RapporClient, RapporParams};
 use ldp_sketch::BitVec;
@@ -136,6 +140,76 @@ fn bench_encode_batch(c: &mut Criterion) {
             b.iter(|| {
                 let mut agg = the.new_aggregator();
                 the.randomize_accumulate_batch(black_box(&batch), &mut rng, &mut agg);
+                agg.reports()
+            })
+        });
+    }
+
+    // Apple CMS: frozen legacy per-coordinate scalar vs the reusable
+    // report buffer vs the fused counter path.
+    {
+        let oracle = CmsOracle::new(16, 1024, Epsilon::new(2.0).expect("valid eps"), 31, 1024);
+        group.bench_function("apple_cms_legacy_per_coord/1024", |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let mut server = oracle.protocol().new_server();
+                for &v in &batch {
+                    server.accumulate(&legacy_cms_randomize(
+                        oracle.protocol(),
+                        black_box(v),
+                        &mut rng,
+                    ));
+                }
+                server.reports()
+            })
+        });
+        group.bench_function("apple_cms_report_into_reused_buf/1024", |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut report = CmsReport::empty();
+            b.iter(|| {
+                let mut server = oracle.protocol().new_server();
+                for &v in &batch {
+                    oracle
+                        .protocol()
+                        .report_into(black_box(v), &mut rng, &mut report);
+                    server.accumulate(&report);
+                }
+                server.reports()
+            })
+        });
+        group.bench_function("apple_cms_fused_batch/1024", |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let mut agg = oracle.new_aggregator();
+                oracle.randomize_accumulate_batch(black_box(&batch), &mut rng, &mut agg);
+                agg.reports()
+            })
+        });
+    }
+
+    // Microsoft dBitFlip: frozen legacy O(k)-pool scalar vs the fused
+    // rejection+skip batch path.
+    {
+        let dbf = DBitFlip::new(1024, 16, eps).expect("valid params");
+        group.bench_function("ms_dbitflip_legacy_pool/k1024_d16", |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let mut agg = DBitFlip::new_aggregator(&dbf);
+                for &v in &batch {
+                    agg.accumulate(&legacy_dbitflip_randomize(
+                        &dbf,
+                        black_box(v as u32),
+                        &mut rng,
+                    ));
+                }
+                agg.reports()
+            })
+        });
+        group.bench_function("ms_dbitflip_fused_batch/k1024_d16", |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let mut agg = DBitFlip::new_aggregator(&dbf);
+                dbf.randomize_accumulate_batch(black_box(&batch), &mut rng, &mut agg);
                 agg.reports()
             })
         });

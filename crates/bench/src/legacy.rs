@@ -7,8 +7,11 @@
 //! same old code. Do not "improve" them — any change here silently
 //! re-bases the recorded speedup trajectory.
 
+use ldp_apple::cms::{CmsProtocol, CmsReport};
 use ldp_core::noise::sample_laplace;
+use ldp_microsoft::dbitflip::{DBitFlip, DBitReport};
 use ldp_sketch::BitVec;
+use rand::seq::index::sample;
 use rand::{Rng, RngCore};
 
 /// The pre-batch-engine unary (SUE/OUE) randomizer: one Bernoulli draw
@@ -44,6 +47,60 @@ pub fn legacy_the_randomize(
     bits
 }
 
+/// The pre-batch-engine Apple CMS randomizer: a fresh `m`-length ±1 row
+/// per report and one Bernoulli draw per coordinate through `dyn
+/// RngCore`. Uses the live protocol's public hash family so the reports
+/// stay decodable by today's server.
+pub fn legacy_cms_randomize(proto: &CmsProtocol, value: u64, rng: &mut dyn RngCore) -> CmsReport {
+    let (k, m) = proto.shape();
+    let row = rng.gen_range(0..k);
+    let bucket = proto.bucket(row, value);
+    let mut bits = vec![-1i8; m];
+    bits[bucket] = 1;
+    for b in bits.iter_mut() {
+        if rng.gen_bool(proto.flip_prob()) {
+            *b = -*b;
+        }
+    }
+    CmsReport {
+        row: row as u32,
+        bits,
+    }
+}
+
+/// The pre-batch-engine Microsoft dBitFlip randomizer: a partial
+/// Fisher–Yates over a freshly allocated `O(k)` pool per report
+/// (`rand::seq::index::sample`), then one Bernoulli draw per assigned
+/// bucket through `dyn RngCore`, materializing both report vectors.
+pub fn legacy_dbitflip_randomize(
+    mech: &DBitFlip,
+    value_bucket: u32,
+    rng: &mut dyn RngCore,
+) -> DBitReport {
+    let mut buckets: Vec<u32> = sample(
+        rng,
+        mech.buckets() as usize,
+        mech.bits_per_device() as usize,
+    )
+    .into_iter()
+    .map(|i| i as u32)
+    .collect();
+    buckets.sort_unstable();
+    let p = mech.keep_prob();
+    let bits = buckets
+        .iter()
+        .map(|&j| {
+            let truth = j == value_bucket;
+            if rng.gen_bool(p) {
+                truth
+            } else {
+                !truth
+            }
+        })
+        .collect();
+    DBitReport { buckets, bits }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +123,46 @@ mod tests {
             let rate = c as f64 / n as f64;
             let expected = if i == 5 { p } else { q };
             assert!((rate - expected).abs() < 0.02, "bit {i}: {rate}");
+        }
+    }
+
+    /// The frozen Apple baseline must stay decodable by today's server:
+    /// estimates from legacy reports remain unbiased.
+    #[test]
+    fn legacy_cms_reports_decode_correctly() {
+        use ldp_core::Epsilon;
+        let proto = CmsProtocol::new(8, 128, Epsilon::new(4.0).unwrap(), 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut server = proto.new_server();
+        let n = 20_000;
+        for _ in 0..n {
+            server.accumulate(&legacy_cms_randomize(&proto, 3, &mut rng));
+        }
+        let est = server.estimate(3);
+        assert!(
+            (est - n as f64).abs() < n as f64 * 0.1,
+            "est={est} truth={n}"
+        );
+    }
+
+    /// Same for the frozen Microsoft baseline.
+    #[test]
+    fn legacy_dbitflip_reports_decode_correctly() {
+        use ldp_core::Epsilon;
+        let mech = DBitFlip::new(16, 4, Epsilon::new(2.0).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut agg = mech.new_aggregator();
+        let n = 30_000;
+        for u in 0..n {
+            agg.accumulate(&legacy_dbitflip_randomize(&mech, (u % 4) as u32, &mut rng));
+        }
+        let est = agg.estimate();
+        let sd = mech.count_variance(n).sqrt();
+        for (j, &e) in est.iter().enumerate().take(4) {
+            assert!(
+                (e - n as f64 / 4.0).abs() < 5.0 * sd,
+                "bucket {j}: est={e} sd={sd}"
+            );
         }
     }
 }

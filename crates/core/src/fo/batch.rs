@@ -55,7 +55,7 @@ const MANTISSA_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
 /// bound[k]`, exactly the inverse-CDF partition of the unit interval, so
 /// the distribution is identical to the closed-form
 /// `skip = ⌊ln(1−U)/ln(1−q)⌋` it falls back to past the table.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeometricSkip {
     q: f64,
     /// `bound[k]` = smallest 53-bit mantissa NOT mapping to `skip ≤ k`.

@@ -19,12 +19,22 @@
 //! | Cohort local hashing (OLH-C) | [`hashing`] | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `≤ 3` | `O(C·g)`, `O(C·d)` |
 //! | Hadamard response (HR) | [`hadamard`] | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` |
 //! | Subset selection (SS) | [`subset`] | `k·log d` bits | minimax-optimal | `1 + k` | `O(d)`, `O(d)` |
+//! | Apple CMS | `ldp_apple::cms` | `m` bits + log k | `≈k·c_ε²·n/m + n/m` (sketch) | `2 + m·q` (geometric skip) | `O(k·m)`, `O(k·d)` |
+//! | Apple HCMS | `ldp_apple::hcms` | 1 bit + log km | `≈c'_ε²·n + n/m` (sketch) | `3` | `O(k·m)`, `O(k·m log m + k·d)` |
+//! | Microsoft dBitFlip | `ldp_microsoft::dbitflip` | `d·(log k + 1)` bits | `(k/d)·`SUE floor | `≈ d + 2 + d·q` | `O(k)`, `O(k)` |
+//! | Microsoft 1BitMean | `ldp_microsoft::onebit` | 1 bit | mean: `max²(e^ε+1)²/4(e^ε−1)²` | `1` | `O(1)`, `O(1)` |
 //!
 //! The randomization-cost column counts uniform RNG draws per report on
 //! the batch path. The unary family (`d` bits, one independent Bernoulli
 //! per position) pays `2 + d·q` expected draws instead of `d` thanks to
 //! geometric-skip sampling of the set bits ([`batch`]); SHE is the one
 //! mechanism that inherently needs a continuous noise draw per coordinate.
+//! The last four rows are the industrial deployments in `ldp-apple` and
+//! `ldp-microsoft`: they share the same geometric-skip sampler and are
+//! wired into the same batch engine through [`crate::mech::BatchMechanism`]
+//! (CMS flips its `m`-long sign vector at rate `q = 1/(e^{ε/2}+1)` so a
+//! fused report costs `O(m·q)` sketch updates, not `O(m)`; dBitFlip
+//! samples its `d` buckets by rejection and flips them by skip).
 //!
 //! The table is the tutorial's punchline: OUE, OLH and HR share the same
 //! optimal noise floor, differing only in communication; GRR beats them all

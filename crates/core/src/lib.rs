@@ -16,6 +16,11 @@
 //! * [`mean`] — numeric mechanisms: Duchi et al.'s minimax ±c mechanism,
 //!   the Laplace mechanism, stochastic rounding, and the piecewise
 //!   mechanism.
+//! * [`mech`] — the cross-crate [`BatchMechanism`] abstraction: the
+//!   batch-fused, mergeable collection contract shared by the frequency
+//!   oracles and the non-oracle industrial mechanisms (`ldp-apple`,
+//!   `ldp-microsoft`), which is what the sharded parallel engine in
+//!   `ldp-workloads` drives.
 //! * [`noise`] — Laplace / discrete-geometric samplers shared by the
 //!   mechanisms and by central-DP baselines.
 //! * [`estimate`] — the statistical toolkit the tutorial teaches:
@@ -36,11 +41,13 @@
 pub mod estimate;
 pub mod fo;
 pub mod mean;
+pub mod mech;
 pub mod noise;
 pub mod postprocess;
 pub mod privacy;
 pub mod rr;
 
+pub use mech::BatchMechanism;
 pub use privacy::{Epsilon, PrivacyBudget};
 
 /// Errors surfaced by `ldp-core` constructors and estimators.

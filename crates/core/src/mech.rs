@@ -1,0 +1,110 @@
+//! The cross-crate batch-collection abstraction: [`BatchMechanism`].
+//!
+//! [`fo::FrequencyOracle`] is the engine-facing trait for mechanisms whose
+//! input is an item `v ∈ [0, d)` — but the deployed systems the tutorial
+//! benchmarks against are not all frequency oracles. Microsoft's 1BitMean
+//! consumes a *real-valued* input, and the assembled telemetry pipeline
+//! consumes a `(device, value)` pair because its randomness was drawn at
+//! enrollment. What those mechanisms share with the oracles is exactly the
+//! shape the sharded collection engine (`ldp_workloads::parallel`) needs:
+//!
+//! 1. an input type that can be sliced into shards,
+//! 2. a mergeable aggregator, and
+//! 3. a fused randomize→accumulate batch step over a monomorphized RNG.
+//!
+//! [`BatchMechanism`] captures that shape. Every [`fo::FrequencyOracle`]
+//! participates for free through the blanket impl on `&O` (references,
+//! so the impl cannot overlap with downstream impls on concrete mechanism
+//! types), and non-oracle mechanisms — `ldp_microsoft::OneBitMean`, the
+//! telemetry pipeline's per-round view — implement the trait directly.
+//!
+//! The determinism contract carries over unchanged: an implementation's
+//! `accumulate_batch` must consume exactly the RNG stream of the
+//! mechanism's scalar randomize+accumulate loop, so shard replays are
+//! reproducible across the scalar/batch boundary (the cross-crate
+//! bit-identity harnesses in `crates/apple/tests` and
+//! `crates/microsoft/tests` enforce this, mirroring
+//! `crates/core/tests/batch_oracles.rs`).
+
+use crate::fo::{FoAggregator, FrequencyOracle};
+use rand::RngCore;
+
+/// A mechanism whose collection rounds can be batch-fused and sharded:
+/// the generalized engine-facing contract behind
+/// `ldp_workloads::parallel`'s `accumulate_mech_sharded*` entry points.
+pub trait BatchMechanism {
+    /// One client's input (an item, a bounded numeric value, a
+    /// `(device, value)` pair, …). `Clone` so populations can be built
+    /// and sliced; shards borrow, they never clone.
+    type Input: Clone;
+
+    /// The mergeable server-side state reports are fused into.
+    type Aggregator: FoAggregator;
+
+    /// Creates an empty aggregator configured for this mechanism.
+    fn new_aggregator(&self) -> Self::Aggregator;
+
+    /// Fused batch step: privatizes every input and folds the reports
+    /// straight into `agg`, with zero per-report allocation where the
+    /// mechanism can avoid it.
+    ///
+    /// For a given RNG seed this must consume **exactly** the same RNG
+    /// stream as the mechanism's scalar randomize+accumulate loop over
+    /// the same inputs — the bit-identity contract that makes sharded
+    /// collection reproducible across the scalar/batch boundary.
+    ///
+    /// # Panics
+    /// Panics if an input is invalid for the mechanism or `agg` was
+    /// configured for a different mechanism instance.
+    fn accumulate_batch<R: RngCore>(
+        &self,
+        inputs: &[Self::Input],
+        rng: &mut R,
+        agg: &mut Self::Aggregator,
+    );
+}
+
+/// Every frequency oracle is a batch mechanism over `u64` items. The impl
+/// lives on `&O` rather than `O` so it cannot overlap with direct
+/// [`BatchMechanism`] impls on non-oracle mechanism types in downstream
+/// crates (coherence would otherwise forbid those).
+impl<O: FrequencyOracle> BatchMechanism for &O {
+    type Input = u64;
+    type Aggregator = O::Aggregator;
+
+    fn new_aggregator(&self) -> O::Aggregator {
+        FrequencyOracle::new_aggregator(*self)
+    }
+
+    fn accumulate_batch<R: RngCore>(&self, inputs: &[u64], rng: &mut R, agg: &mut O::Aggregator) {
+        self.randomize_accumulate_batch(inputs, rng, agg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::DirectEncoding;
+    use crate::Epsilon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The blanket `&O` impl must replay the oracle's fused path exactly.
+    #[test]
+    fn oracle_adapter_matches_fused_path() {
+        let oracle = DirectEncoding::new(16, Epsilon::new(1.0).unwrap()).unwrap();
+        let values: Vec<u64> = (0..500).map(|i| i % 16).collect();
+
+        let mut direct_rng = StdRng::seed_from_u64(9);
+        let mut direct_agg = oracle.new_aggregator();
+        oracle.randomize_accumulate_batch(&values, &mut direct_rng, &mut direct_agg);
+
+        let mech = &oracle;
+        let mut mech_rng = StdRng::seed_from_u64(9);
+        let mut mech_agg = BatchMechanism::new_aggregator(&mech);
+        mech.accumulate_batch(&values, &mut mech_rng, &mut mech_agg);
+
+        assert_eq!(mech_agg.reports(), direct_agg.reports());
+        assert_eq!(mech_agg.estimate(), direct_agg.estimate());
+    }
+}

@@ -13,11 +13,34 @@
 //! it and rescales by `k/d`; the per-bucket standard deviation is
 //! `√(k/d)`-fold that of full SUE, the accuracy/communication dial the
 //! paper exposes.
+//!
+//! ## Batch engine
+//!
+//! The client channel decomposes into two stages the batch engine can
+//! amortize, shared verbatim by the scalar and fused paths:
+//!
+//! 1. **Bucket sampling** — `d` distinct of `k`: rejection sampling when
+//!    `d ≪ k` (expected `O(d)` draws, no `O(k)` pool — the naive
+//!    Fisher–Yates pool is what made the old path allocate and touch `k`
+//!    words per report), falling back to a partial Fisher–Yates over a
+//!    reusable pool when `d` is a large fraction of `k`.
+//! 2. **Bit flips** — each of the `d` bits flips with the *small*
+//!    probability `q = 1/(e^{ε/2}+1)`, so flipped positions are sampled
+//!    with the shared geometric-skip sampler
+//!    ([`ldp_core::fo::batch::GeometricSkip`]): `1 + d·q` draws instead
+//!    of `d`.
+//!
+//! [`DBitFlip`] also implements `ldp_core::fo::FrequencyOracle` (the
+//! bucket index is the item), with a fused
+//! `randomize_accumulate_batch` that folds reports straight into the
+//! integer [`DBitAggregator`] counters with zero per-report allocation —
+//! which is what lets `ldp_workloads::parallel` shard its collection.
 
 use ldp_core::estimate::debias_count;
+use ldp_core::fo::batch::GeometricSkip;
+use ldp_core::fo::{FoAggregator, FrequencyOracle};
 use ldp_core::{Epsilon, Error, Result};
-use rand::seq::index::sample;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// One dBitFlip report: which buckets the device covers, and its noisy
 /// bits for them (parallel arrays).
@@ -30,13 +53,17 @@ pub struct DBitReport {
 }
 
 /// The dBitFlip mechanism over `k` buckets with `d` bits per device.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DBitFlip {
     k: u32,
     d: u32,
     epsilon: Epsilon,
     /// Pr[bit kept truthful] = e^{ε/2}/(e^{ε/2}+1).
     p: f64,
+    /// Geometric-skip sampler for the per-bit flip rate `q = 1 − p`,
+    /// precomputed once; shared by the scalar and fused paths so both
+    /// consume identical RNG streams.
+    flip_skip: GeometricSkip,
 }
 
 impl DBitFlip {
@@ -56,11 +83,13 @@ impl DBitFlip {
             )));
         }
         let half = (epsilon.value() / 2.0).exp();
+        let p = half / (half + 1.0);
         Ok(Self {
             k,
             d,
             epsilon,
-            p: half / (half + 1.0),
+            p,
+            flip_skip: GeometricSkip::new(1.0 - p),
         })
     }
 
@@ -79,6 +108,61 @@ impl DBitFlip {
         self.epsilon
     }
 
+    /// Pr[bit kept truthful] = `e^{ε/2}/(e^{ε/2}+1)`.
+    pub fn keep_prob(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples the device's `d` distinct buckets into `out` (sorted
+    /// ascending), reusing `pool` as Fisher–Yates scratch when the dense
+    /// branch is taken. The single bucket-sampling core behind both the
+    /// scalar and the fused paths — which is what makes their RNG streams
+    /// identical.
+    ///
+    /// Branch selection is deterministic in `(k, d)`: rejection sampling
+    /// when `4·d ≤ k` (expected `< 4/3` draws per bucket, never touches
+    /// `pool`), partial Fisher–Yates otherwise (exactly `d` draws, `O(k)`
+    /// pool reset).
+    fn sample_buckets_into<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+        pool: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let (k, d) = (self.k as usize, self.d as usize);
+        if d * 4 <= k {
+            // Sparse: rejection against the already-picked prefix. The
+            // linear membership scan is O(d²) worst case, but d ≤ k/4
+            // keeps d small exactly when this branch is selected.
+            while out.len() < d {
+                let c = rng.gen_range(0..self.k);
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        } else {
+            // Dense: partial Fisher–Yates over a reusable pool.
+            pool.clear();
+            pool.extend(0..self.k);
+            for i in 0..d {
+                let j = rng.gen_range(i..k);
+                pool.swap(i, j);
+            }
+            out.extend_from_slice(&pool[..d]);
+        }
+        out.sort_unstable();
+    }
+
+    /// Samples a fresh device bucket set (enrollment): `d` distinct
+    /// buckets, sorted ascending.
+    pub fn sample_buckets<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.d as usize);
+        let mut pool = Vec::new();
+        self.sample_buckets_into(rng, &mut out, &mut pool);
+        out
+    }
+
     /// Client side: sample the device's bucket set (enrollment) and
     /// produce its noisy bits for a value in bucket `value_bucket`.
     ///
@@ -90,22 +174,12 @@ impl DBitFlip {
             "bucket {value_bucket} out of range {}",
             self.k
         );
-        let mut buckets: Vec<u32> = sample(rng, self.k as usize, self.d as usize)
-            .into_iter()
-            .map(|i| i as u32)
-            .collect();
-        buckets.sort_unstable();
-        let bits = buckets
-            .iter()
-            .map(|&j| {
-                let truth = j == value_bucket;
-                if rng.gen_bool(self.p) {
-                    truth
-                } else {
-                    !truth
-                }
-            })
-            .collect();
+        let buckets = self.sample_buckets(rng);
+        let mut bits: Vec<bool> = buckets.iter().map(|&j| j == value_bucket).collect();
+        self.flip_skip.sample_into(self.d as u64, rng, |i| {
+            let b = &mut bits[i as usize];
+            *b = !*b;
+        });
         DBitReport { buckets, bits }
     }
 
@@ -130,6 +204,98 @@ impl DBitFlip {
     }
 }
 
+impl FrequencyOracle for DBitFlip {
+    type Report = DBitReport;
+    type Aggregator = DBitAggregator;
+
+    fn name(&self) -> &'static str {
+        "dBitFlip"
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.k as u64
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: u64, rng: &mut dyn RngCore) -> DBitReport {
+        assert!(
+            value < self.k as u64,
+            "bucket {value} out of range {}",
+            self.k
+        );
+        DBitFlip::randomize(self, value as u32, rng)
+    }
+
+    fn randomize_batch<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(DBitReport),
+    {
+        for &v in values {
+            assert!(v < self.k as u64, "bucket {v} out of range {}", self.k);
+            sink(DBitFlip::randomize(self, v as u32, rng));
+        }
+    }
+
+    /// Fused batch path: reuses one bucket/pool/flip scratch for the
+    /// whole batch and folds each report's `(bucket, bit)` pairs straight
+    /// into the integer counters — zero per-report allocation,
+    /// monomorphized draws, same RNG stream as the scalar loop.
+    fn randomize_accumulate_batch<R: RngCore>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        agg: &mut DBitAggregator,
+    ) {
+        assert!(
+            agg.ones.len() == self.k as usize && agg.p == self.p,
+            "aggregator configured for a different dBitFlip mechanism"
+        );
+        let d = self.d as usize;
+        let mut buckets: Vec<u32> = Vec::with_capacity(d);
+        let mut pool: Vec<u32> = Vec::new();
+        let mut flips: Vec<u32> = Vec::with_capacity(d);
+        for &v in values {
+            assert!(v < self.k as u64, "bucket {v} out of range {}", self.k);
+            self.sample_buckets_into(rng, &mut buckets, &mut pool);
+            flips.clear();
+            self.flip_skip
+                .sample_into(self.d as u64, rng, |i| flips.push(i as u32));
+            // Walk the sorted bucket list against the (sorted) flip
+            // positions: bit = 1[j == v] XOR flipped.
+            let mut fi = 0usize;
+            for (idx, &j) in buckets.iter().enumerate() {
+                let flipped = fi < flips.len() && flips[fi] == idx as u32;
+                fi += usize::from(flipped);
+                let bit = (j as u64 == v) != flipped;
+                agg.covered[j as usize] += 1;
+                agg.ones[j as usize] += u64::from(bit);
+            }
+            agg.n += 1;
+        }
+    }
+
+    fn new_aggregator(&self) -> DBitAggregator {
+        DBitFlip::new_aggregator(self)
+    }
+
+    /// The analytical per-bucket noise floor (`f`-independent: the
+    /// dominant terms are the flip noise and the `k/d` coverage
+    /// rescaling), verified empirically in
+    /// `crates/microsoft/tests/batch_identity.rs`.
+    fn count_variance(&self, n: usize, _f: f64) -> f64 {
+        DBitFlip::count_variance(self, n)
+    }
+
+    fn report_bits(&self) -> usize {
+        // d bucket indices plus d payload bits.
+        self.d as usize * (1 + (self.k as u64).next_power_of_two().trailing_zeros() as usize)
+    }
+}
+
 /// Aggregator for [`DBitFlip`].
 #[derive(Debug, Clone)]
 pub struct DBitAggregator {
@@ -148,15 +314,58 @@ impl DBitAggregator {
     /// Panics if the report's arrays disagree or reference unknown buckets.
     pub fn accumulate(&mut self, report: &DBitReport) {
         assert_eq!(report.buckets.len(), report.bits.len(), "malformed report");
-        for (&j, &b) in report.buckets.iter().zip(&report.bits) {
+        self.accumulate_bits(
+            report
+                .buckets
+                .iter()
+                .zip(&report.bits)
+                .map(|(&j, &b)| (j, b)),
+        );
+    }
+
+    /// Folds one report given as `(bucket, bit)` pairs, without requiring
+    /// a materialized [`DBitReport`] — the allocation-free entry point
+    /// used by the memoized repeated-collection clients and the fused
+    /// pipeline path. Bit-identical to [`accumulate`](Self::accumulate)
+    /// on the equivalent report.
+    ///
+    /// # Panics
+    /// Panics if a bucket index is out of range.
+    pub fn accumulate_bits(&mut self, pairs: impl IntoIterator<Item = (u32, bool)>) {
+        for (j, b) in pairs {
             let j = j as usize;
             assert!(j < self.ones.len(), "bucket {j} out of range");
             self.covered[j] += 1;
-            if b {
-                self.ones[j] += 1;
-            }
+            self.ones[j] += u64::from(b);
         }
         self.n += 1;
+    }
+
+    /// Whether this aggregator was configured for `mech` (bucket count
+    /// and keep probability agree) — the compatibility check behind the
+    /// fused paths' mismatch assertions.
+    pub fn compatible_with(&self, mech: &DBitFlip) -> bool {
+        self.ones.len() == mech.buckets() as usize && self.p == mech.keep_prob()
+    }
+
+    /// Merges another aggregator's counters into this one. Exact
+    /// (integer addition), so sharded collection is bit-identical to
+    /// sequential.
+    ///
+    /// # Panics
+    /// Panics if the two aggregators disagree on bucket count or channel.
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.ones.len() == other.ones.len() && self.p == other.p,
+            "merge: mechanism mismatch"
+        );
+        for (a, b) in self.ones.iter_mut().zip(&other.ones) {
+            *a += b;
+        }
+        for (a, b) in self.covered.iter_mut().zip(&other.covered) {
+            *a += b;
+        }
+        self.n += other.n;
     }
 
     /// Devices accumulated.
@@ -179,6 +388,26 @@ impl DBitAggregator {
                 debiased * self.n as f64 / cov as f64
             })
             .collect()
+    }
+}
+
+impl FoAggregator for DBitAggregator {
+    type Report = DBitReport;
+
+    fn accumulate(&mut self, report: &DBitReport) {
+        DBitAggregator::accumulate(self, report);
+    }
+
+    fn reports(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        DBitAggregator::estimate(self)
+    }
+
+    fn merge(&mut self, other: Self) {
+        DBitAggregator::merge(self, other);
     }
 }
 
@@ -211,6 +440,35 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 4, "buckets must be distinct");
         assert!(r.buckets.iter().all(|&b| b < 32));
+    }
+
+    /// Both sampling branches must yield distinct sorted in-range buckets
+    /// at a uniform per-bucket rate.
+    #[test]
+    fn bucket_sampling_uniform_both_branches() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // (k, d) pairs straddling the rejection/Fisher–Yates switch.
+        for (k, d) in [(32u32, 4u32), (8, 5)] {
+            let m = DBitFlip::new(k, d, eps(1.0)).unwrap();
+            let trials = 40_000;
+            let mut counts = vec![0u64; k as usize];
+            for _ in 0..trials {
+                let b = m.sample_buckets(&mut rng);
+                assert_eq!(b.len(), d as usize);
+                assert!(b.windows(2).all(|w| w[0] < w[1]), "sorted distinct: {b:?}");
+                for &j in &b {
+                    counts[j as usize] += 1;
+                }
+            }
+            let expect = trials as f64 * d as f64 / k as f64;
+            let sd = (trials as f64 * (d as f64 / k as f64) * (1.0 - d as f64 / k as f64)).sqrt();
+            for (j, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64 - expect).abs() < 6.0 * sd,
+                    "k={k} d={d} bucket {j}: {c} vs {expect}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -260,6 +518,57 @@ mod tests {
         }
         let total: f64 = agg.estimate().iter().sum();
         assert!((total - n as f64).abs() < n as f64 * 0.1, "total={total}");
+    }
+
+    /// The fused oracle path must land on exactly the counters the scalar
+    /// loop produces — both sampling branches.
+    #[test]
+    fn fused_batch_bit_identical_to_scalar() {
+        for (k, d) in [(64u32, 4u32), (8, 6)] {
+            let m = DBitFlip::new(k, d, eps(1.5)).unwrap();
+            let values: Vec<u64> = (0..2000).map(|i| i % k as u64).collect();
+
+            let mut scalar_rng = StdRng::seed_from_u64(23);
+            let mut scalar = m.new_aggregator();
+            for &v in &values {
+                scalar.accumulate(&m.randomize(v as u32, &mut scalar_rng));
+            }
+
+            let mut fused_rng = StdRng::seed_from_u64(23);
+            let mut fused = m.new_aggregator();
+            m.randomize_accumulate_batch(&values, &mut fused_rng, &mut fused);
+
+            assert_eq!(scalar.ones, fused.ones, "k={k} d={d}");
+            assert_eq!(scalar.covered, fused.covered, "k={k} d={d}");
+            assert_eq!(scalar.reports(), fused.reports());
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let m = DBitFlip::new(16, 4, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut a = m.new_aggregator();
+        for u in 0..800u32 {
+            a.accumulate(&m.randomize(u % 16, &mut rng));
+        }
+        let mut b = m.new_aggregator();
+        for u in 0..800u32 {
+            b.accumulate(&m.randomize(u % 16, &mut rng));
+        }
+
+        let mut rng2 = StdRng::seed_from_u64(29);
+        let mut seq = m.new_aggregator();
+        for _ in 0..2 {
+            for u in 0..800u32 {
+                seq.accumulate(&m.randomize(u % 16, &mut rng2));
+            }
+        }
+
+        a.merge(b);
+        assert_eq!(a.ones, seq.ones);
+        assert_eq!(a.covered, seq.covered);
+        assert_eq!(a.reports(), seq.reports());
     }
 
     #[test]

@@ -41,8 +41,11 @@ pub mod onebit;
 pub mod pipeline;
 pub mod repeated;
 
-pub use dbitflip::{DBitFlip, DBitReport};
+pub use dbitflip::{DBitAggregator, DBitFlip, DBitReport};
 pub use memoization::{MemoizedMeanClient, RoundingConfig};
-pub use onebit::OneBitMean;
-pub use pipeline::{TelemetryConfig, TelemetryDevice, TelemetryPipeline, TelemetryReport};
+pub use onebit::{OneBitMean, OneBitMeanAggregator};
+pub use pipeline::{
+    TelemetryAggregator, TelemetryConfig, TelemetryDevice, TelemetryPipeline, TelemetryReport,
+    TelemetryRound,
+};
 pub use repeated::MemoizedHistogramClient;

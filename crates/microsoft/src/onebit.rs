@@ -9,11 +9,13 @@
 //! worst-case standard deviation `max·√(e^ε+1)²/… /√n` — the
 //! `O(max/(ε√n))` the paper quotes for millions of devices.
 
+use ldp_core::fo::FoAggregator;
+use ldp_core::mech::BatchMechanism;
 use ldp_core::{Epsilon, Error, Result};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// The 1BitMean mechanism over values in `[0, max_value]`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OneBitMean {
     epsilon: Epsilon,
     max_value: f64,
@@ -86,6 +88,121 @@ impl OneBitMean {
         let e = self.epsilon.exp();
         self.max_value * self.max_value * (e + 1.0).powi(2) / (4.0 * n as f64 * (e - 1.0).powi(2))
     }
+
+    /// Creates an empty streaming aggregator — the sufficient statistic
+    /// is just the 1-bit count, so server memory is `O(1)` regardless of
+    /// the device population (unlike [`estimate_mean`](Self::estimate_mean),
+    /// which needs all bits materialized).
+    pub fn new_aggregator(&self) -> OneBitMeanAggregator {
+        OneBitMeanAggregator {
+            mechanism: *self,
+            ones: 0,
+            n: 0,
+        }
+    }
+}
+
+/// Streaming aggregator for [`OneBitMean`]: the exact integer 1-bit count.
+///
+/// Implements [`FoAggregator`] so the sharded parallel engine can merge
+/// it; `estimate()` returns the single-element vector `[mean]` (this is a
+/// mean estimator, not a histogram — the "domain" is the one statistic).
+#[derive(Debug, Clone)]
+pub struct OneBitMeanAggregator {
+    mechanism: OneBitMean,
+    ones: u64,
+    n: usize,
+}
+
+impl OneBitMeanAggregator {
+    /// The mechanism this aggregator was configured for.
+    pub fn mechanism(&self) -> OneBitMean {
+        self.mechanism
+    }
+
+    /// Number of 1-bits observed.
+    pub fn ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// The 1BitMean debias applied to an arbitrary underlying 1-rate:
+    /// `max·(rate·(e^ε+1) − 1)/(e^ε−1)` — the linear map behind
+    /// [`mean`](Self::mean), exposed for wrappers that correct the rate
+    /// first (the telemetry pipeline's γ output perturbation).
+    pub fn debiased_rate_to_mean(&self, rate: f64) -> f64 {
+        let e = self.mechanism.epsilon.exp();
+        self.mechanism.max_value * (rate * (e + 1.0) - 1.0) / (e - 1.0)
+    }
+
+    /// Unbiased mean estimate from the accumulated counts:
+    /// `max·(ones·(e^ε+1) − n)/((e^ε−1)·n)` — algebraically identical to
+    /// [`OneBitMean::estimate_mean`] over the same bits (they may differ
+    /// in the last ulp: this form divides once instead of summing `n`
+    /// per-bit debias terms).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let e = self.mechanism.epsilon.exp();
+        self.mechanism.max_value * (self.ones as f64 * (e + 1.0) - self.n as f64)
+            / ((e - 1.0) * self.n as f64)
+    }
+}
+
+impl FoAggregator for OneBitMeanAggregator {
+    type Report = bool;
+
+    fn accumulate(&mut self, report: &bool) {
+        self.ones += u64::from(*report);
+        self.n += 1;
+    }
+
+    fn reports(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        vec![self.mean()]
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert!(
+            self.mechanism == other.mechanism,
+            "merge: mechanism mismatch"
+        );
+        self.ones += other.ones;
+        self.n += other.n;
+    }
+}
+
+/// 1BitMean is not a frequency oracle — its input is a bounded real, not
+/// an item — so it joins the sharded engine through [`BatchMechanism`]
+/// directly: `ldp_workloads::parallel::accumulate_mech_sharded` drives it
+/// over `&[f64]` populations.
+impl BatchMechanism for OneBitMean {
+    type Input = f64;
+    type Aggregator = OneBitMeanAggregator;
+
+    fn new_aggregator(&self) -> OneBitMeanAggregator {
+        OneBitMean::new_aggregator(self)
+    }
+
+    /// Monomorphized batch path: one `gen_bool` draw per device, bit
+    /// folded straight into the integer counter. Same RNG stream as the
+    /// scalar `randomize` + `accumulate` loop by construction.
+    fn accumulate_batch<R: RngCore>(
+        &self,
+        inputs: &[f64],
+        rng: &mut R,
+        agg: &mut OneBitMeanAggregator,
+    ) {
+        assert!(agg.mechanism == *self, "aggregator mechanism mismatch");
+        for &x in inputs {
+            let bit = self.randomize(x, rng);
+            agg.ones += u64::from(bit);
+            agg.n += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +263,57 @@ mod tests {
     #[test]
     fn empty_reports_estimate_zero() {
         assert_eq!(mech(1.0, 5.0).estimate_mean(&[]), 0.0);
+        assert_eq!(mech(1.0, 5.0).new_aggregator().mean(), 0.0);
+    }
+
+    #[test]
+    fn aggregator_mean_matches_estimate_mean() {
+        let m = mech(1.0, 250.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let bits: Vec<bool> = (0..5000)
+            .map(|i| m.randomize((i % 200) as f64, &mut rng))
+            .collect();
+        let mut agg = m.new_aggregator();
+        for &b in &bits {
+            agg.accumulate(&b);
+        }
+        assert_eq!(agg.reports(), bits.len());
+        let direct = m.estimate_mean(&bits);
+        assert!(
+            (agg.mean() - direct).abs() < 1e-9,
+            "agg={} direct={direct}",
+            agg.mean()
+        );
+        assert_eq!(agg.estimate(), vec![agg.mean()]);
+    }
+
+    #[test]
+    fn batch_path_bit_identical_and_merge_exact() {
+        use ldp_core::mech::BatchMechanism;
+        let m = mech(2.0, 100.0);
+        let values: Vec<f64> = (0..3000).map(|i| (i % 100) as f64).collect();
+
+        let mut scalar_rng = StdRng::seed_from_u64(13);
+        let mut scalar = m.new_aggregator();
+        for &x in &values {
+            scalar.accumulate(&m.randomize(x, &mut scalar_rng));
+        }
+
+        let mut batch_rng = StdRng::seed_from_u64(13);
+        let mut batch = m.new_aggregator();
+        m.accumulate_batch(&values, &mut batch_rng, &mut batch);
+        assert_eq!(scalar.ones(), batch.ones());
+        assert_eq!(scalar.reports(), batch.reports());
+
+        // Split + merge reproduces the counters exactly.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut a = m.new_aggregator();
+        m.accumulate_batch(&values[..1000], &mut rng, &mut a);
+        let mut b = m.new_aggregator();
+        m.accumulate_batch(&values[1000..], &mut rng, &mut b);
+        a.merge(b);
+        assert_eq!(a.ones(), scalar.ones());
+        assert_eq!(a.reports(), scalar.reports());
     }
 
     #[test]

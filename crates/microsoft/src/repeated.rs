@@ -8,7 +8,7 @@
 //! transcript is constant — repeated collection reveals nothing beyond
 //! the first round, the property Ding et al. deploy in Windows.
 
-use crate::dbitflip::{DBitFlip, DBitReport};
+use crate::dbitflip::{DBitAggregator, DBitFlip, DBitReport};
 use rand::Rng;
 
 /// A device enrolled in repeated dBitFlip collection.
@@ -29,16 +29,8 @@ impl MemoizedHistogramClient {
     /// Enrolls a device: samples its bucket set and pre-draws both
     /// hypothesis answers for every assigned bucket.
     pub fn enroll<R: Rng + ?Sized>(mechanism: DBitFlip, rng: &mut R) -> Self {
-        // Reuse the mechanism's sampler by generating a throwaway report
-        // to learn a bucket set, then draw the hypothesis bits.
-        let template = mechanism.randomize(0, rng);
-        let buckets = template.buckets;
-        let p = {
-            // p = e^{eps/2}/(e^{eps/2}+1), reconstructed from the public
-            // mechanism parameters.
-            let half = (mechanism.epsilon().value() / 2.0).exp();
-            half / (half + 1.0)
-        };
+        let buckets = mechanism.sample_buckets(rng);
+        let p = mechanism.keep_prob();
         let answer_in = buckets.iter().map(|_| rng.gen_bool(p)).collect();
         let answer_out = buckets.iter().map(|_| !rng.gen_bool(p)).collect();
         Self {
@@ -75,6 +67,29 @@ impl MemoizedHistogramClient {
             buckets: self.buckets.clone(),
             bits,
         }
+    }
+
+    /// Allocation-free round: folds the memoized answers for
+    /// `value_bucket` straight into `agg`, without materializing a
+    /// [`DBitReport`] (no bucket-list clone, no bit vector). Bit-identical
+    /// to `agg.accumulate(&self.report(value_bucket))`.
+    ///
+    /// # Panics
+    /// Panics if `value_bucket` is out of range.
+    pub fn accumulate_into(&self, value_bucket: u32, agg: &mut DBitAggregator) {
+        assert!(
+            value_bucket < self.mechanism.buckets(),
+            "bucket {value_bucket} out of range {}",
+            self.mechanism.buckets()
+        );
+        agg.accumulate_bits(
+            self.buckets
+                .iter()
+                .zip(self.answer_in.iter().zip(&self.answer_out))
+                .map(|(&j, (&ans_in, &ans_out))| {
+                    (j, if j == value_bucket { ans_in } else { ans_out })
+                }),
+        );
     }
 }
 
@@ -137,6 +152,24 @@ mod tests {
                 truth[j]
             );
         }
+    }
+
+    #[test]
+    fn accumulate_into_matches_report_accumulate() {
+        let mechanism = mech();
+        let mut rng = StdRng::seed_from_u64(5);
+        let clients: Vec<MemoizedHistogramClient> = (0..500)
+            .map(|_| MemoizedHistogramClient::enroll(mechanism, &mut rng))
+            .collect();
+        let mut via_report = mechanism.new_aggregator();
+        let mut fused = mechanism.new_aggregator();
+        for (i, c) in clients.iter().enumerate() {
+            let b = (i % 16) as u32;
+            via_report.accumulate(&c.report(b));
+            c.accumulate_into(b, &mut fused);
+        }
+        assert_eq!(via_report.estimate(), fused.estimate());
+        assert_eq!(via_report.reports(), fused.reports());
     }
 
     #[test]

@@ -16,21 +16,31 @@
 //! schedules — and bit-identical to [`accumulate_sharded_sequential`],
 //! the single-threaded reference that tests compare against.
 //!
-//! Each shard runs the oracle's **fused batch path**
-//! (`FrequencyOracle::randomize_accumulate_batch`): reports fold straight
-//! into the shard aggregator with monomorphized RNG draws and, for the
-//! unary family, geometric-skip bit sampling — no per-report allocation.
-//! Because the fused path replays the scalar RNG stream exactly, the
-//! determinism contract is unchanged. Workers are spawned once per
-//! collection round and live for all of their shards (strided
+//! Each shard runs the mechanism's **fused batch path**: reports fold
+//! straight into the shard aggregator with monomorphized RNG draws and,
+//! for the unary family, geometric-skip bit sampling — no per-report
+//! allocation. Because the fused path replays the scalar RNG stream
+//! exactly, the determinism contract is unchanged. Workers are spawned
+//! once per collection round and live for all of their shards (strided
 //! assignment), so thread-spawn cost is paid `workers` times per round,
 //! not `shards` times; [`recommended_shards`] sizes shards so that spawn
 //! cost stays amortized. [`accumulate_sharded_with_workers`] pins the
 //! worker count explicitly — benches use it for honest 1-vs-N scaling
 //! comparisons, and [`planned_workers`] reports the count the automatic
 //! path would use (what the bench JSON records as `threads`).
+//!
+//! The engine is generic over [`BatchMechanism`], not just
+//! [`FrequencyOracle`]: the `accumulate_mech_sharded*` entry points drive
+//! *any* batch-fusable mechanism — `ldp_microsoft::OneBitMean` over
+//! `&[f64]`, a telemetry round over `(device, value)` pairs, and every
+//! frequency oracle through the blanket `&O` adapter (the
+//! `accumulate_sharded*` functions below are thin item-domain wrappers
+//! over the same core). One engine, every mechanism in the workspace —
+//! Apple's CMS/HCMS and Microsoft's dBitFlip ride the oracle wrappers,
+//! 1BitMean and the assembled pipeline ride [`BatchMechanism`] directly.
 
 use ldp_core::fo::{FoAggregator, FrequencyOracle};
+use ldp_core::mech::BatchMechanism;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::thread;
@@ -54,13 +64,13 @@ fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Randomizes and accumulates one shard's users with its own RNG stream,
-/// through the oracle's fused batch path (allocation-free for the unary
-/// family, monomorphized draws for everyone).
-fn accumulate_shard<O: FrequencyOracle>(oracle: &O, values: &[u64], seed: u64) -> O::Aggregator {
+/// Randomizes and accumulates one shard's inputs with its own RNG stream,
+/// through the mechanism's fused batch path (allocation-free where the
+/// mechanism supports it, monomorphized draws for everyone).
+fn accumulate_shard<M: BatchMechanism>(mech: &M, inputs: &[M::Input], seed: u64) -> M::Aggregator {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut agg = oracle.new_aggregator();
-    oracle.randomize_accumulate_batch(values, &mut rng, &mut agg);
+    let mut agg = mech.new_aggregator();
+    mech.accumulate_batch(inputs, &mut rng, &mut agg);
     agg
 }
 
@@ -100,9 +110,124 @@ fn merge_in_order<A: FoAggregator>(mut parts: Vec<Option<A>>) -> A {
     acc
 }
 
+/// Splits `inputs` into `shards` logical shards and runs the full
+/// randomize→accumulate→merge round for any [`BatchMechanism`] across
+/// `std::thread::scope` workers (one per available core, capped at the
+/// shard count).
+///
+/// Returns the merged aggregator, bit-identical to
+/// [`accumulate_mech_sharded_sequential`] with the same arguments
+/// regardless of core count or scheduling.
+///
+/// # Panics
+/// Panics if `shards == 0` or a worker thread panics.
+pub fn accumulate_mech_sharded<M>(
+    mech: &M,
+    inputs: &[M::Input],
+    base_seed: u64,
+    shards: usize,
+) -> M::Aggregator
+where
+    M: BatchMechanism + Sync,
+    M::Input: Sync,
+    M::Aggregator: Send,
+{
+    accumulate_mech_sharded_with_workers(mech, inputs, base_seed, shards, planned_workers(shards))
+}
+
+/// [`accumulate_mech_sharded`] with an explicit worker count. The shard
+/// plan — and therefore the result — is identical for every `workers`
+/// value; only the wall-clock changes. Benches use `workers = 1` vs
+/// `workers = planned_workers(shards)` for honest scaling comparisons.
+///
+/// # Panics
+/// Panics if `shards == 0`, `workers == 0`, or a worker thread panics.
+pub fn accumulate_mech_sharded_with_workers<M>(
+    mech: &M,
+    inputs: &[M::Input],
+    base_seed: u64,
+    shards: usize,
+    workers: usize,
+) -> M::Aggregator
+where
+    M: BatchMechanism + Sync,
+    M::Input: Sync,
+    M::Aggregator: Send,
+{
+    assert!(shards > 0, "need at least one shard");
+    assert!(workers > 0, "need at least one worker");
+    let shards = shards.min(inputs.len().max(1));
+    let workers = workers.min(shards);
+    let bounds = shard_bounds(inputs.len(), shards);
+    if workers == 1 {
+        return accumulate_mech_sharded_sequential(mech, inputs, base_seed, shards);
+    }
+
+    let parts = thread::scope(|s| {
+        let bounds = &bounds;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    // Strided shard assignment: worker w takes shards
+                    // w, w+workers, … — balanced even when per-shard cost
+                    // varies with position in the input.
+                    (w..bounds.len())
+                        .step_by(workers)
+                        .map(|i| {
+                            let (lo, hi) = bounds[i];
+                            (
+                                i,
+                                accumulate_shard(mech, &inputs[lo..hi], shard_seed(base_seed, i)),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut parts: Vec<Option<M::Aggregator>> = (0..bounds.len()).map(|_| None).collect();
+        for h in handles {
+            for (i, agg) in h.join().expect("shard worker panicked") {
+                parts[i] = Some(agg);
+            }
+        }
+        parts
+    });
+    merge_in_order(parts)
+}
+
+/// Single-threaded reference for [`accumulate_mech_sharded`]: identical
+/// shard plan, identical per-shard RNG streams, identical merge order —
+/// just no threads. Exists so tests can assert the parallel path is
+/// bit-identical, and as the fallback on single-core hosts.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn accumulate_mech_sharded_sequential<M: BatchMechanism>(
+    mech: &M,
+    inputs: &[M::Input],
+    base_seed: u64,
+    shards: usize,
+) -> M::Aggregator {
+    assert!(shards > 0, "need at least one shard");
+    let shards = shards.min(inputs.len().max(1));
+    let parts = shard_bounds(inputs.len(), shards)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (lo, hi))| {
+            Some(accumulate_shard(
+                mech,
+                &inputs[lo..hi],
+                shard_seed(base_seed, i),
+            ))
+        })
+        .collect();
+    merge_in_order(parts)
+}
+
 /// Splits `values` into `shards` logical shards and runs the full
-/// randomize→accumulate→merge round across `std::thread::scope` workers
-/// (one per available core, capped at the shard count).
+/// randomize→accumulate→merge round across `std::thread::scope` workers —
+/// the item-domain ([`FrequencyOracle`]) face of
+/// [`accumulate_mech_sharded`].
 ///
 /// Returns the merged aggregator, bit-identical to
 /// [`accumulate_sharded_sequential`] with the same arguments regardless
@@ -120,7 +245,7 @@ where
     O: FrequencyOracle + Sync,
     O::Aggregator: Send,
 {
-    accumulate_sharded_with_workers(oracle, values, base_seed, shards, planned_workers(shards))
+    accumulate_mech_sharded(&oracle, values, base_seed, shards)
 }
 
 /// [`accumulate_sharded`] with an explicit worker count. The shard plan —
@@ -141,45 +266,7 @@ where
     O: FrequencyOracle + Sync,
     O::Aggregator: Send,
 {
-    assert!(shards > 0, "need at least one shard");
-    assert!(workers > 0, "need at least one worker");
-    let shards = shards.min(values.len().max(1));
-    let workers = workers.min(shards);
-    let bounds = shard_bounds(values.len(), shards);
-    if workers == 1 {
-        return accumulate_sharded_sequential(oracle, values, base_seed, shards);
-    }
-
-    let parts = thread::scope(|s| {
-        let bounds = &bounds;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                s.spawn(move || {
-                    // Strided shard assignment: worker w takes shards
-                    // w, w+workers, … — balanced even when per-shard cost
-                    // varies with position in the input.
-                    (w..bounds.len())
-                        .step_by(workers)
-                        .map(|i| {
-                            let (lo, hi) = bounds[i];
-                            (
-                                i,
-                                accumulate_shard(oracle, &values[lo..hi], shard_seed(base_seed, i)),
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        let mut parts: Vec<Option<O::Aggregator>> = (0..bounds.len()).map(|_| None).collect();
-        for h in handles {
-            for (i, agg) in h.join().expect("shard worker panicked") {
-                parts[i] = Some(agg);
-            }
-        }
-        parts
-    });
-    merge_in_order(parts)
+    accumulate_mech_sharded_with_workers(&oracle, values, base_seed, shards, workers)
 }
 
 /// Single-threaded reference for [`accumulate_sharded`]: identical shard
@@ -195,20 +282,7 @@ pub fn accumulate_sharded_sequential<O: FrequencyOracle>(
     base_seed: u64,
     shards: usize,
 ) -> O::Aggregator {
-    assert!(shards > 0, "need at least one shard");
-    let shards = shards.min(values.len().max(1));
-    let parts = shard_bounds(values.len(), shards)
-        .into_iter()
-        .enumerate()
-        .map(|(i, (lo, hi))| {
-            Some(accumulate_shard(
-                oracle,
-                &values[lo..hi],
-                shard_seed(base_seed, i),
-            ))
-        })
-        .collect();
-    merge_in_order(parts)
+    accumulate_mech_sharded_sequential(&oracle, values, base_seed, shards)
 }
 
 /// Parallel counterpart of `ldp_core::fo::collect_counts`: runs a full
@@ -374,5 +448,90 @@ mod tests {
     fn zero_shards_panics() {
         let oracle = DirectEncoding::new(8, eps(1.0)).expect("domain");
         accumulate_sharded_sequential(&oracle, &[1], 0, 0);
+    }
+
+    /// A minimal non-oracle mechanism over `f64` inputs: each input `x`
+    /// contributes one Bernoulli(`x`) bit. Stands in for the real
+    /// non-oracle mechanisms (1BitMean, telemetry rounds) so the engine's
+    /// mech-generic face is tested without a cross-crate dev-dependency.
+    struct CoinMech;
+
+    struct CoinAgg {
+        ones: u64,
+        n: usize,
+    }
+
+    impl ldp_core::fo::FoAggregator for CoinAgg {
+        type Report = bool;
+
+        fn accumulate(&mut self, report: &bool) {
+            self.ones += u64::from(*report);
+            self.n += 1;
+        }
+
+        fn reports(&self) -> usize {
+            self.n
+        }
+
+        fn estimate(&self) -> Vec<f64> {
+            vec![self.ones as f64]
+        }
+
+        fn merge(&mut self, other: Self) {
+            self.ones += other.ones;
+            self.n += other.n;
+        }
+    }
+
+    impl BatchMechanism for CoinMech {
+        type Input = f64;
+        type Aggregator = CoinAgg;
+
+        fn new_aggregator(&self) -> CoinAgg {
+            CoinAgg { ones: 0, n: 0 }
+        }
+
+        fn accumulate_batch<R: rand::RngCore>(
+            &self,
+            inputs: &[f64],
+            rng: &mut R,
+            agg: &mut CoinAgg,
+        ) {
+            use rand::Rng;
+            for &x in inputs {
+                agg.ones += u64::from(rng.gen_bool(x));
+                agg.n += 1;
+            }
+        }
+    }
+
+    /// The mech-generic engine honors the same determinism contract as
+    /// the oracle face: parallel == sequential, worker count irrelevant,
+    /// over a non-`u64` input type.
+    #[test]
+    fn mech_engine_parallel_bit_identical_to_sequential() {
+        let inputs: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64 / 100.0).collect();
+        for &shards in &[1usize, 3, 16] {
+            let seq = accumulate_mech_sharded_sequential(&CoinMech, &inputs, 5, shards);
+            let par = accumulate_mech_sharded(&CoinMech, &inputs, 5, shards);
+            assert_eq!(par.ones, seq.ones, "shards={shards}");
+            assert_eq!(par.n, seq.n);
+            for &workers in &[1usize, 2, 7] {
+                let w =
+                    accumulate_mech_sharded_with_workers(&CoinMech, &inputs, 5, shards, workers);
+                assert_eq!(w.ones, seq.ones, "shards={shards} workers={workers}");
+            }
+        }
+    }
+
+    /// The oracle face is a thin wrapper over the mech core: both entry
+    /// points must produce identical aggregates for identical arguments.
+    #[test]
+    fn oracle_face_matches_mech_core() {
+        let oracle = OptimizedUnaryEncoding::new(32, eps(1.0)).expect("domain");
+        let vals = values(3_000, 32);
+        let via_oracle = accumulate_sharded(&oracle, &vals, 21, 8).estimate();
+        let via_mech = accumulate_mech_sharded(&&oracle, &vals, 21, 8).estimate();
+        assert_eq!(via_oracle, via_mech);
     }
 }
