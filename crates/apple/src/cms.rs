@@ -386,6 +386,19 @@ impl FoAggregator for CmsAggregator {
         self.server.accumulate(report);
     }
 
+    fn try_accumulate(&mut self, report: &CmsReport) -> ldp_core::Result<()> {
+        let (k, m) = self.server.protocol.shape();
+        if report.row as usize >= k || report.bits.len() != m {
+            return Err(ldp_core::LdpError::Malformed(format!(
+                "CMS report (row {}, width {}) does not fit the {k}x{m} sketch",
+                report.row,
+                report.bits.len()
+            )));
+        }
+        self.server.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.server.reports()
     }

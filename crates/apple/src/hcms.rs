@@ -295,6 +295,24 @@ impl FoAggregator for HcmsAggregator {
         self.server.accumulate(report);
     }
 
+    fn try_accumulate(&mut self, report: &HcmsReport) -> ldp_core::Result<()> {
+        let (k, m) = self.server.protocol.shape();
+        if report.row as usize >= k || report.coeff as usize >= m {
+            return Err(ldp_core::LdpError::Malformed(format!(
+                "HCMS report (row {}, coeff {}) does not fit the {k}x{m} sketch",
+                report.row, report.coeff
+            )));
+        }
+        if report.sign != 1 && report.sign != -1 {
+            return Err(ldp_core::LdpError::Malformed(format!(
+                "HCMS sign must be ±1, got {}",
+                report.sign
+            )));
+        }
+        self.server.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.server.reports()
     }

@@ -44,7 +44,9 @@
 pub mod cms;
 pub mod hcms;
 pub mod sfp;
+pub mod wire;
 
 pub use cms::{CmsAggregator, CmsOracle, CmsProtocol, CmsReport, CmsServer};
 pub use hcms::{HcmsAggregator, HcmsOracle, HcmsProtocol, HcmsReport, HcmsServer};
 pub use sfp::{SfpCollectors, SfpConfig, SfpDiscovery};
+pub use wire::register_mechanisms;

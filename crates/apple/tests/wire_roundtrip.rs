@@ -1,0 +1,69 @@
+//! Wire round-trip and adversarial-decode properties for the Apple
+//! report types, plus real randomized traffic (the distribution the
+//! deployment actually emits).
+
+use ldp_apple::cms::{CmsProtocol, CmsReport};
+use ldp_apple::hcms::{HcmsProtocol, HcmsReport};
+use ldp_core::wire::{decode_report, encode_report_vec, WIRE_VERSION};
+use ldp_core::{Epsilon, LdpError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_roundtrip<R>(report: &R)
+where
+    R: ldp_core::wire::WireReport + PartialEq + std::fmt::Debug,
+{
+    let frame = encode_report_vec(report);
+    let back: R = decode_report(&frame).expect("well-formed frame decodes");
+    assert_eq!(&back, report);
+    for cut in 0..frame.len() {
+        assert!(decode_report::<R>(&frame[..cut]).is_err());
+    }
+    let mut bad = frame.clone();
+    bad[0] = WIRE_VERSION.wrapping_add(1);
+    assert!(matches!(
+        decode_report::<R>(&bad),
+        Err(LdpError::VersionMismatch { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cms_report_roundtrips(row in 0u32..64, flips in vec(any::<bool>(), 1..128)) {
+        let report = CmsReport {
+            row,
+            bits: flips.iter().map(|&b| if b { 1i8 } else { -1 }).collect(),
+        };
+        check_roundtrip(&report);
+    }
+
+    #[test]
+    fn hcms_report_roundtrips(row in any::<u32>(), coeff in any::<u32>(), flip in any::<bool>()) {
+        let report = HcmsReport { row, coeff, sign: if flip { 1 } else { -1 } };
+        check_roundtrip(&report);
+    }
+
+    #[test]
+    fn randomized_cms_traffic_roundtrips(seed in 0u64..1000, value in 0u64..256) {
+        let proto = CmsProtocol::new(8, 64, Epsilon::new(2.0).expect("eps"), 7);
+        let mut rng = StdRng::seed_from_u64(seed);
+        check_roundtrip(&proto.randomize(value, &mut rng));
+    }
+
+    #[test]
+    fn randomized_hcms_traffic_roundtrips(seed in 0u64..1000, value in 0u64..256) {
+        let proto = HcmsProtocol::new(8, 64, Epsilon::new(2.0).expect("eps"), 7);
+        let mut rng = StdRng::seed_from_u64(seed);
+        check_roundtrip(&proto.randomize(value, &mut rng));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..96)) {
+        let _ = decode_report::<CmsReport>(&bytes);
+        let _ = decode_report::<HcmsReport>(&bytes);
+    }
+}

@@ -126,6 +126,17 @@ impl FoAggregator for DirectAggregator {
         self.n += 1;
     }
 
+    fn try_accumulate(&mut self, report: &u64) -> crate::Result<()> {
+        if *report as usize >= self.histogram.len() {
+            return Err(crate::LdpError::Malformed(format!(
+                "GRR report {report} outside domain of size {}",
+                self.histogram.len()
+            )));
+        }
+        self.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.n
     }

@@ -209,6 +209,24 @@ impl FoAggregator for HrAggregator {
         self.n += 1;
     }
 
+    fn try_accumulate(&mut self, report: &HrReport) -> crate::Result<()> {
+        if report.index as usize >= self.sign_sums.len() {
+            return Err(crate::LdpError::Malformed(format!(
+                "Hadamard row {} outside spectrum of size {}",
+                report.index,
+                self.sign_sums.len()
+            )));
+        }
+        if report.sign != 1 && report.sign != -1 {
+            return Err(crate::LdpError::Malformed(format!(
+                "Hadamard sign must be ±1, got {}",
+                report.sign
+            )));
+        }
+        self.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.n
     }

@@ -312,6 +312,18 @@ impl FoAggregator for LhAggregator {
         self.reports.push(*report);
     }
 
+    fn try_accumulate(&mut self, report: &LhReport) -> crate::Result<()> {
+        if report.bucket >= self.family.range() {
+            return Err(crate::LdpError::Malformed(format!(
+                "local-hashing bucket {} outside range {}",
+                report.bucket,
+                self.family.range()
+            )));
+        }
+        self.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.reports.len()
     }
@@ -646,6 +658,17 @@ impl CohortLhAggregator {
 
 impl FoAggregator for CohortLhAggregator {
     type Report = CohortLhReport;
+
+    fn try_accumulate(&mut self, report: &CohortLhReport) -> crate::Result<()> {
+        if report.cohort >= self.cohorts || report.bucket as u64 >= self.g {
+            return Err(crate::LdpError::Malformed(format!(
+                "cohort report ({}, {}) outside the {}x{} cohort matrix",
+                report.cohort, report.bucket, self.cohorts, self.g
+            )));
+        }
+        self.accumulate(report);
+        Ok(())
+    }
 
     fn accumulate(&mut self, report: &CohortLhReport) {
         assert!(

@@ -168,6 +168,25 @@ impl FoAggregator for SheAggregator {
         self.n += 1;
     }
 
+    fn try_accumulate(&mut self, report: &Vec<f64>) -> crate::Result<()> {
+        if report.len() != self.sums.len() {
+            return Err(crate::LdpError::Malformed(format!(
+                "SHE report width {} != domain size {}",
+                report.len(),
+                self.sums.len()
+            )));
+        }
+        // A NaN/±inf coordinate would poison every estimate permanently;
+        // legitimate clients (one-hot + Laplace noise) never produce one.
+        if let Some(x) = report.iter().find(|x| !x.is_finite()) {
+            return Err(crate::LdpError::Malformed(format!(
+                "SHE report carries non-finite coordinate {x}"
+            )));
+        }
+        self.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.n
     }
@@ -415,6 +434,18 @@ impl FoAggregator for TheAggregator {
         self.n += 1;
     }
 
+    fn try_accumulate(&mut self, report: &BitVec) -> crate::Result<()> {
+        if report.len() != self.ones.len() {
+            return Err(crate::LdpError::Malformed(format!(
+                "THE report width {} != domain size {}",
+                report.len(),
+                self.ones.len()
+            )));
+        }
+        self.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.n
     }
@@ -448,6 +479,22 @@ mod tests {
 
     fn eps(v: f64) -> Epsilon {
         Epsilon::new(v).unwrap()
+    }
+
+    /// The wire-facing checked accumulate rejects non-finite
+    /// coordinates — one NaN would otherwise poison every estimate.
+    #[test]
+    fn she_try_accumulate_rejects_non_finite() {
+        let she = SummationHistogramEncoding::new(4, eps(1.0)).unwrap();
+        let mut agg = she.new_aggregator();
+        assert!(agg.try_accumulate(&vec![0.5, -0.2, 1.1, 0.0]).is_ok());
+        assert!(agg.try_accumulate(&vec![0.5, f64::NAN, 1.1, 0.0]).is_err());
+        assert!(agg
+            .try_accumulate(&vec![f64::INFINITY, 0.0, 0.0, 0.0])
+            .is_err());
+        assert!(agg.try_accumulate(&vec![0.5, 0.2]).is_err(), "width");
+        assert_eq!(agg.reports(), 1, "rejected reports leave state intact");
+        assert!(agg.estimate().iter().all(|x| x.is_finite()));
     }
 
     #[test]

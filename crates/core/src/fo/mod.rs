@@ -7,22 +7,29 @@
 //! primitive, and Wang et al. (USENIX Security 2017) systematized the
 //! design space. This module implements that design space:
 //!
-//! | Mechanism | Module | Report size | `Var*/n` (noise floor, counts) | Randomize cost (uniform draws / user) | Aggregation: memory, full `estimate()` |
-//! |---|---|---|---|---|---|
-//! | Direct encoding (GRR) | [`direct`] | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `≤ 2` | `O(d)`, `O(d)` |
-//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
-//! | Optimized unary (OUE) | [`unary`] | `d` bits | `4e^ε/(e^ε−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
-//! | Summation histogram (SHE) | [`histogram`] | `d` floats | `8/ε²` | `d` (continuous noise per coord) | `O(d)`, `O(d)` |
-//! | Threshold histogram (THE) | [`histogram`] | `d` bits | optimized numerically | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
-//! | Binary local hashing (BLH) | [`hashing`] | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
-//! | Optimized local hashing (OLH) | [`hashing`] | 64+log g bits | `4e^ε/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
-//! | Cohort local hashing (OLH-C) | [`hashing`] | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `≤ 3` | `O(C·g)`, `O(C·d)` |
-//! | Hadamard response (HR) | [`hadamard`] | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` |
-//! | Subset selection (SS) | [`subset`] | `k·log d` bits | minimax-optimal | `1 + k` | `O(d)`, `O(d)` |
-//! | Apple CMS | `ldp_apple::cms` | `m` bits + log k | `≈k·c_ε²·n/m + n/m` (sketch) | `2 + m·q` (geometric skip) | `O(k·m)`, `O(k·d)` |
-//! | Apple HCMS | `ldp_apple::hcms` | 1 bit + log km | `≈c'_ε²·n + n/m` (sketch) | `3` | `O(k·m)`, `O(k·m log m + k·d)` |
-//! | Microsoft dBitFlip | `ldp_microsoft::dbitflip` | `d·(log k + 1)` bits | `(k/d)·`SUE floor | `≈ d + 2 + d·q` | `O(k)`, `O(k)` |
-//! | Microsoft 1BitMean | `ldp_microsoft::onebit` | 1 bit | mean: `max²(e^ε+1)²/4(e^ε−1)²` | `1` | `O(1)`, `O(1)` |
+//! | Mechanism | Module | Descriptor kind ([`crate::protocol::MechanismKind`]) | Report size | `Var*/n` (noise floor, counts) | Randomize cost (uniform draws / user) | Aggregation: memory, full `estimate()` |
+//! |---|---|---|---|---|---|---|
+//! | Direct encoding (GRR) | [`direct`] | `DirectEncoding` | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `≤ 2` | `O(d)`, `O(d)` |
+//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `SymmetricUnary` | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
+//! | Optimized unary (OUE) | [`unary`] | `OptimizedUnary` | `d` bits | `4e^ε/(e^ε−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
+//! | Summation histogram (SHE) | [`histogram`] | `SummationHistogram` | `d` floats | `8/ε²` | `d` (continuous noise per coord) | `O(d)`, `O(d)` |
+//! | Threshold histogram (THE) | [`histogram`] | `ThresholdHistogram` | `d` bits | optimized numerically | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
+//! | Binary local hashing (BLH) | [`hashing`] | `BinaryLocalHashing` (registry steers to OLH-C) | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
+//! | Optimized local hashing (OLH) | [`hashing`] | `OptimizedLocalHashing` (registry steers to OLH-C) | 64+log g bits | `4e^ε/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
+//! | Cohort local hashing (OLH-C) | [`hashing`] | `CohortLocalHashing` | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `≤ 3` | `O(C·g)`, `O(C·d)` |
+//! | Hadamard response (HR) | [`hadamard`] | `HadamardResponse` | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` |
+//! | Subset selection (SS) | [`subset`] | `SubsetSelection` | `k·log d` bits | minimax-optimal | `1 + k` | `O(d)`, `O(d)` |
+//! | Apple CMS | `ldp_apple::cms` | `AppleCms` | `m` bits + log k | `≈k·c_ε²·n/m + n/m` (sketch) | `2 + m·q` (geometric skip) | `O(k·m)`, `O(k·d)` |
+//! | Apple HCMS | `ldp_apple::hcms` | `AppleHcms` | 1 bit + log km | `≈c'_ε²·n + n/m` (sketch) | `3` | `O(k·m)`, `O(k·m log m + k·d)` |
+//! | Microsoft dBitFlip | `ldp_microsoft::dbitflip` | `MicrosoftDBitFlip` | `d·(log k + 1)` bits | `(k/d)·`SUE floor | `≈ d + 2 + d·q` | `O(k)`, `O(k)` |
+//! | Microsoft 1BitMean | `ldp_microsoft::onebit` | `MicrosoftOneBitMean` | 1 bit | mean: `max²(e^ε+1)²/4(e^ε−1)²` | `1` | `O(1)`, `O(1)` |
+//!
+//! The descriptor-kind column is the runtime face: build a
+//! [`crate::protocol::ProtocolDescriptor`] with that kind and any
+//! workspace registry (`ldp_workloads::service::workspace_registry`)
+//! instantiates the mechanism behind the erased wire API
+//! ([`crate::wire::ErasedMechanism`]), so a collector service ingests
+//! its serialized reports without compile-time knowledge of the type.
 //!
 //! The randomization-cost column counts uniform RNG draws per report on
 //! the batch path. The unary family (`d` bits, one independent Bernoulli
@@ -180,6 +187,27 @@ pub trait FoAggregator {
 
     /// Folds one client report into the aggregate state.
     fn accumulate(&mut self, report: &Self::Report);
+
+    /// Validates one client report against this aggregator's
+    /// configuration and folds it in, returning an error instead of
+    /// panicking when the report does not fit (wrong width, out-of-range
+    /// bucket or cohort, …). This is the path the erased wire layer
+    /// ([`crate::wire`]) routes every decoded frame through, so a
+    /// collector fed adversarial bytes degrades to [`crate::LdpError`]s
+    /// rather than crashing.
+    ///
+    /// The default performs no validation (appropriate only for report
+    /// types every decoded value of which is accepted, like `bool`);
+    /// every workspace aggregator with a panicking `accumulate` overrides
+    /// it.
+    ///
+    /// # Errors
+    /// [`crate::LdpError::Malformed`] when the report does not fit this
+    /// aggregator's configuration.
+    fn try_accumulate(&mut self, report: &Self::Report) -> crate::Result<()> {
+        self.accumulate(report);
+        Ok(())
+    }
 
     /// Number of reports accumulated so far.
     fn reports(&self) -> usize;

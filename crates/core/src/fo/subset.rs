@@ -172,6 +172,7 @@ impl FrequencyOracle for SubsetSelection {
         SsAggregator {
             inclusions: vec![0; self.d as usize],
             n: 0,
+            k: self.k,
             p,
             q,
         }
@@ -192,6 +193,9 @@ impl FrequencyOracle for SubsetSelection {
 pub struct SsAggregator {
     inclusions: Vec<u64>,
     n: usize,
+    /// Protocol subset size: every legitimate report carries exactly
+    /// `k` items, and the debias formula assumes that cardinality.
+    k: u64,
     p: f64,
     q: f64,
 }
@@ -204,6 +208,35 @@ impl FoAggregator for SsAggregator {
             self.inclusions[item as usize] += 1;
         }
         self.n += 1;
+    }
+
+    fn try_accumulate(&mut self, report: &Vec<u64>) -> crate::Result<()> {
+        let d = self.inclusions.len() as u64;
+        // The protocol's sensitivity bound: exactly k inclusions per
+        // report (the debias formula assumes it — a d-item "subset"
+        // would inflate every count).
+        if report.len() as u64 != self.k {
+            return Err(crate::LdpError::Malformed(format!(
+                "subset of {} items, protocol subset size is {}",
+                report.len(),
+                self.k
+            )));
+        }
+        if let Some(&item) = report.iter().find(|&&item| item >= d) {
+            return Err(crate::LdpError::Malformed(format!(
+                "subset item {item} outside domain of size {d}"
+            )));
+        }
+        // Legitimate reports are sorted with distinct items (the client
+        // sorts); a duplicated item would concentrate the report's k
+        // votes on one target, defeating the influence bound.
+        if report.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(crate::LdpError::Malformed(
+                "subset items must be strictly ascending".into(),
+            ));
+        }
+        self.accumulate(report);
+        Ok(())
     }
 
     fn reports(&self) -> usize {
@@ -225,7 +258,7 @@ impl FoAggregator for SsAggregator {
             "merge: domain mismatch"
         );
         assert!(
-            self.p == other.p && self.q == other.q,
+            self.p == other.p && self.q == other.q && self.k == other.k,
             "merge: channel probability mismatch"
         );
         for (a, b) in self.inclusions.iter_mut().zip(&other.inclusions) {
@@ -250,6 +283,26 @@ mod tests {
         // k = d/(e^eps + 1): small eps -> big subsets, large eps -> k=1.
         assert!(SubsetSelection::new(100, eps(0.1)).k() > 40);
         assert_eq!(SubsetSelection::new(100, eps(5.0)).k(), 1);
+    }
+
+    /// The wire-facing checked accumulate enforces the protocol's
+    /// sensitivity bound: exactly `k` items per report, all in-domain.
+    #[test]
+    fn try_accumulate_enforces_subset_size() {
+        let ss = SubsetSelection::with_k(16, 3, eps(1.0));
+        let mut agg = ss.new_aggregator();
+        assert!(agg.try_accumulate(&vec![1, 2, 3]).is_ok());
+        // A d-item "subset" would vote d/k times over; reject it.
+        assert!(agg.try_accumulate(&(0..16).collect::<Vec<u64>>()).is_err());
+        assert!(agg.try_accumulate(&vec![1, 2]).is_err());
+        assert!(
+            agg.try_accumulate(&vec![1, 2, 16]).is_err(),
+            "out of domain"
+        );
+        // k votes concentrated on one item defeat the influence bound.
+        assert!(agg.try_accumulate(&vec![5, 5, 5]).is_err(), "duplicates");
+        assert!(agg.try_accumulate(&vec![3, 2, 1]).is_err(), "unsorted");
+        assert_eq!(agg.reports(), 1, "rejected reports leave state intact");
     }
 
     #[test]

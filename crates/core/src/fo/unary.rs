@@ -258,6 +258,18 @@ impl FoAggregator for UnaryAggregator {
         self.n += 1;
     }
 
+    fn try_accumulate(&mut self, report: &BitVec) -> crate::Result<()> {
+        if report.len() != self.ones.len() {
+            return Err(crate::LdpError::Malformed(format!(
+                "unary report width {} != domain size {}",
+                report.len(),
+                self.ones.len()
+            )));
+        }
+        self.accumulate(report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.n
     }

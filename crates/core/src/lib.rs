@@ -25,6 +25,14 @@
 //!   mechanisms and by central-DP baselines.
 //! * [`estimate`] — the statistical toolkit the tutorial teaches:
 //!   debiasing, closed-form variances, and confidence tail bounds.
+//! * [`protocol`] — the deployment seam: a serializable
+//!   [`ProtocolDescriptor`] (mechanism kind + parameters + version) with
+//!   builder-side validation, and a [`Registry`] that instantiates any
+//!   registered mechanism from a descriptor at runtime.
+//! * [`wire`] — the compact binary report format every mechanism's
+//!   reports encode to, and the object-safe [`wire::ErasedMechanism`]
+//!   bridge that lets one collector service ingest `&[u8]` frames for
+//!   any mechanism behind dynamic dispatch.
 //!
 //! ## The model
 //!
@@ -45,14 +53,27 @@ pub mod mech;
 pub mod noise;
 pub mod postprocess;
 pub mod privacy;
+pub mod protocol;
 pub mod rr;
+pub mod wire;
 
 pub use mech::BatchMechanism;
 pub use privacy::{Epsilon, PrivacyBudget};
+pub use protocol::{MechanismKind, ProtocolDescriptor, Registry};
 
-/// Errors surfaced by `ldp-core` constructors and estimators.
+/// Errors surfaced on every public fallible path of the workspace:
+/// mechanism construction, protocol-descriptor validation, registry
+/// dispatch, and the wire format.
+///
+/// The descriptor/registry/wire layer ([`protocol`], [`wire`], and the
+/// collector service built on them) is the *panic-free boundary* of the
+/// workspace: everything reachable from serialized bytes — descriptors
+/// and report frames — reports problems through this enum. The typed
+/// constructors underneath keep their documented `assert!`s for
+/// programmer errors (those are unreachable once a descriptor has
+/// validated), and the hot randomize/accumulate loops stay assertion-thin.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Error {
+pub enum LdpError {
     /// The privacy parameter was not a positive, finite number.
     InvalidEpsilon(f64),
     /// A domain size was zero or otherwise unusable for the mechanism.
@@ -66,15 +87,54 @@ pub enum Error {
         /// Amount remaining.
         remaining: f64,
     },
+    /// A [`ProtocolDescriptor`] failed validation (missing or
+    /// inconsistent fields for its mechanism kind).
+    InvalidDescriptor(String),
+    /// The registry has no factory for the requested mechanism kind, or
+    /// refuses to build it (see the raw local-hashing steering note on
+    /// [`Registry::build`]).
+    UnsupportedMechanism(String),
+    /// A wire frame (or serialized descriptor) declared a format version
+    /// this build does not speak.
+    VersionMismatch {
+        /// Version found in the frame.
+        got: u8,
+        /// Version this build encodes.
+        expected: u8,
+    },
+    /// A wire frame carried a different report type than the mechanism
+    /// it was fed to expects.
+    ReportTypeMismatch {
+        /// Report tag found in the frame.
+        got: u8,
+        /// Report tag the consuming mechanism expects.
+        expected: u8,
+    },
+    /// A wire frame ended before its declared payload did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A wire frame or report payload was structurally invalid (bad
+    /// varint, trailing garbage, out-of-range field, width mismatch).
+    Malformed(String),
 }
 
-impl std::fmt::Display for Error {
+/// Pre-PR-5 name of [`LdpError`], kept so existing `ldp_core::Error`
+/// call sites keep compiling.
+pub type Error = LdpError;
+
+impl std::fmt::Display for LdpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Error::InvalidEpsilon(e) => write!(f, "epsilon must be positive and finite, got {e}"),
-            Error::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
-            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            Error::BudgetExhausted {
+            LdpError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+            LdpError::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
+            LdpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            LdpError::BudgetExhausted {
                 requested,
                 remaining,
             } => {
@@ -83,11 +143,32 @@ impl std::fmt::Display for Error {
                     "privacy budget exhausted: requested {requested}, remaining {remaining}"
                 )
             }
+            LdpError::InvalidDescriptor(msg) => write!(f, "invalid protocol descriptor: {msg}"),
+            LdpError::UnsupportedMechanism(msg) => write!(f, "unsupported mechanism: {msg}"),
+            LdpError::VersionMismatch { got, expected } => {
+                write!(
+                    f,
+                    "wire version mismatch: frame says {got}, expected {expected}"
+                )
+            }
+            LdpError::ReportTypeMismatch { got, expected } => {
+                write!(
+                    f,
+                    "report type mismatch: frame tag {got}, expected {expected}"
+                )
+            }
+            LdpError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} more bytes, had {available}"
+                )
+            }
+            LdpError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for LdpError {}
 
 /// Convenience result alias for this crate.
-pub type Result<T> = std::result::Result<T, Error>;
+pub type Result<T> = std::result::Result<T, LdpError>;

@@ -1,6 +1,6 @@
 //! The cross-crate batch-collection abstraction: [`BatchMechanism`].
 //!
-//! [`fo::FrequencyOracle`] is the engine-facing trait for mechanisms whose
+//! [`crate::fo::FrequencyOracle`] is the engine-facing trait for mechanisms whose
 //! input is an item `v ∈ [0, d)` — but the deployed systems the tutorial
 //! benchmarks against are not all frequency oracles. Microsoft's 1BitMean
 //! consumes a *real-valued* input, and the assembled telemetry pipeline
@@ -12,7 +12,7 @@
 //! 2. a mergeable aggregator, and
 //! 3. a fused randomize→accumulate batch step over a monomorphized RNG.
 //!
-//! [`BatchMechanism`] captures that shape. Every [`fo::FrequencyOracle`]
+//! [`BatchMechanism`] captures that shape. Every [`crate::fo::FrequencyOracle`]
 //! participates for free through the blanket impl on `&O` (references,
 //! so the impl cannot overlap with downstream impls on concrete mechanism
 //! types), and non-oracle mechanisms — `ldp_microsoft::OneBitMean`, the

@@ -1,0 +1,1099 @@
+//! The compact binary wire format and the type-erased collection API.
+//!
+//! Deployed LDP systems (RAPPOR, Apple, Microsoft) are client/server
+//! protocols: millions of heterogeneous clients send *serialized*
+//! randomized reports to a collector that knows the protocol only from a
+//! versioned configuration. This module is that seam for the workspace:
+//!
+//! * **Frames** — every report crosses the wire as one self-delimiting
+//!   frame: `[version: u8] [tag: u8] [payload_len: uvarint] [payload]`.
+//!   Multi-byte integers inside payloads are **little-endian**; lengths
+//!   and small integers are LEB128 varints ([`put_uvarint`]). The tag
+//!   names the report type ([`tag`]), so a collector can reject frames
+//!   for the wrong mechanism without attempting a parse.
+//! * **[`WireReport`]** — the per-report-type codec:
+//!   [`encode_report`] / [`decode_report`] round-trip every report type
+//!   in the workspace (`u64`, [`BitVec`], `Vec<f64>`, `Vec<u64>`,
+//!   [`LhReport`], [`CohortLhReport`], [`HrReport`], `bool` here;
+//!   CMS/HCMS, dBitFlip, and RAPPOR reports in their own crates).
+//!   Decoding is **panic-free**: malformed, truncated, or wrong-version
+//!   bytes come back as [`LdpError`], never as a panic or an
+//!   out-of-bounds index.
+//! * **[`ErasedMechanism`] / [`ErasedAggregator`]** — the object-safe
+//!   face of [`BatchMechanism`]: randomize-from-bytes on the client,
+//!   accumulate-from-bytes, merge, and estimate on the server, all
+//!   behind `dyn` so one collector service can host any mechanism a
+//!   [`crate::protocol::Registry`] instantiates at runtime. The
+//!   [`ErasedBridge`] blanket implementation adapts any
+//!   [`WireMechanism`] (a [`BatchMechanism`] whose reports and inputs
+//!   have wire codecs), so dynamic dispatch reuses the same aggregators,
+//!   merge paths, and estimate code the fused generic engine drives —
+//!   the byte path is bit-identical to the generic path for a given RNG
+//!   seed (enforced by `tests/service_dispatch.rs` at the workspace
+//!   root).
+//!
+//! The scalar-vs-batch bit-identity contract of
+//! [`crate::fo::FrequencyOracle`] is what makes this work: a client that
+//! randomizes scalar reports, encodes, and ships bytes produces exactly
+//! the aggregator state of the fused in-process path, because both
+//! consume the same RNG stream and fold into the same counters.
+
+use crate::fo::{FoAggregator, FrequencyOracle};
+use crate::mech::BatchMechanism;
+use crate::protocol::ProtocolDescriptor;
+use crate::{LdpError, Result};
+use ldp_sketch::BitVec;
+use rand::{RngCore, SeedableRng};
+use std::any::Any;
+
+pub use crate::fo::hadamard::HrReport;
+pub use crate::fo::hashing::{CohortLhReport, LhReport};
+
+/// The wire-format version this build encodes and accepts.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Report-type tags carried in byte 1 of every frame.
+///
+/// Tags are a workspace-wide registry: core report types use `1..=15`,
+/// Apple `16..=23`, Microsoft `24..=31`, RAPPOR `32..=39`. Downstream
+/// crates implementing [`WireReport`] for their own report types must
+/// pick an unused tag.
+pub mod tag {
+    /// `u64` item report (direct encoding / GRR).
+    pub const ITEM: u8 = 1;
+    /// [`ldp_sketch::BitVec`] report (SUE, OUE, THE).
+    pub const BITS: u8 = 2;
+    /// `Vec<f64>` report (SHE).
+    pub const REAL_VEC: u8 = 3;
+    /// `Vec<u64>` report (subset selection).
+    pub const ITEM_SET: u8 = 4;
+    /// [`super::LhReport`] (random-seed BLH/OLH).
+    pub const LOCAL_HASH: u8 = 5;
+    /// [`super::CohortLhReport`] (cohort OLH).
+    pub const COHORT_HASH: u8 = 6;
+    /// [`super::HrReport`] (Hadamard response).
+    pub const HADAMARD: u8 = 7;
+    /// `bool` report (Microsoft 1BitMean).
+    pub const BIT: u8 = 8;
+    /// Apple CMS report (`ldp_apple::cms::CmsReport`).
+    pub const APPLE_CMS: u8 = 16;
+    /// Apple HCMS report (`ldp_apple::hcms::HcmsReport`).
+    pub const APPLE_HCMS: u8 = 17;
+    /// Microsoft dBitFlip report (`ldp_microsoft::DBitReport`).
+    pub const MS_DBIT: u8 = 24;
+    /// RAPPOR report (`ldp_rappor::RapporReport`).
+    pub const RAPPOR: u8 = 32;
+}
+
+// ---------------------------------------------------------------------
+// Byte-level primitives.
+// ---------------------------------------------------------------------
+
+/// Appends a LEB128 unsigned varint (1–10 bytes).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Appends a `u64` as 8 little-endian bytes.
+pub fn put_u64_le(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as 8 little-endian IEEE-754 bytes.
+pub fn put_f64_le(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked cursor over one payload slice. Every read returns
+/// [`LdpError::Truncated`] instead of panicking when bytes run out.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(LdpError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64_le(&mut self) -> Result<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64_le(&mut self) -> Result<f64> {
+        let b = self.bytes(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a LEB128 unsigned varint, rejecting non-canonical or
+    /// overlong encodings.
+    pub fn uvarint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let chunk = (b & 0x7f) as u64;
+            // The 10th byte (shift 63) may only carry bit 0.
+            if shift == 63 && chunk > 1 {
+                return Err(LdpError::Malformed("varint overflows u64".into()));
+            }
+            v |= chunk << shift;
+            if b & 0x80 == 0 {
+                if b == 0 && shift != 0 {
+                    return Err(LdpError::Malformed("non-canonical varint".into()));
+                }
+                return Ok(v);
+            }
+        }
+        Err(LdpError::Malformed("varint longer than 10 bytes".into()))
+    }
+
+    /// Requires that the payload has been fully consumed.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(LdpError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frames.
+// ---------------------------------------------------------------------
+
+/// One decoded frame header: the report tag plus a borrowed payload.
+/// (The version byte has already been validated by the time a `Frame`
+/// exists.)
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    /// Report-type tag (see [`tag`]).
+    pub tag: u8,
+    /// The frame's payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Splits the next frame off `buf` starting at `*pos`, validating the
+/// version byte and the declared payload length, and advances `*pos`
+/// past the frame.
+///
+/// # Errors
+/// [`LdpError::VersionMismatch`] for a foreign version byte,
+/// [`LdpError::Truncated`] / [`LdpError::Malformed`] for a frame that
+/// ends early or declares an impossible length.
+pub fn next_frame<'a>(buf: &'a [u8], pos: &mut usize) -> Result<Frame<'a>> {
+    let mut r = WireReader::new(&buf[*pos..]);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(LdpError::VersionMismatch {
+            got: version,
+            expected: WIRE_VERSION,
+        });
+    }
+    let tag = r.u8()?;
+    let len = r.uvarint()?;
+    let len = usize::try_from(len)
+        .map_err(|_| LdpError::Malformed(format!("payload length {len} overflows usize")))?;
+    let payload = r.bytes(len)?;
+    *pos = buf.len() - r.remaining();
+    Ok(Frame { tag, payload })
+}
+
+/// A report type that round-trips through the binary wire format.
+///
+/// The contract (property-tested in `crates/*/tests/wire_roundtrip.rs`):
+/// `decode_report(encode_report(r)) == r` for every representable
+/// report, and decoding never panics on arbitrary bytes.
+pub trait WireReport: Sized {
+    /// The frame tag identifying this report type (see [`tag`]).
+    const TAG: u8;
+
+    /// Appends the payload bytes (frame header excluded) to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Parses the payload from `r`. Implementations must consume exactly
+    /// the payload ([`decode_report`] runs the trailing-bytes check).
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self>;
+}
+
+/// Appends one complete frame (`version | tag | len | payload`) for
+/// `report` to `out`.
+pub fn encode_report<R: WireReport>(report: &R, out: &mut Vec<u8>) {
+    out.push(WIRE_VERSION);
+    out.push(R::TAG);
+    // Reserve a 1-byte varint for the length, encode the payload in
+    // place, and widen the varint only in the rare >127-byte case — no
+    // scratch allocation on the (common) small-report path.
+    let len_pos = out.len();
+    out.push(0);
+    let payload_start = out.len();
+    report.encode_payload(out);
+    let len = out.len() - payload_start;
+    if len < 0x80 {
+        out[len_pos] = len as u8;
+    } else {
+        let mut var = Vec::with_capacity(10);
+        put_uvarint(&mut var, len as u64);
+        out.splice(len_pos..payload_start, var);
+    }
+}
+
+/// Encodes one report into a fresh frame buffer.
+#[must_use]
+pub fn encode_report_vec<R: WireReport>(report: &R) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_report(report, &mut out);
+    out
+}
+
+/// Decodes exactly one frame. The slice must contain the frame and
+/// nothing else; the tag must match `R::TAG`.
+///
+/// # Errors
+/// [`LdpError::VersionMismatch`], [`LdpError::ReportTypeMismatch`],
+/// [`LdpError::Truncated`], or [`LdpError::Malformed`] — never a panic.
+pub fn decode_report<R: WireReport>(frame: &[u8]) -> Result<R> {
+    let mut pos = 0usize;
+    let f = next_frame(frame, &mut pos)?;
+    if pos != frame.len() {
+        return Err(LdpError::Malformed(format!(
+            "{} trailing bytes after frame",
+            frame.len() - pos
+        )));
+    }
+    decode_report_payload(f)
+}
+
+/// Decodes the payload of an already-split [`Frame`], checking the tag.
+pub fn decode_report_payload<R: WireReport>(frame: Frame<'_>) -> Result<R> {
+    if frame.tag != R::TAG {
+        return Err(LdpError::ReportTypeMismatch {
+            got: frame.tag,
+            expected: R::TAG,
+        });
+    }
+    let mut r = WireReader::new(frame.payload);
+    let report = R::decode_payload(&mut r)?;
+    r.finish()?;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// WireReport implementations for the core report types.
+// ---------------------------------------------------------------------
+
+impl WireReport for u64 {
+    const TAG: u8 = tag::ITEM;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, *self);
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        r.uvarint()
+    }
+}
+
+impl WireReport for bool {
+    const TAG: u8 = tag::BIT;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(LdpError::Malformed(format!(
+                "bit byte must be 0/1, got {b}"
+            ))),
+        }
+    }
+}
+
+/// Packs a bit sequence little-endian, 8 per byte (bit `i` in byte
+/// `i/8`, position `i%8`; unused bits of the final byte are zero) — the
+/// shared payload shape for bit-list reports (CMS sign vectors,
+/// dBitFlip bit lists). [`BitVec`] payloads use the word-level
+/// [`put_bitvec`] fast path instead.
+pub fn put_packed_bits<I: IntoIterator<Item = bool>>(out: &mut Vec<u8>, bits: I) {
+    let mut byte = 0u8;
+    let mut i = 0usize;
+    for b in bits {
+        byte |= u8::from(b) << (i % 8);
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+        i += 1;
+    }
+    if !i.is_multiple_of(8) {
+        out.push(byte);
+    }
+}
+
+/// Reads `n` bits written by [`put_packed_bits`], rejecting nonzero
+/// padding; index the returned bytes with [`packed_bit`].
+pub fn get_packed_bits<'a>(r: &mut WireReader<'a>, n: usize) -> Result<&'a [u8]> {
+    let nbytes = n.div_ceil(8);
+    let bytes = r.bytes(nbytes)?;
+    if !n.is_multiple_of(8) && bytes[nbytes - 1] >> (n % 8) != 0 {
+        return Err(LdpError::Malformed("nonzero padding bits".into()));
+    }
+    Ok(bytes)
+}
+
+/// Reads bit `i` of a [`put_packed_bits`] payload.
+#[inline]
+#[must_use]
+pub fn packed_bit(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] >> (i % 8) & 1 == 1
+}
+
+/// Appends a [`BitVec`] as `uvarint bit-length` + packed little-endian
+/// bytes (bit `i` lives in byte `i/8`, position `i%8`; word-at-a-time,
+/// so a `d = 4096` unary report serializes as 64 word copies). Unused
+/// bits of the final byte are zero; decoders reject nonzero padding.
+pub fn put_bitvec(out: &mut Vec<u8>, bits: &BitVec) {
+    put_uvarint(out, bits.len() as u64);
+    bits.write_le_bytes(out);
+}
+
+/// Reads a [`BitVec`] written by [`put_bitvec`].
+pub fn get_bitvec(r: &mut WireReader<'_>) -> Result<BitVec> {
+    let len = r.uvarint()?;
+    let len = usize::try_from(len)
+        .map_err(|_| LdpError::Malformed(format!("bit length {len} overflows usize")))?;
+    let bytes = r.bytes(len.div_ceil(8))?;
+    BitVec::from_le_bytes(len, bytes)
+        .ok_or_else(|| LdpError::Malformed("nonzero padding bits".into()))
+}
+
+impl WireReport for BitVec {
+    const TAG: u8 = tag::BITS;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_bitvec(out, self);
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        get_bitvec(r)
+    }
+}
+
+impl WireReport for Vec<f64> {
+    const TAG: u8 = tag::REAL_VEC;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        for &x in self {
+            put_f64_le(out, x);
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        let len = r.uvarint()? as usize;
+        // Bound the allocation by the bytes actually present.
+        if r.remaining() / 8 < len {
+            return Err(LdpError::Truncated {
+                needed: len * 8,
+                available: r.remaining(),
+            });
+        }
+        (0..len).map(|_| r.f64_le()).collect()
+    }
+}
+
+impl WireReport for Vec<u64> {
+    const TAG: u8 = tag::ITEM_SET;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        for &x in self {
+            put_uvarint(out, x);
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        let len = r.uvarint()? as usize;
+        // Each element is at least one byte, so this bounds the alloc.
+        if r.remaining() < len {
+            return Err(LdpError::Truncated {
+                needed: len,
+                available: r.remaining(),
+            });
+        }
+        (0..len).map(|_| r.uvarint()).collect()
+    }
+}
+
+impl WireReport for LhReport {
+    const TAG: u8 = tag::LOCAL_HASH;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        // The seed is uniform randomness: varints would only pad it.
+        put_u64_le(out, self.seed);
+        put_uvarint(out, self.bucket);
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(Self {
+            seed: r.u64_le()?,
+            bucket: r.uvarint()?,
+        })
+    }
+}
+
+impl WireReport for CohortLhReport {
+    const TAG: u8 = tag::COHORT_HASH;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.cohort as u64);
+        put_uvarint(out, self.bucket as u64);
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        let cohort = r.uvarint()?;
+        let bucket = r.uvarint()?;
+        let cohort = u32::try_from(cohort)
+            .map_err(|_| LdpError::Malformed(format!("cohort {cohort} overflows u32")))?;
+        let bucket = u32::try_from(bucket)
+            .map_err(|_| LdpError::Malformed(format!("bucket {bucket} overflows u32")))?;
+        Ok(Self { cohort, bucket })
+    }
+}
+
+/// Encodes a `±1` sign as one byte (`0` = −1, `1` = +1).
+pub fn put_sign(out: &mut Vec<u8>, sign: i8) {
+    out.push(u8::from(sign > 0));
+}
+
+/// Reads a `±1` sign byte written by [`put_sign`].
+pub fn get_sign(r: &mut WireReader<'_>) -> Result<i8> {
+    match r.u8()? {
+        0 => Ok(-1),
+        1 => Ok(1),
+        b => Err(LdpError::Malformed(format!(
+            "sign byte must be 0/1, got {b}"
+        ))),
+    }
+}
+
+impl WireReport for HrReport {
+    const TAG: u8 = tag::HADAMARD;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.index);
+        put_sign(out, self.sign);
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(Self {
+            index: r.uvarint()?,
+            sign: get_sign(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Input codec.
+// ---------------------------------------------------------------------
+
+/// A client input type that can cross the erased API as bytes: the
+/// input-side counterpart of [`WireReport`]. Items travel as varints,
+/// bounded reals as 8-byte little-endian `f64`.
+pub trait WireInput: Sized {
+    /// Appends the encoded input to `out`.
+    fn encode_input(&self, out: &mut Vec<u8>);
+
+    /// Parses one input from exactly `bytes`.
+    fn decode_input(bytes: &[u8]) -> Result<Self>;
+
+    /// Views an item batch as a batch of this input type, when the two
+    /// coincide (`u64` only) — what lets the erased batch path hand a
+    /// `&[u64]` population straight to an item mechanism without
+    /// per-element conversion.
+    fn items_as_inputs(items: &[u64]) -> Option<&[Self]>;
+
+    /// Views a real-valued batch as a batch of this input type (`f64`
+    /// only).
+    fn reals_as_inputs(reals: &[f64]) -> Option<&[Self]>;
+}
+
+impl WireInput for u64 {
+    fn encode_input(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, *self);
+    }
+
+    fn decode_input(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = r.uvarint()?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    fn items_as_inputs(items: &[u64]) -> Option<&[Self]> {
+        Some(items)
+    }
+
+    fn reals_as_inputs(_reals: &[f64]) -> Option<&[Self]> {
+        None
+    }
+}
+
+impl WireInput for f64 {
+    fn encode_input(&self, out: &mut Vec<u8>) {
+        put_f64_le(out, *self);
+    }
+
+    fn decode_input(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = r.f64_le()?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    fn items_as_inputs(_items: &[u64]) -> Option<&[Self]> {
+        None
+    }
+
+    fn reals_as_inputs(reals: &[f64]) -> Option<&[Self]> {
+        Some(reals)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The erased mechanism API.
+// ---------------------------------------------------------------------
+
+/// The report type of a [`BatchMechanism`] (what its aggregator
+/// consumes), as a shorthand for wire bounds.
+pub type ReportOf<M> = <<M as BatchMechanism>::Aggregator as FoAggregator>::Report;
+
+/// A [`BatchMechanism`] that additionally exposes the scalar client path
+/// the erased bridge needs: validate one input and privatize it.
+///
+/// The determinism contract extends to this method: for one input, the
+/// scalar randomize must consume exactly the RNG stream the fused
+/// [`BatchMechanism::accumulate_batch`] consumes for that input — which
+/// is what makes the byte path bit-identical to the in-process path.
+pub trait WireMechanism: BatchMechanism {
+    /// Validates `input` and privatizes it through the scalar path.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] (or a kindred variant) when the
+    /// input is outside the mechanism's domain — never a panic.
+    fn try_randomize_input(
+        &self,
+        input: &Self::Input,
+        rng: &mut dyn RngCore,
+    ) -> Result<ReportOf<Self>>;
+
+    /// Validates a whole input batch, then privatizes it with a
+    /// **monomorphized** RNG — the client-side mirror of
+    /// [`BatchMechanism::accumulate_batch`], consuming the identical RNG
+    /// stream, so reports produced here fold into the same aggregator
+    /// state the fused path would have produced. The default loops the
+    /// scalar path; oracle bridges override with the oracle's own batch
+    /// sampler.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] naming the first invalid input.
+    /// Reports for inputs preceding the failing one may already have
+    /// reached `sink`; callers discard the partial output on error.
+    fn try_randomize_batch<R: RngCore>(
+        &self,
+        inputs: &[Self::Input],
+        rng: &mut R,
+        mut sink: impl FnMut(&ReportOf<Self>),
+    ) -> Result<()> {
+        for v in inputs {
+            sink(&self.try_randomize_input(v, rng)?);
+        }
+        Ok(())
+    }
+}
+
+/// Owns a [`FrequencyOracle`] and exposes it as a
+/// [`BatchMechanism`] + [`WireMechanism`] — the by-value counterpart of
+/// the `&O` blanket impl in [`crate::mech`], so an oracle can live
+/// inside a `Box<dyn ErasedMechanism>`.
+#[derive(Debug, Clone)]
+pub struct OracleMechanism<O>(pub O);
+
+impl<O: FrequencyOracle> BatchMechanism for OracleMechanism<O> {
+    type Input = u64;
+    type Aggregator = O::Aggregator;
+
+    fn new_aggregator(&self) -> O::Aggregator {
+        self.0.new_aggregator()
+    }
+
+    fn accumulate_batch<R: RngCore>(&self, inputs: &[u64], rng: &mut R, agg: &mut O::Aggregator) {
+        self.0.randomize_accumulate_batch(inputs, rng, agg);
+    }
+}
+
+impl<O: FrequencyOracle> WireMechanism for OracleMechanism<O> {
+    fn try_randomize_input(&self, input: &u64, rng: &mut dyn RngCore) -> Result<O::Report> {
+        if *input >= self.0.domain_size() {
+            return Err(LdpError::InvalidParameter(format!(
+                "input {input} outside domain of size {}",
+                self.0.domain_size()
+            )));
+        }
+        Ok(self.0.randomize(*input, rng))
+    }
+
+    /// Validates the whole batch up front (cheap range checks, no RNG
+    /// consumed on error), then rides the oracle's monomorphized
+    /// [`FrequencyOracle::randomize_batch`] — the same sampler, and
+    /// therefore the same RNG stream, as the fused engine path.
+    fn try_randomize_batch<R: RngCore>(
+        &self,
+        inputs: &[u64],
+        rng: &mut R,
+        mut sink: impl FnMut(&O::Report),
+    ) -> Result<()> {
+        let d = self.0.domain_size();
+        if let Some(&bad) = inputs.iter().find(|&&v| v >= d) {
+            return Err(LdpError::InvalidParameter(format!(
+                "input {bad} outside domain of size {d}"
+            )));
+        }
+        self.0.randomize_batch(inputs, rng, |r| sink(&r));
+        Ok(())
+    }
+}
+
+/// The object-safe server-side state behind a collector: a mechanism's
+/// aggregator with its concrete types erased. Obtained from
+/// [`ErasedMechanism::new_erased_aggregator`]; frames are folded in
+/// through [`ErasedMechanism::accumulate_from_bytes`] (the mechanism
+/// carries the codec and validation, the aggregator carries the state).
+pub trait ErasedAggregator: Send {
+    /// Number of reports accumulated so far.
+    fn reports(&self) -> usize;
+
+    /// Unbiased estimates over the mechanism's output domain (counts for
+    /// frequency oracles, `[mean]` for mean mechanisms).
+    #[must_use]
+    fn estimate(&self) -> Vec<f64>;
+
+    /// Estimates for a subset of items.
+    ///
+    /// # Panics
+    /// Like [`FoAggregator::estimate_items`], panics if an item is
+    /// outside the mechanism's domain — callers validate first (the
+    /// collector service checks against its descriptor).
+    #[must_use]
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64>;
+
+    /// Merges another erased aggregator into this one, as if its reports
+    /// had been accumulated here.
+    ///
+    /// # Errors
+    /// [`LdpError::Malformed`] if `other` is not the same concrete
+    /// aggregator type. Same-type aggregators built from **equal**
+    /// descriptors always merge; the collector service enforces
+    /// descriptor equality before calling this.
+    fn merge_erased(&mut self, other: Box<dyn ErasedAggregator>) -> Result<()>;
+
+    /// Borrows the concrete aggregator for downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutably borrows the concrete aggregator for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Unwraps to the concrete aggregator for downcasting by value.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// The object-safe face of a mechanism: everything a collector service
+/// needs behind `dyn` — randomize-from-bytes on the client side,
+/// accumulate-from-bytes on the server side, plus aggregator creation.
+/// Built from a [`crate::protocol::ProtocolDescriptor`] through a
+/// [`crate::protocol::Registry`].
+pub trait ErasedMechanism: Send + Sync {
+    /// The descriptor this instance was built from.
+    fn descriptor(&self) -> &ProtocolDescriptor;
+
+    /// The frame tag of this mechanism's report type.
+    fn report_tag(&self) -> u8;
+
+    /// Client side: decodes one wire-encoded input (a varint item or an
+    /// 8-byte little-endian real — see [`WireInput`]), privatizes it,
+    /// and appends the report's wire frame to `out`.
+    ///
+    /// # Errors
+    /// Any [`LdpError`] for undecodable or out-of-domain inputs — never
+    /// a panic.
+    fn randomize_from_bytes(
+        &self,
+        input: &[u8],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<u8>,
+    ) -> Result<()>;
+
+    /// Client batch side: privatizes a whole item population into wire
+    /// frames appended to `out`, drawing from a **monomorphized**
+    /// `StdRng::seed_from_u64(seed)` created inside the call — dynamic
+    /// dispatch is paid once per batch instead of once per RNG draw,
+    /// which is what keeps the byte path's cost within a constant factor
+    /// of the fused in-process engine. For a given `seed` the frames are
+    /// exactly the reports the fused engine's shard with that seed would
+    /// have folded in (the scalar/batch stream contract).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for out-of-domain values or a
+    /// mechanism that does not take item inputs; `out` may carry frames
+    /// for inputs preceding the failing one — discard it on error.
+    fn randomize_items_to_frames(&self, values: &[u64], seed: u64, out: &mut Vec<u8>)
+        -> Result<()>;
+
+    /// Client batch side for real-valued mechanisms (1BitMean); the
+    /// monomorphized counterpart of feeding each value through
+    /// [`Self::randomize_from_bytes`]. Same seed semantics as
+    /// [`Self::randomize_items_to_frames`].
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for out-of-range values or a
+    /// mechanism that takes item inputs.
+    fn randomize_reals_to_frames(&self, values: &[f64], seed: u64, out: &mut Vec<u8>)
+        -> Result<()>;
+
+    /// Creates an empty erased aggregator for this mechanism.
+    #[must_use]
+    fn new_erased_aggregator(&self) -> Box<dyn ErasedAggregator>;
+
+    /// Server side: decodes one report frame, validates it against this
+    /// mechanism's configuration, and folds it into `agg`.
+    ///
+    /// # Errors
+    /// Any [`LdpError`] for malformed/truncated frames, foreign
+    /// versions or tags, reports that don't fit the mechanism's shape,
+    /// or an `agg` that belongs to a different mechanism — never a
+    /// panic.
+    fn accumulate_from_bytes(&self, agg: &mut dyn ErasedAggregator, frame: &[u8]) -> Result<()> {
+        let mut pos = 0usize;
+        let f = next_frame(frame, &mut pos)?;
+        if pos != frame.len() {
+            return Err(LdpError::Malformed(format!(
+                "{} trailing bytes after frame",
+                frame.len() - pos
+            )));
+        }
+        self.accumulate_frame(agg, f)
+    }
+
+    /// Server side for batched transports: folds one already-split
+    /// [`Frame`] into `agg`, so a stream iterator (`next_frame`) parses
+    /// each header exactly once.
+    ///
+    /// # Errors
+    /// As [`Self::accumulate_from_bytes`], minus the header errors
+    /// `next_frame` already caught.
+    fn accumulate_frame(&self, agg: &mut dyn ErasedAggregator, frame: Frame<'_>) -> Result<()>;
+}
+
+impl std::fmt::Debug for dyn ErasedMechanism + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErasedMechanism")
+            .field("kind", &self.descriptor().kind())
+            .field("report_tag", &self.report_tag())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for dyn ErasedAggregator + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErasedAggregator")
+            .field("reports", &self.reports())
+            .finish()
+    }
+}
+
+/// The blanket bridge from the generic engine to the erased API: wraps
+/// any [`WireMechanism`] whose input and report types have wire codecs,
+/// together with the descriptor it was built from.
+///
+/// Dynamic dispatch through this bridge reuses the mechanism's own
+/// aggregator, merge, and estimate code — the same paths the fused
+/// generic engine (`accumulate_mech_sharded`) drives — so the byte path
+/// and the generic path produce bit-identical state for the same RNG
+/// streams.
+pub struct ErasedBridge<M: WireMechanism> {
+    mech: M,
+    descriptor: ProtocolDescriptor,
+}
+
+impl<M: WireMechanism> ErasedBridge<M> {
+    /// Wraps `mech` with the descriptor it was instantiated from.
+    pub fn new(mech: M, descriptor: ProtocolDescriptor) -> Self {
+        Self { mech, descriptor }
+    }
+
+    /// The wrapped mechanism.
+    pub fn mechanism(&self) -> &M {
+        &self.mech
+    }
+}
+
+/// The concrete aggregator behind `Box<dyn ErasedAggregator>` for a
+/// bridged mechanism `M` (private: reached only through downcasts inside
+/// the bridge).
+struct BridgedAggregator<M: BatchMechanism> {
+    agg: M::Aggregator,
+}
+
+impl<M> ErasedAggregator for BridgedAggregator<M>
+where
+    M: BatchMechanism + 'static,
+    M::Aggregator: Send + 'static,
+{
+    fn reports(&self) -> usize {
+        self.agg.reports()
+    }
+
+    fn estimate(&self) -> Vec<f64> {
+        self.agg.estimate()
+    }
+
+    fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
+        self.agg.estimate_items(items)
+    }
+
+    fn merge_erased(&mut self, other: Box<dyn ErasedAggregator>) -> Result<()> {
+        let other = other
+            .into_any()
+            .downcast::<Self>()
+            .map_err(|_| LdpError::Malformed("merge: erased aggregator type mismatch".into()))?;
+        self.agg.merge(other.agg);
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl<M> ErasedMechanism for ErasedBridge<M>
+where
+    M: WireMechanism + Send + Sync + 'static,
+    M::Input: WireInput,
+    M::Aggregator: Send + 'static,
+    ReportOf<M>: WireReport,
+{
+    fn descriptor(&self) -> &ProtocolDescriptor {
+        &self.descriptor
+    }
+
+    fn report_tag(&self) -> u8 {
+        <ReportOf<M> as WireReport>::TAG
+    }
+
+    fn randomize_from_bytes(
+        &self,
+        input: &[u8],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let input = M::Input::decode_input(input)?;
+        let report = self.mech.try_randomize_input(&input, rng)?;
+        encode_report(&report, out);
+        Ok(())
+    }
+
+    fn randomize_items_to_frames(
+        &self,
+        values: &[u64],
+        seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let inputs = M::Input::items_as_inputs(values).ok_or_else(|| {
+            LdpError::InvalidParameter(format!(
+                "{} does not take item inputs",
+                self.descriptor.kind().name()
+            ))
+        })?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.mech
+            .try_randomize_batch(inputs, &mut rng, |r| encode_report(r, out))
+    }
+
+    fn randomize_reals_to_frames(
+        &self,
+        values: &[f64],
+        seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let inputs = M::Input::reals_as_inputs(values).ok_or_else(|| {
+            LdpError::InvalidParameter(format!(
+                "{} does not take real-valued inputs",
+                self.descriptor.kind().name()
+            ))
+        })?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.mech
+            .try_randomize_batch(inputs, &mut rng, |r| encode_report(r, out))
+    }
+
+    fn new_erased_aggregator(&self) -> Box<dyn ErasedAggregator> {
+        Box::new(BridgedAggregator::<M> {
+            agg: self.mech.new_aggregator(),
+        })
+    }
+
+    fn accumulate_frame(&self, agg: &mut dyn ErasedAggregator, frame: Frame<'_>) -> Result<()> {
+        let report = decode_report_payload::<ReportOf<M>>(frame)?;
+        let slot = agg
+            .as_any_mut()
+            .downcast_mut::<BridgedAggregator<M>>()
+            .ok_or_else(|| {
+                LdpError::Malformed("accumulate: erased aggregator type mismatch".into())
+            })?;
+        slot.agg.try_accumulate(&report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::DirectEncoding;
+    use crate::Epsilon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uvarint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.uvarint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_non_canonical() {
+        // 0x80 0x00 encodes 0 in two bytes — must be rejected.
+        let mut r = WireReader::new(&[0x80, 0x00]);
+        assert!(matches!(r.uvarint(), Err(LdpError::Malformed(_))));
+        // Eleven continuation bytes overflow.
+        let mut r = WireReader::new(&[0xff; 11]);
+        assert!(r.uvarint().is_err());
+    }
+
+    #[test]
+    fn frame_encoding_handles_long_payloads() {
+        // > 127 payload bytes exercises the varint-widening path.
+        let report: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let frame = encode_report_vec(&report);
+        assert_eq!(frame[0], WIRE_VERSION);
+        assert_eq!(frame[1], tag::REAL_VEC);
+        let decoded: Vec<f64> = decode_report(&frame).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn wrong_version_and_tag_reject() {
+        let mut frame = encode_report_vec(&7u64);
+        frame[0] = 99;
+        assert!(matches!(
+            decode_report::<u64>(&frame),
+            Err(LdpError::VersionMismatch { got: 99, .. })
+        ));
+        let frame = encode_report_vec(&7u64);
+        assert!(matches!(
+            decode_report::<bool>(&frame),
+            Err(LdpError::ReportTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejects_everywhere() {
+        let frame = encode_report_vec(&LhReport {
+            seed: 42,
+            bucket: 3,
+        });
+        for cut in 0..frame.len() {
+            assert!(
+                decode_report::<LhReport>(&frame[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_round_trips_one_report() {
+        let oracle = DirectEncoding::new(16, Epsilon::new(1.0).unwrap()).unwrap();
+        let desc = ProtocolDescriptor::builder(crate::protocol::MechanismKind::DirectEncoding)
+            .domain_size(16)
+            .epsilon(1.0)
+            .build()
+            .unwrap();
+        let bridge = ErasedBridge::new(OracleMechanism(oracle), desc);
+        let mut agg = bridge.new_erased_aggregator();
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut input = Vec::new();
+        5u64.encode_input(&mut input);
+        let mut frame = Vec::new();
+        bridge
+            .randomize_from_bytes(&input, &mut rng, &mut frame)
+            .unwrap();
+        bridge.accumulate_from_bytes(agg.as_mut(), &frame).unwrap();
+        assert_eq!(agg.reports(), 1);
+
+        // Out-of-domain input is an error, not a panic.
+        let mut input = Vec::new();
+        16u64.encode_input(&mut input);
+        let mut out = Vec::new();
+        assert!(bridge
+            .randomize_from_bytes(&input, &mut rng, &mut out)
+            .is_err());
+    }
+}

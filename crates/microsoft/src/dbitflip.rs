@@ -189,6 +189,7 @@ impl DBitFlip {
             ones: vec![0; self.k as usize],
             covered: vec![0; self.k as usize],
             n: 0,
+            d: self.d,
             p: self.p,
         }
     }
@@ -304,6 +305,9 @@ pub struct DBitAggregator {
     /// Number of devices covering each bucket.
     covered: Vec<u64>,
     n: usize,
+    /// Bits per device: every legitimate report covers exactly `d`
+    /// distinct buckets (the protocol's per-report influence bound).
+    d: u32,
     p: f64,
 }
 
@@ -345,7 +349,9 @@ impl DBitAggregator {
     /// and keep probability agree) — the compatibility check behind the
     /// fused paths' mismatch assertions.
     pub fn compatible_with(&self, mech: &DBitFlip) -> bool {
-        self.ones.len() == mech.buckets() as usize && self.p == mech.keep_prob()
+        self.ones.len() == mech.buckets() as usize
+            && self.d == mech.bits_per_device()
+            && self.p == mech.keep_prob()
     }
 
     /// Merges another aggregator's counters into this one. Exact
@@ -356,7 +362,7 @@ impl DBitAggregator {
     /// Panics if the two aggregators disagree on bucket count or channel.
     pub fn merge(&mut self, other: Self) {
         assert!(
-            self.ones.len() == other.ones.len() && self.p == other.p,
+            self.ones.len() == other.ones.len() && self.d == other.d && self.p == other.p,
             "merge: mechanism mismatch"
         );
         for (a, b) in self.ones.iter_mut().zip(&other.ones) {
@@ -398,6 +404,33 @@ impl FoAggregator for DBitAggregator {
         DBitAggregator::accumulate(self, report);
     }
 
+    fn try_accumulate(&mut self, report: &DBitReport) -> ldp_core::Result<()> {
+        let k = self.ones.len();
+        if report.buckets.len() != report.bits.len() {
+            return Err(Error::Malformed(format!(
+                "dBitFlip report with {} buckets but {} bits",
+                report.buckets.len(),
+                report.bits.len()
+            )));
+        }
+        // The protocol's influence bound: exactly `d` buckets per
+        // device (a k-bucket "report" would vote k/d times over).
+        if report.buckets.len() != self.d as usize {
+            return Err(Error::Malformed(format!(
+                "dBitFlip report covers {} buckets, protocol says {}",
+                report.buckets.len(),
+                self.d
+            )));
+        }
+        if let Some(&j) = report.buckets.iter().find(|&&j| j as usize >= k) {
+            return Err(Error::Malformed(format!(
+                "dBitFlip bucket {j} outside range {k}"
+            )));
+        }
+        DBitAggregator::accumulate(self, report);
+        Ok(())
+    }
+
     fn reports(&self) -> usize {
         self.n
     }
@@ -427,6 +460,37 @@ mod tests {
         assert!(DBitFlip::new(8, 0, eps(1.0)).is_err());
         assert!(DBitFlip::new(8, 9, eps(1.0)).is_err());
         assert!(DBitFlip::new(8, 8, eps(1.0)).is_ok());
+    }
+
+    /// The wire-facing checked accumulate enforces the per-device
+    /// influence bound: exactly `d` in-range buckets per report.
+    #[test]
+    fn try_accumulate_enforces_bucket_count() {
+        use ldp_core::fo::FoAggregator;
+        let m = DBitFlip::new(32, 4, eps(1.0)).unwrap();
+        let mut agg = DBitFlip::new_aggregator(&m);
+        let ok = DBitReport {
+            buckets: vec![1, 5, 9, 30],
+            bits: vec![true, false, true, false],
+        };
+        assert!(agg.try_accumulate(&ok).is_ok());
+        // Covering all k buckets would vote k/d times over; reject it.
+        let all = DBitReport {
+            buckets: (0..32).collect(),
+            bits: vec![true; 32],
+        };
+        assert!(agg.try_accumulate(&all).is_err());
+        let out_of_range = DBitReport {
+            buckets: vec![1, 5, 9, 32],
+            bits: vec![true; 4],
+        };
+        assert!(agg.try_accumulate(&out_of_range).is_err());
+        let mismatched = DBitReport {
+            buckets: vec![1, 5, 9, 30],
+            bits: vec![true; 3],
+        };
+        assert!(agg.try_accumulate(&mismatched).is_err());
+        assert_eq!(agg.reports(), 1, "rejected reports leave state intact");
     }
 
     #[test]

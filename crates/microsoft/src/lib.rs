@@ -40,6 +40,7 @@ pub mod memoization;
 pub mod onebit;
 pub mod pipeline;
 pub mod repeated;
+pub mod wire;
 
 pub use dbitflip::{DBitAggregator, DBitFlip, DBitReport};
 pub use memoization::{MemoizedMeanClient, RoundingConfig};
@@ -49,3 +50,4 @@ pub use pipeline::{
     TelemetryRound,
 };
 pub use repeated::MemoizedHistogramClient;
+pub use wire::register_mechanisms;

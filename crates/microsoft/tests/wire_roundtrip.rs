@@ -1,0 +1,52 @@
+//! Wire round-trip and adversarial-decode properties for the Microsoft
+//! report types, plus real randomized dBitFlip traffic.
+
+use ldp_core::wire::{decode_report, encode_report_vec, WIRE_VERSION};
+use ldp_core::{Epsilon, LdpError};
+use ldp_microsoft::{DBitFlip, DBitReport};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_roundtrip(report: &DBitReport) {
+    let frame = encode_report_vec(report);
+    let back: DBitReport = decode_report(&frame).expect("well-formed frame decodes");
+    assert_eq!(&back, report);
+    for cut in 0..frame.len() {
+        assert!(decode_report::<DBitReport>(&frame[..cut]).is_err());
+    }
+    let mut bad = frame.clone();
+    bad[0] = WIRE_VERSION.wrapping_add(1);
+    assert!(matches!(
+        decode_report::<DBitReport>(&bad),
+        Err(LdpError::VersionMismatch { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dbit_report_roundtrips(raw in vec(any::<u32>(), 1..24), flips in vec(any::<bool>(), 24..25)) {
+        // Deduplicate and sort: the report invariant the client upholds
+        // (and the delta codec relies on).
+        let mut buckets: Vec<u32> = raw.clone();
+        buckets.sort_unstable();
+        buckets.dedup();
+        let bits = flips[..buckets.len()].to_vec();
+        check_roundtrip(&DBitReport { buckets, bits });
+    }
+
+    #[test]
+    fn randomized_dbit_traffic_roundtrips(seed in 0u64..1000, value in 0u64..1024) {
+        let mech = DBitFlip::new(1024, 16, Epsilon::new(1.0).expect("eps")).expect("params");
+        let mut rng = StdRng::seed_from_u64(seed);
+        check_roundtrip(&mech.randomize(value as u32, &mut rng));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..96)) {
+        let _ = decode_report::<DBitReport>(&bytes);
+    }
+}

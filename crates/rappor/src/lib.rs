@@ -50,6 +50,7 @@ pub mod client;
 pub mod discovery;
 pub mod params;
 pub mod server;
+pub mod wire;
 
 pub use association::{AssociationDecoder, JointEstimate};
 pub use client::{RapporClient, RapporReport};

@@ -1,0 +1,50 @@
+//! Wire codec for RAPPOR reports.
+//!
+//! A [`RapporReport`] travels as `uvarint cohort | bitvec` (the IRR'd
+//! Bloom bits, packed 8 per byte) under
+//! [`ldp_core::wire::tag::RAPPOR`] — the on-the-wire shape of the CCS
+//! 2014 deployment's per-report payload. RAPPOR's server side decodes
+//! against a *candidate dictionary* rather than an enumerable item
+//! domain, so it is not registered with the item-indexed collector
+//! service; the codec exists so RAPPOR traffic shares the workspace
+//! frame format (and its round-trip guarantees) end to end.
+
+use crate::client::RapporReport;
+use ldp_core::wire::{get_bitvec, put_bitvec, put_uvarint, tag, WireReader, WireReport};
+use ldp_core::{LdpError, Result};
+
+impl WireReport for RapporReport {
+    const TAG: u8 = tag::RAPPOR;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.cohort as u64);
+        put_bitvec(out, &self.bits);
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
+        let cohort = r.uvarint()?;
+        let cohort = u32::try_from(cohort)
+            .map_err(|_| LdpError::Malformed(format!("cohort {cohort} overflows u32")))?;
+        Ok(Self {
+            cohort,
+            bits: get_bitvec(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::wire::{decode_report, encode_report_vec};
+    use ldp_sketch::BitVec;
+
+    #[test]
+    fn rappor_report_round_trips() {
+        let report = RapporReport {
+            cohort: 17,
+            bits: BitVec::from_bools((0..129).map(|i| i % 3 == 0)),
+        };
+        let back: RapporReport = decode_report(&encode_report_vec(&report)).unwrap();
+        assert_eq!(back, report);
+    }
+}

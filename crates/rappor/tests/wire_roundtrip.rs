@@ -1,0 +1,54 @@
+//! Wire round-trip and adversarial-decode properties for RAPPOR
+//! reports, including real client traffic (cohorted, PRR+IRR'd Bloom
+//! bits).
+
+use ldp_core::wire::{decode_report, encode_report_vec, WIRE_VERSION};
+use ldp_core::LdpError;
+use ldp_rappor::{RapporClient, RapporParams, RapporReport};
+use ldp_sketch::BitVec;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_roundtrip(report: &RapporReport) {
+    let frame = encode_report_vec(report);
+    let back: RapporReport = decode_report(&frame).expect("well-formed frame decodes");
+    assert_eq!(&back, report);
+    for cut in 0..frame.len() {
+        assert!(decode_report::<RapporReport>(&frame[..cut]).is_err());
+    }
+    let mut bad = frame.clone();
+    bad[0] = WIRE_VERSION.wrapping_add(1);
+    assert!(matches!(
+        decode_report::<RapporReport>(&bad),
+        Err(LdpError::VersionMismatch { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rappor_report_roundtrips(cohort in any::<u32>(), bools in vec(any::<bool>(), 1..200)) {
+        let report = RapporReport {
+            cohort,
+            bits: BitVec::from_bools(bools.iter().copied()),
+        };
+        check_roundtrip(&report);
+    }
+
+    #[test]
+    fn randomized_rappor_traffic_roundtrips(seed in 0u64..500, word in 0u64..64) {
+        let params = RapporParams::small(8).expect("params");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut client = RapporClient::with_random_cohort(params, &mut rng);
+        let report = client.report(word.to_le_bytes().as_slice(), &mut rng);
+        check_roundtrip(&report);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..96)) {
+        let _ = decode_report::<RapporReport>(&bytes);
+    }
+}

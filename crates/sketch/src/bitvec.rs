@@ -36,6 +36,41 @@ impl BitVec {
         }
     }
 
+    /// Reconstructs a bit vector from little-endian packed bytes (bit
+    /// `i` in byte `i/8`, position `i%8`) — the inverse of
+    /// [`write_le_bytes`](Self::write_le_bytes), used by the wire
+    /// format. Returns `None` when the byte count does not match the bit
+    /// length or the padding bits of the last byte are nonzero, so
+    /// callers can reject malformed frames without panicking.
+    pub fn from_le_bytes(len: usize, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        if !len.is_multiple_of(8) && bytes[bytes.len() - 1] >> (len % 8) != 0 {
+            return None;
+        }
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (i, &b) in bytes.iter().enumerate() {
+            words[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        Some(Self { words, len })
+    }
+
+    /// Appends the bits as little-endian packed bytes (`len.div_ceil(8)`
+    /// of them; unused bits of the final byte are zero) — word-at-a-time,
+    /// so serializing is a memcpy-grade operation, not a per-bit loop.
+    pub fn write_le_bytes(&self, out: &mut Vec<u8>) {
+        let mut remaining = self.len.div_ceil(8);
+        for w in &self.words {
+            let take = remaining.min(8);
+            out.extend_from_slice(&w.to_le_bytes()[..take]);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+
     /// Creates a bit vector from an iterator of booleans.
     pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
         let bits: Vec<bool> = bits.into_iter().collect();

@@ -22,6 +22,12 @@
 //!   deterministically (fixed logical shards, seed-derived RNG streams,
 //!   shard-order merging), so results are bit-identical across core
 //!   counts.
+//! * [`service`] — the deployment-facing entry point:
+//!   [`service::CollectorService`] owns a protocol descriptor plus a
+//!   type-erased aggregator and ingests **serialized** report frames
+//!   (`&[u8]` in, estimates out) for any mechanism the workspace
+//!   registry can build, with [`service::WireClient`] as the matching
+//!   client half.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,7 +36,9 @@ pub mod gen;
 pub mod harness;
 pub mod metrics;
 pub mod parallel;
+pub mod service;
 
 pub use gen::{NumericStream, ZipfGenerator};
 pub use harness::{ExperimentTable, Trials};
 pub use parallel::{accumulate_sharded, accumulate_sharded_sequential, collect_counts_parallel};
+pub use service::{workspace_registry, CollectorService, WireClient};

@@ -56,8 +56,11 @@ pub fn shard_seed(base_seed: u64, shard: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Contiguous `[lo, hi)` bounds of each logical shard.
-fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+/// Contiguous `[lo, hi)` bounds of each logical shard — the single
+/// source of the shard plan, shared by the in-process engine here and
+/// the byte path's `service::WireClient::frames_sharded` (their
+/// bit-identity depends on both using exactly this plan).
+pub(crate) fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
     let chunk = len.div_ceil(shards);
     (0..shards)
         .map(|i| ((i * chunk).min(len), ((i + 1) * chunk).min(len)))

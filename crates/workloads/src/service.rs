@@ -1,0 +1,417 @@
+//! The collector service: the single entry point a deployment exposes.
+//!
+//! A [`CollectorService`] owns a [`ProtocolDescriptor`] and the matching
+//! type-erased aggregator, and ingests **serialized** report frames —
+//! `&[u8]` in, estimates out, for any mechanism the backing
+//! [`Registry`] can instantiate. This is the client/server seam the
+//! deployed systems in the tutorial all share: a versioned protocol
+//! config shipped to the fleet, opaque randomized bytes flowing back,
+//! and a mergeable server state that shards across collectors.
+//!
+//! Guarantees:
+//!
+//! * **Panic-free ingestion** — malformed, truncated, wrong-version, or
+//!   wrong-mechanism frames come back as [`LdpError`]s; the aggregate
+//!   state is untouched by a rejected frame.
+//! * **Bit-identity with the in-process engine** — a population
+//!   randomized shard-by-shard with [`WireClient::frames_sharded`],
+//!   ingested into per-shard services, and [`CollectorService::merge`]d
+//!   in shard order produces estimates bit-identical to
+//!   [`crate::parallel::accumulate_mech_sharded`] over the same inputs,
+//!   seed, and shard count (the scalar/batch RNG-stream contract plus
+//!   exact round-tripping of every report type). The workspace-root
+//!   `tests/service_dispatch.rs` enforces this for every registered
+//!   kind.
+//! * **Mergeable across shards** — services built from equal
+//!   descriptors merge; mismatched descriptors are rejected, not
+//!   UB'd into a panic deep inside an aggregator.
+//!
+//! ```
+//! use ldp_core::protocol::{MechanismKind, ProtocolDescriptor};
+//! use ldp_workloads::service::{CollectorService, WireClient};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // The operator ships one versioned config...
+//! let desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+//!     .domain_size(64)
+//!     .epsilon(2.0)
+//!     .cohorts(256)
+//!     .build()
+//!     .unwrap();
+//!
+//! // ...clients randomize locally and transmit opaque bytes...
+//! let client = WireClient::from_descriptor(&desc).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut wire = Vec::new();
+//! for user in 0..2000u64 {
+//!     client.randomize_item(user % 64, &mut rng, &mut wire).unwrap();
+//! }
+//!
+//! // ...and the collector folds frames without ever seeing a value.
+//! let mut service = CollectorService::from_descriptor(&desc).unwrap();
+//! let ingested = service.ingest_concat(&wire).unwrap();
+//! assert_eq!(ingested, 2000);
+//! assert_eq!(service.reports(), 2000);
+//! let estimates = service.estimates();
+//! assert_eq!(estimates.len(), 64);
+//! ```
+
+use ldp_core::protocol::{ProtocolDescriptor, Registry};
+use ldp_core::wire::{next_frame, ErasedAggregator, ErasedMechanism, WireInput};
+use ldp_core::{LdpError, Result};
+use rand::RngCore;
+
+use crate::parallel::shard_seed;
+
+/// A registry with **every** workspace mechanism registered: the ten
+/// `ldp-core` oracles plus Apple CMS/HCMS and Microsoft
+/// dBitFlip/1BitMean.
+#[must_use]
+pub fn workspace_registry() -> Registry {
+    let mut r = Registry::core();
+    ldp_apple::register_mechanisms(&mut r);
+    ldp_microsoft::register_mechanisms(&mut r);
+    r
+}
+
+/// The client half of the wire protocol: randomizes private inputs into
+/// report frames for the mechanism a descriptor describes.
+///
+/// In a deployment this object is the piece that ships to devices (its
+/// construction is exactly as reproducible as the descriptor); here it
+/// also powers tests and benches that need byte-path traffic.
+#[derive(Debug)]
+pub struct WireClient {
+    mech: Box<dyn ErasedMechanism>,
+}
+
+impl WireClient {
+    /// Builds the client for `descriptor` from the full workspace
+    /// registry.
+    ///
+    /// # Errors
+    /// Whatever [`Registry::build`] surfaces.
+    pub fn from_descriptor(descriptor: &ProtocolDescriptor) -> Result<Self> {
+        Self::with_registry(&workspace_registry(), descriptor)
+    }
+
+    /// Builds the client for `descriptor` from a caller-provided
+    /// registry.
+    ///
+    /// # Errors
+    /// Whatever [`Registry::build`] surfaces.
+    pub fn with_registry(registry: &Registry, descriptor: &ProtocolDescriptor) -> Result<Self> {
+        Ok(Self {
+            mech: registry.build(descriptor)?,
+        })
+    }
+
+    /// The descriptor this client randomizes for.
+    pub fn descriptor(&self) -> &ProtocolDescriptor {
+        self.mech.descriptor()
+    }
+
+    /// Randomizes one item input (`value ∈ [0, d)`) and appends its wire
+    /// frame to `out`.
+    ///
+    /// # Errors
+    /// [`LdpError`] for out-of-domain values or a mechanism that does
+    /// not take item inputs (1BitMean takes reals).
+    pub fn randomize_item(
+        &self,
+        value: u64,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let mut buf = Vec::with_capacity(10);
+        value.encode_input(&mut buf);
+        self.mech.randomize_from_bytes(&buf, rng, out)
+    }
+
+    /// Randomizes one real-valued input (1BitMean) and appends its wire
+    /// frame to `out`.
+    ///
+    /// # Errors
+    /// [`LdpError`] for out-of-range values or a mechanism that takes
+    /// item inputs.
+    pub fn randomize_real(
+        &self,
+        value: f64,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let mut buf = Vec::with_capacity(8);
+        value.encode_input(&mut buf);
+        self.mech.randomize_from_bytes(&buf, rng, out)
+    }
+
+    /// Randomizes an item population into per-shard frame buffers,
+    /// mirroring the sharded engine's plan exactly: shard `i` covers the
+    /// same contiguous input range and consumes the RNG stream
+    /// `StdRng::seed_from_u64(shard_seed(base_seed, i))` that
+    /// [`crate::parallel::accumulate_mech_sharded`] would give it.
+    /// Ingesting buffer `i` into the `i`-th of per-shard services and
+    /// merging in shard order therefore reproduces the in-process
+    /// engine's aggregate bit for bit.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if `shards == 0`, plus anything
+    /// [`Self::randomize_item`] can raise.
+    pub fn frames_sharded(
+        &self,
+        values: &[u64],
+        base_seed: u64,
+        shards: usize,
+    ) -> Result<Vec<Vec<u8>>> {
+        if shards == 0 {
+            return Err(LdpError::InvalidParameter("need at least one shard".into()));
+        }
+        let shards = shards.min(values.len().max(1));
+        let bounds = crate::parallel::shard_bounds(values.len(), shards);
+        let mut buffers = Vec::with_capacity(shards);
+        for (i, (lo, hi)) in bounds.into_iter().enumerate() {
+            let mut buf = Vec::new();
+            self.mech.randomize_items_to_frames(
+                &values[lo..hi],
+                shard_seed(base_seed, i),
+                &mut buf,
+            )?;
+            buffers.push(buf);
+        }
+        Ok(buffers)
+    }
+}
+
+/// The server half: owns a descriptor plus the matching erased
+/// aggregator, ingests serialized report frames, merges across shards,
+/// and snapshots estimates. See the module docs for the guarantees.
+#[derive(Debug)]
+pub struct CollectorService {
+    mech: Box<dyn ErasedMechanism>,
+    agg: Box<dyn ErasedAggregator>,
+}
+
+impl CollectorService {
+    /// Builds the service for `descriptor` from the full workspace
+    /// registry.
+    ///
+    /// # Errors
+    /// Whatever [`Registry::build`] surfaces (unknown kind, raw-OLH
+    /// steering, invalid parameters).
+    pub fn from_descriptor(descriptor: &ProtocolDescriptor) -> Result<Self> {
+        Self::with_registry(&workspace_registry(), descriptor)
+    }
+
+    /// Builds the service for `descriptor` from a caller-provided
+    /// registry.
+    ///
+    /// # Errors
+    /// Whatever [`Registry::build`] surfaces.
+    pub fn with_registry(registry: &Registry, descriptor: &ProtocolDescriptor) -> Result<Self> {
+        let mech = registry.build(descriptor)?;
+        let agg = mech.new_erased_aggregator();
+        Ok(Self { mech, agg })
+    }
+
+    /// The descriptor this service aggregates for.
+    pub fn descriptor(&self) -> &ProtocolDescriptor {
+        self.mech.descriptor()
+    }
+
+    /// Ingests exactly one report frame.
+    ///
+    /// # Errors
+    /// Any [`LdpError`] for bytes that are not one well-formed,
+    /// current-version frame of this mechanism's report type; the
+    /// aggregate state is unchanged on error.
+    pub fn ingest(&mut self, frame: &[u8]) -> Result<()> {
+        self.mech.accumulate_from_bytes(self.agg.as_mut(), frame)
+    }
+
+    /// Ingests a buffer of back-to-back frames (the batched transport
+    /// shape: one network payload carrying many reports), returning how
+    /// many frames were folded in.
+    ///
+    /// # Errors
+    /// Stops at the first bad frame and reports it; frames before the
+    /// bad one remain ingested (exactly the reports the error-position
+    /// prefix carried).
+    pub fn ingest_concat(&mut self, stream: &[u8]) -> Result<usize> {
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos < stream.len() {
+            let frame = next_frame(stream, &mut pos)?;
+            self.mech.accumulate_frame(self.agg.as_mut(), frame)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Merges another service's aggregate into this one, as if every
+    /// frame it ingested had been ingested here.
+    ///
+    /// # Errors
+    /// [`LdpError::Malformed`] if the two services were built from
+    /// different descriptors (mechanism, parameters, or version) — the
+    /// descriptor is the compatibility contract.
+    pub fn merge(&mut self, other: CollectorService) -> Result<()> {
+        if self.descriptor() != other.descriptor() {
+            return Err(LdpError::Malformed(format!(
+                "merge: descriptor mismatch ({} vs {})",
+                self.descriptor().kind().name(),
+                other.descriptor().kind().name()
+            )));
+        }
+        self.agg.merge_erased(other.agg)
+    }
+
+    /// Number of reports ingested so far.
+    pub fn reports(&self) -> usize {
+        self.agg.reports()
+    }
+
+    /// Snapshot of the unbiased estimates over the mechanism's output
+    /// domain (counts per item for frequency oracles, `[mean]` for
+    /// 1BitMean).
+    #[must_use]
+    pub fn estimates(&self) -> Vec<f64> {
+        self.agg.estimate()
+    }
+
+    /// Snapshot of estimates for a candidate subset.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for items outside the descriptor's
+    /// domain.
+    pub fn estimate_items(&self, items: &[u64]) -> Result<Vec<f64>> {
+        let d = self.descriptor().domain_size();
+        if let Some(&bad) = items.iter().find(|&&v| v >= d) {
+            return Err(LdpError::InvalidParameter(format!(
+                "item {bad} outside domain of size {d}"
+            )));
+        }
+        Ok(self.agg.estimate_items(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::protocol::MechanismKind;
+    use ldp_core::wire::WIRE_VERSION;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn olhc_descriptor(d: u64) -> ProtocolDescriptor {
+        ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+            .domain_size(d)
+            .epsilon(1.0)
+            .cohorts(64)
+            .build()
+            .expect("valid descriptor")
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let desc = olhc_descriptor(32);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut service = CollectorService::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut wire = Vec::new();
+        for v in 0..500u64 {
+            client.randomize_item(v % 32, &mut rng, &mut wire).unwrap();
+        }
+        assert_eq!(service.ingest_concat(&wire).unwrap(), 500);
+        assert_eq!(service.reports(), 500);
+        assert_eq!(service.estimates().len(), 32);
+    }
+
+    #[test]
+    fn malformed_frames_error_and_leave_state_intact() {
+        let desc = olhc_descriptor(32);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut service = CollectorService::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut frame = Vec::new();
+        client.randomize_item(5, &mut rng, &mut frame).unwrap();
+
+        // Truncations of a valid frame.
+        for cut in 0..frame.len() {
+            assert!(service.ingest(&frame[..cut]).is_err(), "cut {cut}");
+        }
+        // Wrong version byte.
+        let mut bad = frame.clone();
+        bad[0] = WIRE_VERSION + 1;
+        assert!(matches!(
+            service.ingest(&bad),
+            Err(LdpError::VersionMismatch { .. })
+        ));
+        // Wrong report type (a GRR frame fed to an OLH-C service).
+        let grr = ProtocolDescriptor::builder(MechanismKind::DirectEncoding)
+            .domain_size(32)
+            .epsilon(1.0)
+            .build()
+            .unwrap();
+        let grr_client = WireClient::from_descriptor(&grr).unwrap();
+        let mut foreign = Vec::new();
+        grr_client
+            .randomize_item(5, &mut rng, &mut foreign)
+            .unwrap();
+        assert!(matches!(
+            service.ingest(&foreign),
+            Err(LdpError::ReportTypeMismatch { .. })
+        ));
+        // Nothing was ingested by any failed call.
+        assert_eq!(service.reports(), 0);
+        // The original frame still works.
+        service.ingest(&frame).unwrap();
+        assert_eq!(service.reports(), 1);
+    }
+
+    #[test]
+    fn merge_requires_equal_descriptors() {
+        let a = olhc_descriptor(32);
+        let b = olhc_descriptor(64);
+        let mut sa = CollectorService::from_descriptor(&a).unwrap();
+        let sb = CollectorService::from_descriptor(&b).unwrap();
+        assert!(sa.merge(sb).is_err());
+        let sa2 = CollectorService::from_descriptor(&a).unwrap();
+        assert!(sa.merge(sa2).is_ok());
+    }
+
+    #[test]
+    fn real_input_mechanism_round_trips() {
+        let desc = ProtocolDescriptor::builder(MechanismKind::MicrosoftOneBitMean)
+            .epsilon(1.0)
+            .max_value(100.0)
+            .build()
+            .unwrap();
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut service = CollectorService::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut wire = Vec::new();
+        for i in 0..4000 {
+            client
+                .randomize_real(50.0 + (i % 10) as f64, &mut rng, &mut wire)
+                .unwrap();
+        }
+        service.ingest_concat(&wire).unwrap();
+        let est = service.estimates();
+        assert_eq!(est.len(), 1);
+        assert!((est[0] - 54.5).abs() < 15.0, "mean estimate {}", est[0]);
+        // Out-of-range input is an error, not a panic.
+        let mut out = Vec::new();
+        assert!(client.randomize_real(101.0, &mut rng, &mut out).is_err());
+        // Item inputs don't decode as reals.
+        assert!(client.randomize_item(5, &mut rng, &mut out).is_err());
+    }
+
+    #[test]
+    fn estimate_items_validates_domain() {
+        let desc = olhc_descriptor(16);
+        let service = CollectorService::from_descriptor(&desc).unwrap();
+        assert!(service.estimate_items(&[0, 15]).is_ok());
+        assert!(service.estimate_items(&[16]).is_err());
+    }
+}

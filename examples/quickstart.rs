@@ -1,46 +1,89 @@
-//! Quickstart: privately estimate a histogram with a frequency oracle.
+//! Quickstart: a client/server LDP round trip over bytes.
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
-//! The scenario the tutorial opens with: an aggregator wants the
+//! The deployment the tutorial opens with: an operator wants the
 //! popularity histogram of 16 options across 50,000 users, but no single
-//! report may reveal much about its sender. Each user randomizes locally
-//! (here through OLH, the workspace's default general-purpose oracle);
-//! the server debiases the aggregate.
+//! report may reveal much about its sender — and clients and collector
+//! are separate processes speaking a versioned wire protocol, not one
+//! address space. The round trip below is the real shape:
+//!
+//! 1. the operator ships one serialized `ProtocolDescriptor` to the
+//!    fleet (here: cohort OLH, the workspace's scalable default);
+//! 2. each client randomizes locally and transmits an opaque report
+//!    frame (`&[u8]` — a handful of bytes);
+//! 3. the `CollectorService`, built from the same descriptor, ingests
+//!    frames without ever seeing a raw value and snapshots unbiased
+//!    estimates.
 
-use ldp::core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
+use ldp::core::fo::{CohortLocalHashing, FrequencyOracle};
+use ldp::core::protocol::{MechanismKind, ProtocolDescriptor};
 use ldp::core::Epsilon;
 use ldp::workloads::gen::{exact_counts, ZipfGenerator};
+use ldp::workloads::service::{CollectorService, WireClient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let n = 50_000;
+    let n = 50_000usize;
     let d = 16u64;
-    let eps = Epsilon::new(1.0).expect("epsilon is positive");
+    let cohorts = 512u32;
+    let eps = 1.0;
     let mut rng = StdRng::seed_from_u64(2018);
+
+    // The operator's versioned protocol config — this byte string is
+    // what a deployment would ship to millions of devices.
+    let descriptor = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(d)
+        .epsilon(eps)
+        .cohorts(cohorts)
+        .build()
+        .expect("valid protocol parameters");
+    let config_bytes = descriptor.to_bytes();
+    println!(
+        "protocol: {} | ε = {} | descriptor = {} bytes on the wire\n",
+        descriptor.kind().name(),
+        descriptor.epsilon(),
+        config_bytes.len()
+    );
 
     // A skewed population: option 0 is most popular.
     let zipf = ZipfGenerator::new(d, 1.2).expect("valid zipf");
     let values = zipf.sample_n(n, &mut rng);
     let truth = exact_counts(&values, d);
 
-    // Client side: each user sends one constant-size randomized report.
-    let oracle = OptimizedLocalHashing::new(d, eps);
-    let mut agg = oracle.new_aggregator();
+    // Client side: each device parses the shipped config and sends one
+    // constant-size randomized frame. (All frames land in one buffer
+    // here; in a deployment they arrive over the network.)
+    let client_desc = ProtocolDescriptor::from_bytes(&config_bytes).expect("config parses");
+    let client = WireClient::from_descriptor(&client_desc).expect("client builds");
+    let mut wire = Vec::new();
     for &v in &values {
-        let report = oracle.randomize(v, &mut rng); // ε-LDP
-        agg.accumulate(&report);
+        client
+            .randomize_item(v, &mut rng, &mut wire) // ε-LDP, then serialized
+            .expect("value in domain");
     }
-
-    // Server side: unbiased count estimates.
-    let est = agg.estimate();
-    let sd = oracle.noise_floor_variance(n).sqrt();
-
     println!(
-        "ε = {} | n = {n} | per-item noise sd ≈ {sd:.0}\n",
-        eps.value()
+        "clients sent {n} frames, {} bytes total ({:.1} bytes/report)",
+        wire.len(),
+        wire.len() as f64 / n as f64
     );
+
+    // Server side: ingest opaque bytes, snapshot unbiased estimates.
+    let mut service = CollectorService::from_descriptor(&descriptor).expect("service builds");
+    let ingested = service.ingest_concat(&wire).expect("well-formed frames");
+    assert_eq!(ingested, n);
+    let est = service.estimates();
+
+    // A malformed frame is rejected with an error — the service never
+    // panics on adversarial bytes, and its state is untouched.
+    let garbage = [0x07u8, 0x99, 0x03, 0x01, 0x02, 0x03];
+    let rejected = service.ingest(&garbage).unwrap_err();
+    println!("garbage frame rejected: {rejected}\n");
+
+    // The same parameters give the analytical noise floor for context.
+    let oracle = CohortLocalHashing::optimized(d, cohorts, Epsilon::new(eps).unwrap());
+    let sd = oracle.noise_floor_variance(n).sqrt();
     println!(
         "{:>6} {:>10} {:>10} {:>8}",
         "item", "true", "estimate", "err/sd"

@@ -8,8 +8,10 @@
 //!
 //! * [`core`] — ε-LDP foundations: randomized response, frequency oracles
 //!   (GRR/SUE/OUE/SHE/THE/BLH/OLH/Hadamard response), numeric mechanisms,
-//!   privacy accounting, and the estimation toolkit (unbiasedness, variance,
-//!   confidence bounds).
+//!   privacy accounting, the estimation toolkit (unbiasedness, variance,
+//!   confidence bounds), and the deployment seam: protocol descriptors +
+//!   the runtime mechanism registry ([`core::protocol`]) and the binary
+//!   wire format with its type-erased collection API ([`core::wire`]).
 //! * [`sketch`] — the data-structure substrate: hashing, Bloom filters,
 //!   count sketches, the fast Walsh–Hadamard transform, and the regression
 //!   toolkit used for decoding.
@@ -22,34 +24,54 @@
 //! * [`analytics`] — heavy hitters, marginals, spatial aggregation, graph
 //!   statistics, the hybrid (BLENDER-style) model, central-DP baselines,
 //!   and multi-round protocols.
-//! * [`workloads`] — synthetic workload generators, accuracy metrics, and
-//!   the experiment harness used by the `ldp-bench` reproduction binaries.
+//! * [`workloads`] — synthetic workload generators, accuracy metrics, the
+//!   experiment harness used by the `ldp-bench` reproduction binaries,
+//!   and the deployment-facing [`CollectorService`].
 //!
-//! ## Quickstart
+//! ## Quickstart: a client/server round trip over bytes
+//!
+//! Deployed LDP is a wire protocol: the operator ships a versioned
+//! config, clients transmit opaque randomized frames, and a collector
+//! aggregates without ever seeing a raw value. The workspace mirrors
+//! that shape end to end:
 //!
 //! ```
-//! use ldp::core::fo::{FoAggregator, FrequencyOracle, OptimizedLocalHashing};
-//! use ldp::core::Epsilon;
+//! use ldp::core::protocol::{MechanismKind, ProtocolDescriptor};
+//! use ldp::workloads::service::{CollectorService, WireClient};
 //! use rand::SeedableRng;
 //!
-//! // 10k users each hold a value in a domain of 64 items; the aggregator
-//! // learns the histogram without any individual report revealing much.
-//! let eps = Epsilon::new(1.0).unwrap();
-//! let olh = OptimizedLocalHashing::new(64, eps);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // The operator's config — serializable, versioned, validated.
+//! let descriptor = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+//!     .domain_size(64)
+//!     .epsilon(1.0)
+//!     .cohorts(256)
+//!     .build()
+//!     .unwrap();
 //!
-//! let mut agg = olh.new_aggregator();
+//! // 10k clients randomize locally and emit wire frames (~6 bytes each).
+//! let client = WireClient::from_descriptor(&descriptor).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut wire = Vec::new();
 //! for user in 0..10_000u64 {
 //!     let value = user % 64; // the user's private value
-//!     let report = olh.randomize(value, &mut rng);
-//!     agg.accumulate(&report);
+//!     client.randomize_item(value, &mut rng, &mut wire).unwrap();
 //! }
-//! let estimates = agg.estimate();
-//! // Every value occurs ~156 times; estimates are unbiased around that,
-//! // within the mechanism's noise (sd ≈ 192 at these parameters).
-//! let sd = olh.noise_floor_variance(10_000).sqrt();
-//! assert!((estimates[0] - 156.25).abs() < 5.0 * sd);
+//!
+//! // The collector ingests bytes and snapshots unbiased estimates; a
+//! // malformed frame is an error, never a panic.
+//! let mut service = CollectorService::from_descriptor(&descriptor).unwrap();
+//! assert_eq!(service.ingest_concat(&wire).unwrap(), 10_000);
+//! assert!(service.ingest(&[0xde, 0xad, 0xbe, 0xef]).is_err());
+//! let estimates = service.estimates();
+//! // Every value occurs ~156 times; estimates are unbiased around that.
+//! assert!((estimates[0] - 156.25).abs() < 1000.0);
 //! ```
+//!
+//! The in-process face of the same engine — generic
+//! [`core::fo::FrequencyOracle`]s, the fused batch paths, and the
+//! sharded parallel collector in [`workloads`] — remains available for
+//! simulations and experiments, and the byte path above is bit-identical
+//! to it for the same seeds (see `tests/service_dispatch.rs`).
 
 pub use ldp_analytics as analytics;
 pub use ldp_apple as apple;
@@ -58,3 +80,6 @@ pub use ldp_microsoft as microsoft;
 pub use ldp_rappor as rappor;
 pub use ldp_sketch as sketch;
 pub use ldp_workloads as workloads;
+
+pub use ldp_core::protocol::{MechanismKind, ProtocolDescriptor, Registry};
+pub use ldp_workloads::service::{workspace_registry, CollectorService, WireClient};

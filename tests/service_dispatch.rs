@@ -1,0 +1,318 @@
+//! Descriptor-driven dispatch, end to end: for every mechanism kind the
+//! workspace registry can build, a full collection round through the
+//! byte path — `WireClient` frames in per-shard RNG streams, per-shard
+//! `CollectorService`s, shard-order merges, estimates out — must be
+//! **bit-identical** to the direct generic engine
+//! (`accumulate_mech_sharded_sequential`) over the same inputs, seed,
+//! and shard count.
+//!
+//! This is the acceptance gate of the protocol/wire layer: serialize →
+//! transmit → decode → erased dispatch costs exactly zero statistical
+//! fidelity.
+
+use ldp::apple::cms::CmsOracle;
+use ldp::apple::hcms::HcmsOracle;
+use ldp::core::fo::{
+    CohortLocalHashing, DirectEncoding, FoAggregator, FrequencyOracle, HadamardResponse,
+    OptimizedLocalHashing, OptimizedUnaryEncoding, SubsetSelection, SummationHistogramEncoding,
+    SymmetricUnaryEncoding, ThresholdHistogramEncoding,
+};
+use ldp::core::protocol::{MechanismKind, ProtocolDescriptor, DEFAULT_COHORT_SEED_BASE};
+use ldp::core::Epsilon;
+use ldp::microsoft::{DBitFlip, OneBitMean};
+use ldp::workloads::parallel::{accumulate_mech_sharded_sequential, shard_seed};
+use ldp::workloads::service::{CollectorService, WireClient};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 2018;
+const SHARDS: usize = 7;
+
+fn values(n: usize, d: u64) -> Vec<u64> {
+    (0..n).map(|i| (i as u64).wrapping_mul(31) % d).collect()
+}
+
+/// Runs the byte path: client frames per shard, one service per shard,
+/// merged in shard order.
+fn byte_path_estimates(desc: &ProtocolDescriptor, values: &[u64]) -> Vec<f64> {
+    let client = WireClient::from_descriptor(desc).expect("client builds");
+    let buffers = client
+        .frames_sharded(values, SEED, SHARDS)
+        .expect("framing succeeds");
+    let mut merged: Option<CollectorService> = None;
+    for buf in &buffers {
+        let mut shard = CollectorService::from_descriptor(desc).expect("service builds");
+        let frames = shard.ingest_concat(buf).expect("frames ingest");
+        assert!(frames > 0 || buf.is_empty());
+        match merged.as_mut() {
+            None => merged = Some(shard),
+            Some(m) => m.merge(shard).expect("same-descriptor merge"),
+        }
+    }
+    merged.expect("at least one shard").estimates()
+}
+
+/// Asserts the byte path reproduces the direct generic engine bit for
+/// bit for an item-domain oracle.
+fn check_oracle<O>(desc: &ProtocolDescriptor, oracle: O, n: usize)
+where
+    O: FrequencyOracle + Sync,
+    O::Aggregator: Send,
+{
+    let vals = values(n, oracle.domain_size());
+    let direct = accumulate_mech_sharded_sequential(&&oracle, &vals, SEED, SHARDS).estimate();
+    let bytes = byte_path_estimates(desc, &vals);
+    assert_eq!(direct.len(), bytes.len(), "{}", desc.kind().name());
+    for (i, (a, b)) in direct.iter().zip(&bytes).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} item {i}: direct {a} != bytes {b}",
+            desc.kind().name()
+        );
+    }
+}
+
+fn base(kind: MechanismKind, d: u64) -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(kind)
+        .domain_size(d)
+        .epsilon(1.0)
+        .build()
+        .expect("valid descriptor")
+}
+
+#[test]
+fn grr_bytes_match_generic_path() {
+    let d = 32;
+    check_oracle(
+        &base(MechanismKind::DirectEncoding, d),
+        DirectEncoding::new(d, Epsilon::new(1.0).unwrap()).unwrap(),
+        2000,
+    );
+}
+
+#[test]
+fn sue_bytes_match_generic_path() {
+    let d = 48;
+    check_oracle(
+        &base(MechanismKind::SymmetricUnary, d),
+        SymmetricUnaryEncoding::new(d, Epsilon::new(1.0).unwrap()).unwrap(),
+        1500,
+    );
+}
+
+#[test]
+fn oue_bytes_match_generic_path() {
+    let d = 48;
+    check_oracle(
+        &base(MechanismKind::OptimizedUnary, d),
+        OptimizedUnaryEncoding::new(d, Epsilon::new(1.0).unwrap()).unwrap(),
+        1500,
+    );
+}
+
+#[test]
+fn she_bytes_match_generic_path() {
+    // The one floating-point aggregator: the byte path must reproduce
+    // even the f64 sums bit for bit (same per-shard accumulation order,
+    // same shard-merge order).
+    let d = 24;
+    check_oracle(
+        &base(MechanismKind::SummationHistogram, d),
+        SummationHistogramEncoding::new(d, Epsilon::new(1.0).unwrap()).unwrap(),
+        800,
+    );
+}
+
+#[test]
+fn the_bytes_match_generic_path() {
+    let d = 48;
+    check_oracle(
+        &base(MechanismKind::ThresholdHistogram, d),
+        ThresholdHistogramEncoding::new(d, Epsilon::new(1.0).unwrap()).unwrap(),
+        1500,
+    );
+}
+
+#[test]
+fn olh_cohort_bytes_match_generic_path() {
+    let d = 64;
+    let desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(d)
+        .epsilon(1.0)
+        .cohorts(128)
+        .build()
+        .unwrap();
+    check_oracle(
+        &desc,
+        CohortLocalHashing::optimized_with_seed(
+            d,
+            128,
+            DEFAULT_COHORT_SEED_BASE,
+            Epsilon::new(1.0).unwrap(),
+        ),
+        3000,
+    );
+}
+
+#[test]
+fn hr_bytes_match_generic_path() {
+    let d = 50; // non-power-of-two domain exercises the m > d spectrum
+    check_oracle(
+        &base(MechanismKind::HadamardResponse, d),
+        HadamardResponse::new(d, Epsilon::new(1.0).unwrap()),
+        2000,
+    );
+}
+
+#[test]
+fn ss_bytes_match_generic_path() {
+    let d = 40;
+    check_oracle(
+        &base(MechanismKind::SubsetSelection, d),
+        SubsetSelection::new(d, Epsilon::new(1.0).unwrap()),
+        1200,
+    );
+}
+
+#[test]
+fn raw_olh_escape_hatch_bytes_match_generic_path() {
+    let d = 32;
+    let desc = ProtocolDescriptor::builder(MechanismKind::OptimizedLocalHashing)
+        .domain_size(d)
+        .epsilon(1.0)
+        .allow_linear_memory()
+        .build()
+        .unwrap();
+    check_oracle(
+        &desc,
+        OptimizedLocalHashing::new(d, Epsilon::new(1.0).unwrap()),
+        1000,
+    );
+}
+
+#[test]
+fn apple_cms_bytes_match_generic_path() {
+    let d = 128;
+    let desc = ProtocolDescriptor::builder(MechanismKind::AppleCms)
+        .domain_size(d)
+        .epsilon(2.0)
+        .sketch(8, 128)
+        .hash_seed(31)
+        .build()
+        .unwrap();
+    check_oracle(
+        &desc,
+        CmsOracle::new(8, 128, Epsilon::new(2.0).unwrap(), 31, d),
+        2000,
+    );
+}
+
+#[test]
+fn apple_hcms_bytes_match_generic_path() {
+    let d = 100;
+    let desc = ProtocolDescriptor::builder(MechanismKind::AppleHcms)
+        .domain_size(d)
+        .epsilon(2.0)
+        .sketch(8, 128)
+        .hash_seed(31)
+        .build()
+        .unwrap();
+    check_oracle(
+        &desc,
+        HcmsOracle::new(8, 128, Epsilon::new(2.0).unwrap(), 31, d),
+        2000,
+    );
+}
+
+#[test]
+fn microsoft_dbitflip_bytes_match_generic_path() {
+    let k = 256;
+    let desc = ProtocolDescriptor::builder(MechanismKind::MicrosoftDBitFlip)
+        .domain_size(k as u64)
+        .bits_per_device(8)
+        .epsilon(1.0)
+        .build()
+        .unwrap();
+    check_oracle(
+        &desc,
+        DBitFlip::new(k, 8, Epsilon::new(1.0).unwrap()).unwrap(),
+        2000,
+    );
+}
+
+#[test]
+fn microsoft_onebitmean_bytes_match_generic_path() {
+    // Real-valued inputs: the byte path mirrors the shard plan by hand
+    // (frames_sharded is item-typed), then merges in shard order.
+    let desc = ProtocolDescriptor::builder(MechanismKind::MicrosoftOneBitMean)
+        .epsilon(1.0)
+        .max_value(500.0)
+        .build()
+        .unwrap();
+    let mech = OneBitMean::new(Epsilon::new(1.0).unwrap(), 500.0).unwrap();
+    let inputs: Vec<f64> = (0..3000).map(|i| (i % 500) as f64).collect();
+
+    let direct = accumulate_mech_sharded_sequential(&mech, &inputs, SEED, SHARDS).estimate();
+
+    let client = WireClient::from_descriptor(&desc).unwrap();
+    let shards = SHARDS.min(inputs.len());
+    let chunk = inputs.len().div_ceil(shards);
+    let mut merged: Option<CollectorService> = None;
+    for s in 0..shards {
+        let (lo, hi) = (
+            (s * chunk).min(inputs.len()),
+            ((s + 1) * chunk).min(inputs.len()),
+        );
+        let mut rng = StdRng::seed_from_u64(shard_seed(SEED, s));
+        let mut buf = Vec::new();
+        for &x in &inputs[lo..hi] {
+            client.randomize_real(x, &mut rng, &mut buf).unwrap();
+        }
+        let mut shard = CollectorService::from_descriptor(&desc).unwrap();
+        shard.ingest_concat(&buf).unwrap();
+        match merged.as_mut() {
+            None => merged = Some(shard),
+            Some(m) => m.merge(shard).unwrap(),
+        }
+    }
+    let bytes = merged.unwrap().estimates();
+    assert_eq!(direct.len(), bytes.len());
+    for (a, b) in direct.iter().zip(&bytes) {
+        assert_eq!(a.to_bits(), b.to_bits(), "direct {a} != bytes {b}");
+    }
+}
+
+#[test]
+fn serialized_descriptor_drives_the_same_service() {
+    // Ship the descriptor itself over the wire: a service built from
+    // the deserialized bytes is indistinguishable from one built from
+    // the original.
+    let d = 64;
+    let desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(d)
+        .epsilon(1.5)
+        .cohorts(64)
+        .build()
+        .unwrap();
+    let shipped = ProtocolDescriptor::from_bytes(&desc.to_bytes()).unwrap();
+    assert_eq!(shipped, desc);
+
+    let vals = values(1000, d);
+    let a = byte_path_estimates(&desc, &vals);
+    let b = byte_path_estimates(&shipped, &vals);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn registry_steers_raw_olh_to_cohorts() {
+    let desc = ProtocolDescriptor::builder(MechanismKind::OptimizedLocalHashing)
+        .domain_size(1 << 20)
+        .epsilon(1.0)
+        .build()
+        .unwrap();
+    let err = CollectorService::from_descriptor(&desc).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("CohortLocalHashing"), "steering: {msg}");
+    assert!(msg.contains("allow_linear_memory"), "escape hatch: {msg}");
+}

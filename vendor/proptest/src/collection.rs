@@ -42,7 +42,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy returned by [`vec`]: independent element draws with a
+/// Strategy returned by [`vec()`]: independent element draws with a
 /// length drawn from the size range.
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
