@@ -321,6 +321,49 @@ impl CmsServer {
     }
 }
 
+/// Combined fingerprint of a sketch's row hash functions — one 64-bit
+/// word a snapshot can embed so state sketched under a *different* hash
+/// family is rejected instead of silently merged into nonsense.
+pub(crate) fn hashes_fingerprint(hashes: &[PairwiseHash]) -> u64 {
+    hashes.iter().fold(0x6170_706c_6560_736b, |acc, h| {
+        ldp_sketch::hash::mix64(acc ^ h.fingerprint())
+    })
+}
+
+impl ldp_core::snapshot::StateSnapshot for CmsServer {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::APPLE_CMS_SKETCH
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        ldp_core::wire::put_uvarint(out, self.protocol.k as u64);
+        ldp_core::wire::put_uvarint(out, self.protocol.m as u64);
+        ldp_core::wire::put_f64_le(out, self.protocol.epsilon.value());
+        ldp_core::wire::put_u64_le(out, hashes_fingerprint(&self.protocol.hashes));
+        ldp_core::snapshot::put_count(out, self.n);
+        ldp_core::snapshot::put_counts(out, &self.ones);
+        ldp_core::snapshot::put_counts(out, &self.row_n);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        ldp_core::snapshot::check_u64(r, self.protocol.k as u64, "CMS row count")?;
+        ldp_core::snapshot::check_u64(r, self.protocol.m as u64, "CMS width")?;
+        ldp_core::snapshot::check_f64(r, self.protocol.epsilon.value(), "CMS epsilon")?;
+        ldp_core::snapshot::check_u64_le(
+            r,
+            hashes_fingerprint(&self.protocol.hashes),
+            "CMS hash family",
+        )?;
+        let n = ldp_core::snapshot::get_count(r)?;
+        let ones = ldp_core::snapshot::get_counts(r, self.ones.len(), "CMS cell counts")?;
+        let row_n = ldp_core::snapshot::get_counts(r, self.row_n.len(), "CMS row totals")?;
+        self.n = n;
+        self.ones = ones;
+        self.row_n = row_n;
+        Ok(())
+    }
+}
+
 /// [`CmsProtocol`] bound to an enumerable item domain `0..d`, exposing the
 /// sketch as a [`FrequencyOracle`] so the sharded parallel engine
 /// (`ldp_workloads::parallel`) and the cross-mechanism experiment tables
@@ -376,6 +419,22 @@ impl CmsAggregator {
     /// The underlying sketch server (for point queries beyond `0..d`).
     pub fn server(&self) -> &CmsServer {
         &self.server
+    }
+}
+
+impl ldp_core::snapshot::StateSnapshot for CmsAggregator {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::APPLE_CMS
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        ldp_core::wire::put_uvarint(out, self.domain);
+        self.server.snapshot_payload(out);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        ldp_core::snapshot::check_u64(r, self.domain, "CMS oracle domain")?;
+        self.server.restore_payload(r)
     }
 }
 

@@ -239,6 +239,38 @@ impl HcmsServer {
     }
 }
 
+impl ldp_core::snapshot::StateSnapshot for HcmsServer {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::APPLE_HCMS_SKETCH
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        ldp_core::wire::put_uvarint(out, self.protocol.k as u64);
+        ldp_core::wire::put_uvarint(out, self.protocol.m as u64);
+        ldp_core::wire::put_f64_le(out, self.protocol.epsilon.value());
+        ldp_core::wire::put_u64_le(out, crate::cms::hashes_fingerprint(&self.protocol.hashes));
+        ldp_core::snapshot::put_count(out, self.n);
+        ldp_core::snapshot::put_signed_counts(out, &self.spectrum);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        ldp_core::snapshot::check_u64(r, self.protocol.k as u64, "HCMS row count")?;
+        ldp_core::snapshot::check_u64(r, self.protocol.m as u64, "HCMS width")?;
+        ldp_core::snapshot::check_f64(r, self.protocol.epsilon.value(), "HCMS epsilon")?;
+        ldp_core::snapshot::check_u64_le(
+            r,
+            crate::cms::hashes_fingerprint(&self.protocol.hashes),
+            "HCMS hash family",
+        )?;
+        let n = ldp_core::snapshot::get_count(r)?;
+        let spectrum =
+            ldp_core::snapshot::get_signed_counts(r, self.spectrum.len(), "HCMS spectrum")?;
+        self.n = n;
+        self.spectrum = spectrum;
+        Ok(())
+    }
+}
+
 /// [`HcmsProtocol`] bound to an enumerable item domain `0..d`, exposing
 /// the one-bit sketch as a [`FrequencyOracle`] so the sharded parallel
 /// engine (`ldp_workloads::parallel`) can drive it like any other oracle.
@@ -285,6 +317,22 @@ impl HcmsAggregator {
     /// The underlying sketch server (for point queries beyond `0..d`).
     pub fn server(&self) -> &HcmsServer {
         &self.server
+    }
+}
+
+impl ldp_core::snapshot::StateSnapshot for HcmsAggregator {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::APPLE_HCMS
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        ldp_core::wire::put_uvarint(out, self.domain);
+        self.server.snapshot_payload(out);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        ldp_core::snapshot::check_u64(r, self.domain, "HCMS oracle domain")?;
+        self.server.restore_payload(r)
     }
 }
 

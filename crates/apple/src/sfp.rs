@@ -203,6 +203,43 @@ impl SfpCollectors {
     }
 }
 
+impl ldp_core::snapshot::StateSnapshot for SfpCollectors {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::APPLE_SFP
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        // Each nested sketch payload is self-delimiting (its counter
+        // vectors carry length prefixes), so the fragment payloads are
+        // written back to back with only a leading position count.
+        ldp_core::snapshot::put_count(out, self.fragments.len());
+        for frag in &self.fragments {
+            frag.snapshot_payload(out);
+        }
+        self.word.snapshot_payload(out);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        let positions = ldp_core::snapshot::get_count(r)?;
+        if positions != self.fragments.len() {
+            return Err(ldp_core::LdpError::StateMismatch(format!(
+                "SFP position count: snapshot has {positions}, aggregator has {}",
+                self.fragments.len()
+            )));
+        }
+        // Decode into clones so a failure partway leaves `self` intact.
+        let mut fragments = self.fragments.clone();
+        for frag in &mut fragments {
+            frag.restore_payload(r)?;
+        }
+        let mut word = self.word.clone();
+        word.restore_payload(r)?;
+        self.fragments = fragments;
+        self.word = word;
+        Ok(())
+    }
+}
+
 /// The SFP discovery protocol.
 #[derive(Debug)]
 pub struct SfpDiscovery {

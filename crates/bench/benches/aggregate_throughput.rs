@@ -27,7 +27,10 @@
 //!   same traffic as bytes through `CollectorService` (frame parse +
 //!   decode + validate + accumulate) — `wire_overhead`, gated < 1.3× in
 //!   CI, with the client-fleet framing cost and end-to-end ratio
-//!   recorded alongside (`wire_client_frame_ns`, `wire_e2e_overhead`).
+//!   recorded alongside (`wire_client_frame_ns`, `wire_e2e_overhead`);
+//! * the durable-snapshot layer: one snapshot→restore cycle of the
+//!   loaded OLH-C aggregator (the C×g count matrix) and its BLOB size
+//!   (`snapshot_roundtrip_ns`, `snapshot_bytes`).
 //!
 //! Set `LDP_BENCH_SMOKE=1` for a seconds-scale CI smoke configuration,
 //! and `LDP_BENCH_OUT=<path>` to redirect the JSON.
@@ -380,6 +383,18 @@ fn bench_old_vs_new(_c: &mut Criterion) {
     let wire_overhead = wire_collect_ns / direct_collect_ns;
     let wire_e2e_overhead = (wire_client_frame_ns + wire_collect_ns) / direct_collect_ns;
 
+    // --- Durable snapshots: one checkpoint/restore cycle of the loaded
+    // OLH-C aggregator (the C×g cohort count matrix, the biggest state in
+    // the workspace at these parameters), plus the BLOB size — the cost
+    // story for the merge-tree layer, recorded run over run.
+    let snapshot_bytes = ldp_core::snapshot::snapshot_vec(&cohort_agg).len();
+    let snapshot_roundtrip_ns = median_ns(collect_reps, || {
+        let blob = ldp_core::snapshot::snapshot_vec(&cohort_agg);
+        let mut fresh = cohort_oracle.new_aggregator();
+        ldp_core::snapshot::restore_from(&mut fresh, &blob).expect("snapshot restores");
+        black_box(fresh.reports());
+    });
+
     println!(
         "olh_full_domain_estimate/raw_n{n}_d{d}: {:.2} ms",
         raw_estimate_ns / 1e6
@@ -420,9 +435,14 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         wire_collect_ns / 1e6,
         wire_client_frame_ns / 1e6
     );
+    println!(
+        "olhc_snapshot/roundtrip_C{cohorts}_g{}: {:.3} ms, blob {snapshot_bytes} bytes",
+        cohort_oracle.g(),
+        snapshot_roundtrip_ns / 1e6
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3}\n}}\n",
+        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3},\n  \"snapshot_roundtrip_ns\": {snapshot_roundtrip_ns:.0},\n  \"snapshot_bytes\": {snapshot_bytes}\n}}\n",
         if smoke { "smoke" } else { "full" },
         cohort_oracle.g(),
     );

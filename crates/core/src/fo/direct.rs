@@ -118,6 +118,29 @@ pub struct DirectAggregator {
     q: f64,
 }
 
+impl crate::snapshot::StateSnapshot for DirectAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::DIRECT
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::wire::put_f64_le(out, self.p);
+        crate::wire::put_f64_le(out, self.q);
+        crate::snapshot::put_count(out, self.n);
+        crate::snapshot::put_counts(out, &self.histogram);
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        crate::snapshot::check_f64(r, self.p, "GRR p")?;
+        crate::snapshot::check_f64(r, self.q, "GRR q")?;
+        let n = crate::snapshot::get_count(r)?;
+        let histogram = crate::snapshot::get_counts(r, self.histogram.len(), "GRR histogram")?;
+        self.n = n;
+        self.histogram = histogram;
+        Ok(())
+    }
+}
+
 impl FoAggregator for DirectAggregator {
     type Report = u64;
 

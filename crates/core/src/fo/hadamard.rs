@@ -200,6 +200,33 @@ impl HrAggregator {
     }
 }
 
+impl crate::snapshot::StateSnapshot for HrAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::HADAMARD
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::wire::put_uvarint(out, self.d);
+        crate::wire::put_f64_le(out, self.p_truth);
+        crate::snapshot::put_count(out, self.n);
+        crate::snapshot::put_signed_counts(out, &self.sign_sums);
+        crate::snapshot::put_counts(out, &self.row_counts);
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        crate::snapshot::check_u64(r, self.d, "HR domain size")?;
+        crate::snapshot::check_f64(r, self.p_truth, "HR truth probability")?;
+        let n = crate::snapshot::get_count(r)?;
+        let sign_sums =
+            crate::snapshot::get_signed_counts(r, self.sign_sums.len(), "HR sign sums")?;
+        let row_counts = crate::snapshot::get_counts(r, self.row_counts.len(), "HR row counts")?;
+        self.n = n;
+        self.sign_sums = sign_sums;
+        self.row_counts = row_counts;
+        Ok(())
+    }
+}
+
 impl FoAggregator for HrAggregator {
     type Report = HrReport;
 

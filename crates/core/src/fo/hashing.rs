@@ -305,6 +305,54 @@ impl LhAggregator {
     }
 }
 
+impl crate::snapshot::StateSnapshot for LhAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::LOCAL_HASH
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::wire::put_uvarint(out, self.d);
+        crate::wire::put_uvarint(out, self.family.range());
+        crate::wire::put_f64_le(out, self.p);
+        crate::wire::put_f64_le(out, self.q);
+        crate::snapshot::put_count(out, self.reports.len());
+        for rep in &self.reports {
+            crate::wire::put_u64_le(out, rep.seed);
+            crate::wire::put_uvarint(out, rep.bucket);
+        }
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        crate::snapshot::check_u64(r, self.d, "BLH/OLH domain size")?;
+        crate::snapshot::check_u64(r, self.family.range(), "BLH/OLH hash range")?;
+        crate::snapshot::check_f64(r, self.p, "BLH/OLH p")?;
+        crate::snapshot::check_f64(r, self.q, "BLH/OLH q")?;
+        let len = crate::snapshot::get_count(r)?;
+        // Each report costs at least 9 bytes (8-byte seed + >= 1-byte
+        // bucket varint); bound the allocation before trusting `len`.
+        if r.remaining() < len.saturating_mul(9) {
+            return Err(crate::LdpError::Truncated {
+                needed: len.saturating_mul(9),
+                available: r.remaining(),
+            });
+        }
+        let mut reports = Vec::with_capacity(len);
+        for _ in 0..len {
+            let seed = r.u64_le()?;
+            let bucket = r.uvarint()?;
+            if bucket >= self.family.range() {
+                return Err(crate::LdpError::Malformed(format!(
+                    "snapshot local-hashing bucket {bucket} outside range {}",
+                    self.family.range()
+                )));
+            }
+            reports.push(LhReport { seed, bucket });
+        }
+        self.reports = reports;
+        Ok(())
+    }
+}
+
 impl FoAggregator for LhAggregator {
     type Report = LhReport;
 
@@ -653,6 +701,37 @@ impl CohortLhAggregator {
             .into_iter()
             .map(|s| (s as f64 - n * self.q) / (self.p - self.q))
             .collect()
+    }
+}
+
+impl crate::snapshot::StateSnapshot for CohortLhAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::COHORT_HASH
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::wire::put_uvarint(out, self.d);
+        crate::wire::put_uvarint(out, self.g);
+        crate::wire::put_uvarint(out, u64::from(self.cohorts));
+        crate::wire::put_u64_le(out, self.seed_base);
+        crate::wire::put_f64_le(out, self.p);
+        crate::wire::put_f64_le(out, self.q);
+        crate::snapshot::put_count(out, self.n);
+        crate::snapshot::put_counts(out, &self.counts);
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        crate::snapshot::check_u64(r, self.d, "OLH-C domain size")?;
+        crate::snapshot::check_u64(r, self.g, "OLH-C bucket count")?;
+        crate::snapshot::check_u64(r, u64::from(self.cohorts), "OLH-C cohorts")?;
+        crate::snapshot::check_u64_le(r, self.seed_base, "OLH-C seed base")?;
+        crate::snapshot::check_f64(r, self.p, "OLH-C p")?;
+        crate::snapshot::check_f64(r, self.q, "OLH-C q")?;
+        let n = crate::snapshot::get_count(r)?;
+        let counts = crate::snapshot::get_counts(r, self.counts.len(), "OLH-C count matrix")?;
+        self.n = n;
+        self.counts = counts;
+        Ok(())
     }
 }
 

@@ -157,6 +157,25 @@ pub struct SheAggregator {
     n: usize,
 }
 
+impl crate::snapshot::StateSnapshot for SheAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::SHE
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::snapshot::put_count(out, self.n);
+        crate::snapshot::put_reals(out, &self.sums);
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        let n = crate::snapshot::get_count(r)?;
+        let sums = crate::snapshot::get_reals(r, self.sums.len(), "SHE sums")?;
+        self.n = n;
+        self.sums = sums;
+        Ok(())
+    }
+}
+
 impl FoAggregator for SheAggregator {
     type Report = Vec<f64>;
 
@@ -377,6 +396,21 @@ impl FrequencyOracle for ThresholdHistogramEncoding {
         }
     }
 
+    /// Reusable-buffer batch path: one `BitVec` cleared and re-filled per
+    /// report; same RNG stream — and hence same bits — as the owned path.
+    fn randomize_batch_ref<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        R: RngCore,
+        F: FnMut(&BitVec),
+    {
+        let mut bits = BitVec::zeros(self.d as usize);
+        for &v in values {
+            bits.clear();
+            self.sample_ones(v, rng, |i| bits.set(i, true));
+            sink(&bits);
+        }
+    }
+
     /// Fused batch path: geometric-skip-sampled set bits go straight into
     /// the aggregator's per-position counters, no `BitVec` materialized.
     fn randomize_accumulate_batch<R: RngCore>(
@@ -423,6 +457,29 @@ pub struct TheAggregator {
     n: usize,
     p: f64,
     q: f64,
+}
+
+impl crate::snapshot::StateSnapshot for TheAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::THE
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::wire::put_f64_le(out, self.p);
+        crate::wire::put_f64_le(out, self.q);
+        crate::snapshot::put_count(out, self.n);
+        crate::snapshot::put_counts(out, &self.ones);
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        crate::snapshot::check_f64(r, self.p, "THE p")?;
+        crate::snapshot::check_f64(r, self.q, "THE q")?;
+        let n = crate::snapshot::get_count(r)?;
+        let ones = crate::snapshot::get_counts(r, self.ones.len(), "THE ones")?;
+        self.n = n;
+        self.ones = ones;
+        Ok(())
+    }
 }
 
 impl FoAggregator for TheAggregator {

@@ -7,22 +7,22 @@
 //! primitive, and Wang et al. (USENIX Security 2017) systematized the
 //! design space. This module implements that design space:
 //!
-//! | Mechanism | Module | Descriptor kind ([`crate::protocol::MechanismKind`]) | Report size | `Var*/n` (noise floor, counts) | Randomize cost (uniform draws / user) | Aggregation: memory, full `estimate()` |
-//! |---|---|---|---|---|---|---|
-//! | Direct encoding (GRR) | [`direct`] | `DirectEncoding` | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `≤ 2` | `O(d)`, `O(d)` |
-//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `SymmetricUnary` | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
-//! | Optimized unary (OUE) | [`unary`] | `OptimizedUnary` | `d` bits | `4e^ε/(e^ε−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
-//! | Summation histogram (SHE) | [`histogram`] | `SummationHistogram` | `d` floats | `8/ε²` | `d` (continuous noise per coord) | `O(d)`, `O(d)` |
-//! | Threshold histogram (THE) | [`histogram`] | `ThresholdHistogram` | `d` bits | optimized numerically | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` |
-//! | Binary local hashing (BLH) | [`hashing`] | `BinaryLocalHashing` (registry steers to OLH-C) | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
-//! | Optimized local hashing (OLH) | [`hashing`] | `OptimizedLocalHashing` (registry steers to OLH-C) | 64+log g bits | `4e^ε/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` |
-//! | Cohort local hashing (OLH-C) | [`hashing`] | `CohortLocalHashing` | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `≤ 3` | `O(C·g)`, `O(C·d)` |
-//! | Hadamard response (HR) | [`hadamard`] | `HadamardResponse` | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` |
-//! | Subset selection (SS) | [`subset`] | `SubsetSelection` | `k·log d` bits | minimax-optimal | `1 + k` | `O(d)`, `O(d)` |
-//! | Apple CMS | `ldp_apple::cms` | `AppleCms` | `m` bits + log k | `≈k·c_ε²·n/m + n/m` (sketch) | `2 + m·q` (geometric skip) | `O(k·m)`, `O(k·d)` |
-//! | Apple HCMS | `ldp_apple::hcms` | `AppleHcms` | 1 bit + log km | `≈c'_ε²·n + n/m` (sketch) | `3` | `O(k·m)`, `O(k·m log m + k·d)` |
-//! | Microsoft dBitFlip | `ldp_microsoft::dbitflip` | `MicrosoftDBitFlip` | `d·(log k + 1)` bits | `(k/d)·`SUE floor | `≈ d + 2 + d·q` | `O(k)`, `O(k)` |
-//! | Microsoft 1BitMean | `ldp_microsoft::onebit` | `MicrosoftOneBitMean` | 1 bit | mean: `max²(e^ε+1)²/4(e^ε−1)²` | `1` | `O(1)`, `O(1)` |
+//! | Mechanism | Module | Descriptor kind ([`crate::protocol::MechanismKind`]) | Report size | `Var*/n` (noise floor, counts) | Randomize cost (uniform draws / user) | Aggregation: memory, full `estimate()` | Snapshot BLOB ([`crate::snapshot`]) |
+//! |---|---|---|---|---|---|---|---|
+//! | Direct encoding (GRR) | [`direct`] | `DirectEncoding` | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `≤ 2` | `O(d)`, `O(d)` | `O(d)` varints |
+//! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `SymmetricUnary` | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` | `O(d)` varints |
+//! | Optimized unary (OUE) | [`unary`] | `OptimizedUnary` | `d` bits | `4e^ε/(e^ε−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` | `O(d)` varints |
+//! | Summation histogram (SHE) | [`histogram`] | `SummationHistogram` | `d` floats | `8/ε²` | `d` (continuous noise per coord) | `O(d)`, `O(d)` | `8d` B (exact `f64` bits) |
+//! | Threshold histogram (THE) | [`histogram`] | `ThresholdHistogram` | `d` bits | optimized numerically | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` | `O(d)` varints |
+//! | Binary local hashing (BLH) | [`hashing`] | `BinaryLocalHashing` (registry steers to OLH-C) | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` | `≈ 9n` B (report list) |
+//! | Optimized local hashing (OLH) | [`hashing`] | `OptimizedLocalHashing` (registry steers to OLH-C) | 64+log g bits | `4e^ε/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` | `≈ 9n` B (report list) |
+//! | Cohort local hashing (OLH-C) | [`hashing`] | `CohortLocalHashing` | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `≤ 3` | `O(C·g)`, `O(C·d)` | `O(C·g)` varints |
+//! | Hadamard response (HR) | [`hadamard`] | `HadamardResponse` | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` | `O(m)` varints |
+//! | Subset selection (SS) | [`subset`] | `SubsetSelection` | `k·log d` bits | minimax-optimal | `1 + k` | `O(d)`, `O(d)` | `O(d)` varints |
+//! | Apple CMS | `ldp_apple::cms` | `AppleCms` | `m` bits + log k | `≈k·c_ε²·n/m + n/m` (sketch) | `2 + m·q` (geometric skip) | `O(k·m)`, `O(k·d)` | `O(k·m)` varints |
+//! | Apple HCMS | `ldp_apple::hcms` | `AppleHcms` | 1 bit + log km | `≈c'_ε²·n + n/m` (sketch) | `3` | `O(k·m)`, `O(k·m log m + k·d)` | `O(k·m)` varints |
+//! | Microsoft dBitFlip | `ldp_microsoft::dbitflip` | `MicrosoftDBitFlip` | `d·(log k + 1)` bits | `(k/d)·`SUE floor | `≈ d + 2 + d·q` | `O(k)`, `O(k)` | `O(k)` varints |
+//! | Microsoft 1BitMean | `ldp_microsoft::onebit` | `MicrosoftOneBitMean` | 1 bit | mean: `max²(e^ε+1)²/4(e^ε−1)²` | `1` | `O(1)`, `O(1)` | `≈ 20` B |
 //!
 //! The descriptor-kind column is the runtime face: build a
 //! [`crate::protocol::ProtocolDescriptor`] with that kind and any
@@ -139,6 +139,28 @@ pub trait FrequencyOracle {
         }
     }
 
+    /// [`randomize_batch`](Self::randomize_batch) handing each report to
+    /// `sink` **by reference**, so oracles whose reports own heap buffers
+    /// (the unary family's `BitVec`s) can reuse one report allocation for
+    /// the whole batch. This is the path serializing consumers ride — the
+    /// wire layer encodes each report to bytes and never needs ownership,
+    /// so materializing a fresh report per user is pure allocator churn.
+    ///
+    /// The default delegates to `randomize_batch` (same reports, same RNG
+    /// stream); overrides must preserve both. The borrow is only valid
+    /// for the duration of the `sink` call.
+    ///
+    /// # Panics
+    /// Panics if any value is `>= domain_size()`.
+    fn randomize_batch_ref<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+    where
+        Self: Sized,
+        R: RngCore,
+        F: FnMut(&Self::Report),
+    {
+        self.randomize_batch(values, rng, |r| sink(&r));
+    }
+
     /// Fused batch client+server step: privatizes every value in `values`
     /// and folds the reports straight into `agg`, without materializing
     /// per-report allocations where the oracle can avoid them.
@@ -181,7 +203,14 @@ pub trait FrequencyOracle {
 }
 
 /// Server-side accumulation and estimation for one [`FrequencyOracle`].
-pub trait FoAggregator {
+///
+/// [`crate::snapshot::StateSnapshot`] is a supertrait: every aggregator
+/// must have a durable serialized form, which is what lets collectors
+/// checkpoint mid-ingest, ship partial counts to regional mergers, and
+/// resume after a crash (`ldp_workloads::service::MergeTree`). The
+/// bound is compile-enforced here rather than opt-in so the erased
+/// service layer can always snapshot whatever aggregator it holds.
+pub trait FoAggregator: crate::snapshot::StateSnapshot {
     /// Report type consumed.
     type Report;
 

@@ -200,6 +200,31 @@ pub struct SsAggregator {
     q: f64,
 }
 
+impl crate::snapshot::StateSnapshot for SsAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::SUBSET
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::wire::put_uvarint(out, self.k);
+        crate::wire::put_f64_le(out, self.p);
+        crate::wire::put_f64_le(out, self.q);
+        crate::snapshot::put_count(out, self.n);
+        crate::snapshot::put_counts(out, &self.inclusions);
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        crate::snapshot::check_u64(r, self.k, "SS subset size")?;
+        crate::snapshot::check_f64(r, self.p, "SS p")?;
+        crate::snapshot::check_f64(r, self.q, "SS q")?;
+        let n = crate::snapshot::get_count(r)?;
+        let inclusions = crate::snapshot::get_counts(r, self.inclusions.len(), "SS inclusions")?;
+        self.n = n;
+        self.inclusions = inclusions;
+        Ok(())
+    }
+}
+
 impl FoAggregator for SsAggregator {
     type Report = Vec<u64>;
 

@@ -192,6 +192,23 @@ macro_rules! impl_unary_oracle {
                 }
             }
 
+            /// Reusable-buffer batch path: one `BitVec` is cleared and
+            /// re-filled per report, so a serializing consumer allocates
+            /// nothing per report. Draws the same RNG stream as the
+            /// owned-report path, so the emitted bits are identical.
+            fn randomize_batch_ref<R, F>(&self, values: &[u64], rng: &mut R, mut sink: F)
+            where
+                R: RngCore,
+                F: FnMut(&BitVec),
+            {
+                let mut bits = BitVec::zeros(self.core.d as usize);
+                for &v in values {
+                    bits.clear();
+                    self.core.sample_ones(v, rng, |i| bits.set(i, true));
+                    sink(&bits);
+                }
+            }
+
             /// Fused batch path: adds each geometric-skip-sampled set bit
             /// directly into the aggregator's per-position counters — no
             /// `BitVec` is materialized, no per-report allocation happens.
@@ -247,6 +264,29 @@ pub struct UnaryAggregator {
     n: usize,
     p: f64,
     q: f64,
+}
+
+impl crate::snapshot::StateSnapshot for UnaryAggregator {
+    fn state_tag(&self) -> u8 {
+        crate::snapshot::state_tag::UNARY
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        crate::wire::put_f64_le(out, self.p);
+        crate::wire::put_f64_le(out, self.q);
+        crate::snapshot::put_count(out, self.n);
+        crate::snapshot::put_counts(out, &self.ones);
+    }
+
+    fn restore_payload(&mut self, r: &mut crate::wire::WireReader<'_>) -> crate::Result<()> {
+        crate::snapshot::check_f64(r, self.p, "unary p")?;
+        crate::snapshot::check_f64(r, self.q, "unary q")?;
+        let n = crate::snapshot::get_count(r)?;
+        let ones = crate::snapshot::get_counts(r, self.ones.len(), "unary ones")?;
+        self.n = n;
+        self.ones = ones;
+        Ok(())
+    }
 }
 
 impl FoAggregator for UnaryAggregator {

@@ -55,6 +55,7 @@ pub mod postprocess;
 pub mod privacy;
 pub mod protocol;
 pub mod rr;
+pub mod snapshot;
 pub mod wire;
 
 pub use mech::BatchMechanism;
@@ -120,6 +121,10 @@ pub enum LdpError {
     /// A wire frame or report payload was structurally invalid (bad
     /// varint, trailing garbage, out-of-range field, width mismatch).
     Malformed(String),
+    /// A state snapshot was structurally valid but taken from an
+    /// aggregator with different configuration (shape, channel
+    /// probabilities, or hash family) than the one restoring it.
+    StateMismatch(String),
 }
 
 /// Pre-PR-5 name of [`LdpError`], kept so existing `ldp_core::Error`
@@ -164,6 +169,7 @@ impl std::fmt::Display for LdpError {
                 )
             }
             LdpError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            LdpError::StateMismatch(msg) => write!(f, "snapshot state mismatch: {msg}"),
         }
     }
 }

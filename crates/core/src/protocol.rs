@@ -281,6 +281,20 @@ impl ProtocolDescriptor {
         out
     }
 
+    /// A 64-bit FNV-1a hash of the serialized descriptor — stable across
+    /// processes and builds that share the descriptor schema version.
+    /// Checkpoint BLOBs embed it so a snapshot restored into a service
+    /// built from a *different* descriptor is rejected up front.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &self.to_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Deserializes and **re-validates** a descriptor written by
     /// [`to_bytes`](Self::to_bytes) — untrusted bytes cannot produce a
     /// descriptor that skips validation.

@@ -681,13 +681,15 @@ impl<O: FrequencyOracle> WireMechanism for OracleMechanism<O> {
 
     /// Validates the whole batch up front (cheap range checks, no RNG
     /// consumed on error), then rides the oracle's monomorphized
-    /// [`FrequencyOracle::randomize_batch`] — the same sampler, and
-    /// therefore the same RNG stream, as the fused engine path.
+    /// [`FrequencyOracle::randomize_batch_ref`] — the same sampler, and
+    /// therefore the same RNG stream, as the fused engine path, but with
+    /// the oracle free to reuse one report buffer across the batch
+    /// (serializing sinks only borrow each report).
     fn try_randomize_batch<R: RngCore>(
         &self,
         inputs: &[u64],
         rng: &mut R,
-        mut sink: impl FnMut(&O::Report),
+        sink: impl FnMut(&O::Report),
     ) -> Result<()> {
         let d = self.0.domain_size();
         if let Some(&bad) = inputs.iter().find(|&&v| v >= d) {
@@ -695,7 +697,7 @@ impl<O: FrequencyOracle> WireMechanism for OracleMechanism<O> {
                 "input {bad} outside domain of size {d}"
             )));
         }
-        self.0.randomize_batch(inputs, rng, |r| sink(&r));
+        self.0.randomize_batch_ref(inputs, rng, sink);
         Ok(())
     }
 }
@@ -732,6 +734,20 @@ pub trait ErasedAggregator: Send {
     /// descriptors always merge; the collector service enforces
     /// descriptor equality before calling this.
     fn merge_erased(&mut self, other: Box<dyn ErasedAggregator>) -> Result<()>;
+
+    /// Appends the aggregator's versioned state BLOB (see
+    /// [`crate::snapshot`]) to `out`.
+    fn snapshot(&self, out: &mut Vec<u8>);
+
+    /// Restores state from a BLOB previously written by
+    /// [`snapshot`](Self::snapshot) on an identically configured
+    /// aggregator, replacing the current counters wholesale.
+    ///
+    /// # Errors
+    /// Any [`LdpError`] for foreign versions or tags, truncation,
+    /// corruption, or a snapshot taken under different configuration —
+    /// never a panic. On error the aggregator is left unchanged.
+    fn restore(&mut self, bytes: &[u8]) -> Result<()>;
 
     /// Borrows the concrete aggregator for downcasting.
     fn as_any(&self) -> &dyn Any;
@@ -904,6 +920,14 @@ where
             .map_err(|_| LdpError::Malformed("merge: erased aggregator type mismatch".into()))?;
         self.agg.merge(other.agg);
         Ok(())
+    }
+
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        crate::snapshot::snapshot_to(&self.agg, out);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        crate::snapshot::restore_from(&mut self.agg, bytes)
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -397,6 +397,33 @@ impl DBitAggregator {
     }
 }
 
+impl ldp_core::snapshot::StateSnapshot for DBitAggregator {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::MS_DBIT
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        ldp_core::wire::put_uvarint(out, u64::from(self.d));
+        ldp_core::wire::put_f64_le(out, self.p);
+        ldp_core::snapshot::put_count(out, self.n);
+        ldp_core::snapshot::put_counts(out, &self.ones);
+        ldp_core::snapshot::put_counts(out, &self.covered);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        ldp_core::snapshot::check_u64(r, u64::from(self.d), "dBitFlip bits per device")?;
+        ldp_core::snapshot::check_f64(r, self.p, "dBitFlip keep probability")?;
+        let n = ldp_core::snapshot::get_count(r)?;
+        let ones = ldp_core::snapshot::get_counts(r, self.ones.len(), "dBitFlip bucket counts")?;
+        let covered =
+            ldp_core::snapshot::get_counts(r, self.covered.len(), "dBitFlip coverage counts")?;
+        self.n = n;
+        self.ones = ones;
+        self.covered = covered;
+        Ok(())
+    }
+}
+
 impl FoAggregator for DBitAggregator {
     type Report = DBitReport;
 

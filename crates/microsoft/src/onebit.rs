@@ -149,6 +149,29 @@ impl OneBitMeanAggregator {
     }
 }
 
+impl ldp_core::snapshot::StateSnapshot for OneBitMeanAggregator {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::MS_ONE_BIT_MEAN
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        ldp_core::wire::put_f64_le(out, self.mechanism.epsilon.value());
+        ldp_core::wire::put_f64_le(out, self.mechanism.max_value);
+        ldp_core::snapshot::put_count(out, self.n);
+        ldp_core::wire::put_uvarint(out, self.ones);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        ldp_core::snapshot::check_f64(r, self.mechanism.epsilon.value(), "1BitMean epsilon")?;
+        ldp_core::snapshot::check_f64(r, self.mechanism.max_value, "1BitMean max value")?;
+        let n = ldp_core::snapshot::get_count(r)?;
+        let ones = r.uvarint()?;
+        self.n = n;
+        self.ones = ones;
+        Ok(())
+    }
+}
+
 impl FoAggregator for OneBitMeanAggregator {
     type Report = bool;
 

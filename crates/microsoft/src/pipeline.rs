@@ -158,6 +158,33 @@ impl TelemetryAggregator {
     }
 }
 
+impl ldp_core::snapshot::StateSnapshot for TelemetryAggregator {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::MS_TELEMETRY
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        // γ first, then the two halves' own payloads back to back (each
+        // is self-delimiting: its counter vectors carry length prefixes).
+        ldp_core::wire::put_f64_le(out, self.gamma);
+        self.mean.snapshot_payload(out);
+        self.hist.snapshot_payload(out);
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        ldp_core::snapshot::check_f64(r, self.gamma, "telemetry gamma")?;
+        // Decode into clones so a failure in the second half leaves the
+        // first untouched.
+        let mut mean = self.mean.clone();
+        mean.restore_payload(r)?;
+        let mut hist = self.hist.clone();
+        hist.restore_payload(r)?;
+        self.mean = mean;
+        self.hist = hist;
+        Ok(())
+    }
+}
+
 impl FoAggregator for TelemetryAggregator {
     type Report = TelemetryReport;
 

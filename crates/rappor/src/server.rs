@@ -44,6 +44,41 @@ pub struct RapporAggregator {
     cohort_sizes: Vec<u64>,
 }
 
+impl ldp_core::snapshot::StateSnapshot for RapporAggregator {
+    fn state_tag(&self) -> u8 {
+        ldp_core::snapshot::state_tag::RAPPOR
+    }
+
+    fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        ldp_core::wire::put_uvarint(out, self.params.bloom_bits() as u64);
+        ldp_core::wire::put_uvarint(out, u64::from(self.params.hashes()));
+        ldp_core::wire::put_uvarint(out, u64::from(self.params.cohorts()));
+        ldp_core::wire::put_f64_le(out, self.params.f());
+        ldp_core::wire::put_f64_le(out, self.params.p());
+        ldp_core::wire::put_f64_le(out, self.params.q());
+        ldp_core::snapshot::put_counts(out, &self.cohort_sizes);
+        ldp_core::snapshot::put_counts(out, &self.counts_flat());
+    }
+
+    fn restore_payload(&mut self, r: &mut ldp_core::wire::WireReader<'_>) -> ldp_core::Result<()> {
+        let k = self.params.bloom_bits();
+        let m = self.params.cohorts() as usize;
+        ldp_core::snapshot::check_u64(r, k as u64, "RAPPOR bloom bits")?;
+        ldp_core::snapshot::check_u64(r, u64::from(self.params.hashes()), "RAPPOR hash count")?;
+        ldp_core::snapshot::check_u64(r, m as u64, "RAPPOR cohorts")?;
+        ldp_core::snapshot::check_f64(r, self.params.f(), "RAPPOR f")?;
+        ldp_core::snapshot::check_f64(r, self.params.p(), "RAPPOR p")?;
+        ldp_core::snapshot::check_f64(r, self.params.q(), "RAPPOR q")?;
+        let cohort_sizes = ldp_core::snapshot::get_counts(r, m, "RAPPOR cohort sizes")?;
+        let flat = ldp_core::snapshot::get_counts(r, m * k, "RAPPOR bit counts")?;
+        self.cohort_sizes = cohort_sizes;
+        for (row, chunk) in self.counts.iter_mut().zip(flat.chunks_exact(k)) {
+            row.copy_from_slice(chunk);
+        }
+        Ok(())
+    }
+}
+
 impl RapporAggregator {
     /// Creates an empty aggregator for the given parameters.
     pub fn new(params: RapporParams) -> Self {
@@ -97,6 +132,29 @@ impl RapporAggregator {
         self.cohort_sizes.iter().sum()
     }
 
+    /// The parameters this aggregator was configured for.
+    pub fn params(&self) -> &RapporParams {
+        &self.params
+    }
+
+    /// Merges another aggregator's counters into this one, as if its
+    /// reports had been accumulated here. Exact (integer addition), so
+    /// sharded or checkpointed collection is bit-identical to sequential.
+    ///
+    /// # Panics
+    /// Panics if the two aggregators were built from different parameters.
+    pub fn merge(&mut self, other: Self) {
+        assert!(self.params == other.params, "merge: parameter mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (a, b) in self.cohort_sizes.iter_mut().zip(&other.cohort_sizes) {
+            *a += b;
+        }
+    }
+
     /// The debiased per-cohort, per-bit estimates `t_ij` (step 1 of
     /// decoding). Exposed for diagnostics and tests.
     pub fn debiased_bit_counts(&self) -> Vec<Vec<f64>> {
@@ -110,6 +168,10 @@ impl RapporAggregator {
                     .collect()
             })
             .collect()
+    }
+
+    fn counts_flat(&self) -> Vec<u64> {
+        self.counts.iter().flatten().copied().collect()
     }
 
     /// Decodes candidate frequencies via LASSO selection + OLS fit.

@@ -201,6 +201,14 @@ impl PairwiseHash {
     pub fn range(&self) -> u64 {
         self.range
     }
+
+    /// A 64-bit fingerprint of the function (coefficients and range),
+    /// stable across processes. Snapshot codecs embed it so state from a
+    /// sketch built over a *different* hash family is rejected instead of
+    /// silently merged.
+    pub fn fingerprint(&self) -> u64 {
+        mix64(self.a ^ self.b.rotate_left(23) ^ self.range.rotate_left(46))
+    }
 }
 
 /// An FxHash-style fast hasher for internal `HashMap`s keyed by integers or

@@ -464,6 +464,26 @@ mod tests {
         n: usize,
     }
 
+    impl ldp_core::snapshot::StateSnapshot for CoinAgg {
+        fn state_tag(&self) -> u8 {
+            ldp_core::snapshot::state_tag::MS_ONE_BIT_MEAN
+        }
+
+        fn snapshot_payload(&self, out: &mut Vec<u8>) {
+            ldp_core::snapshot::put_count(out, self.n);
+            ldp_core::wire::put_uvarint(out, self.ones);
+        }
+
+        fn restore_payload(
+            &mut self,
+            r: &mut ldp_core::wire::WireReader<'_>,
+        ) -> ldp_core::Result<()> {
+            self.n = ldp_core::snapshot::get_count(r)?;
+            self.ones = r.uvarint()?;
+            Ok(())
+        }
+    }
+
     impl ldp_core::fo::FoAggregator for CoinAgg {
         type Report = bool;
 

@@ -58,7 +58,10 @@
 //! ```
 
 use ldp_core::protocol::{ProtocolDescriptor, Registry};
-use ldp_core::wire::{next_frame, ErasedAggregator, ErasedMechanism, WireInput};
+use ldp_core::snapshot::{state_tag, SNAPSHOT_VERSION};
+use ldp_core::wire::{
+    next_frame, put_u64_le, put_uvarint, ErasedAggregator, ErasedMechanism, WireInput, WireReader,
+};
 use ldp_core::{LdpError, Result};
 use rand::RngCore;
 
@@ -292,6 +295,206 @@ impl CollectorService {
             )));
         }
         Ok(self.agg.estimate_items(items))
+    }
+
+    /// Serializes the full service state into one self-describing
+    /// checkpoint BLOB:
+    ///
+    /// ```text
+    /// [SNAPSHOT_VERSION] [SERVICE_CHECKPOINT] [uvarint len] [payload]
+    /// payload = [uvarint desc_len] [descriptor bytes]
+    ///           [u64-LE descriptor stable_hash] [aggregator state BLOB]
+    /// ```
+    ///
+    /// The BLOB carries its own descriptor, so a crashed collector can be
+    /// resumed by [`from_checkpoint`](Self::from_checkpoint) with no
+    /// out-of-band configuration, and the embedded
+    /// [`ProtocolDescriptor::stable_hash`] guards against a descriptor /
+    /// state pairing forged or corrupted in storage.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let desc = self.descriptor().to_bytes();
+        let mut payload = Vec::with_capacity(desc.len() + 64);
+        put_uvarint(&mut payload, desc.len() as u64);
+        payload.extend_from_slice(&desc);
+        put_u64_le(&mut payload, self.descriptor().stable_hash());
+        self.agg.snapshot(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + 12);
+        out.push(SNAPSHOT_VERSION);
+        out.push(state_tag::SERVICE_CHECKPOINT);
+        put_uvarint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Replaces this service's aggregate with the state in `bytes`
+    /// (written by [`checkpoint`](Self::checkpoint) on a service built
+    /// from the **same** descriptor).
+    ///
+    /// # Errors
+    /// Any [`LdpError`] for damaged bytes, and
+    /// [`LdpError::StateMismatch`] when the checkpoint's descriptor is
+    /// not this service's descriptor; the aggregate is unchanged on
+    /// error.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let (desc, blob) = parse_checkpoint(bytes)?;
+        if &desc != self.descriptor() {
+            return Err(LdpError::StateMismatch(format!(
+                "checkpoint was taken under a different {} descriptor",
+                desc.kind().name()
+            )));
+        }
+        self.agg.restore(blob)
+    }
+
+    /// Reconstructs a service — descriptor and aggregate — from a
+    /// checkpoint BLOB, using the full workspace registry.
+    ///
+    /// # Errors
+    /// Any [`LdpError`] for damaged bytes, plus whatever
+    /// [`Registry::build`] surfaces for the embedded descriptor.
+    pub fn from_checkpoint(bytes: &[u8]) -> Result<Self> {
+        Self::from_checkpoint_with_registry(&workspace_registry(), bytes)
+    }
+
+    /// [`from_checkpoint`](Self::from_checkpoint) against a
+    /// caller-provided registry.
+    ///
+    /// # Errors
+    /// As [`from_checkpoint`](Self::from_checkpoint).
+    pub fn from_checkpoint_with_registry(registry: &Registry, bytes: &[u8]) -> Result<Self> {
+        let (desc, blob) = parse_checkpoint(bytes)?;
+        let mut service = Self::with_registry(registry, &desc)?;
+        service.agg.restore(blob)?;
+        Ok(service)
+    }
+}
+
+/// Splits one checkpoint BLOB into its re-validated descriptor and the
+/// embedded aggregator state BLOB.
+fn parse_checkpoint(bytes: &[u8]) -> Result<(ProtocolDescriptor, &[u8])> {
+    let mut r = WireReader::new(bytes);
+    let version = r.u8()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(LdpError::VersionMismatch {
+            got: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    let tag = r.u8()?;
+    if tag != state_tag::SERVICE_CHECKPOINT {
+        return Err(LdpError::ReportTypeMismatch {
+            got: tag,
+            expected: state_tag::SERVICE_CHECKPOINT,
+        });
+    }
+    let len = r.uvarint()?;
+    let len = usize::try_from(len)
+        .map_err(|_| LdpError::Malformed(format!("checkpoint length {len} overflows")))?;
+    let payload = r.bytes(len)?;
+    r.finish()?;
+    let mut pr = WireReader::new(payload);
+    let desc_len = pr.uvarint()?;
+    let desc_len = usize::try_from(desc_len)
+        .map_err(|_| LdpError::Malformed(format!("descriptor length {desc_len} overflows")))?;
+    let desc = ProtocolDescriptor::from_bytes(pr.bytes(desc_len)?)?;
+    let hash = pr.u64_le()?;
+    if hash != desc.stable_hash() {
+        return Err(LdpError::Malformed(
+            "checkpoint descriptor hash does not match its descriptor".into(),
+        ));
+    }
+    let blob = pr.bytes(pr.remaining())?;
+    Ok((desc, blob))
+}
+
+/// A bounded-fan-in merge tree over [`CollectorService`] checkpoints:
+/// the cross-process rollup driver (collector → regional → global) the
+/// snapshot layer exists for.
+///
+/// Every level loads at most `fan_in` checkpoints at a time, merges them
+/// (exact integer addition for every mechanism except SHE's real sums),
+/// and re-serializes the group's combined state — so a rollup over any
+/// number of collector shards runs in `O(fan_in)` live aggregators of
+/// memory, and any grouping of the same shards produces bit-identical
+/// global estimates (merge associativity, proptested in
+/// `tests/service_dispatch.rs`).
+pub struct MergeTree {
+    registry: Registry,
+    fan_in: usize,
+}
+
+impl std::fmt::Debug for MergeTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeTree")
+            .field("fan_in", &self.fan_in)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MergeTree {
+    /// A merge tree over the full workspace registry.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if `fan_in < 2` (a 1-ary "merge"
+    /// would never shrink a level).
+    pub fn new(fan_in: usize) -> Result<Self> {
+        Self::with_registry(workspace_registry(), fan_in)
+    }
+
+    /// A merge tree resolving descriptors against `registry`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if `fan_in < 2`.
+    pub fn with_registry(registry: Registry, fan_in: usize) -> Result<Self> {
+        if fan_in < 2 {
+            return Err(LdpError::InvalidParameter(format!(
+                "merge tree fan-in must be at least 2, got {fan_in}"
+            )));
+        }
+        Ok(Self { registry, fan_in })
+    }
+
+    /// Merges one level: each group of up to `fan_in` consecutive
+    /// checkpoints becomes one combined checkpoint.
+    ///
+    /// # Errors
+    /// Any [`LdpError`] a checkpoint load or a descriptor-mismatched
+    /// merge can raise.
+    pub fn merge_level(&self, checkpoints: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        checkpoints
+            .chunks(self.fan_in)
+            .map(|group| {
+                let mut acc =
+                    CollectorService::from_checkpoint_with_registry(&self.registry, &group[0])?;
+                for blob in &group[1..] {
+                    acc.merge(CollectorService::from_checkpoint_with_registry(
+                        &self.registry,
+                        blob,
+                    )?)?;
+                }
+                Ok(acc.checkpoint())
+            })
+            .collect()
+    }
+
+    /// Runs [`merge_level`](Self::merge_level) until one checkpoint
+    /// remains and loads it as the global service.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for an empty input, plus anything
+    /// [`merge_level`](Self::merge_level) can raise.
+    pub fn merge_to_root(&self, checkpoints: &[Vec<u8>]) -> Result<CollectorService> {
+        if checkpoints.is_empty() {
+            return Err(LdpError::InvalidParameter(
+                "merge tree needs at least one checkpoint".into(),
+            ));
+        }
+        let mut level = self.merge_level(checkpoints)?;
+        while level.len() > 1 {
+            level = self.merge_level(&level)?;
+        }
+        CollectorService::from_checkpoint_with_registry(&self.registry, &level[0])
     }
 }
 

@@ -65,6 +65,12 @@
 //! let estimates = service.estimates();
 //! // Every value occurs ~156 times; estimates are unbiased around that.
 //! assert!((estimates[0] - 156.25).abs() < 1000.0);
+//!
+//! // Collector state is durable: checkpoint, revive, and the revived
+//! // service is byte-identical — kill/restore mid-round costs nothing.
+//! let checkpoint = service.checkpoint(); // descriptor + versioned state BLOB
+//! let revived = CollectorService::from_checkpoint(&checkpoint).unwrap();
+//! assert_eq!(revived.estimates(), estimates);
 //! ```
 //!
 //! The in-process face of the same engine — generic

@@ -21,7 +21,7 @@ use ldp::core::protocol::{MechanismKind, ProtocolDescriptor, DEFAULT_COHORT_SEED
 use ldp::core::Epsilon;
 use ldp::microsoft::{DBitFlip, OneBitMean};
 use ldp::workloads::parallel::{accumulate_mech_sharded_sequential, shard_seed};
-use ldp::workloads::service::{CollectorService, WireClient};
+use ldp::workloads::service::{CollectorService, MergeTree, WireClient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -302,6 +302,207 @@ fn serialized_descriptor_drives_the_same_service() {
     let a = byte_path_estimates(&desc, &vals);
     let b = byte_path_estimates(&shipped, &vals);
     assert_eq!(a, b);
+}
+
+/// A collector killed mid-ingest and brought back from its checkpoint
+/// must finish the round byte-identically to one that never died.
+fn check_kill_and_restore(desc: &ProtocolDescriptor, d: u64, n: usize) {
+    let client = WireClient::from_descriptor(desc).expect("client builds");
+    let vals = values(n, d);
+    let buffers = client
+        .frames_sharded(&vals, SEED, 2)
+        .expect("framing succeeds");
+    let (first_half, second_half) = (&buffers[0], &buffers[1]);
+
+    let mut uninterrupted = CollectorService::from_descriptor(desc).unwrap();
+    uninterrupted.ingest_concat(first_half).unwrap();
+    uninterrupted.ingest_concat(second_half).unwrap();
+
+    // Kill after the first half; bring the state back two ways.
+    let ckpt = {
+        let mut service = CollectorService::from_descriptor(desc).unwrap();
+        service.ingest_concat(first_half).unwrap();
+        service.checkpoint()
+    };
+
+    let mut from_bytes = CollectorService::from_checkpoint(&ckpt).unwrap();
+    from_bytes.ingest_concat(second_half).unwrap();
+
+    let mut in_place = CollectorService::from_descriptor(desc).unwrap();
+    in_place.restore(&ckpt).unwrap();
+    in_place.ingest_concat(second_half).unwrap();
+
+    let reference = uninterrupted.estimates();
+    for (name, resumed) in [("from_checkpoint", from_bytes), ("restore", in_place)] {
+        assert_eq!(resumed.descriptor(), uninterrupted.descriptor());
+        assert_eq!(resumed.reports(), uninterrupted.reports(), "{name}");
+        let est = resumed.estimates();
+        assert_eq!(reference.len(), est.len(), "{name}");
+        for (i, (a, b)) in reference.iter().zip(&est).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{} item {i} after {name}: uninterrupted {a} != resumed {b}",
+                desc.kind().name()
+            );
+        }
+        // The resumed state is the uninterrupted state, byte for byte.
+        assert_eq!(resumed.checkpoint(), uninterrupted.checkpoint(), "{name}");
+    }
+}
+
+#[test]
+fn killed_and_restored_collectors_are_byte_identical() {
+    let d = 64;
+    let olhc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(d)
+        .epsilon(1.0)
+        .cohorts(64)
+        .build()
+        .unwrap();
+    check_kill_and_restore(&olhc, d, 2000);
+
+    let cms = ProtocolDescriptor::builder(MechanismKind::AppleCms)
+        .domain_size(d)
+        .epsilon(2.0)
+        .sketch(8, 128)
+        .hash_seed(31)
+        .build()
+        .unwrap();
+    check_kill_and_restore(&cms, d, 2000);
+
+    let dbit = ProtocolDescriptor::builder(MechanismKind::MicrosoftDBitFlip)
+        .domain_size(d)
+        .bits_per_device(8)
+        .epsilon(1.0)
+        .build()
+        .unwrap();
+    check_kill_and_restore(&dbit, d, 2000);
+
+    // The floating-point aggregator too: restore replays the exact f64
+    // bits, so resumed accumulation stays on the reference stream.
+    let she = base(MechanismKind::SummationHistogram, 24);
+    check_kill_and_restore(&she, 24, 800);
+}
+
+#[test]
+fn checkpoint_restore_guards_descriptor_and_integrity() {
+    let d = 32;
+    let desc = base(MechanismKind::DirectEncoding, d);
+    let mut service = CollectorService::from_descriptor(&desc).unwrap();
+    let client = WireClient::from_descriptor(&desc).unwrap();
+    let buffers = client.frames_sharded(&values(500, d), SEED, 1).unwrap();
+    service.ingest_concat(&buffers[0]).unwrap();
+    let ckpt = service.checkpoint();
+
+    // Wrong descriptor: refused before any state is touched.
+    let other = base(MechanismKind::DirectEncoding, 64);
+    let mut wrong = CollectorService::from_descriptor(&other).unwrap();
+    let err = wrong.restore(&ckpt).unwrap_err().to_string();
+    assert!(err.contains("different"), "descriptor guard: {err}");
+    assert_eq!(wrong.reports(), 0, "failed restore must not mutate");
+
+    // Tampered descriptor bytes: the embedded hash catches it.
+    let mut bad = ckpt.clone();
+    let flip_at = 8; // inside the descriptor region
+    bad[flip_at] ^= 0x01;
+    assert!(CollectorService::from_checkpoint(&bad).is_err());
+
+    // Truncations never panic and never build a service.
+    for cut in 0..ckpt.len() {
+        assert!(CollectorService::from_checkpoint(&ckpt[..cut]).is_err());
+    }
+}
+
+/// Collector → regional → global: whatever the fan-in (grouping), the
+/// root estimates are bit-identical to a flat shard-order merge.
+fn check_merge_tree(desc: &ProtocolDescriptor, d: u64, n: usize) {
+    let client = WireClient::from_descriptor(desc).expect("client builds");
+    let vals = values(n, d);
+    let buffers = client
+        .frames_sharded(&vals, SEED, 8)
+        .expect("framing succeeds");
+    let checkpoints: Vec<Vec<u8>> = buffers
+        .iter()
+        .map(|buf| {
+            let mut collector = CollectorService::from_descriptor(desc).unwrap();
+            collector.ingest_concat(buf).unwrap();
+            collector.checkpoint()
+        })
+        .collect();
+
+    let mut flat = CollectorService::from_checkpoint(&checkpoints[0]).unwrap();
+    for ckpt in &checkpoints[1..] {
+        let shard = CollectorService::from_checkpoint(ckpt).unwrap();
+        flat.merge(shard).unwrap();
+    }
+    let reference = flat.estimates();
+
+    for fan_in in [2usize, 3, 4, 8] {
+        let tree = MergeTree::new(fan_in).unwrap();
+
+        // The intermediate level shrinks as promised.
+        let regional = tree.merge_level(&checkpoints).unwrap();
+        assert_eq!(regional.len(), checkpoints.len().div_ceil(fan_in));
+
+        let global = tree.merge_to_root(&checkpoints).unwrap();
+        assert_eq!(global.reports(), flat.reports(), "fan_in={fan_in}");
+        let est = global.estimates();
+        assert_eq!(reference.len(), est.len());
+        for (i, (a, b)) in reference.iter().zip(&est).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{} fan_in {fan_in} item {i}: flat {a} != tree {b}",
+                desc.kind().name()
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_tree_grouping_is_invisible_olhc() {
+    let d = 64;
+    let desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(d)
+        .epsilon(1.0)
+        .cohorts(64)
+        .build()
+        .unwrap();
+    check_merge_tree(&desc, d, 3000);
+}
+
+#[test]
+fn merge_tree_grouping_is_invisible_cms() {
+    let d = 128;
+    let desc = ProtocolDescriptor::builder(MechanismKind::AppleCms)
+        .domain_size(d)
+        .epsilon(2.0)
+        .sketch(8, 128)
+        .hash_seed(31)
+        .build()
+        .unwrap();
+    check_merge_tree(&desc, d, 2000);
+}
+
+#[test]
+fn merge_tree_grouping_is_invisible_dbitflip() {
+    let k = 256u64;
+    let desc = ProtocolDescriptor::builder(MechanismKind::MicrosoftDBitFlip)
+        .domain_size(k)
+        .bits_per_device(8)
+        .epsilon(1.0)
+        .build()
+        .unwrap();
+    check_merge_tree(&desc, k, 2000);
+}
+
+#[test]
+fn merge_tree_rejects_degenerate_inputs() {
+    assert!(MergeTree::new(0).is_err());
+    assert!(MergeTree::new(1).is_err());
+    let tree = MergeTree::new(2).unwrap();
+    assert!(tree.merge_to_root(&[]).is_err());
 }
 
 #[test]

@@ -100,6 +100,7 @@ fn every_example_is_present() {
     let found = rust_file_stems(&repo_root().join("examples"));
     let expected: BTreeSet<String> = [
         "app_usage",
+        "checkpoint_restore",
         "emoji_keyboard",
         "itemset_mining",
         "location_heatmap",
