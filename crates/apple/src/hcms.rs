@@ -203,15 +203,12 @@ impl HcmsServer {
 
     /// Unbiased count estimate for `value` — same collision debiasing as
     /// CMS applied to the transformed matrix.
+    ///
+    /// Runs the full `k`-row transform sweep for this one query; when
+    /// answering more than one point query against the same state, call
+    /// [`decode`](Self::decode) once and query the cached matrix.
     pub fn estimate(&self, value: u64) -> f64 {
-        let (k, m) = self.protocol.shape();
-        let matrix = self.bucket_matrix();
-        let mf = m as f64;
-        let mean_cell: f64 = (0..k)
-            .map(|j| matrix[j * m + self.protocol.bucket(j, value)])
-            .sum::<f64>()
-            / k as f64;
-        (mf / (mf - 1.0)) * (mean_cell - self.n as f64 / mf)
+        self.decode().estimate(value)
     }
 
     /// Estimates many items, amortizing the per-row transforms.
@@ -223,19 +220,77 @@ impl HcmsServer {
     /// full-domain sweeps pass `0..d` directly, with no scratch vector
     /// of item ids (one FWHT sweep either way).
     pub fn estimate_iter(&self, items: impl IntoIterator<Item = u64>) -> Vec<f64> {
+        let decoded = self.decode();
+        items.into_iter().map(|v| decoded.estimate(v)).collect()
+    }
+
+    /// Runs the spectrum inversion once — `k` tiled FWHTs — and returns
+    /// a decoded view that answers any number of point queries at
+    /// `O(k)` hash-and-gather each, with no further transforms.
+    ///
+    /// This is the decode-kernel restructure: the old API shape forced
+    /// `k` full transforms per [`estimate`](Self::estimate) call, so a
+    /// `q`-item query batch against the same frozen state cost
+    /// `q·k·m·log m`. Decoding once drops that to `k·m·log m + q·k`, and
+    /// every query is bit-identical to what the per-call path returns
+    /// (the cached matrix *is* that path's matrix).
+    pub fn decode(&self) -> HcmsDecoded<'_> {
+        HcmsDecoded {
+            protocol: &self.protocol,
+            matrix: self.bucket_matrix(),
+            n: self.n,
+        }
+    }
+
+    /// The raw accumulated sign sums `S[j, l]` (row-major `k × m`):
+    /// the undebiased spectrum, exposed for frozen-baseline harnesses.
+    pub fn spectrum(&self) -> &[i64] {
+        &self.spectrum
+    }
+
+    /// The query-time debias constant `c'_ε = (e^ε+1)/(e^ε−1)` applied
+    /// to the sign sums before inversion.
+    pub fn debias_constant(&self) -> f64 {
+        self.protocol.c_eps
+    }
+}
+
+/// A decoded HCMS state: the bucket-domain matrix materialized by one
+/// transform sweep of [`HcmsServer::decode`], answering point queries
+/// without re-running any FWHT.
+///
+/// Borrow-tied to the server it decoded (the hash family lives there);
+/// reports accumulated after `decode()` are not reflected — decode
+/// again for a fresh view.
+#[derive(Debug, Clone)]
+pub struct HcmsDecoded<'a> {
+    protocol: &'a HcmsProtocol,
+    matrix: Vec<f64>,
+    n: usize,
+}
+
+impl HcmsDecoded<'_> {
+    /// Unbiased count estimate for `value` from the cached matrix:
+    /// `k` hash-and-gather probes, one debias — no transforms.
+    pub fn estimate(&self, value: u64) -> f64 {
         let (k, m) = self.protocol.shape();
-        let matrix = self.bucket_matrix();
         let mf = m as f64;
-        items
-            .into_iter()
-            .map(|v| {
-                let mean_cell: f64 = (0..k)
-                    .map(|j| matrix[j * m + self.protocol.bucket(j, v)])
-                    .sum::<f64>()
-                    / k as f64;
-                (mf / (mf - 1.0)) * (mean_cell - self.n as f64 / mf)
-            })
-            .collect()
+        let mean_cell: f64 = (0..k)
+            .map(|j| self.matrix[j * m + self.protocol.bucket(j, value)])
+            .sum::<f64>()
+            / k as f64;
+        (mf / (mf - 1.0)) * (mean_cell - self.n as f64 / mf)
+    }
+
+    /// The cached bucket-domain matrix (row-major `k × m`), as produced
+    /// by [`HcmsServer::bucket_matrix`].
+    pub fn bucket_matrix(&self) -> &[f64] {
+        &self.matrix
+    }
+
+    /// Number of reports the decoded state summarizes.
+    pub fn reports(&self) -> usize {
+        self.n
     }
 }
 
@@ -582,6 +637,49 @@ mod tests {
         for (v, &e) in est.iter().enumerate().take(4) {
             assert!((e - 5000.0).abs() < 5.0 * sd, "item {v}: {e} (sd={sd})");
         }
+    }
+
+    #[test]
+    fn decoded_queries_bit_identical_to_per_call_estimates() {
+        // The cached-matrix decode must reproduce the per-call estimate
+        // path to the bit — same transform output, same debias ops.
+        let proto = HcmsProtocol::new(8, 128, eps(2.0), 77);
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut server = proto.new_server();
+        for u in 0..10_000u64 {
+            server.accumulate(&proto.randomize(u % 50, &mut rng));
+        }
+        let decoded = server.decode();
+        assert_eq!(decoded.reports(), server.reports());
+        assert_eq!(decoded.bucket_matrix(), server.bucket_matrix().as_slice());
+        for v in (0..200u64).chain([5_000_000, u64::MAX]) {
+            assert_eq!(
+                decoded.estimate(v).to_bits(),
+                server.estimate(v).to_bits(),
+                "value {v}"
+            );
+        }
+        // And the batch path is the same queries against the same cache.
+        let items: Vec<u64> = (0..200).collect();
+        let batch = server.estimate_items(&items);
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), decoded.estimate(v).to_bits());
+        }
+    }
+
+    #[test]
+    fn spectrum_accessor_exposes_sign_sums() {
+        let proto = HcmsProtocol::new(2, 16, eps(1.0), 1);
+        let mut server = proto.new_server();
+        server.accumulate(&HcmsReport {
+            row: 1,
+            coeff: 3,
+            sign: -1,
+        });
+        assert_eq!(server.spectrum()[16 + 3], -1);
+        assert_eq!(server.spectrum().iter().filter(|&&s| s != 0).count(), 1);
+        let e = proto.epsilon().exp();
+        assert!((server.debias_constant() - (e + 1.0) / (e - 1.0)).abs() < 1e-12);
     }
 
     #[test]

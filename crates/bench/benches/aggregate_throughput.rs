@@ -6,7 +6,7 @@
 //! the workspace root, so the perf trajectory is recorded run over run:
 //!
 //! * full-domain OLH estimation: raw-report rescan vs cohort count
-//!   matrix (`estimate_speedup`);
+//!   matrix (`decode.olh_estimate_speedup`);
 //! * client-side randomize→accumulate: the frozen pre-batch-engine
 //!   scalar path (one Bernoulli draw per bit through `dyn RngCore`, one
 //!   `BitVec` per report) vs the fused geometric-skip batch path
@@ -30,7 +30,21 @@
 //!   recorded alongside (`wire_client_frame_ns`, `wire_e2e_overhead`);
 //! * the durable-snapshot layer: one snapshot→restore cycle of the
 //!   loaded OLH-C aggregator (the C×g count matrix) and its BLOB size
-//!   (`snapshot_roundtrip_ns`, `snapshot_bytes`).
+//!   (`snapshot_roundtrip_ns`, `snapshot_bytes`);
+//! * the **decode kernels**, recorded in a nested `"decode"` sub-object
+//!   so the collect-side and decode-side trajectories stay separable:
+//!   the tiled radix-4 FWHT vs the frozen radix-2 butterfly
+//!   (`fwht_tiled_speedup`, bit-identical outputs), HCMS
+//!   decode-once-query-many vs the per-query full-transform baseline
+//!   (`hcms_decode_speedup`, bit-identical estimates), SFP
+//!   candidate-frontier decode vs the frozen exhaustive oracle
+//!   (`sfp_decode_speedup`, same discovered-word set), RAPPOR
+//!   sparse active-set LASSO vs the frozen dense pipeline
+//!   (`rappor_lasso_speedup`, statistically equivalent), and the
+//!   batched inverse-CDF Laplace SHE randomize vs the frozen per-draw
+//!   loop (`she_randomize_speedup`). The full-domain OLH estimation
+//!   comparison lives there too (`olh_estimate_speedup`) — it is a
+//!   decode-side measurement.
 //!
 //! Set `LDP_BENCH_SMOKE=1` for a seconds-scale CI smoke configuration,
 //! and `LDP_BENCH_OUT=<path>` to redirect the JSON.
@@ -38,12 +52,14 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ldp_apple::cms::CmsOracle;
 use ldp_apple::hcms::HcmsProtocol;
+use ldp_apple::sfp::{SfpConfig, SfpDiscovery};
 use ldp_bench::legacy::{
-    legacy_cms_randomize, legacy_dbitflip_randomize, legacy_the_randomize, legacy_unary_randomize,
+    legacy_cms_randomize, legacy_dbitflip_randomize, legacy_hcms_estimate, legacy_rappor_decode,
+    legacy_she_randomize_accumulate, legacy_the_randomize, legacy_unary_randomize,
 };
 use ldp_core::fo::{
     CohortLocalHashing, FoAggregator, FrequencyOracle, LocalHashing, OptimizedLocalHashing,
-    OptimizedUnaryEncoding, ThresholdHistogramEncoding,
+    OptimizedUnaryEncoding, SummationHistogramEncoding, ThresholdHistogramEncoding,
 };
 use ldp_core::protocol::{MechanismKind, ProtocolDescriptor};
 use ldp_core::Epsilon;
@@ -226,7 +242,7 @@ fn bench_old_vs_new(_c: &mut Criterion) {
     let cohort_estimate_ns = median_ns(estimate_reps.max(11), || {
         black_box(cohort_agg.estimate());
     });
-    let estimate_speedup = raw_estimate_ns / cohort_estimate_ns;
+    let olh_estimate_speedup = raw_estimate_ns / cohort_estimate_ns;
 
     // --- Randomization: legacy per-bit scalar vs fused batch, both
     // sequential, on OUE (the unary family is where the issue's per-user
@@ -395,12 +411,183 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         black_box(fresh.reports());
     });
 
+    // --- Decode kernels: each new kernel vs its frozen baseline, same
+    // odd rep count on both sides of every comparison.
+
+    // Tiled radix-4 FWHT vs the frozen radix-2 reference butterfly, at a
+    // transform size whose working set spills L1 (where the tiling
+    // matters). The per-rep clone is identical on both sides.
+    let fwht_m = if smoke { 1usize << 14 } else { 1usize << 17 };
+    let fwht_reps = 11;
+    let fwht_data: Vec<f64> = (0..fwht_m)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    let fwht_reference_ns = median_ns(fwht_reps, || {
+        let mut buf = fwht_data.clone();
+        ldp_sketch::fwht_reference(&mut buf);
+        black_box(&buf);
+    });
+    let fwht_tiled_ns = median_ns(fwht_reps, || {
+        let mut buf = fwht_data.clone();
+        ldp_sketch::fwht(&mut buf);
+        black_box(&buf);
+    });
+    let fwht_tiled_speedup = fwht_reference_ns / fwht_tiled_ns;
+
+    // HCMS: answering a batch of point queries against a frozen sketch.
+    // The legacy path re-ran the full k-row transform sweep per query;
+    // the decode kernel inverts the spectrum once and answers each query
+    // with k hash-and-gather probes. Estimates are bit-identical
+    // (asserted below) because the tiled FWHT matches the reference
+    // butterfly bit-for-bit.
+    let (hcms_k, hcms_m, hcms_q) = if smoke {
+        (8usize, 512usize, 16u64)
+    } else {
+        (16, 2048, 32)
+    };
+    let hcms_proto = HcmsProtocol::new(hcms_k, hcms_m, Epsilon::new(4.0).expect("valid eps"), 5);
+    let mut hcms_server = hcms_proto.new_server();
+    {
+        let mut hrng = StdRng::seed_from_u64(17);
+        for i in 0..n / 10 {
+            hcms_server.accumulate(&hcms_proto.randomize((i % 64) as u64, &mut hrng));
+        }
+    }
+    let hcms_queries: Vec<u64> = (0..hcms_q).collect();
+    let hcms_legacy_decode_ns = median_ns(rand_reps, || {
+        let estimates: Vec<f64> = hcms_queries
+            .iter()
+            .map(|&v| {
+                legacy_hcms_estimate(
+                    &hcms_proto,
+                    hcms_server.spectrum(),
+                    hcms_server.debias_constant(),
+                    hcms_server.reports(),
+                    v,
+                )
+            })
+            .collect();
+        black_box(estimates);
+    });
+    let hcms_cached_decode_ns = median_ns(rand_reps, || {
+        black_box(hcms_server.estimate_items(&hcms_queries));
+    });
+    let hcms_decode_speedup = hcms_legacy_decode_ns / hcms_cached_decode_ns;
+    for (&v, &fast) in hcms_queries
+        .iter()
+        .zip(&hcms_server.estimate_items(&hcms_queries))
+    {
+        let slow = legacy_hcms_estimate(
+            &hcms_proto,
+            hcms_server.spectrum(),
+            hcms_server.debias_constant(),
+            hcms_server.reports(),
+            v,
+        );
+        assert_eq!(
+            slow.to_bits(),
+            fast.to_bits(),
+            "HCMS decode diverged from the frozen baseline at value {v}"
+        );
+    }
+
+    // SFP: candidate-frontier decode vs the frozen exhaustive oracle on
+    // a seeded heavy-hitter workload (both must discover the same
+    // words; the frontier only prunes fragments below the noise floor).
+    let sfp_n = if smoke { 4_000usize } else { 20_000 };
+    let sfp = SfpDiscovery::new(
+        SfpConfig::simulation(Epsilon::new(6.0).expect("valid eps")),
+        99,
+    )
+    .expect("valid config");
+    let mut sfp_collectors = sfp.new_collectors();
+    {
+        let mut srng = StdRng::seed_from_u64(7);
+        let population: Vec<&[u8]> = (0..sfp_n)
+            .map(|i| -> &[u8] {
+                match i % 10 {
+                    0..=5 => b"selfie",
+                    6..=8 => b"emojis",
+                    _ => b"xq1-z0",
+                }
+            })
+            .collect();
+        sfp.collect(&population, &mut srng, &mut sfp_collectors);
+    }
+    let sfp_exhaustive_decode_ns = median_ns(rand_reps, || {
+        black_box(sfp.decode_exhaustive(&sfp_collectors));
+    });
+    let sfp_candidate_decode_ns = median_ns(rand_reps, || {
+        black_box(sfp.decode(&sfp_collectors));
+    });
+    let sfp_decode_speedup = sfp_exhaustive_decode_ns / sfp_candidate_decode_ns;
+
+    // RAPPOR: sparse active-set LASSO decode vs the frozen dense
+    // pipeline, over a candidate list dominated by absent values (the
+    // deployment shape: the known dictionary is much larger than the
+    // heavy-hitter set, and the sparse solver skips converged zeros).
+    let (n_rappor, n_rappor_cand) = if smoke {
+        (2_000usize, 100usize)
+    } else {
+        (10_000, 400)
+    };
+    let rappor_params = RapporParams::new(64, 2, 8, 0.25, 0.35, 0.65).expect("valid params");
+    let mut rappor_agg = RapporAggregator::new(rappor_params.clone());
+    {
+        let mut rrng = StdRng::seed_from_u64(23);
+        for i in 0..n_rappor {
+            let word = format!("url-{}", i % 20);
+            let mut client = RapporClient::with_random_cohort(rappor_params.clone(), &mut rrng);
+            rappor_agg.accumulate(&client.report(word.as_bytes(), &mut rrng));
+        }
+    }
+    let rappor_names: Vec<String> = (0..n_rappor_cand).map(|i| format!("url-{i}")).collect();
+    let rappor_cands: Vec<&[u8]> = rappor_names.iter().map(|s| s.as_bytes()).collect();
+    let rappor_dense_lasso_ns = median_ns(rand_reps, || {
+        black_box(legacy_rappor_decode(&rappor_agg, &rappor_cands));
+    });
+    let rappor_sparse_lasso_ns = median_ns(rand_reps, || {
+        black_box(rappor_agg.decode(&rappor_cands));
+    });
+    let rappor_lasso_speedup = rappor_dense_lasso_ns / rappor_sparse_lasso_ns;
+
+    // SHE: the batched inverse-CDF Laplace randomize→accumulate (one
+    // uniform block + branchless transform per report, shared scratch)
+    // vs the frozen per-draw loop (fresh Vec per report, one libm-ln
+    // `sample_laplace` per coordinate).
+    let (she_d, n_she) = if smoke {
+        (256u64, 2_000usize)
+    } else {
+        (1024, 10_000)
+    };
+    let she = SummationHistogramEncoding::new(she_d, eps).expect("valid domain");
+    let she_scale = she.noise_scale();
+    let she_values: Vec<u64> = (0..n_she)
+        .map(|i| (i as u64).wrapping_mul(7) % she_d)
+        .collect();
+    let she_legacy_randomize_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sums = vec![0.0; she_d as usize];
+        legacy_she_randomize_accumulate(she_d, she_scale, &she_values, &mut rng, &mut sums);
+        black_box(&sums);
+    });
+    let she_batched_randomize_ns = median_ns(rand_reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = she.new_aggregator();
+        she.randomize_accumulate_batch(&she_values, &mut rng, &mut agg);
+        black_box(agg.reports());
+    });
+    let she_randomize_speedup = she_legacy_randomize_ns / she_batched_randomize_ns;
+
     println!(
         "olh_full_domain_estimate/raw_n{n}_d{d}: {:.2} ms",
         raw_estimate_ns / 1e6
     );
     println!(
-        "olh_full_domain_estimate/cohort_C{cohorts}_d{d}: {:.3} ms  ({estimate_speedup:.1}x speedup)",
+        "olh_full_domain_estimate/cohort_C{cohorts}_d{d}: {:.3} ms  ({olh_estimate_speedup:.1}x speedup)",
         cohort_estimate_ns / 1e6
     );
     println!(
@@ -440,9 +627,34 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         cohort_oracle.g(),
         snapshot_roundtrip_ns / 1e6
     );
+    println!(
+        "fwht/reference_m{fwht_m}: {:.3} ms, tiled: {:.3} ms  ({fwht_tiled_speedup:.2}x speedup, bit-identical)",
+        fwht_reference_ns / 1e6,
+        fwht_tiled_ns / 1e6
+    );
+    println!(
+        "hcms_decode/legacy_per_query_k{hcms_k}_m{hcms_m}_q{hcms_q}: {:.2} ms, decode_once: {:.3} ms  ({hcms_decode_speedup:.1}x speedup, bit-identical)",
+        hcms_legacy_decode_ns / 1e6,
+        hcms_cached_decode_ns / 1e6
+    );
+    println!(
+        "sfp_decode/exhaustive_n{sfp_n}: {:.2} ms, candidate_frontier: {:.2} ms  ({sfp_decode_speedup:.1}x speedup, same word set)",
+        sfp_exhaustive_decode_ns / 1e6,
+        sfp_candidate_decode_ns / 1e6
+    );
+    println!(
+        "rappor_decode/dense_lasso_{n_rappor_cand}cand: {:.2} ms, sparse_active_set: {:.2} ms  ({rappor_lasso_speedup:.1}x speedup)",
+        rappor_dense_lasso_ns / 1e6,
+        rappor_sparse_lasso_ns / 1e6
+    );
+    println!(
+        "she_randomize_accumulate/legacy_per_draw_n{n_she}_d{she_d}: {:.2} ms, batched_laplace: {:.2} ms  ({she_randomize_speedup:.1}x speedup)",
+        she_legacy_randomize_ns / 1e6,
+        she_batched_randomize_ns / 1e6
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n  \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n  \"estimate_speedup\": {estimate_speedup:.2},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3},\n  \"snapshot_roundtrip_ns\": {snapshot_roundtrip_ns:.0},\n  \"snapshot_bytes\": {snapshot_bytes}\n}}\n",
+        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3},\n  \"snapshot_roundtrip_ns\": {snapshot_roundtrip_ns:.0},\n  \"snapshot_bytes\": {snapshot_bytes},\n  \"decode\": {{\n    \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n    \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n    \"olh_estimate_speedup\": {olh_estimate_speedup:.2},\n    \"fwht_m\": {fwht_m},\n    \"fwht_reference_ns\": {fwht_reference_ns:.0},\n    \"fwht_tiled_ns\": {fwht_tiled_ns:.0},\n    \"fwht_tiled_speedup\": {fwht_tiled_speedup:.2},\n    \"hcms_legacy_decode_ns\": {hcms_legacy_decode_ns:.0},\n    \"hcms_cached_decode_ns\": {hcms_cached_decode_ns:.0},\n    \"hcms_decode_speedup\": {hcms_decode_speedup:.2},\n    \"sfp_exhaustive_decode_ns\": {sfp_exhaustive_decode_ns:.0},\n    \"sfp_candidate_decode_ns\": {sfp_candidate_decode_ns:.0},\n    \"sfp_decode_speedup\": {sfp_decode_speedup:.2},\n    \"rappor_dense_lasso_ns\": {rappor_dense_lasso_ns:.0},\n    \"rappor_sparse_lasso_ns\": {rappor_sparse_lasso_ns:.0},\n    \"rappor_lasso_speedup\": {rappor_lasso_speedup:.2},\n    \"she_legacy_randomize_ns\": {she_legacy_randomize_ns:.0},\n    \"she_batched_randomize_ns\": {she_batched_randomize_ns:.0},\n    \"she_randomize_speedup\": {she_randomize_speedup:.2}\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         cohort_oracle.g(),
     );

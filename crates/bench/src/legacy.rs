@@ -1,16 +1,22 @@
-//! Frozen pre-batch-engine randomizers — the "old code" baselines the
-//! batch-engine speedups in `BENCH_aggregate.json` are measured against.
+//! Frozen "old code" baselines the speedups in `BENCH_aggregate.json`
+//! are measured against: the pre-batch-engine randomizers and the
+//! pre-decode-kernel decode paths.
 //!
-//! These are deliberately **not** re-exported from `ldp-core`: they are
-//! byte-for-byte what the library's scalar paths did before geometric-skip
-//! sampling landed, kept in one place so every bench compares against the
-//! same old code. Do not "improve" them — any change here silently
+//! These are deliberately **not** re-exported from the library crates:
+//! they are byte-for-byte what the scalar randomize paths did before
+//! geometric-skip sampling landed, and what the decode paths did before
+//! the tiled-FWHT / cached-spectrum / sparse-LASSO / batched-Laplace
+//! kernels landed — kept in one place so every bench compares against
+//! the same old code. Do not "improve" them — any change here silently
 //! re-bases the recorded speedup trajectory.
 
 use ldp_apple::cms::{CmsProtocol, CmsReport};
+use ldp_apple::hcms::HcmsProtocol;
 use ldp_core::noise::sample_laplace;
 use ldp_microsoft::dbitflip::{DBitFlip, DBitReport};
-use ldp_sketch::BitVec;
+use ldp_rappor::{DecodedCandidate, RapporAggregator};
+use ldp_sketch::linalg::{lasso, least_squares, Matrix};
+use ldp_sketch::{fwht_reference, BitVec, BloomFilter};
 use rand::seq::index::sample;
 use rand::{Rng, RngCore};
 
@@ -101,6 +107,128 @@ pub fn legacy_dbitflip_randomize(
     DBitReport { buckets, bits }
 }
 
+/// The pre-decode-kernel HCMS point query: rebuilds the full bucket
+/// matrix — `k` radix-2 reference FWHTs over the debiased spectrum —
+/// for this **one** query, exactly as `HcmsServer::estimate` did before
+/// the cached-spectrum decode landed. `spectrum`, `c_eps`, and `n` come
+/// from the live server (`spectrum()`, `debias_constant()`,
+/// `reports()`), so the baseline decodes today's state.
+pub fn legacy_hcms_estimate(
+    proto: &HcmsProtocol,
+    spectrum: &[i64],
+    c_eps: f64,
+    n: usize,
+    value: u64,
+) -> f64 {
+    let (k, m) = proto.shape();
+    let mut matrix = vec![0.0; k * m];
+    let mut row_buf = vec![0.0; m];
+    for j in 0..k {
+        for (dst, &s) in row_buf.iter_mut().zip(&spectrum[j * m..(j + 1) * m]) {
+            *dst = c_eps * s as f64;
+        }
+        fwht_reference(&mut row_buf);
+        for l in 0..m {
+            matrix[j * m + l] = k as f64 * row_buf[l];
+        }
+    }
+    let mf = m as f64;
+    let mean_cell: f64 = (0..k)
+        .map(|j| matrix[j * m + proto.bucket(j, value)])
+        .sum::<f64>()
+        / k as f64;
+    (mf / (mf - 1.0)) * (mean_cell - n as f64 / mf)
+}
+
+/// The pre-decode-kernel SHE randomize→accumulate loop: one fresh
+/// `Vec<f64>` per report, one `sample_laplace` (libm `ln`) draw per
+/// coordinate, added into `sums` coordinate-wise — byte-for-byte the
+/// scalar path before the batched inverse-CDF Laplace block landed.
+pub fn legacy_she_randomize_accumulate(
+    d: u64,
+    scale: f64,
+    values: &[u64],
+    rng: &mut dyn RngCore,
+    sums: &mut [f64],
+) {
+    for &v in values {
+        let report: Vec<f64> = (0..d)
+            .map(|i| {
+                let base = if i == v { 1.0 } else { 0.0 };
+                base + sample_laplace(scale, rng)
+            })
+            .collect();
+        for (s, r) in sums.iter_mut().zip(&report) {
+            *s += r;
+        }
+    }
+}
+
+/// The pre-sparse-LASSO RAPPOR decode: materializes the dense
+/// `m·k × candidates` 0/1 design matrix and runs the dense
+/// coordinate-descent LASSO (every sweep touches all `m·k` rows of
+/// every column), then the same support-restricted OLS — byte-for-byte
+/// the pipeline `RapporAggregator::decode` ran before the sparse
+/// active-set path landed. Same design matrix, same `λ`, same
+/// tolerances, so the two decodes are statistically equivalent.
+pub fn legacy_rappor_decode(agg: &RapporAggregator, candidates: &[&[u8]]) -> Vec<DecodedCandidate> {
+    let params = agg.params();
+    let k = params.bloom_bits();
+    let m = params.cohorts() as usize;
+    let rows = m * k;
+    let n_cand = candidates.len();
+    if n_cand == 0 {
+        return Vec::new();
+    }
+
+    let mut x = Matrix::zeros(rows, n_cand);
+    for (s, cand) in candidates.iter().enumerate() {
+        for i in 0..m {
+            let sig = BloomFilter::signature(k, params.hashes(), i as u32, cand);
+            for j in sig.ones() {
+                x.set(i * k + j, s, 1.0);
+            }
+        }
+    }
+
+    let t = agg.debiased_bit_counts();
+    let mut y = Vec::with_capacity(rows);
+    for cohort in &t {
+        y.extend_from_slice(cohort);
+    }
+
+    let (p_star, q_star) = params.effective_channel();
+    let avg_cohort = agg.reports() as f64 / m as f64;
+    let noise_sd = (avg_cohort * q_star * (1.0 - q_star)).sqrt() / (q_star - p_star);
+    let lambda = noise_sd * (2.0 * (n_cand.max(2) as f64).ln()).sqrt();
+    let selected_coefs = lasso(&x, &y, lambda, true, 200, 1e-6);
+    let support: Vec<usize> = (0..n_cand).filter(|&s| selected_coefs[s] > 1e-9).collect();
+
+    let mut out: Vec<DecodedCandidate> = (0..n_cand)
+        .map(|s| DecodedCandidate {
+            candidate: s,
+            estimate: 0.0,
+            selected: false,
+        })
+        .collect();
+    if support.is_empty() {
+        return out;
+    }
+
+    let mut xs = Matrix::zeros(rows, support.len());
+    for (c_new, &s) in support.iter().enumerate() {
+        for r in 0..rows {
+            xs.set(r, c_new, x.get(r, s));
+        }
+    }
+    let coefs = least_squares(&xs, &y);
+    for (c_new, &s) in support.iter().enumerate() {
+        out[s].selected = true;
+        out[s].estimate = coefs[c_new] * m as f64;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +270,86 @@ mod tests {
         assert!(
             (est - n as f64).abs() < n as f64 * 0.1,
             "est={est} truth={n}"
+        );
+    }
+
+    /// The frozen HCMS per-query decode must agree bit-for-bit with the
+    /// library's cached-spectrum decode: both invert the same debiased
+    /// spectrum (the tiled FWHT is bit-identical to the reference
+    /// butterfly), so any divergence is a broken baseline.
+    #[test]
+    fn legacy_hcms_estimate_bit_identical_to_cached_decode() {
+        use ldp_core::Epsilon;
+        let proto = HcmsProtocol::new(8, 256, Epsilon::new(4.0).unwrap(), 5);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut server = proto.new_server();
+        for i in 0..5_000u64 {
+            server.accumulate(&proto.randomize(i % 40, &mut rng));
+        }
+        let decoded = server.decode();
+        for v in 0..64u64 {
+            let old = legacy_hcms_estimate(
+                &proto,
+                server.spectrum(),
+                server.debias_constant(),
+                server.reports(),
+                v,
+            );
+            assert_eq!(
+                old.to_bits(),
+                decoded.estimate(v).to_bits(),
+                "value {v}: legacy {old} vs cached {}",
+                decoded.estimate(v)
+            );
+        }
+    }
+
+    /// The frozen SHE baseline must stay distribution-correct: sums
+    /// recover the planted one-hot counts within noise.
+    #[test]
+    fn legacy_she_sums_recover_counts() {
+        let (d, scale) = (32u64, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4_000usize;
+        let values: Vec<u64> = (0..n).map(|i| (i % 4) as u64).collect();
+        let mut sums = vec![0.0; d as usize];
+        legacy_she_randomize_accumulate(d, scale, &values, &mut rng, &mut sums);
+        // Var of each sum = n · 2·scale² → sd ≈ 179 at these parameters.
+        let sd = (n as f64 * 2.0 * scale * scale).sqrt();
+        for (i, &s) in sums.iter().enumerate() {
+            let expected = if i < 4 { n as f64 / 4.0 } else { 0.0 };
+            assert!(
+                (s - expected).abs() < 5.0 * sd,
+                "coord {i}: sum={s} expected={expected}"
+            );
+        }
+    }
+
+    /// The frozen dense RAPPOR decode must keep recovering planted
+    /// candidates (it is the denominator of `rappor_lasso_speedup`).
+    #[test]
+    fn legacy_rappor_decode_recovers_planted_candidates() {
+        use ldp_rappor::{RapporClient, RapporParams};
+        let params = RapporParams::new(64, 2, 8, 0.25, 0.35, 0.65).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut agg = RapporAggregator::new(params.clone());
+        for i in 0..6_000usize {
+            let word: &[u8] = if i % 3 == 0 { b"heavy-a" } else { b"heavy-b" };
+            let mut client = RapporClient::with_random_cohort(params.clone(), &mut rng);
+            agg.accumulate(&client.report(word, &mut rng));
+        }
+        let candidates: Vec<&[u8]> = vec![b"heavy-a", b"heavy-b", b"absent-1", b"absent-2"];
+        let decoded = legacy_rappor_decode(&agg, &candidates);
+        assert!(decoded[0].selected && decoded[1].selected, "{decoded:?}");
+        assert!(
+            (decoded[0].estimate - 2_000.0).abs() < 800.0,
+            "heavy-a: {}",
+            decoded[0].estimate
+        );
+        assert!(
+            (decoded[1].estimate - 4_000.0).abs() < 900.0,
+            "heavy-b: {}",
+            decoded[1].estimate
         );
     }
 

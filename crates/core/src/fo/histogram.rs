@@ -25,7 +25,7 @@
 
 use super::{batch, FoAggregator, FrequencyOracle};
 use crate::estimate::debiased_count_variance;
-use crate::noise::sample_laplace;
+use crate::noise::fill_laplace;
 use crate::privacy::Epsilon;
 use crate::{Error, Result};
 use ldp_sketch::BitVec;
@@ -63,20 +63,21 @@ impl SummationHistogramEncoding {
         self.scale
     }
 
-    /// Shared sampling core for the scalar and batch paths (generic RNG,
-    /// so batch callers monomorphize every Laplace draw).
+    /// Shared sampling core for the scalar and batch paths: one batched
+    /// Laplace block ([`fill_laplace`] — uniform block then branchless
+    /// transform) plus the one-hot bump. Every SHE randomize path runs
+    /// through this same kernel, so scalar, batch, and fused streams
+    /// stay bit-identical for a given seed.
     fn randomize_impl<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> Vec<f64> {
         assert!(
             value < self.d,
             "value {value} outside domain of size {}",
             self.d
         );
-        (0..self.d)
-            .map(|i| {
-                let base = if i == value { 1.0 } else { 0.0 };
-                base + sample_laplace(self.scale, rng)
-            })
-            .collect()
+        let mut out = vec![0.0; self.d as usize];
+        fill_laplace(self.scale, rng, &mut out);
+        out[value as usize] += 1.0;
+        out
     }
 }
 
@@ -110,11 +111,12 @@ impl FrequencyOracle for SummationHistogramEncoding {
         }
     }
 
-    /// Fused batch path: adds each coordinate's one-hot base plus fresh
-    /// Laplace noise straight into the aggregator's sums — no per-report
-    /// `Vec<f64>`. Performs the same `base + noise` additions in the same
-    /// order as the scalar randomize→accumulate loop, so the
-    /// floating-point state is bit-identical for a given seed.
+    /// Fused batch path: one scratch block reused across reports — each
+    /// report is a [`fill_laplace`] block plus the one-hot bump, added
+    /// into the aggregator's sums. No per-report `Vec<f64>`, and the
+    /// same kernel (hence the same additions in the same order) as the
+    /// scalar randomize→accumulate loop, so the floating-point state is
+    /// bit-identical for a given seed.
     fn randomize_accumulate_batch<R: RngCore>(
         &self,
         values: &[u64],
@@ -122,11 +124,13 @@ impl FrequencyOracle for SummationHistogramEncoding {
         agg: &mut SheAggregator,
     ) {
         assert_eq!(agg.sums.len(), self.d as usize, "aggregator width mismatch");
+        let mut scratch = vec![0.0; self.d as usize];
         for &v in values {
             assert!(v < self.d, "value {v} outside domain of size {}", self.d);
-            for (i, s) in agg.sums.iter_mut().enumerate() {
-                let base = if i as u64 == v { 1.0 } else { 0.0 };
-                *s += base + sample_laplace(self.scale, rng);
+            fill_laplace(self.scale, rng, &mut scratch);
+            scratch[v as usize] += 1.0;
+            for (s, x) in agg.sums.iter_mut().zip(&scratch) {
+                *s += x;
             }
             agg.n += 1;
         }

@@ -12,15 +12,15 @@
 //! | Direct encoding (GRR) | [`direct`] | `DirectEncoding` | `log d` bits | `(d−2+e^ε)/(e^ε−1)²` | `≤ 2` | `O(d)`, `O(d)` | `O(d)` varints |
 //! | Symmetric unary (SUE, basic RAPPOR) | [`unary`] | `SymmetricUnary` | `d` bits | `e^{ε/2}/(e^{ε/2}−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` | `O(d)` varints |
 //! | Optimized unary (OUE) | [`unary`] | `OptimizedUnary` | `d` bits | `4e^ε/(e^ε−1)²` | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` | `O(d)` varints |
-//! | Summation histogram (SHE) | [`histogram`] | `SummationHistogram` | `d` floats | `8/ε²` | `d` (continuous noise per coord) | `O(d)`, `O(d)` | `8d` B (exact `f64` bits) |
+//! | Summation histogram (SHE) | [`histogram`] | `SummationHistogram` | `d` floats | `8/ε²` | `d` (one batched Laplace block) | `O(d)`, `O(d)` | `8d` B (exact `f64` bits) |
 //! | Threshold histogram (THE) | [`histogram`] | `ThresholdHistogram` | `d` bits | optimized numerically | `2 + d·q` (geometric skip) | `O(d)`, `O(d)` | `O(d)` varints |
 //! | Binary local hashing (BLH) | [`hashing`] | `BinaryLocalHashing` (registry steers to OLH-C) | 64+1 bits | `(e^ε+1)²/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` | `≈ 9n` B (report list) |
 //! | Optimized local hashing (OLH) | [`hashing`] | `OptimizedLocalHashing` (registry steers to OLH-C) | 64+log g bits | `4e^ε/(e^ε−1)²` | `≤ 3` | `O(n)`, `O(n·d)` | `≈ 9n` B (report list) |
 //! | Cohort local hashing (OLH-C) | [`hashing`] | `CohortLocalHashing` | log C + log g bits | `4e^ε/(e^ε−1)²` + collision term | `≤ 3` | `O(C·g)`, `O(C·d)` | `O(C·g)` varints |
-//! | Hadamard response (HR) | [`hadamard`] | `HadamardResponse` | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` | `O(m)` varints |
+//! | Hadamard response (HR) | [`hadamard`] | `HadamardResponse` | log m + 1 bits | `≈4e^ε/(e^ε−1)²` | `2` | `O(m)`, `O(m log m)` (tiled FWHT) | `O(m)` varints |
 //! | Subset selection (SS) | [`subset`] | `SubsetSelection` | `k·log d` bits | minimax-optimal | `1 + k` | `O(d)`, `O(d)` | `O(d)` varints |
 //! | Apple CMS | `ldp_apple::cms` | `AppleCms` | `m` bits + log k | `≈k·c_ε²·n/m + n/m` (sketch) | `2 + m·q` (geometric skip) | `O(k·m)`, `O(k·d)` | `O(k·m)` varints |
-//! | Apple HCMS | `ldp_apple::hcms` | `AppleHcms` | 1 bit + log km | `≈c'_ε²·n + n/m` (sketch) | `3` | `O(k·m)`, `O(k·m log m + k·d)` | `O(k·m)` varints |
+//! | Apple HCMS | `ldp_apple::hcms` | `AppleHcms` | 1 bit + log km | `≈c'_ε²·n + n/m` (sketch) | `3` | `O(k·m)`, `O(k·m log m + k·d)` (decode once, `O(k)`/query) | `O(k·m)` varints |
 //! | Microsoft dBitFlip | `ldp_microsoft::dbitflip` | `MicrosoftDBitFlip` | `d·(log k + 1)` bits | `(k/d)·`SUE floor | `≈ d + 2 + d·q` | `O(k)`, `O(k)` | `O(k)` varints |
 //! | Microsoft 1BitMean | `ldp_microsoft::onebit` | `MicrosoftOneBitMean` | 1 bit | mean: `max²(e^ε+1)²/4(e^ε−1)²` | `1` | `O(1)`, `O(1)` | `≈ 20` B |
 //!
@@ -35,7 +35,10 @@
 //! the batch path. The unary family (`d` bits, one independent Bernoulli
 //! per position) pays `2 + d·q` expected draws instead of `d` thanks to
 //! geometric-skip sampling of the set bits ([`batch`]); SHE is the one
-//! mechanism that inherently needs a continuous noise draw per coordinate.
+//! mechanism that inherently needs a continuous noise draw per
+//! coordinate, so it draws the whole report's uniforms as one block and
+//! maps them through a branchless inverse-CDF transform
+//! ([`crate::noise::fill_laplace`]) instead of `d` libm `ln` calls.
 //! The last four rows are the industrial deployments in `ldp-apple` and
 //! `ldp-microsoft`: they share the same geometric-skip sampler and are
 //! wired into the same batch engine through [`crate::mech::BatchMechanism`]

@@ -176,5 +176,14 @@ impl std::fmt::Display for LdpError {
 
 impl std::error::Error for LdpError {}
 
+impl From<ldp_sketch::FwhtSizeError> for LdpError {
+    /// A non-power-of-two Walsh–Hadamard length is a domain-shape
+    /// problem: Hadamard-based mechanisms size their message space as
+    /// `2^k`, so a buffer that violates that is an invalid domain.
+    fn from(e: ldp_sketch::FwhtSizeError) -> Self {
+        LdpError::InvalidDomain(e.to_string())
+    }
+}
+
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, LdpError>;

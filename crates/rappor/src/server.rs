@@ -18,7 +18,7 @@
 
 use crate::client::RapporReport;
 use crate::params::RapporParams;
-use ldp_sketch::linalg::{lasso, least_squares, Matrix};
+use ldp_sketch::linalg::{lasso_sparse, least_squares, Matrix, SparseColMatrix};
 use ldp_sketch::BloomFilter;
 
 /// A decoded candidate: its estimated population count and selection state.
@@ -174,11 +174,41 @@ impl RapporAggregator {
         self.counts.iter().flatten().copied().collect()
     }
 
+    /// The stacked 0/1 candidate design matrix in sparse column form:
+    /// column `s` holds the row indices `i·k + j` where candidate `s`'s
+    /// Bloom signature sets bit `j` in cohort `i`. Only the `h` set bits
+    /// per cohort are stored — a `h/k` fill (≈3% at h=2, k=64) instead
+    /// of a dense `m·k × candidates` allocation.
+    fn design_matrix(&self, candidates: &[&[u8]]) -> SparseColMatrix {
+        let k = self.params.bloom_bits();
+        let m = self.params.cohorts() as usize;
+        let columns: Vec<Vec<u32>> = candidates
+            .iter()
+            .map(|cand| {
+                let mut col = Vec::with_capacity(m * self.params.hashes() as usize);
+                for i in 0..m {
+                    let sig = BloomFilter::signature(k, self.params.hashes(), i as u32, cand);
+                    col.extend(sig.ones().map(|j| (i * k + j) as u32));
+                }
+                col
+            })
+            .collect();
+        SparseColMatrix::from_columns(m * k, &columns)
+    }
+
     /// Decodes candidate frequencies via LASSO selection + OLS fit.
     ///
     /// Returns one [`DecodedCandidate`] per input candidate, in input
     /// order. Estimates are population counts (may be slightly negative
     /// for absent candidates; unbiasedness over clamping).
+    ///
+    /// The selection stage runs on the sparse design matrix with the
+    /// active-set solver ([`lasso_sparse`]) — per sweep it touches only
+    /// the `h·m` stored bits of each column instead of all `m·k` rows,
+    /// and between full sweeps only the few selected candidates at all.
+    /// Statistically equivalent to the dense-matrix decode this replaces
+    /// (same design matrix, same `λ`, same convergence tolerance; the
+    /// active-set schedule reorders coordinate updates).
     pub fn decode(&self, candidates: &[&[u8]]) -> Vec<DecodedCandidate> {
         let k = self.params.bloom_bits();
         let m = self.params.cohorts() as usize;
@@ -189,16 +219,8 @@ impl RapporAggregator {
         }
 
         // Design matrix: X[(i*k + j), s] = candidate s's signature bit j in
-        // cohort i.
-        let mut x = Matrix::zeros(rows, n_cand);
-        for (s, cand) in candidates.iter().enumerate() {
-            for i in 0..m {
-                let sig = BloomFilter::signature(k, self.params.hashes(), i as u32, cand);
-                for j in sig.ones() {
-                    x.set(i * k + j, s, 1.0);
-                }
-            }
-        }
+        // cohort i — built directly in sparse column form.
+        let x = self.design_matrix(candidates);
 
         // Target: debiased bit counts, stacked.
         let t = self.debiased_bit_counts();
@@ -213,7 +235,7 @@ impl RapporAggregator {
         let avg_cohort = self.reports() as f64 / m as f64;
         let noise_sd = (avg_cohort * q_star * (1.0 - q_star)).sqrt() / (q_star - p_star);
         let lambda = noise_sd * (2.0 * (n_cand.max(2) as f64).ln()).sqrt();
-        let selected_coefs = lasso(&x, &y, lambda, true, 200, 1e-6);
+        let selected_coefs = lasso_sparse(&x, &y, lambda, true, 200, 1e-6);
         let support: Vec<usize> = (0..n_cand).filter(|&s| selected_coefs[s] > 1e-9).collect();
 
         let mut out: Vec<DecodedCandidate> = (0..n_cand)
@@ -228,10 +250,11 @@ impl RapporAggregator {
         }
 
         // Stage 2: OLS restricted to the support (unbiased magnitudes).
+        // The support is small, so the dense QR solver is the right tool.
         let mut xs = Matrix::zeros(rows, support.len());
         for (c_new, &s) in support.iter().enumerate() {
-            for r in 0..rows {
-                xs.set(r, c_new, x.get(r, s));
+            for &r in x.col(s) {
+                xs.set(r as usize, c_new, 1.0);
             }
         }
         let coefs = least_squares(&xs, &y);
@@ -340,6 +363,96 @@ mod tests {
         let top = agg.top_candidates(&candidates);
         assert!(!top.is_empty());
         assert_eq!(top[0].0, 1, "'big' should rank first");
+    }
+
+    /// The pre-sparse decode pipeline, reproduced verbatim: dense design
+    /// matrix + dense cyclic-sweep LASSO. The production decode must
+    /// stay statistically equivalent to this.
+    fn decode_dense_reference(
+        agg: &RapporAggregator,
+        candidates: &[&[u8]],
+    ) -> Vec<DecodedCandidate> {
+        use ldp_sketch::linalg::lasso;
+        let k = agg.params.bloom_bits();
+        let m = agg.params.cohorts() as usize;
+        let rows = m * k;
+        let n_cand = candidates.len();
+        let mut x = Matrix::zeros(rows, n_cand);
+        for (s, cand) in candidates.iter().enumerate() {
+            for i in 0..m {
+                let sig = BloomFilter::signature(k, agg.params.hashes(), i as u32, cand);
+                for j in sig.ones() {
+                    x.set(i * k + j, s, 1.0);
+                }
+            }
+        }
+        let t = agg.debiased_bit_counts();
+        let mut y = Vec::with_capacity(rows);
+        for cohort in &t {
+            y.extend_from_slice(cohort);
+        }
+        let (p_star, q_star) = agg.params.effective_channel();
+        let avg_cohort = agg.reports() as f64 / m as f64;
+        let noise_sd = (avg_cohort * q_star * (1.0 - q_star)).sqrt() / (q_star - p_star);
+        let lambda = noise_sd * (2.0 * (n_cand.max(2) as f64).ln()).sqrt();
+        let selected_coefs = lasso(&x, &y, lambda, true, 200, 1e-6);
+        let support: Vec<usize> = (0..n_cand).filter(|&s| selected_coefs[s] > 1e-9).collect();
+        let mut out: Vec<DecodedCandidate> = (0..n_cand)
+            .map(|s| DecodedCandidate {
+                candidate: s,
+                estimate: 0.0,
+                selected: false,
+            })
+            .collect();
+        if support.is_empty() {
+            return out;
+        }
+        let mut xs = Matrix::zeros(rows, support.len());
+        for (c_new, &s) in support.iter().enumerate() {
+            for r in 0..rows {
+                xs.set(r, c_new, x.get(r, s));
+            }
+        }
+        let coefs = least_squares(&xs, &y);
+        for (c_new, &s) in support.iter().enumerate() {
+            out[s].selected = true;
+            out[s].estimate = coefs[c_new] * m as f64;
+        }
+        out
+    }
+
+    #[test]
+    fn sparse_decode_statistically_equivalent_to_dense_reference() {
+        // Same design matrix, λ, and tolerance — the sparse active-set
+        // decode must select the same support and land within the LASSO
+        // convergence tolerance of the frozen dense pipeline.
+        for seed in [11u64, 29, 31] {
+            let params = RapporParams::new(64, 2, 8, 0.25, 0.35, 0.65).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let agg = simulate(
+                &params,
+                &[(b"alpha", 6000), (b"beta", 3000), (b"gamma", 1000)],
+                &mut rng,
+            );
+            let candidates: Vec<&[u8]> =
+                vec![b"alpha", b"beta", b"gamma", b"absent-1", b"absent-2"];
+            let sparse = agg.decode(&candidates);
+            let dense = decode_dense_reference(&agg, &candidates);
+            for (sp, dn) in sparse.iter().zip(&dense) {
+                assert_eq!(
+                    sp.selected, dn.selected,
+                    "seed {seed} candidate {}: support mismatch",
+                    sp.candidate
+                );
+                assert!(
+                    (sp.estimate - dn.estimate).abs() < 1e-3 * (1.0 + dn.estimate.abs()),
+                    "seed {seed} candidate {}: {} vs {}",
+                    sp.candidate,
+                    sp.estimate,
+                    dn.estimate
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,19 +12,73 @@
 //!   coefficients, so collecting noisy coefficients beats collecting noisy
 //!   cells.
 //!
-//! The FWHT here is the standard in-place butterfly, `O(m log m)` with
-//! `m` a power of two, operating on `f64` (the aggregation side) — plus
-//! [`hadamard_entry`] for the O(1) client-side single-entry evaluation,
-//! which is what makes 1-bit reports cheap: a client never materializes the
-//! matrix.
+//! The FWHT here is a blocked, cache-tiled in-place kernel, `O(m log m)`
+//! with `m` a power of two, operating on `f64` (the aggregation side) —
+//! plus [`hadamard_entry`] for the O(1) client-side single-entry
+//! evaluation, which is what makes 1-bit reports cheap: a client never
+//! materializes the matrix.
+//!
+//! # Kernel structure
+//!
+//! The textbook butterfly ([`fwht_reference`], kept as the frozen
+//! baseline) makes `log₂ m` full passes over the buffer, one per stage —
+//! for `m` beyond L1 that is `log₂ m` trips through the cache hierarchy.
+//! [`fwht`] restructures the same arithmetic:
+//!
+//! * **Intra-tile phase.** Stages with butterfly span `< T` (the
+//!   L1-sized tile, [`FWHT_TILE`] elements) never cross a `T`-aligned
+//!   boundary, so they run tile by tile: each tile is loaded once and
+//!   all `log₂ T` low stages complete while it sits in L1.
+//! * **Radix-4 fusion.** Within both phases, consecutive stage pairs
+//!   `(h, 2h)` are fused into one pass over four stride-`h` streams,
+//!   halving the number of loads/stores per element and exposing more
+//!   instruction-level parallelism.
+//!
+//! Both transformations reorder *independent* butterflies only: every
+//! output value is produced by exactly the same additions in the same
+//! association order as the reference butterfly, so the tiled kernel is
+//! **bit-identical** to [`fwht_reference`] on every input (proptested
+//! below across sizes 1..=4096).
+
+use std::fmt;
+
+/// Tile size (in `f64` elements) for the intra-tile FWHT phase: 2048
+/// elements = 16 KiB, half a typical 32 KiB L1d, leaving room for the
+/// streamed stores of the cross-tile phase.
+pub const FWHT_TILE: usize = 2048;
+
+/// Error returned by [`try_fwht`] for a length that is not a power of
+/// two (including zero): the Walsh–Hadamard transform is only defined on
+/// `2^k`-length vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FwhtSizeError {
+    /// The offending buffer length.
+    pub len: usize,
+}
+
+impl fmt::Display for FwhtSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FWHT length must be a power of two, got {len}",
+            len = self.len
+        )
+    }
+}
+
+impl std::error::Error for FwhtSizeError {}
 
 /// In-place fast Walsh–Hadamard transform (no normalization):
 /// `data ← H·data` where `H` is the ±1 Hadamard matrix of size `m = 2^k`.
 ///
 /// Applying it twice multiplies by `m` (`H·H = m·I`).
 ///
+/// This is the cache-tiled, radix-4 kernel (see the module docs);
+/// bit-identical to the textbook butterfly [`fwht_reference`].
+///
 /// # Panics
-/// Panics if `data.len()` is not a power of two (or is zero).
+/// Panics if `data.len()` is not a power of two (or is zero). Use
+/// [`try_fwht`] for a panic-free typed guard.
 ///
 /// # Examples
 /// ```
@@ -36,6 +90,91 @@
 /// assert_eq!(v, vec![4.0, 0.0, 0.0, 0.0]);
 /// ```
 pub fn fwht(data: &mut [f64]) {
+    if let Err(e) = try_fwht(data) {
+        panic!("{e}");
+    }
+}
+
+/// Panic-free [`fwht`]: returns [`FwhtSizeError`] instead of panicking
+/// when the length is not a power of two, leaving `data` untouched.
+///
+/// # Examples
+/// ```
+/// use ldp_sketch::hadamard::try_fwht;
+/// let mut v = vec![1.0, 2.0, 3.0];
+/// assert_eq!(try_fwht(&mut v).unwrap_err().len, 3);
+/// assert_eq!(v, vec![1.0, 2.0, 3.0]); // untouched on error
+/// ```
+pub fn try_fwht(data: &mut [f64]) -> Result<(), FwhtSizeError> {
+    let n = data.len();
+    if !n.is_power_of_two() {
+        return Err(FwhtSizeError { len: n });
+    }
+    // Intra-tile phase: all stages with span < tile, tile by tile.
+    let tile = FWHT_TILE.min(n);
+    for block in data.chunks_exact_mut(tile) {
+        fwht_stages(block, 1, tile);
+    }
+    // Cross-tile phase: remaining stages h = tile, 2·tile, …, n/2.
+    fwht_stages(data, tile, n);
+    Ok(())
+}
+
+/// Runs butterfly stages `h = h0, 2·h0, …, h_end/2` over `data`
+/// (radix-4 fused pairs, one trailing radix-2 stage if the count is
+/// odd). `h0` and `h_end` are powers of two with `h0 ≤ h_end ≤ len`.
+///
+/// Stage order is strictly increasing and each fused pair computes the
+/// exact expressions of its two sequential stages, so the arithmetic —
+/// and hence every output bit — matches the reference butterfly.
+#[inline]
+fn fwht_stages(data: &mut [f64], h0: usize, h_end: usize) {
+    let n = data.len();
+    let mut h = h0;
+    // Radix-4: fuse stages (h, 2h) while two stages remain.
+    while h * 4 <= h_end {
+        for chunk in data[..n].chunks_exact_mut(4 * h) {
+            let (ab, cd) = chunk.split_at_mut(2 * h);
+            let (a, b) = ab.split_at_mut(h);
+            let (c, d) = cd.split_at_mut(h);
+            for i in 0..h {
+                let (x0, x1, x2, x3) = (a[i], b[i], c[i], d[i]);
+                // Stage h …
+                let s0 = x0 + x1;
+                let d0 = x0 - x1;
+                let s1 = x2 + x3;
+                let d1 = x2 - x3;
+                // … then stage 2h, same association as two passes.
+                a[i] = s0 + s1;
+                b[i] = d0 + d1;
+                c[i] = s0 - s1;
+                d[i] = d0 - d1;
+            }
+        }
+        h *= 4;
+    }
+    // Trailing radix-2 stage when the stage count from h0 is odd.
+    if h * 2 <= h_end {
+        for chunk in data.chunks_exact_mut(2 * h) {
+            let (lo, hi) = chunk.split_at_mut(h);
+            for i in 0..h {
+                let (x, y) = (lo[i], hi[i]);
+                lo[i] = x + y;
+                hi[i] = x - y;
+            }
+        }
+    }
+}
+
+/// The frozen textbook FWHT butterfly: one full pass per stage, exactly
+/// the kernel this crate shipped before the tiled rewrite. Kept public
+/// as the baseline that `ldp-bench` measures `fwht_tiled_speedup`
+/// against and that the bit-identity proptests compare to — do not
+/// optimize it.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (or is zero).
+pub fn fwht_reference(data: &mut [f64]) {
     let n = data.len();
     assert!(
         n.is_power_of_two(),
@@ -189,6 +328,98 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
         fwht(&mut [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn try_fwht_rejects_bad_lengths_without_touching_data() {
+        for len in [0usize, 3, 5, 6, 7, 9, 12, 100, 1000, 4095, 4097] {
+            let orig: Vec<f64> = (0..len).map(|i| i as f64 * 0.5 - 1.0).collect();
+            let mut v = orig.clone();
+            let err = try_fwht(&mut v).expect_err("non-power-of-two must error");
+            assert_eq!(err.len, len);
+            assert!(err.to_string().contains("power of two"), "{err}");
+            assert_eq!(v, orig, "buffer must be untouched on error");
+        }
+    }
+
+    #[test]
+    fn try_fwht_accepts_all_powers_of_two() {
+        for k in 0..=12 {
+            let mut v = vec![1.0; 1usize << k];
+            assert!(try_fwht(&mut v).is_ok());
+            assert_eq!(v[0], (1usize << k) as f64);
+        }
+    }
+
+    /// Deterministic pseudo-random fill (splitmix64-style) so the
+    /// bit-identity sweep covers irregular mantissas without a rand dep.
+    fn scrambled(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_matches_reference_bit_for_bit_all_pow2_sizes() {
+        // Exhaustive over every power-of-two size 1..=4096 (and a few
+        // beyond the tile boundary so the cross-tile phase is exercised).
+        for k in 0..=13 {
+            let len = 1usize << k;
+            for seed in [1u64, 42, 9999] {
+                let v = scrambled(len, seed ^ len as u64);
+                let mut tiled = v.clone();
+                fwht(&mut tiled);
+                let mut reference = v;
+                fwht_reference(&mut reference);
+                for i in 0..len {
+                    assert_eq!(
+                        tiled[i].to_bits(),
+                        reference[i].to_bits(),
+                        "size {len} seed {seed} idx {i}: {} vs {}",
+                        tiled[i],
+                        reference[i]
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tiled_bit_identical_to_reference(
+            k in 0usize..=12,
+            seed in any::<u64>(),
+        ) {
+            let len = 1usize << k;
+            let v = scrambled(len, seed);
+            let mut tiled = v.clone();
+            fwht(&mut tiled);
+            let mut reference = v;
+            fwht_reference(&mut reference);
+            for i in 0..len {
+                prop_assert_eq!(tiled[i].to_bits(), reference[i].to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_tiled_matches_naive_matvec(
+            v in proptest::collection::vec(-100.0f64..100.0, 64),
+        ) {
+            let mut fast = v.clone();
+            fwht(&mut fast);
+            let slow = naive_transform(&v);
+            for (a, b) in fast.iter().zip(&slow) {
+                prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{} vs {}", a, b);
+            }
+        }
     }
 
     proptest! {

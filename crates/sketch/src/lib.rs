@@ -32,5 +32,8 @@ pub mod linalg;
 pub use bitvec::BitVec;
 pub use bloom::BloomFilter;
 pub use cms::{CountMeanSketch, CountMinSketch, CountSketch};
-pub use hadamard::{fwht, fwht_normalized, hadamard_entry};
+pub use hadamard::{
+    fwht, fwht_normalized, fwht_reference, hadamard_entry, try_fwht, FwhtSizeError,
+};
 pub use hash::{FastHasher, HashFamily, PairwiseHash};
+pub use linalg::{lasso, lasso_sparse, least_squares, Matrix, SparseColMatrix};

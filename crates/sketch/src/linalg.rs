@@ -9,9 +9,12 @@
 //! squares on the survivors — both are implemented here, from scratch,
 //! because the decoding step *is* part of the system being reproduced.
 //!
-//! The matrices involved are small (bits·cohorts × candidates, e.g.
-//! 128·64 × 1000), so dense Householder QR is the right tool; no sparse
-//! machinery is warranted.
+//! The OLS refit stage sees a small matrix (bits·cohorts × survivors), so
+//! dense Householder QR is the right tool there. The LASSO *selection*
+//! stage is different: its design matrix is bits·cohorts × *all*
+//! candidates, 0/1, and only `h/m` dense (each candidate sets `h` of `m`
+//! bits in one cohort), so it gets a dedicated binary-sparse path —
+//! [`SparseColMatrix`] plus the active-set solver [`lasso_sparse`].
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -102,6 +105,141 @@ impl Matrix {
     /// Squared L2 norm of column `c`.
     pub fn col_norm_sq(&self, c: usize) -> f64 {
         (0..self.rows).map(|r| self.get(r, c).powi(2)).sum()
+    }
+
+    /// Squared L2 norms of *all* columns in one row-major pass.
+    ///
+    /// Equivalent to calling [`col_norm_sq`](Self::col_norm_sq) per
+    /// column (same per-column accumulation order, so bit-identical),
+    /// but streams the matrix once instead of making `cols` strided
+    /// column walks — the difference between O(rows·cols) cache-friendly
+    /// reads and `cols` cache-hostile stride-`cols` scans.
+    pub fn col_norms_sq(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * a;
+            }
+        }
+        out
+    }
+}
+
+/// A binary (0/1) matrix in compressed-sparse-column form: per column,
+/// the sorted row indices of its 1-entries.
+///
+/// This is exactly the shape of RAPPOR's candidate design matrix — each
+/// candidate column sets `hashes` bits inside its cohort's block of an
+/// otherwise-zero `bits·cohorts` stack, a fill of `h/m` (≈ 1.6% at
+/// h=2, m=128) — and the binary restriction means a column's squared
+/// norm is just its popcount and a column·vector dot is a gather-sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseColMatrix {
+    rows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+}
+
+impl SparseColMatrix {
+    /// Builds from per-column row-index lists (each list: the rows where
+    /// that column is 1). Indices need not be sorted; they are sorted
+    /// and deduplicated here so dot products run in ascending-row order.
+    ///
+    /// # Panics
+    /// Panics if any row index is `≥ rows`, or `rows` overflows `u32`.
+    pub fn from_columns(rows: usize, columns: &[Vec<u32>]) -> Self {
+        assert!(u32::try_from(rows).is_ok(), "rows {rows} overflows u32");
+        let mut col_ptr = Vec::with_capacity(columns.len() + 1);
+        col_ptr.push(0usize);
+        let mut row_idx = Vec::with_capacity(columns.iter().map(Vec::len).sum());
+        for col in columns {
+            let mut sorted = col.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if let Some(&last) = sorted.last() {
+                assert!((last as usize) < rows, "row index {last} out of range");
+            }
+            row_idx.extend_from_slice(&sorted);
+            col_ptr.push(row_idx.len());
+        }
+        Self {
+            rows,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Converts a dense 0/1 matrix (entries exactly 0.0 or 1.0).
+    ///
+    /// # Panics
+    /// Panics if any entry is neither 0.0 nor 1.0.
+    pub fn from_dense(a: &Matrix) -> Self {
+        let columns: Vec<Vec<u32>> = (0..a.cols())
+            .map(|c| {
+                (0..a.rows())
+                    .filter(|&r| {
+                        let v = a.get(r, c);
+                        assert!(v == 0.0 || v == 1.0, "entry ({r},{c}) = {v} is not binary");
+                        v == 1.0
+                    })
+                    .map(|r| r as u32)
+                    .collect()
+            })
+            .collect();
+        Self::from_columns(a.rows(), &columns)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Total number of stored 1-entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The sorted row indices of column `j`'s 1-entries.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[u32] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// `self · x` for a vector `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols(), "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            for &r in self.col(j) {
+                out[r as usize] += xj;
+            }
+        }
+        out
+    }
+
+    /// Materializes the dense equivalent (test/debug aid).
+    pub fn to_dense(&self) -> Matrix {
+        let mut a = Matrix::zeros(self.rows, self.cols());
+        for j in 0..self.cols() {
+            for &r in self.col(j) {
+                a.set(r as usize, j, 1.0);
+            }
+        }
+        a
     }
 }
 
@@ -226,7 +364,9 @@ pub fn lasso(
     let mut x = vec![0.0; n];
     // Residual r = b - A x (x = 0 initially).
     let mut resid = b.to_vec();
-    let col_norms: Vec<f64> = (0..n).map(|c| a.col_norm_sq(c)).collect();
+    // One streaming pass for every column norm; hoisted out of the
+    // sweep loop so the dense fallback stays cheap for tall matrices.
+    let col_norms: Vec<f64> = a.col_norms_sq();
 
     for _ in 0..max_iter {
         let mut max_delta = 0.0f64;
@@ -269,6 +409,106 @@ pub fn lasso(
         }
         if max_delta < tol {
             break;
+        }
+    }
+    x
+}
+
+/// Non-negative (or signed) LASSO over a binary sparse design matrix via
+/// active-set coordinate descent: the sparse counterpart of [`lasso`].
+///
+/// Strategy (glmnet-style): run one full cyclic sweep over every
+/// coordinate, collect the coordinates that are currently nonzero into
+/// the *active set*, then iterate sweeps over only the active set until
+/// they stabilize — repeating the full sweep to let new coordinates
+/// enter. Converged-zero coordinates are skipped entirely between full
+/// sweeps, which is where the win comes from: post-selection, RAPPOR's
+/// active set is tens of candidates out of thousands.
+///
+/// Per-coordinate work exploits the 0/1 structure: the column norm is
+/// the column's popcount and the residual correlation is a gather-sum
+/// over `nnz(j)` entries, in the same ascending-row order as the dense
+/// solver (a lone full-sweep pass here is bit-identical to [`lasso`];
+/// the active-set schedule changes sweep order, so end-to-end agreement
+/// with the dense path is to convergence tolerance, not to the bit).
+///
+/// `max_iter` counts sweeps of either kind. Returns the coefficients.
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()` or `lambda < 0`.
+pub fn lasso_sparse(
+    a: &SparseColMatrix,
+    b: &[f64],
+    lambda: f64,
+    nonnegative: bool,
+    max_iter: usize,
+    tol: f64,
+) -> Vec<f64> {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    let mut resid = b.to_vec();
+    let mut active: Vec<usize> = Vec::new();
+    let mut in_active = vec![false; n];
+
+    // One coordinate update; returns |delta|.
+    let update = |j: usize, x: &mut [f64], resid: &mut [f64]| -> f64 {
+        let col = a.col(j);
+        let nj = col.len() as f64;
+        if col.is_empty() {
+            return 0.0;
+        }
+        let mut rho = 0.0;
+        for &r in col {
+            rho += resid[r as usize];
+        }
+        rho += nj * x[j];
+        let mut new_xj = if rho > lambda {
+            (rho - lambda) / nj
+        } else if rho < -lambda {
+            (rho + lambda) / nj
+        } else {
+            0.0
+        };
+        if nonnegative && new_xj < 0.0 {
+            new_xj = 0.0;
+        }
+        let delta = new_xj - x[j];
+        if delta != 0.0 {
+            for &r in col {
+                resid[r as usize] -= delta;
+            }
+            x[j] = new_xj;
+        }
+        delta.abs()
+    };
+
+    let mut sweeps = 0;
+    while sweeps < max_iter {
+        // Full sweep: every coordinate gets a chance to enter.
+        let mut max_delta = 0.0f64;
+        for j in 0..n {
+            max_delta = max_delta.max(update(j, &mut x, &mut resid));
+            if x[j] != 0.0 && !in_active[j] {
+                in_active[j] = true;
+                active.push(j);
+            }
+        }
+        sweeps += 1;
+        if max_delta < tol {
+            break;
+        }
+        // Inner sweeps: only the active set, until it stabilizes.
+        while sweeps < max_iter {
+            let mut inner_delta = 0.0f64;
+            for &j in &active {
+                inner_delta = inner_delta.max(update(j, &mut x, &mut resid));
+            }
+            sweeps += 1;
+            if inner_delta < tol {
+                break;
+            }
         }
     }
     x
@@ -408,5 +648,105 @@ mod tests {
     fn least_squares_dim_mismatch_panics() {
         let a = Matrix::zeros(3, 2);
         least_squares(&a, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn col_norms_sq_matches_per_column_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, n) = (37, 11);
+        let data: Vec<f64> = (0..m * n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let a = Matrix::from_vec(m, n, data);
+        let all = a.col_norms_sq();
+        for (c, &v) in all.iter().enumerate() {
+            assert_eq!(v.to_bits(), a.col_norm_sq(c).to_bits(), "column {c}");
+        }
+    }
+
+    fn random_binary(m: usize, n: usize, density: f64, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0.0; m * n];
+        for v in data.iter_mut() {
+            *v = if rng.gen_bool(density) { 1.0 } else { 0.0 };
+        }
+        Matrix::from_vec(m, n, data)
+    }
+
+    #[test]
+    fn sparse_roundtrip_and_matvec() {
+        let a = random_binary(23, 9, 0.2, 5);
+        let s = SparseColMatrix::from_dense(&a);
+        assert_eq!(s.rows(), 23);
+        assert_eq!(s.cols(), 9);
+        assert_eq!(s.to_dense(), a);
+        let x: Vec<f64> = (0..9).map(|i| i as f64 - 4.0).collect();
+        let dense_y = a.matvec(&x);
+        let sparse_y = s.matvec(&x);
+        assert_close(&sparse_y, &dense_y, 1e-12);
+    }
+
+    #[test]
+    fn sparse_from_columns_sorts_and_dedups() {
+        let s = SparseColMatrix::from_columns(6, &[vec![5, 1, 1, 3], vec![]]);
+        assert_eq!(s.col(0), &[1, 3, 5]);
+        assert_eq!(s.col(1), &[] as &[u32]);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sparse_rejects_out_of_range_rows() {
+        SparseColMatrix::from_columns(4, &[vec![4]]);
+    }
+
+    #[test]
+    fn lasso_sparse_matches_dense_on_rappor_shaped_problems() {
+        // Tall sparse binary design, sparse non-negative ground truth —
+        // the RAPPOR decode shape. The two solvers must select the same
+        // support and agree to well within the convergence tolerance.
+        for seed in [11u64, 12, 13] {
+            let (m, n) = (96, 200);
+            let a = random_binary(m, n, 0.05, seed);
+            let s = SparseColMatrix::from_dense(&a);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xffff);
+            let mut truth = vec![0.0; n];
+            for _ in 0..5 {
+                truth[rng.gen_range(0..n)] = rng.gen_range(5.0..50.0);
+            }
+            let mut b = a.matvec(&truth);
+            for v in b.iter_mut() {
+                *v += rng.gen_range(-0.5..0.5);
+            }
+            let lambda = 2.0;
+            let dense = lasso(&a, &b, lambda, true, 500, 1e-9);
+            let sparse = lasso_sparse(&s, &b, lambda, true, 500, 1e-9);
+            for j in 0..n {
+                assert!(
+                    (dense[j] - sparse[j]).abs() < 1e-6,
+                    "seed {seed} coord {j}: dense {} vs sparse {}",
+                    dense[j],
+                    sparse[j]
+                );
+                assert_eq!(
+                    dense[j].abs() > 1e-9,
+                    sparse[j].abs() > 1e-9,
+                    "seed {seed} coord {j}: support mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lasso_sparse_single_full_sweep_is_bit_identical_to_dense() {
+        // With max_iter = 1 both solvers run exactly one cyclic sweep in
+        // the same coordinate order with the same 0/1 arithmetic, so the
+        // results must match to the bit.
+        let a = random_binary(48, 60, 0.1, 21);
+        let s = SparseColMatrix::from_dense(&a);
+        let b: Vec<f64> = (0..48).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+        let dense = lasso(&a, &b, 1.5, true, 1, 0.0);
+        let sparse = lasso_sparse(&s, &b, 1.5, true, 1, 0.0);
+        for j in 0..60 {
+            assert_eq!(dense[j].to_bits(), sparse[j].to_bits(), "coord {j}");
+        }
     }
 }
