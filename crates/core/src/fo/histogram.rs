@@ -23,7 +23,7 @@
 //! expected uniform draws per report instead of `d` Laplace draws — and
 //! never materializes the continuous noise it marginalizes out.
 
-use super::{batch, FoAggregator, FrequencyOracle};
+use super::{batch, FoAggregator, FrequencyOracle, SetBitSampler};
 use crate::estimate::debiased_count_variance;
 use crate::noise::fill_laplace;
 use crate::privacy::Epsilon;
@@ -338,10 +338,17 @@ impl ThresholdHistogramEncoding {
         (self.p, self.q)
     }
 
-    /// Samples the set-bit positions of one report — one Bernoulli(`p`)
-    /// draw for the one-hot position, geometric-skip sampling at rate `q`
-    /// for the rest. Shared by the scalar and fused batch paths, so both
-    /// consume identical RNG streams.
+    fn randomize_impl<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> BitVec {
+        let mut bits = BitVec::zeros(self.d as usize);
+        self.sample_ones(value, rng, |i| bits.set(i, true));
+        bits
+    }
+}
+
+/// One Bernoulli(`p`) draw for the one-hot position, geometric-skip
+/// sampling at rate `q` for the rest. Shared by the scalar and fused
+/// batch paths, so both consume identical RNG streams.
+impl SetBitSampler for ThresholdHistogramEncoding {
     #[inline]
     fn sample_ones<R: RngCore + ?Sized>(
         &self,
@@ -361,12 +368,6 @@ impl ThresholdHistogramEncoding {
             let pos = k + u64::from(k >= value);
             on_one(pos as usize);
         });
-    }
-
-    fn randomize_impl<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> BitVec {
-        let mut bits = BitVec::zeros(self.d as usize);
-        self.sample_ones(value, rng, |i| bits.set(i, true));
-        bits
     }
 }
 
@@ -505,6 +506,27 @@ impl FoAggregator for TheAggregator {
         }
         self.accumulate(report);
         Ok(())
+    }
+
+    fn try_accumulate_packed_bits(
+        &mut self,
+        bytes: &[u8],
+        bits: usize,
+    ) -> Option<crate::Result<()>> {
+        let res = super::accumulate_packed_ones(&mut self.ones, bytes, bits);
+        if res.is_ok() {
+            self.n += 1;
+        }
+        Some(res)
+    }
+
+    fn try_accumulate_packed_bits_batch(
+        &mut self,
+        payloads: &[(&[u8], usize)],
+    ) -> Option<(usize, crate::Result<()>)> {
+        let (applied, res) = super::accumulate_packed_ones_batch(&mut self.ones, payloads);
+        self.n += applied;
+        Some((applied, res))
     }
 
     fn reports(&self) -> usize {

@@ -205,6 +205,30 @@ pub trait FrequencyOracle {
     fn report_bits(&self) -> usize;
 }
 
+/// The unary report family (SUE, OUE, THE): oracles whose report is a
+/// perturbed `d`-bit one-hot vector, exposing the underlying set-bit
+/// sampler directly.
+///
+/// This is the hook behind the wire layer's fused sampler→frame writer:
+/// a consumer that only needs the *positions* of the set bits (packing
+/// them into an outgoing frame buffer, bumping counters) can take them
+/// straight from the geometric-skip sampler without materializing a
+/// [`ldp_sketch::BitVec`] per report.
+///
+/// Contract: for a given `value` and RNG state, `sample_ones` must make
+/// exactly the draws [`FrequencyOracle::randomize`] makes and visit
+/// exactly the positions the returned report would have set, in the same
+/// order — the RNG-stream identity that keeps every consumer of this
+/// sampler bit-identical to the report path.
+pub trait SetBitSampler: FrequencyOracle<Report = ldp_sketch::BitVec> {
+    /// Samples the set-bit positions of one report, invoking `on_one`
+    /// for each.
+    ///
+    /// # Panics
+    /// Panics if `value >= domain_size()`.
+    fn sample_ones<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R, on_one: impl FnMut(usize));
+}
+
 /// Server-side accumulation and estimation for one [`FrequencyOracle`].
 ///
 /// [`crate::snapshot::StateSnapshot`] is a supertrait: every aggregator
@@ -241,6 +265,49 @@ pub trait FoAggregator: crate::snapshot::StateSnapshot {
         Ok(())
     }
 
+    /// Folds one bit-vector report presented as its wire payload —
+    /// little-endian packed bytes — without materializing the report.
+    /// `None` means this aggregator has no packed fast path (the wire
+    /// layer falls back to decoding into a scratch report); `Some(res)`
+    /// means the payload was validated (width, byte count, zero padding)
+    /// and, on `Ok`, folded in — state-identical to decoding the same
+    /// payload and calling [`Self::try_accumulate`].
+    ///
+    /// # Errors
+    /// [`crate::LdpError::Malformed`] inside the `Some` when the payload
+    /// does not fit this aggregator's configuration.
+    fn try_accumulate_packed_bits(
+        &mut self,
+        bytes: &[u8],
+        bits: usize,
+    ) -> Option<crate::Result<()>> {
+        let _ = (bytes, bits);
+        None
+    }
+
+    /// Folds a group of bit-vector wire payloads (`(packed bytes, bit
+    /// width)` pairs) in arrival order — the batched companion of
+    /// [`Self::try_accumulate_packed_bits`] that lets implementations
+    /// amortize the per-set-bit counter walk across reports (the unary
+    /// family counts groups of eight through a carry-save positional
+    /// popcount). `None` means no packed fast path; `Some((applied,
+    /// res))` means the first `applied` payloads were folded in, and
+    /// `res` carries the validation error of payload `applied` if not
+    /// every payload fit. State after `Some` is identical to calling
+    /// [`Self::try_accumulate_packed_bits`] on each payload in order and
+    /// stopping at the first error.
+    ///
+    /// # Errors
+    /// [`crate::LdpError::Malformed`] inside the `Some` when a payload
+    /// does not fit this aggregator's configuration.
+    fn try_accumulate_packed_bits_batch(
+        &mut self,
+        payloads: &[(&[u8], usize)],
+    ) -> Option<(usize, crate::Result<()>)> {
+        let _ = payloads;
+        None
+    }
+
     /// Number of reports accumulated so far.
     fn reports(&self) -> usize;
 
@@ -275,6 +342,162 @@ pub trait FoAggregator: crate::snapshot::StateSnapshot {
     fn merge(&mut self, other: Self)
     where
         Self: Sized;
+}
+
+/// Shared body of the per-position-counter
+/// [`FoAggregator::try_accumulate_packed_bits`] overrides (unary family,
+/// THE): validates an LE-packed bit payload against the counter width and
+/// adds each set bit's counter, word at a time — the exact state change
+/// of decoding the payload into a `BitVec` and accumulating it.
+pub(crate) fn accumulate_packed_ones(
+    ones: &mut [u64],
+    bytes: &[u8],
+    bits: usize,
+) -> crate::Result<()> {
+    if bits != ones.len() {
+        return Err(crate::LdpError::Malformed(format!(
+            "report width {bits} != domain size {}",
+            ones.len()
+        )));
+    }
+    if bytes.len() != bits.div_ceil(8) {
+        return Err(crate::LdpError::Malformed(format!(
+            "bit payload of {} bytes for {bits} bits",
+            bytes.len()
+        )));
+    }
+    if !bits.is_multiple_of(8) && bytes[bytes.len() - 1] >> (bits % 8) != 0 {
+        return Err(crate::LdpError::Malformed("nonzero padding bits".into()));
+    }
+    // A plain trailing_zeros/clear-lowest extraction per word: measured
+    // against both a two-chain interleaved drain and a branchless
+    // bit-spread (`ones[k] += (w >> k) & 1`), the single chain wins at
+    // the ~25% bit density the unary mechanisms produce — the extra
+    // loop conditions cost more than the dependency chain they hide.
+    let mut chunks = bytes.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let mut w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        while w != 0 {
+            ones[base + w.trailing_zeros() as usize] += 1;
+            w &= w - 1;
+        }
+        base += 64;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        let mut w = u64::from_le_bytes(tail);
+        while w != 0 {
+            ones[base + w.trailing_zeros() as usize] += 1;
+            w &= w - 1;
+        }
+    }
+    Ok(())
+}
+
+/// Full adder over bit-parallel lanes: `(sum, carry)` of three words.
+#[inline]
+fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let u = a ^ b;
+    (u ^ c, (a & b) | (u & c))
+}
+
+/// Number of payloads [`accumulate_packed_ones_batch`] reduces through
+/// one carry-save popcount group.
+pub(crate) const PACKED_BATCH: usize = 8;
+
+/// Shared body of the
+/// [`FoAggregator::try_accumulate_packed_bits_batch`] overrides:
+/// validates every payload up front (so the fold below cannot fail
+/// mid-group), then folds groups of [`PACKED_BATCH`] payloads through a
+/// carry-save positional popcount — each 64-counter column costs one
+/// 3-2 adder tree plus a `trailing_zeros` walk over four count
+/// bit-planes, instead of eight separate per-set-bit walks. At the ~25%
+/// bit density the unary mechanisms produce, that roughly halves the
+/// counter-add work per report. Leftover payloads (and any prefix that
+/// precedes an invalid payload) go through the single-report walk.
+///
+/// Returns `(applied, res)`: the number of payloads folded in, and the
+/// first validation error if one did not fit. State is identical to
+/// calling [`accumulate_packed_ones`] per payload in order, stopping at
+/// the first error — counter adds commute, so group order is
+/// unobservable.
+pub(crate) fn accumulate_packed_ones_batch(
+    ones: &mut [u64],
+    payloads: &[(&[u8], usize)],
+) -> (usize, crate::Result<()>) {
+    let valid = payloads
+        .iter()
+        .position(|&(bytes, bits)| {
+            bits != ones.len()
+                || bytes.len() != bits.div_ceil(8)
+                || (!bits.is_multiple_of(8) && bytes[bytes.len() - 1] >> (bits % 8) != 0)
+        })
+        .unwrap_or(payloads.len());
+    // One 3-2 adder tree: positional popcount of eight bit rows into
+    // four count planes, added into 64 counters at plane weights.
+    #[inline]
+    fn csa_fold(ones: &mut [u64], base: usize, r: [u64; PACKED_BATCH]) {
+        let (s0, c0) = csa(r[0], r[1], r[2]);
+        let (s1, c1) = csa(r[3], r[4], r[5]);
+        let (s2, c2) = csa(r[6], r[7], s0);
+        let (p0, c3) = (s1 ^ s2, s1 & s2);
+        let (s3, c4) = csa(c0, c1, c2);
+        let (p1, c5) = (s3 ^ c3, s3 & c3);
+        let (p2, p3) = (c4 ^ c5, c4 & c5);
+        for (mut plane, weight) in [(p0, 1u64), (p1, 2), (p2, 4), (p3, 8)] {
+            while plane != 0 {
+                ones[base + plane.trailing_zeros() as usize] += weight;
+                plane &= plane - 1;
+            }
+        }
+    }
+    let bits = ones.len();
+    let full_words = bits / 64;
+    let mut groups = payloads[..valid].chunks_exact(PACKED_BATCH);
+    for group in &mut groups {
+        for j in 0..full_words {
+            let mut r = [0u64; PACKED_BATCH];
+            for (row, &(bytes, _)) in r.iter_mut().zip(group) {
+                let chunk: [u8; 8] = bytes[j * 8..j * 8 + 8].try_into().expect("full word");
+                *row = u64::from_le_bytes(chunk);
+            }
+            csa_fold(ones, j * 64, r);
+        }
+        // Partial trailing word: padding bits are validated zero, so the
+        // zero-extended loads keep every plane inside the counter range.
+        if !bits.is_multiple_of(64) {
+            let mut r = [0u64; PACKED_BATCH];
+            for (row, &(bytes, _)) in r.iter_mut().zip(group) {
+                let rem = &bytes[full_words * 8..];
+                let mut tail = [0u8; 8];
+                tail[..rem.len()].copy_from_slice(rem);
+                *row = u64::from_le_bytes(tail);
+            }
+            csa_fold(ones, full_words * 64, r);
+        }
+    }
+    for &(bytes, bits) in groups.remainder() {
+        accumulate_packed_ones(ones, bytes, bits).expect("validated above");
+    }
+    if valid == payloads.len() {
+        (valid, Ok(()))
+    } else {
+        let (bytes, bits) = payloads[valid];
+        let err = if bits != ones.len() {
+            crate::LdpError::Malformed(format!("report width {bits} != domain size {}", ones.len()))
+        } else if bytes.len() != bits.div_ceil(8) {
+            crate::LdpError::Malformed(format!(
+                "bit payload of {} bytes for {bits} bits",
+                bytes.len()
+            ))
+        } else {
+            crate::LdpError::Malformed("nonzero padding bits".into())
+        };
+        (valid, Err(err))
+    }
 }
 
 /// Runs a full collection round: randomizes `values` through `oracle`,

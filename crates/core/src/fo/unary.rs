@@ -21,7 +21,7 @@
 //! [`FrequencyOracle::randomize_accumulate_batch`] share this sampler, so
 //! both paths consume identical RNG streams for a given seed.
 
-use super::{batch, FoAggregator, FrequencyOracle};
+use super::{batch, FoAggregator, FrequencyOracle, SetBitSampler};
 use crate::estimate::debiased_count_variance;
 use crate::privacy::Epsilon;
 use crate::{Error, Result};
@@ -257,6 +257,24 @@ macro_rules! impl_unary_oracle {
 impl_unary_oracle!(SymmetricUnaryEncoding, "SUE");
 impl_unary_oracle!(OptimizedUnaryEncoding, "OUE");
 
+macro_rules! impl_set_bit_sampler {
+    ($ty:ty) => {
+        impl SetBitSampler for $ty {
+            fn sample_ones<R: RngCore + ?Sized>(
+                &self,
+                value: u64,
+                rng: &mut R,
+                on_one: impl FnMut(usize),
+            ) {
+                self.core.sample_ones(value, rng, on_one);
+            }
+        }
+    };
+}
+
+impl_set_bit_sampler!(SymmetricUnaryEncoding);
+impl_set_bit_sampler!(OptimizedUnaryEncoding);
+
 /// Aggregator for unary encodings: per-position 1-counts plus debiasing.
 #[derive(Debug, Clone)]
 pub struct UnaryAggregator {
@@ -308,6 +326,27 @@ impl FoAggregator for UnaryAggregator {
         }
         self.accumulate(report);
         Ok(())
+    }
+
+    fn try_accumulate_packed_bits(
+        &mut self,
+        bytes: &[u8],
+        bits: usize,
+    ) -> Option<crate::Result<()>> {
+        let res = super::accumulate_packed_ones(&mut self.ones, bytes, bits);
+        if res.is_ok() {
+            self.n += 1;
+        }
+        Some(res)
+    }
+
+    fn try_accumulate_packed_bits_batch(
+        &mut self,
+        payloads: &[(&[u8], usize)],
+    ) -> Option<(usize, crate::Result<()>)> {
+        let (applied, res) = super::accumulate_packed_ones_batch(&mut self.ones, payloads);
+        self.n += applied;
+        Some((applied, res))
     }
 
     fn reports(&self) -> usize {

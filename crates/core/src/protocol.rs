@@ -41,7 +41,8 @@ use crate::fo::{
     SymmetricUnaryEncoding, ThresholdHistogramEncoding,
 };
 use crate::wire::{
-    put_f64_le, put_u64_le, put_uvarint, ErasedBridge, ErasedMechanism, OracleMechanism, WireReader,
+    put_f64_le, put_u64_le, put_uvarint, ErasedBridge, ErasedMechanism, FusedUnaryMechanism,
+    OracleMechanism, WireReader,
 };
 use crate::{Epsilon, LdpError, Result};
 use std::collections::BTreeMap;
@@ -550,9 +551,13 @@ impl Registry {
                 d,
             )
         });
+        // The unary family rides `FusedUnaryMechanism`, whose
+        // `try_randomize_frames` samples set bits straight into the
+        // outgoing frame buffer (byte-identical to the materializing
+        // path for a given seed).
         r.register(MechanismKind::SymmetricUnary, |d| {
             erase(
-                OracleMechanism(SymmetricUnaryEncoding::new(
+                FusedUnaryMechanism(SymmetricUnaryEncoding::new(
                     d.domain_size(),
                     d.epsilon_checked(),
                 )?),
@@ -561,7 +566,7 @@ impl Registry {
         });
         r.register(MechanismKind::OptimizedUnary, |d| {
             erase(
-                OracleMechanism(OptimizedUnaryEncoding::new(
+                FusedUnaryMechanism(OptimizedUnaryEncoding::new(
                     d.domain_size(),
                     d.epsilon_checked(),
                 )?),
@@ -579,7 +584,7 @@ impl Registry {
         });
         r.register(MechanismKind::ThresholdHistogram, |d| {
             erase(
-                OracleMechanism(ThresholdHistogramEncoding::new(
+                FusedUnaryMechanism(ThresholdHistogramEncoding::new(
                     d.domain_size(),
                     d.epsilon_checked(),
                 )?),

@@ -38,7 +38,7 @@
 //! the aggregator state of the fused in-process path, because both
 //! consume the same RNG stream and fold into the same counters.
 
-use crate::fo::{FoAggregator, FrequencyOracle};
+use crate::fo::{FoAggregator, FrequencyOracle, SetBitSampler};
 use crate::mech::BatchMechanism;
 use crate::protocol::ProtocolDescriptor;
 use crate::{LdpError, Result};
@@ -96,6 +96,23 @@ pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
         v >>= 7;
     }
     out.push(v as u8);
+}
+
+/// Encodes a LEB128 unsigned varint into a stack array, returning the
+/// buffer and the encoded length — for hot paths that splice a varint
+/// into a larger frame without touching the heap ([`put_uvarint`] is the
+/// `Vec` flavor of the same encoding).
+#[must_use]
+pub fn uvarint_array(mut v: u64) -> ([u8; 10], usize) {
+    let mut buf = [0u8; 10];
+    let mut n = 0usize;
+    while v >= 0x80 {
+        buf[n] = (v as u8) | 0x80;
+        v >>= 7;
+        n += 1;
+    }
+    buf[n] = v as u8;
+    (buf, n + 1)
 }
 
 /// Appends a `u64` as 8 little-endian bytes.
@@ -247,6 +264,23 @@ pub trait WireReport: Sized {
     /// Parses the payload from `r`. Implementations must consume exactly
     /// the payload ([`decode_report`] runs the trailing-bytes check).
     fn decode_payload(r: &mut WireReader<'_>) -> Result<Self>;
+
+    /// Parses the payload from `r` **into** an existing report, reusing
+    /// its storage where the type allows — the decode loop of a concat
+    /// stream ([`ErasedMechanism::accumulate_concat`]) calls this once
+    /// per frame with one scratch report, so fixed-width report types
+    /// ([`BitVec`], `Vec<f64>`) allocate nothing per frame.
+    ///
+    /// On success `self` equals what [`decode_payload`](Self::decode_payload)
+    /// would have returned; on error its contents are unspecified (the
+    /// caller aborts the stream).
+    ///
+    /// # Errors
+    /// As [`decode_payload`](Self::decode_payload).
+    fn decode_payload_into(&mut self, r: &mut WireReader<'_>) -> Result<()> {
+        *self = Self::decode_payload(r)?;
+        Ok(())
+    }
 }
 
 /// Appends one complete frame (`version | tag | len | payload`) for
@@ -403,6 +437,26 @@ pub fn get_bitvec(r: &mut WireReader<'_>) -> Result<BitVec> {
         .ok_or_else(|| LdpError::Malformed("nonzero padding bits".into()))
 }
 
+/// Reads a [`BitVec`] written by [`put_bitvec`] into `bits`, reusing its
+/// word storage when the wire bit-length matches (the steady state of a
+/// single-mechanism frame stream) and reallocating only on a length
+/// change.
+pub fn get_bitvec_into(r: &mut WireReader<'_>, bits: &mut BitVec) -> Result<()> {
+    let len = r.uvarint()?;
+    let len = usize::try_from(len)
+        .map_err(|_| LdpError::Malformed(format!("bit length {len} overflows usize")))?;
+    let bytes = r.bytes(len.div_ceil(8))?;
+    if len == bits.len() {
+        if bits.copy_from_le_bytes(bytes) {
+            return Ok(());
+        }
+        return Err(LdpError::Malformed("nonzero padding bits".into()));
+    }
+    *bits = BitVec::from_le_bytes(len, bytes)
+        .ok_or_else(|| LdpError::Malformed("nonzero padding bits".into()))?;
+    Ok(())
+}
+
 impl WireReport for BitVec {
     const TAG: u8 = tag::BITS;
 
@@ -412,6 +466,10 @@ impl WireReport for BitVec {
 
     fn decode_payload(r: &mut WireReader<'_>) -> Result<Self> {
         get_bitvec(r)
+    }
+
+    fn decode_payload_into(&mut self, r: &mut WireReader<'_>) -> Result<()> {
+        get_bitvec_into(r, self)
     }
 }
 
@@ -436,6 +494,22 @@ impl WireReport for Vec<f64> {
         }
         (0..len).map(|_| r.f64_le()).collect()
     }
+
+    fn decode_payload_into(&mut self, r: &mut WireReader<'_>) -> Result<()> {
+        let len = r.uvarint()? as usize;
+        if r.remaining() / 8 < len {
+            return Err(LdpError::Truncated {
+                needed: len * 8,
+                available: r.remaining(),
+            });
+        }
+        self.clear();
+        self.reserve(len);
+        for _ in 0..len {
+            self.push(r.f64_le()?);
+        }
+        Ok(())
+    }
 }
 
 impl WireReport for Vec<u64> {
@@ -458,6 +532,22 @@ impl WireReport for Vec<u64> {
             });
         }
         (0..len).map(|_| r.uvarint()).collect()
+    }
+
+    fn decode_payload_into(&mut self, r: &mut WireReader<'_>) -> Result<()> {
+        let len = r.uvarint()? as usize;
+        if r.remaining() < len {
+            return Err(LdpError::Truncated {
+                needed: len,
+                available: r.remaining(),
+            });
+        }
+        self.clear();
+        self.reserve(len);
+        for _ in 0..len {
+            self.push(r.uvarint()?);
+        }
+        Ok(())
     }
 }
 
@@ -646,6 +736,31 @@ pub trait WireMechanism: BatchMechanism {
         }
         Ok(())
     }
+
+    /// Validates a whole input batch and appends one wire frame per
+    /// report to `out` — the client's serializing batch path. The
+    /// default materializes each report through
+    /// [`try_randomize_batch`](Self::try_randomize_batch) and encodes
+    /// it; mechanisms whose report is a deterministic function of the
+    /// sampled positions ([`FusedUnaryMechanism`]) override this to
+    /// randomize **directly into the frame buffer**, skipping the
+    /// report materialization entirely. Overrides must produce the
+    /// byte-identical frame stream for the same RNG stream.
+    ///
+    /// # Errors
+    /// As [`try_randomize_batch`](Self::try_randomize_batch); `out` may
+    /// carry frames for inputs preceding the failing one.
+    fn try_randomize_frames<R: RngCore>(
+        &self,
+        inputs: &[Self::Input],
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> Result<()>
+    where
+        ReportOf<Self>: WireReport,
+    {
+        self.try_randomize_batch(inputs, rng, |r| encode_report(r, out))
+    }
 }
 
 /// Owns a [`FrequencyOracle`] and exposes it as a
@@ -698,6 +813,123 @@ impl<O: FrequencyOracle> WireMechanism for OracleMechanism<O> {
             )));
         }
         self.0.randomize_batch_ref(inputs, rng, sink);
+        Ok(())
+    }
+}
+
+/// [`OracleMechanism`] for the unary report family, with the fused
+/// sampler→frame writer: [`WireMechanism::try_randomize_frames`] packs
+/// each geometric-skip-sampled set bit **directly into the outgoing
+/// frame buffer** — no [`BitVec`] report is materialized and no
+/// per-report allocation happens on the serializing client path, the
+/// wire-side mirror of [`FrequencyOracle::randomize_accumulate_batch`].
+///
+/// All `d`-bit reports of one oracle share a frame length, so the frame
+/// header (version, tag, payload-length and bit-length varints) is
+/// precomputed once per batch and the payload bytes are zero-filled then
+/// OR-set at the sampled positions — byte-identical to
+/// [`encode_report`] over [`FrequencyOracle::randomize`], because
+/// [`SetBitSampler::sample_ones`] visits exactly the positions the
+/// materialized report would have set while consuming the same RNG
+/// stream.
+#[derive(Debug, Clone)]
+pub struct FusedUnaryMechanism<O>(pub O);
+
+impl<O: SetBitSampler> BatchMechanism for FusedUnaryMechanism<O> {
+    type Input = u64;
+    type Aggregator = O::Aggregator;
+
+    fn new_aggregator(&self) -> O::Aggregator {
+        self.0.new_aggregator()
+    }
+
+    fn accumulate_batch<R: RngCore>(&self, inputs: &[u64], rng: &mut R, agg: &mut O::Aggregator) {
+        self.0.randomize_accumulate_batch(inputs, rng, agg);
+    }
+}
+
+impl<O: SetBitSampler> FusedUnaryMechanism<O> {
+    /// Returns the first out-of-domain input as an error, without
+    /// consuming any RNG — both batch paths validate up front.
+    fn check_domain(&self, inputs: &[u64]) -> Result<()> {
+        let d = self.0.domain_size();
+        if let Some(&bad) = inputs.iter().find(|&&v| v >= d) {
+            return Err(LdpError::InvalidParameter(format!(
+                "input {bad} outside domain of size {d}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl<O: SetBitSampler> WireMechanism for FusedUnaryMechanism<O> {
+    fn try_randomize_input(&self, input: &u64, rng: &mut dyn RngCore) -> Result<BitVec> {
+        if *input >= self.0.domain_size() {
+            return Err(LdpError::InvalidParameter(format!(
+                "input {input} outside domain of size {}",
+                self.0.domain_size()
+            )));
+        }
+        Ok(self.0.randomize(*input, rng))
+    }
+
+    fn try_randomize_batch<R: RngCore>(
+        &self,
+        inputs: &[u64],
+        rng: &mut R,
+        sink: impl FnMut(&BitVec),
+    ) -> Result<()> {
+        self.check_domain(inputs)?;
+        self.0.randomize_batch_ref(inputs, rng, sink);
+        Ok(())
+    }
+
+    fn try_randomize_frames<R: RngCore>(
+        &self,
+        inputs: &[u64],
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.check_domain(inputs)?;
+        let d = self.0.domain_size() as usize;
+        let nbytes = d.div_ceil(8);
+        // Every frame of the batch shares this prefix: the payload is
+        // `uvarint(d)` + `d` packed bits, so its length is fixed — which
+        // also fixes the frame length, so the whole batch is sized once.
+        let (dbuf, dlen) = uvarint_array(d as u64);
+        let (lbuf, llen) = uvarint_array((dlen + nbytes) as u64);
+        let header = 2 + llen + dlen;
+        let frame_len = header + nbytes;
+        // A template block — constant headers, zeroed payloads — copied
+        // ahead of sampling. Copying right before sampling leaves the
+        // payload's cache lines write-hot, so the sampler's bit ORs land
+        // in L1; OR-ing into a long-since-zeroed region (the previous
+        // resize-then-fill scheme) took a read-for-ownership miss per
+        // set bit, and a separate word scratch paid an extra fill + copy
+        // of every payload byte. The block holds 16 frames so one
+        // `memcpy` dispatch (runtime-length copies don't inline) is
+        // amortized over 16 reports while the block still fits L1 at
+        // practical domain sizes.
+        const TEMPLATE_FRAMES: usize = 16;
+        let mut template = Vec::with_capacity(frame_len * TEMPLATE_FRAMES);
+        for _ in 0..TEMPLATE_FRAMES {
+            template.push(WIRE_VERSION);
+            template.push(tag::BITS);
+            template.extend_from_slice(&lbuf[..llen]);
+            template.extend_from_slice(&dbuf[..dlen]);
+            template.resize(template.len() + nbytes, 0);
+        }
+        out.reserve(inputs.len() * frame_len);
+        for group in inputs.chunks(TEMPLATE_FRAMES) {
+            let start = out.len();
+            out.extend_from_slice(&template[..group.len() * frame_len]);
+            let block = &mut out[start..];
+            for (k, &v) in group.iter().enumerate() {
+                let payload = &mut block[k * frame_len + header..(k + 1) * frame_len];
+                self.0
+                    .sample_ones(v, rng, |i| payload[i >> 3] |= 1u8 << (i & 7));
+            }
+        }
         Ok(())
     }
 }
@@ -844,6 +1076,41 @@ pub trait ErasedMechanism: Send + Sync {
     /// As [`Self::accumulate_from_bytes`], minus the header errors
     /// `next_frame` already caught.
     fn accumulate_frame(&self, agg: &mut dyn ErasedAggregator, frame: Frame<'_>) -> Result<()>;
+
+    /// Server fast path: folds a whole concatenated frame stream into
+    /// `agg`, returning how many frames were ingested alongside the
+    /// outcome. On error the returned count names the frames **already
+    /// folded in** (the stream stops at the first bad frame; `agg`
+    /// keeps them), so callers can account for partial batches.
+    ///
+    /// The default loops [`Self::accumulate_frame`]; the bridge
+    /// overrides it to pay the aggregator downcast **once per stream**
+    /// instead of once per frame and to decode every frame into one
+    /// scratch report ([`WireReport::decode_payload_into`]) — zero
+    /// per-frame allocation for fixed-width report types.
+    ///
+    /// # Errors
+    /// As [`Self::accumulate_from_bytes`], carried next to the count of
+    /// frames that preceded the failure.
+    fn accumulate_concat(
+        &self,
+        agg: &mut dyn ErasedAggregator,
+        stream: &[u8],
+    ) -> (usize, Result<()>) {
+        let mut pos = 0usize;
+        let mut n = 0usize;
+        while pos < stream.len() {
+            let frame = match next_frame(stream, &mut pos) {
+                Ok(f) => f,
+                Err(e) => return (n, Err(e)),
+            };
+            if let Err(e) = self.accumulate_frame(agg, frame) {
+                return (n, Err(e));
+            }
+            n += 1;
+        }
+        (n, Ok(()))
+    }
 }
 
 impl std::fmt::Debug for dyn ErasedMechanism + '_ {
@@ -983,8 +1250,7 @@ where
             ))
         })?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        self.mech
-            .try_randomize_batch(inputs, &mut rng, |r| encode_report(r, out))
+        self.mech.try_randomize_frames(inputs, &mut rng, out)
     }
 
     fn randomize_reals_to_frames(
@@ -1000,8 +1266,7 @@ where
             ))
         })?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        self.mech
-            .try_randomize_batch(inputs, &mut rng, |r| encode_report(r, out))
+        self.mech.try_randomize_frames(inputs, &mut rng, out)
     }
 
     fn new_erased_aggregator(&self) -> Box<dyn ErasedAggregator> {
@@ -1019,6 +1284,233 @@ where
                 LdpError::Malformed("accumulate: erased aggregator type mismatch".into())
             })?;
         slot.agg.try_accumulate(&report)
+    }
+
+    /// One downcast per stream, one scratch report reused across every
+    /// frame — the payload→counter fast path the per-frame
+    /// [`accumulate_frame`](ErasedMechanism::accumulate_frame) loop
+    /// cannot reach.
+    fn accumulate_concat(
+        &self,
+        agg: &mut dyn ErasedAggregator,
+        stream: &[u8],
+    ) -> (usize, Result<()>) {
+        let Some(slot) = agg.as_any_mut().downcast_mut::<BridgedAggregator<M>>() else {
+            return (
+                0,
+                Err(LdpError::Malformed(
+                    "accumulate: erased aggregator type mismatch".into(),
+                )),
+            );
+        };
+        let expected = <ReportOf<M> as WireReport>::TAG;
+        let mut pos = 0usize;
+        let mut n = 0usize;
+        let mut scratch: Option<ReportOf<M>> = None;
+        // Optimistic packed lane for bit-vector streams: buffer the raw
+        // payload bytes of up to `PACKED_BATCH` frames and hand them to
+        // the aggregator's counters in one batched call
+        // ([`FoAggregator::try_accumulate_packed_bits_batch`]), skipping
+        // even the scratch-report copy. Cleared at the first flush if
+        // this aggregator has no packed path (the buffered frames then
+        // drain through the scratch decode below).
+        let mut packed = expected == tag::BITS;
+        let mut pending: Vec<(&[u8], usize)> = Vec::new();
+        let mut pending_full: Vec<&[u8]> = Vec::new();
+        while pos < stream.len() {
+            let frame = match next_frame(stream, &mut pos) {
+                Ok(f) => f,
+                Err(e) => {
+                    return flush_and_fail(
+                        slot,
+                        &mut scratch,
+                        &mut pending,
+                        &mut pending_full,
+                        n,
+                        e,
+                    )
+                }
+            };
+            if frame.tag != expected {
+                let e = LdpError::ReportTypeMismatch {
+                    got: frame.tag,
+                    expected,
+                };
+                return flush_and_fail(slot, &mut scratch, &mut pending, &mut pending_full, n, e);
+            }
+            if packed {
+                let mut r = WireReader::new(frame.payload);
+                let bits = match r.uvarint().and_then(|len| {
+                    usize::try_from(len).map_err(|_| {
+                        LdpError::Malformed(format!("bit length {len} overflows usize"))
+                    })
+                }) {
+                    Ok(bits) => bits,
+                    Err(e) => {
+                        return flush_and_fail(
+                            slot,
+                            &mut scratch,
+                            &mut pending,
+                            &mut pending_full,
+                            n,
+                            e,
+                        )
+                    }
+                };
+                let bytes = match r.bytes(bits.div_ceil(8)).and_then(|b| {
+                    r.finish()?;
+                    Ok(b)
+                }) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        return flush_and_fail(
+                            slot,
+                            &mut scratch,
+                            &mut pending,
+                            &mut pending_full,
+                            n,
+                            e,
+                        )
+                    }
+                };
+                pending.push((bytes, bits));
+                pending_full.push(frame.payload);
+                if pending.len() == crate::fo::PACKED_BATCH {
+                    let (applied, res) = flush_packed_pending(
+                        slot,
+                        &mut scratch,
+                        &mut pending,
+                        &mut pending_full,
+                        &mut packed,
+                    );
+                    n += applied;
+                    if let Err(e) = res {
+                        return (n, Err(e));
+                    }
+                }
+                continue;
+            }
+            let mut r = WireReader::new(frame.payload);
+            let decoded = match scratch.as_mut() {
+                Some(s) => s.decode_payload_into(&mut r),
+                None => match <ReportOf<M>>::decode_payload(&mut r) {
+                    Ok(first) => {
+                        scratch = Some(first);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            if let Err(e) = decoded.and_then(|()| r.finish()) {
+                return (n, Err(e));
+            }
+            if let Err(e) = slot
+                .agg
+                .try_accumulate(scratch.as_ref().expect("decoded above"))
+            {
+                return (n, Err(e));
+            }
+            n += 1;
+        }
+        let (applied, res) = flush_packed_pending(
+            slot,
+            &mut scratch,
+            &mut pending,
+            &mut pending_full,
+            &mut packed,
+        );
+        n += applied;
+        if let Err(e) = res {
+            return (n, Err(e));
+        }
+        (n, Ok(()))
+    }
+}
+
+/// Drains the packed lane's buffered payloads into the aggregator — the
+/// batched counter fold when the aggregator supports it, the scratch
+/// decode otherwise (which also steers the rest of the stream off the
+/// packed lane via `packed`). Returns how many buffered frames were
+/// folded in and the first error hit, and always leaves both buffers
+/// empty.
+fn flush_packed_pending<M>(
+    slot: &mut BridgedAggregator<M>,
+    scratch: &mut Option<ReportOf<M>>,
+    pending: &mut Vec<(&[u8], usize)>,
+    pending_full: &mut Vec<&[u8]>,
+    packed: &mut bool,
+) -> (usize, Result<()>)
+where
+    M: WireMechanism + Send + Sync + 'static,
+    M::Input: WireInput,
+    M::Aggregator: Send + 'static,
+    ReportOf<M>: WireReport,
+{
+    if pending.is_empty() {
+        return (0, Ok(()));
+    }
+    let out = match slot.agg.try_accumulate_packed_bits_batch(pending) {
+        Some(res) => res,
+        None => {
+            *packed = false;
+            let mut applied = 0usize;
+            let mut res = Ok(());
+            for payload in pending_full.iter() {
+                let mut r = WireReader::new(payload);
+                let decoded = match scratch.as_mut() {
+                    Some(s) => s.decode_payload_into(&mut r),
+                    None => match <ReportOf<M>>::decode_payload(&mut r) {
+                        Ok(first) => {
+                            *scratch = Some(first);
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    },
+                };
+                if let Err(e) = decoded.and_then(|()| r.finish()) {
+                    res = Err(e);
+                    break;
+                }
+                if let Err(e) = slot
+                    .agg
+                    .try_accumulate(scratch.as_ref().expect("decoded above"))
+                {
+                    res = Err(e);
+                    break;
+                }
+                applied += 1;
+            }
+            (applied, res)
+        }
+    };
+    pending.clear();
+    pending_full.clear();
+    out
+}
+
+/// Error path of the packed lane: flush what is buffered (those frames
+/// precede the failing one), then report the earlier of the flush error
+/// and `err`.
+fn flush_and_fail<M>(
+    slot: &mut BridgedAggregator<M>,
+    scratch: &mut Option<ReportOf<M>>,
+    pending: &mut Vec<(&[u8], usize)>,
+    pending_full: &mut Vec<&[u8]>,
+    n: usize,
+    err: LdpError,
+) -> (usize, Result<()>)
+where
+    M: WireMechanism + Send + Sync + 'static,
+    M::Input: WireInput,
+    M::Aggregator: Send + 'static,
+    ReportOf<M>: WireReport,
+{
+    let mut packed = true;
+    let (applied, res) = flush_packed_pending(slot, scratch, pending, pending_full, &mut packed);
+    let n = n + applied;
+    match res {
+        Err(flush_err) => (n, Err(flush_err)),
+        Ok(()) => (n, Err(err)),
     }
 }
 
@@ -1089,6 +1581,147 @@ mod tests {
                 "cut at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn uvarint_array_matches_put_uvarint() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut vec_enc = Vec::new();
+            put_uvarint(&mut vec_enc, v);
+            let (buf, n) = uvarint_array(v);
+            assert_eq!(&buf[..n], &vec_enc[..], "v={v}");
+        }
+    }
+
+    #[test]
+    fn decode_payload_into_matches_owned_decode() {
+        // BitVec: same-width reuse and width-change fallback.
+        let mut bits = BitVec::zeros(37);
+        bits.set(0, true);
+        bits.set(36, true);
+        let frame = encode_report_vec(&bits);
+        let mut scratch = BitVec::zeros(37);
+        let mut pos = 0usize;
+        let f = next_frame(&frame, &mut pos).unwrap();
+        let mut r = WireReader::new(f.payload);
+        scratch.decode_payload_into(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(scratch, bits);
+        let mut narrow = BitVec::zeros(5);
+        let mut r = WireReader::new(f.payload);
+        narrow.decode_payload_into(&mut r).unwrap();
+        assert_eq!(narrow, bits);
+
+        // Vec<f64> and Vec<u64> reuse their storage.
+        let reals = vec![1.5f64, -0.25, 3.0];
+        let frame = encode_report_vec(&reals);
+        let mut scratch = vec![0.0f64; 8];
+        let mut pos = 0usize;
+        let f = next_frame(&frame, &mut pos).unwrap();
+        let mut r = WireReader::new(f.payload);
+        scratch.decode_payload_into(&mut r).unwrap();
+        assert_eq!(scratch, reals);
+
+        let items = vec![3u64, 999, 0];
+        let frame = encode_report_vec(&items);
+        let mut scratch = vec![7u64];
+        let mut pos = 0usize;
+        let f = next_frame(&frame, &mut pos).unwrap();
+        let mut r = WireReader::new(f.payload);
+        scratch.decode_payload_into(&mut r).unwrap();
+        assert_eq!(scratch, items);
+    }
+
+    /// The fused sampler→frame writer emits the byte-identical stream
+    /// the materialize-then-encode default produces, across payload
+    /// lengths that exercise both 1-byte and 2-byte varints.
+    #[test]
+    fn fused_unary_frames_byte_identical() {
+        use crate::fo::OptimizedUnaryEncoding;
+        for d in [8u64, 37, 129, 1024, 1031] {
+            let oue = OptimizedUnaryEncoding::new(d, Epsilon::new(0.7).unwrap()).unwrap();
+            let values: Vec<u64> = (0..200).map(|i| i % d).collect();
+
+            let fused = FusedUnaryMechanism(oue);
+            let mut fused_out = Vec::new();
+            let mut rng = StdRng::seed_from_u64(99);
+            fused
+                .try_randomize_frames(&values, &mut rng, &mut fused_out)
+                .unwrap();
+
+            let default = OracleMechanism(oue);
+            let mut default_out = Vec::new();
+            let mut rng = StdRng::seed_from_u64(99);
+            default
+                .try_randomize_frames(&values, &mut rng, &mut default_out)
+                .unwrap();
+
+            assert_eq!(fused_out, default_out, "d={d}");
+        }
+    }
+
+    #[test]
+    fn fused_unary_rejects_out_of_domain_without_output() {
+        use crate::fo::OptimizedUnaryEncoding;
+        let oue = OptimizedUnaryEncoding::new(16, Epsilon::new(1.0).unwrap()).unwrap();
+        let fused = FusedUnaryMechanism(oue);
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(fused
+            .try_randomize_frames(&[3, 16, 2], &mut rng, &mut out)
+            .is_err());
+        assert!(out.is_empty(), "validation precedes any output");
+    }
+
+    /// `accumulate_concat` folds the same state the per-frame loop
+    /// folds, and reports the partial count on a mid-stream error.
+    #[test]
+    fn accumulate_concat_matches_frame_loop_and_counts_partials() {
+        let oracle = DirectEncoding::new(16, Epsilon::new(1.0).unwrap()).unwrap();
+        let desc = ProtocolDescriptor::builder(crate::protocol::MechanismKind::DirectEncoding)
+            .domain_size(16)
+            .epsilon(1.0)
+            .build()
+            .unwrap();
+        let bridge = ErasedBridge::new(OracleMechanism(oracle), desc);
+
+        let values: Vec<u64> = (0..50).map(|i| i % 16).collect();
+        let mut stream = Vec::new();
+        bridge
+            .randomize_items_to_frames(&values, 7, &mut stream)
+            .unwrap();
+
+        let mut fast = bridge.new_erased_aggregator();
+        let (n, res) = bridge.accumulate_concat(fast.as_mut(), &stream);
+        res.unwrap();
+        assert_eq!(n, 50);
+
+        let mut slow = bridge.new_erased_aggregator();
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            let f = next_frame(&stream, &mut pos).unwrap();
+            bridge.accumulate_frame(slow.as_mut(), f).unwrap();
+        }
+        assert_eq!(fast.estimate(), slow.estimate());
+        assert_eq!(fast.reports(), slow.reports());
+
+        // Truncate mid-frame: the count names the frames already folded.
+        let cut = &stream[..stream.len() - 1];
+        let mut partial = bridge.new_erased_aggregator();
+        let (n, res) = bridge.accumulate_concat(partial.as_mut(), cut);
+        assert!(res.is_err());
+        assert_eq!(n, 49);
+        assert_eq!(partial.reports(), 49);
     }
 
     #[test]

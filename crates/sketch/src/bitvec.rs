@@ -56,6 +56,33 @@ impl BitVec {
         Some(Self { words, len })
     }
 
+    /// Overwrites this vector's bits from little-endian packed bytes —
+    /// the in-place counterpart of [`from_le_bytes`](Self::from_le_bytes)
+    /// for the same bit length, reusing the existing word storage so a
+    /// decode loop over a frame stream allocates nothing per report.
+    /// Returns `false` (leaving the vector unchanged) when the byte
+    /// count does not match or the padding bits of the last byte are
+    /// nonzero.
+    pub fn copy_from_le_bytes(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() != self.len.div_ceil(8) {
+            return false;
+        }
+        if !self.len.is_multiple_of(8) && bytes[bytes.len() - 1] >> (self.len % 8) != 0 {
+            return false;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for (w, chunk) in self.words.iter_mut().zip(&mut chunks) {
+            *w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            *self.words.last_mut().expect("tail byte implies a word") = u64::from_le_bytes(tail);
+        }
+        true
+    }
+
     /// Appends the bits as little-endian packed bytes (`len.div_ceil(8)`
     /// of them; unused bits of the final byte are zero) — word-at-a-time,
     /// so serializing is a memcpy-grade operation, not a per-bit loop.
@@ -325,6 +352,29 @@ mod tests {
         assert_eq!(acc[0], 2);
         assert_eq!(acc[69], 1);
         assert_eq!(acc[1], 0);
+    }
+
+    #[test]
+    fn copy_from_le_bytes_matches_owned_decode() {
+        let src = BitVec::from_bools((0..130).map(|i| i % 5 == 0));
+        let mut bytes = Vec::new();
+        src.write_le_bytes(&mut bytes);
+
+        let mut dst = BitVec::from_bools((0..130).map(|i| i % 2 == 0));
+        assert!(dst.copy_from_le_bytes(&bytes));
+        assert_eq!(dst, src);
+        assert_eq!(dst, BitVec::from_le_bytes(130, &bytes).unwrap());
+
+        // Byte-count mismatch and nonzero padding are rejected, like
+        // the owned constructor. (Lengths sharing a byte count — 129
+        // vs 130 — are the caller's job to compare; see
+        // `ldp_core::wire::get_bitvec_into`.)
+        let mut wrong_len = BitVec::zeros(100);
+        assert!(!wrong_len.copy_from_le_bytes(&bytes));
+        assert!(wrong_len.ones().next().is_none(), "unchanged on failure");
+        let mut padded = bytes.clone();
+        *padded.last_mut().unwrap() |= 0x80; // bit 135 > len 130
+        assert!(!dst.copy_from_le_bytes(&padded));
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //!   (`&[u8]` in, estimates out) for any mechanism the workspace
 //!   registry can build, with [`service::WireClient`] as the matching
 //!   client half.
+//! * [`pipeline`] — the concurrent collector fleet over that byte path:
+//!   [`pipeline::CollectorPipeline`] runs N ingest workers pulling
+//!   frame batches from bounded queues (block or drop-with-counter
+//!   backpressure) into per-shard services, merged in shard order at
+//!   snapshot time — bit-identical across worker counts, with
+//!   per-worker throughput and queue stats in
+//!   [`pipeline::PipelineStats`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,9 +43,11 @@ pub mod gen;
 pub mod harness;
 pub mod metrics;
 pub mod parallel;
+pub mod pipeline;
 pub mod service;
 
 pub use gen::{NumericStream, ZipfGenerator};
 pub use harness::{ExperimentTable, Trials};
 pub use parallel::{accumulate_sharded, accumulate_sharded_sequential, collect_counts_parallel};
+pub use pipeline::{BackpressurePolicy, CollectorPipeline, PipelineConfig, PipelineStats};
 pub use service::{workspace_registry, CollectorService, WireClient};

@@ -1,0 +1,646 @@
+//! The concurrent collector pipeline: a sharded channel-ingest fleet.
+//!
+//! A deployment's collector is not one loop over one buffer — it is a
+//! fleet of ingest workers draining network queues concurrently, folded
+//! into one aggregate at snapshot time. [`CollectorPipeline`] is that
+//! shape for the workspace:
+//!
+//! ```text
+//!                submit(shard, frames)
+//!                        │  (route: worker = shard % W)
+//!        ┌───────────────┼───────────────┐
+//!   [bounded q0]    [bounded q1]    [bounded q2]     ← sync_channel,
+//!        │               │               │             depth-gauged
+//!    worker 0        worker 1        worker 2
+//!   shards 0,3,6    shards 1,4,7    shards 2,5,8     ← strided, as in
+//!        │               │               │             `parallel.rs`
+//!    per-shard       per-shard       per-shard
+//!    services        services        services
+//!        └───────────────┴───────────────┘
+//!                 finish(): collect all shard services,
+//!                 merge **in shard order** → one service
+//! ```
+//!
+//! **Bit-identity.** Each *logical shard* owns its own
+//! [`CollectorService`]; a worker only hosts shards (strided,
+//! `w, w+W, w+2W, …`), it never mixes their states. At
+//! [`finish`](CollectorPipeline::finish) the shard services are merged
+//! in **shard order** — the same left fold
+//! [`crate::parallel::accumulate_mech_sharded`] performs — so the
+//! aggregate is bit-identical across worker counts, queue depths, and
+//! thread schedules. For integer-counter mechanisms (every registered
+//! kind except SHE and 1BitMean, whose merges sum `f64`s) the fold is
+//! exact addition, so the result further equals a single service
+//! ingesting the whole stream in any order; the float mechanisms are
+//! bit-identical to the sharded reference (per-shard services merged in
+//! shard order), the invariant `tests/pipeline_identity.rs` enforces.
+//!
+//! **Backpressure.** Queues are bounded ([`PipelineConfig::queue_depth`]
+//! batches). [`BackpressurePolicy::Block`] parks the submitting thread
+//! until the worker drains (lossless, the default);
+//! [`BackpressurePolicy::DropNewest`] sheds the submitted batch instead
+//! and counts it, for drivers that prefer staleness bounds over
+//! completeness. Queue depth and high-water marks are tracked per
+//! worker and reported in [`PipelineStats`].
+
+use crate::service::{workspace_registry, CollectorService, WireClient};
+use ldp_core::protocol::{ProtocolDescriptor, Registry};
+use ldp_core::wire::next_frame;
+use ldp_core::{LdpError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What a full ingest queue does to the next submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Park the submitting thread until the worker drains a slot —
+    /// lossless, and the natural choice when the producer can afford to
+    /// stall (the default).
+    Block,
+    /// Drop the batch being submitted and count it
+    /// ([`WorkerStats::dropped_batches`]); `submit` returns
+    /// `Ok(false)`. For drivers bounding staleness rather than loss.
+    DropNewest,
+}
+
+/// Shape of a [`CollectorPipeline`]: logical shards (state layout),
+/// physical workers (threads), queue depth (backpressure horizon).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Logical shard count — the unit of deterministic state. Fixed
+    /// independently of `workers`, exactly like the engine in
+    /// `parallel.rs`, so the merged aggregate does not depend on the
+    /// thread count.
+    pub shards: usize,
+    /// Ingest worker threads (capped at `shards`; each worker hosts the
+    /// shards congruent to its index mod the worker count).
+    pub workers: usize,
+    /// Bounded queue capacity per worker, in batches.
+    pub queue_depth: usize,
+    /// Full-queue behavior.
+    pub policy: BackpressurePolicy,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            workers: 4,
+            queue_depth: 64,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Shared per-worker queue instrumentation. Depth is pre-incremented at
+/// submit and decremented after the worker processes the batch, so the
+/// high-water mark counts the batch in flight to a full queue —
+/// `queue_depth + 1` under sustained blocking backpressure.
+#[derive(Debug, Default)]
+struct QueueGauge {
+    depth: AtomicUsize,
+    hwm: AtomicUsize,
+    dropped: AtomicUsize,
+}
+
+/// Per-worker ingest accounting, reported by
+/// [`CollectorPipeline::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Frames folded into this worker's shard services.
+    pub frames: usize,
+    /// Batches drained from the queue.
+    pub batches: usize,
+    /// Wall time spent ingesting (excludes queue waits).
+    pub busy_nanos: u64,
+    /// Peak observed queue depth, in batches — sampled at submit time,
+    /// so it includes the batch being submitted.
+    pub queue_hwm: usize,
+    /// Batches shed by [`BackpressurePolicy::DropNewest`].
+    pub dropped_batches: usize,
+}
+
+impl WorkerStats {
+    /// Ingest throughput over busy time (0 when nothing was timed).
+    #[must_use]
+    pub fn frames_per_sec(&self) -> f64 {
+        if self.busy_nanos == 0 {
+            return 0.0;
+        }
+        self.frames as f64 * 1e9 / self.busy_nanos as f64
+    }
+}
+
+/// The pipeline's instrumentation report: per-worker ingest stats plus
+/// the snapshot-time merge cost.
+#[derive(Debug, Clone)]
+pub struct PipelineStats {
+    /// One entry per worker, in worker order.
+    pub workers: Vec<WorkerStats>,
+    /// Wall time of the shard-order merge fold at finish.
+    pub merge_nanos: u64,
+}
+
+impl PipelineStats {
+    /// Frames folded in across all workers.
+    #[must_use]
+    pub fn total_frames(&self) -> usize {
+        self.workers.iter().map(|w| w.frames).sum()
+    }
+
+    /// Batches shed across all workers (always 0 under
+    /// [`BackpressurePolicy::Block`]).
+    #[must_use]
+    pub fn dropped_batches(&self) -> usize {
+        self.workers.iter().map(|w| w.dropped_batches).sum()
+    }
+
+    /// The largest per-worker queue high-water mark.
+    #[must_use]
+    pub fn queue_hwm(&self) -> usize {
+        self.workers.iter().map(|w| w.queue_hwm).max().unwrap_or(0)
+    }
+
+    /// Aggregate ingest throughput over summed busy time.
+    #[must_use]
+    pub fn frames_per_sec(&self) -> f64 {
+        let busy: u64 = self.workers.iter().map(|w| w.busy_nanos).sum();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.total_frames() as f64 * 1e9 / busy as f64
+    }
+}
+
+/// What a worker thread hands back at join time.
+struct WorkerOutcome {
+    /// `(shard, service)` for every shard this worker hosted.
+    services: Vec<(usize, CollectorService)>,
+    frames: usize,
+    batches: usize,
+    busy_nanos: u64,
+    /// First ingest failure, if any (`(shard, error)`); later batches
+    /// were drained unprocessed.
+    error: Option<(usize, LdpError)>,
+}
+
+/// A multi-threaded collector fleet over one protocol descriptor: N
+/// ingest workers pulling frame batches from bounded queues into
+/// per-shard [`CollectorService`]s, folded in shard order at
+/// [`finish`](Self::finish). See the module docs for the queue diagram
+/// and the bit-identity argument.
+#[derive(Debug)]
+pub struct CollectorPipeline {
+    senders: Vec<SyncSender<(usize, Vec<u8>)>>,
+    gauges: Vec<Arc<QueueGauge>>,
+    handles: Vec<JoinHandle<WorkerOutcome>>,
+    shards: usize,
+    policy: BackpressurePolicy,
+}
+
+impl CollectorPipeline {
+    /// Spawns the fleet for `descriptor` against the full workspace
+    /// registry.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for a zero shard/worker/queue
+    /// count, plus whatever [`Registry::build`] surfaces.
+    pub fn new(descriptor: &ProtocolDescriptor, config: PipelineConfig) -> Result<Self> {
+        Self::with_registry(&workspace_registry(), descriptor, config)
+    }
+
+    /// Spawns the fleet against a caller-provided registry.
+    ///
+    /// # Errors
+    /// As [`Self::new`].
+    pub fn with_registry(
+        registry: &Registry,
+        descriptor: &ProtocolDescriptor,
+        config: PipelineConfig,
+    ) -> Result<Self> {
+        if config.shards == 0 || config.workers == 0 || config.queue_depth == 0 {
+            return Err(LdpError::InvalidParameter(format!(
+                "pipeline needs shards, workers, and queue_depth >= 1, got {config:?}"
+            )));
+        }
+        let workers = config.workers.min(config.shards);
+        // Shard services are built up front on this thread, so a bad
+        // descriptor fails construction rather than a worker.
+        let mut per_worker: Vec<Vec<(usize, CollectorService)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for shard in 0..config.shards {
+            per_worker[shard % workers].push((
+                shard,
+                CollectorService::with_registry(registry, descriptor)?,
+            ));
+        }
+
+        let mut senders = Vec::with_capacity(workers);
+        let mut gauges = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for services in per_worker {
+            let (tx, rx) = sync_channel::<(usize, Vec<u8>)>(config.queue_depth);
+            let gauge = Arc::new(QueueGauge::default());
+            let worker_gauge = Arc::clone(&gauge);
+            let handle = std::thread::spawn(move || run_worker(services, &rx, &worker_gauge));
+            senders.push(tx);
+            gauges.push(gauge);
+            handles.push(handle);
+        }
+        Ok(Self {
+            senders,
+            gauges,
+            handles,
+            shards: config.shards,
+            policy: config.policy,
+        })
+    }
+
+    /// Logical shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Worker thread count (may be lower than configured when capped at
+    /// the shard count).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Enqueues one batch of back-to-back frames for `shard` (routed to
+    /// worker `shard % workers`). Returns whether the batch was
+    /// accepted: always `true` under [`BackpressurePolicy::Block`]
+    /// (possibly after parking), `false` when
+    /// [`BackpressurePolicy::DropNewest`] shed it against a full queue.
+    ///
+    /// Batches for one shard are folded in submission order, so a
+    /// driver streaming a shard's frames in several batches reproduces
+    /// the single-buffer ingest exactly.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for an out-of-range shard;
+    /// [`LdpError::Malformed`] if the worker has died (its ingest error
+    /// surfaces at [`finish`](Self::finish)).
+    pub fn submit(&self, shard: usize, frames: Vec<u8>) -> Result<bool> {
+        if shard >= self.shards {
+            return Err(LdpError::InvalidParameter(format!(
+                "shard {shard} outside pipeline of {} shards",
+                self.shards
+            )));
+        }
+        let w = shard % self.senders.len();
+        let gauge = &self.gauges[w];
+        let depth = gauge.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        gauge.hwm.fetch_max(depth, Ordering::Relaxed);
+        match self.policy {
+            BackpressurePolicy::Block => match self.senders[w].send((shard, frames)) {
+                Ok(()) => Ok(true),
+                Err(_) => {
+                    gauge.depth.fetch_sub(1, Ordering::Relaxed);
+                    Err(LdpError::Malformed(format!("pipeline worker {w} is gone")))
+                }
+            },
+            BackpressurePolicy::DropNewest => match self.senders[w].try_send((shard, frames)) {
+                Ok(()) => Ok(true),
+                Err(TrySendError::Full(_)) => {
+                    gauge.depth.fetch_sub(1, Ordering::Relaxed);
+                    gauge.dropped.fetch_add(1, Ordering::Relaxed);
+                    Ok(false)
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    gauge.depth.fetch_sub(1, Ordering::Relaxed);
+                    Err(LdpError::Malformed(format!("pipeline worker {w} is gone")))
+                }
+            },
+        }
+    }
+
+    /// Closes the queues, joins the workers, and folds every shard
+    /// service **in shard order** into one [`CollectorService`],
+    /// returning it with the pipeline's [`PipelineStats`].
+    ///
+    /// # Errors
+    /// The first worker ingest error (bad frame mid-stream), a
+    /// descriptor-mismatch merge error, or a worker panic — the
+    /// aggregate is discarded in every case.
+    pub fn finish(self) -> Result<(CollectorService, PipelineStats)> {
+        // Dropping the senders disconnects the channels; workers drain
+        // what's queued and exit.
+        drop(self.senders);
+        let mut shard_services = Vec::with_capacity(self.shards);
+        let mut workers = Vec::with_capacity(self.handles.len());
+        let mut first_error: Option<(usize, LdpError)> = None;
+        for (handle, gauge) in self.handles.into_iter().zip(&self.gauges) {
+            let outcome = handle
+                .join()
+                .map_err(|_| LdpError::Malformed("pipeline worker panicked".into()))?;
+            workers.push(WorkerStats {
+                frames: outcome.frames,
+                batches: outcome.batches,
+                busy_nanos: outcome.busy_nanos,
+                queue_hwm: gauge.hwm.load(Ordering::Relaxed),
+                dropped_batches: gauge.dropped.load(Ordering::Relaxed),
+            });
+            shard_services.extend(outcome.services);
+            // Keep the failure from the lowest shard — deterministic
+            // regardless of worker join order.
+            if let Some((shard, e)) = outcome.error {
+                if first_error.as_ref().is_none_or(|(s, _)| shard < *s) {
+                    first_error = Some((shard, e));
+                }
+            }
+        }
+        if let Some((shard, e)) = first_error {
+            return Err(LdpError::Malformed(format!(
+                "pipeline ingest failed on shard {shard}: {e}"
+            )));
+        }
+        shard_services.sort_by_key(|&(shard, _)| shard);
+        let merge_start = Instant::now();
+        let mut iter = shard_services.into_iter();
+        let (_, mut root) = iter.next().expect("shards >= 1 by construction");
+        for (_, service) in iter {
+            root.merge(service)?;
+        }
+        let merge_nanos = merge_start.elapsed().as_nanos() as u64;
+        Ok((
+            root,
+            PipelineStats {
+                workers,
+                merge_nanos,
+            },
+        ))
+    }
+}
+
+/// The worker loop: drain `(shard, batch)` messages, fold each batch
+/// into the shard's service, keep the gauge honest. After the first
+/// ingest error the worker keeps draining (so blocked producers are
+/// released) but stops folding.
+fn run_worker(
+    mut services: Vec<(usize, CollectorService)>,
+    rx: &Receiver<(usize, Vec<u8>)>,
+    gauge: &QueueGauge,
+) -> WorkerOutcome {
+    let mut frames = 0usize;
+    let mut batches = 0usize;
+    let mut busy_nanos = 0u64;
+    let mut error: Option<(usize, LdpError)> = None;
+    while let Ok((shard, batch)) = rx.recv() {
+        if error.is_none() {
+            let start = Instant::now();
+            let slot = services
+                .iter_mut()
+                .find(|(s, _)| *s == shard)
+                .expect("submit routed the shard to this worker");
+            match slot.1.ingest_concat(&batch) {
+                Ok(n) => frames += n,
+                Err(e) => {
+                    frames += e.ingested;
+                    error = Some((shard, e.source));
+                }
+            }
+            busy_nanos += start.elapsed().as_nanos() as u64;
+        }
+        batches += 1;
+        gauge.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+    WorkerOutcome {
+        services,
+        frames,
+        batches,
+        busy_nanos,
+        error,
+    }
+}
+
+/// Streams an item population through a pipeline shard by shard — the
+/// one-call driver the `ldp-sim` scenario and benches use: shard `i`'s
+/// values are randomized with the seed `shard_seed(base_seed, i)` (so
+/// the result is bit-identical to [`WireClient::frames_sharded`] +
+/// sequential per-shard ingest) and submitted as `batches_per_shard`
+/// batches split at frame boundaries. Only one shard's frames are alive
+/// at a time, so memory stays bounded however large the population.
+///
+/// Returns the number of frames accepted (under
+/// [`BackpressurePolicy::Block`], always `values.len()`).
+///
+/// # Errors
+/// Anything [`WireClient::frames_for_shard`] or
+/// [`CollectorPipeline::submit`] can raise.
+pub fn stream_population(
+    client: &WireClient,
+    pipeline: &CollectorPipeline,
+    values: &[u64],
+    base_seed: u64,
+    batches_per_shard: usize,
+) -> Result<usize> {
+    let shards = pipeline.shards();
+    let bounds = crate::parallel::shard_bounds(values.len(), shards.min(values.len().max(1)));
+    let mut accepted = 0usize;
+    let mut buf = Vec::new();
+    for (shard, (lo, hi)) in bounds.into_iter().enumerate() {
+        buf.clear();
+        client.frames_for_shard(&values[lo..hi], base_seed, shard, &mut buf)?;
+        for (batch, nframes) in split_frames_counted(&buf, batches_per_shard)? {
+            if pipeline.submit(shard, batch)? {
+                accepted += nframes;
+            }
+        }
+    }
+    Ok(accepted)
+}
+
+/// Splits a concatenated frame stream into `parts` buffers at frame
+/// boundaries, balanced by frame count — batches for queue-based ingest
+/// or for reproducing "any batch split" in tests.
+///
+/// # Errors
+/// Any frame-header error [`next_frame`] raises on a malformed stream.
+pub fn split_frames(stream: &[u8], parts: usize) -> Result<Vec<Vec<u8>>> {
+    Ok(split_frames_counted(stream, parts)?
+        .into_iter()
+        .map(|(batch, _)| batch)
+        .collect())
+}
+
+/// [`split_frames`], with each batch's frame count alongside it.
+fn split_frames_counted(stream: &[u8], parts: usize) -> Result<Vec<(Vec<u8>, usize)>> {
+    let parts = parts.max(1);
+    // Frame boundary offsets: starts[i]..starts[i+1] is frame i.
+    let mut starts = vec![0usize];
+    let mut pos = 0usize;
+    while pos < stream.len() {
+        next_frame(stream, &mut pos)?;
+        starts.push(pos);
+    }
+    let nframes = starts.len() - 1;
+    let parts = parts.min(nframes.max(1));
+    let mut out = Vec::with_capacity(parts);
+    let per = nframes.div_ceil(parts);
+    let mut frame = 0usize;
+    for _ in 0..parts {
+        let hi_frame = (frame + per).min(nframes);
+        out.push((
+            stream[starts[frame]..starts[hi_frame]].to_vec(),
+            hi_frame - frame,
+        ));
+        frame = hi_frame;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::protocol::{MechanismKind, ProtocolDescriptor};
+
+    fn olhc(d: u64) -> ProtocolDescriptor {
+        ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+            .domain_size(d)
+            .epsilon(1.0)
+            .cohorts(64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_matches_single_service_for_integer_counters() {
+        let desc = olhc(32);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let values: Vec<u64> = (0..3000).map(|i| i % 32).collect();
+
+        let mut reference = CollectorService::from_descriptor(&desc).unwrap();
+        for buf in &client.frames_sharded(&values, 42, 6).unwrap() {
+            reference.ingest_concat(buf).unwrap();
+        }
+
+        for workers in [1usize, 2, 5] {
+            let pipeline = CollectorPipeline::new(
+                &desc,
+                PipelineConfig {
+                    shards: 6,
+                    workers,
+                    queue_depth: 4,
+                    policy: BackpressurePolicy::Block,
+                },
+            )
+            .unwrap();
+            let n = stream_population(&client, &pipeline, &values, 42, 3).unwrap();
+            assert_eq!(n, values.len());
+            let (merged, stats) = pipeline.finish().unwrap();
+            assert_eq!(stats.total_frames(), values.len());
+            assert_eq!(stats.dropped_batches(), 0);
+            assert!(stats.queue_hwm() >= 1);
+            assert_eq!(merged.reports(), reference.reports());
+            let (a, b) = (merged.estimates(), reference.estimates());
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_newest_accounts_for_every_batch() {
+        let desc = olhc(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let values: Vec<u64> = (0..800).map(|i| i % 16).collect();
+        let pipeline = CollectorPipeline::new(
+            &desc,
+            PipelineConfig {
+                shards: 4,
+                workers: 2,
+                queue_depth: 1,
+                policy: BackpressurePolicy::DropNewest,
+            },
+        )
+        .unwrap();
+
+        // Track which batches were accepted; dropped ones must be
+        // absent from the aggregate and present in the counters.
+        let buffers = client.frames_sharded(&values, 9, 4).unwrap();
+        let mut accepted = Vec::new();
+        let mut submitted = 0usize;
+        for (shard, buf) in buffers.iter().enumerate() {
+            for batch in split_frames(buf, 8).unwrap() {
+                submitted += 1;
+                if pipeline.submit(shard, batch.clone()).unwrap() {
+                    accepted.push(batch);
+                }
+            }
+        }
+        let (merged, stats) = pipeline.finish().unwrap();
+        assert_eq!(
+            stats.dropped_batches() + accepted.len(),
+            submitted,
+            "every batch is either folded or counted as shed"
+        );
+        let mut reference = CollectorService::from_descriptor(&desc).unwrap();
+        for batch in &accepted {
+            reference.ingest_concat(batch).unwrap();
+        }
+        assert_eq!(merged.reports(), reference.reports());
+        assert_eq!(merged.estimates(), reference.estimates());
+    }
+
+    #[test]
+    fn bad_frame_surfaces_at_finish() {
+        let desc = olhc(16);
+        let pipeline = CollectorPipeline::new(&desc, PipelineConfig::default()).unwrap();
+        pipeline.submit(0, vec![0xFF, 0x00, 0x01]).unwrap();
+        assert!(pipeline.finish().is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let desc = olhc(16);
+        for bad in [
+            PipelineConfig {
+                shards: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                workers: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                queue_depth: 0,
+                ..PipelineConfig::default()
+            },
+        ] {
+            assert!(CollectorPipeline::new(&desc, bad).is_err());
+        }
+        let p = CollectorPipeline::new(&desc, PipelineConfig::default()).unwrap();
+        assert!(p.submit(99, Vec::new()).is_err());
+        let (svc, _) = p.finish().unwrap();
+        assert_eq!(svc.reports(), 0);
+    }
+
+    #[test]
+    fn split_frames_preserves_bytes_and_boundaries() {
+        let desc = olhc(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let mut stream = Vec::new();
+        for v in 0..10u64 {
+            client.randomize_item(v, &mut rng, &mut stream).unwrap();
+        }
+        for parts in [1usize, 3, 10, 25] {
+            let split = split_frames(&stream, parts).unwrap();
+            assert_eq!(split.concat(), stream, "parts={parts}");
+            assert!(split.len() <= parts);
+            // Every piece is itself a valid frame stream.
+            for piece in &split {
+                let mut svc = CollectorService::from_descriptor(&desc).unwrap();
+                svc.ingest_concat(piece).unwrap();
+            }
+        }
+    }
+}

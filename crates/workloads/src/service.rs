@@ -60,12 +60,46 @@
 use ldp_core::protocol::{ProtocolDescriptor, Registry};
 use ldp_core::snapshot::{state_tag, SNAPSHOT_VERSION};
 use ldp_core::wire::{
-    next_frame, put_u64_le, put_uvarint, ErasedAggregator, ErasedMechanism, WireInput, WireReader,
+    put_u64_le, put_uvarint, uvarint_array, ErasedAggregator, ErasedMechanism, WireReader,
 };
 use ldp_core::{LdpError, Result};
 use rand::RngCore;
 
 use crate::parallel::shard_seed;
+
+/// A frame stream stopped at a bad frame: the error that stopped it,
+/// plus how many frames before it were **successfully folded in** (the
+/// aggregate keeps them), so callers can account for partial batches.
+#[derive(Debug)]
+pub struct IngestError {
+    /// Frames ingested before the failure; the aggregate state includes
+    /// exactly these.
+    pub ingested: usize,
+    /// The error raised by the first bad frame.
+    pub source: LdpError,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingest stopped after {} frames: {}",
+            self.ingested, self.source
+        )
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<IngestError> for LdpError {
+    fn from(e: IngestError) -> Self {
+        e.source
+    }
+}
 
 /// A registry with **every** workspace mechanism registered: the ten
 /// `ldp-core` oracles plus Apple CMS/HCMS and Microsoft
@@ -127,9 +161,10 @@ impl WireClient {
         rng: &mut dyn RngCore,
         out: &mut Vec<u8>,
     ) -> Result<()> {
-        let mut buf = Vec::with_capacity(10);
-        value.encode_input(&mut buf);
-        self.mech.randomize_from_bytes(&buf, rng, out)
+        // Items cross the input codec as varints; encode on the stack
+        // (`WireInput for u64` is the same LEB128 bytes).
+        let (buf, n) = uvarint_array(value);
+        self.mech.randomize_from_bytes(&buf[..n], rng, out)
     }
 
     /// Randomizes one real-valued input (1BitMean) and appends its wire
@@ -144,9 +179,10 @@ impl WireClient {
         rng: &mut dyn RngCore,
         out: &mut Vec<u8>,
     ) -> Result<()> {
-        let mut buf = Vec::with_capacity(8);
-        value.encode_input(&mut buf);
-        self.mech.randomize_from_bytes(&buf, rng, out)
+        // Reals cross the input codec as 8 little-endian IEEE-754 bytes
+        // (`WireInput for f64`) — a stack array, not a per-call `Vec`.
+        self.mech
+            .randomize_from_bytes(&value.to_le_bytes(), rng, out)
     }
 
     /// Randomizes an item population into per-shard frame buffers,
@@ -173,16 +209,84 @@ impl WireClient {
         let shards = shards.min(values.len().max(1));
         let bounds = crate::parallel::shard_bounds(values.len(), shards);
         let mut buffers = Vec::with_capacity(shards);
+        // Frames of one mechanism are near-constant-width, so the first
+        // shard's measured bytes/frame sizes the remaining buffers up
+        // front instead of growing them through doubling copies.
+        let mut frame_hint = 0usize;
         for (i, (lo, hi)) in bounds.into_iter().enumerate() {
-            let mut buf = Vec::new();
+            let mut buf = Vec::with_capacity(frame_hint * (hi - lo));
             self.mech.randomize_items_to_frames(
                 &values[lo..hi],
                 shard_seed(base_seed, i),
                 &mut buf,
             )?;
+            if i == 0 && hi > lo {
+                frame_hint = buf.len().div_ceil(hi - lo);
+            }
             buffers.push(buf);
         }
         Ok(buffers)
+    }
+
+    /// [`Self::frames_sharded`] into caller-owned buffers: clears and
+    /// refills `buffers` (resizing it to the effective shard count) with
+    /// byte-identical contents. A client that frames round after round
+    /// keeps its per-shard `Vec`s across rounds, so the steady-state
+    /// cost is the sampling and the payload writes — not a fresh
+    /// multi-megabyte allocation per round, which the system allocator
+    /// serves by `mmap` and hands back page-faulting and kernel-zeroed.
+    ///
+    /// # Errors
+    /// As [`Self::frames_sharded`]. On error, `buffers` holds the
+    /// shards completed so far (later entries are cleared).
+    pub fn frames_sharded_into(
+        &self,
+        values: &[u64],
+        base_seed: u64,
+        shards: usize,
+        buffers: &mut Vec<Vec<u8>>,
+    ) -> Result<()> {
+        if shards == 0 {
+            return Err(LdpError::InvalidParameter("need at least one shard".into()));
+        }
+        let shards = shards.min(values.len().max(1));
+        let bounds = crate::parallel::shard_bounds(values.len(), shards);
+        buffers.resize_with(shards, Vec::new);
+        buffers.truncate(shards);
+        for buf in buffers.iter_mut() {
+            buf.clear();
+        }
+        for (i, (lo, hi)) in bounds.into_iter().enumerate() {
+            self.mech.randomize_items_to_frames(
+                &values[lo..hi],
+                shard_seed(base_seed, i),
+                &mut buffers[i],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Randomizes **one shard's** slice of an item population into
+    /// `out`, with the same seed derivation
+    /// (`shard_seed(base_seed, shard)`) as
+    /// [`Self::frames_sharded`] — the streaming building block: a
+    /// driver can generate, submit, and discard one shard's frames at a
+    /// time ([`crate::pipeline::stream_population`]) without ever
+    /// holding the whole population's frames in memory, and the
+    /// concatenation over shards is byte-identical to the all-at-once
+    /// call.
+    ///
+    /// # Errors
+    /// As [`Self::frames_sharded`].
+    pub fn frames_for_shard(
+        &self,
+        shard_values: &[u64],
+        base_seed: u64,
+        shard: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.mech
+            .randomize_items_to_frames(shard_values, shard_seed(base_seed, shard), out)
     }
 }
 
@@ -234,21 +338,22 @@ impl CollectorService {
 
     /// Ingests a buffer of back-to-back frames (the batched transport
     /// shape: one network payload carrying many reports), returning how
-    /// many frames were folded in.
+    /// many frames were folded in. Rides the mechanism's
+    /// [`ErasedMechanism::accumulate_concat`] fast path: one aggregator
+    /// downcast per stream and one reused scratch report, instead of
+    /// per-frame dispatch.
     ///
     /// # Errors
-    /// Stops at the first bad frame and reports it; frames before the
-    /// bad one remain ingested (exactly the reports the error-position
-    /// prefix carried).
-    pub fn ingest_concat(&mut self, stream: &[u8]) -> Result<usize> {
-        let mut pos = 0usize;
-        let mut count = 0usize;
-        while pos < stream.len() {
-            let frame = next_frame(stream, &mut pos)?;
-            self.mech.accumulate_frame(self.agg.as_mut(), frame)?;
-            count += 1;
+    /// Stops at the first bad frame; the [`IngestError`] carries both
+    /// the cause and the count of frames before it, which **remain
+    /// ingested** (exactly the reports the error-position prefix
+    /// carried).
+    pub fn ingest_concat(&mut self, stream: &[u8]) -> std::result::Result<usize, IngestError> {
+        let (ingested, res) = self.mech.accumulate_concat(self.agg.as_mut(), stream);
+        match res {
+            Ok(()) => Ok(ingested),
+            Err(source) => Err(IngestError { ingested, source }),
         }
-        Ok(count)
     }
 
     /// Merges another service's aggregate into this one, as if every
@@ -570,6 +675,42 @@ mod tests {
         // The original frame still works.
         service.ingest(&frame).unwrap();
         assert_eq!(service.reports(), 1);
+    }
+
+    #[test]
+    fn frames_sharded_into_matches_allocating_call() {
+        let desc = olhc_descriptor(32);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let values: Vec<u64> = (0..200u64).map(|v| v % 32).collect();
+        let fresh = client.frames_sharded(&values, 7, 5).unwrap();
+        // Reused buffers start dirty and at the wrong count: stale bytes
+        // and extra shards must not leak into the refill.
+        let mut reused = vec![vec![0xAAu8; 97]; 9];
+        client
+            .frames_sharded_into(&values, 7, 5, &mut reused)
+            .unwrap();
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn ingest_concat_reports_partial_count() {
+        let desc = olhc_descriptor(32);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut service = CollectorService::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut wire = Vec::new();
+        for v in 0..10u64 {
+            client.randomize_item(v, &mut rng, &mut wire).unwrap();
+        }
+        // Chop the last byte: nine frames fold in, the tenth fails, and
+        // the error accounts for the partial batch.
+        let err = service.ingest_concat(&wire[..wire.len() - 1]).unwrap_err();
+        assert_eq!(err.ingested, 9);
+        assert_eq!(service.reports(), 9);
+        assert!(matches!(err.source, LdpError::Truncated { .. }));
+        // `?`-conversion into the workspace error keeps the cause.
+        let as_ldp: LdpError = err.into();
+        assert!(matches!(as_ldp, LdpError::Truncated { .. }));
     }
 
     #[test]

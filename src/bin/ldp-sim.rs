@@ -5,21 +5,36 @@
 //! Usage: ldp-sim [--mechanism grr|sue|oue|she|the|blh|olh|hr|ss]
 //!                [--eps <f64>] [--domain <u64>] [--users <usize>]
 //!                [--zipf <f64>] [--seed <u64>] [--top <usize>]
+//!                [--scenario oracle|pipeline] [--workers <usize>]
+//!                [--shards <usize>] [--queue-depth <usize>]
+//!                [--policy block|drop]
 //! ```
 //!
 //! Simulates a population, runs the chosen mechanism end to end, and
 //! prints estimated-vs-true counts with error diagnostics — the fastest
 //! way to get a feel for the accuracy/ε/domain trade-offs the tutorial
 //! teaches. Defaults: OLH, ε=1, d=64, 50k users, Zipf 1.1.
+//!
+//! `--scenario pipeline` instead streams the population as serialized
+//! wire frames through the concurrent collector pipeline (OLH-C over
+//! the byte path): fused client-side frame writing, bounded-queue
+//! ingest workers, and a shard-order merge, with per-worker
+//! throughput/queue statistics. Defaults to 10M frames (`--users`
+//! scales it down for CI smoke runs).
 
 use ldp::core::fo::{
     collect_counts, BinaryLocalHashing, DirectEncoding, FrequencyOracle, HadamardResponse,
     OptimizedLocalHashing, OptimizedUnaryEncoding, SubsetSelection, SummationHistogramEncoding,
     SymmetricUnaryEncoding, ThresholdHistogramEncoding,
 };
+use ldp::core::protocol::{MechanismKind, ProtocolDescriptor};
 use ldp::core::Epsilon;
 use ldp::workloads::gen::{exact_counts, ZipfGenerator};
 use ldp::workloads::metrics;
+use ldp::workloads::pipeline::{
+    stream_population, BackpressurePolicy, CollectorPipeline, PipelineConfig,
+};
+use ldp::workloads::service::WireClient;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,10 +43,16 @@ struct Args {
     mechanism: String,
     eps: f64,
     domain: u64,
-    users: usize,
+    // None = scenario default (50k oracle / 10M pipeline).
+    users: Option<usize>,
     zipf: f64,
     seed: u64,
     top: usize,
+    scenario: String,
+    workers: usize,
+    shards: usize,
+    queue_depth: usize,
+    policy: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,10 +60,15 @@ fn parse_args() -> Result<Args, String> {
         mechanism: "olh".into(),
         eps: 1.0,
         domain: 64,
-        users: 50_000,
+        users: None,
         zipf: 1.1,
         seed: 42,
         top: 10,
+        scenario: "oracle".into(),
+        workers: 4,
+        shards: 1024,
+        queue_depth: 64,
+        policy: "block".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -58,10 +84,17 @@ fn parse_args() -> Result<Args, String> {
             "--mechanism" => args.mechanism = value.to_lowercase(),
             "--eps" => args.eps = value.parse().map_err(|e| format!("--eps: {e}"))?,
             "--domain" => args.domain = value.parse().map_err(|e| format!("--domain: {e}"))?,
-            "--users" => args.users = value.parse().map_err(|e| format!("--users: {e}"))?,
+            "--users" => args.users = Some(value.parse().map_err(|e| format!("--users: {e}"))?),
             "--zipf" => args.zipf = value.parse().map_err(|e| format!("--zipf: {e}"))?,
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--top" => args.top = value.parse().map_err(|e| format!("--top: {e}"))?,
+            "--scenario" => args.scenario = value.to_lowercase(),
+            "--workers" => args.workers = value.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--shards" => args.shards = value.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--queue-depth" => {
+                args.queue_depth = value.parse().map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--policy" => args.policy = value.to_lowercase(),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -70,9 +103,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run<O: FrequencyOracle>(oracle: O, args: &Args) {
+    let users = args.users.unwrap_or(50_000);
     let zipf = ZipfGenerator::new(args.domain, args.zipf).expect("valid zipf");
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let values = zipf.sample_n(args.users, &mut rng);
+    let values = zipf.sample_n(users, &mut rng);
     let truth = exact_counts(&values, args.domain);
     let start = std::time::Instant::now();
     let est = collect_counts(&oracle, &values, &mut rng);
@@ -83,12 +117,12 @@ fn run<O: FrequencyOracle>(oracle: O, args: &Args) {
         oracle.name(),
         args.eps,
         args.domain,
-        args.users,
+        users,
         args.zipf,
         oracle.report_bits(),
         elapsed
     );
-    let sd = oracle.noise_floor_variance(args.users).sqrt();
+    let sd = oracle.noise_floor_variance(users).sqrt();
     println!("analytic noise sd ≈ {sd:.1} counts\n");
     println!(
         "{:>6} {:>12} {:>12} {:>8}",
@@ -113,6 +147,90 @@ fn run<O: FrequencyOracle>(oracle: O, args: &Args) {
     );
 }
 
+/// The `--scenario pipeline` path: stream a synthetic population as
+/// serialized OLH-C wire frames through the concurrent collector
+/// pipeline, then print per-worker throughput, queue pressure, merge
+/// cost, and estimate accuracy.
+fn run_pipeline(args: &Args) -> Result<(), String> {
+    let frames = args.users.unwrap_or(10_000_000);
+    let policy = match args.policy.as_str() {
+        "block" => BackpressurePolicy::Block,
+        "drop" => BackpressurePolicy::DropNewest,
+        other => return Err(format!("unknown policy '{other}' (block|drop)")),
+    };
+    let desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(args.domain)
+        .epsilon(args.eps)
+        .cohorts(64)
+        .build()
+        .map_err(|e| format!("descriptor: {e}"))?;
+    let client = WireClient::from_descriptor(&desc).map_err(|e| format!("client: {e}"))?;
+    let shards = args.shards.min(frames.max(1));
+    let pipeline = CollectorPipeline::new(
+        &desc,
+        PipelineConfig {
+            shards,
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            policy,
+        },
+    )
+    .map_err(|e| format!("pipeline: {e}"))?;
+    let workers = pipeline.workers();
+
+    let zipf = ZipfGenerator::new(args.domain, args.zipf).map_err(|e| format!("zipf: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let values = zipf.sample_n(frames, &mut rng);
+    let truth = exact_counts(&values, args.domain);
+
+    let start = std::time::Instant::now();
+    let accepted = stream_population(&client, &pipeline, &values, args.seed, 4)
+        .map_err(|e| format!("stream: {e}"))?;
+    let (service, stats) = pipeline.finish().map_err(|e| format!("finish: {e}"))?;
+    let elapsed = start.elapsed();
+
+    println!(
+        "pipeline | OLH-C | ε={} | d={} | frames={} | shards={} | workers={} | \
+         queue={} | policy={}",
+        args.eps, args.domain, frames, shards, workers, args.queue_depth, args.policy
+    );
+    println!(
+        "wall {:?} | {:.0} frames/s end-to-end | merge {:.2} ms | accepted {accepted}",
+        elapsed,
+        accepted as f64 / elapsed.as_secs_f64(),
+        stats.merge_nanos as f64 / 1e6,
+    );
+    for (i, w) in stats.workers.iter().enumerate() {
+        println!(
+            "  worker {i}: {} frames in {} batches | busy {:.1} ms | \
+             {:.0} frames/s | queue hwm {} | dropped {}",
+            w.frames,
+            w.batches,
+            w.busy_nanos as f64 / 1e6,
+            w.frames_per_sec(),
+            w.queue_hwm,
+            w.dropped_batches,
+        );
+    }
+    println!(
+        "ingested {} frames | queue hwm {} | dropped batches {}",
+        stats.total_frames(),
+        stats.queue_hwm(),
+        stats.dropped_batches(),
+    );
+
+    let est = service.estimates();
+    println!(
+        "MSE {:.0} | MAE {:.1} | max err {:.1} | top-{} F1 {:.2}",
+        metrics::mse(&est, &truth),
+        metrics::mae(&est, &truth),
+        metrics::max_error(&est, &truth),
+        args.top,
+        metrics::top_k_metrics(&est, &truth, args.top).f1,
+    );
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -122,11 +240,24 @@ fn main() {
             }
             eprintln!(
                 "usage: ldp-sim [--mechanism grr|sue|oue|she|the|blh|olh|hr|ss] \
-                 [--eps F] [--domain D] [--users N] [--zipf S] [--seed K] [--top T]"
+                 [--eps F] [--domain D] [--users N] [--zipf S] [--seed K] [--top T] \
+                 [--scenario oracle|pipeline] [--workers W] [--shards S] \
+                 [--queue-depth Q] [--policy block|drop]"
             );
             std::process::exit(if msg == "help" { 0 } else { 2 });
         }
     };
+    if args.scenario == "pipeline" {
+        if let Err(msg) = run_pipeline(&args) {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.scenario != "oracle" {
+        eprintln!("error: unknown scenario '{}'", args.scenario);
+        std::process::exit(2);
+    }
     let eps = match Epsilon::new(args.eps) {
         Ok(e) => e,
         Err(e) => {

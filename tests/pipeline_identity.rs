@@ -1,0 +1,210 @@
+//! The concurrent pipeline's determinism contract, property-tested over
+//! worker counts, shard counts, and batch splits:
+//!
+//! * **Integer-counter mechanisms** (OLH-C, CMS, dBitFlip — every
+//!   registered kind except the float aggregators): the pipeline's
+//!   merged aggregate is bit-identical to **one** `CollectorService`
+//!   ingesting the same frames through `ingest_concat`, whatever the
+//!   worker count or batch split — their merges are exact integer
+//!   addition, so the shard fold commutes with a flat pass.
+//! * **Float SHE**: `f64` addition is not associative, so the honest
+//!   reference is the *sharded* one — per-shard services merged in
+//!   shard order, exactly `parallel.rs`'s invariant. The pipeline must
+//!   reproduce it bit for bit across worker counts and batch splits
+//!   (every shard's state is accumulated in submission order on one
+//!   worker, and the finish-time fold runs in shard order regardless of
+//!   which worker hosted which shard).
+
+use ldp::core::protocol::{MechanismKind, ProtocolDescriptor};
+use ldp::workloads::pipeline::{
+    stream_population, BackpressurePolicy, CollectorPipeline, PipelineConfig,
+};
+use ldp::workloads::service::{CollectorService, WireClient};
+use proptest::prelude::*;
+
+const SEED: u64 = 2018;
+
+fn values(n: usize, d: u64) -> Vec<u64> {
+    (0..n).map(|i| (i as u64).wrapping_mul(31) % d).collect()
+}
+
+fn olhc() -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(32)
+        .epsilon(1.0)
+        .cohorts(64)
+        .build()
+        .expect("valid descriptor")
+}
+
+fn cms() -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(MechanismKind::AppleCms)
+        .domain_size(64)
+        .epsilon(2.0)
+        .sketch(8, 128)
+        .hash_seed(31)
+        .build()
+        .expect("valid descriptor")
+}
+
+fn dbitflip() -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(MechanismKind::MicrosoftDBitFlip)
+        .domain_size(64)
+        .bits_per_device(8)
+        .epsilon(1.0)
+        .build()
+        .expect("valid descriptor")
+}
+
+fn she() -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(MechanismKind::SummationHistogram)
+        .domain_size(24)
+        .epsilon(1.0)
+        .build()
+        .expect("valid descriptor")
+}
+
+/// Runs the population through a pipeline with the given shape and
+/// returns the merged estimates.
+fn pipeline_estimates(
+    desc: &ProtocolDescriptor,
+    vals: &[u64],
+    shards: usize,
+    workers: usize,
+    batches_per_shard: usize,
+) -> (Vec<f64>, usize) {
+    let client = WireClient::from_descriptor(desc).expect("client builds");
+    let pipeline = CollectorPipeline::new(
+        desc,
+        PipelineConfig {
+            shards,
+            workers,
+            queue_depth: 3,
+            policy: BackpressurePolicy::Block,
+        },
+    )
+    .expect("pipeline builds");
+    let accepted =
+        stream_population(&client, &pipeline, vals, SEED, batches_per_shard).expect("stream");
+    assert_eq!(accepted, vals.len(), "Block policy accepts everything");
+    let (service, stats) = pipeline.finish().expect("finish");
+    assert_eq!(stats.total_frames(), vals.len());
+    assert_eq!(stats.dropped_batches(), 0);
+    (service.estimates(), service.reports())
+}
+
+/// One flat service over the same per-shard frame buffers — the
+/// reference for exact-integer mechanisms.
+fn flat_estimates(desc: &ProtocolDescriptor, vals: &[u64], shards: usize) -> (Vec<f64>, usize) {
+    let client = WireClient::from_descriptor(desc).expect("client builds");
+    let mut service = CollectorService::from_descriptor(desc).expect("service builds");
+    for buf in &client.frames_sharded(vals, SEED, shards).expect("framing") {
+        service.ingest_concat(buf).expect("frames ingest");
+    }
+    (service.estimates(), service.reports())
+}
+
+/// Per-shard services merged in shard order — the reference for the
+/// float aggregators (`parallel.rs`'s invariant).
+fn sharded_estimates(desc: &ProtocolDescriptor, vals: &[u64], shards: usize) -> (Vec<f64>, usize) {
+    let client = WireClient::from_descriptor(desc).expect("client builds");
+    let mut merged: Option<CollectorService> = None;
+    for buf in &client.frames_sharded(vals, SEED, shards).expect("framing") {
+        let mut shard = CollectorService::from_descriptor(desc).expect("service builds");
+        shard.ingest_concat(buf).expect("frames ingest");
+        match merged.as_mut() {
+            None => merged = Some(shard),
+            Some(m) => m.merge(shard).expect("same-descriptor merge"),
+        }
+    }
+    let merged = merged.expect("at least one shard");
+    (merged.estimates(), merged.reports())
+}
+
+fn assert_bits_equal(kind: &str, got: &(Vec<f64>, usize), want: &(Vec<f64>, usize)) {
+    assert_eq!(got.1, want.1, "{kind}: report counts differ");
+    assert_eq!(got.0.len(), want.0.len(), "{kind}: estimate widths differ");
+    for (i, (g, w)) in got.0.iter().zip(&want.0).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{kind} item {i}: pipeline {g} != reference {w}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Integer-counter kinds equal a flat single-service ingest for any
+    // pipeline shape.
+    #[test]
+    fn pipeline_matches_flat_ingest_olhc(
+        shards in 1usize..9,
+        workers in 1usize..6,
+        parts in 1usize..5,
+    ) {
+        let desc = olhc();
+        let vals = values(700, desc.domain_size());
+        let got = pipeline_estimates(&desc, &vals, shards, workers, parts);
+        let want = flat_estimates(&desc, &vals, shards);
+        assert_bits_equal("OLH-C", &got, &want);
+    }
+
+    #[test]
+    fn pipeline_matches_flat_ingest_cms(
+        shards in 1usize..9,
+        workers in 1usize..6,
+        parts in 1usize..5,
+    ) {
+        let desc = cms();
+        let vals = values(500, desc.domain_size());
+        let got = pipeline_estimates(&desc, &vals, shards, workers, parts);
+        let want = flat_estimates(&desc, &vals, shards);
+        assert_bits_equal("CMS", &got, &want);
+    }
+
+    #[test]
+    fn pipeline_matches_flat_ingest_dbitflip(
+        shards in 1usize..9,
+        workers in 1usize..6,
+        parts in 1usize..5,
+    ) {
+        let desc = dbitflip();
+        let vals = values(500, desc.domain_size());
+        let got = pipeline_estimates(&desc, &vals, shards, workers, parts);
+        let want = flat_estimates(&desc, &vals, shards);
+        assert_bits_equal("dBitFlip", &got, &want);
+    }
+
+    // Float SHE equals the sharded reference (per-shard services merged
+    // in shard order) for any worker count and batch split — and the
+    // reference itself is worker-count-free, so the aggregate is too.
+    #[test]
+    fn pipeline_matches_sharded_reference_she(
+        shards in 1usize..9,
+        workers in 1usize..6,
+        parts in 1usize..5,
+    ) {
+        let desc = she();
+        let vals = values(400, desc.domain_size());
+        let got = pipeline_estimates(&desc, &vals, shards, workers, parts);
+        let want = sharded_estimates(&desc, &vals, shards);
+        assert_bits_equal("SHE", &got, &want);
+    }
+}
+
+/// The integer-kind flat reference and the sharded reference coincide
+/// exactly (integer merges commute), so the two proptest references are
+/// mutually consistent — pinned here once so a future aggregator change
+/// that breaks this assumption fails loudly rather than silently
+/// weakening the flat-reference tests.
+#[test]
+fn flat_and_sharded_references_coincide_for_integer_kinds() {
+    for desc in [olhc(), cms(), dbitflip()] {
+        let vals = values(600, desc.domain_size());
+        let flat = flat_estimates(&desc, &vals, 5);
+        let sharded = sharded_estimates(&desc, &vals, 5);
+        assert_bits_equal(desc.kind().name(), &flat, &sharded);
+    }
+}
