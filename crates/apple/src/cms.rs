@@ -287,6 +287,44 @@ impl CmsServer {
         self.n += other.n;
     }
 
+    /// Subtracts another server's counters from this one — the exact
+    /// inverse of [`merge`](Self::merge) for retiring a window delta
+    /// from a running total. All-or-nothing: every underflow check runs
+    /// before the first counter moves.
+    ///
+    /// # Errors
+    /// [`ldp_core::LdpError::StateMismatch`] if the protocols differ or
+    /// `other` is not a sub-aggregate of this state.
+    pub fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.protocol != other.protocol {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: CMS protocol mismatch".into(),
+            ));
+        }
+        if !self.subtract_fits(other) {
+            // (The protocol check above already passed; this is the
+            // underflow half of the fit.)
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: CMS subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        ldp_core::fo::subtract_counts(&mut self.ones, &other.ones);
+        ldp_core::fo::subtract_counts(&mut self.row_n, &other.row_n);
+        self.n -= other.n;
+        Ok(())
+    }
+
+    /// True iff [`try_subtract`](Self::try_subtract) would commit (same
+    /// protocol, no counter underflow) — the pre-check SFP's
+    /// multi-sketch subtract runs over every fragment before touching
+    /// any, keeping its own subtract all-or-nothing.
+    pub(crate) fn subtract_fits(&self, other: &Self) -> bool {
+        self.protocol == other.protocol
+            && self.n >= other.n
+            && ldp_core::fo::counts_fit(&self.ones, &other.ones)
+            && ldp_core::fo::counts_fit(&self.row_n, &other.row_n)
+    }
+
     /// Number of reports accumulated.
     pub fn reports(&self) -> usize {
         self.n
@@ -318,6 +356,66 @@ impl CmsServer {
     /// Estimates every item in `items` (convenience for sweeps).
     pub fn estimate_items(&self, items: &[u64]) -> Vec<f64> {
         items.iter().map(|&v| self.estimate(v)).collect()
+    }
+
+    /// Scans `0..domain` and returns, in ascending value order, every
+    /// `(value, estimate)` whose estimate **exceeds** `threshold` — the
+    /// result a naive `(0..domain).filter(|v| estimate(v) > threshold)`
+    /// scan would produce, estimates bit-identical, but without paying
+    /// the full estimate for values that cannot clear the cutoff.
+    ///
+    /// The estimate is a fixed affine transform of the row-cell sum
+    /// `S(v) = Σ_j M[j, h_j(v)]`, so `estimate(v) > threshold` is a
+    /// cutoff on `S(v)`. The scan precomputes the `k × m` debiased cell
+    /// table once (the per-value work drops to hash + lookup), plus each
+    /// row's maximum cell and the suffix sums of those maxima; a value
+    /// whose partial sum over the first rows cannot reach the cutoff
+    /// even on per-row maxima is abandoned mid-scan. The bound is padded
+    /// by a conservative slack covering float reassociation, so pruning
+    /// never drops a true survivor; survivors finish all `k` rows, and
+    /// their sum is folded in exactly [`estimate`](Self::estimate)'s
+    /// operation order.
+    pub fn scan_above(&self, domain: u64, threshold: f64) -> Vec<(u64, f64)> {
+        let (k, m) = self.protocol.shape();
+        let (kf, mf) = (k as f64, m as f64);
+        let mut cells = Vec::with_capacity(k * m);
+        for j in 0..k {
+            for l in 0..m {
+                cells.push(self.cell(j, l));
+            }
+        }
+        // suffix_max[j] bounds Σ_{j' ≥ j} of any per-row cell choice.
+        let mut suffix_max = vec![0.0f64; k + 1];
+        for j in (0..k).rev() {
+            let row_max = cells[j * m..(j + 1) * m]
+                .iter()
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            suffix_max[j] = suffix_max[j + 1] + row_max;
+        }
+        // estimate > threshold  ⟺  S(v) > cutoff, up to rounding — the
+        // slack keeps the row-level bound conservative; the survivor
+        // test itself reruns the exact comparison.
+        let cutoff = kf * (threshold * (mf - 1.0) / mf + self.n as f64 / mf);
+        let slack = 1e-9 * (1.0 + cutoff.abs() + suffix_max[0].abs());
+
+        let mut out = Vec::new();
+        'values: for v in 0..domain {
+            let mut sum = 0.0f64;
+            for j in 0..k {
+                if sum + suffix_max[j] < cutoff - slack {
+                    continue 'values;
+                }
+                sum += cells[j * m + self.protocol.bucket(j, v)];
+            }
+            // Identical float pipeline to `estimate`: the cell values
+            // came from the same `cell()` calls, `sum` folded them in
+            // the same row order from the same 0.0.
+            let e = (mf / (mf - 1.0)) * (sum / kf - self.n as f64 / mf);
+            if e > threshold {
+                out.push((v, e));
+            }
+        }
+        out
     }
 }
 
@@ -474,6 +572,15 @@ impl FoAggregator for CmsAggregator {
         assert_eq!(self.domain, other.domain, "merge: domain mismatch");
         self.server.merge(other.server);
     }
+
+    fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.domain != other.domain {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: CMS oracle domain mismatch".into(),
+            ));
+        }
+        self.server.try_subtract(&other.server)
+    }
 }
 
 impl FrequencyOracle for CmsOracle {
@@ -570,6 +677,36 @@ mod tests {
         assert!((p.c_eps() - (half + 1.0) / (half - 1.0)).abs() < 1e-12);
         // c_eps = 1/(1-2*flip_prob): debias inverts the flip channel.
         assert!((p.c_eps() - 1.0 / (1.0 - 2.0 * p.flip_prob())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_above_matches_naive_filter_bit_exactly() {
+        let proto = CmsProtocol::new(8, 64, eps(3.0), 11);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut server = proto.new_server();
+        let domain = 4096u64;
+        for u in 0..5_000u64 {
+            let v = if u % 3 == 0 { u % 7 } else { u % domain };
+            server.accumulate(&proto.randomize(v, &mut rng));
+        }
+        // Thresholds spanning "keep everything" through "keep nothing";
+        // each must reproduce the naive filter scan exactly, estimates
+        // included.
+        for threshold in [-1e6, -10.0, 0.0, 5.0, 50.0, 500.0, 1e9] {
+            let fast = server.scan_above(domain, threshold);
+            let naive: Vec<(u64, f64)> = (0..domain)
+                .map(|v| (v, server.estimate(v)))
+                .filter(|&(_, e)| e > threshold)
+                .collect();
+            assert_eq!(fast.len(), naive.len(), "threshold={threshold}");
+            for ((va, ea), (vb, eb)) in fast.iter().zip(&naive) {
+                assert_eq!(va, vb, "threshold={threshold}");
+                assert_eq!(ea.to_bits(), eb.to_bits(), "threshold={threshold}");
+            }
+        }
+        // Empty server: nothing exceeds a positive threshold.
+        let empty = proto.new_server();
+        assert!(empty.scan_above(domain, 0.0).is_empty());
     }
 
     #[test]

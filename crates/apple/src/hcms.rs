@@ -174,6 +174,33 @@ impl HcmsServer {
         self.n += other.n;
     }
 
+    /// Subtracts another server's sign sums from this one — the exact
+    /// inverse of [`merge`](Self::merge) for retiring a window delta
+    /// from a running total (integer subtraction, so the result is
+    /// bit-identical to never having merged `other`).
+    ///
+    /// # Errors
+    /// [`ldp_core::LdpError::StateMismatch`] if the protocols differ or
+    /// `other` holds more reports than this state (sign sums are signed,
+    /// so the report count is the only underflow sentinel).
+    pub fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.protocol != other.protocol {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: HCMS protocol mismatch".into(),
+            ));
+        }
+        if self.n < other.n {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: HCMS subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        for (a, b) in self.spectrum.iter_mut().zip(&other.spectrum) {
+            *a -= b;
+        }
+        self.n -= other.n;
+        Ok(())
+    }
+
     /// Number of reports accumulated.
     pub fn reports(&self) -> usize {
         self.n
@@ -432,6 +459,15 @@ impl FoAggregator for HcmsAggregator {
     fn merge(&mut self, other: Self) {
         assert_eq!(self.domain, other.domain, "merge: domain mismatch");
         self.server.merge(other.server);
+    }
+
+    fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.domain != other.domain {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: HCMS oracle domain mismatch".into(),
+            ));
+        }
+        self.server.try_subtract(&other.server)
     }
 }
 

@@ -201,6 +201,38 @@ impl SfpCollectors {
         }
         self.word.merge(other.word);
     }
+
+    /// Subtracts another collector pair's counters from this one — the
+    /// exact inverse of [`merge`](Self::merge), checked across **every**
+    /// fragment sketch and the word sketch before any of them moves, so
+    /// a refusal leaves the whole state untouched.
+    ///
+    /// # Errors
+    /// [`ldp_core::LdpError::StateMismatch`] if the sketch shapes differ
+    /// or `other` is not a sub-aggregate of this state.
+    pub fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        let fits = self.fragments.len() == other.fragments.len()
+            && self
+                .fragments
+                .iter()
+                .zip(&other.fragments)
+                .all(|(a, b)| a.subtract_fits(b))
+            && self.word.subtract_fits(&other.word);
+        if !fits {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: SFP subtrahend is not configured like, or is not a sub-aggregate of, \
+                 this state"
+                    .into(),
+            ));
+        }
+        for (a, b) in self.fragments.iter_mut().zip(&other.fragments) {
+            a.try_subtract(b).expect("pre-checked fragment subtract");
+        }
+        self.word
+            .try_subtract(&other.word)
+            .expect("pre-checked word subtract");
+        Ok(())
+    }
 }
 
 impl ldp_core::snapshot::StateSnapshot for SfpCollectors {
@@ -334,10 +366,12 @@ impl SfpDiscovery {
     /// frontier instead of exhaustively scoring `40^ℓ·256` values at
     /// every position.
     ///
-    /// Position 0 is the seed scan: every `(fragment, puzzle)` value is
-    /// scored, but only those clearing a noise threshold (a multiple of
-    /// the sketch's per-estimate standard deviation) survive, and their
-    /// puzzle bytes form the surviving *frontier*. Positions ≥ 1 then
+    /// Position 0 is the seed scan: only `(fragment, puzzle)` values
+    /// clearing a noise threshold (a multiple of the sketch's
+    /// per-estimate standard deviation) survive — found with
+    /// [`CmsServer::scan_above`], which feeds the threshold into a
+    /// pruned sketch scan rather than estimating the full domain — and
+    /// their puzzle bytes form the surviving *frontier*. Positions ≥ 1 then
     /// score only values whose puzzle byte is in the frontier — a
     /// `|frontier|/256` fraction of the domain. The join is sound
     /// because any completable candidate must carry its puzzle byte at
@@ -361,12 +395,14 @@ impl SfpDiscovery {
             let mut scored: Vec<(u64, u64, f64)> = Vec::new();
             match &frontier {
                 None => {
-                    // Seed scan: full domain, threshold survivors only.
-                    for v in 0..domain {
-                        let e = server.estimate(v);
-                        if e > threshold {
-                            scored.push((v / 256, v % 256, e));
-                        }
+                    // Seed scan: the 2σ survivor threshold drives a
+                    // pruned sketch scan (precomputed cell table,
+                    // row-level suffix-max cutoffs) instead of a full
+                    // per-value estimate of the whole domain; the
+                    // survivors and their estimates are bit-identical
+                    // to the naive filter scan.
+                    for (v, e) in server.scan_above(domain, threshold) {
+                        scored.push((v / 256, v % 256, e));
                     }
                 }
                 Some(alive) => {

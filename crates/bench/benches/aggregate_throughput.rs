@@ -76,6 +76,7 @@ use ldp_workloads::pipeline::{
     split_frames, BackpressurePolicy, CollectorPipeline, PipelineConfig,
 };
 use ldp_workloads::service::{CollectorService, WireClient};
+use ldp_workloads::window::{WindowConfig, WindowRing};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -497,6 +498,47 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         black_box(fresh.reports());
     });
 
+    // --- Sliding window ring: steady-state advance (one collection
+    // round's pre-framed traffic into a fresh bucket, retiring the
+    // expired window from the running total by exact subtraction) and a
+    // full decode of the sliding total. OLH-C, the mechanism the
+    // `ldp-sim --scenario windows` deployment runs on.
+    let win_windows = 8usize;
+    let n_win = n / 10;
+    let win_desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(d)
+        .epsilon(1.0)
+        .cohorts(64)
+        .build()
+        .expect("valid descriptor");
+    let win_client = WireClient::from_descriptor(&win_desc).expect("client builds");
+    let win_buf = win_client
+        .frames_sharded(&values[..n_win], 13, 1)
+        .expect("framing succeeds")
+        .remove(0);
+    let mut ring =
+        WindowRing::new(&win_desc, WindowConfig::new(1, win_windows)).expect("ring builds");
+    let mut next_bucket = 0u64;
+    for _ in 0..win_windows {
+        ring.ingest_concat(next_bucket, &win_buf)
+            .expect("ring prefill");
+        next_bucket += 1;
+    }
+    let window_advance_ns = median_ns(collect_reps, || {
+        ring.ingest_concat(next_bucket, &win_buf)
+            .expect("ring advances");
+        next_bucket += 1;
+        black_box(ring.reports());
+    });
+    assert_eq!(
+        ring.stats().retired_rebuild,
+        0,
+        "OLH-C retirement must stay on the subtract path"
+    );
+    let window_estimate_ns = median_ns(estimate_reps.max(11), || {
+        black_box(ring.estimates());
+    });
+
     // --- Decode kernels: each new kernel vs its frozen baseline, same
     // odd rep count on both sides of every comparison.
 
@@ -718,6 +760,11 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         snapshot_roundtrip_ns / 1e6
     );
     println!(
+        "window_ring/advance_{n_win}f_w{win_windows}: {:.2} ms (subtractive retirement), estimate: {:.3} ms",
+        window_advance_ns / 1e6,
+        window_estimate_ns / 1e6
+    );
+    println!(
         "fwht/reference_m{fwht_m}: {:.3} ms, tiled: {:.3} ms  ({fwht_tiled_speedup:.2}x speedup, bit-identical)",
         fwht_reference_ns / 1e6,
         fwht_tiled_ns / 1e6
@@ -744,7 +791,7 @@ fn bench_old_vs_new(_c: &mut Criterion) {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3},\n  \"pipeline_ingest_ns\": {pipeline_ingest_ns:.0},\n  \"pipeline_queue_hwm\": {pipeline_queue_hwm},\n  \"snapshot_roundtrip_ns\": {snapshot_roundtrip_ns:.0},\n  \"snapshot_bytes\": {snapshot_bytes},\n  \"decode\": {{\n    \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n    \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n    \"olh_estimate_speedup\": {olh_estimate_speedup:.2},\n    \"fwht_m\": {fwht_m},\n    \"fwht_reference_ns\": {fwht_reference_ns:.0},\n    \"fwht_tiled_ns\": {fwht_tiled_ns:.0},\n    \"fwht_tiled_speedup\": {fwht_tiled_speedup:.2},\n    \"hcms_legacy_decode_ns\": {hcms_legacy_decode_ns:.0},\n    \"hcms_cached_decode_ns\": {hcms_cached_decode_ns:.0},\n    \"hcms_decode_speedup\": {hcms_decode_speedup:.2},\n    \"sfp_exhaustive_decode_ns\": {sfp_exhaustive_decode_ns:.0},\n    \"sfp_candidate_decode_ns\": {sfp_candidate_decode_ns:.0},\n    \"sfp_decode_speedup\": {sfp_decode_speedup:.2},\n    \"rappor_dense_lasso_ns\": {rappor_dense_lasso_ns:.0},\n    \"rappor_sparse_lasso_ns\": {rappor_sparse_lasso_ns:.0},\n    \"rappor_lasso_speedup\": {rappor_lasso_speedup:.2},\n    \"she_legacy_randomize_ns\": {she_legacy_randomize_ns:.0},\n    \"she_batched_randomize_ns\": {she_batched_randomize_ns:.0},\n    \"she_randomize_speedup\": {she_randomize_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3},\n  \"pipeline_ingest_ns\": {pipeline_ingest_ns:.0},\n  \"pipeline_queue_hwm\": {pipeline_queue_hwm},\n  \"snapshot_roundtrip_ns\": {snapshot_roundtrip_ns:.0},\n  \"snapshot_bytes\": {snapshot_bytes},\n  \"window_advance_ns\": {window_advance_ns:.0},\n  \"window_estimate_ns\": {window_estimate_ns:.0},\n  \"decode\": {{\n    \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n    \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n    \"olh_estimate_speedup\": {olh_estimate_speedup:.2},\n    \"fwht_m\": {fwht_m},\n    \"fwht_reference_ns\": {fwht_reference_ns:.0},\n    \"fwht_tiled_ns\": {fwht_tiled_ns:.0},\n    \"fwht_tiled_speedup\": {fwht_tiled_speedup:.2},\n    \"hcms_legacy_decode_ns\": {hcms_legacy_decode_ns:.0},\n    \"hcms_cached_decode_ns\": {hcms_cached_decode_ns:.0},\n    \"hcms_decode_speedup\": {hcms_decode_speedup:.2},\n    \"sfp_exhaustive_decode_ns\": {sfp_exhaustive_decode_ns:.0},\n    \"sfp_candidate_decode_ns\": {sfp_candidate_decode_ns:.0},\n    \"sfp_decode_speedup\": {sfp_decode_speedup:.2},\n    \"rappor_dense_lasso_ns\": {rappor_dense_lasso_ns:.0},\n    \"rappor_sparse_lasso_ns\": {rappor_sparse_lasso_ns:.0},\n    \"rappor_lasso_speedup\": {rappor_lasso_speedup:.2},\n    \"she_legacy_randomize_ns\": {she_legacy_randomize_ns:.0},\n    \"she_batched_randomize_ns\": {she_batched_randomize_ns:.0},\n    \"she_randomize_speedup\": {she_randomize_speedup:.2}\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         cohort_oracle.g(),
     );

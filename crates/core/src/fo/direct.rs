@@ -187,6 +187,22 @@ impl FoAggregator for DirectAggregator {
         }
         self.n += other.n;
     }
+
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        if self.histogram.len() != other.histogram.len() || self.p != other.p || self.q != other.q {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: GRR configuration mismatch".into(),
+            ));
+        }
+        if self.n < other.n || !super::counts_fit(&self.histogram, &other.histogram) {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: GRR subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        super::subtract_counts(&mut self.histogram, &other.histogram);
+        self.n -= other.n;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

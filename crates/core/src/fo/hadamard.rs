@@ -297,6 +297,30 @@ impl FoAggregator for HrAggregator {
         }
         self.n += other.n;
     }
+
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        if self.sign_sums.len() != other.sign_sums.len()
+            || self.d != other.d
+            || self.p_truth != other.p_truth
+        {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: HR configuration mismatch".into(),
+            ));
+        }
+        // Sign sums are signed (±1 per report), so only the per-row
+        // report counts and `n` can detect a non-sub-aggregate.
+        if self.n < other.n || !super::counts_fit(&self.row_counts, &other.row_counts) {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: HR subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        for (a, b) in self.sign_sums.iter_mut().zip(&other.sign_sums) {
+            *a -= b;
+        }
+        super::subtract_counts(&mut self.row_counts, &other.row_counts);
+        self.n -= other.n;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

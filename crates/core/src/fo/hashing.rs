@@ -397,6 +397,18 @@ impl FoAggregator for LhAggregator {
         );
         self.reports.extend(other.reports);
     }
+
+    /// Raw local hashing keeps the trait's refusal, with its own reason:
+    /// the state is the report list itself, and a window's contribution
+    /// has no identity inside it — removing "equal" reports could strip
+    /// a different user's coincidentally identical `(seed, bucket)` pair
+    /// and still would not restore the original list order bit for bit.
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        let _ = other;
+        Err(crate::LdpError::NotSubtractive(
+            "raw local hashing keeps a report list; window deltas have no identity in it".into(),
+        ))
+    }
 }
 
 /// Default cohort count for [`CohortLocalHashing::optimized`]: large
@@ -789,6 +801,28 @@ impl FoAggregator for CohortLhAggregator {
             *a += b;
         }
         self.n += other.n;
+    }
+
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        if self.d != other.d
+            || self.g != other.g
+            || self.cohorts != other.cohorts
+            || self.seed_base != other.seed_base
+            || self.p != other.p
+            || self.q != other.q
+        {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: OLH-C configuration mismatch".into(),
+            ));
+        }
+        if self.n < other.n || !super::counts_fit(&self.counts, &other.counts) {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: OLH-C subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        super::subtract_counts(&mut self.counts, &other.counts);
+        self.n -= other.n;
+        Ok(())
     }
 }
 

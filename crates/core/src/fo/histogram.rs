@@ -229,6 +229,18 @@ impl FoAggregator for SheAggregator {
         }
         self.n += other.n;
     }
+
+    /// SHE keeps the trait's refusal, with its own reason: the state is
+    /// floating-point sums, and `(a + b) - b == a` does not hold for
+    /// `f64` once additions reassociate — a "subtracted" total would
+    /// silently drift from the rebuild-from-deltas truth, so the window
+    /// layer must re-merge live windows instead.
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        let _ = other;
+        Err(crate::LdpError::NotSubtractive(
+            "SHE state is floating-point sums; subtraction is not an exact merge inverse".into(),
+        ))
+    }
 }
 
 /// Thresholding with histogram encoding: SHE followed by a client-side
@@ -551,6 +563,22 @@ impl FoAggregator for TheAggregator {
             *a += b;
         }
         self.n += other.n;
+    }
+
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        if self.ones.len() != other.ones.len() || self.p != other.p || self.q != other.q {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: THE configuration mismatch".into(),
+            ));
+        }
+        if self.n < other.n || !super::counts_fit(&self.ones, &other.ones) {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: THE subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        super::subtract_counts(&mut self.ones, &other.ones);
+        self.n -= other.n;
+        Ok(())
     }
 }
 

@@ -342,6 +342,69 @@ pub trait FoAggregator: crate::snapshot::StateSnapshot {
     fn merge(&mut self, other: Self)
     where
         Self: Sized;
+
+    /// Subtracts another aggregator's state from this one — the exact
+    /// inverse of [`merge`](Self::merge). When `other`'s reports are a
+    /// sub-multiset of the reports folded in here, the state afterwards
+    /// is **bit-identical** to an aggregator that accumulated only the
+    /// remainder. This is what lets a sliding-window collector retire an
+    /// expired window's delta from a running total in `O(state)` instead
+    /// of re-merging every live window
+    /// (`ldp_workloads::window::WindowRing`).
+    ///
+    /// Only the count-based aggregators support it: their state is
+    /// integer counters, which form a group under `merge`, so the inverse
+    /// is exact. The default refuses with
+    /// [`crate::LdpError::NotSubtractive`] — the two workspace states
+    /// that keep the default are SHE (floating-point sums, for which an
+    /// *exact* inverse does not exist under reassociation) and raw local
+    /// hashing (a report list records that reports arrived, not which
+    /// ones a given window contributed).
+    ///
+    /// Calls are all-or-nothing: every check (configuration equality,
+    /// counter underflow) happens before the first counter moves, so a
+    /// failed subtract leaves `self` untouched and callers can fall back
+    /// to a rebuild.
+    ///
+    /// # Errors
+    /// [`crate::LdpError::NotSubtractive`] when this aggregator kind has
+    /// no exact merge inverse; [`crate::LdpError::StateMismatch`] when
+    /// `other` was configured incompatibly or is not a sub-aggregate of
+    /// `self` (some counter would underflow).
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()>
+    where
+        Self: Sized,
+    {
+        let _ = other;
+        Err(crate::LdpError::NotSubtractive(
+            "this aggregator's state has no exact merge inverse".into(),
+        ))
+    }
+}
+
+/// True iff every counter in `sub` fits under its counterpart in `dst` —
+/// the underflow pre-check shared by the count-based
+/// [`FoAggregator::try_subtract`] overrides across the workspace crates.
+/// Callers check **all** of an aggregator's counter vectors with this
+/// before committing any subtraction, so a refused subtract is a no-op.
+#[inline]
+pub fn counts_fit(dst: &[u64], sub: &[u64]) -> bool {
+    dst.len() == sub.len() && dst.iter().zip(sub).all(|(a, b)| a >= b)
+}
+
+/// Coordinate-wise counter subtraction — the commit half of the
+/// count-based [`FoAggregator::try_subtract`] overrides. Callers verify
+/// [`counts_fit`] on every vector first.
+///
+/// # Panics
+/// Debug-panics on length mismatch or underflow (release builds wrap,
+/// which the `counts_fit` pre-check makes unreachable).
+#[inline]
+pub fn subtract_counts(dst: &mut [u64], sub: &[u64]) {
+    debug_assert_eq!(dst.len(), sub.len());
+    for (a, b) in dst.iter_mut().zip(sub) {
+        *a -= b;
+    }
 }
 
 /// Shared body of the per-position-counter

@@ -291,6 +291,26 @@ impl FoAggregator for SsAggregator {
         }
         self.n += other.n;
     }
+
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        if self.inclusions.len() != other.inclusions.len()
+            || self.p != other.p
+            || self.q != other.q
+            || self.k != other.k
+        {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: SS configuration mismatch".into(),
+            ));
+        }
+        if self.n < other.n || !super::counts_fit(&self.inclusions, &other.inclusions) {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: SS subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        super::subtract_counts(&mut self.inclusions, &other.inclusions);
+        self.n -= other.n;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

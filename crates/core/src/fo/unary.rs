@@ -372,6 +372,22 @@ impl FoAggregator for UnaryAggregator {
         }
         self.n += other.n;
     }
+
+    fn try_subtract(&mut self, other: &Self) -> crate::Result<()> {
+        if self.ones.len() != other.ones.len() || self.p != other.p || self.q != other.q {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: unary configuration mismatch".into(),
+            ));
+        }
+        if self.n < other.n || !super::counts_fit(&self.ones, &other.ones) {
+            return Err(crate::LdpError::StateMismatch(
+                "subtract: unary subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        super::subtract_counts(&mut self.ones, &other.ones);
+        self.n -= other.n;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

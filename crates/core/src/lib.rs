@@ -125,6 +125,11 @@ pub enum LdpError {
     /// aggregator with different configuration (shape, channel
     /// probabilities, or hash family) than the one restoring it.
     StateMismatch(String),
+    /// The aggregator was asked to [`fo::FoAggregator::try_subtract`]
+    /// but its state has no exact merge inverse (floating-point sums
+    /// that reassociate, or a raw report list with no window identity) —
+    /// callers fall back to rebuilding the total from live deltas.
+    NotSubtractive(String),
 }
 
 /// Pre-PR-5 name of [`LdpError`], kept so existing `ldp_core::Error`
@@ -170,6 +175,9 @@ impl std::fmt::Display for LdpError {
             }
             LdpError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
             LdpError::StateMismatch(msg) => write!(f, "snapshot state mismatch: {msg}"),
+            LdpError::NotSubtractive(msg) => {
+                write!(f, "aggregator state is not subtractive: {msg}")
+            }
         }
     }
 }

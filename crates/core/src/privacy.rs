@@ -159,6 +159,35 @@ impl PrivacyBudget {
         self.draw(share)
     }
 
+    /// Returns `amount` of previously drawn ε to the budget — the
+    /// accounting inverse of [`draw`](Self::draw), for *rolling-horizon*
+    /// composition: when privacy loss is accounted over a sliding period
+    /// (Apple's per-day budget, the windowed longitudinal ledger in
+    /// `ldp_workloads::window`), a charge whose collection event has
+    /// aged out of the period stops counting against the allowance.
+    ///
+    /// This changes bookkeeping only — it does not, and cannot, undo the
+    /// disclosure itself. Releasing is sound exactly when the guarantee
+    /// being enforced is "at most ε_total spent within any one period",
+    /// which is the contract of every deployed per-period budget.
+    ///
+    /// # Errors
+    /// [`Error::InvalidEpsilon`] if `amount` is not positive/finite;
+    /// [`Error::InvalidParameter`] if `amount` exceeds what was actually
+    /// drawn (within the same 1e-9 tolerance as [`draw`](Self::draw)) —
+    /// the budget is unchanged on error.
+    pub fn release(&mut self, amount: f64) -> Result<(), Error> {
+        Epsilon::new(amount)?;
+        if amount > self.spent + 1e-9 {
+            return Err(Error::InvalidParameter(format!(
+                "release of {amount} exceeds spent budget {}",
+                self.spent
+            )));
+        }
+        self.spent = (self.spent - amount).max(0.0);
+        Ok(())
+    }
+
     /// Total allowance.
     pub fn total(&self) -> f64 {
         self.total
@@ -240,6 +269,21 @@ mod tests {
         let share = b.draw_share(2).unwrap();
         assert!((share.value() - 1.0).abs() < 1e-12);
         assert!((b.remaining() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_is_draw_inverse_and_bounded() {
+        let mut b = PrivacyBudget::new(Epsilon::new(2.0).unwrap());
+        b.draw(1.5).unwrap();
+        b.release(0.5).unwrap();
+        assert!((b.spent() - 1.0).abs() < 1e-12);
+        assert!((b.remaining() - 1.0).abs() < 1e-12);
+        // Cannot hand back more than was drawn.
+        assert!(b.release(1.5).is_err());
+        assert!((b.spent() - 1.0).abs() < 1e-12);
+        // A released share is drawable again.
+        b.draw(1.0).unwrap();
+        assert!(b.draw(0.1).is_err());
     }
 
     #[test]

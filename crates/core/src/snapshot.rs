@@ -80,6 +80,10 @@ pub mod state_tag {
     pub const RAPPOR: u8 = 32;
     /// A `CollectorService` checkpoint (descriptor + aggregator BLOB).
     pub const SERVICE_CHECKPOINT: u8 = 48;
+    /// A whole sliding-window ring (`ldp_workloads::window::WindowRing`):
+    /// ring configuration plus one embedded service checkpoint per live
+    /// window and one for the running total.
+    pub const WINDOW_RING: u8 = 49;
 }
 
 /// The durable-state capability: an aggregator that can serialize its

@@ -967,6 +967,19 @@ pub trait ErasedAggregator: Send {
     /// descriptor equality before calling this.
     fn merge_erased(&mut self, other: Box<dyn ErasedAggregator>) -> Result<()>;
 
+    /// Subtracts another erased aggregator's state from this one — the
+    /// exact inverse of [`merge_erased`](Self::merge_erased), borrowed
+    /// rather than consumed so the retired delta survives a refusal.
+    /// See [`crate::fo::FoAggregator::try_subtract`] for the contract
+    /// (bit-identity for count-based states, all-or-nothing on error).
+    ///
+    /// # Errors
+    /// [`LdpError::Malformed`] if `other` is not the same concrete
+    /// aggregator type; [`LdpError::NotSubtractive`] if the state has no
+    /// exact merge inverse; [`LdpError::StateMismatch`] if `other` is
+    /// incompatible or not a sub-aggregate.
+    fn subtract_erased(&mut self, other: &dyn ErasedAggregator) -> Result<()>;
+
     /// Appends the aggregator's versioned state BLOB (see
     /// [`crate::snapshot`]) to `out`.
     fn snapshot(&self, out: &mut Vec<u8>);
@@ -1187,6 +1200,13 @@ where
             .map_err(|_| LdpError::Malformed("merge: erased aggregator type mismatch".into()))?;
         self.agg.merge(other.agg);
         Ok(())
+    }
+
+    fn subtract_erased(&mut self, other: &dyn ErasedAggregator) -> Result<()> {
+        let other = other.as_any().downcast_ref::<Self>().ok_or_else(|| {
+            LdpError::Malformed("subtract: erased aggregator type mismatch".into())
+        })?;
+        self.agg.try_subtract(&other.agg)
     }
 
     fn snapshot(&self, out: &mut Vec<u8>) {

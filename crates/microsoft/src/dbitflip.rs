@@ -374,6 +374,34 @@ impl DBitAggregator {
         self.n += other.n;
     }
 
+    /// Subtracts another aggregator's counters from this one — the exact
+    /// inverse of [`merge`](Self::merge) for retiring a window delta
+    /// from a running total. All-or-nothing: both counter vectors are
+    /// underflow-checked before either moves.
+    ///
+    /// # Errors
+    /// [`ldp_core::LdpError::StateMismatch`] if the mechanisms differ or
+    /// `other` is not a sub-aggregate of this state.
+    pub fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.ones.len() != other.ones.len() || self.d != other.d || self.p != other.p {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: dBitFlip mechanism mismatch".into(),
+            ));
+        }
+        if self.n < other.n
+            || !ldp_core::fo::counts_fit(&self.ones, &other.ones)
+            || !ldp_core::fo::counts_fit(&self.covered, &other.covered)
+        {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: dBitFlip subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        ldp_core::fo::subtract_counts(&mut self.ones, &other.ones);
+        ldp_core::fo::subtract_counts(&mut self.covered, &other.covered);
+        self.n -= other.n;
+        Ok(())
+    }
+
     /// Devices accumulated.
     pub fn reports(&self) -> usize {
         self.n
@@ -468,6 +496,10 @@ impl FoAggregator for DBitAggregator {
 
     fn merge(&mut self, other: Self) {
         DBitAggregator::merge(self, other);
+    }
+
+    fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        DBitAggregator::try_subtract(self, other)
     }
 }
 

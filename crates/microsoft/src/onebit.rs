@@ -196,6 +196,22 @@ impl FoAggregator for OneBitMeanAggregator {
         self.ones += other.ones;
         self.n += other.n;
     }
+
+    fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.mechanism != other.mechanism {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: 1BitMean mechanism mismatch".into(),
+            ));
+        }
+        if self.n < other.n || self.ones < other.ones {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: 1BitMean subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        self.ones -= other.ones;
+        self.n -= other.n;
+        Ok(())
+    }
 }
 
 /// 1BitMean is not a frequency oracle — its input is a bounded real, not

@@ -209,6 +209,23 @@ impl FoAggregator for TelemetryAggregator {
         self.mean.merge(other.mean);
         self.hist.merge(other.hist);
     }
+
+    fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.gamma != other.gamma {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: telemetry gamma mismatch".into(),
+            ));
+        }
+        // Subtract into clones so a refusal from the second half leaves
+        // the first untouched (mirrors `restore_payload`).
+        let mut mean = self.mean.clone();
+        mean.try_subtract(&other.mean)?;
+        let mut hist = self.hist.clone();
+        hist.try_subtract(&other.hist)?;
+        self.mean = mean;
+        self.hist = hist;
+        Ok(())
+    }
 }
 
 /// One collection round over an enrolled fleet, as a [`BatchMechanism`]:

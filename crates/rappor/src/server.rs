@@ -155,6 +155,38 @@ impl RapporAggregator {
         }
     }
 
+    /// Subtracts another aggregator's counters from this one — the exact
+    /// inverse of [`merge`](Self::merge) for retiring a window delta
+    /// from a running total. All-or-nothing: every cohort row and the
+    /// cohort sizes are underflow-checked before any counter moves.
+    ///
+    /// # Errors
+    /// [`ldp_core::LdpError::StateMismatch`] if the parameters differ or
+    /// `other` is not a sub-aggregate of this state.
+    pub fn try_subtract(&mut self, other: &Self) -> ldp_core::Result<()> {
+        if self.params != other.params {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: RAPPOR parameter mismatch".into(),
+            ));
+        }
+        let fits = self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .all(|(a, b)| ldp_core::fo::counts_fit(a, b))
+            && ldp_core::fo::counts_fit(&self.cohort_sizes, &other.cohort_sizes);
+        if !fits {
+            return Err(ldp_core::LdpError::StateMismatch(
+                "subtract: RAPPOR subtrahend is not a sub-aggregate of this state".into(),
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            ldp_core::fo::subtract_counts(a, b);
+        }
+        ldp_core::fo::subtract_counts(&mut self.cohort_sizes, &other.cohort_sizes);
+        Ok(())
+    }
+
     /// The debiased per-cohort, per-bit estimates `t_ij` (step 1 of
     /// decoding). Exposed for diagnostics and tests.
     pub fn debiased_bit_counts(&self) -> Vec<Vec<f64>> {

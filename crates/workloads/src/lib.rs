@@ -35,6 +35,13 @@
 //!   snapshot time — bit-identical across worker counts, with
 //!   per-worker throughput and queue stats in
 //!   [`pipeline::PipelineStats`].
+//! * [`window`] — event-time sliding windows over the service layer:
+//!   [`window::WindowRing`] keeps one mergeable delta per window plus a
+//!   running total retired by **exact subtraction** (rebuild fallback
+//!   for non-subtractive states), with optional exponential decay
+//!   weighting, whole-ring checkpoint/restore, and
+//!   [`window::LongitudinalAccountant`] metering per-device ε over a
+//!   rolling horizon.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -45,9 +52,11 @@ pub mod metrics;
 pub mod parallel;
 pub mod pipeline;
 pub mod service;
+pub mod window;
 
 pub use gen::{NumericStream, ZipfGenerator};
 pub use harness::{ExperimentTable, Trials};
 pub use parallel::{accumulate_sharded, accumulate_sharded_sequential, collect_counts_parallel};
 pub use pipeline::{BackpressurePolicy, CollectorPipeline, PipelineConfig, PipelineStats};
 pub use service::{workspace_registry, CollectorService, WireClient};
+pub use window::{LongitudinalAccountant, WindowConfig, WindowRing, WindowStats};

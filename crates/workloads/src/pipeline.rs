@@ -458,7 +458,10 @@ pub fn stream_population(
 
 /// Splits a concatenated frame stream into `parts` buffers at frame
 /// boundaries, balanced by frame count — batches for queue-based ingest
-/// or for reproducing "any batch split" in tests.
+/// or for reproducing "any batch split" in tests. An empty stream
+/// splits into **no** batches: there is no work, so nothing is
+/// enqueued (a zero-frame batch would still wake a worker and count in
+/// the queue-depth accounting).
 ///
 /// # Errors
 /// Any frame-header error [`next_frame`] raises on a malformed stream.
@@ -480,7 +483,13 @@ fn split_frames_counted(stream: &[u8], parts: usize) -> Result<Vec<(Vec<u8>, usi
         starts.push(pos);
     }
     let nframes = starts.len() - 1;
-    let parts = parts.min(nframes.max(1));
+    if nframes == 0 {
+        // `parts.min(nframes.max(1))` used to clamp to one part here,
+        // yielding a single `(vec![], 0)` batch that submitted an empty
+        // buffer to the queue. No frames means no batches.
+        return Ok(Vec::new());
+    }
+    let parts = parts.min(nframes);
     let mut out = Vec::with_capacity(parts);
     let per = nframes.div_ceil(parts);
     let mut frame = 0usize;

@@ -374,6 +374,30 @@ impl CollectorService {
         self.agg.merge_erased(other.agg)
     }
 
+    /// Retires another service's aggregate from this one — the exact
+    /// inverse of [`merge`](Self::merge): if every frame `other`
+    /// ingested was also merged here, the state afterwards is
+    /// bit-identical to never having merged it. `other` is borrowed, not
+    /// consumed, so a refused subtract leaves both services usable (the
+    /// window ring falls back to rebuilding its total from live deltas).
+    ///
+    /// # Errors
+    /// [`LdpError::Malformed`] on descriptor mismatch;
+    /// [`LdpError::NotSubtractive`] when the mechanism's state has no
+    /// exact merge inverse (SHE); [`LdpError::StateMismatch`] when
+    /// `other` is not a sub-aggregate of this state. The aggregate is
+    /// unchanged on every error.
+    pub fn subtract(&mut self, other: &CollectorService) -> Result<()> {
+        if self.descriptor() != other.descriptor() {
+            return Err(LdpError::Malformed(format!(
+                "subtract: descriptor mismatch ({} vs {})",
+                self.descriptor().kind().name(),
+                other.descriptor().kind().name()
+            )));
+        }
+        self.agg.subtract_erased(other.agg.as_ref())
+    }
+
     /// Number of reports ingested so far.
     pub fn reports(&self) -> usize {
         self.agg.reports()

@@ -1,0 +1,1078 @@
+//! Event-time sliding windows over the collector service: a ring of
+//! per-window aggregate deltas with **subtractive retirement** and
+//! rolling longitudinal privacy accounting.
+//!
+//! The mechanisms the tutorial surveys are framed for one-shot
+//! collection, but the deployments it describes live on windows:
+//! "popular home pages over the last 24 hours" advancing as traffic
+//! streams in. [`WindowRing`] provides that shape on top of the wire
+//! service layer:
+//!
+//! * **One [`CollectorService`] delta per event-time window.** Frames
+//!   carry a client event timestamp; `timestamp / window_len` buckets
+//!   them into a window. Each window's delta stays sketch-sized — per
+//!   PAPERS.md's itemset lower bounds, raw report retention is exactly
+//!   what this layer avoids.
+//! * **A maintained running total.** Every frame folds into both its
+//!   window's delta and the total, so the current sliding-window
+//!   estimate is a read of one aggregator, not a merge of `W`.
+//! * **Retirement by subtraction.** When the ring advances past its
+//!   horizon, the expired window's delta is removed from the total with
+//!   [`CollectorService::subtract`] — the exact inverse of `merge`, so
+//!   for every count-based mechanism the total is **bit-identical** to
+//!   one rebuilt from the live windows, at `O(state)` cost instead of
+//!   `O(W × state)`. Mechanisms whose state has no exact inverse (SHE's
+//!   floating-point sums) refuse with
+//!   [`LdpError::NotSubtractive`], and the ring transparently falls
+//!   back to the rebuild; [`WindowStats`] records which path ran.
+//! * **Optional exponential decay.** With a decay factor `λ`,
+//!   [`WindowRing::decayed_estimates`] weights window `w`'s estimate by
+//!   `λ^age(w)` — recency weighting without touching the unweighted
+//!   total.
+//! * **Durability.** The whole ring — configuration, every live delta,
+//!   the total, the stats — checkpoints to one versioned BLOB
+//!   (`state_tag::WINDOW_RING`) embedding the service layer's own
+//!   checkpoints, so a windowed collector restarts exactly where it
+//!   crashed.
+//!
+//! [`LongitudinalAccountant`] completes the longitudinal story: privacy
+//! loss under repeated collection composes sequentially, so a device
+//! reporting every window spends `ε_window` per window. Deployed systems
+//! meter that spend against a per-*period* allowance; the accountant
+//! keeps one [`PrivacyBudget`] per device, draws on each charged window,
+//! and **releases** charges whose window has aged out of the accounting
+//! horizon — the budget-side mirror of the ring's subtractive
+//! retirement.
+//!
+//! # Example
+//! ```
+//! use ldp_core::protocol::{MechanismKind, ProtocolDescriptor};
+//! use ldp_workloads::window::{WindowConfig, WindowRing};
+//! use ldp_workloads::WireClient;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+//!     .domain_size(64)
+//!     .epsilon(2.0)
+//!     .cohorts(16)
+//!     .build()
+//!     .unwrap();
+//! let mut ring = WindowRing::new(&desc, WindowConfig::new(3600, 24)).unwrap();
+//! let client = WireClient::from_descriptor(&desc).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut frame = Vec::new();
+//! for hour in 0..48u64 {
+//!     for user in 0..50u64 {
+//!         frame.clear();
+//!         client.randomize_item(user % 8, &mut rng, &mut frame).unwrap();
+//!         ring.ingest(hour * 3600 + user, &frame).unwrap();
+//!     }
+//! }
+//! // 48 hourly windows streamed in; only the last 24 are live.
+//! assert_eq!(ring.live_windows(), 24);
+//! assert_eq!(ring.reports(), 24 * 50);
+//! assert_eq!(ring.stats().retired_subtract, 24);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ldp_core::protocol::ProtocolDescriptor;
+use ldp_core::snapshot::{state_tag, SNAPSHOT_VERSION};
+use ldp_core::wire::{put_f64_le, put_u64_le, put_uvarint, WireReader};
+use ldp_core::{Epsilon, LdpError, PrivacyBudget, Result};
+
+use crate::service::{CollectorService, IngestError};
+
+/// Configuration of a [`WindowRing`]: event-time bucketing, horizon, and
+/// optional decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Event-time length of one window, in the same unit as the
+    /// timestamps passed to [`WindowRing::ingest`] (seconds, for the
+    /// `ldp-sim` trace). A frame at time `t` lands in window
+    /// `t / window_len`.
+    pub window_len: u64,
+    /// Number of live windows the ring keeps — the sliding horizon. The
+    /// running total always covers exactly the live windows.
+    pub windows: usize,
+    /// Optional exponential decay factor `λ ∈ (0, 1]` for
+    /// [`WindowRing::decayed_estimates`]: window `w` is weighted
+    /// `λ^age(w)`, newest window age 0.
+    pub decay: Option<f64>,
+}
+
+impl WindowConfig {
+    /// A config with no decay weighting.
+    pub fn new(window_len: u64, windows: usize) -> Self {
+        Self {
+            window_len,
+            windows,
+            decay: None,
+        }
+    }
+
+    /// Adds a decay factor (validated by [`WindowRing::new`]).
+    #[must_use]
+    pub fn with_decay(mut self, lambda: f64) -> Self {
+        self.decay = Some(lambda);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.window_len == 0 {
+            return Err(LdpError::InvalidParameter(
+                "window_len must be positive".into(),
+            ));
+        }
+        if self.windows == 0 {
+            return Err(LdpError::InvalidParameter(
+                "ring must keep at least one window".into(),
+            ));
+        }
+        if let Some(lambda) = self.decay {
+            if !(lambda > 0.0 && lambda <= 1.0) {
+                return Err(LdpError::InvalidParameter(format!(
+                    "decay factor must be in (0, 1], got {lambda}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters of what a [`WindowRing`] has done — the observability the
+/// retirement cost story needs (how often the `O(state)` subtract ran
+/// versus the `O(W × state)` rebuild fallback).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Report frames folded into the ring (into a window delta *and* the
+    /// running total).
+    pub frames_ingested: u64,
+    /// Frames (or absorbed delta reports) dropped because their event
+    /// time predates the ring's watermark (the oldest live window).
+    pub late_dropped: u64,
+    /// Windows retired by exact subtraction from the running total.
+    pub retired_subtract: u64,
+    /// Windows retired through the rebuild fallback (the mechanism's
+    /// state refused subtraction, so the total was re-merged from the
+    /// live deltas).
+    pub retired_rebuild: u64,
+    /// Windows dropped wholesale because event time jumped past the
+    /// entire horizon (the total resets; nothing to subtract).
+    pub retired_wholesale: u64,
+}
+
+/// A sliding ring of per-window aggregate deltas plus their running
+/// total. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct WindowRing {
+    desc: ProtocolDescriptor,
+    config: WindowConfig,
+    /// Live window deltas, oldest first, contiguous in bucket index:
+    /// `live[i]` covers bucket `front_bucket + i`.
+    live: VecDeque<(u64, CollectorService)>,
+    /// Merge of every live delta, maintained incrementally.
+    total: CollectorService,
+    stats: WindowStats,
+}
+
+impl WindowRing {
+    /// Builds an empty ring for `descriptor` (via the full workspace
+    /// registry).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for a bad config, plus whatever
+    /// [`CollectorService::from_descriptor`] surfaces for the
+    /// descriptor.
+    pub fn new(descriptor: &ProtocolDescriptor, config: WindowConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            desc: descriptor.clone(),
+            config,
+            live: VecDeque::with_capacity(config.windows + 1),
+            total: CollectorService::from_descriptor(descriptor)?,
+            stats: WindowStats::default(),
+        })
+    }
+
+    /// The descriptor every window aggregates for.
+    pub fn descriptor(&self) -> &ProtocolDescriptor {
+        &self.desc
+    }
+
+    /// The ring configuration.
+    pub fn config(&self) -> &WindowConfig {
+        &self.config
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> &WindowStats {
+        &self.stats
+    }
+
+    /// Number of live windows (0 until the first ingest, then between 1
+    /// and `config.windows`).
+    pub fn live_windows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Bucket index of the newest live window, if any.
+    pub fn newest_bucket(&self) -> Option<u64> {
+        self.live.back().map(|(b, _)| *b)
+    }
+
+    /// Bucket index of the oldest live window — the ring's lateness
+    /// watermark — if any.
+    pub fn oldest_bucket(&self) -> Option<u64> {
+        self.live.front().map(|(b, _)| *b)
+    }
+
+    /// Reports currently covered by the running total (the live
+    /// windows' reports; retired windows no longer count).
+    pub fn reports(&self) -> usize {
+        self.total.reports()
+    }
+
+    /// Iterates the live window deltas oldest first as
+    /// `(bucket, delta)` — per-window drill-down, and the raw material
+    /// for verifying the total against a from-scratch rebuild.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &CollectorService)> + '_ {
+        self.live.iter().map(|(b, w)| (*b, w))
+    }
+
+    /// The maintained running total over the live windows.
+    pub fn total(&self) -> &CollectorService {
+        &self.total
+    }
+
+    /// The window bucket a timestamp falls in.
+    pub fn bucket_of(&self, timestamp: u64) -> u64 {
+        timestamp / self.config.window_len
+    }
+
+    /// Ingests one report frame stamped with its client event time.
+    /// Returns `Ok(true)` when folded in, `Ok(false)` when the frame is
+    /// **late** — its bucket predates the oldest live window — and was
+    /// counted in [`WindowStats::late_dropped`] instead (late data is a
+    /// fact of event-time systems, not an error).
+    ///
+    /// Ingesting may advance the ring: a frame from a new bucket opens
+    /// that window (plus empty windows for any skipped buckets) and
+    /// retires whatever falls off the horizon.
+    ///
+    /// # Errors
+    /// Frame validation errors from [`CollectorService::ingest`]; the
+    /// retirement errors described on [`advance_to`](Self::advance_to).
+    /// The ring state is unchanged on a frame error.
+    pub fn ingest(&mut self, timestamp: u64, frame: &[u8]) -> Result<bool> {
+        let bucket = self.bucket_of(timestamp);
+        if self.is_late(bucket) {
+            self.stats.late_dropped += 1;
+            return Ok(false);
+        }
+        self.advance_to_bucket(bucket)?;
+        let idx = self.live_index(bucket);
+        self.live[idx].1.ingest(frame)?;
+        // Same frame, same stateless validation — cannot fail after the
+        // window accepted it, so window and total never diverge.
+        self.total.ingest(frame)?;
+        self.stats.frames_ingested += 1;
+        Ok(true)
+    }
+
+    /// Ingests a buffer of back-to-back frames that all share one event
+    /// time (the batched transport shape: a collection round's payload
+    /// for one window). Returns how many frames were folded in; late
+    /// buffers are dropped whole (counted per frame) and return
+    /// `Ok(0)`.
+    ///
+    /// # Errors
+    /// Stops at the first bad frame like
+    /// [`CollectorService::ingest_concat`]; the frames before it remain
+    /// ingested in both the window and the total (validation is
+    /// deterministic, so both stop at the same frame).
+    pub fn ingest_concat(
+        &mut self,
+        timestamp: u64,
+        stream: &[u8],
+    ) -> std::result::Result<usize, IngestError> {
+        let bucket = self.bucket_of(timestamp);
+        if self.is_late(bucket) {
+            let frames = count_frames(stream);
+            self.stats.late_dropped += frames;
+            return Ok(0);
+        }
+        self.advance_to_bucket(bucket)
+            .map_err(|source| IngestError {
+                ingested: 0,
+                source,
+            })?;
+        let idx = self.live_index(bucket);
+        let ingested = self.live[idx].1.ingest_concat(stream)?;
+        // Deterministic validation: the total ingests exactly the same
+        // prefix and surfaces the same error, keeping the two in step.
+        let total_res = self.total.ingest_concat(stream);
+        self.stats.frames_ingested += ingested as u64;
+        total_res
+    }
+
+    /// Absorbs a pre-aggregated window delta — the integration point for
+    /// the concurrent collector pipeline, whose `finish()` yields one
+    /// [`CollectorService`] per collection round. The delta is merged
+    /// into the window covering `timestamp` and into the running total.
+    /// Returns `Ok(false)` (counting every report as late-dropped) when
+    /// the bucket predates the watermark.
+    ///
+    /// # Errors
+    /// [`LdpError::Malformed`] on descriptor mismatch; the retirement
+    /// errors described on [`advance_to`](Self::advance_to).
+    pub fn absorb(&mut self, timestamp: u64, delta: CollectorService) -> Result<bool> {
+        if delta.descriptor() != &self.desc {
+            return Err(LdpError::Malformed(format!(
+                "absorb: descriptor mismatch ({} vs {})",
+                delta.descriptor().kind().name(),
+                self.desc.kind().name()
+            )));
+        }
+        let bucket = self.bucket_of(timestamp);
+        let reports = delta.reports() as u64;
+        if self.is_late(bucket) {
+            self.stats.late_dropped += reports;
+            return Ok(false);
+        }
+        self.advance_to_bucket(bucket)?;
+        let copy = CollectorService::from_checkpoint(&delta.checkpoint())?;
+        let idx = self.live_index(bucket);
+        self.live[idx].1.merge(copy)?;
+        self.total.merge(delta)?;
+        self.stats.frames_ingested += reports;
+        Ok(true)
+    }
+
+    /// Advances event time to `timestamp` with no traffic: opens the
+    /// window covering it (plus empties for skipped buckets) and retires
+    /// everything that falls off the horizon — the call a quiet stream
+    /// makes so estimates age out on schedule.
+    ///
+    /// # Errors
+    /// Retirement propagates [`LdpError::StateMismatch`] only if a
+    /// retired delta was somehow not a sub-aggregate of the total (an
+    /// invariant breach, not a reachable state through this API);
+    /// [`LdpError::NotSubtractive`] never escapes — it triggers the
+    /// rebuild fallback internally.
+    pub fn advance_to(&mut self, timestamp: u64) -> Result<()> {
+        let bucket = self.bucket_of(timestamp);
+        if !self.is_late(bucket) {
+            self.advance_to_bucket(bucket)?;
+        }
+        Ok(())
+    }
+
+    /// Estimates over the mechanism's output domain for the current
+    /// sliding window (the running total — one aggregator read).
+    pub fn estimates(&self) -> Vec<f64> {
+        self.total.estimates()
+    }
+
+    /// Estimates for a subset of items, against the running total.
+    ///
+    /// # Errors
+    /// As [`CollectorService::estimate_items`].
+    pub fn estimate_items(&self, items: &[u64]) -> Result<Vec<f64>> {
+        self.total.estimate_items(items)
+    }
+
+    /// Recency-weighted estimates: `Σ_w λ^age(w) · estimate(delta_w)`
+    /// over the live windows, newest window age 0. The unweighted
+    /// sliding-window estimate stays available via
+    /// [`estimates`](Self::estimates); with `λ = 1` the two agree up to
+    /// float reassociation (per-window debias sums versus one debiased
+    /// total).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if the ring was configured without
+    /// a decay factor.
+    pub fn decayed_estimates(&self) -> Result<Vec<f64>> {
+        let lambda = self.config.decay.ok_or_else(|| {
+            LdpError::InvalidParameter("ring was configured without a decay factor".into())
+        })?;
+        let newest = match self.newest_bucket() {
+            Some(b) => b,
+            None => return Ok(self.total.estimates()),
+        };
+        let mut acc: Option<Vec<f64>> = None;
+        for (bucket, window) in &self.live {
+            let age = (newest - bucket) as i32;
+            let weight = lambda.powi(age);
+            let est = window.estimates();
+            match acc.as_mut() {
+                None => {
+                    let mut first = est;
+                    for e in &mut first {
+                        *e *= weight;
+                    }
+                    acc = Some(first);
+                }
+                Some(a) => {
+                    for (x, e) in a.iter_mut().zip(&est) {
+                        *x += weight * e;
+                    }
+                }
+            }
+        }
+        Ok(acc.unwrap_or_else(|| self.total.estimates()))
+    }
+
+    /// Serializes the whole ring — config, stats, every live delta, the
+    /// running total — into one versioned BLOB
+    /// (`state_tag::WINDOW_RING`) built from embedded
+    /// [`CollectorService::checkpoint`] BLOBs.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64_le(&mut payload, self.config.window_len);
+        put_uvarint(&mut payload, self.config.windows as u64);
+        match self.config.decay {
+            Some(lambda) => {
+                payload.push(1);
+                put_f64_le(&mut payload, lambda);
+            }
+            None => payload.push(0),
+        }
+        put_u64_le(&mut payload, self.stats.frames_ingested);
+        put_u64_le(&mut payload, self.stats.late_dropped);
+        put_u64_le(&mut payload, self.stats.retired_subtract);
+        put_u64_le(&mut payload, self.stats.retired_rebuild);
+        put_u64_le(&mut payload, self.stats.retired_wholesale);
+        put_uvarint(&mut payload, self.live.len() as u64);
+        for (bucket, window) in &self.live {
+            put_u64_le(&mut payload, *bucket);
+            let blob = window.checkpoint();
+            put_uvarint(&mut payload, blob.len() as u64);
+            payload.extend_from_slice(&blob);
+        }
+        let blob = self.total.checkpoint();
+        put_uvarint(&mut payload, blob.len() as u64);
+        payload.extend_from_slice(&blob);
+
+        let mut out = Vec::with_capacity(payload.len() + 12);
+        out.push(SNAPSHOT_VERSION);
+        out.push(state_tag::WINDOW_RING);
+        put_uvarint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Reconstructs a ring from a [`checkpoint`](Self::checkpoint)
+    /// BLOB, re-validating structure, configuration, window contiguity,
+    /// and the total-covers-live-windows invariant — damaged or forged
+    /// bytes degrade to errors, never a panic.
+    ///
+    /// # Errors
+    /// Any [`LdpError`] for damaged bytes, foreign versions or tags, a
+    /// config that fails validation, embedded checkpoints with
+    /// mismatched descriptors, non-contiguous window buckets, or a total
+    /// whose report count disagrees with the live windows.
+    pub fn from_checkpoint(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(LdpError::VersionMismatch {
+                got: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let tag = r.u8()?;
+        if tag != state_tag::WINDOW_RING {
+            return Err(LdpError::ReportTypeMismatch {
+                got: tag,
+                expected: state_tag::WINDOW_RING,
+            });
+        }
+        let len = r.uvarint()?;
+        let len = usize::try_from(len)
+            .map_err(|_| LdpError::Malformed(format!("ring checkpoint length {len} overflows")))?;
+        let payload = r.bytes(len)?;
+        r.finish()?;
+
+        let mut pr = WireReader::new(payload);
+        let window_len = pr.u64_le()?;
+        let windows = usize::try_from(pr.uvarint()?)
+            .map_err(|_| LdpError::Malformed("ring window count overflows".into()))?;
+        let decay = match pr.u8()? {
+            0 => None,
+            1 => Some(pr.f64_le()?),
+            other => {
+                return Err(LdpError::Malformed(format!(
+                    "ring decay flag must be 0 or 1, got {other}"
+                )))
+            }
+        };
+        let config = WindowConfig {
+            window_len,
+            windows,
+            decay,
+        };
+        config.validate()?;
+        let stats = WindowStats {
+            frames_ingested: pr.u64_le()?,
+            late_dropped: pr.u64_le()?,
+            retired_subtract: pr.u64_le()?,
+            retired_rebuild: pr.u64_le()?,
+            retired_wholesale: pr.u64_le()?,
+        };
+        let live_count = usize::try_from(pr.uvarint()?)
+            .map_err(|_| LdpError::Malformed("ring live-window count overflows".into()))?;
+        if live_count > windows {
+            return Err(LdpError::Malformed(format!(
+                "ring checkpoint carries {live_count} live windows but a horizon of {windows}"
+            )));
+        }
+        let mut live = VecDeque::with_capacity(windows + 1);
+        let mut live_reports = 0usize;
+        for i in 0..live_count {
+            let bucket = pr.u64_le()?;
+            if let Some(&(front, _)) = live.front() {
+                if bucket != front + i as u64 {
+                    return Err(LdpError::Malformed(
+                        "ring checkpoint windows are not contiguous".into(),
+                    ));
+                }
+            }
+            let blob_len = usize::try_from(pr.uvarint()?)
+                .map_err(|_| LdpError::Malformed("window checkpoint length overflows".into()))?;
+            let window = CollectorService::from_checkpoint(pr.bytes(blob_len)?)?;
+            live_reports += window.reports();
+            live.push_back((bucket, window));
+        }
+        let blob_len = usize::try_from(pr.uvarint()?)
+            .map_err(|_| LdpError::Malformed("total checkpoint length overflows".into()))?;
+        let total = CollectorService::from_checkpoint(pr.bytes(blob_len)?)?;
+        pr.finish()?;
+
+        let desc = total.descriptor().clone();
+        if live.iter().any(|(_, w)| w.descriptor() != &desc) {
+            return Err(LdpError::StateMismatch(
+                "ring checkpoint mixes descriptors across windows".into(),
+            ));
+        }
+        if total.reports() != live_reports {
+            return Err(LdpError::StateMismatch(format!(
+                "ring total covers {} reports but live windows carry {live_reports}",
+                total.reports()
+            )));
+        }
+        Ok(Self {
+            desc,
+            config,
+            live,
+            total,
+            stats,
+        })
+    }
+
+    /// Replaces this ring's state with a checkpoint taken from a ring
+    /// with the **same** descriptor and configuration.
+    ///
+    /// # Errors
+    /// As [`from_checkpoint`](Self::from_checkpoint), plus
+    /// [`LdpError::StateMismatch`] when descriptor or config differ; the
+    /// ring is unchanged on error.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let other = Self::from_checkpoint(bytes)?;
+        if other.desc != self.desc {
+            return Err(LdpError::StateMismatch(
+                "ring checkpoint was taken under a different descriptor".into(),
+            ));
+        }
+        if other.config != self.config {
+            return Err(LdpError::StateMismatch(
+                "ring checkpoint was taken under a different window configuration".into(),
+            ));
+        }
+        *self = other;
+        Ok(())
+    }
+
+    /// True when `bucket` predates the oldest live window (the ring's
+    /// monotone watermark).
+    fn is_late(&self, bucket: u64) -> bool {
+        matches!(self.oldest_bucket(), Some(front) if bucket < front)
+    }
+
+    /// Index of `bucket` in the contiguous live deque. Callers advance
+    /// first, so the bucket is always present.
+    fn live_index(&self, bucket: u64) -> usize {
+        let front = self.live.front().map(|(b, _)| *b).expect("ring advanced");
+        (bucket - front) as usize
+    }
+
+    /// Opens windows up to and including `bucket`, retiring everything
+    /// that falls off the horizon. `bucket` is never late here (callers
+    /// check the watermark first).
+    fn advance_to_bucket(&mut self, bucket: u64) -> Result<()> {
+        let newest = match self.newest_bucket() {
+            None => {
+                self.live
+                    .push_back((bucket, CollectorService::from_descriptor(&self.desc)?));
+                return Ok(());
+            }
+            Some(b) => b,
+        };
+        if bucket <= newest {
+            return Ok(());
+        }
+        if bucket - newest > self.config.windows as u64 {
+            // Event time jumped past the whole horizon: every live
+            // window expires at once, so drop them wholesale and restart
+            // the total from empty — nothing to subtract.
+            self.stats.retired_wholesale += self.live.len() as u64;
+            self.live.clear();
+            self.total = CollectorService::from_descriptor(&self.desc)?;
+            self.live
+                .push_back((bucket, CollectorService::from_descriptor(&self.desc)?));
+            return Ok(());
+        }
+        for b in newest + 1..=bucket {
+            self.live
+                .push_back((b, CollectorService::from_descriptor(&self.desc)?));
+            while self.live.len() > self.config.windows {
+                self.retire_front()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Retires the oldest live window: exact subtraction from the total
+    /// when the mechanism supports it, rebuild fallback when it refuses.
+    fn retire_front(&mut self) -> Result<()> {
+        let (_, window) = self.live.pop_front().expect("ring has a window to retire");
+        if window.reports() == 0 {
+            // An empty delta is trivially subtractable (it changes no
+            // counter), including from states that refuse subtraction.
+            self.stats.retired_subtract += 1;
+            return Ok(());
+        }
+        match self.total.subtract(&window) {
+            Ok(()) => {
+                self.stats.retired_subtract += 1;
+                Ok(())
+            }
+            Err(LdpError::NotSubtractive(_)) => {
+                self.rebuild_total()?;
+                self.stats.retired_rebuild += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Rebuilds the running total by re-merging every live delta in
+    /// bucket order (the deterministic fallback for non-subtractive
+    /// states; `O(W × state)` where the subtract path is `O(state)`).
+    fn rebuild_total(&mut self) -> Result<()> {
+        let mut total = CollectorService::from_descriptor(&self.desc)?;
+        for (_, window) in &self.live {
+            total.merge(CollectorService::from_checkpoint(&window.checkpoint())?)?;
+        }
+        self.total = total;
+        Ok(())
+    }
+}
+
+/// Counts the frames in a concatenated stream without decoding payloads
+/// (frame headers are self-delimiting); damaged tails count as one
+/// frame, matching where `ingest_concat` would stop.
+fn count_frames(stream: &[u8]) -> u64 {
+    let mut pos = 0usize;
+    let mut frames = 0u64;
+    while pos < stream.len() {
+        match ldp_core::wire::next_frame(stream, &mut pos) {
+            Ok(_) => frames += 1,
+            Err(_) => return frames + 1,
+        }
+    }
+    frames
+}
+
+/// Per-device longitudinal privacy accounting over a rolling window
+/// horizon: one [`PrivacyBudget`] per device, charged `ε_window` per
+/// contributed window, with charges **released** once their window ages
+/// out of the horizon — the accounting mirror of the ring's subtractive
+/// retirement. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct LongitudinalAccountant {
+    per_window: Epsilon,
+    horizon: u64,
+    allowance: Epsilon,
+    devices: BTreeMap<u64, DeviceLedger>,
+}
+
+#[derive(Debug, Clone)]
+struct DeviceLedger {
+    budget: PrivacyBudget,
+    /// Buckets this device has been charged for, oldest first.
+    charged: VecDeque<u64>,
+}
+
+impl LongitudinalAccountant {
+    /// Builds an accountant enforcing "at most `allowance` of ε spent
+    /// within any `horizon` consecutive windows, at `per_window` per
+    /// contributed window" for every device.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if `horizon` is zero or a single
+    /// window's charge already exceeds the allowance.
+    pub fn new(allowance: Epsilon, per_window: Epsilon, horizon: usize) -> Result<Self> {
+        if horizon == 0 {
+            return Err(LdpError::InvalidParameter(
+                "accounting horizon must cover at least one window".into(),
+            ));
+        }
+        if per_window.value() > allowance.value() + 1e-9 {
+            return Err(LdpError::InvalidParameter(format!(
+                "per-window charge {per_window} exceeds the allowance {allowance}"
+            )));
+        }
+        Ok(Self {
+            per_window,
+            horizon: horizon as u64,
+            allowance,
+            devices: BTreeMap::new(),
+        })
+    }
+
+    /// Charges `device` for contributing to window `bucket`. Charging is
+    /// idempotent per `(device, bucket)` — Microsoft-style memoized
+    /// clients send one randomized answer per window, so a repeat charge
+    /// is the same disclosure, not a new one. Before drawing, charges
+    /// whose bucket has scrolled out of `[bucket − horizon + 1, bucket]`
+    /// are released back to the device's budget.
+    ///
+    /// # Errors
+    /// [`LdpError::BudgetExhausted`] when the device's rolling spend
+    /// cannot absorb another window — the caller should skip (not
+    /// collect) this device for this window. The ledger is unchanged.
+    ///
+    /// # Panics
+    /// Panics if `bucket` regresses for a device (charges must arrive in
+    /// event-time order per device, which the ring's watermark
+    /// guarantees for its callers).
+    pub fn try_charge(&mut self, device: u64, bucket: u64) -> Result<()> {
+        let ledger = self.devices.entry(device).or_insert_with(|| DeviceLedger {
+            budget: PrivacyBudget::new(self.allowance),
+            charged: VecDeque::new(),
+        });
+        if let Some(&last) = ledger.charged.back() {
+            assert!(last <= bucket, "charges must arrive in event-time order");
+            if last == bucket {
+                return Ok(());
+            }
+        }
+        let oldest_in_horizon = bucket.saturating_sub(self.horizon - 1);
+        while matches!(ledger.charged.front(), Some(&b) if b < oldest_in_horizon) {
+            ledger.charged.pop_front();
+            ledger
+                .budget
+                .release(self.per_window.value())
+                .expect("released charge was drawn");
+        }
+        ledger.budget.draw(self.per_window.value())?;
+        ledger.charged.push_back(bucket);
+        Ok(())
+    }
+
+    /// ε the device is currently spending inside its rolling horizon
+    /// (0 for devices never charged).
+    pub fn spent(&self, device: u64) -> f64 {
+        self.devices.get(&device).map_or(0.0, |l| l.budget.spent())
+    }
+
+    /// Devices with at least one charge on record.
+    pub fn devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The per-device allowance this accountant enforces.
+    pub fn allowance(&self) -> Epsilon {
+        self.allowance
+    }
+
+    /// The ε charged per contributed window.
+    pub fn per_window(&self) -> Epsilon {
+        self.per_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::WireClient;
+    use ldp_core::protocol::{MechanismKind, ProtocolDescriptor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn olhc_descriptor(d: u64) -> ProtocolDescriptor {
+        ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+            .domain_size(d)
+            .epsilon(2.0)
+            .cohorts(32)
+            .build()
+            .unwrap()
+    }
+
+    fn she_descriptor(d: u64) -> ProtocolDescriptor {
+        ProtocolDescriptor::builder(MechanismKind::SummationHistogram)
+            .domain_size(d)
+            .epsilon(1.0)
+            .build()
+            .unwrap()
+    }
+
+    /// Frames for `count` reports at one event time, as one stream.
+    fn stream(client: &WireClient, rng: &mut StdRng, d: u64, count: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..count {
+            client.randomize_item(i as u64 % d, rng, &mut out).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn ring_buckets_by_event_time_and_retires() {
+        let desc = olhc_descriptor(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 3)).unwrap();
+
+        for t in [0u64, 11, 22, 33, 44] {
+            let s = stream(&client, &mut rng, 16, 5);
+            assert_eq!(ring.ingest_concat(t, &s).unwrap(), 5);
+        }
+        // 5 buckets seen, horizon 3: buckets 2, 3, 4 live.
+        assert_eq!(ring.live_windows(), 3);
+        assert_eq!(ring.oldest_bucket(), Some(2));
+        assert_eq!(ring.newest_bucket(), Some(4));
+        assert_eq!(ring.reports(), 15);
+        assert_eq!(ring.stats().retired_subtract, 2);
+        assert_eq!(ring.stats().retired_rebuild, 0);
+        assert_eq!(ring.stats().frames_ingested, 25);
+    }
+
+    #[test]
+    fn retired_total_is_bit_identical_to_rebuild() {
+        let desc = olhc_descriptor(32);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(100, 4)).unwrap();
+
+        for t in (0..12u64).map(|i| i * 100 + 7) {
+            let s = stream(&client, &mut rng, 32, 20);
+            ring.ingest_concat(t, &s).unwrap();
+        }
+        // Rebuild the total from the live windows and compare state
+        // BLOBs: subtraction must be the exact inverse of merge.
+        let mut rebuilt = CollectorService::from_descriptor(&desc).unwrap();
+        for i in 0..ring.live_windows() {
+            let (_, w) = &ring.live[i];
+            rebuilt
+                .merge(CollectorService::from_checkpoint(&w.checkpoint()).unwrap())
+                .unwrap();
+        }
+        assert_eq!(ring.total.checkpoint(), rebuilt.checkpoint());
+        assert!(ring.stats().retired_subtract >= 8);
+    }
+
+    #[test]
+    fn she_falls_back_to_rebuild_and_stays_consistent() {
+        let desc = she_descriptor(8);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 2)).unwrap();
+
+        for t in [5u64, 15, 25, 35] {
+            let mut s = Vec::new();
+            for i in 0..6u64 {
+                client.randomize_item(i % 8, &mut rng, &mut s).unwrap();
+            }
+            ring.ingest_concat(t, &s).unwrap();
+        }
+        // Two retirements, both through the rebuild path.
+        assert_eq!(ring.stats().retired_rebuild, 2);
+        assert_eq!(ring.stats().retired_subtract, 0);
+        assert_eq!(ring.reports(), 12);
+        // SHE sums are floats, so the total matches a fresh merge of the
+        // live windows only up to reassociation — the whole reason this
+        // state refuses subtraction and takes the rebuild path.
+        let mut rebuilt = CollectorService::from_descriptor(&desc).unwrap();
+        for i in 0..ring.live_windows() {
+            let (_, w) = &ring.live[i];
+            rebuilt
+                .merge(CollectorService::from_checkpoint(&w.checkpoint()).unwrap())
+                .unwrap();
+        }
+        assert_eq!(rebuilt.reports(), ring.reports());
+        for (a, b) in ring.estimates().iter().zip(rebuilt.estimates()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn late_frames_drop_against_the_watermark() {
+        let desc = olhc_descriptor(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 2)).unwrap();
+
+        for t in [0u64, 10, 20] {
+            let s = stream(&client, &mut rng, 16, 3);
+            ring.ingest_concat(t, &s).unwrap();
+        }
+        // Bucket 0 retired; its time range is now late.
+        let mut frame = Vec::new();
+        client.randomize_item(1, &mut rng, &mut frame).unwrap();
+        assert!(!ring.ingest(5, &frame).unwrap());
+        assert_eq!(ring.stats().late_dropped, 1);
+        // In-horizon out-of-order ingest still lands.
+        assert!(ring.ingest(12, &frame).unwrap());
+        assert_eq!(ring.reports(), 7);
+    }
+
+    #[test]
+    fn horizon_jump_resets_wholesale() {
+        let desc = olhc_descriptor(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 3)).unwrap();
+
+        for t in [0u64, 10, 20] {
+            let s = stream(&client, &mut rng, 16, 4);
+            ring.ingest_concat(t, &s).unwrap();
+        }
+        let s = stream(&client, &mut rng, 16, 4);
+        ring.ingest_concat(1_000_000, &s).unwrap();
+        assert_eq!(ring.stats().retired_wholesale, 3);
+        assert_eq!(ring.live_windows(), 1);
+        assert_eq!(ring.reports(), 4);
+    }
+
+    #[test]
+    fn decayed_estimates_weight_recency() {
+        let desc = olhc_descriptor(8);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 4).with_decay(0.5)).unwrap();
+
+        // Item 0 heavy in an old window, item 1 heavy in the newest.
+        let mut s = Vec::new();
+        for _ in 0..200 {
+            client.randomize_item(0, &mut rng, &mut s).unwrap();
+        }
+        ring.ingest_concat(0, &s).unwrap();
+        let mut s = Vec::new();
+        for _ in 0..200 {
+            client.randomize_item(1, &mut rng, &mut s).unwrap();
+        }
+        ring.ingest_concat(30, &s).unwrap();
+
+        let flat = ring.estimates();
+        let decayed = ring.decayed_estimates().unwrap();
+        // Undecayed: both items near 200. Decayed: item 0's window is 3
+        // buckets old, so its weight is 1/8 of item 1's.
+        assert!((flat[0] - flat[1]).abs() < 80.0, "{flat:?}");
+        assert!(decayed[1] > 4.0 * decayed[0].max(1.0), "{decayed:?}");
+
+        // Rings without decay refuse.
+        let plain = WindowRing::new(&desc, WindowConfig::new(10, 4)).unwrap();
+        assert!(matches!(
+            plain.decayed_estimates(),
+            Err(LdpError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn ring_checkpoint_round_trips_bit_exactly() {
+        let desc = olhc_descriptor(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 3).with_decay(0.9)).unwrap();
+        for t in [3u64, 14, 25, 36] {
+            let s = stream(&client, &mut rng, 16, 8);
+            ring.ingest_concat(t, &s).unwrap();
+        }
+
+        let blob = ring.checkpoint();
+        let revived = WindowRing::from_checkpoint(&blob).unwrap();
+        assert_eq!(revived.checkpoint(), blob);
+        assert_eq!(revived.stats(), ring.stats());
+        assert_eq!(revived.estimates(), ring.estimates());
+
+        // The revived ring keeps advancing identically.
+        let s = stream(&client, &mut rng, 16, 8);
+        let mut a = ring;
+        let mut b = revived;
+        a.ingest_concat(47, &s).unwrap();
+        b.ingest_concat(47, &s).unwrap();
+        assert_eq!(a.checkpoint(), b.checkpoint());
+    }
+
+    #[test]
+    fn ring_checkpoint_rejects_tampering() {
+        let desc = olhc_descriptor(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 2)).unwrap();
+        let s = stream(&client, &mut rng, 16, 4);
+        ring.ingest_concat(0, &s).unwrap();
+        let blob = ring.checkpoint();
+
+        // Truncation, bad version, bad tag: all typed errors.
+        assert!(WindowRing::from_checkpoint(&blob[..blob.len() - 1]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(WindowRing::from_checkpoint(&bad).is_err());
+        let mut bad = blob.clone();
+        bad[1] = state_tag::SERVICE_CHECKPOINT;
+        assert!(WindowRing::from_checkpoint(&bad).is_err());
+
+        // Restore requires matching config.
+        let mut other = WindowRing::new(&desc, WindowConfig::new(10, 5)).unwrap();
+        assert!(matches!(
+            other.restore(&blob),
+            Err(LdpError::StateMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn accountant_meters_and_releases_over_the_horizon() {
+        // Allowance of 1.0 at 0.4/window over a 3-window horizon: a
+        // device can afford 2 consecutive windows, then must skip.
+        let mut acct =
+            LongitudinalAccountant::new(Epsilon::new(1.0).unwrap(), Epsilon::new(0.4).unwrap(), 3)
+                .unwrap();
+        acct.try_charge(7, 0).unwrap();
+        acct.try_charge(7, 0).unwrap(); // idempotent per window
+        acct.try_charge(7, 1).unwrap();
+        assert!((acct.spent(7) - 0.8).abs() < 1e-12);
+        assert!(matches!(
+            acct.try_charge(7, 2),
+            Err(LdpError::BudgetExhausted { .. })
+        ));
+        // Window 0 scrolls out at bucket 3: its 0.4 is released.
+        acct.try_charge(7, 3).unwrap();
+        assert!((acct.spent(7) - 0.8).abs() < 1e-12);
+        // Other devices have their own ledgers.
+        acct.try_charge(8, 3).unwrap();
+        assert!((acct.spent(8) - 0.4).abs() < 1e-12);
+        assert_eq!(acct.devices(), 2);
+
+        // A per-window charge above the allowance is rejected up front.
+        assert!(LongitudinalAccountant::new(
+            Epsilon::new(0.3).unwrap(),
+            Epsilon::new(0.4).unwrap(),
+            3,
+        )
+        .is_err());
+    }
+}

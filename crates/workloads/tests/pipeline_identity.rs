@@ -1,0 +1,196 @@
+//! Identity invariants across the byte path: the concurrent pipeline
+//! must aggregate bit-identically to a sequential service over the same
+//! sharded frame plan — down to empty and near-empty populations, where
+//! shard clamping and batch splitting hit their edge cases — and the
+//! window ring's subtractive retirement must leave a running total
+//! bit-identical to one rebuilt from the live windows.
+
+use ldp_core::protocol::{MechanismKind, ProtocolDescriptor};
+use ldp_workloads::pipeline::{split_frames, stream_population};
+use ldp_workloads::window::{WindowConfig, WindowRing};
+use ldp_workloads::{
+    BackpressurePolicy, CollectorPipeline, CollectorService, PipelineConfig, WireClient,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn olhc(d: u64) -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(d)
+        .epsilon(1.0)
+        .cohorts(16)
+        .build()
+        .unwrap()
+}
+
+fn cms(d: u64) -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(MechanismKind::AppleCms)
+        .domain_size(d)
+        .epsilon(2.0)
+        .sketch(8, 64)
+        .build()
+        .unwrap()
+}
+
+fn dbit(d: u64) -> ProtocolDescriptor {
+    ProtocolDescriptor::builder(MechanismKind::MicrosoftDBitFlip)
+        .domain_size(d)
+        .bits_per_device(4)
+        .epsilon(1.0)
+        .build()
+        .unwrap()
+}
+
+/// Regression: `split_frames` on an empty stream used to clamp
+/// `parts` to one and hand back a single `(vec![], 0)` batch, which
+/// `stream_population` then submitted — an empty buffer occupying a
+/// queue slot and waking a worker for nothing. No frames, no batches.
+#[test]
+fn split_frames_empty_stream_yields_no_batches() {
+    for parts in [1usize, 2, 7, 64] {
+        let batches = split_frames(&[], parts).unwrap();
+        assert!(batches.is_empty(), "parts={parts}: {batches:?}");
+    }
+}
+
+/// The driver-level consequence of the same bug: an empty population
+/// must flow through the pipeline without enqueueing anything.
+#[test]
+fn empty_population_submits_nothing() {
+    let desc = olhc(16);
+    let client = WireClient::from_descriptor(&desc).unwrap();
+    let pipeline = CollectorPipeline::new(
+        &desc,
+        PipelineConfig {
+            shards: 4,
+            workers: 2,
+            queue_depth: 2,
+            policy: BackpressurePolicy::Block,
+        },
+    )
+    .unwrap();
+    let accepted = stream_population(&client, &pipeline, &[], 7, 3).unwrap();
+    assert_eq!(accepted, 0);
+    let (merged, stats) = pipeline.finish().unwrap();
+    assert_eq!(merged.reports(), 0);
+    assert_eq!(stats.total_frames(), 0);
+    assert_eq!(stats.dropped_batches(), 0);
+}
+
+fn sequential_reference(
+    desc: &ProtocolDescriptor,
+    client: &WireClient,
+    values: &[u64],
+    seed: u64,
+    shards: usize,
+) -> CollectorService {
+    let mut reference = CollectorService::from_descriptor(desc).unwrap();
+    for buf in &client.frames_sharded(values, seed, shards).unwrap() {
+        reference.ingest_concat(buf).unwrap();
+    }
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Tiny populations exercise every clamp at once: fewer values than
+    // shards, fewer frames than batches, empty shards, the empty
+    // population. The pipeline must still match the sequential
+    // sharded reference bit for bit, at any worker count.
+    #[test]
+    fn tiny_population_pipeline_matches_sequential(
+        len in 0usize..12,
+        shards in 1usize..6,
+        workers in 1usize..4,
+        batches in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let d = 16u64;
+        let desc = olhc(d);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let values: Vec<u64> = (0..len as u64).map(|i| (i * 7 + seed) % d).collect();
+
+        let reference = sequential_reference(&desc, &client, &values, seed, shards);
+
+        let pipeline = CollectorPipeline::new(
+            &desc,
+            PipelineConfig {
+                shards,
+                workers,
+                queue_depth: 2,
+                policy: BackpressurePolicy::Block,
+            },
+        )
+        .unwrap();
+        let accepted = stream_population(&client, &pipeline, &values, seed, batches).unwrap();
+        prop_assert_eq!(accepted, values.len());
+        let (merged, stats) = pipeline.finish().unwrap();
+        prop_assert_eq!(stats.total_frames(), values.len());
+        prop_assert_eq!(merged.reports(), reference.reports());
+        let (a, b) = (merged.estimates(), reference.estimates());
+        let a: Vec<u64> = a.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = b.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    // The acceptance invariant for subtractive retirement: after an
+    // arbitrary bursty multi-window stream, the ring's maintained
+    // total — built by merging every frame and *subtracting* each
+    // retired window — is bit-identical to a total rebuilt from
+    // scratch out of the live windows, for each service-registered
+    // subtractive mechanism family (OLH-C, Apple CMS, dBitFlip).
+    #[test]
+    fn ring_retirement_total_matches_rebuild(
+        mech in 0usize..3,
+        horizon in 1usize..5,
+        buckets in 1usize..8,
+        counts in proptest::collection::vec(0usize..10, 1..8),
+        seed in 0u64..500,
+    ) {
+        let d = 16u64;
+        let desc = match mech {
+            0 => olhc(d),
+            1 => cms(d),
+            _ => dbit(d),
+        };
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, horizon)).unwrap();
+
+        let mut stream = Vec::new();
+        for bucket in 0..buckets {
+            let count = counts[bucket % counts.len()];
+            stream.clear();
+            for i in 0..count {
+                client
+                    .randomize_item((i as u64 + seed) % d, &mut rng, &mut stream)
+                    .unwrap();
+            }
+            let t = bucket as u64 * 10 + 3;
+            if count == 0 {
+                ring.advance_to(t).unwrap();
+            } else {
+                prop_assert_eq!(ring.ingest_concat(t, &stream).unwrap(), count);
+            }
+        }
+
+        // Retirements must all have taken the exact-subtract path.
+        prop_assert_eq!(ring.stats().retired_rebuild, 0);
+        let expected_retired = buckets.saturating_sub(horizon) as u64;
+        prop_assert_eq!(ring.stats().retired_subtract, expected_retired);
+
+        // Rebuild from the live windows and require state bit-identity.
+        let mut rebuilt = CollectorService::from_descriptor(&desc).unwrap();
+        let mut live_reports = 0usize;
+        for (_, window) in ring.windows() {
+            live_reports += window.reports();
+            rebuilt
+                .merge(CollectorService::from_checkpoint(&window.checkpoint()).unwrap())
+                .unwrap();
+        }
+        prop_assert_eq!(ring.reports(), live_reports);
+        prop_assert_eq!(ring.total().checkpoint(), rebuilt.checkpoint());
+    }
+}

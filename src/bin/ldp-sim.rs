@@ -5,7 +5,7 @@
 //! Usage: ldp-sim [--mechanism grr|sue|oue|she|the|blh|olh|hr|ss]
 //!                [--eps <f64>] [--domain <u64>] [--users <usize>]
 //!                [--zipf <f64>] [--seed <u64>] [--top <usize>]
-//!                [--scenario oracle|pipeline] [--workers <usize>]
+//!                [--scenario oracle|pipeline|windows] [--workers <usize>]
 //!                [--shards <usize>] [--queue-depth <usize>]
 //!                [--policy block|drop]
 //! ```
@@ -21,6 +21,15 @@
 //! ingest workers, and a shard-order merge, with per-worker
 //! throughput/queue statistics. Defaults to 10M frames (`--users`
 //! scales it down for CI smoke runs).
+//!
+//! `--scenario windows` replays a bursty three-day synthetic trace
+//! (hourly event-time buckets, evening peaks, overnight lulls, stale
+//! stragglers) through the collector pipeline into a sliding
+//! [`WindowRing`] with a 24-hour horizon: each hour's delta is absorbed
+//! into its window and the running total, expired windows retire by
+//! exact subtraction, per-device ε spend is metered by a rolling
+//! [`LongitudinalAccountant`], and the whole ring checkpoint/restores
+//! at the end. `--users` sets total trace frames (default 500k).
 
 use ldp::core::fo::{
     collect_counts, BinaryLocalHashing, DirectEncoding, FrequencyOracle, HadamardResponse,
@@ -35,6 +44,7 @@ use ldp::workloads::pipeline::{
     stream_population, BackpressurePolicy, CollectorPipeline, PipelineConfig,
 };
 use ldp::workloads::service::WireClient;
+use ldp::workloads::window::{LongitudinalAccountant, WindowConfig, WindowRing};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -231,6 +241,186 @@ fn run_pipeline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--scenario windows` path: a bursty multi-day trace through the
+/// collector pipeline into a 24-hour sliding window ring, with rolling
+/// per-device longitudinal accounting and a final checkpoint/restore.
+fn run_windows(args: &Args) -> Result<(), String> {
+    const DAYS: usize = 3;
+    const HOURS: usize = DAYS * 24;
+    const WINDOW_LEN: u64 = 3600;
+    const HORIZON: usize = 24;
+
+    let total_frames = args.users.unwrap_or(500_000);
+    // Diurnal burst profile: overnight lull, daytime baseline, a 4×
+    // evening peak — the "popular items over the last 24 hours" shape.
+    let hour_weight = |hour_of_day: usize| -> f64 {
+        match hour_of_day {
+            0..=5 => 0.3,
+            18..=21 => 4.0,
+            _ => 1.0,
+        }
+    };
+    let weight_sum: f64 = (0..HOURS).map(|h| hour_weight(h % 24)).sum();
+
+    let desc = ProtocolDescriptor::builder(MechanismKind::CohortLocalHashing)
+        .domain_size(args.domain)
+        .epsilon(args.eps)
+        .cohorts(64)
+        .build()
+        .map_err(|e| format!("descriptor: {e}"))?;
+    let client = WireClient::from_descriptor(&desc).map_err(|e| format!("client: {e}"))?;
+    let mut ring = WindowRing::new(
+        &desc,
+        WindowConfig::new(WINDOW_LEN, HORIZON).with_decay(0.9),
+    )
+    .map_err(|e| format!("ring: {e}"))?;
+
+    // Rolling per-device ledger: each contributed window costs the
+    // report ε and a device may spend at most 8 windows' worth inside
+    // any 24-hour horizon. The pool is sized so devices want slightly
+    // more than that — the accountant must throttle the tail of each
+    // day once budgets run dry.
+    let per_window = Epsilon::new(args.eps).map_err(|e| format!("eps: {e}"))?;
+    let allowance = Epsilon::new(args.eps * 8.0).map_err(|e| format!("allowance: {e}"))?;
+    let mut accountant = LongitudinalAccountant::new(allowance, per_window, HORIZON)
+        .map_err(|e| format!("accountant: {e}"))?;
+    let device_pool = (total_frames / 27).max(32);
+
+    let zipf = ZipfGenerator::new(args.domain, args.zipf).map_err(|e| format!("zipf: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    // Exact counts per hour; only the last HORIZON hours stay queued, so
+    // the fold at the end is ground truth for the sliding window.
+    let mut hour_truth: std::collections::VecDeque<Vec<f64>> = std::collections::VecDeque::new();
+    let mut throttled = 0usize;
+    let mut next_device = 0usize;
+
+    println!(
+        "windows | OLH-C | ε={} | d={} | {DAYS} days × hourly buckets | horizon {HORIZON} h | \
+         ~{total_frames} frames | {device_pool} devices | per-device cap 8ε/24h",
+        args.eps, args.domain
+    );
+    let start = std::time::Instant::now();
+    for hour in 0..HOURS {
+        let t = hour as u64 * WINDOW_LEN + WINDOW_LEN / 2;
+        let bucket = t / WINDOW_LEN;
+        let target = (total_frames as f64 * hour_weight(hour % 24) / weight_sum).round() as usize;
+
+        // Devices volunteer round-robin; the accountant throttles any
+        // whose rolling-horizon budget is spent.
+        let mut values = Vec::with_capacity(target);
+        for _ in 0..target {
+            let device = next_device as u64;
+            next_device = (next_device + 1) % device_pool;
+            if accountant.try_charge(device, bucket).is_ok() {
+                values.push(zipf.sample(&mut rng));
+            } else {
+                throttled += 1;
+            }
+        }
+        hour_truth.push_back(exact_counts(&values, args.domain));
+        if hour_truth.len() > HORIZON {
+            hour_truth.pop_front();
+        }
+
+        if values.is_empty() {
+            // Budgets ran dry this hour: the watermark still advances.
+            ring.advance_to(t).map_err(|e| format!("advance: {e}"))?;
+        } else {
+            // One pipeline round per collection hour, absorbed as a delta.
+            let shards = args.shards.min(values.len()).max(1);
+            let pipeline = CollectorPipeline::new(
+                &desc,
+                PipelineConfig {
+                    shards,
+                    workers: args.workers,
+                    queue_depth: args.queue_depth,
+                    policy: BackpressurePolicy::Block,
+                },
+            )
+            .map_err(|e| format!("pipeline: {e}"))?;
+            stream_population(&client, &pipeline, &values, args.seed ^ hour as u64, 4)
+                .map_err(|e| format!("stream: {e}"))?;
+            let (delta, _) = pipeline.finish().map_err(|e| format!("finish: {e}"))?;
+            ring.absorb(t, delta).map_err(|e| format!("absorb: {e}"))?;
+        }
+
+        // A stale straggler from >24 h ago arrives once a day and must
+        // drop against the watermark, not poison an expired window.
+        if hour % 24 == 23 && hour >= 24 {
+            let mut frame = Vec::new();
+            client
+                .randomize_item(0, &mut rng, &mut frame)
+                .map_err(|e| format!("frame: {e}"))?;
+            let late = (bucket - HORIZON as u64) * WINDOW_LEN;
+            if ring
+                .ingest(late, &frame)
+                .map_err(|e| format!("late: {e}"))?
+            {
+                return Err("stale frame was accepted past the watermark".into());
+            }
+        }
+        if hour % 24 == 23 {
+            let s = ring.stats();
+            println!(
+                "  day {} done: {} live windows | {} frames in ring | \
+                 retired {} by subtract, {} rebuilt | {} late dropped | {throttled} throttled",
+                hour / 24 + 1,
+                ring.live_windows(),
+                ring.reports(),
+                s.retired_subtract,
+                s.retired_rebuild,
+                s.late_dropped,
+            );
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let truth = hour_truth
+        .iter()
+        .fold(vec![0.0f64; args.domain as usize], |mut acc, h| {
+            for (a, v) in acc.iter_mut().zip(h) {
+                *a += v;
+            }
+            acc
+        });
+    let est = ring.estimates();
+    let decayed = ring
+        .decayed_estimates()
+        .map_err(|e| format!("decay: {e}"))?;
+    let mut order: Vec<usize> = (0..est.len()).collect();
+    order.sort_by(|&a, &b| est[b].total_cmp(&est[a]));
+    println!(
+        "trace done in {:?} | sliding total covers {} frames over {} windows",
+        elapsed,
+        ring.reports(),
+        ring.live_windows(),
+    );
+    println!(
+        "last-24h MSE {:.0} | MAE {:.1} | top-{} F1 {:.2} | decayed favors recent: \
+         item {} at {:.0} (flat {:.0})",
+        metrics::mse(&est, &truth),
+        metrics::mae(&est, &truth),
+        args.top,
+        metrics::top_k_metrics(&est, &truth, args.top).f1,
+        order[0],
+        decayed[order[0]],
+        est[order[0]],
+    );
+
+    // Durability: the whole ring round-trips through one BLOB.
+    let blob = ring.checkpoint();
+    let revived = WindowRing::from_checkpoint(&blob).map_err(|e| format!("restore: {e}"))?;
+    if revived.checkpoint() != blob {
+        return Err("ring checkpoint did not round-trip bit-exactly".into());
+    }
+    println!(
+        "checkpoint {} KiB round-trips bit-exactly | ring stats: {:?}",
+        blob.len() / 1024,
+        ring.stats(),
+    );
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -241,7 +431,7 @@ fn main() {
             eprintln!(
                 "usage: ldp-sim [--mechanism grr|sue|oue|she|the|blh|olh|hr|ss] \
                  [--eps F] [--domain D] [--users N] [--zipf S] [--seed K] [--top T] \
-                 [--scenario oracle|pipeline] [--workers W] [--shards S] \
+                 [--scenario oracle|pipeline|windows] [--workers W] [--shards S] \
                  [--queue-depth Q] [--policy block|drop]"
             );
             std::process::exit(if msg == "help" { 0 } else { 2 });
@@ -249,6 +439,13 @@ fn main() {
     };
     if args.scenario == "pipeline" {
         if let Err(msg) = run_pipeline(&args) {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.scenario == "windows" {
+        if let Err(msg) = run_windows(&args) {
             eprintln!("error: {msg}");
             std::process::exit(2);
         }
