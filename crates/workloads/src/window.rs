@@ -309,12 +309,23 @@ impl WindowRing {
                 source,
             })?;
         let idx = self.live_index(bucket);
-        let ingested = self.live[idx].1.ingest_concat(stream)?;
-        // Deterministic validation: the total ingests exactly the same
-        // prefix and surfaces the same error, keeping the two in step.
+        let window_res = self.live[idx].1.ingest_concat(stream);
+        // The total must ingest the same stream even when the window
+        // stopped at a bad frame: validation is deterministic, so both
+        // accept the same prefix, and skipping the total's pass would
+        // leave it missing frames the window kept — breaking the
+        // total == merge(live windows) invariant.
         let total_res = self.total.ingest_concat(stream);
-        self.stats.frames_ingested += ingested as u64;
-        total_res
+        let window_n = match &window_res {
+            Ok(n) => *n,
+            Err(e) => e.ingested,
+        };
+        let total_n = match &total_res {
+            Ok(n) => *n,
+            Err(e) => e.ingested,
+        };
+        self.stats.frames_ingested += window_n.min(total_n) as u64;
+        window_res.and(total_res)
     }
 
     /// Absorbs a pre-aggregated window delta — the integration point for
@@ -626,12 +637,19 @@ impl WindowRing {
         if bucket - newest > self.config.windows as u64 {
             // Event time jumped past the whole horizon: every live
             // window expires at once, so drop them wholesale and restart
-            // the total from empty — nothing to subtract.
+            // the total from empty — nothing to subtract. Empty windows
+            // are opened back to `bucket − windows + 1` so the watermark
+            // lands exactly where the incremental path would put it:
+            // in-horizon-but-older traffic after a quiet gap is still
+            // accepted, not dropped as late.
             self.stats.retired_wholesale += self.live.len() as u64;
             self.live.clear();
             self.total = CollectorService::from_descriptor(&self.desc)?;
-            self.live
-                .push_back((bucket, CollectorService::from_descriptor(&self.desc)?));
+            let start = bucket.saturating_sub(self.config.windows as u64 - 1);
+            for b in start..=bucket {
+                self.live
+                    .push_back((b, CollectorService::from_descriptor(&self.desc)?));
+            }
             return Ok(());
         }
         for b in newest + 1..=bucket {
@@ -746,31 +764,43 @@ impl LongitudinalAccountant {
     /// Charges `device` for contributing to window `bucket`. Charging is
     /// idempotent per `(device, bucket)` — Microsoft-style memoized
     /// clients send one randomized answer per window, so a repeat charge
-    /// is the same disclosure, not a new one. Before drawing, charges
-    /// whose bucket has scrolled out of `[bucket − horizon + 1, bucket]`
-    /// are released back to the device's budget.
+    /// is the same disclosure, not a new one. Charges may arrive out of
+    /// event-time order: the ring's watermark admits any in-horizon
+    /// bucket, not just monotone ones, so the accountant does too. The
+    /// rolling horizon is anchored at the newest bucket the device has
+    /// been charged for (or `bucket`, if newer); before drawing, charges
+    /// that have scrolled out of it are released back to the device's
+    /// budget, and a `bucket` that itself predates the whole horizon is
+    /// a budget no-op — its charge would be released in the same breath.
     ///
     /// # Errors
     /// [`LdpError::BudgetExhausted`] when the device's rolling spend
     /// cannot absorb another window — the caller should skip (not
-    /// collect) this device for this window. The ledger is unchanged.
-    ///
-    /// # Panics
-    /// Panics if `bucket` regresses for a device (charges must arrive in
-    /// event-time order per device, which the ring's watermark
-    /// guarantees for its callers).
+    /// collect) this device for this window. No charge is recorded
+    /// (charges that had already scrolled out of the horizon are still
+    /// released), and a never-charged device gains no ledger.
     pub fn try_charge(&mut self, device: u64, bucket: u64) -> Result<()> {
-        let ledger = self.devices.entry(device).or_insert_with(|| DeviceLedger {
-            budget: PrivacyBudget::new(self.allowance),
-            charged: VecDeque::new(),
-        });
-        if let Some(&last) = ledger.charged.back() {
-            assert!(last <= bucket, "charges must arrive in event-time order");
-            if last == bucket {
-                return Ok(());
-            }
+        if !self.devices.contains_key(&device) {
+            // First charge: `new` guarantees one window's charge fits a
+            // fresh allowance, and drawing before inserting means a
+            // failed draw can never invent a zero-charge device.
+            let mut budget = PrivacyBudget::new(self.allowance);
+            budget.draw(self.per_window.value())?;
+            self.devices.insert(
+                device,
+                DeviceLedger {
+                    budget,
+                    charged: VecDeque::from([bucket]),
+                },
+            );
+            return Ok(());
         }
-        let oldest_in_horizon = bucket.saturating_sub(self.horizon - 1);
+        let ledger = self.devices.get_mut(&device).expect("device has a ledger");
+        if ledger.charged.contains(&bucket) {
+            return Ok(());
+        }
+        let newest = ledger.charged.back().map_or(bucket, |&b| b.max(bucket));
+        let oldest_in_horizon = newest.saturating_sub(self.horizon - 1);
         while matches!(ledger.charged.front(), Some(&b) if b < oldest_in_horizon) {
             ledger.charged.pop_front();
             ledger
@@ -778,8 +808,14 @@ impl LongitudinalAccountant {
                 .release(self.per_window.value())
                 .expect("released charge was drawn");
         }
+        if bucket < oldest_in_horizon {
+            return Ok(());
+        }
         ledger.budget.draw(self.per_window.value())?;
-        ledger.charged.push_back(bucket);
+        // Keep `charged` sorted so horizon releases pop oldest-first
+        // even when in-horizon charges arrived out of order.
+        let pos = ledger.charged.partition_point(|&b| b < bucket);
+        ledger.charged.insert(pos, bucket);
         Ok(())
     }
 
@@ -953,8 +989,47 @@ mod tests {
         let s = stream(&client, &mut rng, 16, 4);
         ring.ingest_concat(1_000_000, &s).unwrap();
         assert_eq!(ring.stats().retired_wholesale, 3);
-        assert_eq!(ring.live_windows(), 1);
+        // The reset opens empty windows back to the watermark the
+        // incremental path would have produced, so the horizon is full
+        // and in-horizon-but-older traffic still lands.
+        assert_eq!(ring.live_windows(), 3);
+        assert_eq!(ring.oldest_bucket(), Some(100_000 - 2));
         assert_eq!(ring.reports(), 4);
+        let mut frame = Vec::new();
+        client.randomize_item(2, &mut rng, &mut frame).unwrap();
+        assert!(ring.ingest((100_000 - 1) * 10, &frame).unwrap());
+        assert_eq!(ring.reports(), 5);
+        assert_eq!(ring.stats().late_dropped, 0);
+    }
+
+    #[test]
+    fn concat_error_keeps_window_and_total_in_step() {
+        let desc = olhc_descriptor(16);
+        let client = WireClient::from_descriptor(&desc).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ring = WindowRing::new(&desc, WindowConfig::new(10, 3)).unwrap();
+
+        // Two good frames followed by a corrupt tail: the window and
+        // the total must both keep exactly the two-frame prefix, so the
+        // total still equals the merge of the live windows.
+        let mut s = stream(&client, &mut rng, 16, 2);
+        s.extend_from_slice(&[0xff, 0xff, 0xff]);
+        let err = ring.ingest_concat(5, &s).unwrap_err();
+        assert_eq!(err.ingested, 2);
+        assert_eq!(ring.stats().frames_ingested, 2);
+        assert_eq!(ring.reports(), 2);
+        let (_, window) = &ring.live[0];
+        assert_eq!(window.reports(), 2);
+        assert_eq!(ring.total.checkpoint(), window.checkpoint());
+
+        // The ring stays fully usable: a later clean stream round-trips
+        // through checkpoint validation (which enforces the
+        // total-covers-live-windows invariant).
+        let s = stream(&client, &mut rng, 16, 3);
+        assert_eq!(ring.ingest_concat(15, &s).unwrap(), 3);
+        assert_eq!(ring.reports(), 5);
+        let revived = WindowRing::from_checkpoint(&ring.checkpoint()).unwrap();
+        assert_eq!(revived.reports(), 5);
     }
 
     #[test]
@@ -1074,5 +1149,49 @@ mod tests {
             3,
         )
         .is_err());
+    }
+
+    #[test]
+    fn accountant_accepts_out_of_order_in_horizon_charges() {
+        // The ring's watermark admits any in-horizon bucket, not just
+        // monotone ones, so charging per accepted frame must too.
+        let mut acct =
+            LongitudinalAccountant::new(Epsilon::new(2.0).unwrap(), Epsilon::new(0.5).unwrap(), 4)
+                .unwrap();
+        acct.try_charge(1, 10).unwrap();
+        acct.try_charge(1, 8).unwrap(); // older, in horizon [7, 10]
+        assert!((acct.spent(1) - 1.0).abs() < 1e-12);
+        // Idempotent even for a bucket that is not the newest.
+        acct.try_charge(1, 8).unwrap();
+        assert!((acct.spent(1) - 1.0).abs() < 1e-12);
+        // A bucket that predates the whole horizon is a budget no-op:
+        // its charge would be released in the same call.
+        acct.try_charge(1, 3).unwrap();
+        assert!((acct.spent(1) - 1.0).abs() < 1e-12);
+        // Releases stay anchored at the newest charge: at bucket 13 the
+        // horizon is [10, 13], so 8's charge is handed back.
+        acct.try_charge(1, 13).unwrap();
+        assert!((acct.spent(1) - 1.0).abs() < 1e-12);
+        assert_eq!(acct.devices(), 1);
+    }
+
+    #[test]
+    fn accountant_failed_charge_leaves_no_trace() {
+        let mut acct =
+            LongitudinalAccountant::new(Epsilon::new(1.0).unwrap(), Epsilon::new(0.5).unwrap(), 8)
+                .unwrap();
+        acct.try_charge(4, 0).unwrap();
+        acct.try_charge(4, 1).unwrap();
+        assert!(matches!(
+            acct.try_charge(4, 2),
+            Err(LdpError::BudgetExhausted { .. })
+        ));
+        // The failed draw recorded nothing: spend is unchanged and a
+        // retry for an already-charged bucket is still idempotent.
+        assert!((acct.spent(4) - 1.0).abs() < 1e-12);
+        acct.try_charge(4, 1).unwrap();
+        assert!((acct.spent(4) - 1.0).abs() < 1e-12);
+        // Only devices that actually paid appear in the roster.
+        assert_eq!(acct.devices(), 1);
     }
 }
