@@ -186,6 +186,10 @@ impl CmsProtocol {
     /// `Var ≈ (m/(m−1))² · n/4 · (c_ε² − (1 − 2/m)²)` — flip noise plus
     /// the sketch-collision spread, independent of `k`. Verified
     /// empirically in `crates/apple/tests/batch_identity.rs`.
+    ///
+    /// This method is the formula's single home: the planner's cost
+    /// model ([`crate::cost`]) prices CMS plans by instantiating the
+    /// protocol and delegating here rather than restating the algebra.
     pub fn approx_count_variance(&self, n: usize) -> f64 {
         let nf = n as f64;
         let m = self.m as f64;

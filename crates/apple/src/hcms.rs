@@ -122,6 +122,10 @@ impl HcmsProtocol {
     /// report contributes `±c'_ε` to the queried (debiased, transformed)
     /// mean cell, plus the same `n/m` sketch-collision term as CMS.
     /// Empirically validated in `crates/apple/tests/batch_identity.rs`.
+    ///
+    /// This method is the formula's single home: the planner's cost
+    /// model ([`crate::cost`]) prices HCMS plans by instantiating the
+    /// protocol and delegating here rather than restating the algebra.
     pub fn approx_count_variance(&self, n: usize) -> f64 {
         let nf = n as f64;
         let m = self.m as f64;

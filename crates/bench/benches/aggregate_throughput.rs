@@ -68,7 +68,9 @@ use ldp_core::fo::{
 use ldp_core::protocol::{MechanismKind, ProtocolDescriptor};
 use ldp_core::Epsilon;
 use ldp_microsoft::DBitFlip;
+use ldp_planner::{workspace_planner, Plan, Planner, WorkloadSpec};
 use ldp_rappor::{RapporAggregator, RapporClient, RapporParams};
+use ldp_workloads::gen::{exact_counts, ZipfGenerator};
 use ldp_workloads::parallel::{
     accumulate_sharded_sequential, accumulate_sharded_with_workers, planned_workers, shard_seed,
 };
@@ -187,6 +189,90 @@ fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Executes one planned descriptor end to end over the byte path and
+/// returns the measured MSE over the tail half of the domain (items at
+/// or below the median true count), averaged over `trials` collection
+/// rounds. The tail is the right yardstick: the planner ranks on
+/// noise-floor σ², which is the variance of a *rare* item's estimate.
+fn planned_tail_mse(plan: &Plan, values: &[u64], truth: &[f64], seed: u64, trials: u64) -> f64 {
+    let client = WireClient::from_descriptor(&plan.descriptor).expect("planned client builds");
+    let mut sorted: Vec<f64> = truth.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut mse_sum = 0.0f64;
+    for t in 0..trials.max(1) {
+        let mut service =
+            CollectorService::from_descriptor(&plan.descriptor).expect("planned service builds");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t.wrapping_mul(0x9e37_79b9)));
+        let mut wire = Vec::new();
+        for &v in values {
+            client
+                .randomize_item(v, &mut rng, &mut wire)
+                .expect("frame");
+        }
+        service.ingest_concat(&wire).expect("ingest");
+        let est = service.estimates();
+        let (mut sse, mut count) = (0.0f64, 0usize);
+        for (e, t) in est.iter().zip(truth) {
+            if *t <= median {
+                sse += (e - t) * (e - t);
+                count += 1;
+            }
+        }
+        mse_sum += sse / count.max(1) as f64;
+    }
+    mse_sum / trials.max(1) as f64
+}
+
+/// Sweeps the planner over the same `(d, ε, budget)` frontier grid as
+/// `ldp-sim --scenario plan`, executes each cell's top pick and first
+/// clearly-separated runner-up (predicted σ² ≥ 1.1× the winner's) over
+/// the byte path, and returns `(cells, cells where the measured error
+/// ranking agreed with the predicted one)`.
+fn planner_ranking_agreement(planner: &Planner, n: usize, seed: u64) -> (usize, usize) {
+    let domains = [64u64, 256, 1024];
+    let epsilons = [0.5f64, 1.0, 2.0];
+    let profiles: [(Option<u64>, Option<u64>); 3] = [
+        (Some(1024 * 1024), None),
+        (Some(4 * 1024), None),
+        (Some(1024 * 1024), Some(8)),
+    ];
+    let (mut cells, mut agreed) = (0usize, 0usize);
+    let mut ci = 0u64;
+    for &d in &domains {
+        for &eps in &epsilons {
+            for &(mem, rep) in &profiles {
+                ci += 1;
+                let mut spec = WorkloadSpec::new(d, n as u64, eps);
+                if let Some(m) = mem {
+                    spec = spec.with_memory_budget(m);
+                }
+                if let Some(r) = rep {
+                    spec = spec.with_report_budget(r);
+                }
+                let plans = planner.plan(&spec).expect("frontier cell plans");
+                assert!(plans.len() >= 2, "frontier cell needs a runner-up");
+                let top = &plans[0];
+                let next = plans
+                    .iter()
+                    .skip(1)
+                    .find(|p| p.cost.variance >= 1.1 * top.cost.variance)
+                    .unwrap_or(&plans[1]);
+                let zipf = ZipfGenerator::new(d, 1.1).expect("valid zipf");
+                let mut rng = StdRng::seed_from_u64(seed ^ ci);
+                let values = zipf.sample_n(n, &mut rng);
+                let truth = exact_counts(&values, d);
+                let mse_top = planned_tail_mse(top, &values, &truth, seed.wrapping_add(ci), 3);
+                let mse_next =
+                    planned_tail_mse(next, &values, &truth, seed.wrapping_add(1000 + ci), 3);
+                cells += 1;
+                agreed += usize::from(mse_top <= mse_next);
+            }
+        }
+    }
+    (cells, agreed)
 }
 
 /// Median of an already-collected sample vector — companion to
@@ -539,6 +625,24 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         black_box(ring.estimates());
     });
 
+    // --- Mechanism planner: full plan latency over the workspace cost
+    // book, and predicted-vs-measured error ranking agreement over the
+    // same (d, ε, budget) frontier grid `ldp-sim --scenario plan`
+    // sweeps. Agreement below 1.0 is expected: two formulas are
+    // documented approximations (HR ignores multinomial row variation;
+    // OLH-C charges the worst-case collision mass), and the frontier
+    // harness exists to keep that gap measured rather than assumed.
+    let planner = workspace_planner();
+    let plan_spec = WorkloadSpec::new(d, n as u64, 1.0)
+        .with_memory_budget(64 * 1024)
+        .with_report_budget(16);
+    let planner_plan_ns = median_ns(rand_reps.max(11), || {
+        black_box(planner.plan(black_box(&plan_spec)).expect("spec plans"));
+    });
+    let planner_n = if smoke { 4_000usize } else { 30_000 };
+    let (planner_cells, planner_agreed) = planner_ranking_agreement(&planner, planner_n, 2024);
+    let planner_agreement = planner_agreed as f64 / planner_cells.max(1) as f64;
+
     // --- Decode kernels: each new kernel vs its frozen baseline, same
     // odd rep count on both sides of every comparison.
 
@@ -765,6 +869,11 @@ fn bench_old_vs_new(_c: &mut Criterion) {
         window_estimate_ns / 1e6
     );
     println!(
+        "planner/plan_d{d}_budgeted: {:.1} µs, ranking_agreement: {planner_agreed}/{planner_cells} ({:.0}%) over the frontier grid at n={planner_n}",
+        planner_plan_ns / 1e3,
+        planner_agreement * 100.0
+    );
+    println!(
         "fwht/reference_m{fwht_m}: {:.3} ms, tiled: {:.3} ms  ({fwht_tiled_speedup:.2}x speedup, bit-identical)",
         fwht_reference_ns / 1e6,
         fwht_tiled_ns / 1e6
@@ -791,7 +900,7 @@ fn bench_old_vs_new(_c: &mut Criterion) {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3},\n  \"pipeline_ingest_ns\": {pipeline_ingest_ns:.0},\n  \"pipeline_queue_hwm\": {pipeline_queue_hwm},\n  \"snapshot_roundtrip_ns\": {snapshot_roundtrip_ns:.0},\n  \"snapshot_bytes\": {snapshot_bytes},\n  \"window_advance_ns\": {window_advance_ns:.0},\n  \"window_estimate_ns\": {window_estimate_ns:.0},\n  \"decode\": {{\n    \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n    \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n    \"olh_estimate_speedup\": {olh_estimate_speedup:.2},\n    \"fwht_m\": {fwht_m},\n    \"fwht_reference_ns\": {fwht_reference_ns:.0},\n    \"fwht_tiled_ns\": {fwht_tiled_ns:.0},\n    \"fwht_tiled_speedup\": {fwht_tiled_speedup:.2},\n    \"hcms_legacy_decode_ns\": {hcms_legacy_decode_ns:.0},\n    \"hcms_cached_decode_ns\": {hcms_cached_decode_ns:.0},\n    \"hcms_decode_speedup\": {hcms_decode_speedup:.2},\n    \"sfp_exhaustive_decode_ns\": {sfp_exhaustive_decode_ns:.0},\n    \"sfp_candidate_decode_ns\": {sfp_candidate_decode_ns:.0},\n    \"sfp_decode_speedup\": {sfp_decode_speedup:.2},\n    \"rappor_dense_lasso_ns\": {rappor_dense_lasso_ns:.0},\n    \"rappor_sparse_lasso_ns\": {rappor_sparse_lasso_ns:.0},\n    \"rappor_lasso_speedup\": {rappor_lasso_speedup:.2},\n    \"she_legacy_randomize_ns\": {she_legacy_randomize_ns:.0},\n    \"she_batched_randomize_ns\": {she_batched_randomize_ns:.0},\n    \"she_randomize_speedup\": {she_randomize_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"aggregate_throughput\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"d\": {d},\n  \"g\": {},\n  \"cohorts\": {cohorts},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"oue_scalar_randomize_ns\": {oue_scalar_randomize_ns:.0},\n  \"oue_batch_randomize_ns\": {oue_batch_randomize_ns:.0},\n  \"batch_speedup\": {batch_speedup:.2},\n  \"the_scalar_randomize_ns\": {the_scalar_randomize_ns:.0},\n  \"the_batch_randomize_ns\": {the_batch_randomize_ns:.0},\n  \"the_batch_speedup\": {the_batch_speedup:.2},\n  \"apple_cms_scalar_ns\": {apple_cms_scalar_ns:.0},\n  \"apple_cms_batch_ns\": {apple_cms_batch_ns:.0},\n  \"apple_batch_speedup\": {apple_batch_speedup:.2},\n  \"ms_dbitflip_scalar_ns\": {ms_dbitflip_scalar_ns:.0},\n  \"ms_dbitflip_batch_ns\": {ms_dbitflip_batch_ns:.0},\n  \"microsoft_batch_speedup\": {microsoft_batch_speedup:.2},\n  \"seq_collect_ns\": {seq_collect_ns:.0},\n  \"batch_collect_1w_ns\": {batch_collect_1w_ns:.0},\n  \"par_collect_ns\": {par_collect_ns:.0},\n  \"collect_speedup\": {collect_speedup:.2},\n  \"thread_scaling\": {thread_scaling:.2},\n  \"direct_collect_ns\": {direct_collect_ns:.0},\n  \"wire_collect_ns\": {wire_collect_ns:.0},\n  \"wire_client_frame_ns\": {wire_client_frame_ns:.0},\n  \"wire_overhead\": {wire_overhead:.3},\n  \"wire_e2e_overhead\": {wire_e2e_overhead:.3},\n  \"pipeline_ingest_ns\": {pipeline_ingest_ns:.0},\n  \"pipeline_queue_hwm\": {pipeline_queue_hwm},\n  \"snapshot_roundtrip_ns\": {snapshot_roundtrip_ns:.0},\n  \"snapshot_bytes\": {snapshot_bytes},\n  \"window_advance_ns\": {window_advance_ns:.0},\n  \"window_estimate_ns\": {window_estimate_ns:.0},\n  \"planner\": {{\n    \"plan_ns\": {planner_plan_ns:.0},\n    \"cells\": {planner_cells},\n    \"ranking_agreement\": {planner_agreement:.3}\n  }},\n  \"decode\": {{\n    \"raw_full_estimate_ns\": {raw_estimate_ns:.0},\n    \"cohort_full_estimate_ns\": {cohort_estimate_ns:.0},\n    \"olh_estimate_speedup\": {olh_estimate_speedup:.2},\n    \"fwht_m\": {fwht_m},\n    \"fwht_reference_ns\": {fwht_reference_ns:.0},\n    \"fwht_tiled_ns\": {fwht_tiled_ns:.0},\n    \"fwht_tiled_speedup\": {fwht_tiled_speedup:.2},\n    \"hcms_legacy_decode_ns\": {hcms_legacy_decode_ns:.0},\n    \"hcms_cached_decode_ns\": {hcms_cached_decode_ns:.0},\n    \"hcms_decode_speedup\": {hcms_decode_speedup:.2},\n    \"sfp_exhaustive_decode_ns\": {sfp_exhaustive_decode_ns:.0},\n    \"sfp_candidate_decode_ns\": {sfp_candidate_decode_ns:.0},\n    \"sfp_decode_speedup\": {sfp_decode_speedup:.2},\n    \"rappor_dense_lasso_ns\": {rappor_dense_lasso_ns:.0},\n    \"rappor_sparse_lasso_ns\": {rappor_sparse_lasso_ns:.0},\n    \"rappor_lasso_speedup\": {rappor_lasso_speedup:.2},\n    \"she_legacy_randomize_ns\": {she_legacy_randomize_ns:.0},\n    \"she_batched_randomize_ns\": {she_batched_randomize_ns:.0},\n    \"she_randomize_speedup\": {she_randomize_speedup:.2}\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         cohort_oracle.g(),
     );

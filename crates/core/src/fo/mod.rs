@@ -49,7 +49,10 @@
 //! The table is the tutorial's punchline: OUE, OLH and HR share the same
 //! optimal noise floor, differing only in communication; GRR beats them all
 //! when the domain is small (`d < 3e^ε + 2`). Experiment E2 regenerates
-//! this comparison.
+//! this comparison. The variance column is documentation, not a second
+//! implementation: each formula lives only in that mechanism's
+//! [`FrequencyOracle::count_variance`], which the planner's cost models
+//! ([`crate::cost`]) also delegate to when ranking plans.
 //!
 //! ## Aggregation at deployment scale
 //!
@@ -192,10 +195,16 @@ pub trait FrequencyOracle {
 
     /// Analytical variance of the *count* estimate for an item with true
     /// relative frequency `f`, over `n` reports.
+    ///
+    /// Each implementation is its formula's single home: every other
+    /// consumer — the planner's cost models in [`crate::cost`]
+    /// included — instantiates the oracle and delegates here rather
+    /// than restating the algebra.
     fn count_variance(&self, n: usize, f: f64) -> f64;
 
     /// The `f → 0` "noise floor" variance Wang et al. use to rank
-    /// mechanisms (their `Var*`).
+    /// mechanisms (their `Var*`). This is the quantity the planner's
+    /// cost models ([`crate::cost`]) rank plans by.
     fn noise_floor_variance(&self, n: usize) -> f64 {
         self.count_variance(n, 0.0)
     }

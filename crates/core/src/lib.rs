@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cost;
 pub mod estimate;
 pub mod fo;
 pub mod mean;

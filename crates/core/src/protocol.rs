@@ -703,9 +703,10 @@ fn refuse_linear_memory(d: &ProtocolDescriptor) -> Result<()> {
         "{} keeps every raw report: O(n) memory and O(n·d) full-domain \
          estimates, which does not scale behind a collector service. Use \
          CohortLocalHashing (same privacy, same noise floor up to a 1/C \
-         collision term, O(C·g) memory) — or, for ablations and \
-         candidate-set-only estimation, opt in explicitly with \
-         ProtocolDescriptorBuilder::allow_linear_memory()",
+         collision term, O(C·g) memory), or let the planner pick and tune \
+         a mechanism for your budgets (ldp_planner::Planner::plan) — or, \
+         for ablations and candidate-set-only estimation, opt in \
+         explicitly with ProtocolDescriptorBuilder::allow_linear_memory()",
         d.kind().name()
     )))
 }
@@ -828,6 +829,7 @@ mod tests {
                         msg.contains("CohortLocalHashing"),
                         "steering message: {msg}"
                     );
+                    assert!(msg.contains("Planner::plan"), "planner remedy: {msg}");
                     assert!(msg.contains("allow_linear_memory"), "escape hatch: {msg}");
                 }
                 other => panic!("expected UnsupportedMechanism, got {other:?}"),

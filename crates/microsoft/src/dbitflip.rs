@@ -197,6 +197,10 @@ impl DBitFlip {
     /// Per-bucket count variance over `n` devices (noise floor):
     /// each bucket is covered by `≈ n·d/k` devices with SUE-grade noise,
     /// then rescaled by `k/d`.
+    ///
+    /// This method is the formula's single home: the planner's cost
+    /// model ([`crate::cost`]) prices dBitFlip plans by instantiating
+    /// the mechanism and delegating here.
     pub fn count_variance(&self, n: usize) -> f64 {
         let covered = n as f64 * self.d as f64 / self.k as f64;
         let q = 1.0 - self.p;

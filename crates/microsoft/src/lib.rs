@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cost;
 pub mod dbitflip;
 pub mod memoization;
 pub mod onebit;
@@ -42,6 +43,7 @@ pub mod pipeline;
 pub mod repeated;
 pub mod wire;
 
+pub use cost::register_cost_models;
 pub use dbitflip::{DBitAggregator, DBitFlip, DBitReport};
 pub use memoization::{MemoizedMeanClient, RoundingConfig};
 pub use onebit::{OneBitMean, OneBitMeanAggregator};

@@ -58,5 +58,8 @@ pub use gen::{NumericStream, ZipfGenerator};
 pub use harness::{ExperimentTable, Trials};
 pub use parallel::{accumulate_sharded, accumulate_sharded_sequential, collect_counts_parallel};
 pub use pipeline::{BackpressurePolicy, CollectorPipeline, PipelineConfig, PipelineStats};
-pub use service::{workspace_registry, CollectorService, WireClient};
+pub use service::{
+    workspace_planner, workspace_registry, CollectorService, Plan, Planner, WireClient,
+    WorkloadSpec,
+};
 pub use window::{LongitudinalAccountant, WindowConfig, WindowRing, WindowStats};

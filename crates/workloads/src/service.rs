@@ -103,14 +103,20 @@ impl From<IngestError> for LdpError {
 
 /// A registry with **every** workspace mechanism registered: the ten
 /// `ldp-core` oracles plus Apple CMS/HCMS and Microsoft
-/// dBitFlip/1BitMean.
+/// dBitFlip/1BitMean (delegates to [`ldp_planner::workspace_registry`],
+/// so the planner validates against exactly this registry).
 #[must_use]
 pub fn workspace_registry() -> Registry {
-    let mut r = Registry::core();
-    ldp_apple::register_mechanisms(&mut r);
-    ldp_microsoft::register_mechanisms(&mut r);
-    r
+    ldp_planner::workspace_registry()
 }
+
+// The planner's vocabulary, re-exported where deployments assemble
+// their serving stack: `workspace_planner().plan(&spec)` yields
+// descriptors that instantiate through this module's `WireClient` /
+// `CollectorService` unchanged.
+pub use ldp_planner::{
+    workspace_cost_book, workspace_planner, Plan, Planner, QueryShape, WorkloadSpec,
+};
 
 /// The client half of the wire protocol: randomizes private inputs into
 /// report frames for the mechanism a descriptor describes.

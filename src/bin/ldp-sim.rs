@@ -5,7 +5,7 @@
 //! Usage: ldp-sim [--mechanism grr|sue|oue|she|the|blh|olh|hr|ss]
 //!                [--eps <f64>] [--domain <u64>] [--users <usize>]
 //!                [--zipf <f64>] [--seed <u64>] [--top <usize>]
-//!                [--scenario oracle|pipeline|windows] [--workers <usize>]
+//!                [--scenario oracle|pipeline|windows|plan] [--workers <usize>]
 //!                [--shards <usize>] [--queue-depth <usize>]
 //!                [--policy block|drop]
 //! ```
@@ -21,6 +21,13 @@
 //! ingest workers, and a shard-order merge, with per-worker
 //! throughput/queue statistics. Defaults to 10M frames (`--users`
 //! scales it down for CI smoke runs).
+//!
+//! `--scenario plan` sweeps the cost-based mechanism planner over a
+//! grid of `(d, n, ε, memory budget)` cells: each cell is planned, the
+//! top pick and the runner-up both execute end to end through the wire
+//! path (client frames → collector service → estimates), and the
+//! measured-error ranking is checked against the planner's predicted
+//! ranking. `--users` sets reports per cell (default 30k).
 //!
 //! `--scenario windows` replays a bursty three-day synthetic trace
 //! (hourly event-time buckets, evening peaks, overnight lulls, stale
@@ -43,7 +50,7 @@ use ldp::workloads::metrics;
 use ldp::workloads::pipeline::{
     stream_population, BackpressurePolicy, CollectorPipeline, PipelineConfig,
 };
-use ldp::workloads::service::WireClient;
+use ldp::workloads::service::{CollectorService, WireClient};
 use ldp::workloads::window::{LongitudinalAccountant, WindowConfig, WindowRing};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -241,6 +248,187 @@ fn run_pipeline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Executes one planned descriptor end to end through the wire path and
+/// returns the measured MSE over the **tail half** of the domain (items
+/// at or below the median true count). The planner ranks on noise-floor
+/// σ² — the variance of a *rare* item's estimate — so the measured
+/// yardstick is the same quantity, not the head items whose error is
+/// dominated by frequency-dependent terms every floor formula ignores.
+fn execute_plan_arm(
+    plan: &ldp::planner::Plan,
+    values: &[u64],
+    truth: &[f64],
+    seed: u64,
+    trials: u64,
+) -> Result<f64, String> {
+    let client =
+        WireClient::from_descriptor(&plan.descriptor).map_err(|e| format!("client: {e}"))?;
+    let mut sorted: Vec<f64> = truth.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+
+    let mut mse_sum = 0.0f64;
+    for t in 0..trials.max(1) {
+        let mut service = CollectorService::from_descriptor(&plan.descriptor)
+            .map_err(|e| format!("service: {e}"))?;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t.wrapping_mul(0x9e37_79b9)));
+        let mut wire = Vec::new();
+        for &v in values {
+            client
+                .randomize_item(v, &mut rng, &mut wire)
+                .map_err(|e| format!("frame: {e}"))?;
+        }
+        service
+            .ingest_concat(&wire)
+            .map_err(|e| format!("ingest: {e}"))?;
+        let est = service.estimates();
+
+        let (mut sse, mut count) = (0.0f64, 0usize);
+        for (e, t) in est.iter().zip(truth) {
+            if *t <= median {
+                sse += (e - t) * (e - t);
+                count += 1;
+            }
+        }
+        mse_sum += sse / count.max(1) as f64;
+    }
+    Ok(mse_sum / trials.max(1) as f64)
+}
+
+/// The `--scenario plan` path: sweep the planner over a
+/// `(d, n, ε, memory budget)` grid, execute each cell's top pick and
+/// runner-up over the byte path, and score predicted-vs-measured error
+/// ranking agreement.
+fn run_plan(args: &Args) -> Result<(), String> {
+    use ldp::planner::{workspace_planner, WorkloadSpec};
+
+    let n = args.users.unwrap_or(30_000);
+    let planner = workspace_planner();
+    let domains = [64u64, 256, 1024];
+    let epsilons = [0.5f64, 1.0, 2.0];
+    // Budget profiles exercise different planner regimes: unconstrained
+    // accuracy chasing, a memory wall that forces sketches/cohorts at
+    // large d, and a wire cap that forces compact report formats.
+    let profiles: [(&str, Option<u64>, Option<u64>); 3] = [
+        ("roomy", Some(1024 * 1024), None),
+        ("tight-mem", Some(4 * 1024), None),
+        ("tight-wire", Some(1024 * 1024), Some(8)),
+    ];
+
+    println!(
+        "plan | grid: d×ε×budget = {}×{}×{} cells | n={n} per cell | Zipf({})",
+        domains.len(),
+        epsilons.len(),
+        profiles.len(),
+        args.zipf,
+    );
+    println!(
+        "{:>5} {:>5} {:>10} | {:>9} {:>12} {:>12} | {:>9} {:>12} {:>12} | agree",
+        "d", "ε", "budget", "top", "pred σ²", "meas MSE", "next", "pred σ²", "meas MSE"
+    );
+
+    let mut cells = 0usize;
+    let mut agreements = 0usize;
+    let mut plan_nanos = 0u128;
+    let mut grid = Vec::new();
+    for &d in &domains {
+        for &eps in &epsilons {
+            for &profile in &profiles {
+                grid.push((d, eps, profile));
+            }
+        }
+    }
+    for (ci, &(d, eps, (label, mem, wire_cap))) in grid.iter().enumerate() {
+        let mut spec = WorkloadSpec::new(d, n as u64, eps);
+        if let Some(m) = mem {
+            spec = spec.with_memory_budget(m);
+        }
+        if let Some(w) = wire_cap {
+            spec = spec.with_report_budget(w);
+        }
+        let started = std::time::Instant::now();
+        let plans = planner.plan(&spec).map_err(|e| format!("plan: {e}"))?;
+        plan_nanos += started.elapsed().as_nanos();
+        if plans.len() < 2 {
+            return Err(format!("cell d={d} ε={eps} {label}: fewer than 2 plans"));
+        }
+        for p in &plans {
+            if mem.is_some_and(|m| p.cost.memory_bytes > m)
+                || wire_cap.is_some_and(|w| p.cost.bytes_per_report > w)
+            {
+                return Err(format!(
+                    "cell d={d} ε={eps} {label}: {} blew a budget",
+                    p.kind().name()
+                ));
+            }
+        }
+        // Runner-up: the first plan meaningfully separated in predicted
+        // σ² (rank 2 when the whole field is tied) — ranking two
+        // near-identical predictions is a coin flip by construction.
+        let top = &plans[0];
+        let next = plans[1..]
+            .iter()
+            .find(|p| p.cost.variance >= 1.1 * top.cost.variance)
+            .unwrap_or(&plans[1]);
+
+        let zipf = ZipfGenerator::new(d, args.zipf).map_err(|e| format!("zipf: {e}"))?;
+        let mut rng = StdRng::seed_from_u64(args.seed ^ ci as u64);
+        let values = zipf.sample_n(n, &mut rng);
+        let truth = exact_counts(&values, d);
+        // A few repetitions per arm average away single-draw luck so the
+        // comparison reflects the mechanisms, not one RNG stream.
+        let trials = 3;
+        let mse_top = execute_plan_arm(
+            top,
+            &values,
+            &truth,
+            args.seed.wrapping_add(ci as u64),
+            trials,
+        )?;
+        let mse_next = execute_plan_arm(
+            next,
+            &values,
+            &truth,
+            args.seed.wrapping_add(1000 + ci as u64),
+            trials,
+        )?;
+
+        // The planner predicted top ≤ next in σ²; the measured errors
+        // agree when the executed MSEs rank the same way.
+        let agree = mse_top <= mse_next;
+        cells += 1;
+        agreements += usize::from(agree);
+        println!(
+            "{:>5} {:>5} {:>10} | {:>9} {:>12.1} {:>12.1} | {:>9} {:>12.1} {:>12.1} | {}",
+            d,
+            eps,
+            label,
+            top.kind().name(),
+            top.cost.variance,
+            mse_top,
+            next.kind().name(),
+            next.cost.variance,
+            mse_next,
+            if agree { "yes" } else { "NO" },
+        );
+    }
+    let fraction = agreements as f64 / cells as f64;
+    println!(
+        "\nranking agreement {agreements}/{cells} ({:.0}%) | mean plan time {:.1} µs",
+        fraction * 100.0,
+        plan_nanos as f64 / cells as f64 / 1e3,
+    );
+    // Near-ties can flip under sampling noise; total disagreement means
+    // the cost book is wrong.
+    if fraction < 0.5 {
+        return Err(format!(
+            "measured rankings disagree with predictions in {}/{cells} cells",
+            cells - agreements
+        ));
+    }
+    Ok(())
+}
+
 /// The `--scenario windows` path: a bursty multi-day trace through the
 /// collector pipeline into a 24-hour sliding window ring, with rolling
 /// per-device longitudinal accounting and a final checkpoint/restore.
@@ -431,7 +619,7 @@ fn main() {
             eprintln!(
                 "usage: ldp-sim [--mechanism grr|sue|oue|she|the|blh|olh|hr|ss] \
                  [--eps F] [--domain D] [--users N] [--zipf S] [--seed K] [--top T] \
-                 [--scenario oracle|pipeline|windows] [--workers W] [--shards S] \
+                 [--scenario oracle|pipeline|windows|plan] [--workers W] [--shards S] \
                  [--queue-depth Q] [--policy block|drop]"
             );
             std::process::exit(if msg == "help" { 0 } else { 2 });
@@ -446,6 +634,13 @@ fn main() {
     }
     if args.scenario == "windows" {
         if let Err(msg) = run_windows(&args) {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.scenario == "plan" {
+        if let Err(msg) = run_plan(&args) {
             eprintln!("error: {msg}");
             std::process::exit(2);
         }

@@ -27,6 +27,10 @@
 //! * [`workloads`] — synthetic workload generators, accuracy metrics, the
 //!   experiment harness used by the `ldp-bench` reproduction binaries,
 //!   and the deployment-facing [`CollectorService`].
+//! * [`planner`] — the cost-based mechanism planner: give it a
+//!   [`planner::WorkloadSpec`] (domain, population, ε, budgets) and it
+//!   returns ranked, validated [`planner::Plan`]s whose descriptors
+//!   instantiate through [`workspace_registry`] unchanged.
 //!
 //! ## Quickstart: a client/server round trip over bytes
 //!
@@ -78,11 +82,49 @@
 //! sharded parallel collector in [`workloads`] — remains available for
 //! simulations and experiments, and the byte path above is bit-identical
 //! to it for the same seeds (see `tests/service_dispatch.rs`).
+//!
+//! ## Don't pick the mechanism by hand: plan it
+//!
+//! Fourteen mechanism kinds trade accuracy, memory, report size, and
+//! decode latency against each other. The planner owns those trade-offs:
+//! describe the workload and its budgets, and the top-ranked plan drops
+//! into the same wire path as the hand-picked descriptor above:
+//!
+//! ```
+//! use ldp::planner::{workspace_planner, WorkloadSpec};
+//! use ldp::workloads::service::{CollectorService, WireClient};
+//! use rand::SeedableRng;
+//!
+//! // The workload: 64 items, 10k reports at ε = 1, server state under
+//! // 64 KiB, frames under 16 bytes, exact window retirement required.
+//! let spec = WorkloadSpec::new(64, 10_000, 1.0)
+//!     .with_memory_budget(64 * 1024)
+//!     .with_report_budget(16)
+//!     .with_subtractive();
+//!
+//! // Plan → descriptor: tuned knobs, budgets respected, instantiation
+//! // guaranteed through the workspace registry.
+//! let plan = workspace_planner().best(&spec).unwrap();
+//! assert!(plan.cost.bytes_per_report <= 16);
+//!
+//! // The planned descriptor rides the byte path unchanged.
+//! let client = WireClient::from_descriptor(&plan.descriptor).unwrap();
+//! let mut service = CollectorService::from_descriptor(&plan.descriptor).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+//! let mut wire = Vec::new();
+//! for user in 0..10_000u64 {
+//!     client.randomize_item(user % 64, &mut rng, &mut wire).unwrap();
+//! }
+//! assert_eq!(service.ingest_concat(&wire).unwrap(), 10_000);
+//! let estimates = service.estimates();
+//! assert!((estimates[0] - 156.25).abs() < 5.0 * plan.cost.variance.sqrt());
+//! ```
 
 pub use ldp_analytics as analytics;
 pub use ldp_apple as apple;
 pub use ldp_core as core;
 pub use ldp_microsoft as microsoft;
+pub use ldp_planner as planner;
 pub use ldp_rappor as rappor;
 pub use ldp_sketch as sketch;
 pub use ldp_workloads as workloads;

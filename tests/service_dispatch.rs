@@ -515,5 +515,6 @@ fn registry_steers_raw_olh_to_cohorts() {
     let err = CollectorService::from_descriptor(&desc).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("CohortLocalHashing"), "steering: {msg}");
+    assert!(msg.contains("Planner::plan"), "planner remedy: {msg}");
     assert!(msg.contains("allow_linear_memory"), "escape hatch: {msg}");
 }

@@ -104,6 +104,7 @@ fn every_example_is_present() {
         "emoji_keyboard",
         "itemset_mining",
         "location_heatmap",
+        "mechanism_planner",
         "next_word",
         "quickstart",
         "url_telemetry",
